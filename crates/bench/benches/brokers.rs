@@ -1,0 +1,129 @@
+//! Broker micro-benchmarks: reserve/release throughput, availability
+//! reports (with the α window), atomic multi-resource reservation, and
+//! the two-level network broker's all-or-nothing path reservation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qosr_broker::{Broker, BrokerRegistry, LocalBroker, LocalBrokerConfig, SessionId, SimTime};
+use qosr_model::{ResourceId, ResourceKind, ResourceSpace, ResourceVector};
+use qosr_net::{NetNode, NetworkFabric, Topology};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_local_broker(c: &mut Criterion) {
+    let broker = LocalBroker::new(
+        ResourceId(0),
+        1.0e12,
+        SimTime::ZERO,
+        LocalBrokerConfig::default(),
+    );
+    let mut group = c.benchmark_group("local_broker");
+    let mut t = 0.0f64;
+    let mut s = 0u64;
+    group.bench_function("reserve_release", |b| {
+        b.iter(|| {
+            t += 0.01;
+            s += 1;
+            let session = SessionId(s);
+            broker
+                .reserve(session, 10.0, SimTime::new(t))
+                .expect("huge capacity");
+            black_box(broker.release(session, SimTime::new(t)));
+        })
+    });
+    group.bench_function("report", |b| {
+        b.iter(|| {
+            t += 0.01;
+            black_box(broker.report(SimTime::new(t)))
+        })
+    });
+    group.bench_function("available_at", |b| {
+        b.iter(|| black_box(broker.available_at(SimTime::new(t - 1.0))))
+    });
+    group.finish();
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut registry = BrokerRegistry::new();
+    for i in 0..24u32 {
+        registry.register(Arc::new(LocalBroker::new(
+            ResourceId(i),
+            1.0e12,
+            SimTime::ZERO,
+            LocalBrokerConfig::default(),
+        )));
+    }
+    let demand = ResourceVector::from_pairs((0..4u32).map(|i| (ResourceId(i), 10.0))).unwrap();
+    let mut group = c.benchmark_group("registry");
+    let mut t = 0.0f64;
+    let mut s = 0u64;
+    group.bench_function("snapshot_24_resources", |b| {
+        b.iter(|| {
+            t += 0.01;
+            black_box(registry.snapshot(SimTime::new(t)))
+        })
+    });
+    group.bench_function("reserve_all_release_all", |b| {
+        b.iter(|| {
+            t += 0.01;
+            s += 1;
+            let session = SessionId(s);
+            registry
+                .reserve_all(session, &demand, SimTime::new(t))
+                .expect("huge capacity");
+            black_box(registry.release_all(session, SimTime::new(t)));
+        })
+    });
+    group.finish();
+}
+
+fn bench_network_paths(c: &mut Criterion) {
+    // Ring of 8 hosts: multi-link routes stress the all-or-nothing path
+    // reservation.
+    let mut topo = Topology::new(8, 0);
+    for i in 0..8 {
+        topo.add_link(NetNode::Host(i), NetNode::Host((i + 1) % 8))
+            .unwrap();
+    }
+    let mut space = ResourceSpace::new();
+    let _ = ResourceKind::NetworkLink;
+    let mut fabric = NetworkFabric::new(
+        topo,
+        &[1.0e12; 8],
+        &mut space,
+        SimTime::ZERO,
+        LocalBrokerConfig::default(),
+    );
+    let path = fabric
+        .path_broker(NetNode::Host(0), NetNode::Host(4), &mut space)
+        .unwrap();
+    assert_eq!(path.route().len(), 4);
+
+    let mut group = c.benchmark_group("network_broker");
+    let mut t = 0.0f64;
+    let mut s = 0u64;
+    group.bench_function("reserve_release_4link_path", |b| {
+        b.iter(|| {
+            t += 0.01;
+            s += 1;
+            let session = SessionId(s);
+            path.reserve(session, 10.0, SimTime::new(t))
+                .expect("huge capacity");
+            black_box(path.release(session, SimTime::new(t)));
+        })
+    });
+    group.bench_function("report_4link_path", |b| {
+        b.iter(|| {
+            t += 0.01;
+            black_box(path.report(SimTime::new(t)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_local_broker,
+    bench_registry,
+    bench_network_paths
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Planner benchmarks: the four planning algorithms over one prepared
+//! QRG (the QRG build itself is measured separately in `qrg.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qosr_bench::synth::synthetic_chain;
+use qosr_broker::LocalBrokerConfig;
+use qosr_core::{
+    plan_basic, plan_dag, plan_random, plan_tradeoff, AvailabilityView, Qrg, QrgOptions,
+};
+use qosr_sim::{services::ServiceOptions, PaperEnvironment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_planners(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let env = PaperEnvironment::build(
+        &mut rng,
+        &ServiceOptions::default(),
+        (1000.0, 4000.0),
+        LocalBrokerConfig::default(),
+    );
+    let view = AvailabilityView::from_fn(env.space.ids(), |_| 2000.0);
+    let session = env.session(0, 2, 1.0).unwrap();
+    let qrg = Qrg::build(&session, &view, &QrgOptions::default());
+
+    let mut group = c.benchmark_group("planners_paper_session");
+    group.bench_function("basic", |b| b.iter(|| plan_basic(black_box(&qrg))));
+    group.bench_function("tradeoff", |b| b.iter(|| plan_tradeoff(black_box(&qrg))));
+    group.bench_function("dag", |b| b.iter(|| plan_dag(black_box(&qrg))));
+    group.bench_function("random", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| plan_random(black_box(&qrg), &mut rng))
+    });
+    group.finish();
+
+    // A larger synthetic chain stresses the relaxation.
+    let (session, space) = synthetic_chain(8, 16);
+    let view = AvailabilityView::from_fn(space.ids(), |_| 1000.0);
+    let qrg = Qrg::build(&session, &view, &QrgOptions::default());
+    let mut group = c.benchmark_group("planners_chain_8x16");
+    group.bench_function("basic", |b| b.iter(|| plan_basic(black_box(&qrg))));
+    group.bench_function("tradeoff", |b| b.iter(|| plan_tradeoff(black_box(&qrg))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_planners);
+criterion_main!(benches);

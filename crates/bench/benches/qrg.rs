@@ -1,0 +1,43 @@
+//! QRG construction benchmarks: building the QoS-Resource Graph for the
+//! paper's type-A and type-B sessions (and a fat variant) under a full
+//! availability snapshot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qosr_broker::LocalBrokerConfig;
+use qosr_core::{AvailabilityView, Qrg, QrgOptions};
+use qosr_sim::{services::ServiceOptions, PaperEnvironment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_qrg_build(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let env = PaperEnvironment::build(
+        &mut rng,
+        &ServiceOptions::default(),
+        (1000.0, 4000.0),
+        LocalBrokerConfig::default(),
+    );
+    let view = AvailabilityView::from_fn(env.space.ids(), |_| 2000.0);
+    let opts = QrgOptions::default();
+
+    let mut group = c.benchmark_group("qrg_build");
+    // S1 (type A) requested from D3; S2 (type B) from D1.
+    let session_a = env.session(0, 2, 1.0).unwrap();
+    let session_b = env.session(1, 0, 1.0).unwrap();
+    let session_fat = env.session(0, 2, 10.0).unwrap();
+
+    group.bench_function("type_a", |b| {
+        b.iter(|| Qrg::build(black_box(&session_a), black_box(&view), &opts))
+    });
+    group.bench_function("type_b", |b| {
+        b.iter(|| Qrg::build(black_box(&session_b), black_box(&view), &opts))
+    });
+    group.bench_function("type_a_fat10", |b| {
+        b.iter(|| Qrg::build(black_box(&session_fat), black_box(&view), &opts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qrg_build);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Complexity-scaling bench for the runtime algorithm (§4.2 claims
+//! O(K·Q²) for K components with Q output levels each).
+//!
+//! Two sweeps: K at fixed Q (expect ~linear growth) and Q at fixed K
+//! (expect ~quadratic growth). Each measurement covers QRG construction
+//! plus the basic planner — the paper's "runtime algorithm" end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qosr_bench::synth::synthetic_chain;
+use qosr_core::{plan_dag, AvailabilityView, Qrg, QrgOptions};
+use std::hint::black_box;
+
+fn build_and_plan(session: &qosr_model::SessionInstance, view: &AvailabilityView) {
+    let qrg = Qrg::build(session, view, &QrgOptions::default());
+    black_box(plan_dag(&qrg).expect("ample availability"));
+}
+
+fn bench_scaling_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_k_at_q8");
+    for k in [2usize, 4, 8, 16, 32] {
+        let (session, space) = synthetic_chain(k, 8);
+        let view = AvailabilityView::from_fn(space.ids(), |_| 1.0e6);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| build_and_plan(&session, &view))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_q(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_q_at_k4");
+    for q in [4usize, 8, 16, 32, 64] {
+        let (session, space) = synthetic_chain(4, q);
+        let view = AvailabilityView::from_fn(space.ids(), |_| 1.0e6);
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, _| {
+            b.iter(|| build_and_plan(&session, &view))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_k, bench_scaling_q);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! End-to-end simulation throughput: full discrete-event runs of the
+//! paper environment (sessions planned + reserved + released per
+//! second). One short run per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qosr_sim::{run_scenario, PlannerKind, ScenarioConfig};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_run_600tu");
+    group.sample_size(10);
+    for planner in [
+        PlannerKind::Basic,
+        PlannerKind::Tradeoff,
+        PlannerKind::Random,
+    ] {
+        let cfg = ScenarioConfig {
+            seed: 1,
+            rate_per_60tu: 120.0,
+            horizon: 600.0,
+            planner,
+            ..ScenarioConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(planner.label()),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(run_scenario(cfg))),
+        );
+    }
+    // Stale observations add history queries to every establishment.
+    let cfg = ScenarioConfig {
+        seed: 1,
+        rate_per_60tu: 120.0,
+        horizon: 600.0,
+        planner: PlannerKind::Basic,
+        staleness: 8.0,
+        ..ScenarioConfig::default()
+    };
+    group.bench_function("basic_stale_e8", |b| {
+        b.iter(|| black_box(run_scenario(&cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! The experiments harness: regenerates every table and figure of the
+//! paper's §5.
+//!
+//! ```text
+//! experiments <command> [--seeds N] [--horizon TU] [--scale S] [--out DIR] [--quick]
+//!
+//! commands:
+//!   fig11       success rate & avg QoS vs generation rate (basic/tradeoff/random)
+//!   table1      selected paths, type-A services (fig 10(a)), basic vs tradeoff
+//!   table2      selected paths, type-B services (fig 10(b))
+//!   table3      per-class success/QoS, basic
+//!   table4      per-class success/QoS, tradeoff
+//!   fig12       success rate under stale observations (E sweep), both panels
+//!   fig13       success rate & QoS under low requirement diversity (3:1)
+//!   bottleneck  bottleneck-resource census ("every resource bottlenecks")
+//!   ablation    psi definition / tie-break / window / topology ablations
+//!   overhead    protocol message counts per establishment (§4.2)
+//!   upgrade     in-place QoS upgrades via renegotiation (extension)
+//!   timeseries  sampled per-resource utilization over one run (CSV)
+//!   dagquality  DAG-heuristic limitations vs the exhaustive oracle
+//!   calibrate   requirement-scale sweep against the paper's anchors
+//!   all         everything above (except calibrate)
+//! ```
+
+use qosr_bench::experiments::{
+    ablation, bottleneck, calibrate, dagquality, fig11, fig12, fig13, overhead, tables12, tables34,
+    timeseries, upgrade, ExperimentOpts,
+};
+use qosr_sim::PlannerKind;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, opts)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    match command.as_str() {
+        "fig11" => print!("{}", fig11::render(&fig11::run(&opts))),
+        "table1" => print!(
+            "{}",
+            tables12::render_table(
+                "Table 1: selected reservation paths (type-A services, figure 10(a))",
+                &tables12::run(&opts).type_a
+            )
+        ),
+        "table2" => print!(
+            "{}",
+            tables12::render_table(
+                "Table 2: selected reservation paths (type-B services, figure 10(b))",
+                &tables12::run(&opts).type_b
+            )
+        ),
+        "tables12" => print!("{}", tables12::render(&tables12::run(&opts))),
+        "table3" => print!(
+            "{}",
+            tables34::render(&tables34::run(&opts, PlannerKind::Basic))
+        ),
+        "table4" => print!(
+            "{}",
+            tables34::render(&tables34::run(&opts, PlannerKind::Tradeoff))
+        ),
+        "fig12" => {
+            print!("{}", fig12::render(&fig12::run(&opts, PlannerKind::Basic)));
+            println!();
+            print!(
+                "{}",
+                fig12::render(&fig12::run(&opts, PlannerKind::Tradeoff))
+            );
+        }
+        "fig13" => print!("{}", fig13::render(&fig13::run(&opts))),
+        "bottleneck" => print!("{}", bottleneck::render(&bottleneck::run(&opts))),
+        "ablation" => print!("{}", ablation::render(&ablation::run(&opts))),
+        "overhead" => print!("{}", overhead::render(&overhead::run(&opts))),
+        "upgrade" => print!("{}", upgrade::render(&upgrade::run(&opts))),
+        "timeseries" => print!("{}", timeseries::run_and_report(&opts)),
+        "calibrate" => print!("{}", calibrate::render(&calibrate::run(&opts))),
+        "dagquality" => print!("{}", dagquality::render(&dagquality::run(2000))),
+        "all" => {
+            println!("=== Figure 11 ===");
+            print!("{}", fig11::render(&fig11::run(&opts)));
+            println!("\n=== Tables 1 & 2 ===");
+            print!("{}", tables12::render(&tables12::run(&opts)));
+            println!("\n=== Table 3 ===");
+            print!(
+                "{}",
+                tables34::render(&tables34::run(&opts, PlannerKind::Basic))
+            );
+            println!("\n=== Table 4 ===");
+            print!(
+                "{}",
+                tables34::render(&tables34::run(&opts, PlannerKind::Tradeoff))
+            );
+            println!("\n=== Figure 12 ===");
+            print!("{}", fig12::render(&fig12::run(&opts, PlannerKind::Basic)));
+            println!();
+            print!(
+                "{}",
+                fig12::render(&fig12::run(&opts, PlannerKind::Tradeoff))
+            );
+            println!("\n=== Figure 13 ===");
+            print!("{}", fig13::render(&fig13::run(&opts)));
+            println!("\n=== Bottleneck census ===");
+            print!("{}", bottleneck::render(&bottleneck::run(&opts)));
+            println!("\n=== Protocol overhead ===");
+            print!("{}", overhead::render(&overhead::run(&opts)));
+            println!("\n=== Renegotiation extension ===");
+            print!("{}", upgrade::render(&upgrade::run(&opts)));
+            println!("\n=== Ablations ===");
+            print!("{}", ablation::render(&ablation::run(&opts)));
+            println!("\n=== Utilization time series ===");
+            print!("{}", timeseries::run_and_report(&opts));
+            println!("\n=== DAG heuristic quality ===");
+            print!("{}", dagquality::render(&dagquality::run(2000)));
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "usage: experiments <fig11|table1|table2|table3|table4|fig12|fig13|bottleneck|ablation|overhead|upgrade|timeseries|dagquality|calibrate|all> \
+[--seeds N] [--horizon TU] [--scale S] [--out DIR] [--quick]";
+
+fn parse(args: &[String]) -> Option<(String, ExperimentOpts)> {
+    let mut command = None;
+    let mut opts = ExperimentOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                let out = opts.out_dir.take();
+                let scale = opts.scale;
+                opts = ExperimentOpts::quick();
+                opts.out_dir = out;
+                opts.scale = scale;
+            }
+            "--seeds" => {
+                i += 1;
+                opts.seeds = args.get(i)?.parse().ok()?;
+            }
+            "--horizon" => {
+                i += 1;
+                opts.horizon = args.get(i)?.parse().ok()?;
+            }
+            "--scale" => {
+                i += 1;
+                opts.scale = args.get(i)?.parse().ok()?;
+            }
+            "--out" => {
+                i += 1;
+                opts.out_dir = Some(args.get(i)?.into());
+            }
+            word if !word.starts_with('-') && command.is_none() => {
+                command = Some(word.to_owned());
+            }
+            _ => return None,
+        }
+        i += 1;
+    }
+    Some((command?, opts))
+}

@@ -1,0 +1,207 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. the ψ definition (the paper's footnote 2 says alternates are
+//!    possible — how much does the choice matter?);
+//! 2. the Dijkstra tie-breaking rule (min incoming weight among equal
+//!    minimax values);
+//! 3. the tradeoff window `T` (the paper's only tunable, set to 3 TU).
+
+use super::{dump_results, run_seeded, ExperimentOpts};
+use crate::table::{pct, qos, TextTable};
+use qosr_sim::{PlannerKind, PsiKind, ScenarioConfig, TopologyKind};
+
+/// Rates used for the ablation grid (moderate and heavy load).
+pub const RATES: [f64; 2] = [100.0, 180.0];
+
+/// Alpha windows swept for the tradeoff-T ablation.
+pub const WINDOWS: [f64; 4] = [1.0, 3.0, 10.0, 30.0];
+
+/// Full ablation output.
+#[derive(Debug, Clone)]
+pub struct AblationReport {
+    /// `(psi, rate) -> (success rate, avg QoS)` for *basic*.
+    pub psi: Vec<(PsiKind, f64, f64, f64)>,
+    /// `(tie_break_enabled, rate) -> (success rate, avg QoS)` for *basic*.
+    pub tie_break: Vec<(bool, f64, f64, f64)>,
+    /// `(window T, rate) -> (success rate, avg QoS)` for *tradeoff*.
+    pub window: Vec<(f64, f64, f64, f64)>,
+    /// `(topology, rate) -> (success rate, avg QoS)` for *basic*.
+    pub topology: Vec<(TopologyKind, f64, f64, f64)>,
+}
+
+/// Runs all three ablations.
+pub fn run(opts: &ExperimentOpts) -> AblationReport {
+    let base = opts.base_config();
+
+    // ψ definitions.
+    let psi_kinds = [
+        PsiKind::Utilization,
+        PsiKind::Headroom,
+        PsiKind::NegLogSurvival,
+    ];
+    let mut configs = Vec::new();
+    for &psi in &psi_kinds {
+        for &rate in &RATES {
+            configs.push(ScenarioConfig {
+                planner: PlannerKind::Basic,
+                psi,
+                rate_per_60tu: rate,
+                ..base.clone()
+            });
+        }
+    }
+    let (merged, raw) = run_seeded(&configs, opts.seeds);
+    dump_results(opts, "ablation-psi", &raw);
+    let mut psi_rows = Vec::new();
+    for (i, &psi) in psi_kinds.iter().enumerate() {
+        for (j, &rate) in RATES.iter().enumerate() {
+            let m = &merged[i * RATES.len() + j];
+            psi_rows.push((
+                psi,
+                rate,
+                m.overall.success_rate(),
+                m.overall.avg_qos_level(),
+            ));
+        }
+    }
+
+    // Tie-break on/off.
+    let mut configs = Vec::new();
+    for &disabled in &[false, true] {
+        for &rate in &RATES {
+            configs.push(ScenarioConfig {
+                planner: PlannerKind::Basic,
+                disable_tie_break: disabled,
+                rate_per_60tu: rate,
+                ..base.clone()
+            });
+        }
+    }
+    let (merged, raw) = run_seeded(&configs, opts.seeds);
+    dump_results(opts, "ablation-tiebreak", &raw);
+    let mut tie_rows = Vec::new();
+    for (i, &disabled) in [false, true].iter().enumerate() {
+        for (j, &rate) in RATES.iter().enumerate() {
+            let m = &merged[i * RATES.len() + j];
+            tie_rows.push((
+                !disabled,
+                rate,
+                m.overall.success_rate(),
+                m.overall.avg_qos_level(),
+            ));
+        }
+    }
+
+    // Tradeoff window T.
+    let mut configs = Vec::new();
+    for &window in &WINDOWS {
+        for &rate in &RATES {
+            configs.push(ScenarioConfig {
+                planner: PlannerKind::Tradeoff,
+                alpha_window: window,
+                rate_per_60tu: rate,
+                ..base.clone()
+            });
+        }
+    }
+    let (merged, raw) = run_seeded(&configs, opts.seeds);
+    dump_results(opts, "ablation-window", &raw);
+    let mut window_rows = Vec::new();
+    for (i, &window) in WINDOWS.iter().enumerate() {
+        for (j, &rate) in RATES.iter().enumerate() {
+            let m = &merged[i * RATES.len() + j];
+            window_rows.push((
+                window,
+                rate,
+                m.overall.success_rate(),
+                m.overall.avg_qos_level(),
+            ));
+        }
+    }
+
+    // Topology variant.
+    let mut configs = Vec::new();
+    for &topology in &[TopologyKind::FullMesh, TopologyKind::Ring] {
+        for &rate in &RATES {
+            configs.push(ScenarioConfig {
+                planner: PlannerKind::Basic,
+                topology,
+                rate_per_60tu: rate,
+                ..base.clone()
+            });
+        }
+    }
+    let (merged, raw) = run_seeded(&configs, opts.seeds);
+    dump_results(opts, "ablation-topology", &raw);
+    let mut topo_rows = Vec::new();
+    for (i, &topology) in [TopologyKind::FullMesh, TopologyKind::Ring]
+        .iter()
+        .enumerate()
+    {
+        for (j, &rate) in RATES.iter().enumerate() {
+            let m = &merged[i * RATES.len() + j];
+            topo_rows.push((
+                topology,
+                rate,
+                m.overall.success_rate(),
+                m.overall.avg_qos_level(),
+            ));
+        }
+    }
+
+    AblationReport {
+        psi: psi_rows,
+        tie_break: tie_rows,
+        window: window_rows,
+        topology: topo_rows,
+    }
+}
+
+/// Renders the ablation report.
+pub fn render(report: &AblationReport) -> String {
+    let mut out = String::new();
+
+    out.push_str("Ablation 1: ψ definition (basic)\n");
+    let mut t = TextTable::new(["psi", "rate", "success", "avg QoS"]);
+    for &(psi, rate, sr, q) in &report.psi {
+        t.row([format!("{psi:?}"), format!("{rate:.0}"), pct(sr), qos(q)]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nAblation 2: Dijkstra tie-break rule (basic)\n");
+    let mut t = TextTable::new(["tie-break", "rate", "success", "avg QoS"]);
+    for &(enabled, rate, sr, q) in &report.tie_break {
+        t.row([
+            if enabled { "on (paper)" } else { "off" }.to_owned(),
+            format!("{rate:.0}"),
+            pct(sr),
+            qos(q),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nAblation 3: tradeoff window T (tradeoff)\n");
+    let mut t = TextTable::new(["T (TU)", "rate", "success", "avg QoS"]);
+    for &(window, rate, sr, q) in &report.window {
+        t.row([
+            format!("{window:.0}"),
+            format!("{rate:.0}"),
+            pct(sr),
+            qos(q),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nAblation 4: inter-host topology (basic)\n");
+    let mut t = TextTable::new(["topology", "rate", "success", "avg QoS"]);
+    for &(topology, rate, sr, q) in &report.topology {
+        t.row([
+            format!("{topology:?}"),
+            format!("{rate:.0}"),
+            pct(sr),
+            qos(q),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}

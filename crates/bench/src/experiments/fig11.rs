@@ -1,0 +1,103 @@
+//! Figure 11: overall reservation success rate (a) and average
+//! end-to-end QoS level (b) vs. session generation rate, for *basic*,
+//! *tradeoff*, and *random*.
+
+use super::{dump_results, run_seeded, ExperimentOpts, ALGORITHMS, RATE_SWEEP};
+use crate::table::{pct, qos, TextTable};
+use qosr_sim::ScenarioConfig;
+
+/// One rate's data point for the three algorithms.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig11Point {
+    /// Sessions per 60 TU.
+    pub rate: f64,
+    /// Success rate per algorithm, in [`ALGORITHMS`] order.
+    pub success_rate: [f64; 3],
+    /// Average end-to-end QoS level per algorithm.
+    pub avg_qos: [f64; 3],
+}
+
+/// Runs the figure-11 sweep and returns one point per rate.
+pub fn run(opts: &ExperimentOpts) -> Vec<Fig11Point> {
+    let base = opts.base_config();
+    let configs: Vec<ScenarioConfig> = RATE_SWEEP
+        .iter()
+        .flat_map(|&rate| {
+            let base = base.clone();
+            ALGORITHMS.iter().map(move |&planner| ScenarioConfig {
+                rate_per_60tu: rate,
+                planner,
+                ..base.clone()
+            })
+        })
+        .collect();
+    let (merged, raw) = run_seeded(&configs, opts.seeds);
+    dump_results(opts, "fig11", &raw);
+
+    RATE_SWEEP
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let group = &merged[i * ALGORITHMS.len()..(i + 1) * ALGORITHMS.len()];
+            Fig11Point {
+                rate,
+                success_rate: [
+                    group[0].overall.success_rate(),
+                    group[1].overall.success_rate(),
+                    group[2].overall.success_rate(),
+                ],
+                avg_qos: [
+                    group[0].overall.avg_qos_level(),
+                    group[1].overall.avg_qos_level(),
+                    group[2].overall.avg_qos_level(),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Renders both panels as text tables.
+pub fn render(points: &[Fig11Point]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 11(a): overall reservation success rate\n");
+    let mut t = TextTable::new(["rate (ssn/60TU)", "basic", "tradeoff", "random"]);
+    for p in points {
+        t.row([
+            format!("{:.0}", p.rate),
+            pct(p.success_rate[0]),
+            pct(p.success_rate[1]),
+            pct(p.success_rate[2]),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nFigure 11(b): average end-to-end QoS level (successful sessions)\n");
+    let mut t = TextTable::new(["rate (ssn/60TU)", "basic", "tradeoff", "random"]);
+    for p in points {
+        t.row([
+            format!("{:.0}", p.rate),
+            qos(p.avg_qos[0]),
+            qos(p.avg_qos[1]),
+            qos(p.avg_qos[2]),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shapes() {
+        let points = vec![Fig11Point {
+            rate: 60.0,
+            success_rate: [0.99, 1.0, 0.97],
+            avg_qos: [3.0, 2.4, 2.99],
+        }];
+        let s = render(&points);
+        assert!(s.contains("Figure 11(a)"));
+        assert!(s.contains("99.0%"));
+        assert!(s.contains("2.40"));
+    }
+}

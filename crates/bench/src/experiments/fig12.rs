@@ -1,0 +1,117 @@
+//! Figure 12: overall reservation success rate under inaccurate
+//! (stale) resource availability observations — panel (a) for *basic*,
+//! panel (b) for *tradeoff* — with the accurate-observation curve of the
+//! same algorithm and of *random* as references.
+
+use super::{dump_results, run_seeded, ExperimentOpts, RATE_SWEEP};
+use crate::table::{pct, TextTable};
+use qosr_sim::{PlannerKind, ScenarioConfig};
+
+/// The maximum observation ages `E` (TU) the experiment sweeps; 0 is the
+/// accurate baseline.
+pub const STALENESS_SWEEP: [f64; 4] = [0.0, 2.0, 4.0, 8.0];
+
+/// One panel's data: `success[rate][e]` plus the random reference.
+#[derive(Debug, Clone)]
+pub struct Fig12Panel {
+    /// The algorithm of this panel.
+    pub planner: PlannerKind,
+    /// Success rate per (rate index, staleness index).
+    pub success: Vec<[f64; 4]>,
+    /// Accurate-observation *random* reference per rate.
+    pub random_reference: Vec<f64>,
+}
+
+/// Runs one panel (both panels share the random reference sweep; it is
+/// re-run per panel for simplicity — it is cheap relative to the sweep).
+pub fn run(opts: &ExperimentOpts, planner: PlannerKind) -> Fig12Panel {
+    let base = opts.base_config();
+    let mut configs: Vec<ScenarioConfig> = Vec::new();
+    for &rate in &RATE_SWEEP {
+        for &e in &STALENESS_SWEEP {
+            configs.push(ScenarioConfig {
+                rate_per_60tu: rate,
+                planner,
+                staleness: e,
+                ..base.clone()
+            });
+        }
+        configs.push(ScenarioConfig {
+            rate_per_60tu: rate,
+            planner: PlannerKind::Random,
+            staleness: 0.0,
+            ..base.clone()
+        });
+    }
+    let (merged, raw) = run_seeded(&configs, opts.seeds);
+    dump_results(opts, &format!("fig12-{}", planner.label()), &raw);
+
+    let per_rate = STALENESS_SWEEP.len() + 1;
+    let mut success = Vec::with_capacity(RATE_SWEEP.len());
+    let mut random_reference = Vec::with_capacity(RATE_SWEEP.len());
+    for (i, _) in RATE_SWEEP.iter().enumerate() {
+        let group = &merged[i * per_rate..(i + 1) * per_rate];
+        let mut row = [0.0; 4];
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = group[j].overall.success_rate();
+        }
+        success.push(row);
+        random_reference.push(group[STALENESS_SWEEP.len()].overall.success_rate());
+    }
+    Fig12Panel {
+        planner,
+        success,
+        random_reference,
+    }
+}
+
+/// Renders a panel.
+pub fn render(panel: &Fig12Panel) -> String {
+    let which = match panel.planner {
+        PlannerKind::Basic => "Figure 12(a): basic",
+        PlannerKind::Tradeoff => "Figure 12(b): tradeoff",
+        PlannerKind::Random => "Figure 12(?): random",
+    };
+    let mut t = TextTable::new([
+        "rate (ssn/60TU)".to_owned(),
+        "E=0 (accurate)".to_owned(),
+        "E=2".to_owned(),
+        "E=4".to_owned(),
+        "E=8".to_owned(),
+        "random (accurate)".to_owned(),
+    ]);
+    for (i, &rate) in RATE_SWEEP.iter().enumerate() {
+        t.row([
+            format!("{rate:.0}"),
+            pct(panel.success[i][0]),
+            pct(panel.success[i][1]),
+            pct(panel.success[i][2]),
+            pct(panel.success[i][3]),
+            pct(panel.random_reference[i]),
+        ]);
+    }
+    format!(
+        "{which} — success rate under observation staleness E\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shape() {
+        let panel = Fig12Panel {
+            planner: PlannerKind::Basic,
+            success: vec![[0.99, 0.98, 0.97, 0.95]; RATE_SWEEP.len()],
+            random_reference: vec![0.9; RATE_SWEEP.len()],
+        };
+        let s = render(&panel);
+        assert!(s.contains("Figure 12(a)"));
+        assert!(s.contains("E=8"));
+        assert!(s.contains("90.0%"));
+        // Title + header + separator + one row per rate.
+        assert_eq!(s.lines().count(), 3 + RATE_SWEEP.len());
+    }
+}

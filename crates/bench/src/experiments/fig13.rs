@@ -1,0 +1,82 @@
+//! Figure 13: success rate (a) and average end-to-end QoS level (b)
+//! under *less diversified* resource requirements — per-resource values
+//! compressed to a 3:1 max:min ratio with preserved means (§5.2.5).
+
+use super::{dump_results, run_seeded, ExperimentOpts, ALGORITHMS, RATE_SWEEP};
+use crate::experiments::fig11::Fig11Point;
+use crate::table::{pct, qos, TextTable};
+use qosr_sim::ScenarioConfig;
+
+/// The compression ratio the paper reports ("the ratio between the
+/// highest and lowest values is limited to 3:1").
+pub const DIVERSITY_RATIO: f64 = 3.0;
+
+/// Runs the low-diversity sweep; points mirror figure 11's shape.
+pub fn run(opts: &ExperimentOpts) -> Vec<Fig11Point> {
+    let base = ScenarioConfig {
+        diversity_ratio: Some(DIVERSITY_RATIO),
+        ..opts.base_config()
+    };
+    let configs: Vec<ScenarioConfig> = RATE_SWEEP
+        .iter()
+        .flat_map(|&rate| {
+            let base = base.clone();
+            ALGORITHMS.iter().map(move |&planner| ScenarioConfig {
+                rate_per_60tu: rate,
+                planner,
+                ..base.clone()
+            })
+        })
+        .collect();
+    let (merged, raw) = run_seeded(&configs, opts.seeds);
+    dump_results(opts, "fig13", &raw);
+
+    RATE_SWEEP
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let group = &merged[i * ALGORITHMS.len()..(i + 1) * ALGORITHMS.len()];
+            Fig11Point {
+                rate,
+                success_rate: [
+                    group[0].overall.success_rate(),
+                    group[1].overall.success_rate(),
+                    group[2].overall.success_rate(),
+                ],
+                avg_qos: [
+                    group[0].overall.avg_qos_level(),
+                    group[1].overall.avg_qos_level(),
+                    group[2].overall.avg_qos_level(),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Renders both panels.
+pub fn render(points: &[Fig11Point]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 13(a): success rate under low requirement diversity (3:1, same means)\n");
+    let mut t = TextTable::new(["rate (ssn/60TU)", "basic", "tradeoff", "random"]);
+    for p in points {
+        t.row([
+            format!("{:.0}", p.rate),
+            pct(p.success_rate[0]),
+            pct(p.success_rate[1]),
+            pct(p.success_rate[2]),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nFigure 13(b): average end-to-end QoS level under low diversity\n");
+    let mut t = TextTable::new(["rate (ssn/60TU)", "basic", "tradeoff", "random"]);
+    for p in points {
+        t.row([
+            format!("{:.0}", p.rate),
+            qos(p.avg_qos[0]),
+            qos(p.avg_qos[1]),
+            qos(p.avg_qos[2]),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}

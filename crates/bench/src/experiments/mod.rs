@@ -1,0 +1,165 @@
+//! The §5 experiments: one module per table/figure.
+//!
+//! Each experiment builds a batch of [`ScenarioConfig`]s, runs them in
+//! parallel ([`qosr_sim::run_many`]), averages over seeds by *merging*
+//! the per-run counters (so rates are weighted by attempts), and renders
+//! the same rows/series the paper reports. Raw per-run results can be
+//! dumped as JSON for further analysis.
+
+use qosr_sim::{run_many, PlannerKind, RunMetrics, RunResult, ScenarioConfig};
+use std::path::PathBuf;
+
+pub mod ablation;
+pub mod bottleneck;
+pub mod calibrate;
+pub mod dagquality;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod overhead;
+pub mod tables12;
+pub mod tables34;
+pub mod timeseries;
+pub mod upgrade;
+
+/// Common options for all experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentOpts {
+    /// Independent seeds per configuration (results are merged).
+    pub seeds: u64,
+    /// Simulated horizon per run (TU).
+    pub horizon: f64,
+    /// Global requirement scale (the calibration constant).
+    pub scale: f64,
+    /// When set, write the raw per-run results as JSON into this
+    /// directory.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        ExperimentOpts {
+            seeds: 5,
+            horizon: 10_800.0,
+            scale: qosr_sim::ScenarioConfig::default().requirement_scale,
+            out_dir: None,
+        }
+    }
+}
+
+impl ExperimentOpts {
+    /// Reduced settings for smoke tests and CI.
+    pub fn quick() -> Self {
+        ExperimentOpts {
+            seeds: 2,
+            horizon: 1200.0,
+            ..ExperimentOpts::default()
+        }
+    }
+
+    /// A base config carrying this experiment's common fields.
+    pub fn base_config(&self) -> ScenarioConfig {
+        ScenarioConfig {
+            horizon: self.horizon,
+            requirement_scale: self.scale,
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+/// The paper's generation-rate sweep (sessions per 60 TU), 60 to 240.
+pub const RATE_SWEEP: [f64; 7] = [60.0, 90.0, 120.0, 150.0, 180.0, 210.0, 240.0];
+
+/// Expands a config into `seeds` copies with seeds `1..=seeds`.
+pub fn seeded(cfg: &ScenarioConfig, seeds: u64) -> Vec<ScenarioConfig> {
+    (1..=seeds)
+        .map(|seed| ScenarioConfig {
+            seed,
+            ..cfg.clone()
+        })
+        .collect()
+}
+
+/// Runs `seeds` copies of each config and merges each group's metrics,
+/// returning `(merged metrics, raw runs)` per input config.
+pub fn run_seeded(configs: &[ScenarioConfig], seeds: u64) -> (Vec<RunMetrics>, Vec<RunResult>) {
+    let expanded: Vec<ScenarioConfig> = configs.iter().flat_map(|c| seeded(c, seeds)).collect();
+    let results = run_many(&expanded);
+    let merged = results
+        .chunks(seeds as usize)
+        .map(|chunk| {
+            let mut m = RunMetrics::default();
+            for r in chunk {
+                m.merge(&r.metrics);
+            }
+            m
+        })
+        .collect();
+    (merged, results)
+}
+
+/// Writes raw results as pretty JSON under `opts.out_dir/<name>.json`
+/// (no-op when `out_dir` is unset).
+pub fn dump_results(opts: &ExperimentOpts, name: &str, results: &[RunResult]) {
+    let Some(dir) = &opts.out_dir else {
+        return;
+    };
+    std::fs::create_dir_all(dir).expect("create results directory");
+    let path = dir.join(format!("{name}.json"));
+    let file = std::fs::File::create(&path).expect("create results file");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), results)
+        .expect("serialize results");
+    eprintln!("wrote {}", path.display());
+}
+
+/// The three algorithms the paper compares.
+pub const ALGORITHMS: [PlannerKind; 3] = [
+    PlannerKind::Basic,
+    PlannerKind::Tradeoff,
+    PlannerKind::Random,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_expansion() {
+        let base = ScenarioConfig::default();
+        let v = seeded(&base, 3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].seed, 1);
+        assert_eq!(v[2].seed, 3);
+        assert_eq!(v[1].rate_per_60tu, base.rate_per_60tu);
+    }
+
+    #[test]
+    fn run_seeded_merges_groups() {
+        let mut cfg = ExperimentOpts::quick().base_config();
+        cfg.horizon = 300.0;
+        let configs = vec![
+            ScenarioConfig {
+                rate_per_60tu: 60.0,
+                ..cfg.clone()
+            },
+            ScenarioConfig {
+                rate_per_60tu: 120.0,
+                ..cfg
+            },
+        ];
+        let (merged, raw) = run_seeded(&configs, 2);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(raw.len(), 4);
+        // Merged counters equal the sum of the group's raw counters.
+        let sum0 = raw[0].metrics.overall.attempts + raw[1].metrics.overall.attempts;
+        assert_eq!(merged[0].overall.attempts, sum0);
+        // Higher rate -> more attempts.
+        assert!(merged[1].overall.attempts > merged[0].overall.attempts);
+    }
+
+    #[test]
+    fn dump_is_noop_without_out_dir() {
+        let opts = ExperimentOpts::quick();
+        dump_results(&opts, "nothing", &[]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Tables 1 and 2: selected end-to-end reservation paths and their
+//! selection percentages, in QRGs of the type-A (Table 1) and type-B
+//! (Table 2) services, under *basic* and *tradeoff*, at 80 sessions per
+//! 60 TU.
+
+use super::{dump_results, run_seeded, ExperimentOpts};
+use crate::table::TextTable;
+use qosr_sim::{PathHistogram, PlannerKind, ScenarioConfig};
+use std::collections::BTreeSet;
+
+/// Path-selection histograms for one service type under both algorithms.
+#[derive(Debug, Clone)]
+pub struct PathTable {
+    /// The histogram under *basic*.
+    pub basic: PathHistogram,
+    /// The histogram under *tradeoff*.
+    pub tradeoff: PathHistogram,
+}
+
+/// Both tables' data.
+#[derive(Debug, Clone)]
+pub struct Tables12 {
+    /// Table 1 (type-A services, figure 10(a)).
+    pub type_a: PathTable,
+    /// Table 2 (type-B services, figure 10(b)).
+    pub type_b: PathTable,
+}
+
+/// The generation rate the paper records path selections at.
+pub const RATE: f64 = 80.0;
+
+/// Runs the path-selection experiment.
+pub fn run(opts: &ExperimentOpts) -> Tables12 {
+    let base = opts.base_config();
+    let configs = vec![
+        ScenarioConfig {
+            rate_per_60tu: RATE,
+            planner: PlannerKind::Basic,
+            ..base.clone()
+        },
+        ScenarioConfig {
+            rate_per_60tu: RATE,
+            planner: PlannerKind::Tradeoff,
+            ..base
+        },
+    ];
+    let (merged, raw) = run_seeded(&configs, opts.seeds);
+    dump_results(opts, "tables12", &raw);
+    Tables12 {
+        type_a: PathTable {
+            basic: merged[0].paths_a.clone(),
+            tradeoff: merged[1].paths_a.clone(),
+        },
+        type_b: PathTable {
+            basic: merged[0].paths_b.clone(),
+            tradeoff: merged[1].paths_b.clone(),
+        },
+    }
+}
+
+/// Renders one table (all labels selected by either algorithm).
+pub fn render_table(title: &str, table: &PathTable) -> String {
+    let mut labels: BTreeSet<String> = BTreeSet::new();
+    labels.extend(table.basic.iter().map(|(l, _)| l.to_owned()));
+    labels.extend(table.tradeoff.iter().map(|(l, _)| l.to_owned()));
+    let mut t = TextTable::new(["Selected path", "basic", "tradeoff"]);
+    for label in &labels {
+        t.row([
+            label.clone(),
+            format!("{:.1}%", 100.0 * table.basic.fraction(label)),
+            format!("{:.1}%", 100.0 * table.tradeoff.fraction(label)),
+        ]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Renders both tables.
+pub fn render(tables: &Tables12) -> String {
+    format!(
+        "{}\n{}",
+        render_table(
+            "Table 1: selected reservation paths (type-A services, figure 10(a))",
+            &tables.type_a
+        ),
+        render_table(
+            "Table 2: selected reservation paths (type-B services, figure 10(b))",
+            &tables.type_b
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_labels_from_both() {
+        let mut basic = PathHistogram::default();
+        basic.record("Qa-Qb-Qe-Qh-Ql-Qp");
+        let mut tradeoff = PathHistogram::default();
+        tradeoff.record("Qa-Qd-Qg-Qk-Qo-Qq");
+        let s = render_table("T", &PathTable { basic, tradeoff });
+        assert!(s.contains("Qa-Qb-Qe-Qh-Ql-Qp"));
+        assert!(s.contains("Qa-Qd-Qg-Qk-Qo-Qq"));
+        assert!(s.contains("100.0%"));
+        assert!(s.contains("0.0%"));
+    }
+}

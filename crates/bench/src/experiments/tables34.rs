@@ -1,0 +1,108 @@
+//! Tables 3 and 4: reservation success rate / average end-to-end QoS
+//! level per session class (normal/fat × short/long), at generation
+//! rates 60, 100, and 180 — Table 3 under *basic*, Table 4 under
+//! *tradeoff*.
+
+use super::{dump_results, run_seeded, ExperimentOpts};
+use crate::table::{pct, qos, TextTable};
+use qosr_sim::{ClassStats, PlannerKind, ScenarioConfig, SessionClass};
+
+/// The rates the paper's class tables report.
+pub const RATES: [f64; 3] = [60.0, 100.0, 180.0];
+
+/// One algorithm's per-class table: `cells[class][rate]`.
+#[derive(Debug, Clone)]
+pub struct ClassTable {
+    /// The algorithm.
+    pub planner: PlannerKind,
+    /// Per-class, per-rate stats.
+    pub cells: Vec<[ClassStats; 3]>,
+}
+
+/// Runs the class-breakdown experiment for one algorithm.
+pub fn run(opts: &ExperimentOpts, planner: PlannerKind) -> ClassTable {
+    let base = opts.base_config();
+    let configs: Vec<ScenarioConfig> = RATES
+        .iter()
+        .map(|&rate| ScenarioConfig {
+            rate_per_60tu: rate,
+            planner,
+            ..base.clone()
+        })
+        .collect();
+    let (merged, raw) = run_seeded(&configs, opts.seeds);
+    dump_results(opts, &format!("tables34-{}", planner.label()), &raw);
+
+    let cells = SessionClass::ALL
+        .iter()
+        .map(|class| {
+            let mut row = [ClassStats::default(); 3];
+            for (r, m) in merged.iter().enumerate() {
+                row[r] = m.per_class[class.index()];
+            }
+            row
+        })
+        .collect();
+    ClassTable { planner, cells }
+}
+
+/// Renders a class table in the paper's format
+/// (`success rate / average QoS level` per cell).
+pub fn render(table: &ClassTable) -> String {
+    let mut t = TextTable::new([
+        "Class/gen. rate".to_owned(),
+        format!("{:.0} ssn/60TU", RATES[0]),
+        format!("{:.0} ssn/60TU", RATES[1]),
+        format!("{:.0} ssn/60TU", RATES[2]),
+    ]);
+    for (class, row) in SessionClass::ALL.iter().zip(&table.cells) {
+        t.row([
+            class.label().to_owned(),
+            format!(
+                "{}/{}",
+                pct(row[0].success_rate()),
+                qos(row[0].avg_qos_level())
+            ),
+            format!(
+                "{}/{}",
+                pct(row[1].success_rate()),
+                qos(row[1].avg_qos_level())
+            ),
+            format!(
+                "{}/{}",
+                pct(row[2].success_rate()),
+                qos(row[2].avg_qos_level())
+            ),
+        ]);
+    }
+    let which = match table.planner {
+        PlannerKind::Basic => "Table 3 (basic)",
+        PlannerKind::Tradeoff => "Table 4 (tradeoff)",
+        PlannerKind::Random => "per-class breakdown (random)",
+    };
+    format!(
+        "{which}: success rate / avg end-to-end QoS level per class\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_has_all_classes() {
+        let mut stats = ClassStats::default();
+        stats.record(Some(3));
+        let table = ClassTable {
+            planner: PlannerKind::Basic,
+            cells: vec![[stats; 3]; 4],
+        };
+        let s = render(&table);
+        for class in SessionClass::ALL {
+            assert!(s.contains(class.label()), "{s}");
+        }
+        assert!(s.contains("Table 3"));
+        assert!(s.contains("100.0%/3.00"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Utilization dynamics: a sampled time series of per-resource
+//! utilization and live-session count over one run.
+//!
+//! Supports the §5.2.2 adaptivity story — the demand mix (and with it
+//! the bottleneck resource) shifts every probability-shift period, and
+//! the sampled series shows different resources saturating at different
+//! times. The series is written as CSV for plotting.
+
+use super::ExperimentOpts;
+use crate::table::TextTable;
+use qosr_sim::{run_scenario, PlannerKind, RunResult, ScenarioConfig};
+use std::io::Write;
+
+/// Runs one sampled scenario (basic, rate 120, 30-TU samples).
+pub fn run(opts: &ExperimentOpts) -> RunResult {
+    run_scenario(&ScenarioConfig {
+        seed: 1,
+        planner: PlannerKind::Basic,
+        rate_per_60tu: 120.0,
+        sample_period: Some(30.0),
+        horizon: opts.horizon,
+        requirement_scale: opts.scale,
+        ..ScenarioConfig::default()
+    })
+}
+
+/// Writes the series as CSV (`time,active_sessions,<resource...>`).
+pub fn write_csv(result: &RunResult, mut w: impl Write) -> std::io::Result<()> {
+    let Some(first) = result.timeseries.first() else {
+        return Ok(());
+    };
+    let names: Vec<&str> = first.utilization.keys().map(String::as_str).collect();
+    write!(w, "time,active_sessions")?;
+    for n in &names {
+        write!(w, ",{n}")?;
+    }
+    writeln!(w)?;
+    for s in &result.timeseries {
+        write!(w, "{},{}", s.time, s.active_sessions)?;
+        for n in &names {
+            write!(w, ",{:.4}", s.utilization[*n])?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Renders a per-resource summary (mean / peak utilization).
+pub fn render(result: &RunResult) -> String {
+    let Some(first) = result.timeseries.first() else {
+        return "no samples (sampling disabled?)\n".to_owned();
+    };
+    let n = result.timeseries.len() as f64;
+    let mut t = TextTable::new(["resource", "mean util", "peak util"]);
+    for name in first.utilization.keys() {
+        let (mut sum, mut peak) = (0.0f64, 0.0f64);
+        for s in &result.timeseries {
+            let u = s.utilization[name];
+            sum += u;
+            peak = peak.max(u);
+        }
+        t.row([
+            name.clone(),
+            format!("{:.1}%", 100.0 * sum / n),
+            format!("{:.1}%", 100.0 * peak),
+        ]);
+    }
+    let peak_active = result
+        .timeseries
+        .iter()
+        .map(|s| s.active_sessions)
+        .max()
+        .unwrap_or(0);
+    format!(
+        "Utilization time series (basic, 120 ssn/60TU, {} samples; peak {} live sessions)\n{}",
+        result.timeseries.len(),
+        peak_active,
+        t.render()
+    )
+}
+
+/// Runs, renders, and (when `--out` is set) writes the CSV.
+pub fn run_and_report(opts: &ExperimentOpts) -> String {
+    let result = run(opts);
+    if let Some(dir) = &opts.out_dir {
+        std::fs::create_dir_all(dir).expect("create results directory");
+        let path = dir.join("timeseries.csv");
+        let file = std::fs::File::create(&path).expect("create csv");
+        write_csv(&result, std::io::BufWriter::new(file)).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+    render(&result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_and_summary() {
+        let opts = ExperimentOpts {
+            seeds: 1,
+            horizon: 300.0,
+            ..ExperimentOpts::default()
+        };
+        let result = run(&opts);
+        assert!(!result.timeseries.is_empty());
+        let mut csv = Vec::new();
+        write_csv(&result, &mut csv).unwrap();
+        let text = String::from_utf8(csv).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("time,active_sessions,"));
+        assert_eq!(lines.len(), result.timeseries.len() + 1);
+        // Every row has the same column count as the header.
+        let cols = lines[0].split(',').count();
+        assert!(lines[1..].iter().all(|l| l.split(',').count() == cols));
+
+        let summary = render(&result);
+        assert!(summary.contains("peak util"));
+        assert!(summary.contains("H1.cpu"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Renegotiation extension experiment (beyond the paper): the *tradeoff*
+//! policy buys overall admission rate by settling for lower end-to-end
+//! QoS levels. An in-place **upgrade sweep** — every `period` TU, live
+//! sessions re-plan with their own holdings counted as available and
+//! atomically swap to strictly better plans — recovers much of that QoS
+//! *without giving back the admission gains*.
+
+use super::{dump_results, run_seeded, ExperimentOpts};
+use crate::table::{pct, qos, TextTable};
+use qosr_sim::{PlannerKind, ScenarioConfig};
+
+/// Upgrade-scan periods to compare (TU); `None` is the paper baseline.
+pub const PERIODS: [Option<f64>; 3] = [None, Some(60.0), Some(15.0)];
+
+/// Rates measured.
+pub const RATES: [f64; 3] = [90.0, 150.0, 210.0];
+
+/// One measured cell.
+#[derive(Debug, Clone, Copy)]
+pub struct UpgradeRow {
+    /// The algorithm.
+    pub planner: PlannerKind,
+    /// Upgrade period (None = off).
+    pub period: Option<f64>,
+    /// Sessions per 60 TU.
+    pub rate: f64,
+    /// Overall success rate.
+    pub success: f64,
+    /// Average QoS at establishment.
+    pub established_qos: f64,
+    /// Average QoS at session end (after upgrades).
+    pub final_qos: f64,
+    /// Upgrades per 1000 admitted sessions.
+    pub upgrades_per_1k: f64,
+}
+
+/// Runs the upgrade experiment for *tradeoff* (where the headroom is)
+/// and *basic* (as control).
+pub fn run(opts: &ExperimentOpts) -> Vec<UpgradeRow> {
+    let base = opts.base_config();
+    let mut configs = Vec::new();
+    for &planner in &[PlannerKind::Tradeoff, PlannerKind::Basic] {
+        for &period in &PERIODS {
+            for &rate in &RATES {
+                configs.push(ScenarioConfig {
+                    planner,
+                    upgrade_period: period,
+                    rate_per_60tu: rate,
+                    ..base.clone()
+                });
+            }
+        }
+    }
+    let (merged, raw) = run_seeded(&configs, opts.seeds);
+    dump_results(opts, "upgrade", &raw);
+
+    configs
+        .iter()
+        .zip(&merged)
+        .map(|(cfg, m)| UpgradeRow {
+            planner: cfg.planner,
+            period: cfg.upgrade_period,
+            rate: cfg.rate_per_60tu,
+            success: m.overall.success_rate(),
+            established_qos: m.overall.avg_qos_level(),
+            final_qos: m.final_qos.avg_qos_level(),
+            upgrades_per_1k: 1000.0 * m.upgrades as f64 / m.overall.successes.max(1) as f64,
+        })
+        .collect()
+}
+
+/// Renders the experiment.
+pub fn render(rows: &[UpgradeRow]) -> String {
+    let mut t = TextTable::new([
+        "planner",
+        "upgrade period",
+        "rate",
+        "success",
+        "QoS @ establish",
+        "QoS @ end",
+        "upgrades/1k",
+    ]);
+    for r in rows {
+        t.row([
+            r.planner.label().to_owned(),
+            r.period.map_or("off".to_owned(), |p| format!("{p:.0} TU")),
+            format!("{:.0}", r.rate),
+            pct(r.success),
+            qos(r.established_qos),
+            qos(r.final_qos),
+            format!("{:.0}", r.upgrades_per_1k),
+        ]);
+    }
+    format!(
+        "Renegotiation extension: in-place QoS upgrades on live sessions\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_full_grid() {
+        let opts = ExperimentOpts {
+            seeds: 1,
+            horizon: 600.0,
+            ..ExperimentOpts::default()
+        };
+        let rows = run(&opts);
+        assert_eq!(rows.len(), 2 * PERIODS.len() * RATES.len());
+        // With upgrades off, final == established.
+        for r in rows.iter().filter(|r| r.period.is_none()) {
+            assert!((r.final_qos - r.established_qos).abs() < 1e-9);
+            assert_eq!(r.upgrades_per_1k, 0.0);
+        }
+        assert!(render(&rows).contains("Renegotiation"));
+    }
+}

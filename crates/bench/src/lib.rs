@@ -1,0 +1,19 @@
+//! # qosr-bench — experiment harness and benchmark support
+//!
+//! * [`experiments`] — one module per table/figure of the paper's §5,
+//!   each producing the same rows/series the paper reports (shape
+//!   reproduction; see EXPERIMENTS.md for paper-vs-measured).
+//! * [`table`] — plain-text table rendering for the harness output.
+//!
+//! The `experiments` binary (`cargo run --release -p qosr-bench --bin
+//! experiments -- <cmd>`) drives these; the Criterion benches under
+//! `benches/` cover the micro-performance side (QRG construction,
+//! planner runtime, broker throughput, O(KQ²) scaling).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod oracle;
+pub mod synth;
+pub mod table;

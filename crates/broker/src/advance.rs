@@ -1,0 +1,475 @@
+//! Advance reservations — the paper's stated next step (§6: *"One of
+//! our next steps is to extend our multi-resource reservation framework
+//! to support advance reservations"*, following Foster et al.'s
+//! GARA architecture).
+//!
+//! An advance reservation books `amount` units of a resource over a
+//! future time window `[from, to)`. The broker keeps a
+//! **piecewise-constant reservation timeline**; a window reservation is
+//! admitted iff the *minimum* availability over the window covers the
+//! amount. Planning for a future window then reuses the ordinary QRG
+//! machinery: [`AdvanceRegistry::snapshot_window`] produces an
+//! [`AvailabilityView`] of per-resource window minima, and any planner
+//! from `qosr-core` runs on it unchanged.
+
+use crate::{ReserveError, SessionId, SimTime};
+use parking_lot::Mutex;
+use qosr_core::AvailabilityView;
+use qosr_model::{ResourceId, ResourceVector};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A piecewise-constant "reserved amount" profile over time.
+///
+/// Stored as a delta map: at each breakpoint time the reserved total
+/// changes by the stored delta. The reserved amount before the first
+/// breakpoint is zero (plus whatever [`Timeline::compact`] folded into
+/// the base).
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Reserved amount before the first remaining breakpoint.
+    base: f64,
+    /// `time → delta` (summing deltas up to and including `t` plus
+    /// `base` gives the reserved amount at `t`).
+    deltas: BTreeMap<SimTime, f64>,
+}
+
+impl Timeline {
+    /// An empty timeline (nothing reserved, ever).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The maximum reserved amount over `[from, to)`.
+    pub fn max_reserved(&self, from: SimTime, to: SimTime) -> f64 {
+        assert!(from <= to, "window must be ordered");
+        // Reserved level just before `from`:
+        let mut level = self.base;
+        for (_, d) in self.deltas.range(..=from) {
+            level += d;
+        }
+        let mut max = level;
+        if from < to {
+            for (_, d) in self.deltas.range((
+                std::ops::Bound::Excluded(from),
+                std::ops::Bound::Excluded(to),
+            )) {
+                level += d;
+                max = max.max(level);
+            }
+        }
+        max
+    }
+
+    /// Adds `amount` over `[from, to)`.
+    pub fn add(&mut self, from: SimTime, to: SimTime, amount: f64) {
+        assert!(from < to, "window must be non-empty");
+        *self.deltas.entry(from).or_insert(0.0) += amount;
+        *self.deltas.entry(to).or_insert(0.0) -= amount;
+    }
+
+    /// Removes a previously added window (exact inverse of
+    /// [`Timeline::add`]).
+    pub fn remove(&mut self, from: SimTime, to: SimTime, amount: f64) {
+        self.add(from, to, -amount);
+        // Drop zero deltas to keep the map tight.
+        self.deltas.retain(|_, d| d.abs() > 1e-12);
+    }
+
+    /// Folds all breakpoints at or before `now` into the base level,
+    /// bounding memory for long-running brokers.
+    pub fn compact(&mut self, now: SimTime) {
+        let keep = self.deltas.split_off(&now);
+        // `split_off(&now)` keeps keys >= now in `keep`; fold the rest.
+        for (_, d) in std::mem::take(&mut self.deltas) {
+            self.base += d;
+        }
+        self.deltas = keep;
+    }
+
+    /// Number of breakpoints currently stored.
+    pub fn breakpoints(&self) -> usize {
+        self.deltas.len()
+    }
+}
+
+/// One booked window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Booking {
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub to: SimTime,
+    /// Booked amount.
+    pub amount: f64,
+}
+
+/// An advance-reservation broker for one resource: a capacity plus a
+/// reservation [`Timeline`] and a per-session booking ledger.
+///
+/// ```
+/// use qosr_broker::{SessionId, SimTime, TimelineBroker};
+/// use qosr_model::ResourceId;
+/// let b = TimelineBroker::new(ResourceId(0), 100.0);
+/// let (t9, t12) = (SimTime::new(9.0), SimTime::new(12.0));
+/// b.reserve_over(SessionId(1), 60.0, t9, t12).unwrap();
+/// assert_eq!(b.available_over(t9, t12), 40.0);
+/// assert_eq!(b.available_over(t12, SimTime::new(20.0)), 100.0);
+/// ```
+pub struct TimelineBroker {
+    resource: ResourceId,
+    capacity: f64,
+    inner: Mutex<TimelineInner>,
+}
+
+#[derive(Debug, Default)]
+struct TimelineInner {
+    timeline: Timeline,
+    ledger: HashMap<SessionId, Vec<Booking>>,
+}
+
+impl TimelineBroker {
+    /// Creates a broker with the given constant capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not finite and positive.
+    pub fn new(resource: ResourceId, capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be finite and positive, got {capacity}"
+        );
+        TimelineBroker {
+            resource,
+            capacity,
+            inner: Mutex::new(TimelineInner::default()),
+        }
+    }
+
+    /// The resource this broker manages.
+    pub fn resource(&self) -> ResourceId {
+        self.resource
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// The guaranteed (minimum) availability over `[from, to)`.
+    pub fn available_over(&self, from: SimTime, to: SimTime) -> f64 {
+        self.capacity - self.inner.lock().timeline.max_reserved(from, to)
+    }
+
+    /// Books `amount` over `[from, to)` for `session`; rejected if the
+    /// window's minimum availability cannot cover it.
+    pub fn reserve_over(
+        &self,
+        session: SessionId,
+        amount: f64,
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<(), ReserveError> {
+        if !amount.is_finite() || amount <= 0.0 {
+            return Err(ReserveError::InvalidAmount {
+                resource: self.resource,
+                amount,
+            });
+        }
+        let mut inner = self.inner.lock();
+        let available = self.capacity - inner.timeline.max_reserved(from, to);
+        if amount > available {
+            return Err(ReserveError::Insufficient {
+                resource: self.resource,
+                requested: amount,
+                available,
+            });
+        }
+        inner.timeline.add(from, to, amount);
+        inner
+            .ledger
+            .entry(session)
+            .or_default()
+            .push(Booking { from, to, amount });
+        Ok(())
+    }
+
+    /// Cancels every booking of `session`, returning the total amount ×
+    /// windows released (0 when none).
+    pub fn cancel(&self, session: SessionId) -> f64 {
+        let mut inner = self.inner.lock();
+        let Some(bookings) = inner.ledger.remove(&session) else {
+            return 0.0;
+        };
+        let mut total = 0.0;
+        for b in bookings {
+            inner.timeline.remove(b.from, b.to, b.amount);
+            total += b.amount;
+        }
+        total
+    }
+
+    /// The bookings `session` currently holds.
+    pub fn bookings_of(&self, session: SessionId) -> Vec<Booking> {
+        self.inner
+            .lock()
+            .ledger
+            .get(&session)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Folds expired breakpoints into the timeline base (call
+    /// periodically with the current time). Past bookings stop being
+    /// cancellable after compaction.
+    pub fn compact(&self, now: SimTime) {
+        let mut inner = self.inner.lock();
+        inner.timeline.compact(now);
+        for bookings in inner.ledger.values_mut() {
+            bookings.retain(|b| b.to > now);
+        }
+        inner.ledger.retain(|_, b| !b.is_empty());
+    }
+}
+
+/// Directory of [`TimelineBroker`]s with window snapshots and atomic
+/// multi-resource advance booking.
+#[derive(Default)]
+pub struct AdvanceRegistry {
+    brokers: HashMap<ResourceId, Arc<TimelineBroker>>,
+}
+
+impl AdvanceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a broker under its resource id.
+    pub fn register(&mut self, broker: Arc<TimelineBroker>) {
+        self.brokers.insert(broker.resource(), broker);
+    }
+
+    /// The broker for `id`, if registered.
+    pub fn get(&self, id: ResourceId) -> Option<&Arc<TimelineBroker>> {
+        self.brokers.get(&id)
+    }
+
+    /// Number of registered brokers.
+    pub fn len(&self) -> usize {
+        self.brokers.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.brokers.is_empty()
+    }
+
+    /// An [`AvailabilityView`] of the guaranteed availability of every
+    /// resource over `[from, to)` — plug it into `Qrg::build` to plan an
+    /// advance reservation with any planner.
+    pub fn snapshot_window(&self, from: SimTime, to: SimTime) -> AvailabilityView {
+        let mut view = AvailabilityView::new();
+        for broker in self.brokers.values() {
+            view.set(broker.resource(), broker.available_over(from, to));
+        }
+        view
+    }
+
+    /// Books the whole `demand` vector over `[from, to)` for `session`,
+    /// all-or-nothing with rollback.
+    pub fn reserve_all_over(
+        &self,
+        session: SessionId,
+        demand: &ResourceVector,
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<(), ReserveError> {
+        let mut done: Vec<&Arc<TimelineBroker>> = Vec::with_capacity(demand.len());
+        for (id, amount) in demand.iter() {
+            let Some(broker) = self.brokers.get(&id) else {
+                for b in done {
+                    b.cancel(session);
+                }
+                return Err(ReserveError::UnknownResource { resource: id });
+            };
+            if let Err(e) = broker.reserve_over(session, amount, from, to) {
+                for b in done {
+                    b.cancel(session);
+                }
+                return Err(e);
+            }
+            done.push(broker);
+        }
+        Ok(())
+    }
+
+    /// Cancels all of `session`'s bookings across all brokers.
+    pub fn cancel_all(&self, session: SessionId) -> f64 {
+        self.brokers.values().map(|b| b.cancel(session)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: f64) -> SimTime {
+        SimTime::new(x)
+    }
+
+    #[test]
+    fn timeline_max_reserved() {
+        let mut tl = Timeline::new();
+        assert_eq!(tl.max_reserved(t(0.0), t(100.0)), 0.0);
+        tl.add(t(10.0), t(20.0), 5.0);
+        tl.add(t(15.0), t(30.0), 7.0);
+        // [0,10): 0; [10,15): 5; [15,20): 12; [20,30): 7.
+        assert_eq!(tl.max_reserved(t(0.0), t(10.0)), 0.0);
+        assert_eq!(tl.max_reserved(t(0.0), t(12.0)), 5.0);
+        assert_eq!(tl.max_reserved(t(12.0), t(40.0)), 12.0);
+        assert_eq!(tl.max_reserved(t(20.0), t(40.0)), 7.0);
+        assert_eq!(tl.max_reserved(t(30.0), t(40.0)), 0.0);
+        // Point-in-time query at a boundary sees the level at that time.
+        assert_eq!(tl.max_reserved(t(15.0), t(15.0)), 12.0);
+        // Window ending exactly at a rise does not include it.
+        assert_eq!(tl.max_reserved(t(0.0), t(15.0)), 5.0);
+    }
+
+    #[test]
+    fn timeline_remove_and_compact() {
+        let mut tl = Timeline::new();
+        tl.add(t(10.0), t(20.0), 5.0);
+        tl.add(t(30.0), t(40.0), 9.0);
+        tl.remove(t(10.0), t(20.0), 5.0);
+        assert_eq!(tl.max_reserved(t(0.0), t(25.0)), 0.0);
+        assert_eq!(tl.breakpoints(), 2); // only the 30/40 pair remains
+        tl.compact(t(35.0));
+        // Base now carries the level at 30 (+9); breakpoint at 40 kept.
+        assert_eq!(tl.max_reserved(t(35.0), t(39.0)), 9.0);
+        assert_eq!(tl.max_reserved(t(41.0), t(50.0)), 0.0);
+        assert_eq!(tl.breakpoints(), 1);
+    }
+
+    #[test]
+    fn broker_admission_over_windows() {
+        let b = TimelineBroker::new(ResourceId(0), 100.0);
+        let s1 = SessionId(1);
+        // Book 60 for [10, 20).
+        b.reserve_over(s1, 60.0, t(10.0), t(20.0)).unwrap();
+        assert_eq!(b.available_over(t(10.0), t(20.0)), 40.0);
+        assert_eq!(b.available_over(t(20.0), t(30.0)), 100.0);
+        // A 50-unit booking overlapping the window is rejected…
+        let err = b
+            .reserve_over(SessionId(2), 50.0, t(15.0), t(25.0))
+            .unwrap_err();
+        assert!(matches!(err, ReserveError::Insufficient { available, .. } if available == 40.0));
+        // …but fits right after.
+        b.reserve_over(SessionId(2), 50.0, t(20.0), t(25.0))
+            .unwrap();
+        // Cancel frees the window.
+        assert_eq!(b.cancel(s1), 60.0);
+        assert_eq!(b.available_over(t(10.0), t(20.0)), 100.0);
+        assert_eq!(b.cancel(s1), 0.0);
+    }
+
+    #[test]
+    fn broker_rejects_bad_amounts_and_tracks_bookings() {
+        let b = TimelineBroker::new(ResourceId(0), 10.0);
+        for bad in [0.0, -1.0, f64::NAN] {
+            assert!(matches!(
+                b.reserve_over(SessionId(1), bad, t(0.0), t(1.0)),
+                Err(ReserveError::InvalidAmount { .. })
+            ));
+        }
+        b.reserve_over(SessionId(1), 4.0, t(5.0), t(9.0)).unwrap();
+        let bookings = b.bookings_of(SessionId(1));
+        assert_eq!(bookings.len(), 1);
+        assert_eq!(bookings[0].amount, 4.0);
+        b.compact(t(20.0));
+        assert!(b.bookings_of(SessionId(1)).is_empty());
+    }
+
+    #[test]
+    fn registry_atomic_booking() {
+        let mut reg = AdvanceRegistry::new();
+        reg.register(Arc::new(TimelineBroker::new(ResourceId(0), 100.0)));
+        reg.register(Arc::new(TimelineBroker::new(ResourceId(1), 30.0)));
+        let demand =
+            ResourceVector::from_pairs([(ResourceId(0), 50.0), (ResourceId(1), 40.0)]).unwrap();
+        // Resource 1 can never cover 40: all-or-nothing must roll back.
+        let err = reg
+            .reserve_all_over(SessionId(1), &demand, t(0.0), t(10.0))
+            .unwrap_err();
+        assert_eq!(err.resource(), ResourceId(1));
+        assert_eq!(
+            reg.get(ResourceId(0))
+                .unwrap()
+                .available_over(t(0.0), t(10.0)),
+            100.0
+        );
+
+        let demand =
+            ResourceVector::from_pairs([(ResourceId(0), 50.0), (ResourceId(1), 20.0)]).unwrap();
+        reg.reserve_all_over(SessionId(1), &demand, t(0.0), t(10.0))
+            .unwrap();
+        let view = reg.snapshot_window(t(0.0), t(10.0));
+        assert_eq!(view.avail(ResourceId(0)), 50.0);
+        assert_eq!(view.avail(ResourceId(1)), 10.0);
+        // Outside the window everything is free.
+        let view = reg.snapshot_window(t(10.0), t(20.0));
+        assert_eq!(view.avail(ResourceId(0)), 100.0);
+        assert_eq!(reg.cancel_all(SessionId(1)), 70.0);
+    }
+
+    #[test]
+    fn planning_against_a_window_snapshot() {
+        use qosr_core::{plan_basic, Qrg, QrgOptions};
+        use qosr_model::*;
+        use std::sync::Arc as StdArc;
+
+        // One-component service over one resource.
+        let schema = QosSchema::new("q", ["level"]);
+        let v = |x: u32| QosVector::new(schema.clone(), [x]);
+        let comp = ComponentSpec::new(
+            "c",
+            vec![v(0)],
+            vec![v(1), v(2)],
+            vec![SlotSpec::new("cpu", ResourceKind::Compute)],
+            StdArc::new(
+                TableTranslation::builder(1, 2, 1)
+                    .entry(0, 0, [10.0])
+                    .entry(0, 1, [60.0])
+                    .build(),
+            ),
+        );
+        let service = StdArc::new(ServiceSpec::chain("svc", vec![comp], vec![1, 2]).unwrap());
+        let rid = {
+            let mut sp = ResourceSpace::new();
+            sp.register("cpu", ResourceKind::Compute)
+        };
+        let session =
+            SessionInstance::new(service, vec![ComponentBinding::new([rid])], 1.0).unwrap();
+
+        let mut reg = AdvanceRegistry::new();
+        reg.register(Arc::new(TimelineBroker::new(rid, 100.0)));
+        // Pre-book 70 units over [10, 20).
+        reg.get(rid)
+            .unwrap()
+            .reserve_over(SessionId(99), 70.0, t(10.0), t(20.0))
+            .unwrap();
+
+        // Planning for [12, 18): only level 1 fits (60 > 30).
+        let view = reg.snapshot_window(t(12.0), t(18.0));
+        let qrg = Qrg::build(&session, &view, &QrgOptions::default());
+        assert_eq!(plan_basic(&qrg).unwrap().rank, 1);
+        // Planning for [20, 30): level 2 fits.
+        let view = reg.snapshot_window(t(20.0), t(30.0));
+        let qrg = Qrg::build(&session, &view, &QrgOptions::default());
+        let plan = plan_basic(&qrg).unwrap();
+        assert_eq!(plan.rank, 2);
+        // Book it.
+        reg.reserve_all_over(SessionId(1), &plan.total_demand(), t(20.0), t(30.0))
+            .unwrap();
+        assert_eq!(reg.get(rid).unwrap().available_over(t(20.0), t(30.0)), 40.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! The Resource Broker abstraction (§3).
+
+use crate::{ReserveError, SessionId, SimTime};
+use qosr_model::ResourceId;
+
+/// One availability report, as returned to a querying QoSProxy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrokerReport {
+    /// Currently available (unreserved) amount `r^avail` — or, for stale
+    /// observations, the amount that was available at the observation
+    /// time.
+    pub avail: f64,
+    /// The *Availability Change Index* `α = r^avail / r^avail_avg`
+    /// (eq. 5): the reported availability relative to the average of the
+    /// reports over the broker's sliding window `T`. `α ≥ 1` means the
+    /// trend is up or flat; `α < 1` means down. `1.0` when the broker has
+    /// no report history yet.
+    pub alpha: f64,
+}
+
+/// A Resource Broker: makes, enforces, and cancels reservations for one
+/// resource, and reports its availability (§3).
+///
+/// The trait's operations mirror the paper's list — *"(1) reporting
+/// current availability of the corresponding resource, (2) making and
+/// enforcing reservations for this resource, and (3) terminating or
+/// canceling reservations"* — plus the time-travel query
+/// [`Broker::available_at`] needed by the observation-inaccuracy
+/// experiment (§5.2.4).
+pub trait Broker: Send + Sync {
+    /// The resource this broker manages.
+    fn resource(&self) -> ResourceId;
+
+    /// The resource's total (reservable) capacity.
+    fn capacity(&self) -> f64;
+
+    /// Currently available (unreserved) amount.
+    fn available(&self) -> f64;
+
+    /// The amount that was available at time `t`, reconstructed from the
+    /// broker's availability change log. Falls back to the oldest logged
+    /// value for times before the log horizon.
+    fn available_at(&self, t: SimTime) -> f64;
+
+    /// Reports availability as observed at `observed_at` (≤ `now`),
+    /// updating the α window with the reported value. Pass
+    /// `observed_at == now` for an accurate, current observation; earlier
+    /// times model observation inaccuracy (§5.2.4).
+    fn report_observed(&self, now: SimTime, observed_at: SimTime) -> BrokerReport;
+
+    /// Reports current availability (an accurate observation at `now`).
+    fn report(&self, now: SimTime) -> BrokerReport {
+        self.report_observed(now, now)
+    }
+
+    /// Reserves `amount` for `session`, enforcing `amount ≤ available()`.
+    /// Reserving again for the same session accumulates.
+    fn reserve(&self, session: SessionId, amount: f64, now: SimTime) -> Result<(), ReserveError>;
+
+    /// Releases everything held by `session`, returning the released
+    /// amount (0 when the session held nothing).
+    fn release(&self, session: SessionId, now: SimTime) -> f64;
+
+    /// Releases up to `amount` of `session`'s holding (partial
+    /// cancellation), returning the amount actually released. Needed by
+    /// composite brokers (e.g. end-to-end network paths) whose rollback
+    /// must not disturb the session's other reservations on a shared
+    /// underlying resource.
+    fn release_amount(&self, session: SessionId, amount: f64, now: SimTime) -> f64;
+
+    /// Amount currently reserved for `session`.
+    fn reserved_for(&self, session: SessionId) -> f64;
+}

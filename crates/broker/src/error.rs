@@ -1,0 +1,135 @@
+//! Runtime errors for brokers and session establishment.
+
+use qosr_core::PlanError;
+use qosr_model::ResourceId;
+use std::fmt;
+
+/// A reservation attempt was rejected by a broker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReserveError {
+    /// Not enough unreserved capacity at reservation time. This is the
+    /// failure mode the paper's success-rate metric counts: under
+    /// inaccurate (stale) observations a plan may be computed against
+    /// availability that no longer exists.
+    Insufficient {
+        /// The resource that rejected the reservation.
+        resource: ResourceId,
+        /// Amount requested.
+        requested: f64,
+        /// Amount actually available at reservation time.
+        available: f64,
+    },
+    /// The requested amount was non-finite or not positive.
+    InvalidAmount {
+        /// The resource addressed.
+        resource: ResourceId,
+        /// The offending amount.
+        amount: f64,
+    },
+    /// No broker is registered for the resource.
+    UnknownResource {
+        /// The unregistered resource.
+        resource: ResourceId,
+    },
+}
+
+impl ReserveError {
+    /// The resource the error concerns.
+    pub fn resource(&self) -> ResourceId {
+        match *self {
+            ReserveError::Insufficient { resource, .. }
+            | ReserveError::InvalidAmount { resource, .. }
+            | ReserveError::UnknownResource { resource } => resource,
+        }
+    }
+}
+
+impl fmt::Display for ReserveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReserveError::Insufficient {
+                resource,
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient {resource}: requested {requested}, available {available}"
+            ),
+            ReserveError::InvalidAmount { resource, amount } => {
+                write!(f, "invalid amount {amount} for {resource}")
+            }
+            ReserveError::UnknownResource { resource } => {
+                write!(f, "no broker registered for {resource}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReserveError {}
+
+/// Failure of the end-to-end session establishment protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstablishError {
+    /// The planner found no feasible end-to-end plan (or the DAG
+    /// heuristic failed).
+    Plan(PlanError),
+    /// A broker rejected its segment of the plan during dispatch; all
+    /// previously reserved segments have been rolled back.
+    Reserve(ReserveError),
+}
+
+impl fmt::Display for EstablishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstablishError::Plan(e) => write!(f, "planning failed: {e}"),
+            EstablishError::Reserve(e) => write!(f, "reservation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EstablishError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EstablishError::Plan(e) => Some(e),
+            EstablishError::Reserve(e) => Some(e),
+        }
+    }
+}
+
+impl From<PlanError> for EstablishError {
+    fn from(e: PlanError) -> Self {
+        EstablishError::Plan(e)
+    }
+}
+
+impl From<ReserveError> for EstablishError {
+    fn from(e: ReserveError) -> Self {
+        EstablishError::Reserve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_accessors() {
+        let e = ReserveError::Insufficient {
+            resource: ResourceId(3),
+            requested: 10.0,
+            available: 4.0,
+        };
+        assert_eq!(e.resource(), ResourceId(3));
+        assert!(e.to_string().contains("r3"));
+
+        let est: EstablishError = e.into();
+        assert!(est.to_string().contains("reservation failed"));
+        assert!(std::error::Error::source(&est).is_some());
+
+        let est: EstablishError = PlanError::NoFeasiblePlan.into();
+        assert!(matches!(
+            est,
+            EstablishError::Plan(PlanError::NoFeasiblePlan)
+        ));
+    }
+}

@@ -1,0 +1,48 @@
+//! # qosr-broker — the reservation-enabled runtime (§3)
+//!
+//! The paper assumes a *fully reservation-enabled environment*: every
+//! resource type has a **Resource Broker** that can (1) report current
+//! availability, (2) make and enforce reservations, and (3) terminate or
+//! cancel them. A **QoSProxy** per end host coordinates: the main
+//! QoSProxy collects availability from all participants, runs the
+//! planning algorithm (from `qosr-core`), and dispatches the plan's
+//! segments back to the participating proxies for actual reservation.
+//!
+//! This crate provides:
+//!
+//! * [`SimTime`] — the simulated clock (the paper's "time units");
+//! * [`Broker`] — the resource-broker trait, with availability reports
+//!   carrying the *Availability Change Index* α of §4.3.1 (eq. 5) and a
+//!   change log supporting "availability as observed `e` time units ago"
+//!   queries (the observation-inaccuracy experiment, §5.2.4);
+//! * [`LocalBroker`] — brokers for host-local resources (CPU, memory,
+//!   disk I/O bandwidth);
+//! * [`BrokerRegistry`] — the directory of all brokers, producing fresh
+//!   or deliberately stale [`qosr_core::AvailabilityView`] snapshots and
+//!   offering all-or-nothing multi-resource reservation with rollback;
+//! * [`QosProxy`] and [`Coordinator`] — the per-host proxies and the
+//!   three-phase session-establishment protocol (collect → compute →
+//!   dispatch) with message accounting (§4.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod advance;
+mod alpha;
+mod broker;
+mod error;
+mod local;
+mod proxy;
+mod registry;
+mod time;
+
+pub use advance::{AdvanceRegistry, Booking, Timeline, TimelineBroker};
+pub use alpha::AlphaWindow;
+pub use broker::{Broker, BrokerReport};
+pub use error::{EstablishError, ReserveError};
+pub use local::{LocalBroker, LocalBrokerConfig};
+pub use proxy::{
+    Coordinator, EstablishOptions, EstablishedSession, MessageStats, ObservationPolicy, QosProxy,
+};
+pub use registry::BrokerRegistry;
+pub use time::{SessionId, SimTime};

@@ -1,0 +1,134 @@
+//! Simulated time and session identifiers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in the paper's *time units* (TU).
+///
+/// Backed by `f64` (Poisson arrivals are continuous) but guaranteed
+/// finite, which makes the total order safe; `Ord` is implemented so
+/// `SimTime` can key event queues directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point.
+    ///
+    /// # Panics
+    /// Panics on non-finite input.
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite(), "SimTime must be finite, got {t}");
+        SimTime(t)
+    }
+
+    /// The raw value in time units.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Elapsed time units since `earlier` (may be negative).
+    pub fn since(self, earlier: SimTime) -> f64 {
+        self.0 - earlier.0
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, dt: f64) -> SimTime {
+        SimTime::new(self.0 + dt)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, dt: f64) {
+        *self = *self + dt;
+    }
+}
+
+impl Sub<f64> for SimTime {
+    type Output = SimTime;
+    fn sub(self, dt: f64) -> SimTime {
+        SimTime::new(self.0 - dt)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}tu", self.0)
+    }
+}
+
+/// Identifies one service session across brokers and proxies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_order() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + 5.0;
+        assert_eq!(t1.value(), 5.0);
+        assert!(t1 > t0);
+        assert_eq!(t1.since(t0), 5.0);
+        assert_eq!((t1 - 2.0).value(), 3.0);
+        let mut t = t0;
+        t += 1.5;
+        assert_eq!(t.value(), 1.5);
+        assert_eq!(t0.min(t1), t0);
+        assert_eq!(t0.max(t1), t1);
+        assert_eq!(t1.to_string(), "5.000tu");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    fn ord_is_total() {
+        let mut v = [SimTime::new(3.0), SimTime::new(-1.0), SimTime::new(2.0)];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|t| t.value()).collect::<Vec<_>>(),
+            vec![-1.0, 2.0, 3.0]
+        );
+    }
+}

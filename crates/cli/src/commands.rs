@@ -1,0 +1,260 @@
+//! The CLI commands, exposed as functions so they can be tested without
+//! spawning a process.
+
+use crate::dto::{CompiledScenario, Scenario, ScenarioError};
+use qosr_core::{
+    plan_basic, plan_dag, plan_random, plan_tradeoff, relax, Qrg, QrgOptions, ReservationPlan,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write;
+use std::path::Path;
+
+/// Which planner the `plan` command runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerChoice {
+    /// The basic algorithm (chains only).
+    #[default]
+    Basic,
+    /// The tradeoff policy.
+    Tradeoff,
+    /// The contention-unaware baseline (chains only).
+    Random,
+    /// The two-pass heuristic (chains and DAGs).
+    Dag,
+}
+
+impl PlannerChoice {
+    /// Parses a `--planner` value.
+    pub fn parse(s: &str) -> Option<PlannerChoice> {
+        Some(match s {
+            "basic" => PlannerChoice::Basic,
+            "tradeoff" => PlannerChoice::Tradeoff,
+            "random" => PlannerChoice::Random,
+            "dag" => PlannerChoice::Dag,
+            _ => None?,
+        })
+    }
+}
+
+fn compile(path: &Path) -> Result<(Scenario, CompiledScenario), ScenarioError> {
+    compile_with(path, &[])
+}
+
+/// Compiles a scenario, applying `name=value` availability overrides.
+fn compile_with(
+    path: &Path,
+    overrides: &[(String, f64)],
+) -> Result<(Scenario, CompiledScenario), ScenarioError> {
+    let scenario = Scenario::load(path)?;
+    let mut compiled = scenario.compile()?;
+    for (name, value) in overrides {
+        let rid = compiled.space.id(name).ok_or_else(|| {
+            ScenarioError::Invalid(format!("--avail references unknown resource {name:?}"))
+        })?;
+        let alpha = compiled.view.alpha(rid);
+        compiled.view.set_with_alpha(rid, *value, alpha);
+    }
+    Ok((scenario, compiled))
+}
+
+/// `validate`: parse + compile, then summarize the scenario.
+pub fn validate(path: &Path) -> Result<String, ScenarioError> {
+    let (scenario, compiled) = compile(path)?;
+    let service = compiled.session.service();
+    let mut out = String::new();
+    let _ = writeln!(out, "scenario {:?}: OK", scenario.name);
+    let _ = writeln!(
+        out,
+        "  {} components, {} resources, dependency graph is a {}",
+        service.components().len(),
+        compiled.space.len(),
+        if service.graph().is_chain() {
+            "chain"
+        } else {
+            "DAG"
+        },
+    );
+    for (c, comp) in service.components().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  [{c}] {:<16} {} input / {} output levels, {} slots, {} feasible pairs",
+            comp.name(),
+            comp.input_levels().len(),
+            comp.output_levels().len(),
+            comp.slots().len(),
+            (0..comp.input_levels().len())
+                .flat_map(|i| (0..comp.output_levels().len()).map(move |o| (i, o)))
+                .filter(|&(i, o)| comp.translate(i, o).is_some())
+                .count(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  end-to-end levels ranked best-first: {:?}",
+        service.sink_rank_order()
+    );
+    Ok(out)
+}
+
+/// `plan`: compute and pretty-print the reservation plan.
+pub fn plan(path: &Path, planner: PlannerChoice, seed: u64) -> Result<String, ScenarioError> {
+    plan_with_overrides(path, planner, seed, &[])
+}
+
+/// `plan` with `name=value` availability overrides (`--avail`).
+pub fn plan_with_overrides(
+    path: &Path,
+    planner: PlannerChoice,
+    seed: u64,
+    overrides: &[(String, f64)],
+) -> Result<String, ScenarioError> {
+    let (_, compiled) = compile_with(path, overrides)?;
+    let qrg = Qrg::build(&compiled.session, &compiled.view, &QrgOptions::default());
+    let result: Result<ReservationPlan, _> = match planner {
+        PlannerChoice::Basic => plan_basic(&qrg),
+        PlannerChoice::Tradeoff => plan_tradeoff(&qrg),
+        PlannerChoice::Random => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            plan_random(&qrg, &mut rng)
+        }
+        PlannerChoice::Dag => plan_dag(&qrg),
+    };
+    let plan = result.map_err(|e| ScenarioError::Invalid(format!("planning failed: {e}")))?;
+
+    let service = compiled.session.service();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "end-to-end QoS: {} (rank {} of {})",
+        plan.end_to_end,
+        plan.rank,
+        service.sink_ranking().len()
+    );
+    for a in &plan.assignments {
+        let comp = service.component(a.component);
+        let _ = writeln!(
+            out,
+            "  {:<16} {} -> {}",
+            comp.name(),
+            comp.input_levels()[a.qin],
+            comp.output_levels()[a.qout]
+        );
+        for (rid, amount) in a.demand.iter() {
+            let _ = writeln!(
+                out,
+                "    reserve {amount:>8.2} of {}",
+                compiled.space.name(rid)
+            );
+        }
+    }
+    let _ = writeln!(out, "bottleneck Ψ = {:.4}", plan.psi);
+    if let Some(b) = plan.bottleneck {
+        let _ = writeln!(
+            out,
+            "  on {} (ψ = {:.4}, α = {:.2})",
+            compiled.space.name(b.resource),
+            b.psi,
+            b.alpha
+        );
+    }
+    Ok(out)
+}
+
+/// `explain`: show what the minimax relaxation sees — every end-to-end
+/// level's reachability and bottleneck index ψ, best level first — then
+/// the plan that would be committed.
+pub fn explain(path: &Path, overrides: &[(String, f64)]) -> Result<String, ScenarioError> {
+    let (_, compiled) = compile_with(path, overrides)?;
+    let qrg = Qrg::build(&compiled.session, &compiled.view, &QrgOptions::default());
+    let relaxation = relax(&qrg);
+    let service = compiled.session.service();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "end-to-end levels (best first):");
+    for level in service.sink_rank_order() {
+        let node = qrg.sink_node(level);
+        let lvl = &service.end_to_end_levels()[level];
+        if relaxation.reachable(node) {
+            let _ = writeln!(
+                out,
+                "  {lvl}  reachable, bottleneck ψ = {:.4}",
+                relaxation.dist[node]
+            );
+        } else {
+            let _ = writeln!(out, "  {lvl}  UNREACHABLE under current availability");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} of {} (Q^in, Q^out) pairs feasible across {} components",
+        qrg.n_translation_edges(),
+        service
+            .components()
+            .iter()
+            .map(|c| c.input_levels().len() * c.output_levels().len())
+            .sum::<usize>(),
+        service.components().len(),
+    );
+    match plan_dag(&qrg) {
+        Ok(plan) => {
+            let _ = writeln!(
+                out,
+                "committed plan: {} at Ψ = {:.4}",
+                plan.end_to_end, plan.psi
+            );
+            if let Some(b) = plan.bottleneck {
+                let _ = writeln!(
+                    out,
+                    "  bottleneck {} (ψ = {:.4}, α = {:.2})",
+                    compiled.space.name(b.resource),
+                    b.psi,
+                    b.alpha
+                );
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "no plan: {e}");
+        }
+    }
+    Ok(out)
+}
+
+/// `dot`: emit the QRG in Graphviz format.
+pub fn dot(path: &Path) -> Result<String, ScenarioError> {
+    let (_, compiled) = compile(path)?;
+    let qrg = Qrg::build(&compiled.session, &compiled.view, &QrgOptions::default());
+    Ok(qrg.to_dot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scenario_file() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/clip.json")
+    }
+
+    #[test]
+    fn planner_choice_parses() {
+        assert_eq!(PlannerChoice::parse("basic"), Some(PlannerChoice::Basic));
+        assert_eq!(PlannerChoice::parse("dag"), Some(PlannerChoice::Dag));
+        assert_eq!(PlannerChoice::parse("nope"), None);
+    }
+
+    #[test]
+    fn commands_run_on_the_sample_scenario() {
+        let path = scenario_file();
+        let v = validate(&path).unwrap();
+        assert!(v.contains("OK"));
+        assert!(v.contains("encoder"));
+
+        let p = plan(&path, PlannerChoice::Basic, 1).unwrap();
+        assert!(p.contains("end-to-end QoS"));
+        assert!(p.contains("reserve"));
+
+        let d = dot(&path).unwrap();
+        assert!(d.starts_with("digraph qrg {"));
+    }
+}

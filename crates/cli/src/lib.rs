@@ -1,0 +1,23 @@
+//! # qosr-cli — JSON scenario front end
+//!
+//! Lets users describe a distributed service, its resources, and the
+//! current availability in one JSON file and plan reservations from the
+//! command line:
+//!
+//! ```sh
+//! qosr validate scenario.json       # parse + structural validation
+//! qosr plan scenario.json           # compute the reservation plan
+//! qosr plan scenario.json --planner tradeoff
+//! qosr dot scenario.json > qrg.dot  # Graphviz rendering of the QRG
+//! ```
+//!
+//! See [`dto`] for the file format and `examples/data/*.json` for
+//! complete scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod dto;
+
+pub use dto::{Scenario, ScenarioError};

@@ -1,0 +1,108 @@
+//! `qosr` — plan end-to-end multi-resource reservations from JSON
+//! scenario files.
+//!
+//! ```text
+//! qosr validate <scenario.json>
+//! qosr plan <scenario.json> [--planner basic|tradeoff|random|dag] [--seed N]
+//! qosr dot <scenario.json>
+//! ```
+
+use qosr_cli::commands::{dot, explain, plan_with_overrides, validate, PlannerChoice};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  qosr validate <scenario.json>
+  qosr plan <scenario.json> [--planner basic|tradeoff|random|dag] [--seed N] [--avail name=value]...
+  qosr explain <scenario.json> [--avail name=value]...
+  qosr dot <scenario.json>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command: Option<String> = None;
+    let mut file: Option<PathBuf> = None;
+    let mut planner = PlannerChoice::Basic;
+    let mut seed = 0u64;
+    let mut overrides: Vec<(String, f64)> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--planner" => {
+                i += 1;
+                match args.get(i).and_then(|s| PlannerChoice::parse(s)) {
+                    Some(p) => planner = p,
+                    None => {
+                        eprintln!("invalid --planner value\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--avail" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|s| {
+                    let (name, value) = s.split_once('=')?;
+                    Some((name.to_owned(), value.parse().ok()?))
+                });
+                match parsed {
+                    Some(kv) => overrides.push(kv),
+                    None => {
+                        eprintln!("invalid --avail (expected name=value)\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => seed = s,
+                    None => {
+                        eprintln!("invalid --seed value\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            word if !word.starts_with('-') => {
+                if command.is_none() {
+                    command = Some(word.to_owned());
+                } else if file.is_none() {
+                    file = Some(word.into());
+                } else {
+                    eprintln!("unexpected argument {word:?}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let (Some(command), Some(file)) = (command, file) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let result = match command.as_str() {
+        "validate" => validate(&file),
+        "plan" => plan_with_overrides(&file, planner, seed, &overrides),
+        "explain" => explain(&file, &overrides),
+        "dot" => dot(&file),
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

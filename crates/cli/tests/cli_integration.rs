@@ -1,0 +1,76 @@
+//! End-to-end tests of the CLI commands over the checked-in scenario
+//! files.
+
+use qosr_cli::commands::{dot, plan, validate, PlannerChoice};
+use std::path::PathBuf;
+
+fn data(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(file)
+}
+
+#[test]
+fn video_tracking_scenario_plans_around_the_bottleneck() {
+    let path = data("video_tracking.json");
+    let summary = validate(&path).unwrap();
+    assert!(summary.contains("3 components"));
+    assert!(summary.contains("chain"));
+
+    // The server->proxy path has only 26 units: the native high-quality
+    // feed (24 in + intrapolation unavailable at that grade) forces the
+    // planner to weigh intrapolation at the tracker (26 CPU, 12 bw)
+    // against the heavy stream (16 CPU, 24 bw). Both reach the top
+    // end-to-end level; the minimax plan picks the lower-psi one.
+    let out = plan(&path, PlannerChoice::Basic, 0).unwrap();
+    assert!(out.contains("rank 3 of 3"), "{out}");
+    // Bottleneck must be reported with its resource name.
+    assert!(out.contains("bottleneck"));
+
+    let dot_out = dot(&path).unwrap();
+    assert!(dot_out.contains("VideoSender"));
+    assert!(dot_out.contains("digraph"));
+}
+
+#[test]
+fn all_planners_run_on_the_simple_scenario() {
+    let path = data("clip.json");
+    for p in [
+        PlannerChoice::Basic,
+        PlannerChoice::Tradeoff,
+        PlannerChoice::Random,
+        PlannerChoice::Dag,
+    ] {
+        let out = plan(&path, p, 7).unwrap();
+        assert!(out.contains("end-to-end QoS"), "{p:?}: {out}");
+    }
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    let err = validate(&data("nope.json")).unwrap_err();
+    assert!(err.to_string().contains("I/O error"));
+}
+
+#[test]
+fn explain_and_overrides() {
+    use qosr_cli::commands::{explain, plan_with_overrides};
+    let path = data("video_tracking.json");
+    // Baseline: top level reachable.
+    let out = explain(&path, &[]).unwrap();
+    assert!(out.contains("reachable"));
+    assert!(out.contains("committed plan"));
+
+    // Starve the proxy CPU: the top levels become unreachable.
+    let overrides = vec![("proxy.cpu".to_owned(), 6.0)];
+    let out = explain(&path, &overrides).unwrap();
+    assert!(out.contains("UNREACHABLE"), "{out}");
+
+    // plan honours the same override.
+    let out = plan_with_overrides(&path, PlannerChoice::Basic, 0, &overrides).unwrap();
+    assert!(out.contains("frame_rate=15"), "{out}");
+
+    // Unknown override name is a clear error.
+    let err = explain(&path, &[("nope".to_owned(), 1.0)]).unwrap_err();
+    assert!(err.to_string().contains("nope"));
+}

@@ -1,0 +1,130 @@
+//! Snapshots of end-to-end resource availability.
+
+use qosr_model::ResourceId;
+use std::collections::HashMap;
+
+/// A snapshot of resource availability (and availability trend) at plan
+/// time, as collected by the main QoSProxy from the Resource Brokers of
+/// all participating hosts (§3).
+///
+/// Each entry carries:
+/// * `avail` — the currently available (unreserved) amount `r^avail`;
+/// * `alpha` — the *Availability Change Index* `α = r^avail /
+///   r^avail_avg` of §4.3.1 (eq. 5), reported by the broker; `α ≥ 1`
+///   means the availability trend is up or unchanged, `α < 1` down.
+///
+/// Resources absent from the view are treated as having **zero**
+/// availability: a planner must never reserve a resource it has no
+/// observation for.
+#[derive(Debug, Clone, Default)]
+pub struct AvailabilityView {
+    entries: HashMap<ResourceId, (f64, f64)>,
+}
+
+impl AvailabilityView {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records availability for `id` with a neutral trend (`α = 1`).
+    pub fn set(&mut self, id: ResourceId, avail: f64) {
+        self.set_with_alpha(id, avail, 1.0);
+    }
+
+    /// Records availability and availability-change index for `id`.
+    pub fn set_with_alpha(&mut self, id: ResourceId, avail: f64, alpha: f64) {
+        self.entries.insert(id, (avail, alpha));
+    }
+
+    /// Observed availability of `id`; zero when unobserved.
+    pub fn avail(&self, id: ResourceId) -> f64 {
+        self.entries.get(&id).map_or(0.0, |&(a, _)| a)
+    }
+
+    /// Observed availability-change index of `id`; `1.0` (no trend) when
+    /// unobserved.
+    pub fn alpha(&self, id: ResourceId) -> f64 {
+        self.entries.get(&id).map_or(1.0, |&(_, al)| al)
+    }
+
+    /// `true` if the view carries an observation for `id`.
+    pub fn contains(&self, id: ResourceId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Number of observed resources.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no resources are observed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(resource, avail, alpha)` observations in
+    /// unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceId, f64, f64)> + '_ {
+        self.entries.iter().map(|(&id, &(a, al))| (id, a, al))
+    }
+
+    /// Builds a view by probing `avail` (with neutral α) for each id.
+    pub fn from_fn(
+        ids: impl IntoIterator<Item = ResourceId>,
+        mut avail: impl FnMut(ResourceId) -> f64,
+    ) -> Self {
+        let mut view = AvailabilityView::new();
+        for id in ids {
+            let a = avail(id);
+            view.set(id, a);
+        }
+        view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(i: u32) -> ResourceId {
+        ResourceId(i)
+    }
+
+    #[test]
+    fn defaults_for_unobserved() {
+        let view = AvailabilityView::new();
+        assert_eq!(view.avail(rid(0)), 0.0);
+        assert_eq!(view.alpha(rid(0)), 1.0);
+        assert!(!view.contains(rid(0)));
+        assert!(view.is_empty());
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut view = AvailabilityView::new();
+        view.set(rid(1), 100.0);
+        view.set_with_alpha(rid(2), 50.0, 0.8);
+        assert_eq!(view.avail(rid(1)), 100.0);
+        assert_eq!(view.alpha(rid(1)), 1.0);
+        assert_eq!(view.avail(rid(2)), 50.0);
+        assert_eq!(view.alpha(rid(2)), 0.8);
+        assert_eq!(view.len(), 2);
+        // Overwrite.
+        view.set_with_alpha(rid(1), 70.0, 1.2);
+        assert_eq!(view.avail(rid(1)), 70.0);
+        assert_eq!(view.alpha(rid(1)), 1.2);
+        assert_eq!(view.len(), 2);
+    }
+
+    #[test]
+    fn from_fn_probes_all() {
+        let view = AvailabilityView::from_fn([rid(0), rid(3)], |id| id.0 as f64 * 10.0);
+        assert_eq!(view.avail(rid(0)), 0.0);
+        assert!(view.contains(rid(0)));
+        assert_eq!(view.avail(rid(3)), 30.0);
+        let mut seen: Vec<_> = view.iter().map(|(id, a, _)| (id, a)).collect();
+        seen.sort_by_key(|&(id, _)| id);
+        assert_eq!(seen, vec![(rid(0), 0.0), (rid(3), 30.0)]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Pass II: backtracking the relaxation to assemble the reservation plan
+//! (§4.1.2 for chains; §4.3.2 Pass II, including local fan-out
+//! non-convergence resolution, for DAGs).
+//!
+//! Starting from the chosen sink node, components are visited in reverse
+//! topological order. Each component's output level is dictated by the
+//! input levels its successors selected; when the successors of a
+//! *fan-out* component disagree (the paper's non-convergence case,
+//! fig. 8), the conflict is resolved **locally**: the successors' already
+//! backtracked `Q^out` levels stay fixed, and the fan-out component's
+//! `Q^out` is re-selected as the level that reaches all of them with the
+//! lowest maximum edge contention Ψ. The input level of each component
+//! then follows the Pass-I predecessor edge of its (possibly re-selected)
+//! output node.
+
+use crate::{EdgeKind, PlanError, Qrg, Relaxation};
+
+/// One component's selected levels and the QRG translation edge realizing
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Assignment {
+    pub component: usize,
+    pub qin: usize,
+    pub qout: usize,
+    pub edge: u32,
+}
+
+/// Backtracks from sink output level `target_level`, producing one
+/// assignment per component (in component-index order).
+///
+/// Fails with [`PlanError::BacktrackFailed`] when the fan-out resolution
+/// cannot find a converging output level — the documented limitation (1)
+/// of the DAG heuristic. Never fails on chain graphs whose target sink is
+/// reachable.
+pub(crate) fn backtrack(
+    qrg: &Qrg,
+    relax: &Relaxation,
+    target_level: usize,
+) -> Result<Vec<Assignment>, PlanError> {
+    let service = qrg.session().service().clone();
+    let graph = service.graph();
+    let k = service.components().len();
+    let sink = graph.sink();
+
+    let mut chosen_in: Vec<Option<usize>> = vec![None; k];
+    let mut chosen_out: Vec<Option<usize>> = vec![None; k];
+
+    let fail = || PlanError::BacktrackFailed {
+        sink_level: target_level,
+    };
+
+    for &c in graph.topo_order().iter().rev() {
+        // 1. Determine c's output level from its successors (or the
+        //    target, for the sink component).
+        let out_level = if c == sink {
+            target_level
+        } else {
+            let succs = graph.succs(c);
+            let wanted: Vec<usize> = succs
+                .iter()
+                .map(|&s| {
+                    let i = chosen_in[s].expect("successor processed before predecessor");
+                    let pos = graph.preds(s).iter().position(|&p| p == c).unwrap();
+                    service.link(s, i)[pos]
+                })
+                .collect();
+            if wanted.windows(2).all(|w| w[0] == w[1]) {
+                wanted[0]
+            } else {
+                resolve_fan_out(qrg, relax, c, &chosen_out, &mut chosen_in).ok_or_else(fail)?
+            }
+        };
+
+        let out_node = qrg.out_node(c, out_level);
+        if !relax.reachable(out_node) {
+            return Err(fail());
+        }
+        // 2. Follow the Pass-I predecessor edge to fix c's input level.
+        let edge_id = relax.pred[out_node].ok_or_else(fail)?;
+        let EdgeKind::Translation { qin, .. } = qrg.edge(edge_id).kind else {
+            unreachable!("Q^out predecessors are always translation edges");
+        };
+        chosen_out[c] = Some(out_level);
+        chosen_in[c] = Some(qin);
+    }
+
+    // Re-derive each component's plan edge: fan-out resolution may have
+    // replaced a successor's input level after its pass was done.
+    let mut assignments = Vec::with_capacity(k);
+    for c in 0..k {
+        let (qin, qout) = (chosen_in[c].unwrap(), chosen_out[c].unwrap());
+        let edge = qrg.translation_edge(c, qin, qout).ok_or_else(fail)?;
+        assignments.push(Assignment {
+            component: c,
+            qin,
+            qout,
+            edge,
+        });
+    }
+    Ok(assignments)
+}
+
+/// Resolves fan-out non-convergence at component `c` (§4.3.2): fixes the
+/// successors' backtracked output levels and picks the output level of
+/// `c` that reaches all of them feasibly with minimal max edge Ψ. On
+/// success, rewrites the successors' chosen input levels and returns the
+/// selected output level of `c`.
+fn resolve_fan_out(
+    qrg: &Qrg,
+    relax: &Relaxation,
+    c: usize,
+    chosen_out: &[Option<usize>],
+    chosen_in: &mut [Option<usize>],
+) -> Option<usize> {
+    let service = qrg.session().service().clone();
+    let graph = service.graph();
+    let succs = graph.succs(c);
+    let n_out = service.component(c).output_levels().len();
+
+    // Best candidate so far, plus the successor input-level rewrites it
+    // implies.
+    type Candidate = (f64, f64, usize, Vec<(usize, usize)>); // (cost, dist, o, picks)
+    let mut best: Option<Candidate> = None;
+
+    for o in 0..n_out {
+        let out_node = qrg.out_node(c, o);
+        if !relax.reachable(out_node) {
+            continue;
+        }
+        let mut cost = 0.0f64;
+        let mut picks: Vec<(usize, usize)> = Vec::with_capacity(succs.len());
+        let mut feasible = true;
+        for &s in succs {
+            let fixed_out = chosen_out[s].expect("successor processed before predecessor");
+            let pos_c = graph.preds(s).iter().position(|&p| p == c).unwrap();
+            // The best feasible input level of s that is fed by o, agrees
+            // with every already-decided predecessor of s, and has a
+            // feasible translation edge to s's fixed output.
+            let mut best_i: Option<(f64, usize)> = None;
+            for i in 0..service.component(s).input_levels().len() {
+                let link = service.link(s, i);
+                if link[pos_c] != o {
+                    continue;
+                }
+                let conflicts = graph
+                    .preds(s)
+                    .iter()
+                    .enumerate()
+                    .any(|(kk, &p)| p != c && chosen_out[p].is_some_and(|po| link[kk] != po));
+                if conflicts || !relax.reachable(qrg.in_node(s, i)) {
+                    continue;
+                }
+                let Some(e) = qrg.translation_edge(s, i, fixed_out) else {
+                    continue;
+                };
+                let w = qrg.edge(e).weight;
+                if best_i.is_none_or(|(bw, _)| w < bw) {
+                    best_i = Some((w, i));
+                }
+            }
+            match best_i {
+                Some((w, i)) => {
+                    cost = cost.max(w);
+                    picks.push((s, i));
+                }
+                None => {
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if !feasible {
+            continue;
+        }
+        let d = relax.dist[out_node];
+        let better = match best.as_ref() {
+            None => true,
+            Some(&(bc, bd, bo, ref _picks)) => {
+                cost < bc || (cost == bc && (d < bd || (d == bd && o < bo)))
+            }
+        };
+        if better {
+            best = Some((cost, d, o, picks));
+        }
+    }
+
+    let (_, _, o, picks) = best?;
+    for (s, i) in picks {
+        chosen_in[s] = Some(i);
+    }
+    Some(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relax::relax;
+    use crate::test_fixtures::*;
+
+    #[test]
+    fn chain_backtrack_follows_predecessors() {
+        let fx = ChainFixture::paper_like();
+        let qrg = fx.qrg_with_avail(100.0);
+        let r = relax(&qrg);
+        // Target the top level p (index 2); expected plan (see fixture
+        // docs): c_S -> c (qout 1), c_P c->h (qin 1, qout 3), c_C h->p.
+        let asg = backtrack(&qrg, &r, 2).unwrap();
+        assert_eq!(asg.len(), 3);
+        assert_eq!((asg[0].qin, asg[0].qout), (0, 1));
+        assert_eq!((asg[1].qin, asg[1].qout), (1, 3));
+        assert_eq!((asg[2].qin, asg[2].qout), (3, 2));
+    }
+
+    #[test]
+    fn dag_fan_out_resolution() {
+        let fx = DagFixture::diamond();
+        let qrg = fx.qrg_with_avail(100.0);
+        let r = relax(&qrg);
+        let asg = backtrack(&qrg, &r, 1).unwrap();
+        // Non-convergence at the source is resolved to output level 1
+        // (grade 2), forcing a to take input 1 even though its Pass-I
+        // predecessor was input 0.
+        assert_eq!((asg[0].qin, asg[0].qout), (0, 1));
+        assert_eq!((asg[1].qin, asg[1].qout), (1, 1));
+        assert_eq!((asg[2].qin, asg[2].qout), (1, 1));
+        assert_eq!((asg[3].qin, asg[3].qout), (1, 1));
+    }
+
+    #[test]
+    fn backtrack_fails_when_no_convergence_possible() {
+        let fx = DagFixture::non_convergent();
+        let qrg = fx.qrg_with_avail(100.0);
+        let r = relax(&qrg);
+        // Pass I reaches the top sink, but no single source output level
+        // can feed both branches' fixed outputs.
+        assert!(r.reachable(qrg.sink_node(1)));
+        assert_eq!(
+            backtrack(&qrg, &r, 1),
+            Err(PlanError::BacktrackFailed { sink_level: 1 })
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! # qosr-core — end-to-end multi-resource reservation planning
+//!
+//! This crate implements section 4 of *"QoS and Contention-Aware
+//! Multi-Resource Reservation"* (Xu, Nahrstedt, Wichadakul; HPDC 2000) —
+//! the paper's main contribution:
+//!
+//! 1. **QoS-Resource Graph (QRG) construction** (§4.1.1): given a
+//!    [`qosr_model::SessionInstance`] and a snapshot of resource
+//!    availability ([`AvailabilityView`]), build the graph whose nodes are
+//!    the `Q^in`/`Q^out` levels of every service component. A
+//!    *translation edge* `Q^in → Q^out` exists iff the component's
+//!    resource requirement `R^req = T_c(Q^in, Q^out)` fits within the
+//!    current availability; its weight is the paper's contention index of
+//!    the edge, `Ψ = max_i (r_i^req / r_i^avail)` (eqs. 2–3).
+//!    *Equivalence edges* (weight 0) connect each `Q^out` to the
+//!    downstream `Q^in` it feeds.
+//! 2. **Plan selection** (§4.1.2): every source→sink path is a feasible
+//!    end-to-end reservation plan; the algorithm picks, among the paths
+//!    reaching the highest-ranked reachable end-to-end QoS level, the one
+//!    minimizing the *bottleneck* contention `Ψ_P = max_e Ψ_e` — a
+//!    shortest path with `+` redefined as `max`, computed by
+//!    [`relax`] with the paper's tie-breaking rule.
+//! 3. **Planners**: [`plan_basic`] (the basic algorithm), [`plan_tradeoff`]
+//!    (§4.3.1 — trades end-to-end QoS for overall success rate using the
+//!    availability-change index α), [`plan_random`] (the
+//!    contention-*unaware* baseline of §5), and [`plan_dag`] (§4.3.2 —
+//!    the two-pass heuristic for DAG-shaped dependency graphs).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use qosr_model::*;
+//! use qosr_core::*;
+//!
+//! // One component, two achievable output levels, one CPU slot.
+//! let schema = QosSchema::new("q", ["level"]);
+//! let lv = |v: u32| QosVector::new(schema.clone(), [v]);
+//! let comp = ComponentSpec::new(
+//!     "encoder",
+//!     vec![lv(0)],
+//!     vec![lv(1), lv(2)],
+//!     vec![SlotSpec::new("cpu", ResourceKind::Compute)],
+//!     Arc::new(TableTranslation::builder(1, 2, 1)
+//!         .entry(0, 0, [10.0])
+//!         .entry(0, 1, [80.0])
+//!         .build()),
+//! );
+//! let service = Arc::new(ServiceSpec::chain("svc", vec![comp], vec![1, 2]).unwrap());
+//!
+//! let mut space = ResourceSpace::new();
+//! let cpu = space.register("H1.cpu", ResourceKind::Compute);
+//! let session = SessionInstance::new(
+//!     service, vec![ComponentBinding::new([cpu])], 1.0).unwrap();
+//!
+//! let mut view = AvailabilityView::new();
+//! view.set(cpu, 100.0);
+//! let qrg = Qrg::build(&session, &view, &QrgOptions::default());
+//! let plan = plan_basic(&qrg).unwrap();
+//! assert_eq!(plan.sink_level, 1);            // highest level reachable
+//! assert!((plan.psi - 0.8).abs() < 1e-12);   // 80 / 100
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod availability;
+mod backtrack;
+mod error;
+mod plan;
+mod planner;
+mod psi;
+mod qrg;
+mod relax;
+#[cfg(test)]
+pub(crate) mod test_fixtures;
+
+pub use availability::AvailabilityView;
+pub use error::PlanError;
+pub use plan::{Bottleneck, PlanAssignment, ReservationPlan};
+pub use planner::{plan_basic, plan_dag, plan_random, plan_tradeoff, plan_with, Planner};
+pub use psi::PsiDef;
+pub use qrg::{EdgeKind, NodeRef, Qrg, QrgEdge, QrgOptions};
+pub use relax::{relax, Relaxation};

@@ -1,0 +1,466 @@
+//! The reservation planners (§4.1.2, §4.3, and the §5 baseline).
+
+use crate::backtrack::backtrack;
+use crate::relax::{relax, Relaxation};
+use crate::{PlanError, Qrg, ReservationPlan};
+use rand::{Rng, RngExt};
+
+/// Which planning algorithm to run — handy for configuration tables in
+/// simulations and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Planner {
+    /// The paper's basic algorithm (§4.1): highest reachable end-to-end
+    /// QoS, minimal bottleneck contention.
+    #[default]
+    Basic,
+    /// Basic + the QoS/success-rate tradeoff policy of §4.3.1.
+    Tradeoff,
+    /// The contention-unaware baseline of §5: a random feasible path to
+    /// the highest reachable end-to-end QoS level.
+    Random,
+    /// The two-pass DAG heuristic of §4.3.2 (also valid for chains).
+    Dag,
+}
+
+impl Planner {
+    /// Runs this planner on a QRG. `rng` is only consulted by
+    /// [`Planner::Random`].
+    pub fn plan(self, qrg: &Qrg, rng: &mut impl Rng) -> Result<ReservationPlan, PlanError> {
+        match self {
+            Planner::Basic => plan_basic(qrg),
+            Planner::Tradeoff => plan_tradeoff(qrg),
+            Planner::Random => plan_random(qrg, rng),
+            Planner::Dag => plan_dag(qrg),
+        }
+    }
+}
+
+/// Highest-ranked sink level that Pass I marked reachable.
+fn best_reachable_sink(qrg: &Qrg, r: &Relaxation) -> Option<usize> {
+    qrg.session()
+        .service()
+        .sink_rank_order()
+        .into_iter()
+        .find(|&level| r.reachable(qrg.sink_node(level)))
+}
+
+fn ensure_chain(qrg: &Qrg) -> Result<(), PlanError> {
+    if qrg.session().service().graph().is_chain() {
+        Ok(())
+    } else {
+        Err(PlanError::NotAChain)
+    }
+}
+
+/// The **basic** algorithm (§4.1.2): selects the end-to-end reservation
+/// plan that (1) achieves the highest end-to-end QoS level reachable
+/// under current availability and (2) requires the lowest percentage of
+/// bottleneck resource(s) among all feasible plans achieving it — the
+/// minimax-shortest path in the QRG.
+///
+/// Requires a chain dependency graph (the paper's basic setting); use
+/// [`plan_dag`] for DAGs.
+pub fn plan_basic(qrg: &Qrg) -> Result<ReservationPlan, PlanError> {
+    ensure_chain(qrg)?;
+    plan_minimax(qrg)
+}
+
+/// The **two-pass DAG heuristic** (§4.3.2). Exact on chains (where it
+/// coincides with [`plan_basic`]); on general DAGs it may fail to
+/// assemble a plan for a Pass-I-reachable sink, or return a plan whose
+/// bottleneck is not globally minimal — the paper's two documented
+/// limitations.
+pub fn plan_dag(qrg: &Qrg) -> Result<ReservationPlan, PlanError> {
+    plan_minimax(qrg)
+}
+
+fn plan_minimax(qrg: &Qrg) -> Result<ReservationPlan, PlanError> {
+    let r = relax(qrg);
+    let target = best_reachable_sink(qrg, &r).ok_or(PlanError::NoFeasiblePlan)?;
+    let asg = backtrack(qrg, &r, target)?;
+    Ok(ReservationPlan::assemble(qrg, &asg))
+}
+
+/// The **tradeoff** policy (§4.3.1): run the basic algorithm; if the
+/// availability trend α of the bottleneck resource at the best sink `s0`
+/// is below 1.0 (availability going down), settle for the highest-ranked
+/// sink `s` with `ψ_s ≤ α_{s0} · ψ_{s0}` instead, lowering bottleneck
+/// pressure by the ratio `1 − α_{s0}`.
+///
+/// When no sink satisfies the bound, the plan for `s0` is returned
+/// unchanged (the paper leaves this case unspecified; falling back to the
+/// basic choice never performs worse than *basic*).
+pub fn plan_tradeoff(qrg: &Qrg) -> Result<ReservationPlan, PlanError> {
+    let r = relax(qrg);
+    let target = best_reachable_sink(qrg, &r).ok_or(PlanError::NoFeasiblePlan)?;
+    let asg = backtrack(qrg, &r, target)?;
+    let plan0 = ReservationPlan::assemble(qrg, &asg);
+
+    let alpha = match plan0.bottleneck {
+        Some(b) => b.alpha,
+        None => return Ok(plan0), // no demand at all — nothing to trade
+    };
+    if alpha >= 1.0 {
+        return Ok(plan0);
+    }
+    let bound = alpha * plan0.psi;
+    for level in qrg.session().service().sink_rank_order() {
+        let node = qrg.sink_node(level);
+        if r.reachable(node) && r.dist[node] <= bound {
+            // A lower-pressure level exists; re-backtrack for it. If the
+            // DAG heuristic fails for this level, keep scanning.
+            match backtrack(qrg, &r, level) {
+                Ok(asg) => return Ok(ReservationPlan::assemble(qrg, &asg)),
+                Err(_) => continue,
+            }
+        }
+    }
+    Ok(plan0)
+}
+
+/// The **contention-unaware baseline** of the paper's evaluation (§5):
+/// picks a *random* feasible path leading to the highest reachable
+/// end-to-end QoS level, instead of the minimax-shortest one.
+///
+/// Only defined for chain dependency graphs, matching its use in the
+/// paper.
+pub fn plan_random(qrg: &Qrg, rng: &mut impl Rng) -> Result<ReservationPlan, PlanError> {
+    ensure_chain(qrg)?;
+    let r = relax(qrg);
+    let target = best_reachable_sink(qrg, &r).ok_or(PlanError::NoFeasiblePlan)?;
+    let target_node = qrg.sink_node(target);
+
+    // Backward reachability to the target over QRG edges.
+    let mut reach = vec![false; qrg.n_nodes()];
+    reach[target_node] = true;
+    for &n in qrg.relax_order().iter().rev() {
+        if n == target_node {
+            continue;
+        }
+        reach[n] = qrg.out_edges(n).iter().any(|&e| reach[qrg.edge(e).to]);
+    }
+
+    let mut node = qrg.source_node();
+    debug_assert!(reach[node], "target reachable implies source can reach it");
+    let mut assignments = Vec::new();
+    loop {
+        if node == target_node {
+            break;
+        }
+        let candidates: Vec<u32> = qrg
+            .out_edges(node)
+            .iter()
+            .copied()
+            .filter(|&e| reach[qrg.edge(e).to])
+            .collect();
+        debug_assert!(
+            !candidates.is_empty(),
+            "walk cannot dead-end inside reach set"
+        );
+        let e = candidates[rng.random_range(0..candidates.len())];
+        let edge = qrg.edge(e);
+        if let crate::EdgeKind::Translation {
+            component,
+            qin,
+            qout,
+            ..
+        } = edge.kind
+        {
+            assignments.push(crate::backtrack::Assignment {
+                component,
+                qin,
+                qout,
+                edge: e,
+            });
+        }
+        node = edge.to;
+    }
+    Ok(ReservationPlan::assemble(qrg, &assignments))
+}
+
+/// Dispatch helper mirroring [`Planner::plan`], for call sites that have
+/// a [`Planner`] value and an RNG.
+pub fn plan_with(
+    planner: Planner,
+    qrg: &Qrg,
+    rng: &mut impl Rng,
+) -> Result<ReservationPlan, PlanError> {
+    planner.plan(qrg, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::*;
+    use crate::{AvailabilityView, Qrg, QrgOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_picks_min_bottleneck_path_to_best_level() {
+        let fx = ChainFixture::paper_like();
+        let qrg = fx.qrg_with_avail(100.0);
+        let plan = plan_basic(&qrg).unwrap();
+        assert_eq!(plan.sink_level, 2); // highest level "p"
+        assert!((plan.psi - 0.24).abs() < 1e-12);
+        // The minimax path routes through c_S level "c", not "b".
+        assert_eq!(plan.signature(), vec![(0, 0, 1), (1, 1, 3), (2, 3, 2)]);
+    }
+
+    #[test]
+    fn basic_degrades_to_lower_levels_as_availability_shrinks() {
+        let fx = ChainFixture::paper_like();
+        // 20 units: p needs >= 24 on the client link -> q is best.
+        let plan = plan_basic(&fx.qrg_with_avail(20.0)).unwrap();
+        assert_eq!(plan.sink_level, 1);
+        // 11 units: q needs >= 18 -> only r (needs 10) remains.
+        let plan = plan_basic(&fx.qrg_with_avail(11.0)).unwrap();
+        assert_eq!(plan.sink_level, 0);
+        // 3 units: nothing fits.
+        assert_eq!(
+            plan_basic(&fx.qrg_with_avail(3.0)),
+            Err(PlanError::NoFeasiblePlan)
+        );
+    }
+
+    #[test]
+    fn basic_rejects_dags_but_dag_planner_handles_them() {
+        let fx = DagFixture::diamond();
+        let qrg = fx.qrg_with_avail(100.0);
+        assert_eq!(plan_basic(&qrg), Err(PlanError::NotAChain));
+        let plan = plan_dag(&qrg).unwrap();
+        assert_eq!(plan.sink_level, 1);
+        assert!((plan.psi - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dag_planner_matches_basic_on_chains() {
+        let fx = ChainFixture::paper_like();
+        for avail in [10.0, 20.0, 40.0, 100.0, 1000.0] {
+            let qrg = fx.qrg_with_avail(avail);
+            match (plan_basic(&qrg), plan_dag(&qrg)) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "avail {avail}"),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("mismatch at {avail}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tradeoff_steps_down_when_trend_is_down() {
+        let fx = ChainFixture::paper_like();
+        // Neutral trend: identical to basic.
+        let qrg = fx.qrg_with_avail(100.0);
+        assert_eq!(plan_tradeoff(&qrg).unwrap(), plan_basic(&qrg).unwrap());
+
+        // Bottleneck (bw12) trending down: alpha 0.5.
+        // basic: level p with psi .24; bound = .5*.24 = .12;
+        // psi(q)=.18 > .12, psi(r)=.10 <= .12 -> tradeoff picks r.
+        let mut view = AvailabilityView::new();
+        for name in ["cpu0", "cpu1", "bw01"] {
+            view.set(fx.space.id(name).unwrap(), 100.0);
+        }
+        view.set_with_alpha(fx.space.id("bw12").unwrap(), 100.0, 0.5);
+        let qrg = Qrg::build(&fx.session, &view, &QrgOptions::default());
+        let plan = plan_tradeoff(&qrg).unwrap();
+        assert_eq!(plan.sink_level, 0);
+        assert!((plan.psi - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tradeoff_falls_back_to_basic_when_no_level_satisfies_bound() {
+        let fx = ChainFixture::paper_like();
+        let mut view = AvailabilityView::new();
+        for name in ["cpu0", "cpu1", "bw01"] {
+            view.set(fx.space.id(name).unwrap(), 100.0);
+        }
+        // alpha so low that even the cheapest level violates the bound:
+        // bound = 0.05 * 0.24 = 0.012 < psi(r) = 0.10.
+        view.set_with_alpha(fx.space.id("bw12").unwrap(), 100.0, 0.05);
+        let qrg = Qrg::build(&fx.session, &view, &QrgOptions::default());
+        let plan = plan_tradeoff(&qrg).unwrap();
+        assert_eq!(plan.sink_level, 2); // the basic choice
+    }
+
+    #[test]
+    fn random_reaches_best_level_but_varies_paths() {
+        let fx = ChainFixture::paper_like();
+        let qrg = fx.qrg_with_avail(100.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut signatures = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let plan = plan_random(&qrg, &mut rng).unwrap();
+            // Always the highest reachable level...
+            assert_eq!(plan.sink_level, 2);
+            // ...and always a feasible plan with psi within bounds.
+            assert!(plan.psi >= 0.24 - 1e-12 && plan.psi <= 1.0);
+            signatures.insert(plan.signature());
+        }
+        // The QRG has several paths to p; random must explore more than one.
+        assert!(signatures.len() > 1, "random planner never varied its path");
+    }
+
+    #[test]
+    fn random_is_never_better_than_basic() {
+        let fx = ChainFixture::paper_like();
+        let mut rng = StdRng::seed_from_u64(11);
+        for avail in [15.0, 25.0, 60.0, 100.0] {
+            let qrg = fx.qrg_with_avail(avail);
+            if let Ok(basic) = plan_basic(&qrg) {
+                for _ in 0..50 {
+                    let r = plan_random(&qrg, &mut rng).unwrap();
+                    assert_eq!(r.sink_level, basic.sink_level);
+                    assert!(r.psi >= basic.psi - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planner_enum_dispatches() {
+        let fx = ChainFixture::paper_like();
+        let qrg = fx.qrg_with_avail(100.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for p in [
+            Planner::Basic,
+            Planner::Tradeoff,
+            Planner::Random,
+            Planner::Dag,
+        ] {
+            let plan = p.plan(&qrg, &mut rng).unwrap();
+            assert_eq!(plan.sink_level, 2);
+        }
+        assert_eq!(
+            plan_with(Planner::Basic, &qrg, &mut rng).unwrap().psi,
+            plan_basic(&qrg).unwrap().psi
+        );
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use crate::{AvailabilityView, Qrg, QrgOptions};
+    use qosr_model::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn single_component_session(
+        demands: &[(usize, f64)], // (qout, amount); one input level
+        n_out: usize,
+    ) -> (SessionInstance, ResourceSpace) {
+        let schema = QosSchema::new("q", ["x"]);
+        let v = |x: u32| QosVector::new(schema.clone(), [x]);
+        let mut b = TableTranslation::builder(1, n_out, 1);
+        for &(o, d) in demands {
+            b = b.entry(0, o, [d]);
+        }
+        let comp = ComponentSpec::new(
+            "only",
+            vec![v(0)],
+            (1..=n_out as u32).map(v).collect(),
+            vec![SlotSpec::new("s", ResourceKind::Compute)],
+            Arc::new(b.build()),
+        );
+        let service =
+            Arc::new(ServiceSpec::chain("svc", vec![comp], (1..=n_out as u32).collect()).unwrap());
+        let mut space = ResourceSpace::new();
+        let rid = space.register("r", ResourceKind::Compute);
+        let session =
+            SessionInstance::new(service, vec![ComponentBinding::new([rid])], 1.0).unwrap();
+        (session, space)
+    }
+
+    #[test]
+    fn single_component_service_plans() {
+        let (session, space) = single_component_session(&[(0, 10.0), (1, 90.0)], 2);
+        let view = AvailabilityView::from_fn(space.ids(), |_| 100.0);
+        let qrg = Qrg::build(&session, &view, &QrgOptions::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        for planner in [
+            Planner::Basic,
+            Planner::Tradeoff,
+            Planner::Random,
+            Planner::Dag,
+        ] {
+            let plan = planner.plan(&qrg, &mut rng).unwrap();
+            assert_eq!(plan.sink_level, 1);
+            assert_eq!(plan.assignments.len(), 1);
+            assert!((plan.psi - 0.9).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_demand_translation_yields_weightless_edge() {
+        // A translation entry whose demands are all zero: the pair is
+        // feasible, the edge weight is 0, and the plan has no bottleneck.
+        let (session, space) = single_component_session(&[(0, 0.0)], 1);
+        let view = AvailabilityView::from_fn(space.ids(), |_| 100.0);
+        let qrg = Qrg::build(&session, &view, &QrgOptions::default());
+        assert_eq!(qrg.n_translation_edges(), 1);
+        let plan = plan_basic(&qrg).unwrap();
+        assert_eq!(plan.psi, 0.0);
+        assert!(plan.bottleneck.is_none());
+        assert!(plan.total_demand().is_empty());
+        // Tradeoff has nothing to trade without a bottleneck.
+        assert_eq!(plan_tradeoff(&qrg).unwrap(), plan);
+    }
+
+    #[test]
+    fn demand_equal_to_availability_is_feasible_at_psi_one() {
+        let (session, space) = single_component_session(&[(0, 100.0)], 1);
+        let view = AvailabilityView::from_fn(space.ids(), |_| 100.0);
+        let qrg = Qrg::build(&session, &view, &QrgOptions::default());
+        let plan = plan_basic(&qrg).unwrap();
+        assert_eq!(plan.psi, 1.0);
+        // One unit less and it is infeasible.
+        let view = AvailabilityView::from_fn(space.ids(), |_| 99.999);
+        let qrg = Qrg::build(&session, &view, &QrgOptions::default());
+        assert_eq!(plan_basic(&qrg), Err(PlanError::NoFeasiblePlan));
+    }
+
+    #[test]
+    fn best_ranked_sink_wins_even_at_higher_psi() {
+        // Level 2 requires far more pressure than level 1; the algorithm
+        // is greedy on QoS first (paper: highest possible level, then
+        // min bottleneck).
+        let (session, space) = single_component_session(&[(0, 1.0), (1, 99.0)], 2);
+        let view = AvailabilityView::from_fn(space.ids(), |_| 100.0);
+        let qrg = Qrg::build(&session, &view, &QrgOptions::default());
+        let plan = plan_basic(&qrg).unwrap();
+        assert_eq!(plan.sink_level, 1);
+        assert!((plan.psi - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_permutation_changes_the_chosen_sink() {
+        // Same table, inverted ranking: the planner must follow the
+        // user's linear order, not the level index.
+        let schema = QosSchema::new("q", ["x"]);
+        let v = |x: u32| QosVector::new(schema.clone(), [x]);
+        let comp = ComponentSpec::new(
+            "only",
+            vec![v(0)],
+            vec![v(1), v(2)],
+            vec![SlotSpec::new("s", ResourceKind::Compute)],
+            Arc::new(
+                TableTranslation::builder(1, 2, 1)
+                    .entry(0, 0, [10.0])
+                    .entry(0, 1, [20.0])
+                    .build(),
+            ),
+        );
+        // Rank level 0 best.
+        let service = Arc::new(ServiceSpec::chain("svc", vec![comp], vec![2, 1]).unwrap());
+        let mut space = ResourceSpace::new();
+        let rid = space.register("r", ResourceKind::Compute);
+        let session =
+            SessionInstance::new(service, vec![ComponentBinding::new([rid])], 1.0).unwrap();
+        let view = AvailabilityView::from_fn(space.ids(), |_| 100.0);
+        let qrg = Qrg::build(&session, &view, &QrgOptions::default());
+        let plan = plan_basic(&qrg).unwrap();
+        assert_eq!(plan.sink_level, 0);
+        assert_eq!(plan.rank, 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-resource contention index definitions (ψ, eq. 2).
+//!
+//! The paper defines ψ_i = r_i^req / r_i^avail and notes (footnote 2)
+//! that *"there are other definitions of ψ which also exhibit this
+//! property \[higher percentage ⇒ lower success probability\]…it is
+//! straightforward for our algorithm to adopt a different ψ definition"*.
+//! [`PsiDef`] makes the definition pluggable so the ablation experiments
+//! can compare alternatives; the edge weight Ψ remains the maximum of the
+//! per-resource indices (eq. 3), and the path objective remains the
+//! bottleneck (max-over-edges) in all cases.
+
+/// Pluggable definition of the per-resource contention index ψ.
+///
+/// All variants are monotonically increasing in the utilization
+/// `u = req/avail` over `0 ≤ u ≤ 1`, which is the property the
+/// algorithm's correctness argument needs. Values are only ever computed
+/// for feasible reservations (`req ≤ avail`).
+///
+/// ```
+/// use qosr_core::PsiDef;
+/// assert_eq!(PsiDef::Utilization.psi(20.0, 100.0), 0.2);   // eq. (2)
+/// assert_eq!(PsiDef::Headroom.psi(20.0, 100.0), 0.25);     // 20 / 80
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PsiDef {
+    /// The paper's eq. (2): ψ = req / avail. Ranges over `[0, 1]`.
+    #[default]
+    Utilization,
+    /// Headroom ratio: ψ = req / (avail − req), i.e. demand relative to
+    /// what would be *left over*. Penalizes near-exhaustion much harder
+    /// than plain utilization. Clamped to [`PsiDef::CLAMP`].
+    Headroom,
+    /// ψ = −ln(1 − req/avail): the "surprise" of the reservation if
+    /// success probability were proportional to remaining headroom.
+    /// Clamped to [`PsiDef::CLAMP`].
+    NegLogSurvival,
+}
+
+impl PsiDef {
+    /// Upper clamp for the unbounded variants, so that a feasible edge is
+    /// never confused with an unreachable (infinite-distance) node.
+    pub const CLAMP: f64 = 1.0e12;
+
+    /// Computes ψ for one resource. `avail ≤ 0` yields the clamp value
+    /// (callers only invoke this for feasible edges, where `req ≤ avail`,
+    /// but the definition is total for robustness).
+    pub fn psi(self, req: f64, avail: f64) -> f64 {
+        if avail <= 0.0 {
+            return Self::CLAMP;
+        }
+        let u = req / avail;
+        let v = match self {
+            PsiDef::Utilization => u,
+            PsiDef::Headroom => {
+                let headroom = avail - req;
+                if headroom <= 0.0 {
+                    Self::CLAMP
+                } else {
+                    req / headroom
+                }
+            }
+            PsiDef::NegLogSurvival => {
+                if u >= 1.0 {
+                    Self::CLAMP
+                } else {
+                    -(1.0 - u).ln()
+                }
+            }
+        };
+        v.min(Self::CLAMP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_matches_paper() {
+        assert_eq!(PsiDef::Utilization.psi(20.0, 100.0), 0.2);
+        assert_eq!(PsiDef::Utilization.psi(100.0, 100.0), 1.0);
+        assert_eq!(PsiDef::Utilization.psi(0.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn headroom() {
+        assert_eq!(PsiDef::Headroom.psi(20.0, 100.0), 0.25); // 20/80
+        assert_eq!(PsiDef::Headroom.psi(100.0, 100.0), PsiDef::CLAMP);
+    }
+
+    #[test]
+    fn neg_log() {
+        let v = PsiDef::NegLogSurvival.psi(50.0, 100.0);
+        assert!((v - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(PsiDef::NegLogSurvival.psi(100.0, 100.0), PsiDef::CLAMP);
+    }
+
+    #[test]
+    fn zero_availability_is_clamped() {
+        for def in [
+            PsiDef::Utilization,
+            PsiDef::Headroom,
+            PsiDef::NegLogSurvival,
+        ] {
+            assert_eq!(def.psi(1.0, 0.0), PsiDef::CLAMP);
+        }
+    }
+
+    #[test]
+    fn all_monotone_in_utilization() {
+        for def in [
+            PsiDef::Utilization,
+            PsiDef::Headroom,
+            PsiDef::NegLogSurvival,
+        ] {
+            let mut last = -1.0;
+            for req in 0..=99 {
+                let v = def.psi(req as f64, 100.0);
+                assert!(v > last, "{def:?} not strictly increasing at req={req}");
+                last = v;
+            }
+        }
+    }
+}

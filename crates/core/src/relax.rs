@@ -1,0 +1,209 @@
+//! Pass I: minimax ("shortest path with + redefined as max") relaxation
+//! over the QRG (§4.1.2, extended per §4.3.2 for fan-in components).
+//!
+//! The paper computes the plan by running Dijkstra's algorithm with the
+//! path-length operator `+` replaced by `max`. Because the QRG is a DAG
+//! (levels of components ordered by the dependency graph), a single
+//! relaxation sweep in topological order computes exactly the same
+//! fixpoint as Dijkstra — including the tie-breaking rule — without a
+//! priority queue:
+//!
+//! * the **source** `Q^in` node gets value 0;
+//! * a `Q^in` node's value is the **max** over the values of the
+//!   upstream `Q^out` node(s) it is equivalent to — one per predecessor
+//!   component; for fan-in components this is the "maximum of those
+//!   associated with the Q^out nodes of the adjacent components" rule of
+//!   Pass I in §4.3.2 (for single-predecessor components it degenerates
+//!   to plain propagation across a 0-weight edge);
+//! * a `Q^out` node's value is the **min** over its incoming translation
+//!   edges `e = (q^in → q^out)` of `max(value(q^in), Ψ_e)`, with the
+//!   paper's tie-break: when `max(a, b) = max(a, c) = a`, prefer the
+//!   predecessor with `min(b, c)` (and, for full determinism, the lowest
+//!   edge id after that).
+
+use crate::{NodeRef, Qrg};
+
+/// The result of Pass I: per-node minimax distances and, for `Q^out`
+/// nodes, the chosen incoming translation edge (the Dijkstra
+/// predecessor).
+#[derive(Debug, Clone)]
+pub struct Relaxation {
+    /// Minimax distance from the QRG source node; `f64::INFINITY` when
+    /// unreachable.
+    pub dist: Vec<f64>,
+    /// For each `Q^out` node, the incoming translation edge chosen by the
+    /// relaxation; `None` for unreachable or `Q^in` nodes.
+    pub pred: Vec<Option<u32>>,
+}
+
+impl Relaxation {
+    /// `true` when node `n` is reachable from the source.
+    pub fn reachable(&self, n: usize) -> bool {
+        self.dist[n].is_finite()
+    }
+}
+
+/// Runs Pass I over the QRG.
+pub fn relax(qrg: &Qrg) -> Relaxation {
+    let n = qrg.n_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<u32>> = vec![None; n];
+    let source = qrg.source_node();
+    let tie_break = !qrg.options().disable_tie_break;
+
+    for &node in qrg.relax_order() {
+        match qrg.node_ref(node) {
+            NodeRef::In { .. } => {
+                if node == source {
+                    dist[node] = 0.0;
+                    continue;
+                }
+                let ins = qrg.in_edges(node);
+                if ins.is_empty() {
+                    // Only the source component has no predecessors, and
+                    // its single input node is handled above.
+                    continue;
+                }
+                // AND-node: usable only when every upstream Q^out it is
+                // equivalent to is reachable; value = max over them.
+                let mut value = 0.0f64;
+                for &e in ins {
+                    value = value.max(dist[qrg.edge(e).from]);
+                }
+                dist[node] = value;
+            }
+            NodeRef::Out { .. } => {
+                let mut best: Option<(f64, f64, u32)> = None;
+                for &e in qrg.in_edges(node) {
+                    let edge = qrg.edge(e);
+                    let upstream = dist[edge.from];
+                    if !upstream.is_finite() {
+                        continue;
+                    }
+                    let value = upstream.max(edge.weight);
+                    let better = match best {
+                        None => true,
+                        Some((bv, bw, be)) => {
+                            value < bv
+                                || (value == bv
+                                    && tie_break
+                                    && (edge.weight < bw || (edge.weight == bw && e < be)))
+                        }
+                    };
+                    if better {
+                        best = Some((value, edge.weight, e));
+                    }
+                }
+                if let Some((value, _, e)) = best {
+                    dist[node] = value;
+                    pred[node] = Some(e);
+                }
+            }
+        }
+    }
+
+    Relaxation { dist, pred }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::*;
+    use crate::{AvailabilityView, Qrg, QrgOptions};
+
+    #[test]
+    fn source_is_zero_and_sinks_get_bottleneck() {
+        let fx = ChainFixture::paper_like();
+        let qrg = fx.qrg_with_avail(100.0);
+        let r = relax(&qrg);
+        assert_eq!(r.dist[qrg.source_node()], 0.0);
+        // Best path to the top end-to-end level p has bottleneck 0.24
+        // (see fixture docs); to q it is 0.18; to r it is 0.10.
+        assert!((r.dist[qrg.sink_node(2)] - 0.24).abs() < 1e-12);
+        assert!((r.dist[qrg.sink_node(1)] - 0.18).abs() < 1e-12);
+        assert!((r.dist[qrg.sink_node(0)] - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_when_demand_does_not_fit() {
+        let fx = ChainFixture::paper_like();
+        // Availability 20: component 2's cheapest edge to p needs 24.
+        let qrg = fx.qrg_with_avail(20.0);
+        let r = relax(&qrg);
+        assert!(!r.reachable(qrg.sink_node(2)));
+        // But r (needs only 10 via k) is reachable.
+        assert!(r.reachable(qrg.sink_node(0)));
+    }
+
+    #[test]
+    fn tie_break_prefers_smaller_incoming_weight() {
+        // Two inputs reach the same output with equal minimax value `a`
+        // but different incoming weights: the rule picks min weight.
+        let fx = TieBreakFixture::new();
+        let qrg = fx.qrg();
+        let r = relax(&qrg);
+        let out = qrg.out_node(1, 0);
+        assert_eq!(r.dist[out], 0.3);
+        let e = r.pred[out].unwrap();
+        // The chosen edge must be the lighter one (weight 0.1), i.e. from
+        // input level 1, even though input 0 arrives first.
+        assert!((qrg.edge(e).weight - 0.1).abs() < 1e-12);
+        assert_eq!(qrg.edge(e).from, qrg.in_node(1, 1));
+    }
+
+    #[test]
+    fn tie_break_can_be_disabled_for_ablation() {
+        let fx = TieBreakFixture::new();
+        let view = fx.view();
+        let qrg = Qrg::build(
+            &fx.session,
+            &view,
+            &QrgOptions {
+                disable_tie_break: true,
+                ..QrgOptions::default()
+            },
+        );
+        let r = relax(&qrg);
+        let out = qrg.out_node(1, 0);
+        // Same distance, but the first-encountered edge wins.
+        assert_eq!(r.dist[out], 0.3);
+        let e = r.pred[out].unwrap();
+        assert_eq!(qrg.edge(e).from, qrg.in_node(1, 0));
+    }
+
+    #[test]
+    fn fan_in_takes_max_of_parents() {
+        let fx = DagFixture::diamond();
+        let qrg = fx.qrg_with_avail(100.0);
+        let r = relax(&qrg);
+        // See fixture docs: dist(a out2) = 0.05, dist(b out2) = 0.10;
+        // merge input (2,2) = max = 0.10; top sink = max(0.10, 0.09) = 0.10.
+        assert!((r.dist[qrg.out_node(1, 1)] - 0.05).abs() < 1e-12);
+        assert!((r.dist[qrg.out_node(2, 1)] - 0.10).abs() < 1e-12);
+        assert!((r.dist[qrg.in_node(3, 1)] - 0.10).abs() < 1e-12);
+        assert!((r.dist[qrg.sink_node(1)] - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fan_in_unreachable_if_any_parent_is() {
+        let fx = DagFixture::diamond();
+        // Give b's CPU too little for its out2 edge (needs 8).
+        let mut view = AvailabilityView::new();
+        for (name, amount) in [
+            ("cpu_s", 100.0),
+            ("cpu_a", 100.0),
+            ("cpu_b", 7.0),
+            ("cpu_m", 100.0),
+        ] {
+            view.set(fx.space.id(name).unwrap(), amount);
+        }
+        let qrg = Qrg::build(&fx.session, &view, &QrgOptions::default());
+        let r = relax(&qrg);
+        // b can still produce out1 (needs 5) but not out2.
+        assert!(r.reachable(qrg.out_node(2, 0)));
+        assert!(!r.reachable(qrg.out_node(2, 1)));
+        // merge input (2,2) requires b out2 -> unreachable, and so is the
+        // top sink via that input.
+        assert!(!r.reachable(qrg.in_node(3, 1)));
+    }
+}

@@ -1,0 +1,133 @@
+//! Service components (§2.1–2.2).
+
+use crate::{QosVector, ResourceKind, SlotVector, Translation};
+use std::fmt;
+use std::sync::Arc;
+
+/// Declares one abstract resource position of a component — e.g. "CPU of
+/// the host I run on" or "bandwidth of the path from my upstream
+/// component". Bound to a concrete [`crate::ResourceId`] per session by a
+/// [`crate::ComponentBinding`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSpec {
+    /// Slot name, unique within the component.
+    pub name: String,
+    /// Expected resource kind; bindings are checked against it.
+    pub kind: ResourceKind,
+}
+
+impl SlotSpec {
+    /// Creates a slot spec.
+    pub fn new(name: impl Into<String>, kind: ResourceKind) -> Self {
+        SlotSpec {
+            name: name.into(),
+            kind,
+        }
+    }
+}
+
+/// A service component: a functional unit participating in service
+/// delivery, with discrete input/output QoS level sets and a translation
+/// function mapping `(Q^in, Q^out)` pairs to resource demands.
+#[derive(Clone)]
+pub struct ComponentSpec {
+    name: String,
+    input_levels: Vec<QosVector>,
+    output_levels: Vec<QosVector>,
+    slots: Vec<SlotSpec>,
+    translation: Arc<dyn Translation>,
+}
+
+impl ComponentSpec {
+    /// Creates a component spec. Validation of levels against the rest of
+    /// the service happens in [`crate::ServiceSpec::new`].
+    pub fn new(
+        name: impl Into<String>,
+        input_levels: Vec<QosVector>,
+        output_levels: Vec<QosVector>,
+        slots: Vec<SlotSpec>,
+        translation: Arc<dyn Translation>,
+    ) -> Self {
+        ComponentSpec {
+            name: name.into(),
+            input_levels,
+            output_levels,
+            slots,
+            translation,
+        }
+    }
+
+    /// Component name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The component's possible input QoS levels (`Q^in`).
+    pub fn input_levels(&self) -> &[QosVector] {
+        &self.input_levels
+    }
+
+    /// The component's possible output QoS levels (`Q^out`).
+    pub fn output_levels(&self) -> &[QosVector] {
+        &self.output_levels
+    }
+
+    /// The component's abstract resource slots.
+    pub fn slots(&self) -> &[SlotSpec] {
+        &self.slots
+    }
+
+    /// The translation function.
+    pub fn translation(&self) -> &Arc<dyn Translation> {
+        &self.translation
+    }
+
+    /// Shorthand for `self.translation().translate(qin, qout)`.
+    pub fn translate(&self, qin: usize, qout: usize) -> Option<SlotVector> {
+        self.translation.translate(qin, qout)
+    }
+}
+
+impl fmt::Debug for ComponentSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ComponentSpec")
+            .field("name", &self.name)
+            .field("input_levels", &self.input_levels.len())
+            .field("output_levels", &self.output_levels.len())
+            .field("slots", &self.slots)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QosSchema, TableTranslation};
+
+    #[test]
+    fn component_accessors() {
+        let schema = QosSchema::new("q", ["level"]);
+        let levels = vec![
+            QosVector::new(schema.clone(), [1]),
+            QosVector::new(schema.clone(), [2]),
+        ];
+        let t = TableTranslation::builder(2, 2, 1)
+            .entry(0, 0, [1.0])
+            .entry(1, 1, [2.0])
+            .build();
+        let c = ComponentSpec::new(
+            "proxy",
+            levels.clone(),
+            levels.clone(),
+            vec![SlotSpec::new("cpu", ResourceKind::Compute)],
+            Arc::new(t),
+        );
+        assert_eq!(c.name(), "proxy");
+        assert_eq!(c.input_levels().len(), 2);
+        assert_eq!(c.output_levels().len(), 2);
+        assert_eq!(c.slots()[0].name, "cpu");
+        assert_eq!(c.translate(0, 0).unwrap().amounts(), &[1.0]);
+        assert!(c.translate(0, 1).is_none());
+        assert!(format!("{c:?}").contains("proxy"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Error type for model construction and validation.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating model objects.
+///
+/// All constructors in this crate validate their inputs eagerly so that a
+/// [`crate::ServiceSpec`] that exists is always internally consistent; the
+/// runtime algorithm in `qosr-core` relies on this.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Two QoS vectors with different schemas were combined or compared.
+    SchemaMismatch {
+        /// Schema name of the left operand.
+        left: String,
+        /// Schema name of the right operand.
+        right: String,
+    },
+    /// A QoS vector was created with the wrong number of parameter values.
+    ArityMismatch {
+        /// Schema the vector was typed with.
+        schema: String,
+        /// Number of parameters the schema declares.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// The dependency graph contains a cycle.
+    CyclicDependency,
+    /// The dependency graph is not weakly connected.
+    DisconnectedGraph,
+    /// The dependency graph has `count` source nodes (components without
+    /// predecessors); exactly one is required.
+    SourceCount {
+        /// Number of sources found.
+        count: usize,
+    },
+    /// The dependency graph has `count` sink nodes (components without
+    /// successors); exactly one is required.
+    SinkCount {
+        /// Number of sinks found.
+        count: usize,
+    },
+    /// An edge referenced a component index out of range.
+    ComponentIndex {
+        /// The offending index.
+        index: usize,
+        /// Number of components in the service.
+        len: usize,
+    },
+    /// The number of components does not match the dependency graph size.
+    GraphSizeMismatch {
+        /// Components supplied.
+        components: usize,
+        /// Nodes in the dependency graph.
+        graph: usize,
+    },
+    /// The source component must have exactly one input QoS level (the
+    /// original quality of the source data, the QRG source node).
+    SourceInputLevels {
+        /// Component name.
+        component: String,
+        /// Number of input levels found.
+        count: usize,
+    },
+    /// A component declares no input or output QoS levels.
+    EmptyLevels {
+        /// Component name.
+        component: String,
+    },
+    /// An input QoS level of a downstream component cannot be expressed as
+    /// the concatenation of one output level from each predecessor.
+    Undecomposable {
+        /// Component whose input level could not be decomposed.
+        component: String,
+        /// Index of the offending input level.
+        level: usize,
+    },
+    /// An input QoS level decomposes ambiguously (two predecessor output
+    /// levels are identical), so the equivalence edges of the QRG would be
+    /// ill-defined.
+    AmbiguousDecomposition {
+        /// Component whose input level decomposes ambiguously.
+        component: String,
+        /// Index of the offending input level.
+        level: usize,
+    },
+    /// The sink ranking does not cover the sink component's output levels
+    /// exactly once each, or contains duplicate ranks.
+    InvalidRanking {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A translation table entry was set with the wrong slot count, or an
+    /// index was out of range.
+    TranslationShape {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A session binding does not match the service's components/slots.
+    BindingShape {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A resource amount was negative or not finite.
+    InvalidAmount {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::SchemaMismatch { left, right } => {
+                write!(f, "QoS schema mismatch: {left:?} vs {right:?}")
+            }
+            ModelError::ArityMismatch {
+                schema,
+                expected,
+                got,
+            } => write!(
+                f,
+                "QoS vector for schema {schema:?} needs {expected} values, got {got}"
+            ),
+            ModelError::CyclicDependency => write!(f, "dependency graph contains a cycle"),
+            ModelError::DisconnectedGraph => write!(f, "dependency graph is not connected"),
+            ModelError::SourceCount { count } => {
+                write!(
+                    f,
+                    "dependency graph must have exactly 1 source, found {count}"
+                )
+            }
+            ModelError::SinkCount { count } => {
+                write!(
+                    f,
+                    "dependency graph must have exactly 1 sink, found {count}"
+                )
+            }
+            ModelError::ComponentIndex { index, len } => {
+                write!(f, "component index {index} out of range (len {len})")
+            }
+            ModelError::GraphSizeMismatch { components, graph } => write!(
+                f,
+                "{components} components supplied but dependency graph has {graph} nodes"
+            ),
+            ModelError::SourceInputLevels { component, count } => write!(
+                f,
+                "source component {component:?} must have exactly 1 input level, found {count}"
+            ),
+            ModelError::EmptyLevels { component } => {
+                write!(f, "component {component:?} declares no QoS levels")
+            }
+            ModelError::Undecomposable { component, level } => write!(
+                f,
+                "input level {level} of component {component:?} is not a concatenation \
+                 of predecessor output levels"
+            ),
+            ModelError::AmbiguousDecomposition { component, level } => write!(
+                f,
+                "input level {level} of component {component:?} decomposes ambiguously"
+            ),
+            ModelError::InvalidRanking { reason } => write!(f, "invalid sink ranking: {reason}"),
+            ModelError::TranslationShape { reason } => {
+                write!(f, "invalid translation table: {reason}")
+            }
+            ModelError::BindingShape { reason } => write!(f, "invalid session binding: {reason}"),
+            ModelError::InvalidAmount { value } => {
+                write!(f, "resource amount must be finite and >= 0, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::SchemaMismatch {
+            left: "a".into(),
+            right: "b".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("\"a\"") && s.contains("\"b\""), "{s}");
+
+        let e = ModelError::SourceInputLevels {
+            component: "sender".into(),
+            count: 3,
+        };
+        assert!(e.to_string().contains("sender"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ModelError::CyclicDependency);
+    }
+}

@@ -1,0 +1,302 @@
+//! Dependency graphs of service components (§2.2, extended to DAGs in
+//! §4.3.2).
+//!
+//! Nodes are component indices; an edge `u → v` states that the output of
+//! `u` is (part of) the input of `v`, and that `u`'s `Q^out` levels feed
+//! `v`'s `Q^in` levels. The graph must be a weakly connected DAG with
+//! exactly one source (the component consuming the original source data)
+//! and one sink (the component whose `Q^out` is the end-to-end QoS).
+
+use crate::ModelError;
+
+/// A validated dependency DAG over `n` service components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependencyGraph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    topo: Vec<usize>,
+    source: usize,
+    sink: usize,
+}
+
+impl DependencyGraph {
+    /// Builds and validates a dependency graph.
+    ///
+    /// Requirements: every edge in range, no self-loops or duplicate
+    /// edges, acyclic, weakly connected, exactly one source and one sink.
+    /// A single-component service (`n == 1`, no edges) is allowed.
+    pub fn new(n: usize, edges: impl Into<Vec<(usize, usize)>>) -> Result<Self, ModelError> {
+        let mut edges: Vec<(usize, usize)> = edges.into();
+        if n == 0 {
+            return Err(ModelError::SourceCount { count: 0 });
+        }
+        for &(u, v) in &edges {
+            let bad = if u >= n {
+                Some(u)
+            } else if v >= n {
+                Some(v)
+            } else {
+                None
+            };
+            if let Some(index) = bad {
+                return Err(ModelError::ComponentIndex { index, len: n });
+            }
+            if u == v {
+                return Err(ModelError::CyclicDependency);
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for &(u, v) in &edges {
+            succs[u].push(v);
+            preds[v].push(u);
+        }
+        // Predecessor order matters: it defines the concatenation order of
+        // a fan-in component's input. Keep it sorted for determinism.
+        for p in &mut preds {
+            p.sort_unstable();
+        }
+        for s in &mut succs {
+            s.sort_unstable();
+        }
+
+        // Kahn's algorithm: topological order + cycle detection.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            topo.push(u);
+            for &v in &succs[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(ModelError::CyclicDependency);
+        }
+
+        // Weak connectivity via union-find.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for &(u, v) in &edges {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru] = rv;
+            }
+        }
+        let root = find(&mut parent, 0);
+        if (0..n).any(|v| find(&mut parent, v) != root) {
+            return Err(ModelError::DisconnectedGraph);
+        }
+
+        let sources: Vec<usize> = (0..n).filter(|&v| preds[v].is_empty()).collect();
+        let sinks: Vec<usize> = (0..n).filter(|&v| succs[v].is_empty()).collect();
+        if sources.len() != 1 {
+            return Err(ModelError::SourceCount {
+                count: sources.len(),
+            });
+        }
+        if sinks.len() != 1 {
+            return Err(ModelError::SinkCount { count: sinks.len() });
+        }
+
+        Ok(DependencyGraph {
+            n,
+            edges,
+            preds,
+            succs,
+            topo,
+            source: sources[0],
+            sink: sinks[0],
+        })
+    }
+
+    /// A chain `0 → 1 → … → n-1`, the implicit shape assumed by the basic
+    /// algorithm (§4.1).
+    pub fn chain(n: usize) -> Result<Self, ModelError> {
+        DependencyGraph::new(n, (1..n).map(|i| (i - 1, i)).collect::<Vec<_>>())
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for a (degenerate) empty graph — never constructible, kept
+    /// for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The deduplicated, sorted edge list.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Predecessors of `v`, sorted ascending. The order defines the
+    /// concatenation order of a fan-in component's input QoS.
+    pub fn preds(&self, v: usize) -> &[usize] {
+        &self.preds[v]
+    }
+
+    /// Successors of `u`, sorted ascending.
+    pub fn succs(&self, u: usize) -> &[usize] {
+        &self.succs[u]
+    }
+
+    /// A topological order of the components.
+    pub fn topo_order(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// The unique source component.
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// The unique sink component (its `Q^out` is the end-to-end QoS).
+    pub fn sink(&self) -> usize {
+        self.sink
+    }
+
+    /// `true` when `v` has more than one predecessor (a *fan-in*
+    /// component, §4.3.2: its `Q^in` is the concatenation of its
+    /// predecessors' `Q^out`).
+    pub fn is_fan_in(&self, v: usize) -> bool {
+        self.preds[v].len() > 1
+    }
+
+    /// `true` when `u` has more than one successor (a *fan-out*
+    /// component, §4.3.2: its `Q^out` feeds several components).
+    pub fn is_fan_out(&self, u: usize) -> bool {
+        self.succs[u].len() > 1
+    }
+
+    /// `true` when the graph is a simple chain (every component has at
+    /// most one predecessor and successor) — the case the basic algorithm
+    /// handles exactly; DAGs require the two-pass heuristic.
+    pub fn is_chain(&self) -> bool {
+        (0..self.n).all(|v| self.preds[v].len() <= 1 && self.succs[v].len() <= 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let g = DependencyGraph::chain(3).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.source(), 0);
+        assert_eq!(g.sink(), 2);
+        assert!(g.is_chain());
+        assert!(!g.is_fan_in(1));
+        assert!(!g.is_fan_out(1));
+        assert_eq!(g.topo_order(), &[0, 1, 2]);
+        assert_eq!(g.preds(1), &[0]);
+        assert_eq!(g.succs(1), &[2]);
+    }
+
+    #[test]
+    fn single_component() {
+        let g = DependencyGraph::chain(1).unwrap();
+        assert_eq!(g.source(), 0);
+        assert_eq!(g.sink(), 0);
+        assert!(g.is_chain());
+    }
+
+    #[test]
+    fn diamond_dag() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3 : fan-out at 0, fan-in at 3.
+        let g = DependencyGraph::new(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert!(!g.is_chain());
+        assert!(g.is_fan_out(0));
+        assert!(g.is_fan_in(3));
+        assert_eq!(g.source(), 0);
+        assert_eq!(g.sink(), 3);
+        assert_eq!(g.preds(3), &[1, 2]);
+        // Topological order is valid.
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; 4];
+            for (i, &v) in g.topo_order().iter().enumerate() {
+                pos[v] = i;
+            }
+            pos
+        };
+        for &(u, v) in g.edges() {
+            assert!(pos[u] < pos[v]);
+        }
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        assert_eq!(
+            DependencyGraph::new(2, vec![(0, 1), (1, 0)]),
+            Err(ModelError::CyclicDependency)
+        );
+        assert_eq!(
+            DependencyGraph::new(1, vec![(0, 0)]),
+            Err(ModelError::CyclicDependency)
+        );
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        // Two separate chains: 0->1, 2->3.
+        assert_eq!(
+            DependencyGraph::new(4, vec![(0, 1), (2, 3)]),
+            Err(ModelError::DisconnectedGraph)
+        );
+    }
+
+    #[test]
+    fn rejects_multi_source_or_sink() {
+        // 0 -> 2 <- 1 : two sources (but connected).
+        assert_eq!(
+            DependencyGraph::new(3, vec![(0, 2), (1, 2)]),
+            Err(ModelError::SourceCount { count: 2 })
+        );
+        // 1 <- 0 -> 2 : two sinks.
+        assert_eq!(
+            DependencyGraph::new(3, vec![(0, 1), (0, 2)]),
+            Err(ModelError::SinkCount { count: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            DependencyGraph::new(2, vec![(0, 5)]),
+            Err(ModelError::ComponentIndex { index: 5, len: 2 })
+        );
+    }
+
+    #[test]
+    fn duplicate_edges_deduped() {
+        let g = DependencyGraph::new(2, vec![(0, 1), (0, 1)]).unwrap();
+        assert_eq!(g.edges(), &[(0, 1)]);
+        assert_eq!(g.preds(1), &[0]);
+    }
+
+    #[test]
+    fn zero_components_rejected() {
+        assert!(DependencyGraph::new(0, vec![]).is_err());
+    }
+}

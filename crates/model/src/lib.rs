@@ -1,0 +1,81 @@
+//! # qosr-model — the component-based QoS-Resource Model
+//!
+//! This crate implements the model of section 2 of *"QoS and
+//! Contention-Aware Multi-Resource Reservation"* (Xu, Nahrstedt,
+//! Wichadakul; HPDC 2000):
+//!
+//! * **QoS vectors** ([`QosVector`]) — multi-dimensional, discrete-valued,
+//!   partially ordered application-level quality descriptions, typed by a
+//!   shared [`QosSchema`].
+//! * **Resource vectors** ([`ResourceVector`]) — per-resource amounts over
+//!   a [`ResourceSpace`] of reservable resources (CPU, memory, disk I/O
+//!   bandwidth, network links, end-to-end network paths).
+//! * **Translation functions** ([`Translation`]) — the per-component
+//!   "plug-in" functions `T_c : Q^in × Q^out → R` (eq. 1 of the paper)
+//!   mapping a (input QoS, output QoS) pair to the resource demand needed
+//!   to produce that output from that input. Demands are expressed per
+//!   component-local **slot** ([`SlotVector`]) so that one service
+//!   definition can be instantiated on any concrete placement.
+//! * **Service components** ([`ComponentSpec`]) and **dependency graphs**
+//!   ([`DependencyGraph`]) — chains or general DAGs with fan-out
+//!   (output shared by several successors) and fan-in (input is the
+//!   concatenation of all predecessors' outputs, §4.3.2).
+//! * **Service specifications** ([`ServiceSpec`]) — validated bundles of
+//!   components + dependency graph + a linear ranking of end-to-end QoS
+//!   levels, and **session instances** ([`SessionInstance`]) that bind the
+//!   abstract slots to concrete resources and apply per-session demand
+//!   scaling ("fat" sessions in the paper's evaluation).
+//!
+//! The runtime algorithm that consumes this model lives in `qosr-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use qosr_model::*;
+//!
+//! // A one-parameter QoS space: frame rate.
+//! let schema = QosSchema::new("video", ["frame_rate"]);
+//! let lo = QosVector::new(schema.clone(), [10]);
+//! let hi = QosVector::new(schema.clone(), [30]);
+//! assert!(lo.dominated_by(&hi).unwrap());
+//!
+//! // A single component producing either level from a fixed source.
+//! let src = QosVector::new(schema.clone(), [30]);
+//! let translation = TableTranslation::builder(1, 2, 1)
+//!     .entry(0, 0, [4.0])   // produce `lo`: 4 units of slot 0
+//!     .entry(0, 1, [9.0])   // produce `hi`: 9 units of slot 0
+//!     .build();
+//! let sender = ComponentSpec::new(
+//!     "sender",
+//!     vec![src],
+//!     vec![lo, hi],
+//!     vec![SlotSpec::new("cpu", ResourceKind::Compute)],
+//!     Arc::new(translation),
+//! );
+//! let service = ServiceSpec::chain("clip", vec![sender], vec![1, 2]).unwrap();
+//! assert_eq!(service.sink_rank_order(), vec![1, 0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod component;
+mod error;
+mod graph;
+mod qos;
+mod resource;
+mod service;
+mod session;
+mod slots;
+mod translation;
+
+pub use component::{ComponentSpec, SlotSpec};
+pub use error::ModelError;
+pub use graph::DependencyGraph;
+pub use qos::{QosSchema, QosVector};
+pub use resource::{ResourceId, ResourceInfo, ResourceKind, ResourceSpace, ResourceVector};
+pub use service::{LevelLink, ServiceSpec};
+pub use session::{ComponentBinding, SessionInstance};
+pub use slots::SlotVector;
+pub use translation::{FnTranslation, TableTranslation, TableTranslationBuilder, Translation};

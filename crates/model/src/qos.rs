@@ -1,0 +1,315 @@
+//! QoS schemas and partially ordered, discrete-valued QoS vectors (§2.2).
+
+use crate::ModelError;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// Names the application-level QoS parameters of one QoS space.
+///
+/// In the paper, the `Q^in`/`Q^out` of a service component are *QoS
+/// vectors of multiple application-level QoS parameters* — e.g.
+/// `[Frame_Rate, Image_Size]` for a video sender. Two vectors may only be
+/// compared (or treated as equivalent across a dependency edge) when they
+/// have the same set of parameters; the schema captures that set.
+///
+/// Schemas are immutable and shared via [`Arc`]; equality is structural
+/// (name + parameter list) so independently constructed but identical
+/// schemas are interchangeable.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct QosSchema {
+    name: String,
+    params: Vec<String>,
+}
+
+impl QosSchema {
+    /// Creates a schema with the given name and parameter names.
+    pub fn new<N, I, P>(name: N, params: I) -> Arc<Self>
+    where
+        N: Into<String>,
+        I: IntoIterator<Item = P>,
+        P: Into<String>,
+    {
+        Arc::new(QosSchema {
+            name: name.into(),
+            params: params.into_iter().map(Into::into).collect(),
+        })
+    }
+
+    /// Schema name (used in error messages and display output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered parameter names.
+    pub fn params(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Number of parameters (the arity of vectors of this schema).
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Builds the schema of the concatenation of the given schemas, used
+    /// for the `Q^in` of fan-in service components (§4.3.2): parameter
+    /// names are prefixed by their source schema's name.
+    pub fn concat<'a>(parts: impl IntoIterator<Item = &'a Arc<QosSchema>>) -> Arc<Self> {
+        let mut name = String::new();
+        let mut params = Vec::new();
+        for part in parts {
+            if !name.is_empty() {
+                name.push('+');
+            }
+            name.push_str(&part.name);
+            for p in &part.params {
+                params.push(format!("{}.{}", part.name, p));
+            }
+        }
+        Arc::new(QosSchema { name, params })
+    }
+}
+
+/// A discrete, multi-dimensional application-level QoS level.
+///
+/// Vectors are immutable. The dominance relation ([`QosVector::compare`])
+/// is the component-wise partial order of the paper: `Qa <= Qb` iff every
+/// parameter of `Qa` is `<=` the corresponding parameter of `Qb`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct QosVector {
+    schema: Arc<QosSchema>,
+    values: Box<[u32]>,
+}
+
+impl QosVector {
+    /// Creates a vector of the given schema.
+    ///
+    /// # Panics
+    /// Panics if the number of values does not match the schema arity; use
+    /// [`QosVector::try_new`] for a fallible variant.
+    pub fn new(schema: Arc<QosSchema>, values: impl Into<Vec<u32>>) -> Self {
+        Self::try_new(schema, values).expect("QoS vector arity mismatch")
+    }
+
+    /// Creates a vector of the given schema, checking the arity.
+    pub fn try_new(
+        schema: Arc<QosSchema>,
+        values: impl Into<Vec<u32>>,
+    ) -> Result<Self, ModelError> {
+        let values: Vec<u32> = values.into();
+        if values.len() != schema.arity() {
+            return Err(ModelError::ArityMismatch {
+                schema: schema.name().to_owned(),
+                expected: schema.arity(),
+                got: values.len(),
+            });
+        }
+        Ok(QosVector {
+            schema,
+            values: values.into_boxed_slice(),
+        })
+    }
+
+    /// The schema this vector is typed with.
+    pub fn schema(&self) -> &Arc<QosSchema> {
+        &self.schema
+    }
+
+    /// The raw parameter values, in schema order.
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Value of the named parameter, if the schema declares it.
+    pub fn get(&self, param: &str) -> Option<u32> {
+        self.schema
+            .params()
+            .iter()
+            .position(|p| p == param)
+            .map(|i| self.values[i])
+    }
+
+    /// Component-wise partial-order comparison.
+    ///
+    /// Returns `Ok(None)` when the vectors are incomparable (some
+    /// parameters larger, some smaller), and an error when the schemas
+    /// differ — schema mismatches are modelling bugs, not mere
+    /// incomparability.
+    pub fn compare(&self, other: &QosVector) -> Result<Option<Ordering>, ModelError> {
+        if self.schema != other.schema {
+            return Err(ModelError::SchemaMismatch {
+                left: self.schema.name().to_owned(),
+                right: other.schema.name().to_owned(),
+            });
+        }
+        let mut seen_lt = false;
+        let mut seen_gt = false;
+        for (a, b) in self.values.iter().zip(other.values.iter()) {
+            match a.cmp(b) {
+                Ordering::Less => seen_lt = true,
+                Ordering::Greater => seen_gt = true,
+                Ordering::Equal => {}
+            }
+        }
+        Ok(match (seen_lt, seen_gt) {
+            (false, false) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (true, true) => None,
+        })
+    }
+
+    /// `true` iff `self <= other` in the component-wise partial order.
+    pub fn dominated_by(&self, other: &QosVector) -> Result<bool, ModelError> {
+        Ok(matches!(
+            self.compare(other)?,
+            Some(Ordering::Less) | Some(Ordering::Equal)
+        ))
+    }
+
+    /// Concatenates vectors into one vector over the concatenated schema,
+    /// used to form the `Q^in` of a fan-in component from its
+    /// predecessors' `Q^out` (§4.3.2).
+    pub fn concat<'a>(parts: impl IntoIterator<Item = &'a QosVector> + Clone) -> QosVector {
+        let schema = QosSchema::concat(parts.clone().into_iter().map(|v| &v.schema));
+        let values: Vec<u32> = parts
+            .into_iter()
+            .flat_map(|v| v.values.iter().copied())
+            .collect();
+        QosVector {
+            schema,
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Splits this vector's values into chunks matching the given schema
+    /// arities, returning `None` if the total arity does not match. Used
+    /// to decompose a fan-in input level back into per-predecessor parts.
+    pub fn split_values(&self, arities: &[usize]) -> Option<Vec<&[u32]>> {
+        let total: usize = arities.iter().sum();
+        if total != self.values.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(arities.len());
+        let mut start = 0;
+        for &a in arities {
+            out.push(&self.values[start..start + a]);
+            start += a;
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Debug for QosVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.schema.name())?;
+        for (i, (p, v)) in self
+            .schema
+            .params()
+            .iter()
+            .zip(self.values.iter())
+            .enumerate()
+        {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}={v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for QosVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema2() -> Arc<QosSchema> {
+        QosSchema::new("video", ["frame_rate", "image_size"])
+    }
+
+    #[test]
+    fn arity_checked() {
+        let s = schema2();
+        assert!(QosVector::try_new(s.clone(), vec![1]).is_err());
+        assert!(QosVector::try_new(s, vec![1, 2]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn new_panics_on_arity() {
+        QosVector::new(schema2(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn partial_order() {
+        let s = schema2();
+        let lo = QosVector::new(s.clone(), [10, 240]);
+        let hi = QosVector::new(s.clone(), [30, 480]);
+        let mixed = QosVector::new(s.clone(), [40, 240]);
+
+        assert_eq!(lo.compare(&hi).unwrap(), Some(Ordering::Less));
+        assert_eq!(hi.compare(&lo).unwrap(), Some(Ordering::Greater));
+        assert_eq!(lo.compare(&lo).unwrap(), Some(Ordering::Equal));
+        assert_eq!(mixed.compare(&lo).unwrap(), Some(Ordering::Greater));
+        // 40>30 but 240<480: incomparable.
+        assert_eq!(mixed.compare(&hi).unwrap(), None);
+        assert!(lo.dominated_by(&hi).unwrap());
+        assert!(lo.dominated_by(&lo).unwrap());
+        assert!(!hi.dominated_by(&lo).unwrap());
+        assert!(!mixed.dominated_by(&hi).unwrap());
+    }
+
+    #[test]
+    fn schema_mismatch_is_error() {
+        let a = QosVector::new(schema2(), [1, 2]);
+        let b = QosVector::new(QosSchema::new("audio", ["bitrate"]), [128]);
+        assert!(matches!(
+            a.compare(&b),
+            Err(ModelError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn structural_schema_equality() {
+        // Independently constructed identical schemas compare fine.
+        let a = QosVector::new(QosSchema::new("v", ["x"]), [3]);
+        let b = QosVector::new(QosSchema::new("v", ["x"]), [5]);
+        assert_eq!(a.compare(&b).unwrap(), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn get_by_name() {
+        let v = QosVector::new(schema2(), [25, 352]);
+        assert_eq!(v.get("frame_rate"), Some(25));
+        assert_eq!(v.get("image_size"), Some(352));
+        assert_eq!(v.get("nope"), None);
+    }
+
+    #[test]
+    fn concat_and_split() {
+        let a = QosVector::new(QosSchema::new("left", ["x", "y"]), [1, 2]);
+        let b = QosVector::new(QosSchema::new("right", ["z"]), [3]);
+        let c = QosVector::concat([&a, &b]);
+        assert_eq!(c.values(), &[1, 2, 3]);
+        assert_eq!(c.schema().name(), "left+right");
+        assert_eq!(
+            c.schema().params(),
+            &["left.x".to_owned(), "left.y".into(), "right.z".into()]
+        );
+        let parts = c.split_values(&[2, 1]).unwrap();
+        assert_eq!(parts, vec![&[1u32, 2][..], &[3u32][..]]);
+        assert!(c.split_values(&[2, 2]).is_none());
+    }
+
+    #[test]
+    fn debug_format() {
+        let v = QosVector::new(schema2(), [25, 352]);
+        assert_eq!(format!("{v:?}"), "video[frame_rate=25, image_size=352]");
+    }
+}

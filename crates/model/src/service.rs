@@ -1,0 +1,406 @@
+//! Validated service specifications.
+
+use crate::{ComponentSpec, DependencyGraph, ModelError, QosVector};
+use std::fmt;
+
+/// For one input QoS level of a component: which output level of each
+/// predecessor (in [`DependencyGraph::preds`] order) it is the
+/// concatenation of.
+///
+/// For a single-predecessor component this is a 1-element list — the
+/// paper's plain equivalence of `Q^out` and `Q^in` across an edge. For a
+/// fan-in component it records the decomposition of the concatenated
+/// input (§4.3.2).
+pub type LevelLink = Vec<usize>;
+
+/// A complete, validated distributed-service definition: components, the
+/// dependency graph connecting them, and a linear ranking of the
+/// end-to-end QoS levels (the sink component's output levels).
+///
+/// Construction validates all the structural invariants the runtime
+/// algorithm (in `qosr-core`) relies on, so a `ServiceSpec` that exists
+/// is always safe to plan against:
+///
+/// * graph size matches the component list, exactly one source and sink;
+/// * the source component has exactly one input level (the original
+///   quality of the source data — the QRG source node);
+/// * every input level of every downstream component decomposes uniquely
+///   into one output level per predecessor;
+/// * the sink ranking is a strict linear order over the sink's output
+///   levels (the paper assumes end-to-end QoS levels "can be ranked in a
+///   linear order, based on a user's preference").
+pub struct ServiceSpec {
+    name: String,
+    components: Vec<ComponentSpec>,
+    graph: DependencyGraph,
+    sink_ranking: Vec<u32>,
+    /// `links[v][i]` = decomposition of input level `i` of component `v`
+    /// over `graph.preds(v)`; empty list of levels for the source.
+    links: Vec<Vec<LevelLink>>,
+}
+
+impl ServiceSpec {
+    /// Builds and validates a service.
+    ///
+    /// `sink_ranking[l]` is the rank of the sink component's output level
+    /// `l`; **higher rank = better QoS**, and all ranks must be distinct.
+    pub fn new(
+        name: impl Into<String>,
+        components: Vec<ComponentSpec>,
+        graph: DependencyGraph,
+        sink_ranking: Vec<u32>,
+    ) -> Result<Self, ModelError> {
+        if components.len() != graph.len() {
+            return Err(ModelError::GraphSizeMismatch {
+                components: components.len(),
+                graph: graph.len(),
+            });
+        }
+        for c in &components {
+            if c.input_levels().is_empty() || c.output_levels().is_empty() {
+                return Err(ModelError::EmptyLevels {
+                    component: c.name().to_owned(),
+                });
+            }
+        }
+        let source = graph.source();
+        if components[source].input_levels().len() != 1 {
+            return Err(ModelError::SourceInputLevels {
+                component: components[source].name().to_owned(),
+                count: components[source].input_levels().len(),
+            });
+        }
+
+        // Decompose every downstream input level over its predecessors.
+        let mut links: Vec<Vec<LevelLink>> = Vec::with_capacity(components.len());
+        for (v, comp) in components.iter().enumerate() {
+            let preds = graph.preds(v);
+            if preds.is_empty() {
+                links.push(Vec::new());
+                continue;
+            }
+            // Single-predecessor components must share the predecessor's
+            // output schema exactly; fan-in components are checked by
+            // total arity (their schema is a concatenation).
+            if preds.len() == 1 {
+                let u = preds[0];
+                let up_schema = components[u].output_levels()[0].schema();
+                for lvl in comp.input_levels() {
+                    if lvl.schema() != up_schema {
+                        return Err(ModelError::SchemaMismatch {
+                            left: up_schema.name().to_owned(),
+                            right: lvl.schema().name().to_owned(),
+                        });
+                    }
+                }
+            }
+            let arities: Vec<usize> = preds
+                .iter()
+                .map(|&u| components[u].output_levels()[0].schema().arity())
+                .collect();
+
+            let mut comp_links = Vec::with_capacity(comp.input_levels().len());
+            for (i, lvl) in comp.input_levels().iter().enumerate() {
+                let segments =
+                    lvl.split_values(&arities)
+                        .ok_or_else(|| ModelError::Undecomposable {
+                            component: comp.name().to_owned(),
+                            level: i,
+                        })?;
+                let mut link = Vec::with_capacity(preds.len());
+                for (&u, seg) in preds.iter().zip(segments) {
+                    let matches: Vec<usize> = components[u]
+                        .output_levels()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, out)| out.values() == seg)
+                        .map(|(j, _)| j)
+                        .collect();
+                    match matches.as_slice() {
+                        [] => {
+                            return Err(ModelError::Undecomposable {
+                                component: comp.name().to_owned(),
+                                level: i,
+                            })
+                        }
+                        [j] => link.push(*j),
+                        _ => {
+                            return Err(ModelError::AmbiguousDecomposition {
+                                component: comp.name().to_owned(),
+                                level: i,
+                            })
+                        }
+                    }
+                }
+                comp_links.push(link);
+            }
+            links.push(comp_links);
+        }
+
+        let sink_levels = components[graph.sink()].output_levels().len();
+        if sink_ranking.len() != sink_levels {
+            return Err(ModelError::InvalidRanking {
+                reason: format!(
+                    "ranking has {} entries, sink has {} output levels",
+                    sink_ranking.len(),
+                    sink_levels
+                ),
+            });
+        }
+        let mut seen = sink_ranking.clone();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ModelError::InvalidRanking {
+                reason: "duplicate ranks (the order must be strict)".to_owned(),
+            });
+        }
+
+        Ok(ServiceSpec {
+            name: name.into(),
+            components,
+            graph,
+            sink_ranking,
+            links,
+        })
+    }
+
+    /// Convenience constructor for chain services (the basic-algorithm
+    /// case): components are linked `0 → 1 → …` in list order.
+    pub fn chain(
+        name: impl Into<String>,
+        components: Vec<ComponentSpec>,
+        sink_ranking: Vec<u32>,
+    ) -> Result<Self, ModelError> {
+        let graph = DependencyGraph::chain(components.len())?;
+        ServiceSpec::new(name, components, graph, sink_ranking)
+    }
+
+    /// Service name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The participating components.
+    pub fn components(&self) -> &[ComponentSpec] {
+        &self.components
+    }
+
+    /// One component by index.
+    pub fn component(&self, i: usize) -> &ComponentSpec {
+        &self.components[i]
+    }
+
+    /// The dependency graph.
+    pub fn graph(&self) -> &DependencyGraph {
+        &self.graph
+    }
+
+    /// Rank of each sink output level (higher = better).
+    pub fn sink_ranking(&self) -> &[u32] {
+        &self.sink_ranking
+    }
+
+    /// Sink output level indices ordered best-first.
+    pub fn sink_rank_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.sink_ranking.len()).collect();
+        order.sort_by_key(|&l| std::cmp::Reverse(self.sink_ranking[l]));
+        order
+    }
+
+    /// The end-to-end QoS levels (the sink component's output levels).
+    pub fn end_to_end_levels(&self) -> &[QosVector] {
+        self.components[self.graph.sink()].output_levels()
+    }
+
+    /// The decomposition of input level `i` of component `v` over
+    /// `graph().preds(v)`: `link(v, i)[k]` is the output-level index of
+    /// predecessor `preds(v)[k]` that feeds this input. Empty for the
+    /// source component.
+    pub fn link(&self, v: usize, i: usize) -> &[usize] {
+        &self.links[v][i]
+    }
+
+    /// Input levels of component `v` fed by output level `j` of
+    /// predecessor `u` — the equivalence edges of the QRG (§4.1.1).
+    pub fn inputs_fed_by(&self, u: usize, j: usize, v: usize) -> Vec<usize> {
+        let Some(pos) = self.graph.preds(v).iter().position(|&p| p == u) else {
+            return Vec::new();
+        };
+        self.links[v]
+            .iter()
+            .enumerate()
+            .filter(|(_, link)| link[pos] == j)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl fmt::Debug for ServiceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceSpec")
+            .field("name", &self.name)
+            .field("components", &self.components)
+            .field("graph", &self.graph)
+            .field("sink_ranking", &self.sink_ranking)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QosSchema, ResourceKind, SlotSpec, TableTranslation};
+    use std::sync::Arc;
+
+    fn comp(
+        name: &str,
+        input: Vec<QosVector>,
+        output: Vec<QosVector>,
+        n_slots: usize,
+    ) -> ComponentSpec {
+        let n_in = input.len();
+        let n_out = output.len();
+        let mut b = TableTranslation::builder(n_in, n_out, n_slots);
+        for i in 0..n_in {
+            for o in 0..n_out {
+                b = b.entry(i, o, vec![1.0; n_slots]);
+            }
+        }
+        let slots = (0..n_slots)
+            .map(|s| SlotSpec::new(format!("s{s}"), ResourceKind::Compute))
+            .collect();
+        ComponentSpec::new(name, input, output, slots, Arc::new(b.build()))
+    }
+
+    fn lv(schema: &Arc<QosSchema>, v: u32) -> QosVector {
+        QosVector::new(schema.clone(), [v])
+    }
+
+    #[test]
+    fn valid_chain() {
+        let s = QosSchema::new("q", ["x"]);
+        let sender = comp("sender", vec![lv(&s, 9)], vec![lv(&s, 1), lv(&s, 2)], 1);
+        let player = comp(
+            "player",
+            vec![lv(&s, 1), lv(&s, 2)],
+            vec![lv(&s, 1), lv(&s, 2), lv(&s, 3)],
+            1,
+        );
+        let svc = ServiceSpec::chain("svc", vec![sender, player], vec![10, 20, 30]).unwrap();
+        assert_eq!(svc.name(), "svc");
+        assert_eq!(svc.sink_rank_order(), vec![2, 1, 0]);
+        assert_eq!(svc.end_to_end_levels().len(), 3);
+        // Equivalence: player's input level 0 (value 1) comes from
+        // sender's output level 0 (value 1).
+        assert_eq!(svc.link(1, 0), &[0]);
+        assert_eq!(svc.link(1, 1), &[1]);
+        assert_eq!(svc.inputs_fed_by(0, 0, 1), vec![0]);
+        assert_eq!(svc.inputs_fed_by(0, 1, 1), vec![1]);
+        // Non-adjacent query yields nothing.
+        assert!(svc.inputs_fed_by(1, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn fan_in_decomposition() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3 with component 3 fan-in.
+        let s = QosSchema::new("q", ["x"]);
+        let c0 = comp("src", vec![lv(&s, 9)], vec![lv(&s, 1)], 1);
+        let c1 = comp("a", vec![lv(&s, 1)], vec![lv(&s, 10), lv(&s, 11)], 1);
+        let c2 = comp("b", vec![lv(&s, 1)], vec![lv(&s, 20)], 1);
+        // Fan-in inputs: concat of (c1 out, c2 out).
+        let fanin_inputs = vec![
+            QosVector::concat([&lv(&s, 10), &lv(&s, 20)]),
+            QosVector::concat([&lv(&s, 11), &lv(&s, 20)]),
+        ];
+        let c3 = comp("merge", fanin_inputs, vec![lv(&s, 5)], 1);
+        let graph = DependencyGraph::new(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let svc = ServiceSpec::new("dag", vec![c0, c1, c2, c3], graph, vec![0]).unwrap();
+        // preds(3) == [1, 2]; input 0 = (c1 out 0, c2 out 0).
+        assert_eq!(svc.link(3, 0), &[0, 0]);
+        assert_eq!(svc.link(3, 1), &[1, 0]);
+        assert_eq!(svc.inputs_fed_by(1, 1, 3), vec![1]);
+        assert_eq!(svc.inputs_fed_by(2, 0, 3), vec![0, 1]);
+    }
+
+    #[test]
+    fn rejects_source_with_many_inputs() {
+        let s = QosSchema::new("q", ["x"]);
+        let sender = comp("sender", vec![lv(&s, 1), lv(&s, 2)], vec![lv(&s, 1)], 1);
+        let player = comp("player", vec![lv(&s, 1)], vec![lv(&s, 1)], 1);
+        let err = ServiceSpec::chain("svc", vec![sender, player], vec![0]).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::SourceInputLevels { count: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_undecomposable_input() {
+        let s = QosSchema::new("q", ["x"]);
+        let sender = comp("sender", vec![lv(&s, 9)], vec![lv(&s, 1)], 1);
+        // Player accepts value 7, which sender never outputs.
+        let player = comp("player", vec![lv(&s, 7)], vec![lv(&s, 1)], 1);
+        let err = ServiceSpec::chain("svc", vec![sender, player], vec![0]).unwrap_err();
+        assert!(matches!(err, ModelError::Undecomposable { level: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_ambiguous_decomposition() {
+        let s = QosSchema::new("q", ["x"]);
+        // Sender has two identical output levels.
+        let sender = comp("sender", vec![lv(&s, 9)], vec![lv(&s, 1), lv(&s, 1)], 1);
+        let player = comp("player", vec![lv(&s, 1)], vec![lv(&s, 1)], 1);
+        let err = ServiceSpec::chain("svc", vec![sender, player], vec![0]).unwrap_err();
+        assert!(matches!(err, ModelError::AmbiguousDecomposition { .. }));
+    }
+
+    #[test]
+    fn rejects_schema_mismatch_on_edge() {
+        let s1 = QosSchema::new("a", ["x"]);
+        let s2 = QosSchema::new("b", ["x"]);
+        let sender = comp("sender", vec![lv(&s1, 9)], vec![lv(&s1, 1)], 1);
+        let player = comp("player", vec![lv(&s2, 1)], vec![lv(&s2, 1)], 1);
+        let err = ServiceSpec::chain("svc", vec![sender, player], vec![0]).unwrap_err();
+        assert!(matches!(err, ModelError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_rankings() {
+        let s = QosSchema::new("q", ["x"]);
+        let sender = comp("sender", vec![lv(&s, 9)], vec![lv(&s, 1)], 1);
+        let player = comp("player", vec![lv(&s, 1)], vec![lv(&s, 1), lv(&s, 2)], 1);
+        // Wrong length.
+        assert!(matches!(
+            ServiceSpec::chain("svc", vec![sender.clone(), player.clone()], vec![0]),
+            Err(ModelError::InvalidRanking { .. })
+        ));
+        // Duplicate ranks.
+        assert!(matches!(
+            ServiceSpec::chain("svc", vec![sender, player], vec![3, 3]),
+            Err(ModelError::InvalidRanking { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_size_mismatch_and_empty_levels() {
+        let s = QosSchema::new("q", ["x"]);
+        let sender = comp("sender", vec![lv(&s, 9)], vec![lv(&s, 1)], 1);
+        let graph = DependencyGraph::chain(2).unwrap();
+        assert!(matches!(
+            ServiceSpec::new("svc", vec![sender.clone()], graph, vec![0]),
+            Err(ModelError::GraphSizeMismatch { .. })
+        ));
+
+        let empty = ComponentSpec::new(
+            "empty",
+            vec![],
+            vec![],
+            vec![],
+            Arc::new(TableTranslation::builder(0, 0, 0).build()),
+        );
+        assert!(matches!(
+            ServiceSpec::chain("svc", vec![empty], vec![]),
+            Err(ModelError::EmptyLevels { .. })
+        ));
+    }
+}

@@ -1,0 +1,287 @@
+//! Session instantiation: binding abstract services to concrete
+//! resources.
+//!
+//! A [`crate::ServiceSpec`] is placement-free: components demand
+//! resources through named slots. A **session** of the service binds each
+//! slot to a concrete [`ResourceId`] (the CPU of the host the component
+//! was placed on, the network path between two specific hosts, …) and may
+//! scale all demands by a factor — the paper's evaluation uses scale
+//! factors N ∈ {2, 10} for its "fat" sessions.
+
+use crate::{ModelError, ResourceId, ResourceSpace, ResourceVector, ServiceSpec};
+use std::sync::Arc;
+
+/// Maps each slot of one component to a concrete resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentBinding {
+    resources: Vec<ResourceId>,
+}
+
+impl ComponentBinding {
+    /// Creates a binding from the slot-ordered resource list.
+    pub fn new(resources: impl Into<Vec<ResourceId>>) -> Self {
+        ComponentBinding {
+            resources: resources.into(),
+        }
+    }
+
+    /// The bound resources, in slot order.
+    pub fn resources(&self) -> &[ResourceId] {
+        &self.resources
+    }
+}
+
+/// One service session: a service spec, a concrete binding per component,
+/// and a demand scale factor.
+#[derive(Debug, Clone)]
+pub struct SessionInstance {
+    service: Arc<ServiceSpec>,
+    bindings: Vec<ComponentBinding>,
+    scale: f64,
+}
+
+impl SessionInstance {
+    /// Creates a session instance, checking that there is one binding per
+    /// component with one resource per slot, and that the scale factor is
+    /// finite and positive.
+    pub fn new(
+        service: Arc<ServiceSpec>,
+        bindings: Vec<ComponentBinding>,
+        scale: f64,
+    ) -> Result<Self, ModelError> {
+        if bindings.len() != service.components().len() {
+            return Err(ModelError::BindingShape {
+                reason: format!(
+                    "{} bindings for {} components",
+                    bindings.len(),
+                    service.components().len()
+                ),
+            });
+        }
+        for (c, b) in service.components().iter().zip(&bindings) {
+            if b.resources().len() != c.slots().len() {
+                return Err(ModelError::BindingShape {
+                    reason: format!(
+                        "component {:?} has {} slots but binding supplies {} resources",
+                        c.name(),
+                        c.slots().len(),
+                        b.resources().len()
+                    ),
+                });
+            }
+        }
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(ModelError::InvalidAmount { value: scale });
+        }
+        Ok(SessionInstance {
+            service,
+            bindings,
+            scale,
+        })
+    }
+
+    /// The service being instantiated.
+    pub fn service(&self) -> &Arc<ServiceSpec> {
+        &self.service
+    }
+
+    /// Per-component slot bindings.
+    pub fn bindings(&self) -> &[ComponentBinding] {
+        &self.bindings
+    }
+
+    /// The demand scale factor (1.0 for normal sessions, N for "fat").
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Checks each bound resource's kind against the slot's declared kind.
+    /// Separate from construction because the [`ResourceSpace`] may live
+    /// elsewhere (e.g. inside a broker registry).
+    pub fn validate_kinds(&self, space: &ResourceSpace) -> Result<(), ModelError> {
+        for (c, b) in self.service.components().iter().zip(&self.bindings) {
+            for (slot, &rid) in c.slots().iter().zip(b.resources()) {
+                let actual = space.info(rid).kind;
+                if actual != slot.kind {
+                    return Err(ModelError::BindingShape {
+                        reason: format!(
+                            "slot {:?} of component {:?} expects kind {} but {} is {}",
+                            slot.name,
+                            c.name(),
+                            slot.kind,
+                            space.name(rid),
+                            actual
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The concrete, scaled resource demand `R^req` for running component
+    /// `comp` with input level `qin` and output level `qout` — eq. (1) of
+    /// the paper, evaluated through this session's binding. `None` when
+    /// the translation function rejects the pair. Slots bound to the same
+    /// resource have their demands summed.
+    pub fn demand(&self, comp: usize, qin: usize, qout: usize) -> Option<ResourceVector> {
+        let slot_demand = self.service.component(comp).translate(qin, qout)?;
+        let binding = &self.bindings[comp];
+        debug_assert_eq!(slot_demand.len(), binding.resources().len());
+        let vector = ResourceVector::from_pairs(
+            slot_demand
+                .iter()
+                .map(|(slot, amount)| (binding.resources()[slot], amount * self.scale)),
+        )
+        .expect("slot demands and scale are validated at construction");
+        Some(vector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ComponentSpec, QosSchema, QosVector, ResourceKind, SlotSpec, TableTranslation};
+
+    fn service() -> Arc<ServiceSpec> {
+        let s = QosSchema::new("q", ["x"]);
+        let lv = |v: u32| QosVector::new(s.clone(), [v]);
+        let sender = ComponentSpec::new(
+            "sender",
+            vec![lv(9)],
+            vec![lv(1), lv(2)],
+            vec![
+                SlotSpec::new("cpu", ResourceKind::Compute),
+                SlotSpec::new("disk", ResourceKind::DiskIo),
+            ],
+            Arc::new(
+                TableTranslation::builder(1, 2, 2)
+                    .entry(0, 0, [2.0, 4.0])
+                    .entry(0, 1, [5.0, 8.0])
+                    .build(),
+            ),
+        );
+        let player = ComponentSpec::new(
+            "player",
+            vec![lv(1), lv(2)],
+            vec![lv(1), lv(2)],
+            vec![SlotSpec::new("net", ResourceKind::NetworkPath)],
+            Arc::new(
+                TableTranslation::builder(2, 2, 1)
+                    .entry(0, 0, [3.0])
+                    .entry(1, 1, [6.0])
+                    .build(),
+            ),
+        );
+        Arc::new(ServiceSpec::chain("svc", vec![sender, player], vec![1, 2]).unwrap())
+    }
+
+    fn space() -> (ResourceSpace, Vec<ResourceId>) {
+        let mut sp = ResourceSpace::new();
+        let ids = vec![
+            sp.register("cpu", ResourceKind::Compute),
+            sp.register("disk", ResourceKind::DiskIo),
+            sp.register("net", ResourceKind::NetworkPath),
+        ];
+        (sp, ids)
+    }
+
+    #[test]
+    fn demand_binds_and_scales() {
+        let svc = service();
+        let (_, ids) = space();
+        let inst = SessionInstance::new(
+            svc,
+            vec![
+                ComponentBinding::new([ids[0], ids[1]]),
+                ComponentBinding::new([ids[2]]),
+            ],
+            2.0,
+        )
+        .unwrap();
+        let d = inst.demand(0, 0, 1).unwrap();
+        assert_eq!(d.get(ids[0]), 10.0); // 5.0 * scale 2
+        assert_eq!(d.get(ids[1]), 16.0); // 8.0 * scale 2
+        assert!(inst.demand(1, 0, 1).is_none()); // infeasible pair
+        assert_eq!(inst.scale(), 2.0);
+    }
+
+    #[test]
+    fn slots_sharing_a_resource_sum() {
+        let svc = service();
+        let (_, ids) = space();
+        // Bind both sender slots to the same resource.
+        let inst = SessionInstance::new(
+            svc,
+            vec![
+                ComponentBinding::new([ids[0], ids[0]]),
+                ComponentBinding::new([ids[2]]),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = inst.demand(0, 0, 0).unwrap();
+        assert_eq!(d.get(ids[0]), 6.0); // 2.0 + 4.0
+    }
+
+    #[test]
+    fn shape_validation() {
+        let svc = service();
+        let (_, ids) = space();
+        // Missing a binding.
+        assert!(SessionInstance::new(
+            svc.clone(),
+            vec![ComponentBinding::new([ids[0], ids[1]])],
+            1.0
+        )
+        .is_err());
+        // Wrong slot count.
+        assert!(SessionInstance::new(
+            svc.clone(),
+            vec![
+                ComponentBinding::new([ids[0]]),
+                ComponentBinding::new([ids[2]]),
+            ],
+            1.0
+        )
+        .is_err());
+        // Bad scale.
+        assert!(SessionInstance::new(
+            svc,
+            vec![
+                ComponentBinding::new([ids[0], ids[1]]),
+                ComponentBinding::new([ids[2]]),
+            ],
+            0.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn kind_validation() {
+        let svc = service();
+        let (sp, ids) = space();
+        let good = SessionInstance::new(
+            svc.clone(),
+            vec![
+                ComponentBinding::new([ids[0], ids[1]]),
+                ComponentBinding::new([ids[2]]),
+            ],
+            1.0,
+        )
+        .unwrap();
+        assert!(good.validate_kinds(&sp).is_ok());
+
+        // Bind the disk slot to a network path.
+        let bad = SessionInstance::new(
+            svc,
+            vec![
+                ComponentBinding::new([ids[0], ids[2]]),
+                ComponentBinding::new([ids[2]]),
+            ],
+            1.0,
+        )
+        .unwrap();
+        assert!(bad.validate_kinds(&sp).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Component-local resource slots.
+//!
+//! A service component's translation function (§2.2) produces resource
+//! demands for *abstract* resources — "the CPU of whatever host I run
+//! on", "the network path from my upstream component's host to mine".
+//! We call these abstract positions **slots**. A [`SlotVector`] holds the
+//! demand per slot; at session-establishment time a
+//! [`crate::ComponentBinding`] maps each slot to a concrete
+//! [`crate::ResourceId`], turning slot demands into a
+//! [`crate::ResourceVector`].
+
+use crate::ModelError;
+use std::fmt;
+
+/// Demand per component-local slot, aligned with the component's
+/// [`crate::SlotSpec`] list (`amounts[i]` is the demand on slot `i`).
+///
+/// Unlike [`crate::ResourceVector`], zero amounts are kept (the vector is
+/// dense over the component's slots) — a zero entry simply binds to no
+/// demand after instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotVector {
+    amounts: Box<[f64]>,
+}
+
+impl SlotVector {
+    /// Creates a slot vector, validating the amounts.
+    pub fn new(amounts: impl Into<Vec<f64>>) -> Result<Self, ModelError> {
+        let amounts: Vec<f64> = amounts.into();
+        for &a in &amounts {
+            if !a.is_finite() || a < 0.0 {
+                return Err(ModelError::InvalidAmount { value: a });
+            }
+        }
+        Ok(SlotVector {
+            amounts: amounts.into_boxed_slice(),
+        })
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.amounts.len()
+    }
+
+    /// `true` when the component has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.amounts.is_empty()
+    }
+
+    /// Demand of slot `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.amounts[i]
+    }
+
+    /// The raw amounts.
+    pub fn amounts(&self) -> &[f64] {
+        &self.amounts
+    }
+
+    /// Iterator over `(slot index, amount)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.amounts.iter().copied().enumerate()
+    }
+
+    /// Returns a copy with every amount multiplied by `factor`.
+    pub fn scaled(&self, factor: f64) -> Result<Self, ModelError> {
+        SlotVector::new(
+            self.amounts
+                .iter()
+                .map(|a| a * factor)
+                .collect::<Vec<f64>>(),
+        )
+    }
+}
+
+impl fmt::Display for SlotVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, a) in self.amounts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = SlotVector::new([1.0, 0.0, 2.5]).unwrap();
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v.get(0), 1.0);
+        assert_eq!(v.get(1), 0.0); // zeros are kept (dense over slots)
+        assert_eq!(v.amounts(), &[1.0, 0.0, 2.5]);
+        assert_eq!(
+            v.iter().collect::<Vec<_>>(),
+            vec![(0, 1.0), (1, 0.0), (2, 2.5)]
+        );
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(SlotVector::new([-1.0]).is_err());
+        assert!(SlotVector::new([f64::NAN]).is_err());
+        assert!(SlotVector::new([f64::INFINITY]).is_err());
+        assert!(SlotVector::new([]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scaled() {
+        let v = SlotVector::new([2.0, 4.0]).unwrap();
+        let s = v.scaled(2.5).unwrap();
+        assert_eq!(s.amounts(), &[5.0, 10.0]);
+        // Scaling that overflows to infinity is rejected.
+        assert!(SlotVector::new([f64::MAX]).unwrap().scaled(2.0).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let v = SlotVector::new([1.0, 2.0]).unwrap();
+        assert_eq!(v.to_string(), "[1, 2]");
+    }
+}

@@ -1,0 +1,270 @@
+//! Translation functions `T_c : Q^in × Q^out → R` (§2.2, eq. 1).
+//!
+//! A translation function answers: *given an input QoS, in order to
+//! achieve an output QoS, what is the component's resource requirement?*
+//! Returning [`None`] means the component cannot produce that output from
+//! that input at all — no QRG edge is created for the pair (§4.1.1).
+//!
+//! Translation functions are supplied by the service-component developer
+//! as "plug-ins"; this module offers the two common forms:
+//! [`TableTranslation`] (an explicit table over level indices — the form
+//! used throughout the paper's evaluation) and [`FnTranslation`]
+//! (an arbitrary closure).
+
+use crate::{ModelError, SlotVector};
+use std::fmt;
+
+/// A per-component translation function over *level indices*.
+///
+/// Levels are identified by their index into the component's
+/// `input_levels` / `output_levels` lists; implementations that need the
+/// actual [`crate::QosVector`]s can capture them at construction time.
+pub trait Translation: Send + Sync + fmt::Debug {
+    /// Resource demand (per component slot) to produce output level
+    /// `qout` from input level `qin`, or `None` when the pair is
+    /// infeasible for this component.
+    fn translate(&self, qin: usize, qout: usize) -> Option<SlotVector>;
+}
+
+/// Table-driven translation over `(input level, output level)` pairs.
+///
+/// This is the natural encoding for the discrete QoS level sets of the
+/// paper (figure 10): a dense `n_in × n_out` table of optional slot
+/// demands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableTranslation {
+    n_in: usize,
+    n_out: usize,
+    n_slots: usize,
+    cells: Vec<Option<SlotVector>>,
+}
+
+impl TableTranslation {
+    /// Starts building a table for `n_in` input levels, `n_out` output
+    /// levels, and `n_slots` resource slots.
+    pub fn builder(n_in: usize, n_out: usize, n_slots: usize) -> TableTranslationBuilder {
+        TableTranslationBuilder {
+            table: TableTranslation {
+                n_in,
+                n_out,
+                n_slots,
+                cells: vec![None; n_in * n_out],
+            },
+            error: None,
+        }
+    }
+
+    /// Number of input levels.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Number of output levels.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// Number of resource slots.
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// Iterator over the populated `(qin, qout, demand)` cells, in
+    /// row-major order.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, &SlotVector)> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, cell)| cell.as_ref().map(|v| (i / self.n_out, i % self.n_out, v)))
+    }
+
+    /// Rebuilds the table with every populated cell's demand transformed
+    /// by `f(qin, qout, slot, amount) -> amount`. Used e.g. by the
+    /// requirement-diversity experiments (§5.2.5) to compress the spread
+    /// of requirement values while preserving their mean.
+    pub fn map_amounts(
+        &self,
+        mut f: impl FnMut(usize, usize, usize, f64) -> f64,
+    ) -> Result<TableTranslation, ModelError> {
+        let mut out = self.clone();
+        for (i, cell) in out.cells.iter_mut().enumerate() {
+            if let Some(v) = cell {
+                let (qin, qout) = (i / self.n_out, i % self.n_out);
+                let amounts: Vec<f64> = v.iter().map(|(slot, a)| f(qin, qout, slot, a)).collect();
+                *v = SlotVector::new(amounts)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn cell_index(&self, qin: usize, qout: usize) -> Option<usize> {
+        (qin < self.n_in && qout < self.n_out).then_some(qin * self.n_out + qout)
+    }
+}
+
+impl Translation for TableTranslation {
+    fn translate(&self, qin: usize, qout: usize) -> Option<SlotVector> {
+        self.cell_index(qin, qout)
+            .and_then(|i| self.cells[i].clone())
+    }
+}
+
+/// Builder for [`TableTranslation`]; errors are deferred to
+/// [`TableTranslationBuilder::try_build`] so entries can be chained.
+#[derive(Debug)]
+pub struct TableTranslationBuilder {
+    table: TableTranslation,
+    error: Option<ModelError>,
+}
+
+impl TableTranslationBuilder {
+    /// Declares that output level `qout` is producible from input level
+    /// `qin` at the given per-slot demand.
+    pub fn entry(mut self, qin: usize, qout: usize, demand: impl Into<Vec<f64>>) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let demand: Vec<f64> = demand.into();
+        if demand.len() != self.table.n_slots {
+            self.error = Some(ModelError::TranslationShape {
+                reason: format!(
+                    "entry ({qin}, {qout}) has {} slot amounts, table declares {}",
+                    demand.len(),
+                    self.table.n_slots
+                ),
+            });
+            return self;
+        }
+        let Some(i) = self.table.cell_index(qin, qout) else {
+            self.error = Some(ModelError::TranslationShape {
+                reason: format!(
+                    "entry ({qin}, {qout}) out of range for {}x{} table",
+                    self.table.n_in, self.table.n_out
+                ),
+            });
+            return self;
+        };
+        match SlotVector::new(demand) {
+            Ok(v) => self.table.cells[i] = Some(v),
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Finishes the table, returning any deferred error.
+    pub fn try_build(self) -> Result<TableTranslation, ModelError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.table),
+        }
+    }
+
+    /// Finishes the table.
+    ///
+    /// # Panics
+    /// Panics if any chained [`TableTranslationBuilder::entry`] call was
+    /// malformed; use [`TableTranslationBuilder::try_build`] to handle the
+    /// error instead.
+    pub fn build(self) -> TableTranslation {
+        self.try_build().expect("malformed translation table")
+    }
+}
+
+/// Closure-backed translation function, for components whose resource
+/// demand is computed rather than tabulated.
+pub struct FnTranslation {
+    name: &'static str,
+    f: Box<dyn Fn(usize, usize) -> Option<SlotVector> + Send + Sync>,
+}
+
+impl FnTranslation {
+    /// Wraps a closure; `name` is used for `Debug` output.
+    pub fn new(
+        name: &'static str,
+        f: impl Fn(usize, usize) -> Option<SlotVector> + Send + Sync + 'static,
+    ) -> Self {
+        FnTranslation {
+            name,
+            f: Box::new(f),
+        }
+    }
+}
+
+impl fmt::Debug for FnTranslation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FnTranslation({})", self.name)
+    }
+}
+
+impl Translation for FnTranslation {
+    fn translate(&self, qin: usize, qout: usize) -> Option<SlotVector> {
+        (self.f)(qin, qout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_basics() {
+        let t = TableTranslation::builder(2, 3, 2)
+            .entry(0, 0, [1.0, 2.0])
+            .entry(1, 2, [3.0, 4.0])
+            .build();
+        assert_eq!(t.n_in(), 2);
+        assert_eq!(t.n_out(), 3);
+        assert_eq!(t.n_slots(), 2);
+        assert_eq!(t.translate(0, 0).unwrap().amounts(), &[1.0, 2.0]);
+        assert_eq!(t.translate(1, 2).unwrap().amounts(), &[3.0, 4.0]);
+        assert!(t.translate(0, 1).is_none());
+        assert!(t.translate(5, 0).is_none()); // out of range -> infeasible
+        let entries: Vec<_> = t.entries().map(|(i, o, _)| (i, o)).collect();
+        assert_eq!(entries, vec![(0, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn builder_rejects_bad_shapes() {
+        assert!(TableTranslation::builder(1, 1, 2)
+            .entry(0, 0, [1.0])
+            .try_build()
+            .is_err());
+        assert!(TableTranslation::builder(1, 1, 1)
+            .entry(0, 1, [1.0])
+            .try_build()
+            .is_err());
+        assert!(TableTranslation::builder(1, 1, 1)
+            .entry(0, 0, [-2.0])
+            .try_build()
+            .is_err());
+        // First error wins, later valid entries don't clear it.
+        assert!(TableTranslation::builder(1, 1, 1)
+            .entry(0, 9, [1.0])
+            .entry(0, 0, [1.0])
+            .try_build()
+            .is_err());
+    }
+
+    #[test]
+    fn map_amounts() {
+        let t = TableTranslation::builder(1, 2, 1)
+            .entry(0, 0, [2.0])
+            .entry(0, 1, [4.0])
+            .build();
+        let doubled = t.map_amounts(|_, _, _, a| a * 2.0).unwrap();
+        assert_eq!(doubled.translate(0, 0).unwrap().amounts(), &[4.0]);
+        assert_eq!(doubled.translate(0, 1).unwrap().amounts(), &[8.0]);
+        // Producing an invalid amount is an error.
+        assert!(t.map_amounts(|_, _, _, _| -1.0).is_err());
+    }
+
+    #[test]
+    fn fn_translation() {
+        let t = FnTranslation::new("diag", |i, o| {
+            (i == o).then(|| SlotVector::new([i as f64 + 1.0]).unwrap())
+        });
+        assert_eq!(t.translate(1, 1).unwrap().amounts(), &[2.0]);
+        assert!(t.translate(0, 1).is_none());
+        assert_eq!(format!("{t:?}"), "FnTranslation(diag)");
+    }
+}

@@ -1,0 +1,96 @@
+//! The lower-level, per-link bandwidth broker (RSVP-style).
+
+use crate::LinkId;
+use qosr_broker::{
+    Broker, BrokerReport, LocalBroker, LocalBrokerConfig, ReserveError, SessionId, SimTime,
+};
+use qosr_model::ResourceId;
+
+/// Bandwidth broker for a single network link — the paper's lower level
+/// of network resource management ("the RSVP-enabled bandwidth broker on
+/// each router treats each network link as a separate resource").
+///
+/// Semantically a [`LocalBroker`] over the link's bandwidth, tagged with
+/// the link it manages.
+#[derive(Debug)]
+pub struct LinkBroker {
+    link: LinkId,
+    inner: LocalBroker,
+}
+
+impl LinkBroker {
+    /// Creates a bandwidth broker for `link` with the given capacity.
+    pub fn new(
+        link: LinkId,
+        resource: ResourceId,
+        capacity: f64,
+        created: SimTime,
+        config: LocalBrokerConfig,
+    ) -> Self {
+        LinkBroker {
+            link,
+            inner: LocalBroker::new(resource, capacity, created, config),
+        }
+    }
+
+    /// The link this broker manages.
+    pub fn link(&self) -> LinkId {
+        self.link
+    }
+}
+
+impl Broker for LinkBroker {
+    fn resource(&self) -> ResourceId {
+        self.inner.resource()
+    }
+    fn capacity(&self) -> f64 {
+        self.inner.capacity()
+    }
+    fn available(&self) -> f64 {
+        self.inner.available()
+    }
+    fn available_at(&self, t: SimTime) -> f64 {
+        self.inner.available_at(t)
+    }
+    fn report_observed(&self, now: SimTime, observed_at: SimTime) -> BrokerReport {
+        self.inner.report_observed(now, observed_at)
+    }
+    fn reserve(&self, session: SessionId, amount: f64, now: SimTime) -> Result<(), ReserveError> {
+        self.inner.reserve(session, amount, now)
+    }
+    fn release(&self, session: SessionId, now: SimTime) -> f64 {
+        self.inner.release(session, now)
+    }
+    fn release_amount(&self, session: SessionId, amount: f64, now: SimTime) -> f64 {
+        self.inner.release_amount(session, amount, now)
+    }
+    fn reserved_for(&self, session: SessionId) -> f64 {
+        self.inner.reserved_for(session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delegates_to_local_broker() {
+        let b = LinkBroker::new(
+            LinkId(3),
+            ResourceId(9),
+            100.0,
+            SimTime::ZERO,
+            LocalBrokerConfig::default(),
+        );
+        assert_eq!(b.link(), LinkId(3));
+        assert_eq!(b.resource(), ResourceId(9));
+        assert_eq!(b.capacity(), 100.0);
+        b.reserve(SessionId(1), 25.0, SimTime::new(1.0)).unwrap();
+        assert_eq!(b.available(), 75.0);
+        assert_eq!(b.available_at(SimTime::new(0.5)), 100.0);
+        assert_eq!(b.report(SimTime::new(1.0)).avail, 75.0);
+        assert_eq!(b.release_amount(SessionId(1), 5.0, SimTime::new(2.0)), 5.0);
+        assert_eq!(b.reserved_for(SessionId(1)), 20.0);
+        assert_eq!(b.release(SessionId(1), SimTime::new(3.0)), 20.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Network topologies: hosts, client domains, links, and routing.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// An endpoint in the network: a (server/proxy) host or a client domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NetNode {
+    /// High-performance host `H_{i+1}` (0-based index).
+    Host(usize),
+    /// Client domain `D_{i+1}` (0-based index).
+    Domain(usize),
+}
+
+impl fmt::Display for NetNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetNode::Host(i) => write!(f, "H{}", i + 1),
+            NetNode::Domain(i) => write!(f, "D{}", i + 1),
+        }
+    }
+}
+
+/// Index of a link within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0 + 1)
+    }
+}
+
+/// Topology construction / routing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A link endpoint references a host/domain outside the topology.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NetNode,
+    },
+    /// No route exists between the requested endpoints.
+    NoRoute {
+        /// Route origin.
+        from: NetNode,
+        /// Route destination.
+        to: NetNode,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NodeOutOfRange { node } => {
+                write!(f, "node {node} out of range for this topology")
+            }
+            TopologyError::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An undirected network of hosts, client domains, and links.
+///
+/// Links are undirected (bandwidth is shared by both directions, as in
+/// the paper's simulation where each link is one reservable resource).
+/// Routing is shortest-hop breadth-first search with deterministic
+/// tie-breaking (lowest link id explored first).
+///
+/// ```
+/// use qosr_net::{NetNode, Topology};
+/// let mut t = Topology::new(3, 0);
+/// let l0 = t.add_link(NetNode::Host(0), NetNode::Host(1)).unwrap();
+/// let l1 = t.add_link(NetNode::Host(1), NetNode::Host(2)).unwrap();
+/// assert_eq!(t.route(NetNode::Host(0), NetNode::Host(2)).unwrap(), vec![l0, l1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    n_hosts: usize,
+    n_domains: usize,
+    links: Vec<(NetNode, NetNode)>,
+    /// Adjacency: for each node, `(neighbor, link)` pairs in link order.
+    adjacency: Vec<Vec<(NetNode, LinkId)>>,
+}
+
+impl Topology {
+    /// Creates a topology with the given numbers of hosts and domains and
+    /// no links.
+    pub fn new(n_hosts: usize, n_domains: usize) -> Self {
+        Topology {
+            n_hosts,
+            n_domains,
+            links: Vec::new(),
+            adjacency: vec![Vec::new(); n_hosts + n_domains],
+        }
+    }
+
+    fn node_index(&self, node: NetNode) -> Result<usize, TopologyError> {
+        match node {
+            NetNode::Host(i) if i < self.n_hosts => Ok(i),
+            NetNode::Domain(i) if i < self.n_domains => Ok(self.n_hosts + i),
+            _ => Err(TopologyError::NodeOutOfRange { node }),
+        }
+    }
+
+    /// Adds an undirected link between `a` and `b`, returning its id.
+    pub fn add_link(&mut self, a: NetNode, b: NetNode) -> Result<LinkId, TopologyError> {
+        let ia = self.node_index(a)?;
+        let ib = self.node_index(b)?;
+        let id = LinkId(self.links.len());
+        self.links.push((a, b));
+        self.adjacency[ia].push((b, id));
+        self.adjacency[ib].push((a, id));
+        Ok(id)
+    }
+
+    /// Number of hosts.
+    pub fn n_hosts(&self) -> usize {
+        self.n_hosts
+    }
+
+    /// Number of client domains.
+    pub fn n_domains(&self) -> usize {
+        self.n_domains
+    }
+
+    /// Number of links.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The endpoints of a link.
+    pub fn link_endpoints(&self, id: LinkId) -> (NetNode, NetNode) {
+        self.links[id.0]
+    }
+
+    /// All links, in id order.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, NetNode, NetNode)> + '_ {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| (LinkId(i), a, b))
+    }
+
+    /// `(neighbor, link)` pairs of `node`.
+    pub fn neighbors(&self, node: NetNode) -> Result<&[(NetNode, LinkId)], TopologyError> {
+        Ok(&self.adjacency[self.node_index(node)?])
+    }
+
+    /// The links of a shortest-hop route from `from` to `to`, in path
+    /// order. An empty route is returned when `from == to`.
+    pub fn route(&self, from: NetNode, to: NetNode) -> Result<Vec<LinkId>, TopologyError> {
+        let start = self.node_index(from)?;
+        let goal = self.node_index(to)?;
+        if start == goal {
+            return Ok(Vec::new());
+        }
+        let mut prev: Vec<Option<(usize, LinkId)>> = vec![None; self.adjacency.len()];
+        let mut visited = vec![false; self.adjacency.len()];
+        visited[start] = true;
+        let mut queue = VecDeque::from([start]);
+        'bfs: while let Some(u) = queue.pop_front() {
+            let u_node = self.index_node(u);
+            for &(v_node, link) in &self.adjacency[self.node_index(u_node).unwrap()] {
+                let v = self.node_index(v_node).unwrap();
+                if visited[v] {
+                    continue;
+                }
+                visited[v] = true;
+                prev[v] = Some((u, link));
+                if v == goal {
+                    break 'bfs;
+                }
+                queue.push_back(v);
+            }
+        }
+        if !visited[goal] {
+            return Err(TopologyError::NoRoute { from, to });
+        }
+        let mut route = Vec::new();
+        let mut v = goal;
+        while let Some((u, link)) = prev[v] {
+            route.push(link);
+            v = u;
+        }
+        route.reverse();
+        Ok(route)
+    }
+
+    fn index_node(&self, i: usize) -> NetNode {
+        if i < self.n_hosts {
+            NetNode::Host(i)
+        } else {
+            NetNode::Domain(i - self.n_hosts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ring of 4 hosts plus one domain attached to H1.
+    fn ring() -> Topology {
+        let mut t = Topology::new(4, 1);
+        for i in 0..4 {
+            t.add_link(NetNode::Host(i), NetNode::Host((i + 1) % 4))
+                .unwrap();
+        }
+        t.add_link(NetNode::Domain(0), NetNode::Host(0)).unwrap();
+        t
+    }
+
+    #[test]
+    fn construction() {
+        let t = ring();
+        assert_eq!(t.n_hosts(), 4);
+        assert_eq!(t.n_domains(), 1);
+        assert_eq!(t.n_links(), 5);
+        assert_eq!(
+            t.link_endpoints(LinkId(4)),
+            (NetNode::Domain(0), NetNode::Host(0))
+        );
+        assert_eq!(t.neighbors(NetNode::Host(0)).unwrap().len(), 3);
+        assert_eq!(t.links().count(), 5);
+    }
+
+    #[test]
+    fn shortest_route_on_ring() {
+        let t = ring();
+        // H1 -> H2: one hop.
+        assert_eq!(
+            t.route(NetNode::Host(0), NetNode::Host(1)).unwrap(),
+            vec![LinkId(0)]
+        );
+        // H1 -> H3: two hops; BFS tie-break takes the lowest-id first
+        // neighbor expansion (via H2).
+        let r = t.route(NetNode::Host(0), NetNode::Host(2)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r, vec![LinkId(0), LinkId(1)]);
+        // Domain -> opposite host: three hops.
+        assert_eq!(
+            t.route(NetNode::Domain(0), NetNode::Host(2)).unwrap().len(),
+            3
+        );
+        // Self route is empty.
+        assert!(t
+            .route(NetNode::Host(3), NetNode::Host(3))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn no_route_and_bad_nodes() {
+        let mut t = Topology::new(2, 0);
+        assert!(matches!(
+            t.route(NetNode::Host(0), NetNode::Host(1)),
+            Err(TopologyError::NoRoute { .. })
+        ));
+        assert!(matches!(
+            t.add_link(NetNode::Host(0), NetNode::Host(7)),
+            Err(TopologyError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.route(NetNode::Domain(0), NetNode::Host(0)),
+            Err(TopologyError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn display_names_are_one_based() {
+        assert_eq!(NetNode::Host(0).to_string(), "H1");
+        assert_eq!(NetNode::Domain(7).to_string(), "D8");
+        assert_eq!(LinkId(13).to_string(), "L14");
+    }
+}

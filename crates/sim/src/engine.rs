@@ -1,0 +1,114 @@
+//! A minimal discrete-event engine: a time-ordered event queue.
+
+use qosr_broker::{SessionId, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Events of the simulated environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A client issues a new service request.
+    Arrival,
+    /// An established session ends and releases its reservations.
+    Departure(SessionId),
+    /// The per-service request probabilities shift (the paper
+    /// "dynamically change\[s\] the probability that each service is
+    /// requested").
+    ProbabilityShift,
+    /// Periodic renegotiation sweep: live sessions try to upgrade their
+    /// end-to-end QoS using freed capacity.
+    UpgradeScan,
+    /// Periodic metrics sample (utilization time series).
+    Sample,
+}
+
+/// Time-ordered event queue with FIFO tie-breaking at equal timestamps.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventSlot)>>,
+    seq: u64,
+}
+
+/// Internal ordered wrapper (events themselves are not ordered).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EventSlot(Event);
+
+impl PartialOrd for EventSlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventSlot {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        // Ordering is fully determined by (time, seq); slots tie.
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        self.heap.push(Reverse((at, self.seq, EventSlot(event))));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event (FIFO among equal timestamps).
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse((t, _, slot))| (t, slot.0))
+    }
+
+    /// Next event time without popping.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(5.0), Event::Arrival);
+        q.schedule(SimTime::new(1.0), Event::Departure(SessionId(1)));
+        q.schedule(SimTime::new(3.0), Event::ProbabilityShift);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::new(1.0)));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.value())
+            .collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_at_equal_times() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(2.0), Event::Departure(SessionId(1)));
+        q.schedule(SimTime::new(2.0), Event::Departure(SessionId(2)));
+        q.schedule(SimTime::new(2.0), Event::Departure(SessionId(3)));
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Departure(SessionId(i)) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+}

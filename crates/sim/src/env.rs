@@ -1,0 +1,485 @@
+//! The deployed environment of figure 9.
+//!
+//! Four high-performance hosts `H1–H4` in a full mesh (links `L1–L6`),
+//! eight client domains `D1–D8` with one access link each (`L7–L14`;
+//! domain `D_i` attaches to host `H_⌈i/2⌉`, where its proxy component
+//! also runs), four services `S1–S4` with main servers `H1–H4`. The
+//! initial amount of every resource is drawn uniformly from the
+//! configured capacity range (the paper uses 1000–4000 units).
+//!
+//! A client from `D_i` never requests `S_⌈i/2⌉` (the paper's exclusion
+//! rule), which also guarantees that the server and proxy of every
+//! session are distinct hosts.
+
+use crate::services::{build_service, ServiceOptions};
+use qosr_broker::{BrokerRegistry, Coordinator, LocalBroker, LocalBrokerConfig, QosProxy, SimTime};
+use qosr_model::{
+    ComponentBinding, ModelError, ResourceId, ResourceKind, ResourceSpace, ServiceSpec,
+    SessionInstance,
+};
+use qosr_net::{NetNode, NetworkFabric, Topology};
+use rand::{Rng, RngExt};
+use std::sync::Arc;
+
+/// Number of hosts in the environment.
+pub const N_HOSTS: usize = 4;
+/// Number of client domains.
+pub const N_DOMAINS: usize = 8;
+/// Number of services.
+pub const N_SERVICES: usize = 4;
+
+/// Inter-host wiring of the environment.
+///
+/// The paper's figure 9 (an image) shows 14 links but not their exact
+/// wiring.
+///
+/// [`TopologyVariant::FullMesh`] is our default reading (6 mesh + 8
+/// access links — see DESIGN.md); [`TopologyVariant::Ring`] is an
+/// alternative with 4 inter-host links, making some server→proxy routes
+/// span **two links** and thereby exercising the two-level network
+/// brokering (min-over-links, all-or-nothing) inside the full
+/// simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopologyVariant {
+    /// Full mesh between the four hosts (L1–L6) + 8 access links.
+    #[default]
+    FullMesh,
+    /// Ring H1–H2–H3–H4–H1 (L1–L4) + 8 access links (12 links total);
+    /// opposite-corner routes take two hops.
+    Ring,
+}
+
+/// The figure-9 environment: topology, brokers, proxies, coordinator,
+/// and the four service specifications.
+pub struct PaperEnvironment {
+    /// All registered resources (host CPUs, links, network paths).
+    pub space: ResourceSpace,
+    /// The main QoSProxy coordinating all reservations.
+    pub coordinator: Coordinator,
+    /// `S1..S4`.
+    pub services: Vec<Arc<ServiceSpec>>,
+    /// The deployed links and cached path brokers.
+    pub fabric: NetworkFabric,
+    host_cpu: Vec<ResourceId>,
+    /// `server_proxy_path[s][p]` — path resource from `H_{s+1}` to
+    /// `H_{p+1}` (None on the diagonal).
+    server_proxy_path: [[Option<ResourceId>; N_HOSTS]; N_HOSTS],
+    /// `proxy_domain_path[d]` — path resource from `D_{d+1}`'s proxy
+    /// host to `D_{d+1}`.
+    proxy_domain_path: Vec<ResourceId>,
+}
+
+impl PaperEnvironment {
+    /// Builds the full-mesh (figure-9 replica) environment; see
+    /// [`PaperEnvironment::build_with_topology`].
+    pub fn build(
+        rng: &mut impl Rng,
+        service_options: &ServiceOptions,
+        capacity_range: (f64, f64),
+        broker_config: LocalBrokerConfig,
+    ) -> Self {
+        Self::build_with_topology(
+            rng,
+            service_options,
+            capacity_range,
+            broker_config,
+            TopologyVariant::FullMesh,
+        )
+    }
+
+    /// Builds the environment, drawing resource capacities from
+    /// `capacity_range` via `rng` (hosts `H1..H4` first, then links in
+    /// id order — deterministic under a fixed seed).
+    pub fn build_with_topology(
+        rng: &mut impl Rng,
+        service_options: &ServiceOptions,
+        capacity_range: (f64, f64),
+        broker_config: LocalBrokerConfig,
+        variant: TopologyVariant,
+    ) -> Self {
+        assert!(
+            capacity_range.0 > 0.0 && capacity_range.1 >= capacity_range.0,
+            "bad capacity range {capacity_range:?}"
+        );
+        let draw = |rng: &mut _| -> f64 { draw_capacity(rng, capacity_range) };
+
+        let mut space = ResourceSpace::new();
+        let created = SimTime::ZERO;
+
+        // Host CPUs.
+        let mut host_cpu = Vec::with_capacity(N_HOSTS);
+        let mut host_brokers = Vec::with_capacity(N_HOSTS);
+        for h in 0..N_HOSTS {
+            let rid = space.register(format!("H{}.cpu", h + 1), ResourceKind::Compute);
+            host_cpu.push(rid);
+            host_brokers.push(Arc::new(LocalBroker::new(
+                rid,
+                draw(rng),
+                created,
+                broker_config,
+            )));
+        }
+
+        // Topology: inter-host wiring per variant + one access link per
+        // domain.
+        let mut topo = Topology::new(N_HOSTS, N_DOMAINS);
+        match variant {
+            TopologyVariant::FullMesh => {
+                for a in 0..N_HOSTS {
+                    for b in (a + 1)..N_HOSTS {
+                        topo.add_link(NetNode::Host(a), NetNode::Host(b)).unwrap();
+                    }
+                }
+            }
+            TopologyVariant::Ring => {
+                for a in 0..N_HOSTS {
+                    topo.add_link(NetNode::Host(a), NetNode::Host((a + 1) % N_HOSTS))
+                        .unwrap();
+                }
+            }
+        }
+        for d in 0..N_DOMAINS {
+            topo.add_link(NetNode::Domain(d), NetNode::Host(proxy_host_of_domain(d)))
+                .unwrap();
+        }
+        let capacities: Vec<f64> = (0..topo.n_links()).map(|_| draw(rng)).collect();
+        let mut fabric = NetworkFabric::new(topo, &capacities, &mut space, created, broker_config);
+
+        // Path brokers: server->proxy for every ordered host pair, and
+        // proxy->domain for every domain.
+        let mut server_proxy_path = [[None; N_HOSTS]; N_HOSTS];
+        let mut path_broker_of = std::collections::HashMap::new();
+        for (s, row) in server_proxy_path.iter_mut().enumerate() {
+            for (p, cell) in row.iter_mut().enumerate() {
+                if s == p {
+                    continue;
+                }
+                let b = fabric
+                    .path_broker(NetNode::Host(s), NetNode::Host(p), &mut space)
+                    .unwrap();
+                let rid = qosr_broker::Broker::resource(b.as_ref());
+                *cell = Some(rid);
+                // Receiver-initiated (RSVP style): owned by the proxy
+                // host p.
+                path_broker_of.insert(rid, (p, b));
+            }
+        }
+        let mut proxy_domain_path = Vec::with_capacity(N_DOMAINS);
+        for d in 0..N_DOMAINS {
+            let p = proxy_host_of_domain(d);
+            let b = fabric
+                .path_broker(NetNode::Host(p), NetNode::Domain(d), &mut space)
+                .unwrap();
+            let rid = qosr_broker::Broker::resource(b.as_ref());
+            proxy_domain_path.push(rid);
+            path_broker_of.insert(rid, (p, b));
+        }
+
+        // One QoSProxy per host: its CPU broker plus the path brokers it
+        // owns.
+        let mut proxies = Vec::with_capacity(N_HOSTS);
+        for (h, host_broker) in host_brokers.iter().enumerate() {
+            let mut reg = BrokerRegistry::new();
+            reg.register(host_broker.clone());
+            for (owner, broker) in path_broker_of.values() {
+                if *owner == h {
+                    reg.register(broker.clone());
+                }
+            }
+            proxies.push(Arc::new(QosProxy::new(format!("H{}", h + 1), reg)));
+        }
+        let coordinator = Coordinator::new(proxies);
+
+        let services = (0..N_SERVICES)
+            .map(|i| Arc::new(build_service(i, service_options).expect("paper tables are valid")))
+            .collect();
+
+        PaperEnvironment {
+            space,
+            coordinator,
+            services,
+            fabric,
+            host_cpu,
+            server_proxy_path,
+            proxy_domain_path,
+        }
+    }
+
+    /// The CPU resource of host `h` (0-based).
+    pub fn host_cpu(&self, h: usize) -> ResourceId {
+        self.host_cpu[h]
+    }
+
+    /// The path resource from server host `s` to proxy host `p`.
+    pub fn server_proxy_path(&self, s: usize, p: usize) -> Option<ResourceId> {
+        self.server_proxy_path[s][p]
+    }
+
+    /// The path resource from domain `d`'s proxy host to `d`.
+    pub fn proxy_domain_path(&self, d: usize) -> ResourceId {
+        self.proxy_domain_path[d]
+    }
+
+    /// Instantiates a session of `S{service+1}` requested by a client in
+    /// `D{domain+1}` with the given demand scale ("fat" factor).
+    ///
+    /// Binding per the paper: `c_S` runs on the service's main server
+    /// `H{service+1}`; `c_P` on the domain's proxy host, consuming the
+    /// server→proxy path; `c_C` consumes the proxy→client path.
+    ///
+    /// # Panics
+    /// Panics when `service` is the domain's excluded service (the
+    /// environment never generates such requests).
+    pub fn session(
+        &self,
+        service: usize,
+        domain: usize,
+        scale: f64,
+    ) -> Result<SessionInstance, ModelError> {
+        let server = service; // main server of S_{i+1} is H_{i+1}
+        let proxy = proxy_host_of_domain(domain);
+        assert_ne!(
+            server,
+            proxy,
+            "domain D{} must not request S{}",
+            domain + 1,
+            service + 1
+        );
+        let sp = self.server_proxy_path[server][proxy].expect("distinct hosts have a path");
+        let pd = self.proxy_domain_path[domain];
+        SessionInstance::new(
+            self.services[service].clone(),
+            vec![
+                ComponentBinding::new([self.host_cpu[server]]),
+                ComponentBinding::new([self.host_cpu[proxy], sp]),
+                ComponentBinding::new([pd]),
+            ],
+            scale,
+        )
+    }
+}
+
+/// The host (0-based) where domain `d`'s proxy component runs — the
+/// host the domain attaches to, `H_⌈(d+1)/2⌉` in the paper's 1-based
+/// naming.
+pub fn proxy_host_of_domain(d: usize) -> usize {
+    d / 2
+}
+
+fn draw_capacity<R: Rng + ?Sized>(rng: &mut R, range: (f64, f64)) -> f64 {
+    RngExt::random_range(rng, range.0..=range.1)
+}
+
+/// The service (0-based) a client from domain `d` never requests:
+/// `S_⌈(d+1)/2⌉`, i.e. the service whose main server is the domain's own
+/// proxy host.
+pub fn excluded_service(d: usize) -> usize {
+    d / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosr_broker::Broker;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn env() -> PaperEnvironment {
+        let mut rng = StdRng::seed_from_u64(42);
+        PaperEnvironment::build(
+            &mut rng,
+            &ServiceOptions::default(),
+            (1000.0, 4000.0),
+            LocalBrokerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn builds_figure_9_inventory() {
+        let e = env();
+        // 4 CPUs + 14 links + 12 host-pair paths + 8 domain paths.
+        assert_eq!(e.space.len(), 4 + 14 + 12 + 8);
+        assert_eq!(e.fabric.topology().n_links(), 14);
+        assert_eq!(e.coordinator.proxies().len(), 4);
+        assert_eq!(e.services.len(), 4);
+        // Capacities in range.
+        for h in 0..4 {
+            let rid = e.host_cpu(h);
+            let b = e
+                .coordinator
+                .owner_of(rid)
+                .unwrap()
+                .brokers()
+                .get(rid)
+                .unwrap();
+            assert!(b.capacity() >= 1000.0 && b.capacity() <= 4000.0);
+        }
+        for l in e.fabric.link_brokers() {
+            assert!(l.capacity() >= 1000.0 && l.capacity() <= 4000.0);
+        }
+    }
+
+    #[test]
+    fn placement_rules() {
+        assert_eq!(proxy_host_of_domain(0), 0);
+        assert_eq!(proxy_host_of_domain(1), 0);
+        assert_eq!(proxy_host_of_domain(2), 1);
+        assert_eq!(proxy_host_of_domain(7), 3);
+        for d in 0..N_DOMAINS {
+            assert_eq!(excluded_service(d), proxy_host_of_domain(d));
+        }
+    }
+
+    #[test]
+    fn paper_example_session_binding() {
+        // "if a client in domain D2 requests service S4, then the service
+        // session will involve … c_S^4 on H4, c_P^4 on H1, and c_C^4 on
+        // the client itself."
+        let e = env();
+        let session = e.session(3, 1, 1.0).unwrap(); // S4, D2
+        session.validate_kinds(&e.space).unwrap();
+        let b = session.bindings();
+        assert_eq!(b[0].resources(), &[e.host_cpu(3)]); // server H4
+        assert_eq!(b[1].resources()[0], e.host_cpu(0)); // proxy H1
+        assert_eq!(b[1].resources()[1], e.server_proxy_path(3, 0).unwrap());
+        assert_eq!(b[2].resources(), &[e.proxy_domain_path(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not request")]
+    fn excluded_service_panics() {
+        let e = env();
+        let _ = e.session(0, 0, 1.0); // D1 requesting S1
+    }
+
+    #[test]
+    fn every_valid_pair_has_a_session() {
+        let e = env();
+        for d in 0..N_DOMAINS {
+            for s in 0..N_SERVICES {
+                if s == excluded_service(d) {
+                    continue;
+                }
+                let session = e.session(s, d, 2.0).unwrap();
+                session.validate_kinds(&e.space).unwrap();
+                assert_eq!(session.scale(), 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let e1 = PaperEnvironment::build(
+            &mut r1,
+            &ServiceOptions::default(),
+            (1000.0, 4000.0),
+            LocalBrokerConfig::default(),
+        );
+        let e2 = PaperEnvironment::build(
+            &mut r2,
+            &ServiceOptions::default(),
+            (1000.0, 4000.0),
+            LocalBrokerConfig::default(),
+        );
+        for h in 0..4 {
+            let (a, b) = (e1.host_cpu(h), e2.host_cpu(h));
+            let ba = e1
+                .coordinator
+                .owner_of(a)
+                .unwrap()
+                .brokers()
+                .get(a)
+                .unwrap()
+                .capacity();
+            let bb = e2
+                .coordinator
+                .owner_of(b)
+                .unwrap()
+                .brokers()
+                .get(b)
+                .unwrap()
+                .capacity();
+            assert_eq!(ba, bb);
+        }
+        for (l1, l2) in e1
+            .fabric
+            .link_brokers()
+            .iter()
+            .zip(e2.fabric.link_brokers())
+        {
+            assert_eq!(l1.capacity(), l2.capacity());
+        }
+    }
+}
+
+#[cfg(test)]
+mod ring_tests {
+    use super::*;
+    use crate::services::ServiceOptions;
+    use qosr_broker::Broker;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring_env() -> PaperEnvironment {
+        let mut rng = StdRng::seed_from_u64(42);
+        PaperEnvironment::build_with_topology(
+            &mut rng,
+            &ServiceOptions::default(),
+            (1000.0, 4000.0),
+            LocalBrokerConfig::default(),
+            TopologyVariant::Ring,
+        )
+    }
+
+    #[test]
+    fn ring_has_twelve_links_and_two_hop_routes() {
+        let e = ring_env();
+        assert_eq!(e.fabric.topology().n_links(), 12);
+        // Opposite corners (H1 <-> H3) are two hops apart; the
+        // server->proxy path broker spans both links.
+        let rid = e.server_proxy_path(0, 2).unwrap();
+        let owner = e.coordinator.owner_of(rid).unwrap();
+        let broker = owner.brokers().get(rid).unwrap();
+        // The path capacity equals the min of its two links' capacities
+        // and is within the draw range.
+        assert!(broker.capacity() >= 1000.0 && broker.capacity() <= 4000.0);
+        // Adjacent hosts are one hop.
+        let adj = e.server_proxy_path(0, 1).unwrap();
+        assert!(e.coordinator.owner_of(adj).is_some());
+    }
+
+    #[test]
+    fn ring_sessions_establish_and_release() {
+        let e = ring_env();
+        let mut rng = StdRng::seed_from_u64(7);
+        // S1 requested from D5 (proxy H3): server H1 -> proxy H3 is the
+        // two-hop route.
+        let session = e.session(0, 4, 1.0).unwrap();
+        let est = e
+            .coordinator
+            .establish(
+                &session,
+                &qosr_broker::EstablishOptions::default(),
+                SimTime::new(1.0),
+                &mut rng,
+            )
+            .unwrap();
+        assert!(est.plan.rank >= 1);
+        // Both ring links on the H1->H3 route hold the bandwidth.
+        let demand = est.plan.total_demand();
+        let sp = e.server_proxy_path(0, 2).unwrap();
+        let amount = demand.get(sp);
+        assert!(amount > 0.0);
+        let route_links = [0usize, 1]; // H1-H2, H2-H3
+        for l in route_links {
+            let link = &e.fabric.link_brokers()[l];
+            assert_eq!(link.capacity() - link.available(), amount);
+        }
+        e.coordinator.terminate(&est, SimTime::new(2.0));
+        for l in e.fabric.link_brokers() {
+            assert_eq!(l.available(), l.capacity());
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # qosr-sim — the paper's performance study (§5)
+//!
+//! A discrete-event simulation of the reservation-enabled distributed
+//! environment of figure 9: four high-performance hosts `H1–H4`, eight
+//! client domains `D1–D8`, fourteen links `L1–L14`, and four distributed
+//! services `S1–S4`, each a chain `c_S → c_P → c_C` (server component,
+//! proxy component, client component).
+//!
+//! Clients generate service sessions in a Poisson process; sessions are
+//! heterogeneous in resource demand (*normal* vs *fat* — N× demand with
+//! N ∈ {2, 10}) and duration (*short* vs *long*). For every session the
+//! main QoSProxy runs one of the planning algorithms (*basic*,
+//! *tradeoff*, *random*) and attempts the end-to-end multi-resource
+//! reservation; the key metrics are the overall reservation success rate
+//! and the average end-to-end QoS level of the successful sessions.
+//!
+//! Entry points:
+//!
+//! * [`ScenarioConfig`] — one simulation run's parameters;
+//! * [`run_scenario`] — execute one run, producing a [`RunResult`];
+//! * [`run_many`] — execute a batch of runs across CPU cores;
+//! * [`services`] — the figure-10 QoS/resource tables (and the
+//!   requirement-diversity transform of §5.2.5);
+//! * [`PaperEnvironment`] — the deployed topology, brokers, and proxies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod env;
+mod metrics;
+mod scenario;
+pub mod services;
+mod sweep;
+mod workload;
+
+pub use engine::{Event, EventQueue};
+pub use env::{PaperEnvironment, TopologyVariant};
+pub use metrics::{ClassStats, PathHistogram, RunMetrics, RunResult, TimeSample};
+pub use scenario::{run_scenario, PlannerKind, PsiKind, ScenarioConfig, TopologyKind};
+pub use sweep::run_many;
+pub use workload::{SessionClass, SessionRequest, WorkloadGenerator};

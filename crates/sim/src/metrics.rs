@@ -1,0 +1,277 @@
+//! Metric collection for the performance study.
+
+use crate::workload::SessionClass;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Success counters and QoS accumulation for one session class (or the
+/// whole run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Sessions attempted.
+    pub attempts: u64,
+    /// Sessions whose end-to-end reservation succeeded.
+    pub successes: u64,
+    /// Sum of the end-to-end QoS level (the paper's level 1/2/3) over
+    /// successful sessions.
+    pub qos_level_sum: u64,
+}
+
+impl ClassStats {
+    /// Records one attempt; `level` is the achieved end-to-end QoS level
+    /// (1-based rank) when successful.
+    pub fn record(&mut self, level: Option<u32>) {
+        self.attempts += 1;
+        if let Some(level) = level {
+            self.successes += 1;
+            self.qos_level_sum += u64::from(level);
+        }
+    }
+
+    /// The overall reservation success rate (metric 1 of §5).
+    pub fn success_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            return f64::NAN;
+        }
+        self.successes as f64 / self.attempts as f64
+    }
+
+    /// The average end-to-end QoS level of successful sessions (metric 2
+    /// of §5).
+    pub fn avg_qos_level(&self) -> f64 {
+        if self.successes == 0 {
+            return f64::NAN;
+        }
+        self.qos_level_sum as f64 / self.successes as f64
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &ClassStats) {
+        self.attempts += other.attempts;
+        self.successes += other.successes;
+        self.qos_level_sum += other.qos_level_sum;
+    }
+}
+
+/// Histogram over selected end-to-end reservation paths (Tables 1–2).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PathHistogram {
+    counts: BTreeMap<String, u64>,
+    total: u64,
+}
+
+impl PathHistogram {
+    /// Records one selected path.
+    pub fn record(&mut self, label: impl Into<String>) {
+        *self.counts.entry(label.into()).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total recorded paths.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of selections that used `label`.
+    pub fn fraction(&self, label: &str) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.counts.get(label).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// `(label, count)` pairs, sorted by label.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct paths seen.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &PathHistogram) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(k.clone()).or_insert(0) += v;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Overall stats across all sessions.
+    pub overall: ClassStats,
+    /// Per-class stats, indexed by [`SessionClass::index`].
+    pub per_class: [ClassStats; 4],
+    /// Selected-path histogram for type-A services (S1, S4).
+    pub paths_a: PathHistogram,
+    /// Selected-path histogram for type-B services (S2, S3).
+    pub paths_b: PathHistogram,
+    /// How often each resource was the plan bottleneck (successful
+    /// sessions only), keyed by resource name.
+    pub bottlenecks: BTreeMap<String, u64>,
+    /// Establishments that failed at the planning stage (no feasible
+    /// end-to-end plan).
+    pub plan_failures: u64,
+    /// Establishments that failed at dispatch (a broker rejected — only
+    /// possible under stale observations).
+    pub reserve_failures: u64,
+    /// Successful in-place QoS upgrades performed by the renegotiation
+    /// policy (0 unless `upgrade_period` is set).
+    pub upgrades: u64,
+    /// End-to-end QoS levels at session *end* (after any upgrades);
+    /// equals the establishment-time levels when upgrades are off.
+    pub final_qos: ClassStats,
+}
+
+impl RunMetrics {
+    /// Records a session outcome.
+    pub fn record_outcome(&mut self, class: SessionClass, level: Option<u32>) {
+        self.overall.record(level);
+        self.per_class[class.index()].record(level);
+    }
+
+    /// Records a plan bottleneck resource (by name).
+    pub fn record_bottleneck(&mut self, resource: impl Into<String>) {
+        *self.bottlenecks.entry(resource.into()).or_insert(0) += 1;
+    }
+
+    /// Merges another run's metrics (used when averaging over seeds).
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.overall.merge(&other.overall);
+        for (a, b) in self.per_class.iter_mut().zip(&other.per_class) {
+            a.merge(b);
+        }
+        self.paths_a.merge(&other.paths_a);
+        self.paths_b.merge(&other.paths_b);
+        for (k, v) in &other.bottlenecks {
+            *self.bottlenecks.entry(k.clone()).or_insert(0) += v;
+        }
+        self.plan_failures += other.plan_failures;
+        self.reserve_failures += other.reserve_failures;
+        self.upgrades += other.upgrades;
+        self.final_qos.merge(&other.final_qos);
+    }
+}
+
+/// Serializable mirror of the coordinator's protocol message statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageStatsRecord {
+    /// Availability-collection round trips.
+    pub collect_roundtrips: u64,
+    /// Plan-segment dispatch messages.
+    pub dispatches: u64,
+    /// Establishment attempts.
+    pub attempts: u64,
+    /// Successful establishments.
+    pub established: u64,
+}
+
+impl From<qosr_broker::MessageStats> for MessageStatsRecord {
+    fn from(s: qosr_broker::MessageStats) -> Self {
+        MessageStatsRecord {
+            collect_roundtrips: s.collect_roundtrips,
+            dispatches: s.dispatches,
+            attempts: s.attempts,
+            established: s.established,
+        }
+    }
+}
+
+/// One point of the utilization time series (recorded when
+/// [`crate::ScenarioConfig::sample_period`] is set).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSample {
+    /// Simulated time (TU).
+    pub time: f64,
+    /// Live sessions at sample time.
+    pub active_sessions: u64,
+    /// Utilization (reserved / capacity) per *physical* resource — host
+    /// CPUs and links — keyed by resource name.
+    pub utilization: BTreeMap<String, f64>,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The configuration the run executed.
+    pub config: crate::ScenarioConfig,
+    /// Measured metrics.
+    pub metrics: RunMetrics,
+    /// Protocol message accounting.
+    pub messages: MessageStatsRecord,
+    /// Utilization time series (empty unless sampling is enabled).
+    #[serde(default)]
+    pub timeseries: Vec<TimeSample>,
+    /// Wall-clock seconds the run took.
+    pub wall_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_stats_rates() {
+        let mut s = ClassStats::default();
+        assert!(s.success_rate().is_nan());
+        assert!(s.avg_qos_level().is_nan());
+        s.record(Some(3));
+        s.record(Some(2));
+        s.record(None);
+        assert_eq!(s.attempts, 3);
+        assert_eq!(s.successes, 2);
+        assert!((s.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.avg_qos_level() - 2.5).abs() < 1e-12);
+        let mut t = ClassStats::default();
+        t.record(Some(1));
+        s.merge(&t);
+        assert_eq!(s.attempts, 4);
+        assert_eq!(s.qos_level_sum, 6);
+    }
+
+    #[test]
+    fn path_histogram() {
+        let mut h = PathHistogram::default();
+        h.record("Qa-Qb");
+        h.record("Qa-Qb");
+        h.record("Qa-Qc");
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.distinct(), 2);
+        assert!((h.fraction("Qa-Qb") - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.fraction("nope"), 0.0);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![("Qa-Qb", 2), ("Qa-Qc", 1)]);
+
+        let mut h2 = PathHistogram::default();
+        h2.record("Qa-Qc");
+        h.merge(&h2);
+        assert_eq!(h.total(), 4);
+        assert!((h.fraction("Qa-Qc") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_metrics_record_and_merge() {
+        let mut m = RunMetrics::default();
+        m.record_outcome(SessionClass::FatShort, Some(3));
+        m.record_outcome(SessionClass::NormalLong, None);
+        m.record_bottleneck("H1.cpu");
+        m.record_bottleneck("H1.cpu");
+        assert_eq!(m.overall.attempts, 2);
+        assert_eq!(m.per_class[SessionClass::FatShort.index()].successes, 1);
+        assert_eq!(m.bottlenecks["H1.cpu"], 2);
+
+        let mut m2 = RunMetrics::default();
+        m2.record_outcome(SessionClass::FatShort, Some(1));
+        m2.record_bottleneck("L3");
+        m2.plan_failures = 5;
+        m.merge(&m2);
+        assert_eq!(m.overall.attempts, 3);
+        assert_eq!(m.per_class[SessionClass::FatShort.index()].attempts, 2);
+        assert_eq!(m.bottlenecks["L3"], 1);
+        assert_eq!(m.plan_failures, 5);
+    }
+}

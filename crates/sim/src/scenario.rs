@@ -1,0 +1,628 @@
+//! Scenario configuration and the main simulation loop.
+
+use crate::engine::{Event, EventQueue};
+use crate::env::{PaperEnvironment, TopologyVariant};
+use crate::metrics::{MessageStatsRecord, RunMetrics, RunResult};
+use crate::services::{path_label, ServiceOptions, ServiceType};
+use crate::workload::WorkloadGenerator;
+use qosr_broker::{
+    EstablishError, EstablishOptions, EstablishedSession, LocalBrokerConfig, ObservationPolicy,
+    SessionId, SimTime,
+};
+use qosr_core::{Planner, PsiDef, QrgOptions};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which planning algorithm a run uses (serializable mirror of
+/// [`qosr_core::Planner`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PlannerKind {
+    /// The basic algorithm (§4.1).
+    #[default]
+    Basic,
+    /// Basic + the QoS/success-rate tradeoff policy (§4.3.1).
+    Tradeoff,
+    /// The contention-unaware random baseline (§5).
+    Random,
+}
+
+impl From<PlannerKind> for Planner {
+    fn from(k: PlannerKind) -> Planner {
+        match k {
+            PlannerKind::Basic => Planner::Basic,
+            PlannerKind::Tradeoff => Planner::Tradeoff,
+            PlannerKind::Random => Planner::Random,
+        }
+    }
+}
+
+impl PlannerKind {
+    /// The paper's name for the algorithm.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlannerKind::Basic => "basic",
+            PlannerKind::Tradeoff => "tradeoff",
+            PlannerKind::Random => "random",
+        }
+    }
+}
+
+/// Which per-resource contention-index definition to use (ablation;
+/// serializable mirror of [`qosr_core::PsiDef`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PsiKind {
+    /// The paper's `req / avail` (eq. 2).
+    #[default]
+    Utilization,
+    /// `req / (avail − req)`.
+    Headroom,
+    /// `−ln(1 − req/avail)`.
+    NegLogSurvival,
+}
+
+/// Inter-host wiring (serializable mirror of
+/// [`crate::TopologyVariant`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TopologyKind {
+    /// Full mesh between the hosts (the figure-9 replica; 14 links).
+    #[default]
+    FullMesh,
+    /// Ring between the hosts (12 links; some routes span two links).
+    Ring,
+}
+
+impl From<TopologyKind> for TopologyVariant {
+    fn from(k: TopologyKind) -> TopologyVariant {
+        match k {
+            TopologyKind::FullMesh => TopologyVariant::FullMesh,
+            TopologyKind::Ring => TopologyVariant::Ring,
+        }
+    }
+}
+
+impl From<PsiKind> for PsiDef {
+    fn from(k: PsiKind) -> PsiDef {
+        match k {
+            PsiKind::Utilization => PsiDef::Utilization,
+            PsiKind::Headroom => PsiDef::Headroom,
+            PsiKind::NegLogSurvival => PsiDef::NegLogSurvival,
+        }
+    }
+}
+
+/// All parameters of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// RNG seed (drives capacities, workload, and the random planner).
+    pub seed: u64,
+    /// Average session generation rate, sessions per 60 TU (the paper
+    /// sweeps 60–240).
+    pub rate_per_60tu: f64,
+    /// Simulated horizon in TU (the paper runs 10800).
+    pub horizon: f64,
+    /// The planning algorithm.
+    pub planner: PlannerKind,
+    /// Maximum observation age `E` in TU; 0 = accurate observations
+    /// (§5.2.4).
+    pub staleness: f64,
+    /// When set, compress requirement diversity to this max:min ratio
+    /// (§5.2.5 uses 3.0); `None` = the full figure-10 tables.
+    pub diversity_ratio: Option<f64>,
+    /// Global requirement multiplier (calibration constant; see
+    /// EXPERIMENTS.md).
+    pub requirement_scale: f64,
+    /// Uniform range resource capacities are drawn from (paper:
+    /// 1000–4000).
+    pub capacity_range: (f64, f64),
+    /// Period (TU) between service-popularity shifts.
+    pub prob_shift_period: f64,
+    /// The α sliding-window length `T` (paper: 3 TU).
+    pub alpha_window: f64,
+    /// ψ definition (ablation; the paper uses utilization).
+    pub psi: PsiKind,
+    /// Disable the Dijkstra tie-breaking rule (ablation).
+    pub disable_tie_break: bool,
+    /// Inter-host wiring variant.
+    pub topology: TopologyKind,
+    /// When set, every `period` TU live sessions attempt an in-place QoS
+    /// upgrade via renegotiation (an extension beyond the paper; see
+    /// DESIGN.md).
+    pub upgrade_period: Option<f64>,
+    /// When set, sample per-resource utilization and the live-session
+    /// count every `period` TU into [`crate::TimeSample`]s.
+    pub sample_period: Option<f64>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 1,
+            rate_per_60tu: 60.0,
+            horizon: 10_800.0,
+            planner: PlannerKind::Basic,
+            staleness: 0.0,
+            diversity_ratio: None,
+            requirement_scale: DEFAULT_REQUIREMENT_SCALE,
+            capacity_range: (1000.0, 4000.0),
+            prob_shift_period: 600.0,
+            alpha_window: 3.0,
+            psi: PsiKind::Utilization,
+            disable_tie_break: false,
+            topology: TopologyKind::FullMesh,
+            upgrade_period: None,
+            sample_period: None,
+        }
+    }
+}
+
+/// The calibrated default requirement scale (see EXPERIMENTS.md for the
+/// calibration procedure: chosen so *basic*'s success-rate curve passes
+/// through the bands the paper reports in Tables 3–4).
+pub const DEFAULT_REQUIREMENT_SCALE: f64 = 0.5;
+
+/// Executes one simulation run.
+pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let start = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let service_options = ServiceOptions {
+        requirement_scale: config.requirement_scale,
+        diversity_ratio: config.diversity_ratio,
+    };
+    let broker_config = LocalBrokerConfig {
+        alpha_window: config.alpha_window,
+        // The change log must cover the maximum observation age.
+        log_horizon: (config.staleness * 2.0).max(64.0),
+    };
+    let env = PaperEnvironment::build_with_topology(
+        &mut rng,
+        &service_options,
+        config.capacity_range,
+        broker_config,
+        config.topology.into(),
+    );
+
+    let establish_options = EstablishOptions {
+        planner: config.planner.into(),
+        observation: if config.staleness > 0.0 {
+            ObservationPolicy::Stale {
+                max_age: config.staleness,
+            }
+        } else {
+            ObservationPolicy::Accurate
+        },
+        qrg: QrgOptions {
+            psi: config.psi.into(),
+            disable_tie_break: config.disable_tie_break,
+        },
+    };
+
+    let mut workload = WorkloadGenerator::new(config.rate_per_60tu);
+    let mut queue = EventQueue::new();
+    let mut metrics = RunMetrics::default();
+    /// A live session: its handle and instance (for replanning).
+    struct Active {
+        established: EstablishedSession,
+        instance: qosr_model::SessionInstance,
+    }
+    let mut active: HashMap<SessionId, Active> = HashMap::new();
+    let horizon = SimTime::new(config.horizon);
+
+    queue.schedule(
+        SimTime::ZERO + workload.next_interarrival(&mut rng),
+        Event::Arrival,
+    );
+    if config.prob_shift_period > 0.0 {
+        queue.schedule(
+            SimTime::ZERO + config.prob_shift_period,
+            Event::ProbabilityShift,
+        );
+    }
+    if let Some(period) = config.upgrade_period {
+        assert!(period > 0.0, "upgrade period must be positive");
+        queue.schedule(SimTime::ZERO + period, Event::UpgradeScan);
+    }
+    let mut timeseries: Vec<crate::TimeSample> = Vec::new();
+    if let Some(period) = config.sample_period {
+        assert!(period > 0.0, "sample period must be positive");
+        queue.schedule(SimTime::ZERO + period, Event::Sample);
+    }
+
+    while let Some((now, event)) = queue.pop() {
+        if now > horizon {
+            break;
+        }
+        match event {
+            Event::Arrival => {
+                queue.schedule(now + workload.next_interarrival(&mut rng), Event::Arrival);
+                let request = workload.sample(&mut rng);
+                let session = env
+                    .session(request.service, request.domain, request.scale)
+                    .expect("generated requests are always instantiable");
+                match env
+                    .coordinator
+                    .establish(&session, &establish_options, now, &mut rng)
+                {
+                    Ok(established) => {
+                        let level = established.plan.rank;
+                        metrics.record_outcome(request.class, Some(level));
+                        if let Some(b) = established.plan.bottleneck {
+                            metrics.record_bottleneck(env.space.name(b.resource));
+                        }
+                        let ty = ServiceType::of_service(request.service);
+                        let label = path_label(ty, &established.plan.signature());
+                        match ty {
+                            ServiceType::A => metrics.paths_a.record(label),
+                            ServiceType::B => metrics.paths_b.record(label),
+                        }
+                        queue.schedule(now + request.duration, Event::Departure(established.id));
+                        active.insert(
+                            established.id,
+                            Active {
+                                established,
+                                instance: session,
+                            },
+                        );
+                    }
+                    Err(err) => {
+                        metrics.record_outcome(request.class, None);
+                        match err {
+                            EstablishError::Plan(_) => metrics.plan_failures += 1,
+                            EstablishError::Reserve(_) => metrics.reserve_failures += 1,
+                        }
+                    }
+                }
+            }
+            Event::Departure(id) => {
+                if let Some(entry) = active.remove(&id) {
+                    env.coordinator.terminate(&entry.established, now);
+                    metrics.final_qos.record(Some(entry.established.plan.rank));
+                }
+            }
+            Event::ProbabilityShift => {
+                workload.shift_weights(&mut rng);
+                queue.schedule(now + config.prob_shift_period, Event::ProbabilityShift);
+            }
+            Event::UpgradeScan => {
+                let period = config.upgrade_period.expect("scan only scheduled when set");
+                // Deterministic iteration order for reproducibility.
+                let mut ids: Vec<SessionId> = active.keys().copied().collect();
+                ids.sort_unstable();
+                for id in ids {
+                    let entry = active.get_mut(&id).expect("still live");
+                    if entry.established.plan.rank
+                        >= *entry
+                            .instance
+                            .service()
+                            .sink_ranking()
+                            .iter()
+                            .max()
+                            .expect("non-empty ranking")
+                    {
+                        continue; // already at the top level
+                    }
+                    let current = entry.established.clone();
+                    // A failed swap leaves the old reservations in
+                    // force; keep the old handle in that case.
+                    if let Ok((upgraded, swapped)) = env.coordinator.renegotiate(
+                        current,
+                        &entry.instance,
+                        &establish_options,
+                        now,
+                        &mut rng,
+                    ) {
+                        if swapped {
+                            metrics.upgrades += 1;
+                        }
+                        entry.established = upgraded;
+                    }
+                }
+                queue.schedule(now + period, Event::UpgradeScan);
+            }
+            Event::Sample => {
+                let period = config
+                    .sample_period
+                    .expect("sample only scheduled when set");
+                let mut utilization = std::collections::BTreeMap::new();
+                for h in 0..crate::env::N_HOSTS {
+                    let rid = env.host_cpu(h);
+                    let b = env
+                        .coordinator
+                        .owner_of(rid)
+                        .expect("host CPUs are brokered")
+                        .brokers()
+                        .get(rid)
+                        .expect("registered");
+                    utilization.insert(
+                        env.space.name(rid).to_owned(),
+                        1.0 - b.available() / b.capacity(),
+                    );
+                }
+                for l in env.fabric.link_brokers() {
+                    use qosr_broker::Broker as _;
+                    utilization.insert(
+                        env.space.name(l.resource()).to_owned(),
+                        1.0 - l.available() / l.capacity(),
+                    );
+                }
+                timeseries.push(crate::TimeSample {
+                    time: now.value(),
+                    active_sessions: active.len() as u64,
+                    utilization,
+                });
+                queue.schedule(now + period, Event::Sample);
+            }
+        }
+    }
+
+    // Sessions still live at the horizon contribute their final level.
+    for entry in active.values() {
+        metrics.final_qos.record(Some(entry.established.plan.rank));
+    }
+
+    RunResult {
+        config: config.clone(),
+        metrics,
+        messages: MessageStatsRecord::from(env.coordinator.stats()),
+        timeseries,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(planner: PlannerKind, rate: f64, seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            rate_per_60tu: rate,
+            horizon: 1200.0,
+            planner,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn runs_and_counts_sessions() {
+        let r = run_scenario(&quick(PlannerKind::Basic, 60.0, 1));
+        // Expect roughly rate * horizon / 60 = 1200 arrivals.
+        assert!(
+            r.metrics.overall.attempts > 900 && r.metrics.overall.attempts < 1500,
+            "attempts {}",
+            r.metrics.overall.attempts
+        );
+        assert_eq!(r.messages.attempts, r.metrics.overall.attempts);
+        assert_eq!(r.metrics.overall.successes, r.messages.established);
+        // Per-class attempts sum to overall.
+        let sum: u64 = r.metrics.per_class.iter().map(|c| c.attempts).sum();
+        assert_eq!(sum, r.metrics.overall.attempts);
+        assert!(r.wall_seconds >= 0.0);
+    }
+
+    #[test]
+    fn accurate_observations_never_fail_dispatch() {
+        let r = run_scenario(&quick(PlannerKind::Basic, 180.0, 2));
+        assert_eq!(r.metrics.reserve_failures, 0);
+        // Under heavy load some plans must fail.
+        assert!(r.metrics.plan_failures > 0);
+    }
+
+    #[test]
+    fn stale_observations_can_fail_dispatch() {
+        let cfg = ScenarioConfig {
+            staleness: 8.0,
+            ..quick(PlannerKind::Basic, 180.0, 3)
+        };
+        let r = run_scenario(&cfg);
+        assert!(
+            r.metrics.reserve_failures > 0,
+            "expected dispatch failures under E=8 at high load"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_scenario(&quick(PlannerKind::Tradeoff, 100.0, 7));
+        let b = run_scenario(&quick(PlannerKind::Tradeoff, 100.0, 7));
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_scenario(&quick(PlannerKind::Basic, 100.0, 1));
+        let b = run_scenario(&quick(PlannerKind::Basic, 100.0, 2));
+        assert_ne!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn all_reservations_released_after_departures() {
+        // Horizon long enough that every session ends (no arrivals in the
+        // tail beyond max duration): run a short burst then drain by
+        // checking full availability at the end of a fresh mini-sim.
+        // Here we simply verify that active reservations at the end are
+        // bounded by sessions whose departure is after the horizon —
+        // indirectly, every broker's availability must be within
+        // capacity.
+        let cfg = quick(PlannerKind::Basic, 60.0, 5);
+        let r = run_scenario(&cfg);
+        assert!(r.metrics.overall.successes > 0);
+        // Re-build the same environment: capacities must be reproducible
+        // and positive (sanity of the deterministic construction).
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let env = PaperEnvironment::build(
+            &mut rng,
+            &crate::services::ServiceOptions {
+                requirement_scale: cfg.requirement_scale,
+                diversity_ratio: None,
+            },
+            cfg.capacity_range,
+            qosr_broker::LocalBrokerConfig::default(),
+        );
+        for p in env.coordinator.proxies() {
+            for b in p.brokers().iter() {
+                assert!(b.available() == b.capacity());
+            }
+        }
+    }
+
+    #[test]
+    fn basic_beats_random_under_load() {
+        // The paper's headline result. Moderate horizon keeps the test
+        // fast; the gap at rate 180 is large enough to be robust.
+        let basic = run_scenario(&quick(PlannerKind::Basic, 180.0, 11));
+        let random = run_scenario(&quick(PlannerKind::Random, 180.0, 11));
+        assert!(
+            basic.metrics.overall.success_rate() > random.metrics.overall.success_rate(),
+            "basic {} <= random {}",
+            basic.metrics.overall.success_rate(),
+            random.metrics.overall.success_rate()
+        );
+    }
+
+    #[test]
+    fn tradeoff_lowers_qos_but_not_below_level_1() {
+        let tradeoff = run_scenario(&quick(PlannerKind::Tradeoff, 180.0, 13));
+        let basic = run_scenario(&quick(PlannerKind::Basic, 180.0, 13));
+        let t_qos = tradeoff.metrics.overall.avg_qos_level();
+        let b_qos = basic.metrics.overall.avg_qos_level();
+        assert!((1.0..=3.0).contains(&t_qos));
+        assert!(
+            t_qos < b_qos,
+            "tradeoff avg QoS {t_qos} should be below basic {b_qos}"
+        );
+    }
+
+    #[test]
+    fn config_roundtrips_through_serde() {
+        let cfg = ScenarioConfig {
+            planner: PlannerKind::Tradeoff,
+            diversity_ratio: Some(3.0),
+            ..ScenarioConfig::default()
+        };
+        let json = serde_json_like(&cfg);
+        assert!(json.contains("Tradeoff"));
+    }
+
+    /// Minimal serde smoke test without pulling in serde_json: uses the
+    /// Debug of the Serialize impl via bincode-like manual check — here
+    /// we just ensure the derive exists by serializing to a string with
+    /// `format!` over the Debug repr (the real JSON path is exercised by
+    /// the experiments binary).
+    fn serde_json_like(cfg: &ScenarioConfig) -> String {
+        format!("{cfg:?}")
+    }
+}
+
+#[cfg(test)]
+mod upgrade_tests {
+    use super::*;
+
+    #[test]
+    fn upgrades_recover_qos_for_tradeoff_sessions() {
+        let base = ScenarioConfig {
+            seed: 21,
+            rate_per_60tu: 150.0,
+            horizon: 1800.0,
+            planner: PlannerKind::Tradeoff,
+            ..ScenarioConfig::default()
+        };
+        let without = run_scenario(&base);
+        let with = run_scenario(&ScenarioConfig {
+            upgrade_period: Some(30.0),
+            ..base
+        });
+        assert_eq!(without.metrics.upgrades, 0);
+        assert!(with.metrics.upgrades > 0, "no upgrades happened");
+        // Final QoS with upgrades beats both its own establishment-time
+        // QoS and the no-upgrade baseline's final QoS.
+        let final_with = with.metrics.final_qos.avg_qos_level();
+        let established_with = with.metrics.overall.avg_qos_level();
+        let final_without = without.metrics.final_qos.avg_qos_level();
+        assert!(
+            final_with > established_with + 0.02,
+            "upgrades had no effect: final {final_with} vs established {established_with}"
+        );
+        assert!(final_with > final_without + 0.02);
+        // Upgrades must not hurt admissions.
+        assert!(
+            (with.metrics.overall.success_rate() - without.metrics.overall.success_rate()).abs()
+                < 0.05
+        );
+    }
+
+    #[test]
+    fn final_qos_equals_established_without_upgrades() {
+        let r = run_scenario(&ScenarioConfig {
+            seed: 3,
+            rate_per_60tu: 100.0,
+            horizon: 900.0,
+            planner: PlannerKind::Basic,
+            ..ScenarioConfig::default()
+        });
+        assert_eq!(r.metrics.final_qos.successes, r.metrics.overall.successes);
+        assert_eq!(
+            r.metrics.final_qos.qos_level_sum,
+            r.metrics.overall.qos_level_sum
+        );
+    }
+}
+
+#[cfg(test)]
+mod sampling_tests {
+    use super::*;
+
+    #[test]
+    fn sampling_produces_a_series() {
+        let r = run_scenario(&ScenarioConfig {
+            seed: 4,
+            rate_per_60tu: 120.0,
+            horizon: 600.0,
+            sample_period: Some(30.0),
+            ..ScenarioConfig::default()
+        });
+        // ~600/30 samples, at 30-TU spacing.
+        assert!(
+            r.timeseries.len() >= 18 && r.timeseries.len() <= 20,
+            "{} samples",
+            r.timeseries.len()
+        );
+        let mut last = 0.0;
+        for s in &r.timeseries {
+            assert!(s.time > last);
+            last = s.time;
+            // 4 CPUs + 14 links sampled, utilization in [0, 1].
+            assert_eq!(s.utilization.len(), 18);
+            for (&ref name, &u) in &s.utilization {
+                assert!((0.0..=1.0).contains(&u), "{name} at {u}");
+            }
+        }
+        // Under load, utilization must be visibly non-zero somewhere.
+        let peak = r
+            .timeseries
+            .iter()
+            .flat_map(|s| s.utilization.values())
+            .cloned()
+            .fold(0.0, f64::max);
+        assert!(peak > 0.1, "peak utilization {peak}");
+        // Active sessions grow from zero toward steady state.
+        assert!(r.timeseries.last().unwrap().active_sessions > 0);
+    }
+
+    #[test]
+    fn sampling_off_by_default() {
+        let r = run_scenario(&ScenarioConfig {
+            seed: 4,
+            rate_per_60tu: 60.0,
+            horizon: 300.0,
+            ..ScenarioConfig::default()
+        });
+        assert!(r.timeseries.is_empty());
+    }
+}

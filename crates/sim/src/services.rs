@@ -1,0 +1,468 @@
+//! The simulated services' QoS-Resource Models (figure 10).
+//!
+//! The paper's figure 10 tabulates, for each service component, the
+//! `Q^in`/`Q^out` levels and the resource demand of every feasible pair.
+//! The figure itself is an image whose exact numbers are not recoverable,
+//! so this module supplies **surrogate tables with the same structure**
+//! (recovered from the path inventories of Tables 1–2) and the same
+//! semantics: producing a higher output grade at the server costs more
+//! server resource; at the proxy, the incoming-stream bandwidth is set by
+//! the input grade while CPU rises when *upscaling* from a lower-grade
+//! input (the paper's hypothetical "image intrapolation"); the
+//! proxy→client bandwidth falls with the intermediate grade and rises
+//! with the end-to-end level. See DESIGN.md for the substitution note.
+//!
+//! * **Type A** (services S1 and S4, figure 10(a)): `c_S` has 3 output
+//!   grades, `c_P` 4, and 3 end-to-end levels — 11 feasible path shapes.
+//! * **Type B** (services S2 and S3, figure 10(b)): 2 / 3 / 3 levels —
+//!   13 feasible path shapes.
+//!
+//! Both types expose exactly four resource slots across the chain:
+//! `h_S` (server CPU), `h_P` (proxy CPU), `l_P^S` (server→proxy
+//! bandwidth), and `l_C^P` (proxy→client bandwidth).
+//!
+//! [`diversity_compress`] implements the §5.2.5 transform: per resource,
+//! requirement values across edges are remapped to an evenly spaced set
+//! with the same mean and a max:min ratio capped at `ratio` (the paper
+//! uses 3:1).
+
+use qosr_model::{
+    ComponentSpec, ModelError, QosSchema, QosVector, ResourceKind, ServiceSpec, SlotSpec,
+    TableTranslation,
+};
+use std::sync::Arc;
+
+/// Which figure-10 table a service uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceType {
+    /// Figure 10(a) — services S1 and S4.
+    A,
+    /// Figure 10(b) — services S2 and S3.
+    B,
+}
+
+impl ServiceType {
+    /// The type of service `S{i+1}` in the paper's environment.
+    pub fn of_service(index: usize) -> ServiceType {
+        match index {
+            0 | 3 => ServiceType::A,
+            1 | 2 => ServiceType::B,
+            _ => panic!("the environment has services S1..S4, got index {index}"),
+        }
+    }
+}
+
+/// The raw translation tables of one service type, before scaling or
+/// diversity transforms. `(qin, qout, [amounts…])` triples per component;
+/// `c_s` has one slot (`h_S`), `c_p` two (`h_P`, `l_P^S`), `c_c` one
+/// (`l_C^P`).
+#[derive(Debug, Clone)]
+pub struct ServiceTables {
+    /// Number of `c_S` output levels.
+    pub s_out: usize,
+    /// Number of `c_P` output levels.
+    pub p_out: usize,
+    /// Number of end-to-end levels.
+    pub c_out: usize,
+    /// `c_S` entries: `(qin=0, qout, [h_S])`.
+    pub c_s: Vec<(usize, usize, [f64; 1])>,
+    /// `c_P` entries: (qin, qout, [h_P, l_P^S]).
+    pub c_p: Vec<(usize, usize, [f64; 2])>,
+    /// `c_C` entries: (qin, qout, [l_C^P]).
+    pub c_c: Vec<(usize, usize, [f64; 1])>,
+}
+
+/// The surrogate figure-10 tables. Output levels are indexed in
+/// ascending quality order (index 0 = lowest grade); end-to-end level
+/// ranks are `1, 2, 3` = the paper's *level 1/2/3*.
+pub fn tables(service_type: ServiceType) -> ServiceTables {
+    match service_type {
+        ServiceType::A => ServiceTables {
+            s_out: 3,
+            p_out: 4,
+            c_out: 3,
+            c_s: vec![(0, 0, [4.0]), (0, 1, [12.0]), (0, 2, [24.0])],
+            c_p: vec![
+                // from grade d (lowest input): light stream, upscale costs CPU
+                (0, 0, [8.0, 8.0]),
+                (0, 1, [14.0, 8.0]),
+                // from grade c
+                (1, 0, [6.0, 16.0]),
+                (1, 1, [8.0, 16.0]),
+                (1, 2, [12.0, 16.0]),
+                (1, 3, [20.0, 16.0]),
+                // from grade b (highest input): heavy stream, cheap CPU
+                (2, 2, [8.0, 24.0]),
+                (2, 3, [12.0, 24.0]),
+            ],
+            c_c: vec![
+                (0, 0, [10.0]),
+                (0, 1, [22.0]),
+                (1, 1, [18.0]),
+                (1, 2, [32.0]),
+                (2, 1, [20.0]),
+                (2, 2, [28.0]),
+                (3, 2, [24.0]),
+            ],
+        },
+        ServiceType::B => ServiceTables {
+            s_out: 2,
+            p_out: 3,
+            c_out: 3,
+            c_s: vec![(0, 0, [6.0]), (0, 1, [18.0])],
+            c_p: vec![
+                (0, 0, [5.0, 8.0]),
+                (0, 1, [9.0, 8.0]),
+                (0, 2, [16.0, 8.0]),
+                (1, 0, [4.0, 20.0]),
+                (1, 1, [6.0, 20.0]),
+                (1, 2, [10.0, 20.0]),
+            ],
+            c_c: vec![
+                (0, 0, [8.0]),
+                (0, 1, [16.0]),
+                (0, 2, [30.0]),
+                (1, 1, [14.0]),
+                (1, 2, [26.0]),
+                (2, 1, [12.0]),
+                (2, 2, [22.0]),
+            ],
+        },
+    }
+}
+
+/// Options shaping the generated [`ServiceSpec`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceOptions {
+    /// Global multiplier applied to every requirement value (calibration
+    /// knob; the per-session "fat" factor is separate).
+    pub requirement_scale: f64,
+    /// When set, apply [`diversity_compress`] with this max:min ratio
+    /// (the §5.2.5 experiment uses 3.0).
+    pub diversity_ratio: Option<f64>,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            requirement_scale: 1.0,
+            diversity_ratio: None,
+        }
+    }
+}
+
+/// Builds the [`ServiceSpec`] of service `S{index+1}` under the given
+/// options. The spec is placement-free: its four slots are bound per
+/// session to the concrete server host, proxy host, and network paths.
+pub fn build_service(index: usize, options: &ServiceOptions) -> Result<ServiceSpec, ModelError> {
+    let ty = ServiceType::of_service(index);
+    let mut t = tables(ty);
+    scale_tables(&mut t, options.requirement_scale);
+    if let Some(ratio) = options.diversity_ratio {
+        compress_tables(&mut t, ratio);
+    }
+
+    let src = QosSchema::new(format!("S{}.src", index + 1), ["quality"]);
+    let gs = QosSchema::new(format!("S{}.server", index + 1), ["grade"]);
+    let gp = QosSchema::new(format!("S{}.proxy", index + 1), ["grade"]);
+    let e2e = QosSchema::new(format!("S{}.e2e", index + 1), ["level"]);
+    let v = |s: &Arc<QosSchema>, x: u32| QosVector::new(s.clone(), [x]);
+    let levels = |s: &Arc<QosSchema>, n: usize| -> Vec<QosVector> {
+        (1..=n as u32).map(|x| v(s, x)).collect()
+    };
+
+    let mut b = TableTranslation::builder(1, t.s_out, 1);
+    for &(i, o, a) in &t.c_s {
+        b = b.entry(i, o, a.to_vec());
+    }
+    let c_s = ComponentSpec::new(
+        "c_S",
+        vec![v(&src, 1)],
+        levels(&gs, t.s_out),
+        vec![SlotSpec::new("h_S", ResourceKind::Compute)],
+        Arc::new(b.try_build()?),
+    );
+
+    let mut b = TableTranslation::builder(t.s_out, t.p_out, 2);
+    for &(i, o, a) in &t.c_p {
+        b = b.entry(i, o, a.to_vec());
+    }
+    let c_p = ComponentSpec::new(
+        "c_P",
+        levels(&gs, t.s_out),
+        levels(&gp, t.p_out),
+        vec![
+            SlotSpec::new("h_P", ResourceKind::Compute),
+            SlotSpec::new("l_P_S", ResourceKind::NetworkPath),
+        ],
+        Arc::new(b.try_build()?),
+    );
+
+    let mut b = TableTranslation::builder(t.p_out, t.c_out, 1);
+    for &(i, o, a) in &t.c_c {
+        b = b.entry(i, o, a.to_vec());
+    }
+    let c_c = ComponentSpec::new(
+        "c_C",
+        levels(&gp, t.p_out),
+        levels(&e2e, t.c_out),
+        vec![SlotSpec::new("l_C_P", ResourceKind::NetworkPath)],
+        Arc::new(b.try_build()?),
+    );
+
+    // End-to-end levels ranked 1..c_out ascending (level index i has the
+    // paper's "level i+1").
+    ServiceSpec::chain(
+        format!("S{}", index + 1),
+        vec![c_s, c_p, c_c],
+        (1..=t.c_out as u32).collect(),
+    )
+}
+
+fn scale_tables(t: &mut ServiceTables, scale: f64) {
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "bad requirement scale {scale}"
+    );
+    for (_, _, a) in &mut t.c_s {
+        a[0] *= scale;
+    }
+    for (_, _, a) in &mut t.c_p {
+        a[0] *= scale;
+        a[1] *= scale;
+    }
+    for (_, _, a) in &mut t.c_c {
+        a[0] *= scale;
+    }
+}
+
+/// Remaps `values` so they are evenly spaced with the same mean and a
+/// max:min ratio of `ratio`, preserving the original order (ranks). The
+/// §5.2.5 low-diversity transform.
+///
+/// ```
+/// let mut v = vec![4.0, 12.0, 24.0];           // mean 40/3, spread 6:1
+/// qosr_sim::services::diversity_compress(&mut v, 3.0);
+/// let mean: f64 = v.iter().sum::<f64>() / 3.0;
+/// assert!((mean - 40.0 / 3.0).abs() < 1e-9);   // mean preserved
+/// assert!((v[2] / v[0] - 3.0).abs() < 1e-9);   // spread capped at 3:1
+/// ```
+pub fn diversity_compress(values: &mut [f64], ratio: f64) {
+    assert!(ratio >= 1.0, "ratio must be >= 1, got {ratio}");
+    let n = values.len();
+    if n <= 1 {
+        return;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    // Evenly spaced between lo and ratio*lo with the given mean:
+    // mean = lo * (1 + ratio) / 2  =>  lo = 2 * mean / (1 + ratio).
+    let lo = 2.0 * mean / (1.0 + ratio);
+    let hi = ratio * lo;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    for (rank, &idx) in order.iter().enumerate() {
+        values[idx] = lo + (hi - lo) * rank as f64 / (n - 1) as f64;
+    }
+}
+
+fn compress_tables(t: &mut ServiceTables, ratio: f64) {
+    // Per resource: h_S across c_S edges; h_P and l_P^S across c_P
+    // edges; l_C^P across c_C edges.
+    let mut h_s: Vec<f64> = t.c_s.iter().map(|&(_, _, a)| a[0]).collect();
+    diversity_compress(&mut h_s, ratio);
+    for (e, v) in t.c_s.iter_mut().zip(&h_s) {
+        e.2[0] = *v;
+    }
+
+    for slot in 0..2 {
+        let mut vals: Vec<f64> = t.c_p.iter().map(|&(_, _, a)| a[slot]).collect();
+        diversity_compress(&mut vals, ratio);
+        for (e, v) in t.c_p.iter_mut().zip(&vals) {
+            e.2[slot] = *v;
+        }
+    }
+
+    let mut l_c: Vec<f64> = t.c_c.iter().map(|&(_, _, a)| a[0]).collect();
+    diversity_compress(&mut l_c, ratio);
+    for (e, v) in t.c_c.iter_mut().zip(&l_c) {
+        e.2[0] = *v;
+    }
+}
+
+/// Renders a plan signature as the paper's `Qa-Qc-Qf-Qi-Qm-Qp` path
+/// label. Letters are assigned in figure-10 order — `a` for the source
+/// input, then each component's output letters followed by the next
+/// component's input letters — with **higher grades getting earlier
+/// letters** (e.g. `Qb` is the best server grade, `Qp` is end-to-end
+/// level 3), matching the paper's figures.
+pub fn path_label(service_type: ServiceType, signature: &[(usize, usize, usize)]) -> String {
+    let t = tables(service_type);
+    // Letter offsets of each node group, in figure order.
+    let s_out = 1; // after 'a'
+    let p_in = s_out + t.s_out;
+    let p_out = p_in + t.s_out;
+    let c_in = p_out + t.p_out;
+    let c_out = c_in + t.p_out;
+    let letter = |offset: usize, n_levels: usize, level: usize| -> char {
+        // Descending: highest grade gets the first letter of the group.
+        (b'a' + (offset + (n_levels - 1 - level)) as u8) as char
+    };
+    assert_eq!(signature.len(), 3, "figure-10 services have 3 components");
+    let (_, _, s_o) = signature[0];
+    let (_, p_i, p_o) = signature[1];
+    let (_, c_i, c_o) = signature[2];
+    format!(
+        "Qa-Q{}-Q{}-Q{}-Q{}-Q{}",
+        letter(s_out, t.s_out, s_o),
+        letter(p_in, t.s_out, p_i),
+        letter(p_out, t.p_out, p_o),
+        letter(c_in, t.p_out, c_i),
+        letter(c_out, t.c_out, c_o),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_types_match_paper() {
+        assert_eq!(ServiceType::of_service(0), ServiceType::A);
+        assert_eq!(ServiceType::of_service(1), ServiceType::B);
+        assert_eq!(ServiceType::of_service(2), ServiceType::B);
+        assert_eq!(ServiceType::of_service(3), ServiceType::A);
+    }
+
+    #[test]
+    #[should_panic(expected = "S1..S4")]
+    fn service_index_out_of_range_panics() {
+        ServiceType::of_service(4);
+    }
+
+    #[test]
+    fn all_four_services_build_and_validate() {
+        for i in 0..4 {
+            let svc = build_service(i, &ServiceOptions::default()).unwrap();
+            assert_eq!(svc.components().len(), 3);
+            assert_eq!(svc.name(), format!("S{}", i + 1));
+            assert!(svc.graph().is_chain());
+            // End-to-end ranks are 1..n ascending.
+            let order = svc.sink_rank_order();
+            assert_eq!(order[0], svc.end_to_end_levels().len() - 1);
+        }
+    }
+
+    #[test]
+    fn path_shape_counts_match_tables_1_and_2() {
+        // Count distinct source->sink paths: product over compatible
+        // (c_S out = c_P in) and (c_P out = c_C in) pairings.
+        let count = |ty: ServiceType| -> usize {
+            let t = tables(ty);
+            let mut n = 0;
+            for &(_, s_o, _) in &t.c_s {
+                for &(p_i, p_o, _) in &t.c_p {
+                    if p_i != s_o {
+                        continue;
+                    }
+                    for &(c_i, _, _) in &t.c_c {
+                        if c_i == p_o {
+                            n += 1;
+                        }
+                    }
+                }
+            }
+            n
+        };
+        // Table 1 lists 11 paths (to levels 3 and 2); type A also has
+        // level-1 paths, so expect at least 11.
+        assert!(
+            count(ServiceType::A) >= 11,
+            "type A has {} paths",
+            count(ServiceType::A)
+        );
+        assert!(
+            count(ServiceType::B) >= 13,
+            "type B has {} paths",
+            count(ServiceType::B)
+        );
+    }
+
+    #[test]
+    fn requirement_scale_multiplies() {
+        let base = build_service(0, &ServiceOptions::default()).unwrap();
+        let scaled = build_service(
+            0,
+            &ServiceOptions {
+                requirement_scale: 2.0,
+                diversity_ratio: None,
+            },
+        )
+        .unwrap();
+        let d0 = base.component(0).translate(0, 0).unwrap();
+        let d1 = scaled.component(0).translate(0, 0).unwrap();
+        assert_eq!(d1.amounts()[0], 2.0 * d0.amounts()[0]);
+    }
+
+    #[test]
+    fn diversity_compress_preserves_mean_and_caps_ratio() {
+        let mut v = vec![4.0, 12.0, 24.0];
+        let mean: f64 = v.iter().sum::<f64>() / 3.0;
+        diversity_compress(&mut v, 3.0);
+        let mean2: f64 = v.iter().sum::<f64>() / 3.0;
+        assert!((mean - mean2).abs() < 1e-9);
+        let (lo, hi) = (v[0], v[2]);
+        assert!((hi / lo - 3.0).abs() < 1e-9);
+        // Order preserved.
+        assert!(v[0] < v[1] && v[1] < v[2]);
+        // Evenly spaced.
+        assert!(((v[1] - v[0]) - (v[2] - v[1])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diversity_compress_degenerate_cases() {
+        let mut one = vec![7.0];
+        diversity_compress(&mut one, 3.0);
+        assert_eq!(one, vec![7.0]);
+        let mut empty: Vec<f64> = vec![];
+        diversity_compress(&mut empty, 3.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn compressed_service_validates_and_keeps_structure() {
+        let svc = build_service(
+            1,
+            &ServiceOptions {
+                requirement_scale: 1.0,
+                diversity_ratio: Some(3.0),
+            },
+        )
+        .unwrap();
+        // Same feasible pairs as the uncompressed service.
+        let base = build_service(1, &ServiceOptions::default()).unwrap();
+        for c in 0..3 {
+            let (b, s) = (base.component(c), svc.component(c));
+            for i in 0..b.input_levels().len() {
+                for o in 0..b.output_levels().len() {
+                    assert_eq!(b.translate(i, o).is_some(), s.translate(i, o).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_labels_match_paper_format() {
+        // Type A: c_S out index 2 (grade b, best) -> letter b; c_P in 2
+        // -> e; c_P out 3 (best, h) -> h; c_C in 3 -> l; e2e level 2
+        // (level 3, best) -> p.
+        let label = path_label(ServiceType::A, &[(0, 0, 2), (1, 2, 3), (2, 3, 2)]);
+        assert_eq!(label, "Qa-Qb-Qe-Qh-Ql-Qp");
+        // Lowest everything.
+        let label = path_label(ServiceType::A, &[(0, 0, 0), (1, 0, 0), (2, 0, 0)]);
+        assert_eq!(label, "Qa-Qd-Qg-Qk-Qo-Qr");
+        // Type B sample: Qa-Qc-Qe-Qh-Qk-Ql is s_out 0, p_in 0, p_out 0,
+        // c_in 0, e2e 2 in our ascending indexing.
+        let label = path_label(ServiceType::B, &[(0, 0, 0), (1, 0, 0), (2, 0, 2)]);
+        assert_eq!(label, "Qa-Qc-Qe-Qh-Qk-Ql");
+    }
+}

@@ -1,0 +1,88 @@
+//! Parallel execution of simulation batches.
+//!
+//! Experiment figures sweep generation rates × algorithms × seeds —
+//! dozens of independent runs. [`run_many`] executes them across CPU
+//! cores with a simple work-stealing queue (crossbeam channel feeding
+//! scoped worker threads), returning results in input order.
+
+use crate::{run_scenario, RunResult, ScenarioConfig};
+use std::num::NonZeroUsize;
+
+/// Runs every configuration, in parallel across available cores,
+/// returning results in the same order as `configs`.
+pub fn run_many(configs: &[ScenarioConfig]) -> Vec<RunResult> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(configs.len());
+    if workers <= 1 {
+        return configs.iter().map(run_scenario).collect();
+    }
+
+    let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, ScenarioConfig)>();
+    let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, RunResult)>();
+    for (i, cfg) in configs.iter().enumerate() {
+        task_tx.send((i, cfg.clone())).expect("channel open");
+    }
+    drop(task_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                while let Ok((i, cfg)) = task_rx.recv() {
+                    let result = run_scenario(&cfg);
+                    if result_tx.send((i, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+
+        let mut results: Vec<Option<RunResult>> = vec![None; configs.len()];
+        while let Ok((i, r)) = result_rx.recv() {
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every task produced a result"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlannerKind;
+
+    #[test]
+    fn parallel_matches_serial_and_preserves_order() {
+        let configs: Vec<ScenarioConfig> = [(60.0, 1u64), (120.0, 2), (180.0, 3)]
+            .into_iter()
+            .map(|(rate, seed)| ScenarioConfig {
+                rate_per_60tu: rate,
+                seed,
+                horizon: 600.0,
+                planner: PlannerKind::Basic,
+                ..ScenarioConfig::default()
+            })
+            .collect();
+        let parallel = run_many(&configs);
+        assert_eq!(parallel.len(), 3);
+        for (cfg, result) in configs.iter().zip(&parallel) {
+            assert_eq!(&result.config, cfg);
+            let serial = run_scenario(cfg);
+            assert_eq!(serial.metrics, result.metrics, "rate {}", cfg.rate_per_60tu);
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert!(run_many(&[]).is_empty());
+    }
+}

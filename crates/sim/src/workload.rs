@@ -1,0 +1,340 @@
+//! The session workload model (§5.1).
+//!
+//! * Sessions arrive in a **Poisson process** at a configurable rate.
+//! * Each session is **normal** or **fat** (1:2 ratio); a fat session's
+//!   demand is N× the base requirement with N ∈ {2, 10}.
+//! * Each session is **short** (duration uniform 20–60 TU) or **long**
+//!   (uniform 60–600 TU) with long:short = 1:2. (The paper states both
+//!   "durations randomly distributed … between 20 and 600" and the 1:2
+//!   class ratio; a plain uniform draw over 20–600 would make ~93% of
+//!   sessions long, so the class ratio is taken as authoritative — see
+//!   DESIGN.md.)
+//! * The client's **domain** is uniform over `D1–D8`; the **service** is
+//!   drawn from dynamically shifting per-service weights, excluding
+//!   `S_⌈d/2⌉` for a client of domain `D_d`.
+
+use crate::env::{excluded_service, N_DOMAINS, N_SERVICES};
+use rand::{Rng, RngExt};
+
+/// Duration threshold (TU) separating short from long sessions.
+pub const LONG_THRESHOLD: f64 = 60.0;
+/// Shortest session duration (TU).
+pub const MIN_DURATION: f64 = 20.0;
+/// Longest session duration (TU).
+pub const MAX_DURATION: f64 = 600.0;
+/// Probability that a session is fat (normal:fat = 1:2).
+pub const FAT_PROBABILITY: f64 = 2.0 / 3.0;
+/// Probability that a session is long (long:short = 1:2).
+pub const LONG_PROBABILITY: f64 = 1.0 / 3.0;
+/// The fat demand multipliers ("N is either 2 or 10").
+pub const FAT_FACTORS: [f64; 2] = [2.0, 10.0];
+
+/// The four session classes of §5.2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SessionClass {
+    /// Base demand, duration < 60 TU.
+    NormalShort,
+    /// Base demand, duration ≥ 60 TU.
+    NormalLong,
+    /// N× demand, duration < 60 TU.
+    FatShort,
+    /// N× demand, duration ≥ 60 TU.
+    FatLong,
+}
+
+impl SessionClass {
+    /// All classes, in table order.
+    pub const ALL: [SessionClass; 4] = [
+        SessionClass::NormalShort,
+        SessionClass::NormalLong,
+        SessionClass::FatShort,
+        SessionClass::FatLong,
+    ];
+
+    /// Dense index (0–3) for metric arrays.
+    pub fn index(self) -> usize {
+        match self {
+            SessionClass::NormalShort => 0,
+            SessionClass::NormalLong => 1,
+            SessionClass::FatShort => 2,
+            SessionClass::FatLong => 3,
+        }
+    }
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SessionClass::NormalShort => "Norm.-short",
+            SessionClass::NormalLong => "Norm.-long",
+            SessionClass::FatShort => "Fat-short",
+            SessionClass::FatLong => "Fat-long",
+        }
+    }
+}
+
+/// One sampled service request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionRequest {
+    /// Requested service (0-based: `S{service+1}`).
+    pub service: usize,
+    /// Requesting client's domain (0-based: `D{domain+1}`).
+    pub domain: usize,
+    /// Demand multiplier (1 for normal, 2 or 10 for fat).
+    pub scale: f64,
+    /// Session duration in TU.
+    pub duration: f64,
+    /// The session's class.
+    pub class: SessionClass,
+}
+
+/// Samples arrivals and request attributes.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    rate_per_tu: f64,
+    weights: [f64; N_SERVICES],
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator producing `rate_per_60tu` sessions per 60 TU
+    /// on average, with equal initial service weights.
+    pub fn new(rate_per_60tu: f64) -> Self {
+        assert!(
+            rate_per_60tu.is_finite() && rate_per_60tu > 0.0,
+            "rate must be positive, got {rate_per_60tu}"
+        );
+        WorkloadGenerator {
+            rate_per_tu: rate_per_60tu / 60.0,
+            weights: [1.0; N_SERVICES],
+        }
+    }
+
+    /// The current per-service selection weights.
+    pub fn weights(&self) -> &[f64; N_SERVICES] {
+        &self.weights
+    }
+
+    /// Exponential inter-arrival time (TU) of the Poisson process.
+    pub fn next_interarrival(&self, rng: &mut impl Rng) -> f64 {
+        // 1 - U in (0, 1]: avoids ln(0).
+        let u: f64 = 1.0 - rng.random::<f64>();
+        -u.ln() / self.rate_per_tu
+    }
+
+    /// Redraws the per-service weights — the paper "dynamically
+    /// change\[s\] the probability that each service is requested". Weights
+    /// are uniform in [0.25, 1], keeping every service requested at a
+    /// meaningful rate while shifting the per-resource demand mix.
+    pub fn shift_weights(&mut self, rng: &mut impl Rng) {
+        for w in &mut self.weights {
+            *w = rng.random_range(0.25..=1.0);
+        }
+    }
+
+    /// Samples one service request.
+    pub fn sample(&self, rng: &mut impl Rng) -> SessionRequest {
+        let domain = rng.random_range(0..N_DOMAINS);
+        let excluded = excluded_service(domain);
+        // Weighted choice among the other three services.
+        let total: f64 = (0..N_SERVICES)
+            .filter(|&s| s != excluded)
+            .map(|s| self.weights[s])
+            .sum();
+        let mut x = rng.random_range(0.0..total);
+        let mut service = usize::MAX;
+        for s in 0..N_SERVICES {
+            if s == excluded {
+                continue;
+            }
+            if x < self.weights[s] {
+                service = s;
+                break;
+            }
+            x -= self.weights[s];
+        }
+        if service == usize::MAX {
+            // Floating-point edge: fall back to the last eligible.
+            service = (0..N_SERVICES).rev().find(|&s| s != excluded).unwrap();
+        }
+
+        let fat = rng.random::<f64>() < FAT_PROBABILITY;
+        let scale = if fat {
+            FAT_FACTORS[rng.random_range(0..FAT_FACTORS.len())]
+        } else {
+            1.0
+        };
+        let long = rng.random::<f64>() < LONG_PROBABILITY;
+        let duration = if long {
+            rng.random_range(LONG_THRESHOLD..=MAX_DURATION)
+        } else {
+            rng.random_range(MIN_DURATION..LONG_THRESHOLD)
+        };
+        let class = match (fat, long) {
+            (false, false) => SessionClass::NormalShort,
+            (false, true) => SessionClass::NormalLong,
+            (true, false) => SessionClass::FatShort,
+            (true, true) => SessionClass::FatLong,
+        };
+        SessionRequest {
+            service,
+            domain,
+            scale,
+            duration,
+            class,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interarrival_mean_matches_rate() {
+        let g = WorkloadGenerator::new(120.0); // 2 per TU
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| g.next_interarrival(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean interarrival {mean}");
+    }
+
+    #[test]
+    fn class_ratios_match_paper() {
+        let g = WorkloadGenerator::new(60.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 30_000;
+        let mut counts = [0usize; 4];
+        let mut fat_n2 = 0usize;
+        let mut fat_n10 = 0usize;
+        for _ in 0..n {
+            let r = g.sample(&mut rng);
+            counts[r.class.index()] += 1;
+            if r.scale == 2.0 {
+                fat_n2 += 1;
+            } else if r.scale == 10.0 {
+                fat_n10 += 1;
+            }
+            assert!(r.duration >= MIN_DURATION && r.duration <= MAX_DURATION);
+            // Class consistency.
+            let long = r.duration >= LONG_THRESHOLD;
+            let fat = r.scale > 1.0;
+            assert_eq!(r.class.index(), (fat as usize) * 2 + long as usize);
+        }
+        let fat_fraction = (counts[2] + counts[3]) as f64 / n as f64;
+        let long_fraction = (counts[1] + counts[3]) as f64 / n as f64;
+        assert!(
+            (fat_fraction - 2.0 / 3.0).abs() < 0.02,
+            "fat {fat_fraction}"
+        );
+        assert!(
+            (long_fraction - 1.0 / 3.0).abs() < 0.02,
+            "long {long_fraction}"
+        );
+        // N = 2 and N = 10 equally likely among fat sessions.
+        let ratio = fat_n2 as f64 / (fat_n2 + fat_n10) as f64;
+        assert!((ratio - 0.5).abs() < 0.02, "N split {ratio}");
+    }
+
+    #[test]
+    fn never_samples_excluded_service() {
+        let g = WorkloadGenerator::new(60.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let r = g.sample(&mut rng);
+            assert_ne!(r.service, excluded_service(r.domain));
+            assert!(r.domain < N_DOMAINS);
+            assert!(r.service < N_SERVICES);
+        }
+    }
+
+    #[test]
+    fn weight_shifts_change_the_mix() {
+        let mut g = WorkloadGenerator::new(60.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let before = *g.weights();
+        g.shift_weights(&mut rng);
+        let after = *g.weights();
+        assert_ne!(before, after);
+        for w in after {
+            assert!((0.25..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(SessionClass::FatLong.label(), "Fat-long");
+        assert_eq!(SessionClass::ALL.len(), 4);
+        for (i, c) in SessionClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod boundary_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn durations_respect_class_boundaries() {
+        let g = WorkloadGenerator::new(60.0);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..5000 {
+            let r = g.sample(&mut rng);
+            match r.class {
+                SessionClass::NormalShort | SessionClass::FatShort => {
+                    assert!(r.duration >= MIN_DURATION && r.duration < LONG_THRESHOLD);
+                }
+                SessionClass::NormalLong | SessionClass::FatLong => {
+                    assert!(r.duration >= LONG_THRESHOLD && r.duration <= MAX_DURATION);
+                }
+            }
+            match r.class {
+                SessionClass::NormalShort | SessionClass::NormalLong => {
+                    assert_eq!(r.scale, 1.0)
+                }
+                _ => assert!(r.scale == 2.0 || r.scale == 10.0),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate() {
+        WorkloadGenerator::new(0.0);
+    }
+
+    #[test]
+    fn shifted_weights_bias_the_service_mix() {
+        let mut g = WorkloadGenerator::new(60.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Force an extreme mix by shifting until S1's weight is minimal
+        // relative to the others.
+        for _ in 0..50 {
+            g.shift_weights(&mut rng);
+        }
+        let w = *g.weights();
+        let mut counts = [0usize; N_SERVICES];
+        for _ in 0..30_000 {
+            counts[g.sample(&mut rng).service] += 1;
+        }
+        // The empirical ordering follows the weights (allowing slack for
+        // the per-domain exclusions).
+        let (argmax_w, argmin_w) = (
+            (0..N_SERVICES)
+                .max_by(|&a, &b| w[a].total_cmp(&w[b]))
+                .unwrap(),
+            (0..N_SERVICES)
+                .min_by(|&a, &b| w[a].total_cmp(&w[b]))
+                .unwrap(),
+        );
+        if w[argmax_w] > 1.5 * w[argmin_w] {
+            assert!(
+                counts[argmax_w] > counts[argmin_w],
+                "weights {w:?} but counts {counts:?}"
+            );
+        }
+    }
+}

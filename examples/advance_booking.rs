@@ -1,0 +1,135 @@
+//! Advance reservations — the paper's §6 "next step", implemented on a
+//! piecewise-constant reservation timeline.
+//!
+//! A virtual-laboratory session (the paper's motivating Grid scenario)
+//! is booked for a *future* window: the coordinator plans against the
+//! guaranteed minimum availability over the window and books
+//! all-or-nothing. Conflicting bookings degrade later requests to lower
+//! QoS levels or reject them, exactly like immediate reservations do —
+//! but ahead of time.
+//!
+//! ```sh
+//! cargo run --example advance_booking
+//! ```
+
+use qosr::broker::{AdvanceRegistry, SessionId, SimTime, TimelineBroker};
+use qosr::core::{plan_basic, Qrg, QrgOptions};
+use qosr::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // A remote-experiment service: instrument feed -> analysis -> steering.
+    let feed_q = QosSchema::new("feed", ["sample_rate"]);
+    let result_q = QosSchema::new("result", ["resolution"]);
+    let v = |s: &std::sync::Arc<QosSchema>, x: u32| QosVector::new(s.clone(), [x]);
+
+    let instrument = ComponentSpec::new(
+        "instrument-feed",
+        vec![v(&feed_q, 100)],
+        vec![v(&feed_q, 10), v(&feed_q, 100)],
+        vec![SlotSpec::new("bw", ResourceKind::NetworkPath)],
+        Arc::new(
+            TableTranslation::builder(1, 2, 1)
+                .entry(0, 0, [5.0])
+                .entry(0, 1, [40.0])
+                .build(),
+        ),
+    );
+    let analysis = ComponentSpec::new(
+        "analysis",
+        vec![v(&feed_q, 10), v(&feed_q, 100)],
+        vec![v(&result_q, 1), v(&result_q, 2)],
+        vec![SlotSpec::new("cpu", ResourceKind::Compute)],
+        Arc::new(
+            TableTranslation::builder(2, 2, 1)
+                .entry(0, 0, [10.0])
+                .entry(1, 0, [8.0])
+                .entry(1, 1, [55.0])
+                .build(),
+        ),
+    );
+    let service = Arc::new(
+        ServiceSpec::chain("virtual-lab", vec![instrument, analysis], vec![1, 2]).unwrap(),
+    );
+
+    let mut space = ResourceSpace::new();
+    let bw = space.register("path:instrument->hpc", ResourceKind::NetworkPath);
+    let cpu = space.register("hpc.cpu", ResourceKind::Compute);
+    let session_of = |scale: f64| {
+        SessionInstance::new(
+            service.clone(),
+            vec![ComponentBinding::new([bw]), ComponentBinding::new([cpu])],
+            scale,
+        )
+        .unwrap()
+    };
+
+    let mut registry = AdvanceRegistry::new();
+    registry.register(Arc::new(TimelineBroker::new(bw, 100.0)));
+    registry.register(Arc::new(TimelineBroker::new(cpu, 100.0)));
+
+    let t = SimTime::new;
+    // Team A books the 09:00-12:00 slot (hours as TU) at full quality.
+    let window_a = (t(9.0), t(12.0));
+    let view = registry.snapshot_window(window_a.0, window_a.1);
+    let qrg = Qrg::build(&session_of(1.0), &view, &QrgOptions::default());
+    let plan_a = plan_basic(&qrg).unwrap();
+    registry
+        .reserve_all_over(SessionId(1), &plan_a.total_demand(), window_a.0, window_a.1)
+        .unwrap();
+    println!(
+        "team A books 09:00-12:00 -> {} (Ψ = {:.2})",
+        plan_a.end_to_end, plan_a.psi
+    );
+
+    // Team B wants an overlapping 11:00-14:00 slot. Within the overlap
+    // the CPU has only 45 units left, so the planner degrades to the
+    // low-resolution level.
+    let window_b = (t(11.0), t(14.0));
+    let view = registry.snapshot_window(window_b.0, window_b.1);
+    println!(
+        "availability over 11:00-14:00: bw = {}, cpu = {}",
+        view.avail(bw),
+        view.avail(cpu)
+    );
+    let qrg = Qrg::build(&session_of(1.0), &view, &QrgOptions::default());
+    let plan_b = plan_basic(&qrg).unwrap();
+    registry
+        .reserve_all_over(SessionId(2), &plan_b.total_demand(), window_b.0, window_b.1)
+        .unwrap();
+    println!(
+        "team B books 11:00-14:00 -> {} (degraded: Ψ = {:.2})",
+        plan_b.end_to_end, plan_b.psi
+    );
+
+    // Team C asks for the same afternoon slot at 10x scale ("fat"
+    // session): nothing fits while A and B hold their windows…
+    let window_c = (t(11.0), t(13.0));
+    let view = registry.snapshot_window(window_c.0, window_c.1);
+    let qrg = Qrg::build(&session_of(10.0), &view, &QrgOptions::default());
+    match plan_basic(&qrg) {
+        Ok(_) => unreachable!(),
+        Err(e) => println!("team C (10x) for 11:00-13:00 -> rejected: {e}"),
+    }
+    // …but the evening is wide open.
+    let window_c = (t(14.0), t(16.0));
+    let view = registry.snapshot_window(window_c.0, window_c.1);
+    let qrg = Qrg::build(&session_of(10.0), &view, &QrgOptions::default());
+    let plan_c = plan_basic(&qrg).unwrap();
+    registry
+        .reserve_all_over(SessionId(3), &plan_c.total_demand(), window_c.0, window_c.1)
+        .unwrap();
+    println!(
+        "team C books 14:00-16:00 -> {} at 10x (Ψ = {:.2})",
+        plan_c.end_to_end, plan_c.psi
+    );
+
+    // Team A cancels; the overlap frees up for an upgrade.
+    registry.cancel_all(SessionId(1));
+    let view = registry.snapshot_window(window_b.0, window_b.1);
+    println!(
+        "after A cancels, 11:00-14:00 availability: bw = {}, cpu = {}",
+        view.avail(bw),
+        view.avail(cpu)
+    );
+}

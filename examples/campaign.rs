@@ -1,0 +1,69 @@
+//! A miniature version of the paper's performance study (§5): sweep the
+//! session generation rate over the figure-9 environment and compare the
+//! three planning algorithms — a scaled-down figure 11.
+//!
+//! ```sh
+//! cargo run --release --example campaign
+//! ```
+//! (Use --release; the full discrete-event runs are slow in debug.)
+
+use qosr::sim::{run_many, PlannerKind, ScenarioConfig};
+
+fn main() {
+    let rates = [60.0, 120.0, 180.0, 240.0];
+    let planners = [
+        PlannerKind::Basic,
+        PlannerKind::Tradeoff,
+        PlannerKind::Random,
+    ];
+
+    let configs: Vec<ScenarioConfig> = rates
+        .iter()
+        .flat_map(|&rate| {
+            planners.iter().map(move |&planner| ScenarioConfig {
+                seed: 1,
+                rate_per_60tu: rate,
+                horizon: 3600.0,
+                planner,
+                ..ScenarioConfig::default()
+            })
+        })
+        .collect();
+
+    println!("running {} simulations in parallel…\n", configs.len());
+    let results = run_many(&configs);
+
+    println!(
+        "{:>5}  {:>22}  {:>22}  {:>22}",
+        "rate", "basic", "tradeoff", "random"
+    );
+    println!(
+        "{:>5}  {:>22}  {:>22}  {:>22}",
+        "", "success / avg QoS", "success / avg QoS", "success / avg QoS"
+    );
+    for (i, &rate) in rates.iter().enumerate() {
+        let row = &results[i * planners.len()..(i + 1) * planners.len()];
+        let cell = |r: &qosr::sim::RunResult| {
+            format!(
+                "{:5.1}% / {:.2}",
+                100.0 * r.metrics.overall.success_rate(),
+                r.metrics.overall.avg_qos_level()
+            )
+        };
+        println!(
+            "{rate:>5.0}  {:>22}  {:>22}  {:>22}",
+            cell(&row[0]),
+            cell(&row[1]),
+            cell(&row[2])
+        );
+    }
+
+    // The paper's §5.2.2 aside: every resource should become the
+    // bottleneck at least once.
+    let basic = &results[0];
+    println!(
+        "\nat rate 60 (basic): {} distinct bottleneck resources, {} total sessions",
+        basic.metrics.bottlenecks.len(),
+        basic.metrics.overall.attempts,
+    );
+}

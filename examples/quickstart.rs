@@ -1,0 +1,124 @@
+//! Quickstart: define a two-component service, stand up brokers and
+//! QoSProxies, and establish a QoS-guaranteed session end to end.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use qosr::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    // ── 1. The QoS-Resource Model ────────────────────────────────────
+    // A video clip service: an encoder on the server feeds a player at
+    // the client. QoS is a single discrete parameter (frame rate).
+    let quality = QosSchema::new("video", ["frame_rate"]);
+    let v = |fps: u32| QosVector::new(quality.clone(), [fps]);
+
+    // The encoder can produce 15 or 30 fps from the 30 fps master; the
+    // translation function maps (input, output) pairs to demands on the
+    // component's resource slots.
+    let encoder = ComponentSpec::new(
+        "encoder",
+        vec![v(30)],
+        vec![v(15), v(30)],
+        vec![SlotSpec::new("cpu", ResourceKind::Compute)],
+        Arc::new(
+            TableTranslation::builder(1, 2, 1)
+                .entry(0, 0, [12.0]) // 15 fps: 12 CPU units
+                .entry(0, 1, [25.0]) // 30 fps: 25 CPU units
+                .build(),
+        ),
+    );
+    // The player needs downstream bandwidth proportional to frame rate.
+    let player = ComponentSpec::new(
+        "player",
+        vec![v(15), v(30)],
+        vec![v(15), v(30)],
+        vec![SlotSpec::new("net", ResourceKind::NetworkPath)],
+        Arc::new(
+            TableTranslation::builder(2, 2, 1)
+                .entry(0, 0, [8.0])
+                .entry(1, 1, [16.0])
+                .build(),
+        ),
+    );
+    // End-to-end QoS levels ranked: 30 fps (rank 2) beats 15 fps.
+    let service = Arc::new(ServiceSpec::chain("clip", vec![encoder, player], vec![1, 2]).unwrap());
+
+    // ── 2. The reservation-enabled runtime ──────────────────────────
+    // One resource space; a server host with a CPU broker, and a network
+    // path broker owned by the client-side proxy.
+    let mut space = ResourceSpace::new();
+    let cpu = space.register("server.cpu", ResourceKind::Compute);
+    let net = space.register("path:server->client", ResourceKind::NetworkPath);
+
+    let t0 = SimTime::ZERO;
+    let mut server_brokers = BrokerRegistry::new();
+    server_brokers.register(Arc::new(LocalBroker::new(
+        cpu,
+        100.0,
+        t0,
+        Default::default(),
+    )));
+    let mut client_brokers = BrokerRegistry::new();
+    client_brokers.register(Arc::new(LocalBroker::new(
+        net,
+        60.0,
+        t0,
+        Default::default(),
+    )));
+
+    let coordinator = qosr::broker::Coordinator::new(vec![
+        Arc::new(QosProxy::new("server", server_brokers)),
+        Arc::new(QosProxy::new("client", client_brokers)),
+    ]);
+
+    // ── 3. Establish sessions ────────────────────────────────────────
+    let mut rng = StdRng::seed_from_u64(7);
+    let session = SessionInstance::new(
+        service.clone(),
+        vec![ComponentBinding::new([cpu]), ComponentBinding::new([net])],
+        1.0,
+    )
+    .unwrap();
+
+    println!("establishing sessions until resources run out:\n");
+    let mut held = Vec::new();
+    for i in 1.. {
+        let now = t0 + i as f64;
+        match coordinator.establish(&session, &Default::default(), now, &mut rng) {
+            Ok(est) => {
+                println!(
+                    "session {}: end-to-end QoS {} (rank {}), bottleneck Ψ = {:.2} on {}",
+                    est.id,
+                    est.plan.end_to_end,
+                    est.plan.rank,
+                    est.plan.psi,
+                    est.plan
+                        .bottleneck
+                        .map(|b| space.name(b.resource).to_owned())
+                        .unwrap_or_default(),
+                );
+                held.push(est);
+            }
+            Err(err) => {
+                println!("session rejected: {err}");
+                break;
+            }
+        }
+    }
+
+    // ── 4. Tear down ─────────────────────────────────────────────────
+    let now = t0 + 100.0;
+    for est in &held {
+        coordinator.terminate(est, now);
+    }
+    println!(
+        "\nreleased {} sessions; protocol stats: {:?}",
+        held.len(),
+        coordinator.stats()
+    );
+}

@@ -1,0 +1,66 @@
+//! # qosr — QoS and contention-aware multi-resource reservation
+//!
+//! Facade crate re-exporting the full public API of the `qosr` workspace,
+//! a reproduction of *"QoS and Contention-Aware Multi-Resource
+//! Reservation"* (Xu, Nahrstedt, Wichadakul; HPDC 2000).
+//!
+//! * [`model`] — the component-based QoS-Resource Model (§2).
+//! * [`core`] — the QoS-Resource Graph and the reservation-plan
+//!   algorithms: *basic*, *tradeoff*, *random*, and the two-pass DAG
+//!   heuristic (§4).
+//! * [`broker`] — resource brokers, availability histories, QoSProxies
+//!   and the coordinated session-establishment protocol (§3).
+//! * [`net`] — network topologies, routing, and two-level end-to-end
+//!   bandwidth brokering (§3).
+//! * [`sim`] — the discrete-event simulation used for the paper's
+//!   performance study (§5).
+//!
+//! See `examples/quickstart.rs` for a guided tour.
+
+pub use qosr_broker as broker;
+pub use qosr_core as core;
+pub use qosr_model as model;
+pub use qosr_net as net;
+pub use qosr_sim as sim;
+
+/// Commonly used items, for `use qosr::prelude::*`.
+///
+/// ```
+/// use qosr::prelude::*;
+/// use std::sync::Arc;
+///
+/// // One-component service planned against a snapshot via the facade.
+/// let schema = QosSchema::new("q", ["level"]);
+/// let comp = ComponentSpec::new(
+///     "c",
+///     vec![QosVector::new(schema.clone(), [0])],
+///     vec![QosVector::new(schema.clone(), [1])],
+///     vec![SlotSpec::new("cpu", ResourceKind::Compute)],
+///     Arc::new(TableTranslation::builder(1, 1, 1).entry(0, 0, [10.0]).build()),
+/// );
+/// let service = Arc::new(ServiceSpec::chain("svc", vec![comp], vec![1]).unwrap());
+/// let mut space = ResourceSpace::new();
+/// let cpu = space.register("cpu", ResourceKind::Compute);
+/// let session = SessionInstance::new(
+///     service, vec![ComponentBinding::new([cpu])], 1.0).unwrap();
+/// let mut view = AvailabilityView::new();
+/// view.set(cpu, 40.0);
+/// let plan = plan_basic(&Qrg::build(&session, &view, &Default::default())).unwrap();
+/// assert_eq!(plan.psi, 0.25);
+/// ```
+pub mod prelude {
+    pub use qosr_broker::{
+        AdvanceRegistry, Broker, BrokerRegistry, Coordinator, EstablishOptions, LocalBroker,
+        QosProxy, SessionId, SimTime, TimelineBroker,
+    };
+    pub use qosr_core::{
+        plan_basic, plan_dag, plan_random, plan_tradeoff, AvailabilityView, Planner, Qrg,
+        QrgOptions, ReservationPlan,
+    };
+    pub use qosr_model::{
+        ComponentBinding, ComponentSpec, DependencyGraph, QosSchema, QosVector, ResourceId,
+        ResourceKind, ResourceSpace, ResourceVector, ServiceSpec, SessionInstance, SlotSpec,
+        SlotVector, TableTranslation, Translation,
+    };
+    pub use qosr_net::{LinkBroker, NetNode, NetworkBroker, NetworkFabric, Topology};
+}

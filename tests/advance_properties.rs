@@ -1,0 +1,152 @@
+//! Property-based tests of the advance-reservation timeline: arbitrary
+//! booking/cancel sequences are checked against a brute-force reference
+//! that samples the reserved level on a fine grid.
+
+use proptest::prelude::*;
+use qosr::broker::{SessionId, SimTime, Timeline, TimelineBroker};
+use qosr::model::ResourceId;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Book {
+        session: u8,
+        from: u8,
+        len: u8,
+        amount: f64,
+    },
+    Cancel {
+        session: u8,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..5, 0u8..40, 1u8..20, 1.0f64..50.0).prop_map(|(session, from, len, amount)| {
+            Op::Book { session, from, len, amount }
+        }),
+        1 => (0u8..5).prop_map(|session| Op::Cancel { session }),
+    ]
+}
+
+const CAPACITY: f64 = 100.0;
+
+/// Reference model: a dense per-half-unit grid of reserved amounts.
+#[derive(Default)]
+struct Grid {
+    /// reserved[t2] = total booked over [t2/2, t2/2 + 0.5).
+    reserved: Vec<f64>,
+    bookings: Vec<(u8, usize, usize, f64)>, // session, from2, to2, amount
+}
+
+impl Grid {
+    fn max_over(&self, from2: usize, to2: usize) -> f64 {
+        (from2..to2.max(from2 + 1))
+            .map(|t| self.reserved.get(t).copied().unwrap_or(0.0))
+            .fold(0.0, f64::max)
+    }
+    fn add(&mut self, session: u8, from2: usize, to2: usize, amount: f64) {
+        if self.reserved.len() < to2 {
+            self.reserved.resize(to2, 0.0);
+        }
+        for t in from2..to2 {
+            self.reserved[t] += amount;
+        }
+        self.bookings.push((session, from2, to2, amount));
+    }
+    fn cancel(&mut self, session: u8) -> f64 {
+        let mut total = 0.0;
+        let mut kept = Vec::new();
+        for b in self.bookings.drain(..) {
+            if b.0 == session {
+                for t in b.1..b.2 {
+                    self.reserved[t] -= b.3;
+                }
+                total += b.3;
+            } else {
+                kept.push(b);
+            }
+        }
+        self.bookings = kept;
+        total
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn timeline_broker_matches_grid_reference(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let broker = TimelineBroker::new(ResourceId(0), CAPACITY);
+        let mut grid = Grid::default();
+        for op in &ops {
+            match *op {
+                Op::Book { session, from, len, amount } => {
+                    // Windows on integer bounds; the grid uses half-unit
+                    // resolution so boundaries are exact.
+                    let (from2, to2) = (from as usize * 2, (from as usize + len as usize) * 2);
+                    let t_from = SimTime::new(from as f64);
+                    let t_to = SimTime::new((from as usize + len as usize) as f64);
+                    let free = CAPACITY - grid.max_over(from2, to2);
+                    let result = broker.reserve_over(
+                        SessionId(session as u64), amount, t_from, t_to);
+                    if amount <= free + 1e-9 {
+                        prop_assert!(result.is_ok(), "rejected a fitting booking");
+                        grid.add(session, from2, to2, amount);
+                    } else {
+                        prop_assert!(result.is_err(), "accepted an overcommit");
+                    }
+                }
+                Op::Cancel { session } => {
+                    let expected = grid.cancel(session);
+                    let released = broker.cancel(SessionId(session as u64));
+                    prop_assert!((released - expected).abs() < 1e-6);
+                }
+            }
+            // Availability agrees with the reference on a sample of windows.
+            for (a, b) in [(0usize, 20usize), (10, 45), (30, 60), (0, 60)] {
+                let lib = broker.available_over(SimTime::new(a as f64), SimTime::new(b as f64));
+                let reference = CAPACITY - grid.max_over(a * 2, b * 2);
+                prop_assert!((lib - reference).abs() < 1e-6,
+                    "window [{a},{b}): {lib} vs {reference}");
+            }
+        }
+    }
+
+    /// Timeline add/remove are exact inverses and compaction preserves
+    /// all queries at or after the compaction point.
+    #[test]
+    fn timeline_add_remove_compact(
+        windows in prop::collection::vec((0u8..40, 1u8..20, 1.0f64..50.0), 1..16),
+        cut in 0u8..50,
+    ) {
+        let mut tl = Timeline::new();
+        for &(from, len, amount) in &windows {
+            tl.add(SimTime::new(from as f64), SimTime::new((from as u16 + len as u16) as f64), amount);
+        }
+        // Snapshot some queries, compact, re-check those at/after `cut`.
+        let probes: Vec<(f64, f64)> = (0..12)
+            .map(|i| (cut as f64 + i as f64, cut as f64 + i as f64 + 3.0))
+            .collect();
+        let before: Vec<f64> = probes
+            .iter()
+            .map(|&(a, b)| tl.max_reserved(SimTime::new(a), SimTime::new(b)))
+            .collect();
+        tl.compact(SimTime::new(cut as f64));
+        for (&(a, b), &expect) in probes.iter().zip(&before) {
+            let got = tl.max_reserved(SimTime::new(a), SimTime::new(b));
+            prop_assert!((got - expect).abs() < 1e-9, "after compact: [{a},{b})");
+        }
+        // Removing everything empties the profile for future windows.
+        let mut tl = Timeline::new();
+        for &(from, len, amount) in &windows {
+            let (f, t) = (SimTime::new(from as f64), SimTime::new((from as u16 + len as u16) as f64));
+            tl.add(f, t, amount);
+        }
+        for &(from, len, amount) in &windows {
+            let (f, t) = (SimTime::new(from as f64), SimTime::new((from as u16 + len as u16) as f64));
+            tl.remove(f, t, amount);
+        }
+        prop_assert_eq!(tl.breakpoints(), 0);
+        prop_assert_eq!(tl.max_reserved(SimTime::new(0.0), SimTime::new(100.0)), 0.0);
+    }
+}

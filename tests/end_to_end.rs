@@ -1,0 +1,220 @@
+//! Cross-crate integration: model → core planner → brokers → proxies,
+//! on the paper's running example service, including the two-level
+//! network reservation over a multi-link route.
+
+use qosr::broker::{
+    Broker, BrokerRegistry, Coordinator, EstablishOptions, LocalBroker, QosProxy, SimTime,
+};
+use qosr::model::*;
+use qosr::net::{NetNode, NetworkFabric, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Builds a 3-host environment where server and client are *not*
+/// adjacent: the server→proxy path crosses two links, so the end-to-end
+/// network broker must reserve both or neither.
+struct World {
+    space: ResourceSpace,
+    coordinator: Coordinator,
+    session: SessionInstance,
+    cpu: [ResourceId; 3],
+    path_sp: ResourceId,
+    path_pc: ResourceId,
+    fabric: NetworkFabric,
+}
+
+fn build_world(link_capacity: [f64; 3]) -> World {
+    let mut space = ResourceSpace::new();
+    let t0 = SimTime::ZERO;
+
+    // Hosts 0 (server), 1 (relay), 2 (proxy); domain 0 (client) attached
+    // to host 2. Chain topology: H0 - H1 - H2 - D0.
+    let mut topo = Topology::new(3, 1);
+    topo.add_link(NetNode::Host(0), NetNode::Host(1)).unwrap();
+    topo.add_link(NetNode::Host(1), NetNode::Host(2)).unwrap();
+    topo.add_link(NetNode::Host(2), NetNode::Domain(0)).unwrap();
+    let mut fabric = NetworkFabric::new(topo, &link_capacity, &mut space, t0, Default::default());
+    // Server -> proxy spans two links.
+    let sp = fabric
+        .path_broker(NetNode::Host(0), NetNode::Host(2), &mut space)
+        .unwrap();
+    assert_eq!(sp.route().len(), 2);
+    let pc = fabric
+        .path_broker(NetNode::Host(2), NetNode::Domain(0), &mut space)
+        .unwrap();
+    let path_sp = sp.resource();
+    let path_pc = pc.resource();
+
+    let cpu = [
+        space.register("H0.cpu", ResourceKind::Compute),
+        space.register("H1.cpu", ResourceKind::Compute),
+        space.register("H2.cpu", ResourceKind::Compute),
+    ];
+    let mut proxies = Vec::new();
+    for (h, &rid) in cpu.iter().enumerate() {
+        let mut reg = BrokerRegistry::new();
+        reg.register(Arc::new(LocalBroker::new(
+            rid,
+            100.0,
+            t0,
+            Default::default(),
+        )));
+        if h == 2 {
+            reg.register(sp.clone());
+            reg.register(pc.clone());
+        }
+        proxies.push(Arc::new(QosProxy::new(format!("H{h}"), reg)));
+    }
+    let coordinator = Coordinator::new(proxies);
+
+    // A 2-component service: encoder on H0, player at the client.
+    let schema = QosSchema::new("q", ["level"]);
+    let v = |x: u32| QosVector::new(schema.clone(), [x]);
+    let encoder = ComponentSpec::new(
+        "encoder",
+        vec![v(9)],
+        vec![v(1), v(2)],
+        vec![
+            SlotSpec::new("cpu", ResourceKind::Compute),
+            SlotSpec::new("bw", ResourceKind::NetworkPath),
+        ],
+        Arc::new(
+            TableTranslation::builder(1, 2, 2)
+                .entry(0, 0, [10.0, 20.0])
+                .entry(0, 1, [18.0, 45.0])
+                .build(),
+        ),
+    );
+    let player = ComponentSpec::new(
+        "player",
+        vec![v(1), v(2)],
+        vec![v(1), v(2)],
+        vec![SlotSpec::new("bw", ResourceKind::NetworkPath)],
+        Arc::new(
+            TableTranslation::builder(2, 2, 1)
+                .entry(0, 0, [15.0])
+                .entry(1, 1, [35.0])
+                .build(),
+        ),
+    );
+    let service = Arc::new(ServiceSpec::chain("svc", vec![encoder, player], vec![1, 2]).unwrap());
+    let session = SessionInstance::new(
+        service,
+        vec![
+            ComponentBinding::new([cpu[0], path_sp]),
+            ComponentBinding::new([path_pc]),
+        ],
+        1.0,
+    )
+    .unwrap();
+    session.validate_kinds(&space).unwrap();
+
+    World {
+        space,
+        coordinator,
+        session,
+        cpu,
+        path_sp,
+        path_pc,
+        fabric,
+    }
+}
+
+#[test]
+fn establishment_reserves_across_the_whole_stack() {
+    let w = build_world([100.0, 100.0, 100.0]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let est = w
+        .coordinator
+        .establish(
+            &w.session,
+            &EstablishOptions::default(),
+            SimTime::new(1.0),
+            &mut rng,
+        )
+        .unwrap();
+    // Top level: encoder 18 cpu + 45 bw(sp), player 35 bw(pc).
+    assert_eq!(est.plan.rank, 2);
+    let cpu0 = w
+        .coordinator
+        .owner_of(w.cpu[0])
+        .unwrap()
+        .brokers()
+        .get(w.cpu[0])
+        .unwrap();
+    assert_eq!(cpu0.available(), 82.0);
+    // Both links of the server->proxy route hold the reservation.
+    assert_eq!(w.fabric.link_brokers()[0].available(), 55.0);
+    assert_eq!(w.fabric.link_brokers()[1].available(), 55.0);
+    // Access link holds the player's bandwidth.
+    assert_eq!(w.fabric.link_brokers()[2].available(), 65.0);
+
+    // Terminate: everything returns.
+    w.coordinator.terminate(&est, SimTime::new(5.0));
+    assert_eq!(cpu0.available(), 100.0);
+    for l in w.fabric.link_brokers() {
+        assert_eq!(l.available(), l.capacity());
+    }
+}
+
+#[test]
+fn bottleneck_link_inside_route_degrades_qos() {
+    // The middle link only fits the low-quality stream: the min-over-
+    // links availability (two-level brokering) must push the planner to
+    // level 1.
+    let w = build_world([100.0, 40.0, 100.0]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let est = w
+        .coordinator
+        .establish(
+            &w.session,
+            &EstablishOptions::default(),
+            SimTime::new(1.0),
+            &mut rng,
+        )
+        .unwrap();
+    assert_eq!(
+        est.plan.rank, 1,
+        "45 > 40 on the middle link: only level 1 fits"
+    );
+    let b = est.plan.bottleneck.unwrap();
+    assert_eq!(b.resource, w.path_sp);
+    assert!((b.psi - 0.5).abs() < 1e-12); // 20 / 40
+}
+
+#[test]
+fn contention_between_sessions_shifts_plans() {
+    let w = build_world([100.0, 100.0, 100.0]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let opts = EstablishOptions::default();
+    // First session takes the top level (45 bw on the sp path).
+    let first = w
+        .coordinator
+        .establish(&w.session, &opts, SimTime::new(1.0), &mut rng)
+        .unwrap();
+    assert_eq!(first.plan.rank, 2);
+    // Second session: 55 bw left on sp, 65 on pc -> top level (45) still
+    // fits on sp but not... 45 <= 55, 35 <= 65: it fits. Third won't.
+    let second = w
+        .coordinator
+        .establish(&w.session, &opts, SimTime::new(2.0), &mut rng)
+        .unwrap();
+    assert_eq!(second.plan.rank, 2);
+    // Third: the sp path has 10 units left — even level 1 (20) is out.
+    let third = w
+        .coordinator
+        .establish(&w.session, &opts, SimTime::new(3.0), &mut rng);
+    assert!(
+        matches!(third, Err(qosr::broker::EstablishError::Plan(_))),
+        "got {third:?}"
+    );
+    // Releasing the first session frees capacity for the top level again.
+    w.coordinator.terminate(&first, SimTime::new(4.0));
+    let fourth = w
+        .coordinator
+        .establish(&w.session, &opts, SimTime::new(5.0), &mut rng)
+        .unwrap();
+    assert_eq!(fourth.plan.rank, 2);
+    assert_eq!(w.space.name(w.path_pc), "path:H3->D1");
+}

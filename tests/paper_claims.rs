@@ -1,0 +1,144 @@
+//! Statistical reproduction of the paper's qualitative claims (§5), at
+//! reduced horizon so the suite stays fast. Margins are generous: these
+//! guard the *shape* of the results, not exact numbers (those live in
+//! EXPERIMENTS.md / the `experiments` harness).
+
+use qosr::sim::{run_many, run_scenario, PlannerKind, RunMetrics, ScenarioConfig, SessionClass};
+
+fn merged(planner: PlannerKind, rate: f64, staleness: f64, diversity: Option<f64>) -> RunMetrics {
+    let configs: Vec<ScenarioConfig> = (1..=3u64)
+        .map(|seed| ScenarioConfig {
+            seed,
+            rate_per_60tu: rate,
+            horizon: 2400.0,
+            planner,
+            staleness,
+            diversity_ratio: diversity,
+            ..ScenarioConfig::default()
+        })
+        .collect();
+    let results = run_many(&configs);
+    let mut m = RunMetrics::default();
+    for r in &results {
+        m.merge(&r.metrics);
+    }
+    m
+}
+
+/// §5.2.1, figure 11(a): *tradeoff* beats *basic* beats *random* in
+/// overall reservation success rate under load.
+#[test]
+fn success_rate_ordering_under_load() {
+    let basic = merged(PlannerKind::Basic, 180.0, 0.0, None);
+    let tradeoff = merged(PlannerKind::Tradeoff, 180.0, 0.0, None);
+    let random = merged(PlannerKind::Random, 180.0, 0.0, None);
+    let (b, t, r) = (
+        basic.overall.success_rate(),
+        tradeoff.overall.success_rate(),
+        random.overall.success_rate(),
+    );
+    assert!(t > b, "tradeoff {t} should beat basic {b}");
+    assert!(b > r + 0.02, "basic {b} should clearly beat random {r}");
+}
+
+/// §5.2.1, figure 11(b): *basic* and *random* deliver near-top QoS
+/// (greedy per session); *tradeoff* sacrifices QoS.
+#[test]
+fn qos_levels_match_greediness() {
+    let basic = merged(PlannerKind::Basic, 120.0, 0.0, None);
+    let tradeoff = merged(PlannerKind::Tradeoff, 120.0, 0.0, None);
+    let random = merged(PlannerKind::Random, 120.0, 0.0, None);
+    assert!(basic.overall.avg_qos_level() > 2.85);
+    assert!(random.overall.avg_qos_level() > 2.85);
+    assert!(
+        tradeoff.overall.avg_qos_level() < basic.overall.avg_qos_level() - 0.1,
+        "tradeoff must pay QoS for success rate"
+    );
+}
+
+/// §5.2.3 (Tables 3–4): fat sessions fare clearly worse than normal
+/// ones; duration matters much less than demand size.
+#[test]
+fn heterogeneity_impact() {
+    let m = merged(PlannerKind::Basic, 180.0, 0.0, None);
+    let norm_short = m.per_class[SessionClass::NormalShort.index()].success_rate();
+    let norm_long = m.per_class[SessionClass::NormalLong.index()].success_rate();
+    let fat_short = m.per_class[SessionClass::FatShort.index()].success_rate();
+    let fat_long = m.per_class[SessionClass::FatLong.index()].success_rate();
+    assert!(norm_short > fat_short + 0.1, "{norm_short} vs {fat_short}");
+    assert!(norm_long > fat_long + 0.1);
+    // Duration has far less impact than fatness (the paper: "no
+    // significant difference" within a fatness class).
+    assert!((norm_short - norm_long).abs() < 0.06);
+    assert!((fat_short - fat_long).abs() < 0.08);
+}
+
+/// §5.2.4 (figure 12): stale observations degrade success mildly, but
+/// both algorithms stay above *random with accurate observations*; only
+/// stale runs have dispatch-time failures.
+#[test]
+fn staleness_degrades_but_stays_above_random() {
+    let accurate = merged(PlannerKind::Basic, 150.0, 0.0, None);
+    let stale = merged(PlannerKind::Basic, 150.0, 8.0, None);
+    let random = merged(PlannerKind::Random, 150.0, 0.0, None);
+    assert_eq!(accurate.reserve_failures, 0);
+    assert!(stale.reserve_failures > 0);
+    let (a, s, r) = (
+        accurate.overall.success_rate(),
+        stale.overall.success_rate(),
+        random.overall.success_rate(),
+    );
+    assert!(s <= a + 0.01, "staleness should not help ({s} vs {a})");
+    assert!(s > r, "stale basic {s} must still beat accurate random {r}");
+}
+
+/// §5.2.5 (figure 13): compressing requirement diversity to 3:1 lowers
+/// absolute success rates, but the algorithm ordering persists.
+#[test]
+fn low_diversity_lowers_success_but_keeps_ordering() {
+    let full = merged(PlannerKind::Basic, 150.0, 0.0, None);
+    let compressed = merged(PlannerKind::Basic, 150.0, 0.0, Some(3.0));
+    assert!(
+        compressed.overall.success_rate() < full.overall.success_rate(),
+        "fewer tradeoff options must hurt: {} vs {}",
+        compressed.overall.success_rate(),
+        full.overall.success_rate()
+    );
+    let random_compressed = merged(PlannerKind::Random, 150.0, 0.0, Some(3.0));
+    assert!(
+        compressed.overall.success_rate() > random_compressed.overall.success_rate(),
+        "basic must still beat random under low diversity"
+    );
+}
+
+/// §5.2.2: the bottleneck resource is not fixed — many different
+/// resources become the bottleneck across a run, and both paths tables
+/// see a spread of selected paths.
+#[test]
+fn bottlenecks_and_paths_are_diverse() {
+    let m = merged(PlannerKind::Basic, 80.0, 0.0, None);
+    assert!(
+        m.bottlenecks.len() >= 12,
+        "only {} distinct bottleneck resources",
+        m.bottlenecks.len()
+    );
+    assert!(m.paths_a.distinct() >= 5, "type-A paths too concentrated");
+    assert!(m.paths_b.distinct() >= 5, "type-B paths too concentrated");
+}
+
+/// Reservation success under *accurate* observations implies plan-time
+/// admission control only — and the success rate at trivial load is
+/// essentially 1.
+#[test]
+fn light_load_admits_everything() {
+    let cfg = ScenarioConfig {
+        seed: 9,
+        rate_per_60tu: 10.0,
+        horizon: 2400.0,
+        planner: PlannerKind::Basic,
+        ..ScenarioConfig::default()
+    };
+    let r = run_scenario(&cfg);
+    assert!(r.metrics.overall.success_rate() > 0.995);
+    assert!(r.metrics.overall.avg_qos_level() > 2.97);
+}
