@@ -1,0 +1,187 @@
+//! Planning hot path: per-call QRG construction vs the amortized
+//! [`PlanCtx`] (cached skeleton + CSR adjacency + reusable scratch).
+//!
+//! Each iteration models one establishment attempt against a fresh
+//! availability snapshot — the broker's steady-state workload:
+//!
+//! * `legacy`: `Qrg::build` (allocates nodes, edges, adjacency, demand
+//!   vectors) followed by `plan_basic`;
+//! * `cached`: `PlanCtx::prepare` + `PlanCtx::plan` on one reused
+//!   context (skeleton memoized, buffers recycled, zero steady-state
+//!   allocations).
+//!
+//! In `--bench` mode the measured ns/iter for both paths and the
+//! resulting speedup are written to `BENCH_plan.json` at the workspace
+//! root; `--quick` shortens the measurement window (CI smoke).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qosr_bench::synth::synthetic_chain;
+use qosr_core::{plan_basic, AvailabilityView, PlanCtx, Planner, Qrg, QrgOptions};
+use qosr_model::{ResourceSpace, SessionInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Chain shapes: (components, levels per component).
+const CONFIGS: [(usize, usize); 5] = [(2, 2), (4, 4), (8, 8), (8, 16), (16, 8)];
+
+/// A cycle of availability snapshots so consecutive iterations plan
+/// against different (but reproducibly generated) views, as the
+/// coordinator does.
+fn snapshots(space: &ResourceSpace, n: usize) -> Vec<AvailabilityView> {
+    let mut rng = StdRng::seed_from_u64(0x9fb2);
+    (0..n)
+        .map(|_| {
+            use rand::RngExt;
+            let mut view = AvailabilityView::new();
+            for rid in space.ids() {
+                view.set(rid, rng.random_range(50.0..=1000.0));
+            }
+            view
+        })
+        .collect()
+}
+
+/// Measures `f` with doubling calibration up to `target`, returning
+/// mean ns per call.
+fn time_ns(mut f: impl FnMut(), target: Duration) -> f64 {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= target || iters >= u64::MAX / 4 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        let per_iter = (elapsed.as_nanos() / u128::from(iters)).max(1);
+        iters = ((target.as_nanos() / per_iter) as u64).max(iters * 2);
+    }
+}
+
+fn legacy_plan(session: &SessionInstance, view: &AvailabilityView, options: &QrgOptions) {
+    let qrg = Qrg::build(black_box(session), black_box(view), options);
+    let _ = black_box(plan_basic(&qrg));
+}
+
+#[derive(Serialize)]
+struct ConfigResult {
+    components: usize,
+    levels: usize,
+    legacy_ns_per_plan: f64,
+    cached_ns_per_plan: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    planner: &'static str,
+    unit: &'static str,
+    configs: Vec<ConfigResult>,
+    /// Geometric mean of the per-config speedups.
+    overall_speedup: f64,
+}
+
+fn bench_plan_paths(c: &mut Criterion) {
+    let options = QrgOptions::default();
+    let bench_mode = std::env::args().any(|a| a == "--bench");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let target = if quick {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(300)
+    };
+
+    // Criterion display: both paths per config.
+    let mut group = c.benchmark_group("plan_per_snapshot");
+    for &(k, q) in &CONFIGS {
+        let (session, space) = synthetic_chain(k, q);
+        let views = snapshots(&space, 8);
+        group.bench_with_input(
+            BenchmarkId::new("legacy", format!("{k}x{q}")),
+            &(),
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    legacy_plan(&session, &views[i % views.len()], &options);
+                    i += 1;
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cached", format!("{k}x{q}")),
+            &(),
+            |b, _| {
+                let mut ctx = PlanCtx::new();
+                let mut i = 0usize;
+                b.iter(|| {
+                    ctx.prepare(&session, &views[i % views.len()], &options);
+                    let _ = black_box(ctx.plan(Planner::Basic, &mut StdRng::seed_from_u64(0)));
+                    i += 1;
+                })
+            },
+        );
+    }
+    group.finish();
+
+    if !bench_mode {
+        return; // smoke run (cargo test / CI): no JSON
+    }
+
+    // Manual measurement for the committed report.
+    let mut configs = Vec::new();
+    for &(k, q) in &CONFIGS {
+        let (session, space) = synthetic_chain(k, q);
+        let views = snapshots(&space, 8);
+        let mut i = 0usize;
+        let legacy = time_ns(
+            || {
+                legacy_plan(&session, &views[i % views.len()], &options);
+                i += 1;
+            },
+            target,
+        );
+        let mut ctx = PlanCtx::new();
+        let mut j = 0usize;
+        let cached = time_ns(
+            || {
+                ctx.prepare(&session, &views[j % views.len()], &options);
+                let _ = black_box(ctx.plan(Planner::Basic, &mut StdRng::seed_from_u64(0)));
+                j += 1;
+            },
+            target,
+        );
+        let speedup = legacy / cached;
+        println!(
+            "plan {k}x{q}: legacy {legacy:.0} ns, cached {cached:.0} ns, speedup {speedup:.2}x"
+        );
+        configs.push(ConfigResult {
+            components: k,
+            levels: q,
+            legacy_ns_per_plan: legacy,
+            cached_ns_per_plan: cached,
+            speedup,
+        });
+    }
+    let overall_speedup =
+        (configs.iter().map(|c| c.speedup.ln()).sum::<f64>() / configs.len() as f64).exp();
+    let report = BenchReport {
+        bench: "plan_per_snapshot",
+        planner: "basic",
+        unit: "ns/plan",
+        configs,
+        overall_speedup,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plan.json");
+    let file = std::fs::File::create(path).expect("create BENCH_plan.json");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), &report)
+        .expect("serialize bench report");
+    println!("overall speedup {overall_speedup:.2}x -> {path}");
+}
+
+criterion_group!(benches, bench_plan_paths);
+criterion_main!(benches);

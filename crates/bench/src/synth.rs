@@ -194,7 +194,7 @@ pub fn random_dag_scenario(seed: u64) -> (SessionInstance, ResourceSpace, Vec<f6
         ServiceSpec::new(format!("dag-{seed}"), components, graph, ranking)
             .expect("generated DAG is valid"),
     );
-    let scale = [1.0, 2.0][rng.random_range(0..2)];
+    let scale = [1.0, 2.0][rng.random_range(0..2usize)];
     let session = SessionInstance::new(service, bindings, scale).unwrap();
     let avail: Vec<f64> = (0..n_resources)
         .map(|_| rng.random_range(5.0..=120.0))

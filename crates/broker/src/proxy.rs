@@ -17,7 +17,7 @@
 
 use crate::{BrokerRegistry, EstablishError, ReserveError, SessionId, SimTime};
 use parking_lot::Mutex;
-use qosr_core::{AvailabilityView, Planner, Qrg, QrgOptions, ReservationPlan};
+use qosr_core::{AvailabilityView, PlanCtx, Planner, QrgOptions, ReservationPlan};
 use qosr_model::{ResourceId, ResourceVector, SessionInstance};
 use rand::Rng;
 use std::collections::HashMap;
@@ -161,6 +161,9 @@ pub struct Coordinator {
     owner: HashMap<ResourceId, usize>,
     next_session: AtomicU64,
     stats: Mutex<MessageStats>,
+    /// Reusable planning context (phase 2): caches the service's QRG
+    /// skeleton and all planning scratch across establishment attempts.
+    plan_ctx: Mutex<PlanCtx>,
 }
 
 impl Coordinator {
@@ -185,6 +188,7 @@ impl Coordinator {
             owner,
             next_session: AtomicU64::new(1),
             stats: Mutex::new(MessageStats::default()),
+            plan_ctx: Mutex::new(PlanCtx::new()),
         }
     }
 
@@ -224,9 +228,15 @@ impl Coordinator {
         }
         self.stats.lock().collect_roundtrips += self.proxies.len() as u64;
 
-        // Phase 2: local computation at the main QoSProxy.
-        let qrg = Qrg::build(session, &view, &options.qrg);
-        let plan = options.planner.plan(&qrg, rng)?;
+        // Phase 2: local computation at the main QoSProxy, on the
+        // amortized planning context (cached skeleton + scratch).
+        let plan = self.plan_ctx.lock().plan_session(
+            session,
+            &view,
+            &options.qrg,
+            options.planner,
+            rng,
+        )?;
 
         // Phase 3: dispatch plan segments to the owning proxies,
         // all-or-nothing with global rollback.
@@ -274,8 +284,10 @@ impl Coordinator {
                 }
             }
         }
-        let qrg = Qrg::build(session, &view, &options.qrg);
-        Ok(options.planner.plan(&qrg, rng)?)
+        Ok(self
+            .plan_ctx
+            .lock()
+            .plan_session(session, &view, &options.qrg, options.planner, rng)?)
     }
 
     /// Upgrades (or re-shapes) a live session: re-plans with the

@@ -13,7 +13,12 @@
 //! then follows the Pass-I predecessor edge of its (possibly re-selected)
 //! output node.
 
-use crate::{EdgeKind, PlanError, Qrg, Relaxation};
+use crate::view::PlanView;
+#[cfg(test)]
+use crate::view::QrgView;
+use crate::PlanError;
+#[cfg(test)]
+use crate::{Qrg, Relaxation};
 
 /// One component's selected levels and the QRG translation edge realizing
 /// them.
@@ -25,6 +30,16 @@ pub(crate) struct Assignment {
     pub edge: u32,
 }
 
+/// Reusable Pass-II working memory (per-component level selections and
+/// fan-out resolution candidates).
+#[derive(Debug, Default)]
+pub(crate) struct BtScratch {
+    chosen_in: Vec<Option<usize>>,
+    chosen_out: Vec<Option<usize>>,
+    picks: Vec<(usize, usize)>,
+    best_picks: Vec<(usize, usize)>,
+}
+
 /// Backtracks from sink output level `target_level`, producing one
 /// assignment per component (in component-index order).
 ///
@@ -32,18 +47,46 @@ pub(crate) struct Assignment {
 /// cannot find a converging output level — the documented limitation (1)
 /// of the DAG heuristic. Never fails on chain graphs whose target sink is
 /// reachable.
+#[cfg(test)]
 pub(crate) fn backtrack(
     qrg: &Qrg,
     relax: &Relaxation,
     target_level: usize,
 ) -> Result<Vec<Assignment>, PlanError> {
-    let service = qrg.session().service().clone();
+    let mut out = Vec::new();
+    backtrack_into(
+        &QrgView::new(qrg),
+        &relax.dist,
+        &relax.pred,
+        target_level,
+        &mut BtScratch::default(),
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// Pass II over any [`PlanView`]: backtracks from sink output level
+/// `target_level` into `out` (cleared here; one assignment per component,
+/// in component-index order) using the Pass-I results `dist`/`pred`.
+///
+/// See [`backtrack`] for semantics and failure modes.
+pub(crate) fn backtrack_into<V: PlanView>(
+    view: &V,
+    dist: &[f64],
+    pred: &[Option<u32>],
+    target_level: usize,
+    scratch: &mut BtScratch,
+    out: &mut Vec<Assignment>,
+) -> Result<(), PlanError> {
+    let service = view.service();
     let graph = service.graph();
     let k = service.components().len();
     let sink = graph.sink();
 
-    let mut chosen_in: Vec<Option<usize>> = vec![None; k];
-    let mut chosen_out: Vec<Option<usize>> = vec![None; k];
+    scratch.chosen_in.clear();
+    scratch.chosen_in.resize(k, None);
+    scratch.chosen_out.clear();
+    scratch.chosen_out.resize(k, None);
 
     let fail = || PlanError::BacktrackFailed {
         sink_level: target_level,
@@ -56,48 +99,53 @@ pub(crate) fn backtrack(
             target_level
         } else {
             let succs = graph.succs(c);
-            let wanted: Vec<usize> = succs
+            let wanted_of = |chosen_in: &[Option<usize>], s: usize| {
+                let i = chosen_in[s].expect("successor processed before predecessor");
+                let pos = graph.preds(s).iter().position(|&p| p == c).unwrap();
+                service.link(s, i)[pos]
+            };
+            let first = wanted_of(&scratch.chosen_in, succs[0]);
+            if succs[1..]
                 .iter()
-                .map(|&s| {
-                    let i = chosen_in[s].expect("successor processed before predecessor");
-                    let pos = graph.preds(s).iter().position(|&p| p == c).unwrap();
-                    service.link(s, i)[pos]
-                })
-                .collect();
-            if wanted.windows(2).all(|w| w[0] == w[1]) {
-                wanted[0]
+                .all(|&s| wanted_of(&scratch.chosen_in, s) == first)
+            {
+                first
             } else {
-                resolve_fan_out(qrg, relax, c, &chosen_out, &mut chosen_in).ok_or_else(fail)?
+                resolve_fan_out(view, dist, c, scratch).ok_or_else(fail)?
             }
         };
 
-        let out_node = qrg.out_node(c, out_level);
-        if !relax.reachable(out_node) {
+        let out_node = view.out_node(c, out_level);
+        if !dist[out_node].is_finite() {
             return Err(fail());
         }
         // 2. Follow the Pass-I predecessor edge to fix c's input level.
-        let edge_id = relax.pred[out_node].ok_or_else(fail)?;
-        let EdgeKind::Translation { qin, .. } = qrg.edge(edge_id).kind else {
+        let edge_id = pred[out_node].ok_or_else(fail)?;
+        let Some((_, qin, _)) = view.edge_pair(edge_id) else {
             unreachable!("Q^out predecessors are always translation edges");
         };
-        chosen_out[c] = Some(out_level);
-        chosen_in[c] = Some(qin);
+        scratch.chosen_out[c] = Some(out_level);
+        scratch.chosen_in[c] = Some(qin);
     }
 
     // Re-derive each component's plan edge: fan-out resolution may have
     // replaced a successor's input level after its pass was done.
-    let mut assignments = Vec::with_capacity(k);
+    out.clear();
+    out.reserve(k);
     for c in 0..k {
-        let (qin, qout) = (chosen_in[c].unwrap(), chosen_out[c].unwrap());
-        let edge = qrg.translation_edge(c, qin, qout).ok_or_else(fail)?;
-        assignments.push(Assignment {
+        let (qin, qout) = (
+            scratch.chosen_in[c].unwrap(),
+            scratch.chosen_out[c].unwrap(),
+        );
+        let edge = view.translation_edge(c, qin, qout).ok_or_else(fail)?;
+        out.push(Assignment {
             component: c,
             qin,
             qout,
             edge,
         });
     }
-    Ok(assignments)
+    Ok(())
 }
 
 /// Resolves fan-out non-convergence at component `c` (§4.3.2): fixes the
@@ -105,33 +153,32 @@ pub(crate) fn backtrack(
 /// `c` that reaches all of them feasibly with minimal max edge Ψ. On
 /// success, rewrites the successors' chosen input levels and returns the
 /// selected output level of `c`.
-fn resolve_fan_out(
-    qrg: &Qrg,
-    relax: &Relaxation,
+fn resolve_fan_out<V: PlanView>(
+    view: &V,
+    dist: &[f64],
     c: usize,
-    chosen_out: &[Option<usize>],
-    chosen_in: &mut [Option<usize>],
+    scratch: &mut BtScratch,
 ) -> Option<usize> {
-    let service = qrg.session().service().clone();
+    let service = view.service();
     let graph = service.graph();
     let succs = graph.succs(c);
     let n_out = service.component(c).output_levels().len();
 
-    // Best candidate so far, plus the successor input-level rewrites it
-    // implies.
-    type Candidate = (f64, f64, usize, Vec<(usize, usize)>); // (cost, dist, o, picks)
-    let mut best: Option<Candidate> = None;
+    // Best candidate so far: (cost, dist, o); the successor input-level
+    // rewrites it implies live in `scratch.best_picks`.
+    let mut best: Option<(f64, f64, usize)> = None;
+    scratch.best_picks.clear();
 
     for o in 0..n_out {
-        let out_node = qrg.out_node(c, o);
-        if !relax.reachable(out_node) {
+        let out_node = view.out_node(c, o);
+        if !dist[out_node].is_finite() {
             continue;
         }
         let mut cost = 0.0f64;
-        let mut picks: Vec<(usize, usize)> = Vec::with_capacity(succs.len());
+        scratch.picks.clear();
         let mut feasible = true;
         for &s in succs {
-            let fixed_out = chosen_out[s].expect("successor processed before predecessor");
+            let fixed_out = scratch.chosen_out[s].expect("successor processed before predecessor");
             let pos_c = graph.preds(s).iter().position(|&p| p == c).unwrap();
             // The best feasible input level of s that is fed by o, agrees
             // with every already-decided predecessor of s, and has a
@@ -142,18 +189,16 @@ fn resolve_fan_out(
                 if link[pos_c] != o {
                     continue;
                 }
-                let conflicts = graph
-                    .preds(s)
-                    .iter()
-                    .enumerate()
-                    .any(|(kk, &p)| p != c && chosen_out[p].is_some_and(|po| link[kk] != po));
-                if conflicts || !relax.reachable(qrg.in_node(s, i)) {
+                let conflicts = graph.preds(s).iter().enumerate().any(|(kk, &p)| {
+                    p != c && scratch.chosen_out[p].is_some_and(|po| link[kk] != po)
+                });
+                if conflicts || !dist[view.in_node(s, i)].is_finite() {
                     continue;
                 }
-                let Some(e) = qrg.translation_edge(s, i, fixed_out) else {
+                let Some(e) = view.translation_edge(s, i, fixed_out) else {
                     continue;
                 };
-                let w = qrg.edge(e).weight;
+                let w = view.edge_weight(e).expect("translation_edge is feasible");
                 if best_i.is_none_or(|(bw, _)| w < bw) {
                     best_i = Some((w, i));
                 }
@@ -161,7 +206,7 @@ fn resolve_fan_out(
             match best_i {
                 Some((w, i)) => {
                     cost = cost.max(w);
-                    picks.push((s, i));
+                    scratch.picks.push((s, i));
                 }
                 None => {
                     feasible = false;
@@ -172,21 +217,20 @@ fn resolve_fan_out(
         if !feasible {
             continue;
         }
-        let d = relax.dist[out_node];
-        let better = match best.as_ref() {
+        let d = dist[out_node];
+        let better = match best {
             None => true,
-            Some(&(bc, bd, bo, ref _picks)) => {
-                cost < bc || (cost == bc && (d < bd || (d == bd && o < bo)))
-            }
+            Some((bc, bd, bo)) => cost < bc || (cost == bc && (d < bd || (d == bd && o < bo))),
         };
         if better {
-            best = Some((cost, d, o, picks));
+            best = Some((cost, d, o));
+            std::mem::swap(&mut scratch.picks, &mut scratch.best_picks);
         }
     }
 
-    let (_, _, o, picks) = best?;
-    for (s, i) in picks {
-        chosen_in[s] = Some(i);
+    let (_, _, o) = best?;
+    for &(s, i) in &scratch.best_picks {
+        scratch.chosen_in[s] = Some(i);
     }
     Some(o)
 }

@@ -1,0 +1,456 @@
+//! The amortized planning hot path.
+//!
+//! [`crate::Qrg::build`] re-derives the whole graph — node layout,
+//! adjacency, demand vectors, relaxation order — on every call, then the
+//! planners allocate fresh distance/predecessor/assignment buffers on
+//! top. That is fine for one-off planning but wasteful for a broker that
+//! plans the same few service specs against a fresh availability snapshot
+//! on every `establish`/`replan`.
+//!
+//! A [`PlanCtx`] splits the work by lifetime:
+//!
+//! * **Per service spec** (cached, shared): the [`QrgSkeleton`] — see its
+//!   module docs.
+//! * **Per call** (recomputed in [`PlanCtx::prepare`], zero allocations
+//!   in steady state): each candidate edge's scaled canonical demand,
+//!   feasibility, weight Ψ, and bottleneck under the given availability
+//!   snapshot, stored in flat reusable buffers.
+//! * **Per run** (reused): the relax/backtrack/assembly scratch.
+//!
+//! The planners then run generically over this representation (see
+//! `view.rs`) and return plans **byte-identical** to the
+//! `Qrg::build`-based entry points — the equivalence is enforced by a
+//! property test in the workspace root (`tests/plan_equivalence.rs`).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use qosr_model::*;
+//! use qosr_core::*;
+//! use rand::SeedableRng;
+//!
+//! let schema = QosSchema::new("q", ["level"]);
+//! let lv = |v: u32| QosVector::new(schema.clone(), [v]);
+//! let comp = ComponentSpec::new(
+//!     "encoder",
+//!     vec![lv(0)],
+//!     vec![lv(1), lv(2)],
+//!     vec![SlotSpec::new("cpu", ResourceKind::Compute)],
+//!     Arc::new(TableTranslation::builder(1, 2, 1)
+//!         .entry(0, 0, [10.0])
+//!         .entry(0, 1, [80.0])
+//!         .build()),
+//! );
+//! let service = Arc::new(ServiceSpec::chain("svc", vec![comp], vec![1, 2]).unwrap());
+//! let mut space = ResourceSpace::new();
+//! let cpu = space.register("H1.cpu", ResourceKind::Compute);
+//! let session = SessionInstance::new(
+//!     service, vec![ComponentBinding::new([cpu])], 1.0).unwrap();
+//!
+//! let mut ctx = PlanCtx::new();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! for avail in [100.0, 50.0, 12.0] {
+//!     let mut view = AvailabilityView::new();
+//!     view.set(cpu, avail);
+//!     // Re-prepares against the new snapshot; the skeleton is reused.
+//!     ctx.prepare(&session, &view, &QrgOptions::default());
+//!     let plan = ctx.plan(Planner::Basic, &mut rng).unwrap();
+//!     assert_eq!(plan.sink_level, usize::from(avail >= 80.0));
+//! }
+//! ```
+
+use crate::planner::{plan_basic_view, plan_minimax, plan_random_view, plan_tradeoff_view};
+use crate::qrg::EdgeBottleneck;
+use crate::skeleton::QrgSkeleton;
+use crate::view::{PlanScratch, PlanView};
+use crate::{AvailabilityView, NodeRef, PlanError, Planner, QrgOptions, ReservationPlan};
+use qosr_model::{ResourceId, ResourceVector, ServiceSpec, SessionInstance};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Reusable planning context: a cached per-service [`QrgSkeleton`] plus
+/// flat per-call buffers. Call [`PlanCtx::prepare`] with a session and an
+/// availability snapshot, then [`PlanCtx::plan`] (any number of times).
+/// After warm-up, neither step allocates.
+#[derive(Debug, Default)]
+pub struct PlanCtx {
+    skeleton: Option<Arc<QrgSkeleton>>,
+    options: QrgOptions,
+    /// Canonical scaled demand segment of candidate `e`:
+    /// `demand_buf[demand_off[e] .. demand_off[e + 1]]`, sorted by
+    /// resource id, duplicates summed, zeros dropped — the
+    /// [`ResourceVector`] invariants, flattened.
+    demand_off: Vec<u32>,
+    demand_buf: Vec<(ResourceId, f64)>,
+    /// Weight Ψ per candidate; `f64::INFINITY` marks an infeasible
+    /// candidate (feasible ψ values are clamped to [`crate::PsiDef::CLAMP`]).
+    weight: Vec<f64>,
+    bottleneck: Vec<Option<EdgeBottleneck>>,
+    scratch: PlanScratch,
+    /// Per-candidate staging buffer for demand canonicalization.
+    stage: Vec<(ResourceId, f64)>,
+}
+
+impl PlanCtx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the context for planning `session` under the availability
+    /// snapshot `view` — the amortized equivalent of [`crate::Qrg::build`].
+    /// The session's service skeleton is fetched from the process-wide
+    /// memo (computed on first encounter); demands, feasibility, weights
+    /// and bottlenecks are recomputed into reusable buffers.
+    pub fn prepare(
+        &mut self,
+        session: &SessionInstance,
+        view: &AvailabilityView,
+        options: &QrgOptions,
+    ) {
+        let sk = match &self.skeleton {
+            Some(sk) if sk.service().uid() == session.service().uid() => sk.clone(),
+            _ => {
+                let sk = QrgSkeleton::shared(session.service());
+                self.skeleton = Some(sk.clone());
+                sk
+            }
+        };
+        self.options = options.clone();
+
+        let scale = session.scale();
+        let bindings = session.bindings();
+        let n = sk.n_candidates();
+
+        // 1. Bind, scale, and canonicalize each candidate's demand.
+        self.demand_off.clear();
+        self.demand_off.reserve(n + 1);
+        self.demand_off.push(0);
+        self.demand_buf.clear();
+        for e in 0..n {
+            if let Some((c, _, _)) = sk.candidates[e].pair {
+                let resources = bindings[c as usize].resources();
+                self.stage.clear();
+                self.stage.extend(
+                    sk.slot_demand(e as u32)
+                        .iter()
+                        .map(|&(slot, amount)| (resources[slot as usize], amount * scale)),
+                );
+                self.stage.sort_unstable_by_key(|&(rid, _)| rid);
+                // Merge duplicates, drop zeros (ResourceVector::from_pairs
+                // semantics).
+                let seg_start = self.demand_buf.len();
+                for &(rid, amount) in &self.stage {
+                    let merge = self.demand_buf.len() > seg_start
+                        && self.demand_buf.last().is_some_and(|&(last, _)| last == rid);
+                    if merge {
+                        self.demand_buf.last_mut().unwrap().1 += amount;
+                    } else {
+                        self.demand_buf.push((rid, amount));
+                    }
+                }
+                let mut w = seg_start;
+                for r in seg_start..self.demand_buf.len() {
+                    if self.demand_buf[r].1 > 0.0 {
+                        self.demand_buf[w] = self.demand_buf[r];
+                        w += 1;
+                    }
+                }
+                self.demand_buf.truncate(w);
+            }
+            self.demand_off
+                .push(u32::try_from(self.demand_buf.len()).expect("QRG too large"));
+        }
+
+        // 2. Feasibility, weight, and bottleneck per candidate — exactly
+        // the Qrg::build computation, over the flat segments.
+        self.weight.clear();
+        self.weight.resize(n, 0.0);
+        self.bottleneck.clear();
+        self.bottleneck.resize(n, None);
+        for e in 0..n {
+            if sk.candidates[e].pair.is_none() {
+                continue; // equivalence: weight 0, always feasible
+            }
+            let seg =
+                &self.demand_buf[self.demand_off[e] as usize..self.demand_off[e + 1] as usize];
+            if !seg.iter().all(|&(rid, req)| req <= view.avail(rid)) {
+                self.weight[e] = f64::INFINITY;
+                continue;
+            }
+            let mut weight = 0.0f64;
+            let mut bottleneck = None;
+            for &(rid, req) in seg {
+                let psi = options.psi.psi(req, view.avail(rid));
+                if bottleneck.is_none() || psi > weight {
+                    weight = psi;
+                    bottleneck = Some(EdgeBottleneck {
+                        resource: rid,
+                        psi,
+                        alpha: view.alpha(rid),
+                    });
+                }
+            }
+            self.weight[e] = weight;
+            self.bottleneck[e] = bottleneck;
+        }
+    }
+
+    /// Runs `planner` against the prepared snapshot. `rng` is only
+    /// consulted by [`Planner::Random`]. May be called repeatedly between
+    /// `prepare` calls.
+    ///
+    /// # Panics
+    /// Panics if [`PlanCtx::prepare`] has never been called.
+    pub fn plan(
+        &mut self,
+        planner: Planner,
+        rng: &mut impl Rng,
+    ) -> Result<ReservationPlan, PlanError> {
+        let sk = self
+            .skeleton
+            .as_ref()
+            .expect("PlanCtx::plan called before PlanCtx::prepare");
+        let view = CtxView {
+            sk,
+            options: &self.options,
+            demand_off: &self.demand_off,
+            demand_buf: &self.demand_buf,
+            weight: &self.weight,
+            bottleneck: &self.bottleneck,
+        };
+        let scratch = &mut self.scratch;
+        match planner {
+            Planner::Basic => plan_basic_view(&view, scratch),
+            Planner::Tradeoff => plan_tradeoff_view(&view, scratch),
+            Planner::Random => plan_random_view(&view, scratch, rng),
+            Planner::Dag => plan_minimax(&view, scratch),
+        }
+    }
+
+    /// One-shot convenience: [`PlanCtx::prepare`] + [`PlanCtx::plan`].
+    pub fn plan_session(
+        &mut self,
+        session: &SessionInstance,
+        view: &AvailabilityView,
+        options: &QrgOptions,
+        planner: Planner,
+        rng: &mut impl Rng,
+    ) -> Result<ReservationPlan, PlanError> {
+        self.prepare(session, view, options);
+        self.plan(planner, rng)
+    }
+}
+
+/// [`PlanView`] over a prepared [`PlanCtx`]: skeleton structure plus the
+/// per-call weight/feasibility buffers. Candidate ids play the role of
+/// edge ids; infeasible candidates answer `edge_weight() == None` and are
+/// skipped by the algorithms, which preserves the legacy edge-id order
+/// among the surviving edges.
+struct CtxView<'a> {
+    sk: &'a QrgSkeleton,
+    options: &'a QrgOptions,
+    demand_off: &'a [u32],
+    demand_buf: &'a [(ResourceId, f64)],
+    weight: &'a [f64],
+    bottleneck: &'a [Option<EdgeBottleneck>],
+}
+
+impl PlanView for CtxView<'_> {
+    fn service(&self) -> &ServiceSpec {
+        self.sk.service()
+    }
+
+    fn disable_tie_break(&self) -> bool {
+        self.options.disable_tie_break
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.sk.n_nodes()
+    }
+
+    fn node_ref(&self, n: usize) -> NodeRef {
+        self.sk.node_refs[n]
+    }
+
+    fn source_node(&self) -> usize {
+        self.sk.source_node
+    }
+
+    fn in_node(&self, c: usize, i: usize) -> usize {
+        self.sk.in_offset[c] + i
+    }
+
+    fn out_node(&self, c: usize, j: usize) -> usize {
+        self.sk.out_offset[c] + j
+    }
+
+    fn relax_order(&self) -> &[usize] {
+        &self.sk.relax_order
+    }
+
+    fn sink_order(&self) -> &[usize] {
+        &self.sk.sink_order
+    }
+
+    fn in_edges(&self, n: usize) -> &[u32] {
+        self.sk.in_edges(n)
+    }
+
+    fn out_edges(&self, n: usize) -> &[u32] {
+        self.sk.out_edges(n)
+    }
+
+    fn edge_endpoints(&self, e: u32) -> (usize, usize) {
+        let cand = &self.sk.candidates[e as usize];
+        (cand.from as usize, cand.to as usize)
+    }
+
+    fn edge_weight(&self, e: u32) -> Option<f64> {
+        let w = self.weight[e as usize];
+        w.is_finite().then_some(w)
+    }
+
+    fn edge_pair(&self, e: u32) -> Option<(usize, usize, usize)> {
+        self.sk.candidates[e as usize]
+            .pair
+            .map(|(c, i, j)| (c as usize, i as usize, j as usize))
+    }
+
+    fn translation_edge(&self, c: usize, i: usize, j: usize) -> Option<u32> {
+        self.sk
+            .pair_candidate(c, i, j)
+            .filter(|&e| self.weight[e as usize].is_finite())
+    }
+
+    fn edge_demand(&self, e: u32) -> ResourceVector {
+        let seg = &self.demand_buf
+            [self.demand_off[e as usize] as usize..self.demand_off[e as usize + 1] as usize];
+        // The segment already satisfies the canonical invariants, so this
+        // is a plain copy.
+        ResourceVector::from_pairs(seg.iter().copied())
+            .expect("prepared demands are validated at session construction")
+    }
+
+    fn edge_bottleneck(&self, e: u32) -> Option<EdgeBottleneck> {
+        self.bottleneck[e as usize]
+    }
+
+    fn sink_node(&self, level: usize) -> usize {
+        self.sk.out_offset[self.sk.service().graph().sink()] + level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::*;
+    use crate::{plan_basic, plan_dag, plan_random, plan_tradeoff, Qrg};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx_equals_legacy(fx_session: &SessionInstance, view: &AvailabilityView) {
+        let options = QrgOptions::default();
+        let mut ctx = PlanCtx::new();
+        ctx.prepare(fx_session, view, &options);
+        let qrg = Qrg::build(fx_session, view, &options);
+
+        let is_chain = fx_session.service().graph().is_chain();
+        let planners: &[Planner] = if is_chain {
+            &[
+                Planner::Basic,
+                Planner::Tradeoff,
+                Planner::Random,
+                Planner::Dag,
+            ]
+        } else {
+            &[Planner::Tradeoff, Planner::Dag]
+        };
+        for &p in planners {
+            // Identical RNG state for both paths: Random must consume the
+            // stream identically too.
+            let mut rng_a = StdRng::seed_from_u64(42);
+            let mut rng_b = StdRng::seed_from_u64(42);
+            let legacy = match p {
+                Planner::Basic => plan_basic(&qrg),
+                Planner::Tradeoff => plan_tradeoff(&qrg),
+                Planner::Random => plan_random(&qrg, &mut rng_a),
+                Planner::Dag => plan_dag(&qrg),
+            };
+            let cached = ctx.plan(p, &mut rng_b);
+            assert_eq!(legacy, cached, "planner {p:?} diverged");
+            assert_eq!(rng_a, rng_b, "planner {p:?} consumed RNG differently");
+        }
+    }
+
+    #[test]
+    fn matches_legacy_on_paper_chain_across_availability() {
+        let fx = ChainFixture::paper_like();
+        for avail in [3.0, 11.0, 20.0, 40.0, 100.0, 1000.0] {
+            let view = AvailabilityView::from_fn(fx.space.ids(), |_| avail);
+            ctx_equals_legacy(&fx.session, &view);
+        }
+    }
+
+    #[test]
+    fn matches_legacy_on_dags() {
+        for fx in [DagFixture::diamond(), DagFixture::non_convergent()] {
+            for avail in [5.0, 9.0, 100.0] {
+                let view = AvailabilityView::from_fn(fx.space.ids(), |_| avail);
+                ctx_equals_legacy(&fx.session, &view);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_legacy_on_tie_break_fixture() {
+        let fx = TieBreakFixture::new();
+        ctx_equals_legacy(&fx.session, &fx.view());
+    }
+
+    #[test]
+    fn reprepare_across_sessions_and_scales() {
+        // One context serving two different sessions (different specs and
+        // scales) must stay correct — buffers are fully rebuilt.
+        let fx = ChainFixture::paper_like();
+        let fat = ChainFixture::paper_like_scaled(10.0);
+        let mut ctx = PlanCtx::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..3 {
+            for (session, space, expect_level) in
+                [(&fx.session, &fx.space, 2), (&fat.session, &fat.space, 0)]
+            {
+                let view = AvailabilityView::from_fn(space.ids(), |_| 100.0);
+                let options = QrgOptions::default();
+                let plan = ctx
+                    .plan_session(session, &view, &options, Planner::Basic, &mut rng)
+                    .unwrap();
+                let qrg = Qrg::build(session, &view, &options);
+                assert_eq!(plan, plan_basic(&qrg).unwrap());
+                assert_eq!(plan.sink_level, expect_level);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_can_be_called_repeatedly_after_one_prepare() {
+        let fx = ChainFixture::paper_like();
+        let view = AvailabilityView::from_fn(fx.space.ids(), |_| 100.0);
+        let mut ctx = PlanCtx::new();
+        ctx.prepare(&fx.session, &view, &QrgOptions::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = ctx.plan(Planner::Basic, &mut rng).unwrap();
+        let b = ctx.plan(Planner::Basic, &mut rng).unwrap();
+        assert_eq!(a, b);
+        for _ in 0..10 {
+            let r = ctx.plan(Planner::Random, &mut rng).unwrap();
+            assert_eq!(r.sink_level, a.sink_level);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before PlanCtx::prepare")]
+    fn plan_before_prepare_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = PlanCtx::new().plan(Planner::Basic, &mut rng);
+    }
+}

@@ -64,19 +64,24 @@
 
 mod availability;
 mod backtrack;
+mod ctx;
 mod error;
 mod plan;
 mod planner;
 mod psi;
 mod qrg;
 mod relax;
+mod skeleton;
 #[cfg(test)]
 pub(crate) mod test_fixtures;
+mod view;
 
 pub use availability::AvailabilityView;
+pub use ctx::PlanCtx;
 pub use error::PlanError;
 pub use plan::{Bottleneck, PlanAssignment, ReservationPlan};
 pub use planner::{plan_basic, plan_dag, plan_random, plan_tradeoff, plan_with, Planner};
 pub use psi::PsiDef;
 pub use qrg::{EdgeKind, NodeRef, Qrg, QrgEdge, QrgOptions};
 pub use relax::{relax, Relaxation};
+pub use skeleton::QrgSkeleton;

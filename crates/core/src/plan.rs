@@ -1,7 +1,7 @@
 //! End-to-end multi-resource reservation plans.
 
 use crate::backtrack::Assignment;
-use crate::{EdgeKind, Qrg};
+use crate::view::PlanView;
 use qosr_model::{QosVector, ResourceId, ResourceVector};
 
 /// The bottleneck of a reservation plan: the resource with the highest
@@ -54,27 +54,18 @@ pub struct ReservationPlan {
 
 impl ReservationPlan {
     /// Assembles a plan from backtracked assignments.
-    pub(crate) fn assemble(qrg: &Qrg, assignments: &[Assignment]) -> ReservationPlan {
-        let service = qrg.session().service();
+    pub(crate) fn assemble<V: PlanView>(view: &V, assignments: &[Assignment]) -> ReservationPlan {
+        let service = view.service();
         let mut out = Vec::with_capacity(assignments.len());
         let mut psi = 0.0f64;
         let mut bottleneck: Option<Bottleneck> = None;
         let mut sink_level = 0;
         let sink = service.graph().sink();
         for a in assignments {
-            let edge = qrg.edge(a.edge);
-            let EdgeKind::Translation {
-                demand,
-                bottleneck: edge_bn,
-                ..
-            } = &edge.kind
-            else {
-                unreachable!("plan assignments reference translation edges");
-            };
             if a.component == sink {
                 sink_level = a.qout;
             }
-            if let Some(b) = edge_bn {
+            if let Some(b) = view.edge_bottleneck(a.edge) {
                 if bottleneck.is_none() || b.psi > psi {
                     psi = b.psi;
                     bottleneck = Some(Bottleneck {
@@ -88,7 +79,7 @@ impl ReservationPlan {
                 component: a.component,
                 qin: a.qin,
                 qout: a.qout,
-                demand: demand.clone(),
+                demand: view.edge_demand(a.edge),
             });
         }
         ReservationPlan {

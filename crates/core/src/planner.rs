@@ -1,7 +1,8 @@
 //! The reservation planners (§4.1.2, §4.3, and the §5 baseline).
 
-use crate::backtrack::backtrack;
-use crate::relax::{relax, Relaxation};
+use crate::backtrack::backtrack_into;
+use crate::relax::relax_into;
+use crate::view::{PlanScratch, PlanView, QrgView};
 use crate::{PlanError, Qrg, ReservationPlan};
 use rand::{Rng, RngExt};
 
@@ -36,16 +37,15 @@ impl Planner {
 }
 
 /// Highest-ranked sink level that Pass I marked reachable.
-fn best_reachable_sink(qrg: &Qrg, r: &Relaxation) -> Option<usize> {
-    qrg.session()
-        .service()
-        .sink_rank_order()
-        .into_iter()
-        .find(|&level| r.reachable(qrg.sink_node(level)))
+fn best_reachable_sink<V: PlanView>(view: &V, dist: &[f64]) -> Option<usize> {
+    view.sink_order()
+        .iter()
+        .copied()
+        .find(|&level| dist[view.sink_node(level)].is_finite())
 }
 
-fn ensure_chain(qrg: &Qrg) -> Result<(), PlanError> {
-    if qrg.session().service().graph().is_chain() {
+fn ensure_chain<V: PlanView>(view: &V) -> Result<(), PlanError> {
+    if view.service().graph().is_chain() {
         Ok(())
     } else {
         Err(PlanError::NotAChain)
@@ -61,8 +61,7 @@ fn ensure_chain(qrg: &Qrg) -> Result<(), PlanError> {
 /// Requires a chain dependency graph (the paper's basic setting); use
 /// [`plan_dag`] for DAGs.
 pub fn plan_basic(qrg: &Qrg) -> Result<ReservationPlan, PlanError> {
-    ensure_chain(qrg)?;
-    plan_minimax(qrg)
+    plan_basic_view(&QrgView::new(qrg), &mut PlanScratch::default())
 }
 
 /// The **two-pass DAG heuristic** (§4.3.2). Exact on chains (where it
@@ -71,14 +70,32 @@ pub fn plan_basic(qrg: &Qrg) -> Result<ReservationPlan, PlanError> {
 /// bottleneck is not globally minimal — the paper's two documented
 /// limitations.
 pub fn plan_dag(qrg: &Qrg) -> Result<ReservationPlan, PlanError> {
-    plan_minimax(qrg)
+    plan_minimax(&QrgView::new(qrg), &mut PlanScratch::default())
 }
 
-fn plan_minimax(qrg: &Qrg) -> Result<ReservationPlan, PlanError> {
-    let r = relax(qrg);
-    let target = best_reachable_sink(qrg, &r).ok_or(PlanError::NoFeasiblePlan)?;
-    let asg = backtrack(qrg, &r, target)?;
-    Ok(ReservationPlan::assemble(qrg, &asg))
+pub(crate) fn plan_basic_view<V: PlanView>(
+    view: &V,
+    scratch: &mut PlanScratch,
+) -> Result<ReservationPlan, PlanError> {
+    ensure_chain(view)?;
+    plan_minimax(view, scratch)
+}
+
+pub(crate) fn plan_minimax<V: PlanView>(
+    view: &V,
+    scratch: &mut PlanScratch,
+) -> Result<ReservationPlan, PlanError> {
+    relax_into(view, &mut scratch.dist, &mut scratch.pred);
+    let target = best_reachable_sink(view, &scratch.dist).ok_or(PlanError::NoFeasiblePlan)?;
+    backtrack_into(
+        view,
+        &scratch.dist,
+        &scratch.pred,
+        target,
+        &mut scratch.bt,
+        &mut scratch.asg,
+    )?;
+    Ok(ReservationPlan::assemble(view, &scratch.asg))
 }
 
 /// The **tradeoff** policy (§4.3.1): run the basic algorithm; if the
@@ -91,31 +108,65 @@ fn plan_minimax(qrg: &Qrg) -> Result<ReservationPlan, PlanError> {
 /// unchanged (the paper leaves this case unspecified; falling back to the
 /// basic choice never performs worse than *basic*).
 pub fn plan_tradeoff(qrg: &Qrg) -> Result<ReservationPlan, PlanError> {
-    let r = relax(qrg);
-    let target = best_reachable_sink(qrg, &r).ok_or(PlanError::NoFeasiblePlan)?;
-    let asg = backtrack(qrg, &r, target)?;
-    let plan0 = ReservationPlan::assemble(qrg, &asg);
+    plan_tradeoff_view(&QrgView::new(qrg), &mut PlanScratch::default())
+}
 
-    let alpha = match plan0.bottleneck {
-        Some(b) => b.alpha,
-        None => return Ok(plan0), // no demand at all — nothing to trade
+pub(crate) fn plan_tradeoff_view<V: PlanView>(
+    view: &V,
+    scratch: &mut PlanScratch,
+) -> Result<ReservationPlan, PlanError> {
+    relax_into(view, &mut scratch.dist, &mut scratch.pred);
+    let target = best_reachable_sink(view, &scratch.dist).ok_or(PlanError::NoFeasiblePlan)?;
+    backtrack_into(
+        view,
+        &scratch.dist,
+        &scratch.pred,
+        target,
+        &mut scratch.bt,
+        &mut scratch.asg,
+    )?;
+
+    // The basic plan's bottleneck (same max-ψ rule as plan assembly),
+    // read straight off the assignments so the basic plan is only
+    // materialized when it is the final answer.
+    let mut psi0 = 0.0f64;
+    let mut alpha = None;
+    for a in &scratch.asg {
+        if let Some(b) = view.edge_bottleneck(a.edge) {
+            if alpha.is_none() || b.psi > psi0 {
+                psi0 = b.psi;
+                alpha = Some(b.alpha);
+            }
+        }
+    }
+    let Some(alpha) = alpha else {
+        // No demand at all — nothing to trade.
+        return Ok(ReservationPlan::assemble(view, &scratch.asg));
     };
     if alpha >= 1.0 {
-        return Ok(plan0);
+        return Ok(ReservationPlan::assemble(view, &scratch.asg));
     }
-    let bound = alpha * plan0.psi;
-    for level in qrg.session().service().sink_rank_order() {
-        let node = qrg.sink_node(level);
-        if r.reachable(node) && r.dist[node] <= bound {
-            // A lower-pressure level exists; re-backtrack for it. If the
-            // DAG heuristic fails for this level, keep scanning.
-            match backtrack(qrg, &r, level) {
-                Ok(asg) => return Ok(ReservationPlan::assemble(qrg, &asg)),
+    let bound = alpha * psi0;
+    for &level in view.sink_order() {
+        let node = view.sink_node(level);
+        if scratch.dist[node].is_finite() && scratch.dist[node] <= bound {
+            // A lower-pressure level exists; re-backtrack for it (reusing
+            // the Pass-I result). If the DAG heuristic fails for this
+            // level, keep scanning.
+            match backtrack_into(
+                view,
+                &scratch.dist,
+                &scratch.pred,
+                level,
+                &mut scratch.bt,
+                &mut scratch.asg_alt,
+            ) {
+                Ok(()) => return Ok(ReservationPlan::assemble(view, &scratch.asg_alt)),
                 Err(_) => continue,
             }
         }
     }
-    Ok(plan0)
+    Ok(ReservationPlan::assemble(view, &scratch.asg))
 }
 
 /// The **contention-unaware baseline** of the paper's evaluation (§5):
@@ -125,57 +176,66 @@ pub fn plan_tradeoff(qrg: &Qrg) -> Result<ReservationPlan, PlanError> {
 /// Only defined for chain dependency graphs, matching its use in the
 /// paper.
 pub fn plan_random(qrg: &Qrg, rng: &mut impl Rng) -> Result<ReservationPlan, PlanError> {
-    ensure_chain(qrg)?;
-    let r = relax(qrg);
-    let target = best_reachable_sink(qrg, &r).ok_or(PlanError::NoFeasiblePlan)?;
-    let target_node = qrg.sink_node(target);
+    plan_random_view(&QrgView::new(qrg), &mut PlanScratch::default(), rng)
+}
 
-    // Backward reachability to the target over QRG edges.
-    let mut reach = vec![false; qrg.n_nodes()];
+pub(crate) fn plan_random_view<V: PlanView>(
+    view: &V,
+    scratch: &mut PlanScratch,
+    rng: &mut impl Rng,
+) -> Result<ReservationPlan, PlanError> {
+    ensure_chain(view)?;
+    relax_into(view, &mut scratch.dist, &mut scratch.pred);
+    let target = best_reachable_sink(view, &scratch.dist).ok_or(PlanError::NoFeasiblePlan)?;
+    let target_node = view.sink_node(target);
+
+    // Backward reachability to the target over feasible QRG edges.
+    let reach = &mut scratch.reach;
+    reach.clear();
+    reach.resize(view.n_nodes(), false);
     reach[target_node] = true;
-    for &n in qrg.relax_order().iter().rev() {
+    for &n in view.relax_order().iter().rev() {
         if n == target_node {
             continue;
         }
-        reach[n] = qrg.out_edges(n).iter().any(|&e| reach[qrg.edge(e).to]);
+        reach[n] = view
+            .out_edges(n)
+            .iter()
+            .any(|&e| view.edge_weight(e).is_some() && reach[view.edge_endpoints(e).1]);
     }
 
-    let mut node = qrg.source_node();
+    let mut node = view.source_node();
     debug_assert!(reach[node], "target reachable implies source can reach it");
-    let mut assignments = Vec::new();
+    scratch.asg.clear();
     loop {
         if node == target_node {
             break;
         }
-        let candidates: Vec<u32> = qrg
-            .out_edges(node)
-            .iter()
-            .copied()
-            .filter(|&e| reach[qrg.edge(e).to])
-            .collect();
+        // Reused candidates buffer: one uniform pick per step, no
+        // per-step allocation.
+        scratch.candidates.clear();
+        scratch.candidates.extend(
+            view.out_edges(node)
+                .iter()
+                .copied()
+                .filter(|&e| view.edge_weight(e).is_some() && reach[view.edge_endpoints(e).1]),
+        );
         debug_assert!(
-            !candidates.is_empty(),
+            !scratch.candidates.is_empty(),
             "walk cannot dead-end inside reach set"
         );
-        let e = candidates[rng.random_range(0..candidates.len())];
-        let edge = qrg.edge(e);
-        if let crate::EdgeKind::Translation {
-            component,
-            qin,
-            qout,
-            ..
-        } = edge.kind
-        {
-            assignments.push(crate::backtrack::Assignment {
+        let e = scratch.candidates[rng.random_range(0..scratch.candidates.len())];
+        if let Some((component, qin, qout)) = view.edge_pair(e) {
+            scratch.asg.push(crate::backtrack::Assignment {
                 component,
                 qin,
                 qout,
                 edge: e,
             });
         }
-        node = edge.to;
+        node = view.edge_endpoints(e).1;
     }
-    Ok(ReservationPlan::assemble(qrg, &assignments))
+    Ok(ReservationPlan::assemble(view, &scratch.asg))
 }
 
 /// Dispatch helper mirroring [`Planner::plan`], for call sites that have

@@ -102,10 +102,11 @@ pub struct QrgEdge {
 }
 
 /// The QoS-Resource Graph of one service session under one availability
-/// snapshot.
+/// snapshot. Borrows the session it was built for — a QRG is a
+/// short-lived planning artifact, not a store of the session.
 #[derive(Debug, Clone)]
-pub struct Qrg {
-    session: SessionInstance,
+pub struct Qrg<'a> {
+    session: &'a SessionInstance,
     options: QrgOptions,
     /// Node-index offsets: `In(c, i)` is node `in_offset[c] + i`.
     in_offset: Vec<usize>,
@@ -122,11 +123,15 @@ pub struct Qrg {
     relax_order: Vec<usize>,
 }
 
-impl Qrg {
+impl<'a> Qrg<'a> {
     /// Builds the QRG for `session` under the availability snapshot
     /// `view` — step (1) of the runtime algorithm (§4.1.1).
-    pub fn build(session: &SessionInstance, view: &AvailabilityView, options: &QrgOptions) -> Qrg {
-        let service = session.service().clone();
+    pub fn build(
+        session: &'a SessionInstance,
+        view: &AvailabilityView,
+        options: &QrgOptions,
+    ) -> Qrg<'a> {
+        let service = session.service();
         let graph = service.graph();
         let k = service.components().len();
 
@@ -241,7 +246,7 @@ impl Qrg {
         }
 
         Qrg {
-            session: session.clone(),
+            session,
             options: options.clone(),
             in_offset,
             out_offset,
@@ -254,8 +259,8 @@ impl Qrg {
     }
 
     /// The session this QRG was built for.
-    pub fn session(&self) -> &SessionInstance {
-        &self.session
+    pub fn session(&self) -> &'a SessionInstance {
+        self.session
     }
 
     /// The options the QRG was built with.
@@ -445,7 +450,7 @@ mod tests {
     }
 }
 
-impl Qrg {
+impl Qrg<'_> {
     /// Renders the QRG in Graphviz DOT format: one cluster per service
     /// component, solid weighted edges for feasible translation pairs,
     /// dashed edges for `Q^out` → `Q^in` equivalences — the same layout

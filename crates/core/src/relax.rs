@@ -21,6 +21,7 @@
 //!   predecessor with `min(b, c)` (and, for full determinism, the lowest
 //!   edge id after that).
 
+use crate::view::{PlanView, QrgView};
 use crate::{NodeRef, Qrg};
 
 /// The result of Pass I: per-node minimax distances and, for `Q^out`
@@ -45,20 +46,32 @@ impl Relaxation {
 
 /// Runs Pass I over the QRG.
 pub fn relax(qrg: &Qrg) -> Relaxation {
-    let n = qrg.n_nodes();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut pred: Vec<Option<u32>> = vec![None; n];
-    let source = qrg.source_node();
-    let tie_break = !qrg.options().disable_tie_break;
+    let mut dist = Vec::new();
+    let mut pred = Vec::new();
+    relax_into(&QrgView::new(qrg), &mut dist, &mut pred);
+    Relaxation { dist, pred }
+}
 
-    for &node in qrg.relax_order() {
-        match qrg.node_ref(node) {
+/// Pass I over any [`PlanView`], writing into caller-provided buffers
+/// (cleared and resized here) so the hot path allocates nothing in steady
+/// state.
+pub(crate) fn relax_into<V: PlanView>(view: &V, dist: &mut Vec<f64>, pred: &mut Vec<Option<u32>>) {
+    let n = view.n_nodes();
+    dist.clear();
+    dist.resize(n, f64::INFINITY);
+    pred.clear();
+    pred.resize(n, None);
+    let source = view.source_node();
+    let tie_break = !view.disable_tie_break();
+
+    for &node in view.relax_order() {
+        match view.node_ref(node) {
             NodeRef::In { .. } => {
                 if node == source {
                     dist[node] = 0.0;
                     continue;
                 }
-                let ins = qrg.in_edges(node);
+                let ins = view.in_edges(node);
                 if ins.is_empty() {
                     // Only the source component has no predecessors, and
                     // its single input node is handled above.
@@ -66,32 +79,35 @@ pub fn relax(qrg: &Qrg) -> Relaxation {
                 }
                 // AND-node: usable only when every upstream Q^out it is
                 // equivalent to is reachable; value = max over them.
+                // (Equivalence edges are feasible under any availability.)
                 let mut value = 0.0f64;
                 for &e in ins {
-                    value = value.max(dist[qrg.edge(e).from]);
+                    value = value.max(dist[view.edge_endpoints(e).0]);
                 }
                 dist[node] = value;
             }
             NodeRef::Out { .. } => {
                 let mut best: Option<(f64, f64, u32)> = None;
-                for &e in qrg.in_edges(node) {
-                    let edge = qrg.edge(e);
-                    let upstream = dist[edge.from];
+                for &e in view.in_edges(node) {
+                    let Some(weight) = view.edge_weight(e) else {
+                        continue; // infeasible candidate edge
+                    };
+                    let upstream = dist[view.edge_endpoints(e).0];
                     if !upstream.is_finite() {
                         continue;
                     }
-                    let value = upstream.max(edge.weight);
+                    let value = upstream.max(weight);
                     let better = match best {
                         None => true,
                         Some((bv, bw, be)) => {
                             value < bv
                                 || (value == bv
                                     && tie_break
-                                    && (edge.weight < bw || (edge.weight == bw && e < be)))
+                                    && (weight < bw || (weight == bw && e < be)))
                         }
                     };
                     if better {
-                        best = Some((value, edge.weight, e));
+                        best = Some((value, weight, e));
                     }
                 }
                 if let Some((value, _, e)) = best {
@@ -101,8 +117,6 @@ pub fn relax(qrg: &Qrg) -> Relaxation {
             }
         }
     }
-
-    Relaxation { dist, pred }
 }
 
 #[cfg(test)]

@@ -1,0 +1,355 @@
+//! Availability-independent QRG structure, cached per [`ServiceSpec`].
+//!
+//! Everything about a QRG except edge weights and feasibility is a pure
+//! function of the service spec: the node layout, which `(Q^in, Q^out)`
+//! cells of each translation table are populated (*candidate* translation
+//! edges), the equivalence edges, the adjacency lists, the relaxation
+//! order, and the sink ranking. Re-deriving all of that on every planning
+//! call — which [`crate::Qrg::build`] does — dominates the planner's
+//! runtime in steady state, where the same handful of service specs is
+//! planned over and over against fresh availability snapshots.
+//!
+//! A `QrgSkeleton` hoists that work out of the hot path. It is computed
+//! once per spec (memoized behind an [`Arc`], keyed on
+//! [`ServiceSpec::uid`]) and holds:
+//!
+//! * the node layout (`in_offset`/`out_offset`/`node_refs`),
+//! * all candidate edges in exactly the construction order of
+//!   [`crate::Qrg::build`] — so the feasible subset under any
+//!   availability is order-isomorphic to the legacy edge ids,
+//! * flat CSR adjacency (`in_start`+`in_ids`, `out_start`+`out_ids`)
+//!   instead of per-node `Vec<Vec<u32>>`,
+//! * each candidate's *unscaled* `(slot, amount)` demand pairs, so a
+//!   [`crate::PlanCtx`] can bind and scale them per session without
+//!   consulting the translation tables again,
+//! * an O(1) `(component, qin, qout) → candidate` lookup table,
+//! * the cached relaxation order and best-first sink ranking.
+
+use crate::NodeRef;
+use qosr_model::ServiceSpec;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// One candidate edge: a populated translation cell or an equivalence
+/// link. Whether a translation candidate is *feasible* depends on the
+/// availability snapshot and lives in [`crate::PlanCtx`], not here.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Candidate {
+    /// Source node index.
+    pub from: u32,
+    /// Target node index.
+    pub to: u32,
+    /// `(component, qin, qout)` for translation candidates; `None` for
+    /// equivalence edges.
+    pub pair: Option<(u32, u32, u32)>,
+}
+
+/// The availability-independent part of a QRG. See the module docs.
+#[derive(Debug)]
+pub struct QrgSkeleton {
+    service: Arc<ServiceSpec>,
+    /// Node-index offsets: `In(c, i)` is node `in_offset[c] + i`.
+    pub(crate) in_offset: Vec<usize>,
+    /// Node-index offsets: `Out(c, j)` is node `out_offset[c] + j`.
+    pub(crate) out_offset: Vec<usize>,
+    pub(crate) node_refs: Vec<NodeRef>,
+    pub(crate) source_node: usize,
+    /// Candidate edges, in [`crate::Qrg::build`]'s construction order.
+    pub(crate) candidates: Vec<Candidate>,
+    /// Unscaled demand segment of candidate `e`:
+    /// `slot_demands[d_off[e] .. d_off[e + 1]]` (empty for equivalence
+    /// edges), each entry a `(slot, amount)` pair of the translation
+    /// table.
+    pub(crate) d_off: Vec<u32>,
+    pub(crate) slot_demands: Vec<(u32, f64)>,
+    /// CSR incoming adjacency: candidates into node `n` are
+    /// `in_ids[in_start[n] .. in_start[n + 1]]`.
+    pub(crate) in_start: Vec<u32>,
+    pub(crate) in_ids: Vec<u32>,
+    /// CSR outgoing adjacency, same layout.
+    pub(crate) out_start: Vec<u32>,
+    pub(crate) out_ids: Vec<u32>,
+    /// Nodes in relaxation (topological) order.
+    pub(crate) relax_order: Vec<usize>,
+    /// Sink output levels ordered best-first (cached
+    /// [`ServiceSpec::sink_rank_order`]).
+    pub(crate) sink_order: Vec<usize>,
+    /// `(c, i, j) → candidate` lookup:
+    /// `pair_edge[pair_base[c] + i * n_out[c] + j]`, `u32::MAX` when the
+    /// table cell is unpopulated.
+    pub(crate) pair_base: Vec<u32>,
+    pub(crate) pair_edge: Vec<u32>,
+    /// Output-level count per component (the `pair_edge` row stride).
+    pub(crate) n_out: Vec<u32>,
+}
+
+/// Process-wide skeleton memo. Holds weak references so dropping every
+/// session of a spec also drops its skeleton.
+fn cache() -> &'static Mutex<HashMap<u64, Weak<QrgSkeleton>>> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Weak<QrgSkeleton>>>> = OnceLock::new();
+    CACHE.get_or_init(Default::default)
+}
+
+impl QrgSkeleton {
+    /// The memoized skeleton of `service`: computed on first call,
+    /// shared on every later call with the same spec (keyed on
+    /// [`ServiceSpec::uid`]).
+    pub fn shared(service: &Arc<ServiceSpec>) -> Arc<QrgSkeleton> {
+        let mut cache = cache().lock().expect("skeleton cache poisoned");
+        if let Some(sk) = cache.get(&service.uid()).and_then(Weak::upgrade) {
+            return sk;
+        }
+        let sk = Arc::new(QrgSkeleton::build(service.clone()));
+        cache.retain(|_, w| w.strong_count() > 0);
+        cache.insert(service.uid(), Arc::downgrade(&sk));
+        sk
+    }
+
+    /// Computes the skeleton of `service` (unmemoized; prefer
+    /// [`QrgSkeleton::shared`]).
+    pub fn build(service: Arc<ServiceSpec>) -> QrgSkeleton {
+        let graph = service.graph();
+        let k = service.components().len();
+
+        let mut in_offset = Vec::with_capacity(k);
+        let mut out_offset = Vec::with_capacity(k);
+        let mut node_refs = Vec::new();
+        for (c, comp) in service.components().iter().enumerate() {
+            in_offset.push(node_refs.len());
+            for level in 0..comp.input_levels().len() {
+                node_refs.push(NodeRef::In {
+                    component: c,
+                    level,
+                });
+            }
+            out_offset.push(node_refs.len());
+            for level in 0..comp.output_levels().len() {
+                node_refs.push(NodeRef::Out {
+                    component: c,
+                    level,
+                });
+            }
+        }
+        let n_nodes = node_refs.len();
+
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut d_off: Vec<u32> = vec![0];
+        let mut slot_demands: Vec<(u32, f64)> = Vec::new();
+        let mut in_lists: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
+        let mut out_lists: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
+        let mut pair_base: Vec<u32> = Vec::with_capacity(k);
+        let mut pair_edge: Vec<u32> = Vec::new();
+        let mut n_out: Vec<u32> = Vec::with_capacity(k);
+
+        for (c, comp) in service.components().iter().enumerate() {
+            let n_in_c = comp.input_levels().len();
+            let n_out_c = comp.output_levels().len();
+            pair_base.push(u32::try_from(pair_edge.len()).expect("QRG too large"));
+            n_out.push(n_out_c as u32);
+            pair_edge.resize(pair_edge.len() + n_in_c * n_out_c, u32::MAX);
+            let base = *pair_base.last().unwrap() as usize;
+
+            // Candidate translation edges: every populated table cell, in
+            // the same (i, j) order Qrg::build scans.
+            for i in 0..n_in_c {
+                for j in 0..n_out_c {
+                    let Some(slots) = comp.translate(i, j) else {
+                        continue;
+                    };
+                    let id = u32::try_from(candidates.len()).expect("QRG too large");
+                    let from = (in_offset[c] + i) as u32;
+                    let to = (out_offset[c] + j) as u32;
+                    in_lists[to as usize].push(id);
+                    out_lists[from as usize].push(id);
+                    pair_edge[base + i * n_out_c + j] = id;
+                    slot_demands.extend(slots.iter().map(|(slot, amount)| (slot as u32, amount)));
+                    d_off.push(u32::try_from(slot_demands.len()).expect("QRG too large"));
+                    candidates.push(Candidate {
+                        from,
+                        to,
+                        pair: Some((c as u32, i as u32, j as u32)),
+                    });
+                }
+            }
+            // Equivalence edges into each of c's input levels, one per
+            // predecessor.
+            for i in 0..n_in_c {
+                let preds = graph.preds(c);
+                for (pos, &u) in preds.iter().enumerate() {
+                    let j = service.link(c, i)[pos];
+                    let id = u32::try_from(candidates.len()).expect("QRG too large");
+                    let from = (out_offset[u] + j) as u32;
+                    let to = (in_offset[c] + i) as u32;
+                    in_lists[to as usize].push(id);
+                    out_lists[from as usize].push(id);
+                    d_off.push(*d_off.last().unwrap());
+                    candidates.push(Candidate {
+                        from,
+                        to,
+                        pair: None,
+                    });
+                }
+            }
+        }
+
+        // Flatten the adjacency lists into CSR form, preserving per-node
+        // push order (= candidate-id order, as in Qrg::build).
+        let flatten = |lists: &[Vec<u32>]| {
+            let mut start = Vec::with_capacity(lists.len() + 1);
+            let mut ids = Vec::with_capacity(candidates.len());
+            start.push(0u32);
+            for list in lists {
+                ids.extend_from_slice(list);
+                start.push(u32::try_from(ids.len()).expect("QRG too large"));
+            }
+            (start, ids)
+        };
+        let (in_start, in_ids) = flatten(&in_lists);
+        let (out_start, out_ids) = flatten(&out_lists);
+
+        let mut relax_order = Vec::with_capacity(n_nodes);
+        for &c in graph.topo_order() {
+            let comp = &service.components()[c];
+            for i in 0..comp.input_levels().len() {
+                relax_order.push(in_offset[c] + i);
+            }
+            for j in 0..comp.output_levels().len() {
+                relax_order.push(out_offset[c] + j);
+            }
+        }
+
+        let source_node = in_offset[graph.source()];
+        let sink_order = service.sink_rank_order();
+
+        QrgSkeleton {
+            service,
+            in_offset,
+            out_offset,
+            node_refs,
+            source_node,
+            candidates,
+            d_off,
+            slot_demands,
+            in_start,
+            in_ids,
+            out_start,
+            out_ids,
+            relax_order,
+            sink_order,
+            pair_base,
+            pair_edge,
+            n_out,
+        }
+    }
+
+    /// The service this skeleton describes.
+    pub fn service(&self) -> &Arc<ServiceSpec> {
+        &self.service
+    }
+
+    /// Total number of QRG nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.node_refs.len()
+    }
+
+    /// Total number of candidate edges (populated translation cells plus
+    /// equivalence edges).
+    pub fn n_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// The candidate id of translation cell `(c, i, j)`, populated or
+    /// not.
+    pub(crate) fn pair_candidate(&self, c: usize, i: usize, j: usize) -> Option<u32> {
+        let idx = self.pair_base[c] as usize + i * self.n_out[c] as usize + j;
+        let id = self.pair_edge[idx];
+        (id != u32::MAX).then_some(id)
+    }
+
+    /// The unscaled `(slot, amount)` demand pairs of candidate `e`.
+    pub(crate) fn slot_demand(&self, e: u32) -> &[(u32, f64)] {
+        &self.slot_demands[self.d_off[e as usize] as usize..self.d_off[e as usize + 1] as usize]
+    }
+
+    /// Candidates into node `n`.
+    pub(crate) fn in_edges(&self, n: usize) -> &[u32] {
+        &self.in_ids[self.in_start[n] as usize..self.in_start[n + 1] as usize]
+    }
+
+    /// Candidates out of node `n`.
+    pub(crate) fn out_edges(&self, n: usize) -> &[u32] {
+        &self.out_ids[self.out_start[n] as usize..self.out_start[n + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::*;
+    use crate::{EdgeKind, Qrg};
+
+    /// The skeleton's candidate list must enumerate, per component,
+    /// exactly the populated translation cells then the equivalence
+    /// edges — the same order Qrg::build creates edges in, so feasible
+    /// subsets are order-isomorphic.
+    #[test]
+    fn candidate_order_matches_qrg_build_under_full_availability() {
+        for (session, space) in [
+            {
+                let fx = ChainFixture::paper_like();
+                (fx.session, fx.space)
+            },
+            {
+                let fx = DagFixture::diamond();
+                (fx.session, fx.space)
+            },
+        ] {
+            let view = crate::AvailabilityView::from_fn(space.ids(), |_| 1e9);
+            let qrg = Qrg::build(&session, &view, &crate::QrgOptions::default());
+            let sk = QrgSkeleton::build(session.service().clone());
+            // With abundant availability every candidate is feasible, so
+            // the two edge lists must match 1:1.
+            assert_eq!(sk.n_candidates(), qrg.edges().len());
+            for (id, cand) in sk.candidates.iter().enumerate() {
+                let edge = qrg.edge(id as u32);
+                assert_eq!(cand.from as usize, edge.from);
+                assert_eq!(cand.to as usize, edge.to);
+                match (&edge.kind, cand.pair) {
+                    (
+                        EdgeKind::Translation {
+                            component,
+                            qin,
+                            qout,
+                            ..
+                        },
+                        Some((c, i, j)),
+                    ) => {
+                        assert_eq!(
+                            (*component, *qin, *qout),
+                            (c as usize, i as usize, j as usize)
+                        );
+                    }
+                    (EdgeKind::Equivalence, None) => {}
+                    (k, p) => panic!("kind mismatch at {id}: {k:?} vs {p:?}"),
+                }
+            }
+            assert_eq!(sk.relax_order, qrg.relax_order());
+            for n in 0..sk.n_nodes() {
+                assert_eq!(sk.in_edges(n), qrg.in_edges(n), "in_edges of node {n}");
+                assert_eq!(sk.out_edges(n), qrg.out_edges(n), "out_edges of node {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_memoizes_per_spec() {
+        let fx = ChainFixture::paper_like();
+        let a = QrgSkeleton::shared(fx.session.service());
+        let b = QrgSkeleton::shared(fx.session.service());
+        assert!(Arc::ptr_eq(&a, &b));
+        // A structurally identical but distinct spec gets its own entry.
+        let fx2 = ChainFixture::paper_like();
+        let c = QrgSkeleton::shared(fx2.session.service());
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

@@ -126,7 +126,7 @@ impl ChainFixture {
     }
 
     /// A QRG with uniform availability on every resource, α = 1.
-    pub fn qrg_with_avail(&self, avail: f64) -> Qrg {
+    pub fn qrg_with_avail(&self, avail: f64) -> Qrg<'_> {
         let view = AvailabilityView::from_fn(self.space.ids(), |_| avail);
         Qrg::build(&self.session, &view, &QrgOptions::default())
     }
@@ -190,7 +190,7 @@ impl TieBreakFixture {
         AvailabilityView::from_fn(self.space.ids(), |_| 100.0)
     }
 
-    pub fn qrg(&self) -> Qrg {
+    pub fn qrg(&self) -> Qrg<'_> {
         Qrg::build(&self.session, &self.view(), &QrgOptions::default())
     }
 }
@@ -378,7 +378,7 @@ impl DagFixture {
     }
 
     /// A QRG with uniform availability on every resource, α = 1.
-    pub fn qrg_with_avail(&self, avail: f64) -> Qrg {
+    pub fn qrg_with_avail(&self, avail: f64) -> Qrg<'_> {
         let view = AvailabilityView::from_fn(self.space.ids(), |_| avail);
         Qrg::build(&self.session, &view, &QrgOptions::default())
     }

@@ -2,6 +2,10 @@
 
 use crate::{ComponentSpec, DependencyGraph, ModelError, QosVector};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic source of [`ServiceSpec::uid`] values.
+static NEXT_SERVICE_UID: AtomicU64 = AtomicU64::new(1);
 
 /// For one input QoS level of a component: which output level of each
 /// predecessor (in [`DependencyGraph::preds`] order) it is the
@@ -30,6 +34,8 @@ pub type LevelLink = Vec<usize>;
 ///   levels (the paper assumes end-to-end QoS levels "can be ranked in a
 ///   linear order, based on a user's preference").
 pub struct ServiceSpec {
+    /// Process-unique identity of this spec value (see [`ServiceSpec::uid`]).
+    uid: u64,
     name: String,
     components: Vec<ComponentSpec>,
     graph: DependencyGraph,
@@ -156,12 +162,21 @@ impl ServiceSpec {
         }
 
         Ok(ServiceSpec {
+            uid: NEXT_SERVICE_UID.fetch_add(1, Ordering::Relaxed),
             name: name.into(),
             components,
             graph,
             sink_ranking,
             links,
         })
+    }
+
+    /// A process-unique identity for this spec value, assigned at
+    /// construction. Because a `ServiceSpec` is immutable once built,
+    /// the uid is a sound memoization key for structures derived purely
+    /// from the spec (e.g. cached QRG skeletons in `qosr-core`).
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Convenience constructor for chain services (the basic-algorithm

@@ -599,7 +599,7 @@ mod sampling_tests {
             last = s.time;
             // 4 CPUs + 14 links sampled, utilization in [0, 1].
             assert_eq!(s.utilization.len(), 18);
-            for (&ref name, &u) in &s.utilization {
+            for (name, &u) in &s.utilization {
                 assert!((0.0..=1.0).contains(&u), "{name} at {u}");
             }
         }

@@ -2,11 +2,15 @@
 //!
 //! Experiment figures sweep generation rates × algorithms × seeds —
 //! dozens of independent runs. [`run_many`] executes them across CPU
-//! cores with a simple work-stealing queue (crossbeam channel feeding
-//! scoped worker threads), returning results in input order.
+//! cores with a simple work-stealing queue (a shared atomic task cursor
+//! feeding scoped worker threads over `std::sync::mpsc`), returning
+//! results in input order. Only the standard library is used, so the
+//! sweep runner builds in fully offline environments.
 
 use crate::{run_scenario, RunResult, ScenarioConfig};
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Runs every configuration, in parallel across available cores,
 /// returning results in the same order as `configs`.
@@ -22,23 +26,23 @@ pub fn run_many(configs: &[ScenarioConfig]) -> Vec<RunResult> {
         return configs.iter().map(run_scenario).collect();
     }
 
-    let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, ScenarioConfig)>();
-    let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, RunResult)>();
-    for (i, cfg) in configs.iter().enumerate() {
-        task_tx.send((i, cfg.clone())).expect("channel open");
-    }
-    drop(task_tx);
+    // Work stealing: each worker claims the next unstarted config from
+    // a shared cursor, so long runs never block short ones behind them.
+    let next_task = AtomicUsize::new(0);
+    let (result_tx, result_rx) = mpsc::channel::<(usize, RunResult)>();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            let task_rx = task_rx.clone();
+            let next_task = &next_task;
             let result_tx = result_tx.clone();
-            scope.spawn(move || {
-                while let Ok((i, cfg)) = task_rx.recv() {
-                    let result = run_scenario(&cfg);
-                    if result_tx.send((i, result)).is_err() {
-                        break;
-                    }
+            scope.spawn(move || loop {
+                let i = next_task.fetch_add(1, Ordering::Relaxed);
+                let Some(cfg) = configs.get(i) else {
+                    break;
+                };
+                let result = run_scenario(cfg);
+                if result_tx.send((i, result)).is_err() {
+                    break;
                 }
             });
         }

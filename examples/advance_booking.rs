@@ -72,7 +72,8 @@ fn main() {
     // Team A books the 09:00-12:00 slot (hours as TU) at full quality.
     let window_a = (t(9.0), t(12.0));
     let view = registry.snapshot_window(window_a.0, window_a.1);
-    let qrg = Qrg::build(&session_of(1.0), &view, &QrgOptions::default());
+    let session_a = session_of(1.0);
+    let qrg = Qrg::build(&session_a, &view, &QrgOptions::default());
     let plan_a = plan_basic(&qrg).unwrap();
     registry
         .reserve_all_over(SessionId(1), &plan_a.total_demand(), window_a.0, window_a.1)
@@ -92,7 +93,8 @@ fn main() {
         view.avail(bw),
         view.avail(cpu)
     );
-    let qrg = Qrg::build(&session_of(1.0), &view, &QrgOptions::default());
+    let session_b = session_of(1.0);
+    let qrg = Qrg::build(&session_b, &view, &QrgOptions::default());
     let plan_b = plan_basic(&qrg).unwrap();
     registry
         .reserve_all_over(SessionId(2), &plan_b.total_demand(), window_b.0, window_b.1)
@@ -106,7 +108,8 @@ fn main() {
     // session): nothing fits while A and B hold their windows…
     let window_c = (t(11.0), t(13.0));
     let view = registry.snapshot_window(window_c.0, window_c.1);
-    let qrg = Qrg::build(&session_of(10.0), &view, &QrgOptions::default());
+    let session_c = session_of(10.0);
+    let qrg = Qrg::build(&session_c, &view, &QrgOptions::default());
     match plan_basic(&qrg) {
         Ok(_) => unreachable!(),
         Err(e) => println!("team C (10x) for 11:00-13:00 -> rejected: {e}"),
@@ -114,7 +117,7 @@ fn main() {
     // …but the evening is wide open.
     let window_c = (t(14.0), t(16.0));
     let view = registry.snapshot_window(window_c.0, window_c.1);
-    let qrg = Qrg::build(&session_of(10.0), &view, &QrgOptions::default());
+    let qrg = Qrg::build(&session_c, &view, &QrgOptions::default());
     let plan_c = plan_basic(&qrg).unwrap();
     registry
         .reserve_all_over(SessionId(3), &plan_c.total_demand(), window_c.0, window_c.1)

@@ -1,0 +1,129 @@
+//! Property-based equivalence of the amortized planning context against
+//! the per-call QRG construction path.
+//!
+//! The refactor that introduced [`qosr::core::PlanCtx`] (cached
+//! `QrgSkeleton`, CSR adjacency, reusable relax/backtrack scratch) must
+//! be *observationally invisible*: for every session, availability
+//! snapshot, and planner, the cached-context path must return a plan
+//! byte-identical to `Qrg::build` + `plan_*` — including identical RNG
+//! consumption for the random planner — or the exact same error.
+//!
+//! Scenarios cover dense synthetic chains and sparse random diamond
+//! DAGs from `qosr_bench::synth`, with randomized availability (down to
+//! infeasibility) and availability-change indices α, exercising all
+//! four planners. One `PlanCtx` is reused across every planner and
+//! scenario a test case touches, so skeleton memoization and buffer
+//! re-preparation are exercised too.
+
+use proptest::prelude::*;
+use qosr::core::{AvailabilityView, PlanCtx, Planner, Qrg, QrgOptions};
+use qosr::model::ResourceSpace;
+use qosr_bench::synth::{random_dag_scenario, synthetic_chain};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const ALL_PLANNERS: [Planner; 4] = [
+    Planner::Basic,
+    Planner::Tradeoff,
+    Planner::Random,
+    Planner::Dag,
+];
+
+/// Random availability snapshot: most resources in a feasible band,
+/// some scarce (forcing degradation or infeasibility), with random α.
+fn random_view(space: &ResourceSpace, rng: &mut StdRng) -> AvailabilityView {
+    let mut view = AvailabilityView::new();
+    for rid in space.ids() {
+        let avail = if rng.random::<f64>() < 0.2 {
+            rng.random_range(0.5..=4.0) // scarce
+        } else {
+            rng.random_range(5.0..=150.0)
+        };
+        view.set_with_alpha(rid, avail, rng.random_range(0.3..=1.4));
+    }
+    view
+}
+
+/// Plans `session` under `view` with every planner through both paths
+/// and asserts byte-identical outcomes and RNG streams.
+fn assert_paths_agree(
+    ctx: &mut PlanCtx,
+    session: &qosr::model::SessionInstance,
+    view: &AvailabilityView,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let options = QrgOptions::default();
+    for planner in ALL_PLANNERS {
+        let mut rng_legacy = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+        let mut rng_ctx = rng_legacy.clone();
+
+        let qrg = Qrg::build(session, view, &options);
+        let legacy = planner.plan(&qrg, &mut rng_legacy);
+        let cached = ctx.plan_session(session, view, &options, planner, &mut rng_ctx);
+
+        match (legacy, cached) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "plan mismatch under {:?}", planner),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "error mismatch under {:?}", planner),
+            (a, b) => prop_assert!(false, "{:?}: legacy {:?} vs ctx {:?}", planner, a, b),
+        }
+        // The cached path must consume the RNG identically (same
+        // candidate sets in the same order), not merely end at the same
+        // plan.
+        prop_assert_eq!(
+            rng_legacy,
+            rng_ctx,
+            "RNG streams diverged under {:?}",
+            planner
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ctx_matches_legacy_on_chains(seed in any::<u64>(), k in 1usize..=6, q in 1usize..=5) {
+        let (session, space) = synthetic_chain(k, q);
+        let mut avail_rng = StdRng::seed_from_u64(seed);
+        let mut ctx = PlanCtx::new();
+        // Several snapshots against one context: steady-state reuse.
+        for _ in 0..3 {
+            let view = random_view(&space, &mut avail_rng);
+            assert_paths_agree(&mut ctx, &session, &view, seed)?;
+        }
+    }
+
+    #[test]
+    fn ctx_matches_legacy_on_dags(seed in any::<u64>()) {
+        let (session, space, avail) = random_dag_scenario(seed);
+        let mut ctx = PlanCtx::new();
+        // The scenario's own availability, then randomized ones.
+        let mut view = AvailabilityView::new();
+        for (i, rid) in space.ids().enumerate() {
+            view.set(rid, avail[i]);
+        }
+        assert_paths_agree(&mut ctx, &session, &view, seed)?;
+        let mut avail_rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        for _ in 0..2 {
+            let view = random_view(&space, &mut avail_rng);
+            assert_paths_agree(&mut ctx, &session, &view, seed)?;
+        }
+    }
+
+    #[test]
+    fn one_ctx_serves_interleaved_sessions(seed in any::<u64>(), k in 1usize..=4, q in 1usize..=4) {
+        // Interleave two different services through the same context:
+        // each prepare must fully re-specialize the buffers.
+        let (chain, chain_space) = synthetic_chain(k, q);
+        let (dag, dag_space, _) = random_dag_scenario(seed);
+        let mut avail_rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+        let mut ctx = PlanCtx::new();
+        for _ in 0..2 {
+            let view = random_view(&chain_space, &mut avail_rng);
+            assert_paths_agree(&mut ctx, &chain, &view, seed)?;
+            let view = random_view(&dag_space, &mut avail_rng);
+            assert_paths_agree(&mut ctx, &dag, &view, seed)?;
+        }
+    }
+}

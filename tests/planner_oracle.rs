@@ -103,7 +103,7 @@ fn generate(seed: u64, k: usize, max_q: usize, shared_resources: bool) -> Scenar
     let service = Arc::new(
         ServiceSpec::chain("prop", components, ranking).expect("generated chain is valid"),
     );
-    let scale = [1.0, 2.0, 10.0][rng.random_range(0..3)];
+    let scale = [1.0, 2.0, 10.0][rng.random_range(0..3usize)];
     let session = SessionInstance::new(service, bindings, scale).unwrap();
     let avail: Vec<f64> = (0..n_resources)
         .map(|_| rng.random_range(5.0..=120.0))

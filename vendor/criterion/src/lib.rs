@@ -1,0 +1,272 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock harness exposing the criterion API this
+//! workspace uses: `criterion_group!`/`criterion_main!`, benchmark
+//! groups with `bench_function`/`bench_with_input`, and `Bencher::iter`.
+//! Behavior mirrors criterion's cargo integration: run without
+//! `--bench` (as `cargo test` does) each benchmark executes once as a
+//! smoke test; with `--bench` it is measured and a mean ns/iter line is
+//! printed; `--quick` shortens the measurement window. A positional
+//! argument filters benchmarks by substring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness state, passed to every benchmark function.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    bench_mode: bool,
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Configures the harness from the process arguments (the flags
+    /// cargo and the user pass after `--`).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => c.bench_mode = true,
+                "--test" => c.bench_mode = false,
+                "--quick" => c.quick = true,
+                flag if flag.starts_with("--") => {} // ignore unknown flags
+                filter => c.filter = Some(filter.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Registers a stand-alone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self, id, f);
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the requested sample count (accepted for API compatibility;
+    /// the stand-in sizes its measurement window automatically).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the requested measurement time (accepted for API
+    /// compatibility).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion, &full, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value, as in
+    /// `BenchmarkId::from_parameter(k)`.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{p}", name.into()))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Times one closure over a chosen number of iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `f` over the harness-chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Runs `f` with `iters` iterations, returning the measured elapsed
+/// time (zero if the closure never called `iter`).
+fn measure<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, id: &str, mut f: F) {
+    if let Some(filter) = &criterion.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if !criterion.bench_mode {
+        // Smoke mode (`cargo test` / `--test`): one iteration, no timing.
+        measure(&mut f, 1);
+        println!("test {id} ... ok (smoke)");
+        return;
+    }
+    let target = if criterion.quick {
+        Duration::from_millis(60)
+    } else {
+        Duration::from_millis(400)
+    };
+    // Calibrate: double the iteration count until the runtime is
+    // long enough to matter, then scale up to the target window.
+    let mut iters: u64 = 1;
+    let mut elapsed = measure(&mut f, iters);
+    while elapsed < target / 20 && iters < u64::MAX / 4 {
+        iters *= 2;
+        elapsed = measure(&mut f, iters);
+    }
+    if elapsed < target {
+        let per_iter = elapsed.as_nanos().max(1) / u128::from(iters);
+        let wanted = (target.as_nanos() / per_iter.max(1)) as u64;
+        iters = wanted.max(iters).max(1);
+        elapsed = measure(&mut f, iters);
+    }
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    println!("bench: {id:<40} {ns_per_iter:>14.1} ns/iter (n={iters})");
+}
+
+/// Declares a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut criterion = Criterion::default();
+        let mut calls = 0u64;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.sample_size(10).bench_function("a", |b| {
+                b.iter(|| {
+                    calls += 1;
+                })
+            });
+            group.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bench_mode_measures() {
+        let mut criterion = Criterion {
+            bench_mode: true,
+            quick: true,
+            filter: None,
+        };
+        let mut calls = 0u64;
+        criterion.bench_function("busy", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            })
+        });
+        assert!(calls > 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut criterion = Criterion {
+            bench_mode: false,
+            quick: false,
+            filter: Some("keep".into()),
+        };
+        let mut ran = false;
+        criterion.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        criterion.bench_function("keep_this", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(8).0, "8");
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+    }
+}

@@ -1,0 +1,402 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor architecture, this crate models
+//! serialization as conversion to and from a JSON-like [`Value`] tree:
+//! [`Serialize::to_value`] and [`Deserialize::from_value`]. The derive
+//! macros (re-exported from `serde_derive`) generate those impls for
+//! named structs, newtype structs, and unit enums — the shapes this
+//! workspace uses — honoring `#[serde(default)]` and
+//! `#[serde(default = "path")]` field attributes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like data tree, the interchange format between [`Serialize`]
+/// and [`Deserialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object: ordered key/value pairs (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Looks up a field of a deserialized object by name.
+pub fn find_field<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// A deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Wraps the error with the field it occurred in.
+    pub fn in_field(self, field: &str) -> Self {
+        DeError {
+            message: format!("field `{field}`: {}", self.message),
+        }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+fn type_error(expected: &str, got: &Value) -> DeError {
+    DeError::custom(format!("expected {expected}, got {}", got.kind()))
+}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(type_error("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::custom("integer out of range"))?,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(type_error("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as u64;
+                match i64::try_from(n) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(n),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: u64 = match v {
+                    Value::Int(n) => u64::try_from(*n)
+                        .map_err(|_| DeError::custom("negative integer for unsigned field"))?,
+                    Value::UInt(n) => *n,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(type_error("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Float(f) => Ok(*f as $t),
+                    other => Err(type_error("number", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(type_error("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(type_error("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                let items = v.as_array().ok_or_else(|| type_error("array", v))?;
+                if items.len() != LEN {
+                    return Err(DeError::custom(format!(
+                        "expected array of length {}, got {}", LEN, items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v.as_object().ok_or_else(|| type_error("object", v))?;
+        fields
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v).map_err(|e| e.in_field(k))?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&Value::Int(-3)), Ok(-3));
+        assert_eq!(f64::from_value(&Value::Int(2)), Ok(2.0));
+        assert_eq!(bool::from_value(&Value::Bool(true)), Ok(true));
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.0)];
+        assert_eq!(Vec::<(u32, f64)>::from_value(&v.to_value()), Ok(v));
+        let opt: Option<f64> = None;
+        assert_eq!(opt.to_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_value(&Value::Null), Ok(None));
+        let arr = [1u64, 2, 3];
+        assert_eq!(<[u64; 3]>::from_value(&arr.to_value()), Ok(arr));
+        assert!(<[u64; 2]>::from_value(&arr.to_value()).is_err());
+        let mut map = BTreeMap::new();
+        map.insert("a".to_string(), 1u64);
+        assert_eq!(
+            BTreeMap::<String, u64>::from_value(&map.to_value()),
+            Ok(map)
+        );
+    }
+
+    #[test]
+    fn errors_name_the_field() {
+        let obj = Value::Object(vec![("x".into(), Value::Str("no".into()))]);
+        let err = BTreeMap::<String, u64>::from_value(&obj).unwrap_err();
+        assert!(err.message().contains("`x`"));
+    }
+}

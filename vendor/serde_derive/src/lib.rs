@@ -1,0 +1,363 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! without syn/quote by walking the raw token stream. Supported shapes —
+//! the ones this workspace uses — are structs with named fields,
+//! single-field tuple (newtype) structs, and enums of unit variants.
+//! Field attributes `#[serde(default)]` and `#[serde(default = "path")]`
+//! are honored; missing `Option` fields deserialize to `None`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is filled during deserialization.
+enum FieldDefault {
+    /// No default: a missing field is an error (unless the type is
+    /// `Option`, which falls back to `None` as with upstream serde).
+    Required,
+    /// `#[serde(default)]`: `Default::default()`.
+    DefaultTrait,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+    is_option: bool,
+}
+
+enum Shape {
+    NamedStruct { name: String, fields: Vec<Field> },
+    NewtypeStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derives `serde::Serialize` (value-tree stand-in).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(::std::string::String::from(\
+                             match self {{ {arms} }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree stand-in).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let missing = match (&f.default, f.is_option) {
+                        (FieldDefault::DefaultTrait, _) => {
+                            "::std::default::Default::default()".to_string()
+                        }
+                        (FieldDefault::Path(path), _) => format!("{path}()"),
+                        (FieldDefault::Required, true) => "::std::option::Option::None".to_string(),
+                        (FieldDefault::Required, false) => format!(
+                            "return ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"missing field `{}` in `{name}`\"))",
+                            f.name
+                        ),
+                    };
+                    format!(
+                        "{0}: match ::serde::find_field(fields, \"{0}\") {{\n\
+                             ::std::option::Option::Some(x) => \
+                                 ::serde::Deserialize::from_value(x)\
+                                 .map_err(|e| e.in_field(\"{0}\"))?,\n\
+                             ::std::option::Option::None => {missing},\n\
+                         }},",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let fields = v.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object for `{name}`\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(\
+                         ::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::std::option::Option::Some(\"{v}\") => \
+                         ::std::result::Result::Ok({name}::{v}),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v.as_str() {{\n\
+                             {arms}\n\
+                             ::std::option::Option::Some(other) => \
+                                 ::std::result::Result::Err(::serde::DeError::custom(\
+                                     ::std::format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                             ::std::option::Option::None => \
+                                 ::std::result::Result::Err(::serde::DeError::custom(\
+                                     \"expected string variant of `{name}`\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Deserialize impl parses")
+}
+
+/// Parses the derive input into one of the supported shapes.
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                fields: parse_named_fields(g.stream()),
+                name,
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = 1 + g
+                    .stream()
+                    .into_iter()
+                    .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ',' ))
+                    .count();
+                if count_tuple_fields(g.stream()) != 1 {
+                    panic!(
+                        "serde stand-in derive supports only single-field tuple \
+                         structs; `{name}` has {arity} fields"
+                    );
+                }
+                Shape::NewtypeStruct { name }
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::UnitEnum {
+                variants: parse_unit_variants(g.stream(), &name),
+                name,
+            },
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde stand-in derive applied to unsupported item `{other}`"),
+    }
+}
+
+/// Counts top-level comma-separated fields of a tuple struct, ignoring a
+/// trailing comma.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0i32;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 && idx + 1 < tokens.len() => fields += 1,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Skips outer attributes, returning the serde defaults found in them.
+fn take_field_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldDefault {
+    let mut default = FieldDefault::Required;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(attr)) = tokens.get(*i + 1) else {
+            panic!("malformed attribute");
+        };
+        let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    default = parse_serde_attr(args.stream());
+                }
+            }
+        }
+        *i += 2;
+    }
+    default
+}
+
+/// Parses the inside of `#[serde(...)]` on a field.
+fn parse_serde_attr(stream: TokenStream) -> FieldDefault {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(id)] if id.to_string() == "default" => FieldDefault::DefaultTrait,
+        [TokenTree::Ident(id), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+            if id.to_string() == "default" && eq.as_char() == '=' =>
+        {
+            let raw = lit.to_string();
+            let path = raw.trim_matches('"').to_string();
+            FieldDefault::Path(path)
+        }
+        other => panic!("unsupported #[serde(...)] attribute: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = take_field_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        // The type: everything up to the next comma outside `<...>`.
+        let mut angle_depth = 0i32;
+        let type_start = i;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let is_option = matches!(
+            &tokens[type_start],
+            TokenTree::Ident(id) if id.to_string() == "Option"
+        );
+        i += 1; // past the comma (or the end)
+        fields.push(Field {
+            name,
+            default,
+            is_option,
+        });
+    }
+    fields
+}
+
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            other => panic!(
+                "serde stand-in derive supports only unit variants; \
+                 `{enum_name}::{name}` is followed by {other:?}"
+            ),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 2; // `#` and the bracketed group
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}

@@ -1,0 +1,536 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Provides [`from_str`] and [`to_writer_pretty`] over the serde
+//! stand-in's [`serde::Value`] tree: a recursive-descent JSON parser
+//! (with line/column error positions) and a two-space pretty printer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// A JSON parse, conversion, or I/O error.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.message())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Deserializes a `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_complete(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent) into
+/// `writer`.
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string_pretty(value)?;
+    writer.write_all(text.as_bytes())?;
+    Ok(())
+}
+
+/// Serializes `value` as a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_compact(&mut out, &value.to_value());
+    Ok(out)
+}
+
+fn write_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let text = format!("{f}");
+        out.push_str(&text);
+        // Keep re-parsed types stable: mark integral floats as floats.
+        if !text.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/Infinity; upstream serde_json errors, but for
+        // diagnostics output a lossy null is friendlier than aborting.
+        out.push_str("null");
+    }
+}
+
+fn write_scalar(out: &mut String, v: &Value) -> bool {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(_) | Value::Object(_) => return false,
+    }
+    true
+}
+
+fn write_value(out: &mut String, v: &Value, depth: usize) {
+    if write_scalar(out, v) {
+        return;
+    }
+    match v {
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                write_indent(out, depth + 1);
+                write_value(out, item, depth + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            write_indent(out, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, value)) in fields.iter().enumerate() {
+                write_indent(out, depth + 1);
+                write_escaped(out, key);
+                out.push_str(": ");
+                write_value(out, value, depth + 1);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            write_indent(out, depth);
+            out.push('}');
+        }
+        _ => unreachable!("scalars handled above"),
+    }
+}
+
+fn write_value_compact(out: &mut String, v: &Value) {
+    if write_scalar(out, v) {
+        return;
+    }
+    match v {
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, value)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, key);
+                out.push(':');
+                write_value_compact(out, value);
+            }
+            out.push('}');
+        }
+        _ => unreachable!("scalars handled above"),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value_complete(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> Error {
+        let consumed = &self.bytes[..self.pos];
+        let line = 1 + consumed.iter().filter(|&&b| b == b'\n').count();
+        let col = 1 + consumed.iter().rev().take_while(|&&b| b != b'\n').count();
+        Error::new(format!("{message} at line {line} column {col}"))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed by this
+                            // workspace's data; reject them clearly.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.error("unsupported \\u escape"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        label: String,
+        #[serde(default)]
+        weight: f64,
+        #[serde(default = "default_gain")]
+        gain: f64,
+    }
+
+    fn default_gain() -> f64 {
+        2.5
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        id: u64,
+        items: Vec<Inner>,
+        pair: (f64, f64),
+        tag: Option<String>,
+        skipped: Option<u32>,
+        flag: bool,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrapper(u32);
+
+    #[derive(Debug, PartialEq, Default, Serialize, Deserialize)]
+    enum Kind {
+        #[default]
+        Alpha,
+        BetaGamma,
+    }
+
+    #[test]
+    fn parse_and_access() {
+        let v = parse_value_complete(r#"{"a": [1, -2.5, true, null, "x\nA"], "b": {"c": 1e3}}"#)
+            .unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].0, "a");
+        let arr = obj[0].1.as_array().unwrap();
+        assert_eq!(arr[0], Value::Int(1));
+        assert_eq!(arr[1], Value::Float(-2.5));
+        assert_eq!(arr[2], Value::Bool(true));
+        assert_eq!(arr[3], Value::Null);
+        assert_eq!(arr[4], Value::Str("x\nA".into()));
+        assert_eq!(obj[1].1.as_object().unwrap()[0].1, Value::Float(1000.0));
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let err = parse_value_complete("{\n  \"a\": }").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(parse_value_complete("[1, 2] trailing").is_err());
+        assert!(parse_value_complete("[1, 2").is_err());
+    }
+
+    #[test]
+    fn derived_struct_roundtrip() {
+        let outer = Outer {
+            id: 7,
+            items: vec![Inner {
+                label: "a\"b".into(),
+                weight: 0.25,
+                gain: 1.0,
+            }],
+            pair: (1.5, -2.0),
+            tag: Some("t".into()),
+            skipped: None,
+            flag: true,
+        };
+        let text = to_string_pretty(&outer).unwrap();
+        let back: Outer = from_str(&text).unwrap();
+        assert_eq!(back, outer);
+    }
+
+    #[test]
+    fn defaults_and_missing_fields() {
+        let inner: Inner = from_str(r#"{"label": "x"}"#).unwrap();
+        assert_eq!(inner.weight, 0.0); // #[serde(default)]
+        assert_eq!(inner.gain, 2.5); // #[serde(default = "default_gain")]
+        let outer: Result<Outer, _> = from_str(r#"{"id": 1}"#);
+        let err = outer.unwrap_err().to_string();
+        assert!(err.contains("missing field `items`"), "{err}");
+        // Missing Option fields fall back to None.
+        let o: Outer =
+            from_str(r#"{"id": 1, "items": [], "pair": [0, 0], "flag": false}"#).unwrap();
+        assert_eq!(o.tag, None);
+        assert_eq!(o.skipped, None);
+    }
+
+    #[test]
+    fn newtype_and_enum_roundtrip() {
+        assert_eq!(to_string(&Wrapper(9)).unwrap(), "9");
+        let w: Wrapper = from_str("9").unwrap();
+        assert_eq!(w, Wrapper(9));
+        assert_eq!(to_string(&Kind::BetaGamma).unwrap(), "\"BetaGamma\"");
+        let k: Kind = from_str("\"Alpha\"").unwrap();
+        assert_eq!(k, Kind::Alpha);
+        assert!(from_str::<Kind>("\"Delta\"").is_err());
+    }
+
+    #[test]
+    fn pretty_format_shape() {
+        let text = to_string_pretty(&vec![1u32, 2]).unwrap();
+        assert_eq!(text, "[\n  1,\n  2\n]");
+        let compact = to_string(&vec![1u32, 2]).unwrap();
+        assert_eq!(compact, "[1,2]");
+        // Integral floats keep a decimal point so they re-parse as floats.
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+    }
+}
