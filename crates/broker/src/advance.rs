@@ -16,6 +16,7 @@ use crate::{ReserveError, SessionId, SimTime};
 use parking_lot::Mutex;
 use qosr_core::AvailabilityView;
 use qosr_model::{ResourceId, ResourceVector};
+use qosr_obs::{EventKind, NullSink, TraceEvent, TraceSink};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -233,15 +234,31 @@ impl TimelineBroker {
 
 /// Directory of [`TimelineBroker`]s with window snapshots and atomic
 /// multi-resource advance booking.
-#[derive(Default)]
 pub struct AdvanceRegistry {
     brokers: HashMap<ResourceId, Arc<TimelineBroker>>,
+    /// Where booking conflicts are reported ([`NullSink`] by default).
+    sink: Arc<dyn TraceSink>,
+}
+
+impl Default for AdvanceRegistry {
+    fn default() -> Self {
+        AdvanceRegistry {
+            brokers: HashMap::new(),
+            sink: Arc::new(NullSink),
+        }
+    }
 }
 
 impl AdvanceRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Routes `AdvanceConflict` trace events (rolled-back window
+    /// bookings) to `sink`.
+    pub fn set_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = sink;
     }
 
     /// Registers a broker under its resource id.
@@ -290,12 +307,15 @@ impl AdvanceRegistry {
                 for b in done {
                     b.cancel(session);
                 }
-                return Err(ReserveError::UnknownResource { resource: id });
+                let e = ReserveError::UnknownResource { resource: id };
+                self.emit_conflict(session, id, from, &e);
+                return Err(e);
             };
             if let Err(e) = broker.reserve_over(session, amount, from, to) {
                 for b in done {
                     b.cancel(session);
                 }
+                self.emit_conflict(session, id, from, &e);
                 return Err(e);
             }
             done.push(broker);
@@ -306,6 +326,17 @@ impl AdvanceRegistry {
     /// Cancels all of `session`'s bookings across all brokers.
     pub fn cancel_all(&self, session: SessionId) -> f64 {
         self.brokers.values().map(|b| b.cancel(session)).sum()
+    }
+
+    fn emit_conflict(&self, session: SessionId, id: ResourceId, from: SimTime, e: &ReserveError) {
+        if self.sink.enabled() {
+            self.sink.emit(
+                &TraceEvent::new(from.value(), EventKind::AdvanceConflict)
+                    .with_session(session.0)
+                    .with_resource(u64::from(id.0))
+                    .with_detail(e.to_string()),
+            );
+        }
     }
 }
 

@@ -1,4 +1,13 @@
 //! The Availability Change Index window (§4.3.1, eq. 5).
+//!
+//! Each broker keeps a sliding window of recent availability
+//! observations and summarizes it as α = current availability over the
+//! windowed average: α ≈ 1 means a stable resource, α < 1 one whose
+//! availability is shrinking (contention building up), α > 1 one that is
+//! recovering. The tradeoff planner (§4.3.1) consults the bottleneck's α
+//! to decide whether the best reachable QoS level is worth committing to
+//! or whether to step down to a less contended plan — see
+//! `qosr_core::plan_tradeoff`.
 
 use crate::SimTime;
 use std::collections::VecDeque;

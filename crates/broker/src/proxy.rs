@@ -19,6 +19,7 @@ use crate::{BrokerRegistry, EstablishError, ReserveError, SessionId, SimTime};
 use parking_lot::Mutex;
 use qosr_core::{AvailabilityView, PlanCtx, Planner, QrgOptions, ReservationPlan};
 use qosr_model::{ResourceId, ResourceVector, SessionInstance};
+use qosr_obs::{Counters, EventKind, NullSink, TraceEvent, TraceSink};
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -164,14 +165,29 @@ pub struct Coordinator {
     /// Reusable planning context (phase 2): caches the service's QRG
     /// skeleton and all planning scratch across establishment attempts.
     plan_ctx: Mutex<PlanCtx>,
+    /// Session-lifecycle event destination ([`NullSink`] by default, so
+    /// instrumented paths cost one branch).
+    sink: Arc<dyn TraceSink>,
+    /// This coordinator's monotonic counters (always on).
+    counters: Arc<Counters>,
 }
 
 impl Coordinator {
-    /// Builds a coordinator over the given per-host proxies.
+    /// Builds a coordinator over the given per-host proxies, with tracing
+    /// disabled ([`NullSink`]).
     ///
     /// # Panics
     /// Panics if two proxies broker the same resource.
     pub fn new(proxies: Vec<Arc<QosProxy>>) -> Self {
+        Coordinator::with_trace(proxies, Arc::new(NullSink))
+    }
+
+    /// Builds a coordinator that emits session-lifecycle [`TraceEvent`]s
+    /// to `sink` (see the `qosr-obs` crate).
+    ///
+    /// # Panics
+    /// Panics if two proxies broker the same resource.
+    pub fn with_trace(proxies: Vec<Arc<QosProxy>>, sink: Arc<dyn TraceSink>) -> Self {
         let mut owner = HashMap::new();
         for (i, proxy) in proxies.iter().enumerate() {
             for broker in proxy.brokers.iter() {
@@ -189,12 +205,24 @@ impl Coordinator {
             next_session: AtomicU64::new(1),
             stats: Mutex::new(MessageStats::default()),
             plan_ctx: Mutex::new(PlanCtx::new()),
+            sink,
+            counters: Arc::new(Counters::new()),
         }
     }
 
     /// The per-host proxies.
     pub fn proxies(&self) -> &[Arc<QosProxy>] {
         &self.proxies
+    }
+
+    /// The coordinator's trace sink.
+    pub fn sink(&self) -> &Arc<dyn TraceSink> {
+        &self.sink
+    }
+
+    /// The coordinator's monotonic counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
     }
 
     /// The proxy owning `resource`, if any.
@@ -220,6 +248,14 @@ impl Coordinator {
         rng: &mut impl Rng,
     ) -> Result<EstablishedSession, EstablishError> {
         self.stats.lock().attempts += 1;
+        self.counters.record_plan_started();
+        let traced = self.sink.enabled();
+        let t = now.value();
+        let service_name = session.service().name();
+        if traced {
+            self.sink
+                .emit(&TraceEvent::new(t, EventKind::PlanStarted).with_service(service_name));
+        }
 
         // Phase 1: collect availability (one round trip per proxy).
         let mut view = AvailabilityView::new();
@@ -229,31 +265,153 @@ impl Coordinator {
         self.stats.lock().collect_roundtrips += self.proxies.len() as u64;
 
         // Phase 2: local computation at the main QoSProxy, on the
-        // amortized planning context (cached skeleton + scratch).
-        let plan = self.plan_ctx.lock().plan_session(
-            session,
-            &view,
-            &options.qrg,
-            options.planner,
-            rng,
-        )?;
+        // amortized planning context (cached skeleton + scratch). Events
+        // are gathered while the context is locked and emitted after.
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut hops: Vec<TraceEvent> = Vec::new();
+        let (result, downgrade) = {
+            let mut ctx = self.plan_ctx.lock();
+            let result = ctx.plan_session(session, &view, &options.qrg, options.planner, rng);
+            if traced {
+                for c in ctx.candidates() {
+                    let mut ev = TraceEvent::new(t, EventKind::CandidateEvaluated)
+                        .with_pair(c.component, c.qin, c.qout)
+                        .with_feasible(c.feasible)
+                        .with_psi(c.psi);
+                    if let Some(rid) = c.resource {
+                        ev = ev.with_resource(u64::from(rid.0));
+                    }
+                    if let Some(alpha) = c.alpha {
+                        ev = ev.with_alpha(alpha);
+                    }
+                    events.push(ev);
+                }
+                if result.is_err() {
+                    if let Some((rid, ratio)) = ctx.nearest_miss() {
+                        events.push(
+                            TraceEvent::new(t, EventKind::PlanRejected)
+                                .with_service(service_name)
+                                .with_resource(u64::from(rid.0))
+                                .with_psi(ratio)
+                                .with_detail("no feasible end-to-end plan"),
+                        );
+                    } else {
+                        events.push(
+                            TraceEvent::new(t, EventKind::PlanRejected)
+                                .with_service(service_name)
+                                .with_detail("no feasible end-to-end plan"),
+                        );
+                    }
+                }
+                if let Ok(plan) = &result {
+                    for a in &plan.assignments {
+                        let mut ev = TraceEvent::new(t, EventKind::HopSelected).with_pair(
+                            a.component as u32,
+                            a.qin as u32,
+                            a.qout as u32,
+                        );
+                        if let Some(c) = ctx.candidate(a.component, a.qin, a.qout) {
+                            ev = ev.with_psi(c.psi);
+                            if let Some(rid) = c.resource {
+                                ev = ev.with_resource(u64::from(rid.0));
+                            }
+                        }
+                        hops.push(ev);
+                    }
+                }
+            }
+            (result, ctx.last_downgrade())
+        };
+        if let Some((from, to)) = downgrade {
+            self.counters.record_tradeoff_downgrade();
+            if traced {
+                events.push(
+                    TraceEvent::new(t, EventKind::TradeoffDowngrade)
+                        .with_service(service_name)
+                        .with_level(to)
+                        .with_detail(format!("stepped down from rank {from}")),
+                );
+            }
+        }
+        for ev in &events {
+            self.sink.emit(ev);
+        }
+        let plan = match result {
+            Ok(plan) => plan,
+            Err(e) => {
+                self.counters.record_plan_rejected();
+                return Err(e.into());
+            }
+        };
+        self.counters.record_plan_completed();
+        if traced {
+            let mut ev = TraceEvent::new(t, EventKind::PlanCompleted)
+                .with_service(service_name)
+                .with_level(plan.rank)
+                .with_psi(plan.psi);
+            if let Some(b) = &plan.bottleneck {
+                ev = ev
+                    .with_resource(u64::from(b.resource.0))
+                    .with_alpha(b.alpha);
+            }
+            self.sink.emit(&ev);
+            for ev in &hops {
+                self.sink.emit(ev);
+            }
+        }
 
         // Phase 3: dispatch plan segments to the owning proxies,
         // all-or-nothing with global rollback.
         let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
-        self.dispatch(id, &plan.total_demand(), now)?;
+        if let Err(e) = self.dispatch(id, &plan.total_demand(), now) {
+            self.counters.record_reservation_rejected();
+            if traced {
+                self.sink.emit(
+                    &TraceEvent::new(t, EventKind::ReservationRejected)
+                        .with_session(id.0)
+                        .with_service(service_name)
+                        .with_resource(u64::from(e.resource().0))
+                        .with_detail(e.to_string()),
+                );
+            }
+            return Err(e.into());
+        }
 
         self.stats.lock().established += 1;
+        self.counters.record_commit(plan.psi);
+        if traced {
+            let mut ev = TraceEvent::new(t, EventKind::ReservationCommitted)
+                .with_session(id.0)
+                .with_service(service_name)
+                .with_level(plan.rank)
+                .with_psi(plan.psi);
+            if let Some(b) = &plan.bottleneck {
+                ev = ev
+                    .with_resource(u64::from(b.resource.0))
+                    .with_alpha(b.alpha);
+            }
+            self.sink.emit(&ev);
+        }
         Ok(EstablishedSession { id, plan })
     }
 
     /// Terminates an established session, releasing all its reservations.
     /// Returns the total amount released.
     pub fn terminate(&self, session: &EstablishedSession, now: SimTime) -> f64 {
-        self.proxies
+        let released: f64 = self
+            .proxies
             .iter()
             .map(|p| p.release_session(session.id, now))
-            .sum()
+            .sum();
+        self.counters.record_release();
+        if self.sink.enabled() {
+            self.sink.emit(
+                &TraceEvent::new(now.value(), EventKind::SessionReleased)
+                    .with_session(session.id.0)
+                    .with_detail(format!("released {released}")),
+            );
+        }
+        released
     }
 
     /// Re-plans a *live* session against current availability **plus its
@@ -329,13 +487,24 @@ impl Coordinator {
             proxy.release_session(current.id, now);
         }
         match self.dispatch(current.id, &candidate.total_demand(), now) {
-            Ok(()) => Ok((
-                EstablishedSession {
-                    id: current.id,
-                    plan: candidate,
-                },
-                true,
-            )),
+            Ok(()) => {
+                self.counters.record_upgrade();
+                if self.sink.enabled() {
+                    self.sink.emit(
+                        &TraceEvent::new(now.value(), EventKind::SessionUpgraded)
+                            .with_session(current.id.0)
+                            .with_level(candidate.rank)
+                            .with_psi(candidate.psi),
+                    );
+                }
+                Ok((
+                    EstablishedSession {
+                        id: current.id,
+                        plan: candidate,
+                    },
+                    true,
+                ))
+            }
             Err(e) => {
                 self.dispatch(current.id, &old_demand, now)
                     .expect("restoring freshly freed reservations cannot fail");

@@ -9,15 +9,19 @@
 //! qosr plan scenario.json           # compute the reservation plan
 //! qosr plan scenario.json --planner tradeoff
 //! qosr dot scenario.json > qrg.dot  # Graphviz rendering of the QRG
+//! qosr trace run.jsonl              # per-session timelines of a trace
+//! qosr report run.jsonl             # run-level summary of a trace
 //! ```
 //!
 //! See [`dto`] for the file format and `examples/data/*.json` for
-//! complete scenarios.
+//! complete scenarios. The `trace` / `report` subcommands (module
+//! [`report`]) replay JSONL traces recorded by `qosr_obs::JsonlSink`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commands;
 pub mod dto;
+pub mod report;
 
 pub use dto::{Scenario, ScenarioError};

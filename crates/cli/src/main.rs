@@ -5,9 +5,12 @@
 //! qosr validate <scenario.json>
 //! qosr plan <scenario.json> [--planner basic|tradeoff|random|dag] [--seed N]
 //! qosr dot <scenario.json>
+//! qosr trace <trace.jsonl>
+//! qosr report <trace.jsonl>
 //! ```
 
 use qosr_cli::commands::{dot, explain, plan_with_overrides, validate, PlannerChoice};
+use qosr_cli::report::{report, trace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -15,7 +18,9 @@ const USAGE: &str = "usage:
   qosr validate <scenario.json>
   qosr plan <scenario.json> [--planner basic|tradeoff|random|dag] [--seed N] [--avail name=value]...
   qosr explain <scenario.json> [--avail name=value]...
-  qosr dot <scenario.json>";
+  qosr dot <scenario.json>
+  qosr trace <trace.jsonl>
+  qosr report <trace.jsonl>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -90,6 +95,8 @@ fn main() -> ExitCode {
         "plan" => plan_with_overrides(&file, planner, seed, &overrides),
         "explain" => explain(&file, &overrides),
         "dot" => dot(&file),
+        "trace" => trace(&file),
+        "report" => report(&file),
         other => {
             eprintln!("unknown command {other:?}\n{USAGE}");
             return ExitCode::FAILURE;

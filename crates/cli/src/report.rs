@@ -1,0 +1,165 @@
+//! The `qosr trace` and `qosr report` subcommands: replay a JSONL trace
+//! recorded by [`qosr_obs::JsonlSink`] into human-readable output.
+//!
+//! `report` reduces the whole trace to the run-level [`TraceSummary`] —
+//! success rate, mean QoS level, bottleneck table — matching the
+//! simulator's `RunMetrics` for the same run. `trace` prints a
+//! per-session timeline so individual establishment attempts can be
+//! audited event by event.
+
+use crate::dto::ScenarioError;
+use qosr_obs::{read_jsonl, session_timelines, EventKind, TraceEvent, TraceSummary};
+use std::fmt::Write;
+use std::path::Path;
+
+fn load(path: &Path) -> Result<Vec<TraceEvent>, ScenarioError> {
+    read_jsonl(path).map_err(ScenarioError::Io)
+}
+
+/// `report`: reduce a JSONL trace to the run-level summary table.
+pub fn report(path: &Path) -> Result<String, ScenarioError> {
+    let events = load(path)?;
+    let summary = TraceSummary::from_events(&events);
+    Ok(summary.render())
+}
+
+/// `trace`: print one timeline per session, then the unscoped events
+/// (preamble and plan-phase records that precede a session id).
+pub fn trace(path: &Path) -> Result<String, ScenarioError> {
+    let events = load(path)?;
+    let summary = TraceSummary::from_events(&events);
+    let (by_session, unscoped) = session_timelines(&events);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} events, {} sessions",
+        events.len(),
+        by_session.len()
+    );
+    for (session, timeline) in &by_session {
+        let _ = writeln!(out, "session {session}");
+        for event in timeline {
+            let _ = writeln!(out, "  {}", render_event(event, &summary));
+        }
+    }
+    let lifecycle: Vec<&TraceEvent> = unscoped
+        .iter()
+        .filter(|e| e.kind != EventKind::ResourceName)
+        .collect();
+    if !lifecycle.is_empty() {
+        let _ = writeln!(out, "unscoped");
+        for event in lifecycle {
+            let _ = writeln!(out, "  {}", render_event(event, &summary));
+        }
+    }
+    Ok(out)
+}
+
+/// One timeline line: `t=<time> <kind> <relevant payload>`.
+fn render_event(event: &TraceEvent, summary: &TraceSummary) -> String {
+    let mut line = format!("t={:<10.3} {:<22}", event.time, format!("{:?}", event.kind));
+    if let Some(service) = &event.service {
+        let _ = write!(line, " service={service}");
+    }
+    if let Some(component) = event.component {
+        let _ = write!(
+            line,
+            " pair=({component},{},{})",
+            event.qin.unwrap_or(0),
+            event.qout.unwrap_or(0)
+        );
+    }
+    if let Some(feasible) = event.feasible {
+        let _ = write!(line, " feasible={feasible}");
+    }
+    if let Some(level) = event.level {
+        let _ = write!(line, " level={level}");
+    }
+    if let Some(psi) = event.psi {
+        let _ = write!(line, " psi={psi:.4}");
+    }
+    if let Some(resource) = event.resource {
+        let _ = write!(line, " resource={}", summary.resource_label(resource));
+    }
+    if let Some(alpha) = event.alpha {
+        let _ = write!(line, " alpha={alpha:.2}");
+    }
+    if let Some(detail) = &event.detail {
+        let _ = write!(line, " ({detail})");
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosr_obs::JsonlSink;
+    use qosr_obs::TraceSink;
+
+    fn sample_trace(dir: &Path) -> std::path::PathBuf {
+        let path = dir.join("sample-trace.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        for event in [
+            TraceEvent::new(0.0, EventKind::ResourceName)
+                .with_resource(0)
+                .with_name("h0.cpu"),
+            TraceEvent::new(1.0, EventKind::PlanStarted).with_service("clip"),
+            TraceEvent::new(1.0, EventKind::PlanCompleted)
+                .with_service("clip")
+                .with_level(2)
+                .with_psi(0.4)
+                .with_resource(0),
+            TraceEvent::new(1.0, EventKind::ReservationCommitted)
+                .with_session(1)
+                .with_service("clip")
+                .with_level(2)
+                .with_psi(0.4)
+                .with_resource(0),
+            TraceEvent::new(9.0, EventKind::SessionReleased)
+                .with_session(1)
+                .with_detail("released 80"),
+        ] {
+            sink.emit(&event);
+        }
+        sink.into_inner().unwrap();
+        path
+    }
+
+    #[test]
+    fn report_renders_summary_table() {
+        let dir = std::env::temp_dir().join("qosr-cli-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = sample_trace(&dir);
+        let out = report(&path).unwrap();
+        assert!(out.contains("establishment attempts : 1"));
+        assert!(out.contains("sessions committed     : 1"));
+        assert!(out.contains("success rate           : 1.0000"));
+        assert!(out.contains("mean QoS level         : 2.0000"));
+        assert!(out.contains("h0.cpu"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_renders_session_timeline() {
+        let dir = std::env::temp_dir().join("qosr-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = sample_trace(&dir);
+        let out = trace(&path).unwrap();
+        assert!(out.contains("5 events, 1 sessions"));
+        assert!(out.contains("session 1"));
+        assert!(out.contains("ReservationCommitted"));
+        assert!(out.contains("resource=h0.cpu"));
+        assert!(out.contains("(released 80)"));
+        // Plan-phase events precede the session id, so they are unscoped.
+        assert!(out.contains("unscoped"));
+        assert!(out.contains("PlanStarted"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = report(Path::new("/nonexistent/trace.jsonl")).unwrap_err();
+        assert!(matches!(err, ScenarioError::Io(_)));
+    }
+}

@@ -175,6 +175,30 @@ impl PlanCtx {
                 &self.demand_buf[self.demand_off[e] as usize..self.demand_off[e + 1] as usize];
             if !seg.iter().all(|&(rid, req)| req <= view.avail(rid)) {
                 self.weight[e] = f64::INFINITY;
+                // Diagnostic only: remember which resource overshoots the
+                // most (raw req/avail ratio, > 1 by construction) so
+                // rejections can name their blocking resource. Planners
+                // never read bottlenecks of infeasible candidates, so
+                // plans are unaffected.
+                let mut worst = 0.0f64;
+                let mut bottleneck = None;
+                for &(rid, req) in seg {
+                    let avail = view.avail(rid);
+                    let ratio = if avail > 0.0 {
+                        (req / avail).min(crate::PsiDef::CLAMP)
+                    } else {
+                        crate::PsiDef::CLAMP
+                    };
+                    if bottleneck.is_none() || ratio > worst {
+                        worst = ratio;
+                        bottleneck = Some(EdgeBottleneck {
+                            resource: rid,
+                            psi: ratio,
+                            alpha: view.alpha(rid),
+                        });
+                    }
+                }
+                self.bottleneck[e] = bottleneck;
                 continue;
             }
             let mut weight = 0.0f64;
@@ -239,6 +263,93 @@ impl PlanCtx {
         self.prepare(session, view, options);
         self.plan(planner, rng)
     }
+
+    /// Every translation candidate's evaluation under the last
+    /// [`PlanCtx::prepare`] snapshot, in construction order. Empty before
+    /// the first `prepare`. This is the observability read-out backing
+    /// `CandidateEvaluated` trace events.
+    pub fn candidates(&self) -> impl Iterator<Item = CandidateEval> + '_ {
+        let sk = self.skeleton.as_deref();
+        let n = sk.map_or(0, |sk| sk.n_candidates());
+        (0..n).filter_map(move |e| self.eval_of(sk?, e))
+    }
+
+    /// The evaluation of translation cell `(c, i, j)` under the last
+    /// snapshot, if that cell is populated.
+    pub fn candidate(&self, c: usize, i: usize, j: usize) -> Option<CandidateEval> {
+        let sk = self.skeleton.as_deref()?;
+        let e = sk.pair_candidate(c, i, j)?;
+        self.eval_of(sk, e as usize)
+    }
+
+    fn eval_of(&self, sk: &QrgSkeleton, e: usize) -> Option<CandidateEval> {
+        let (c, i, j) = sk.candidates[e].pair?;
+        let w = self.weight[e];
+        let b = self.bottleneck[e];
+        Some(CandidateEval {
+            component: c,
+            qin: i,
+            qout: j,
+            feasible: w.is_finite(),
+            psi: if w.is_finite() {
+                w
+            } else {
+                b.map_or(f64::INFINITY, |b| b.psi)
+            },
+            resource: b.map(|b| b.resource),
+            alpha: b.map(|b| b.alpha),
+        })
+    }
+
+    /// `(from_rank, to_rank)` when the last [`PlanCtx::plan`] run took an
+    /// α-tradeoff step down (§4.3.1), `None` otherwise.
+    pub fn last_downgrade(&self) -> Option<(u32, u32)> {
+        self.scratch.downgrade
+    }
+
+    /// The infeasible candidate closest to fitting under the last
+    /// snapshot: its most-overshooting resource and the `req/avail`
+    /// overshoot ratio (> 1). `None` when every candidate fits (or none
+    /// carries demand). This names the blocking resource when planning
+    /// fails outright.
+    pub fn nearest_miss(&self) -> Option<(ResourceId, f64)> {
+        let sk = self.skeleton.as_deref()?;
+        let mut best: Option<(ResourceId, f64)> = None;
+        for e in 0..sk.n_candidates() {
+            if self.weight[e].is_finite() {
+                continue;
+            }
+            if let Some(b) = self.bottleneck[e] {
+                if best.is_none_or(|(_, ratio)| b.psi < ratio) {
+                    best = Some((b.resource, b.psi));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// One translation candidate's evaluation under a prepared availability
+/// snapshot — the per-candidate read-out behind `CandidateEvaluated`
+/// trace events. See [`PlanCtx::candidates`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateEval {
+    /// Component index within the service.
+    pub component: u32,
+    /// Input QoS level index.
+    pub qin: u32,
+    /// Output QoS level index.
+    pub qout: u32,
+    /// Whether the candidate's demand fits current availability.
+    pub feasible: bool,
+    /// The candidate's weight ψ when feasible; the limiting `req/avail`
+    /// overshoot ratio (> 1) when not.
+    pub psi: f64,
+    /// The candidate's most stressed resource (absent for zero-demand
+    /// candidates).
+    pub resource: Option<ResourceId>,
+    /// The availability-change index α of that resource.
+    pub alpha: Option<f64>,
 }
 
 /// [`PlanView`] over a prepared [`PlanCtx`]: skeleton structure plus the

@@ -77,7 +77,7 @@ pub(crate) mod test_fixtures;
 mod view;
 
 pub use availability::AvailabilityView;
-pub use ctx::PlanCtx;
+pub use ctx::{CandidateEval, PlanCtx};
 pub use error::PlanError;
 pub use plan::{Bottleneck, PlanAssignment, ReservationPlan};
 pub use planner::{plan_basic, plan_dag, plan_random, plan_tradeoff, plan_with, Planner};

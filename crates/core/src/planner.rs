@@ -85,6 +85,7 @@ pub(crate) fn plan_minimax<V: PlanView>(
     view: &V,
     scratch: &mut PlanScratch,
 ) -> Result<ReservationPlan, PlanError> {
+    scratch.downgrade = None;
     relax_into(view, &mut scratch.dist, &mut scratch.pred);
     let target = best_reachable_sink(view, &scratch.dist).ok_or(PlanError::NoFeasiblePlan)?;
     backtrack_into(
@@ -115,6 +116,7 @@ pub(crate) fn plan_tradeoff_view<V: PlanView>(
     view: &V,
     scratch: &mut PlanScratch,
 ) -> Result<ReservationPlan, PlanError> {
+    scratch.downgrade = None;
     relax_into(view, &mut scratch.dist, &mut scratch.pred);
     let target = best_reachable_sink(view, &scratch.dist).ok_or(PlanError::NoFeasiblePlan)?;
     backtrack_into(
@@ -161,7 +163,13 @@ pub(crate) fn plan_tradeoff_view<V: PlanView>(
                 &mut scratch.bt,
                 &mut scratch.asg_alt,
             ) {
-                Ok(()) => return Ok(ReservationPlan::assemble(view, &scratch.asg_alt)),
+                Ok(()) => {
+                    if level != target {
+                        let ranking = view.service().sink_ranking();
+                        scratch.downgrade = Some((ranking[target], ranking[level]));
+                    }
+                    return Ok(ReservationPlan::assemble(view, &scratch.asg_alt));
+                }
                 Err(_) => continue,
             }
         }
@@ -185,6 +193,7 @@ pub(crate) fn plan_random_view<V: PlanView>(
     rng: &mut impl Rng,
 ) -> Result<ReservationPlan, PlanError> {
     ensure_chain(view)?;
+    scratch.downgrade = None;
     relax_into(view, &mut scratch.dist, &mut scratch.pred);
     let target = best_reachable_sink(view, &scratch.dist).ok_or(PlanError::NoFeasiblePlan)?;
     let target_node = view.sink_node(target);

@@ -97,8 +97,10 @@ impl QrgSkeleton {
     pub fn shared(service: &Arc<ServiceSpec>) -> Arc<QrgSkeleton> {
         let mut cache = cache().lock().expect("skeleton cache poisoned");
         if let Some(sk) = cache.get(&service.uid()).and_then(Weak::upgrade) {
+            qosr_obs::Counters::global().record_skeleton_hit();
             return sk;
         }
+        qosr_obs::Counters::global().record_skeleton_miss();
         let sk = Arc::new(QrgSkeleton::build(service.clone()));
         cache.retain(|_, w| w.strong_count() > 0);
         cache.insert(service.uid(), Arc::downgrade(&sk));

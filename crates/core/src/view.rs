@@ -190,4 +190,9 @@ pub(crate) struct PlanScratch {
     pub reach: Vec<bool>,
     /// Feasible outgoing-edge candidates of one node (random planner).
     pub candidates: Vec<u32>,
+    /// `(from_rank, to_rank)` when the last tradeoff run stepped down
+    /// from the best reachable level (§4.3.1); `None` otherwise. Cleared
+    /// by every planner, read back through
+    /// [`crate::PlanCtx::last_downgrade`].
+    pub downgrade: Option<(u32, u32)>,
 }

@@ -1,0 +1,254 @@
+//! Always-on monotonic counters and the ψ histogram.
+//!
+//! Unlike trace events, counters are *not* gated on a sink: they are
+//! relaxed atomic increments, cheap enough to leave on unconditionally.
+//! Each [`Coordinator`](../../qosr_broker/struct.Coordinator.html) owns
+//! its own [`Counters`]; one process-wide instance ([`Counters::global`])
+//! backs the places that have no natural owner, such as the
+//! `QrgSkeleton` memo's hit/miss accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use serde::Serialize;
+
+/// Upper edges of the [`PsiHistogram`] buckets below the overflow
+/// bucket. A committed bottleneck Ψ of `p` lands in the first bucket
+/// whose edge satisfies `p < edge`; `p >= 1.0` (a plan committed into
+/// contention, possible under the α-tradeoff policy) lands in the
+/// overflow bucket.
+pub const PSI_BUCKETS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// A fixed-bucket distribution of bottleneck contention indices ψ.
+#[derive(Debug, Default)]
+pub struct PsiHistogram {
+    buckets: [AtomicU64; PSI_BUCKETS.len() + 1],
+}
+
+impl PsiHistogram {
+    /// Records one ψ observation.
+    pub fn record(&self, psi: f64) {
+        let idx = PSI_BUCKETS
+            .iter()
+            .position(|&edge| psi < edge)
+            .unwrap_or(PSI_BUCKETS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-bucket counts: one entry per edge in [`PSI_BUCKETS`], plus a
+    /// final overflow bucket for `psi >= 1.0`.
+    pub fn counts(&self) -> [u64; PSI_BUCKETS.len() + 1] {
+        let mut out = [0u64; PSI_BUCKETS.len() + 1];
+        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Total observations across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts().iter().sum()
+    }
+}
+
+/// Monotonic event counters for one coordinator (or for the process,
+/// via [`Counters::global`]). All increments are relaxed atomics; reads
+/// are advisory snapshots, not synchronization points.
+#[derive(Debug, Default)]
+pub struct Counters {
+    plans_started: AtomicU64,
+    plans_completed: AtomicU64,
+    plans_rejected: AtomicU64,
+    reservations_committed: AtomicU64,
+    reservations_rejected: AtomicU64,
+    sessions_released: AtomicU64,
+    upgrades: AtomicU64,
+    tradeoff_downgrades: AtomicU64,
+    skeleton_hits: AtomicU64,
+    skeleton_misses: AtomicU64,
+    psi: PsiHistogram,
+}
+
+impl Counters {
+    /// A fresh, all-zero counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// The process-wide instance. Used by code with no owning
+    /// coordinator — notably the `QrgSkeleton` cache, which is itself a
+    /// process-wide memo. Because tests in one binary share this, assert
+    /// on *deltas* of its values, never absolutes.
+    pub fn global() -> &'static Counters {
+        static GLOBAL: OnceLock<Counters> = OnceLock::new();
+        GLOBAL.get_or_init(Counters::new)
+    }
+
+    /// A planning attempt began (establishment phase 2).
+    pub fn record_plan_started(&self) {
+        self.plans_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Planning produced a feasible end-to-end plan.
+    pub fn record_plan_completed(&self) {
+        self.plans_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Planning found no feasible plan.
+    pub fn record_plan_rejected(&self) {
+        self.plans_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A session's reservations were committed at every broker; records
+    /// the plan's bottleneck Ψ into the histogram.
+    pub fn record_commit(&self, psi: f64) {
+        self.reservations_committed.fetch_add(1, Ordering::Relaxed);
+        self.psi.record(psi);
+    }
+
+    /// A broker rejected dispatch and the plan was rolled back.
+    pub fn record_reservation_rejected(&self) {
+        self.reservations_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A session terminated and released its reservations.
+    pub fn record_release(&self) {
+        self.sessions_released.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A renegotiation swapped a session to a better plan.
+    pub fn record_upgrade(&self) {
+        self.upgrades.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The α-tradeoff policy stepped a plan down from the best reachable
+    /// level.
+    pub fn record_tradeoff_downgrade(&self) {
+        self.tradeoff_downgrades.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `QrgSkeleton` memo served a cached skeleton.
+    pub fn record_skeleton_hit(&self) {
+        self.skeleton_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `QrgSkeleton` memo had to build a skeleton from scratch.
+    pub fn record_skeleton_miss(&self) {
+        self.skeleton_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The committed-Ψ histogram.
+    pub fn psi_histogram(&self) -> &PsiHistogram {
+        &self.psi
+    }
+
+    /// A point-in-time, serializable copy of every counter.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            plans_started: self.plans_started.load(Ordering::Relaxed),
+            plans_completed: self.plans_completed.load(Ordering::Relaxed),
+            plans_rejected: self.plans_rejected.load(Ordering::Relaxed),
+            reservations_committed: self.reservations_committed.load(Ordering::Relaxed),
+            reservations_rejected: self.reservations_rejected.load(Ordering::Relaxed),
+            sessions_released: self.sessions_released.load(Ordering::Relaxed),
+            upgrades: self.upgrades.load(Ordering::Relaxed),
+            tradeoff_downgrades: self.tradeoff_downgrades.load(Ordering::Relaxed),
+            skeleton_hits: self.skeleton_hits.load(Ordering::Relaxed),
+            skeleton_misses: self.skeleton_misses.load(Ordering::Relaxed),
+            psi_buckets: self.psi.counts().to_vec(),
+        }
+    }
+}
+
+/// A serializable point-in-time copy of a [`Counters`] instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CountersSnapshot {
+    /// Planning attempts begun.
+    pub plans_started: u64,
+    /// Planning attempts that produced a plan.
+    pub plans_completed: u64,
+    /// Planning attempts that found no feasible plan.
+    pub plans_rejected: u64,
+    /// Sessions committed at every broker.
+    pub reservations_committed: u64,
+    /// Dispatches rejected by a broker and rolled back.
+    pub reservations_rejected: u64,
+    /// Sessions terminated and released.
+    pub sessions_released: u64,
+    /// Renegotiations that swapped to a better plan.
+    pub upgrades: u64,
+    /// α-tradeoff downgrades taken during planning.
+    pub tradeoff_downgrades: u64,
+    /// `QrgSkeleton` memo hits.
+    pub skeleton_hits: u64,
+    /// `QrgSkeleton` memo misses (fresh builds).
+    pub skeleton_misses: u64,
+    /// Committed-Ψ histogram counts ([`PSI_BUCKETS`] edges + overflow).
+    pub psi_buckets: Vec<u64>,
+}
+
+impl CountersSnapshot {
+    /// Fraction of skeleton lookups served from the memo, or `None`
+    /// before any lookup happened.
+    pub fn skeleton_hit_rate(&self) -> Option<f64> {
+        let total = self.skeleton_hits + self.skeleton_misses;
+        (total > 0).then(|| self.skeleton_hits as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_edge() {
+        let h = PsiHistogram::default();
+        h.record(0.05); // bucket 0: < 0.1
+        h.record(0.1); // bucket 1: [0.1, 0.2)
+        h.record(0.95); // bucket 9: [0.9, 1.0)
+        h.record(1.0); // overflow
+        h.record(7.5); // overflow
+        let counts = h.counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[9], 1);
+        assert_eq!(counts[10], 2);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn snapshot_reflects_records() {
+        let c = Counters::new();
+        c.record_plan_started();
+        c.record_plan_started();
+        c.record_plan_completed();
+        c.record_plan_rejected();
+        c.record_commit(0.4);
+        c.record_release();
+        c.record_upgrade();
+        c.record_tradeoff_downgrade();
+        c.record_skeleton_hit();
+        c.record_skeleton_hit();
+        c.record_skeleton_miss();
+        let snap = c.snapshot();
+        assert_eq!(snap.plans_started, 2);
+        assert_eq!(snap.plans_completed, 1);
+        assert_eq!(snap.plans_rejected, 1);
+        assert_eq!(snap.reservations_committed, 1);
+        assert_eq!(snap.sessions_released, 1);
+        assert_eq!(snap.upgrades, 1);
+        assert_eq!(snap.tradeoff_downgrades, 1);
+        assert_eq!(snap.skeleton_hits, 2);
+        assert_eq!(snap.skeleton_misses, 1);
+        assert_eq!(snap.psi_buckets[4], 1); // 0.4 falls in [0.4, 0.5)
+        assert_eq!(snap.skeleton_hit_rate(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn global_is_shared_and_monotonic() {
+        let before = Counters::global().snapshot().skeleton_hits;
+        Counters::global().record_skeleton_hit();
+        let after = Counters::global().snapshot().skeleton_hits;
+        assert!(after > before);
+    }
+}

@@ -1,0 +1,255 @@
+//! The trace-event record.
+//!
+//! One [`TraceEvent`] is one timestamped fact about one session's
+//! lifecycle. The record is a *flat* struct — a unit-enum [`EventKind`]
+//! plus optional payload fields — rather than a data-carrying enum, so
+//! that every event serializes to one self-describing JSON object and
+//! any language can consume the JSONL stream with no schema negotiation.
+//! Fields that do not apply to a kind are simply `null`.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened. See each variant for which [`TraceEvent`] payload
+/// fields it populates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Preamble: binds [`TraceEvent::resource`] to a human-readable
+    /// [`TraceEvent::name`]. Emitted once per resource at trace start by
+    /// whoever owns the resource space (e.g. the simulator).
+    ResourceName,
+    /// Phase 2 of the establishment protocol began for a new session
+    /// attempt. Payload: `service`.
+    PlanStarted,
+    /// The planner scored one candidate `(Q^in, Q^out)` translation pair.
+    /// Payload: `component`, `qin`, `qout`, `feasible`, `psi` (the
+    /// contention index ψ when feasible; the limiting `req/avail`
+    /// overshoot ratio when not), `resource`/`alpha` (the pair's most
+    /// stressed resource).
+    CandidateEvaluated,
+    /// Planning produced an end-to-end plan. Payload: `service`, `level`
+    /// (the achieved rank), `psi` (bottleneck Ψ), `resource`/`alpha`
+    /// (the bottleneck resource).
+    PlanCompleted,
+    /// Planning failed — no feasible end-to-end plan. Payload: `service`,
+    /// `detail` (the error), and when identifiable `resource`/`psi` (the
+    /// nearest-miss blocking resource and its overshoot ratio).
+    PlanRejected,
+    /// One hop (component) of the committed plan, with its per-hop ψ.
+    /// Payload: `component`, `qin`, `qout`, `psi`, `resource`.
+    HopSelected,
+    /// The α-tradeoff policy (§4.3.1) stepped the session down from the
+    /// best reachable level. Payload: `level` (the rank settled for),
+    /// `detail` (the rank given up).
+    TradeoffDowngrade,
+    /// Phase 3 dispatched and every broker accepted: the session is
+    /// established. Payload: `session`, `service`, `level`, `psi`,
+    /// `resource`/`alpha` (plan bottleneck).
+    ReservationCommitted,
+    /// A broker rejected its segment during dispatch; the whole plan was
+    /// rolled back. Payload: `session`, `resource` (the rejecting
+    /// broker), `detail`.
+    ReservationRejected,
+    /// A live session renegotiated to a strictly better plan. Payload:
+    /// `session`, `level` (new rank), `psi`.
+    SessionUpgraded,
+    /// A session terminated and released all its reservations. Payload:
+    /// `session`, `detail` (total amount released).
+    SessionReleased,
+    /// An advance-booking window could not be reserved atomically and
+    /// was rolled back. Payload: `session`, `resource`, `detail`.
+    AdvanceConflict,
+}
+
+/// One timestamped trace record. Construct with [`TraceEvent::new`] and
+/// the builder-style `with_*` methods:
+///
+/// ```
+/// use qosr_obs::{EventKind, TraceEvent};
+/// let ev = TraceEvent::new(12.5, EventKind::ReservationCommitted)
+///     .with_session(7)
+///     .with_level(3)
+///     .with_psi(0.42)
+///     .with_resource(2);
+/// assert_eq!(ev.kind, EventKind::ReservationCommitted);
+/// assert_eq!(ev.session, Some(7));
+/// let line = serde_json::to_string(&ev).unwrap();
+/// let back: TraceEvent = serde_json::from_str(&line).unwrap();
+/// assert_eq!(back, ev);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event timestamp in simulated time units (TU). Instrumented code
+    /// forwards its `SimTime`, so replayed timelines are in sim-time.
+    pub time: f64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The session id at the brokers, once one exists.
+    #[serde(default)]
+    pub session: Option<u64>,
+    /// The service spec's name.
+    #[serde(default)]
+    pub service: Option<String>,
+    /// Component index within the service.
+    #[serde(default)]
+    pub component: Option<u32>,
+    /// Input QoS level index of a candidate/hop.
+    #[serde(default)]
+    pub qin: Option<u32>,
+    /// Output QoS level index of a candidate/hop.
+    #[serde(default)]
+    pub qout: Option<u32>,
+    /// Whether the candidate pair fits current availability.
+    #[serde(default)]
+    pub feasible: Option<bool>,
+    /// An end-to-end QoS rank (1-based; higher is better).
+    #[serde(default)]
+    pub level: Option<u32>,
+    /// A contention index ψ (or, for infeasible candidates, the limiting
+    /// `req/avail` overshoot ratio, which is then > 1).
+    #[serde(default)]
+    pub psi: Option<f64>,
+    /// The availability-change index α of the event's resource.
+    #[serde(default)]
+    pub alpha: Option<f64>,
+    /// A resource id (`ResourceId.0`, widened). Resolve to a name via
+    /// [`EventKind::ResourceName`] preamble events.
+    #[serde(default)]
+    pub resource: Option<u64>,
+    /// A human-readable resource name ([`EventKind::ResourceName`]).
+    #[serde(default)]
+    pub name: Option<String>,
+    /// Free-form context (error text, amounts, ranks given up).
+    #[serde(default)]
+    pub detail: Option<String>,
+}
+
+impl TraceEvent {
+    /// A bare event of `kind` at `time`, all payload fields empty.
+    pub fn new(time: f64, kind: EventKind) -> Self {
+        TraceEvent {
+            time,
+            kind,
+            session: None,
+            service: None,
+            component: None,
+            qin: None,
+            qout: None,
+            feasible: None,
+            level: None,
+            psi: None,
+            alpha: None,
+            resource: None,
+            name: None,
+            detail: None,
+        }
+    }
+
+    /// Sets the session id.
+    pub fn with_session(mut self, session: u64) -> Self {
+        self.session = Some(session);
+        self
+    }
+
+    /// Sets the service name.
+    pub fn with_service(mut self, service: impl Into<String>) -> Self {
+        self.service = Some(service.into());
+        self
+    }
+
+    /// Sets the `(component, qin, qout)` triple of a candidate or hop.
+    pub fn with_pair(mut self, component: u32, qin: u32, qout: u32) -> Self {
+        self.component = Some(component);
+        self.qin = Some(qin);
+        self.qout = Some(qout);
+        self
+    }
+
+    /// Sets the feasibility flag.
+    pub fn with_feasible(mut self, feasible: bool) -> Self {
+        self.feasible = Some(feasible);
+        self
+    }
+
+    /// Sets the QoS rank.
+    pub fn with_level(mut self, level: u32) -> Self {
+        self.level = Some(level);
+        self
+    }
+
+    /// Sets the contention index ψ.
+    pub fn with_psi(mut self, psi: f64) -> Self {
+        self.psi = Some(psi);
+        self
+    }
+
+    /// Sets the availability-change index α.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Sets the resource id.
+    pub fn with_resource(mut self, resource: u64) -> Self {
+        self.resource = Some(resource);
+        self
+    }
+
+    /// Sets the resource name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Sets the free-form detail text.
+    pub fn with_detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = Some(detail.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_payload_fields() {
+        let ev = TraceEvent::new(1.0, EventKind::CandidateEvaluated)
+            .with_pair(2, 0, 1)
+            .with_feasible(false)
+            .with_psi(1.5)
+            .with_resource(9)
+            .with_alpha(0.8)
+            .with_detail("x");
+        assert_eq!(ev.component, Some(2));
+        assert_eq!(ev.qin, Some(0));
+        assert_eq!(ev.qout, Some(1));
+        assert_eq!(ev.feasible, Some(false));
+        assert_eq!(ev.psi, Some(1.5));
+        assert_eq!(ev.resource, Some(9));
+        assert_eq!(ev.alpha, Some(0.8));
+        assert_eq!(ev.detail.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_every_field() {
+        let ev = TraceEvent::new(3.25, EventKind::PlanCompleted)
+            .with_service("svc")
+            .with_level(3)
+            .with_psi(0.24)
+            .with_resource(4)
+            .with_alpha(1.0);
+        let json = serde_json::to_string(&ev).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn missing_optional_fields_deserialize_as_none() {
+        let json = r#"{"time": 1.0, "kind": "SessionReleased", "session": 4}"#;
+        let ev: TraceEvent = serde_json::from_str(json).unwrap();
+        assert_eq!(ev.kind, EventKind::SessionReleased);
+        assert_eq!(ev.session, Some(4));
+        assert_eq!(ev.psi, None);
+        assert_eq!(ev.service, None);
+    }
+}

@@ -1,0 +1,48 @@
+//! # qosr-obs — observability for the reservation runtime
+//!
+//! The paper's whole evaluation (§5) is about *explaining* reservation
+//! outcomes — success rate, end-to-end QoS level, the bottleneck
+//! contention index ψ — yet a bare run only surfaces final aggregates.
+//! This crate adds the missing middle layer: a structured, session-scoped
+//! **event log** of everything the planner and the brokers decide, plus
+//! process-wide **counters and histograms**, behind an API that costs
+//! nothing when disabled.
+//!
+//! The pieces:
+//!
+//! * [`TraceEvent`] / [`EventKind`] — one flat, serializable record per
+//!   lifecycle step: plan started/completed/rejected, every candidate
+//!   `(Q^in, Q^out)` pair evaluated with its ψ, the selected per-hop ψ,
+//!   reservations committed/rejected/released, α-tradeoff downgrades,
+//!   QoS upgrades, and advance-booking conflicts.
+//! * [`TraceSink`] — where events go. [`NullSink`] (the default
+//!   everywhere) reports `enabled() == false` so instrumented code skips
+//!   event construction entirely; [`JsonlSink`] streams events as JSON
+//!   Lines to a file; [`MemorySink`] buffers them for tests.
+//! * [`Counters`] / [`PsiHistogram`] — always-on monotonic counters
+//!   (plans, reservations, skeleton-cache hits vs misses, downgrades)
+//!   and a fixed-bucket distribution of committed bottleneck ψ values.
+//! * [`replay`] — load a JSONL trace back and reduce it to a
+//!   [`TraceSummary`] whose success rate and mean QoS level reproduce
+//!   the run's `RunMetrics` exactly, or to per-session timelines. The
+//!   `qosr trace` / `qosr report` CLI subcommands are thin wrappers over
+//!   this module.
+//!
+//! The crate deliberately depends on nothing but the serialization
+//! stand-ins: resource ids travel as raw `u64`s (see
+//! [`TraceEvent::resource`]) and are given names by
+//! [`EventKind::ResourceName`] preamble events, so any layer — core,
+//! broker, sim — can emit without new dependency edges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod event;
+pub mod replay;
+mod sink;
+
+pub use counters::{Counters, CountersSnapshot, PsiHistogram, PSI_BUCKETS};
+pub use event::{EventKind, TraceEvent};
+pub use replay::{read_jsonl, session_timelines, TraceSummary};
+pub use sink::{JsonlSink, MemorySink, NullSink, TraceSink};

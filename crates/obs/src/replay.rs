@@ -1,0 +1,292 @@
+//! Replaying a recorded trace: JSONL loading, per-session timelines,
+//! and the run-level [`TraceSummary`].
+//!
+//! The summary is designed to agree *exactly* with the simulator's
+//! `RunMetrics` for the same run: the coordinator emits exactly one
+//! [`EventKind::PlanStarted`] per establishment attempt and one
+//! [`EventKind::ReservationCommitted`] per success, carrying the
+//! committed QoS rank — so [`TraceSummary::success_rate`] and
+//! [`TraceSummary::mean_qos_level`] reproduce the paper's figure-8/9
+//! metrics from the event log alone. The `qosr report` CLI subcommand
+//! is a thin formatter over this module.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+use crate::counters::{PsiHistogram, PSI_BUCKETS};
+use crate::event::{EventKind, TraceEvent};
+
+/// Reads a JSON Lines trace file, skipping blank lines. A malformed
+/// line aborts with [`io::ErrorKind::InvalidData`] naming the line
+/// number.
+pub fn read_jsonl(path: impl AsRef<Path>) -> io::Result<Vec<TraceEvent>> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut events = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: TraceEvent = serde_json::from_str(&line).map_err(|err| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {}", idx + 1, err),
+            )
+        })?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Groups events by session id, preserving event order within each
+/// session. Events without a session id (preamble, plan-phase events
+/// before an id is assigned) are returned separately as the second
+/// element.
+pub fn session_timelines(
+    events: &[TraceEvent],
+) -> (BTreeMap<u64, Vec<TraceEvent>>, Vec<TraceEvent>) {
+    let mut by_session: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+    let mut unscoped = Vec::new();
+    for event in events {
+        match event.session {
+            Some(id) => by_session.entry(id).or_default().push(event.clone()),
+            None => unscoped.push(event.clone()),
+        }
+    }
+    (by_session, unscoped)
+}
+
+/// Run-level aggregates reduced from a trace, mirroring `RunMetrics`.
+#[derive(Debug, Default)]
+pub struct TraceSummary {
+    /// Establishment attempts ([`EventKind::PlanStarted`]).
+    pub plans_started: u64,
+    /// Attempts whose planning phase produced a plan.
+    pub plans_completed: u64,
+    /// Attempts rejected during planning.
+    pub plans_rejected: u64,
+    /// Sessions committed at every broker.
+    pub committed: u64,
+    /// Plans that a broker rejected during dispatch.
+    pub rejected_at_dispatch: u64,
+    /// Sessions released.
+    pub released: u64,
+    /// Renegotiation upgrades.
+    pub upgrades: u64,
+    /// α-tradeoff downgrades taken.
+    pub downgrades: u64,
+    /// Advance-booking conflicts.
+    pub advance_conflicts: u64,
+    /// Sum of committed QoS ranks (for [`TraceSummary::mean_qos_level`]).
+    pub qos_level_sum: u64,
+    /// Commits per bottleneck resource, keyed by resolved name.
+    pub bottlenecks: BTreeMap<String, u64>,
+    /// Histogram of committed bottleneck Ψ values.
+    pub psi_hist: PsiHistogram,
+    /// Resource id → name bindings from the trace preamble.
+    pub names: BTreeMap<u64, String>,
+}
+
+impl TraceSummary {
+    /// Reduces an event stream to run-level aggregates.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut summary = TraceSummary::default();
+        // Names first, so bottleneck keys resolve even if a commit
+        // precedes a late ResourceName event in a hand-edited trace.
+        for event in events {
+            if event.kind == EventKind::ResourceName {
+                if let (Some(id), Some(name)) = (event.resource, event.name.as_ref()) {
+                    summary.names.insert(id, name.clone());
+                }
+            }
+        }
+        for event in events {
+            match event.kind {
+                EventKind::ResourceName => {}
+                EventKind::PlanStarted => summary.plans_started += 1,
+                EventKind::PlanCompleted => summary.plans_completed += 1,
+                EventKind::PlanRejected => summary.plans_rejected += 1,
+                EventKind::CandidateEvaluated | EventKind::HopSelected => {}
+                EventKind::TradeoffDowngrade => summary.downgrades += 1,
+                EventKind::ReservationCommitted => {
+                    summary.committed += 1;
+                    summary.qos_level_sum += u64::from(event.level.unwrap_or(0));
+                    if let Some(psi) = event.psi {
+                        summary.psi_hist.record(psi);
+                    }
+                    if let Some(resource) = event.resource {
+                        let key = summary.resource_label(resource);
+                        *summary.bottlenecks.entry(key).or_insert(0) += 1;
+                    }
+                }
+                EventKind::ReservationRejected => summary.rejected_at_dispatch += 1,
+                EventKind::SessionUpgraded => summary.upgrades += 1,
+                EventKind::SessionReleased => summary.released += 1,
+                EventKind::AdvanceConflict => summary.advance_conflicts += 1,
+            }
+        }
+        summary
+    }
+
+    /// The resolved display name for a resource id, falling back to the
+    /// `r{id}` form used by `ResourceId`'s own `Display`.
+    pub fn resource_label(&self, resource: u64) -> String {
+        self.names
+            .get(&resource)
+            .cloned()
+            .unwrap_or_else(|| format!("r{resource}"))
+    }
+
+    /// Committed sessions over establishment attempts — the paper's
+    /// success rate (figure 8). `None` before any attempt.
+    pub fn success_rate(&self) -> Option<f64> {
+        (self.plans_started > 0).then(|| self.committed as f64 / self.plans_started as f64)
+    }
+
+    /// Mean committed end-to-end QoS rank — the paper's average QoS
+    /// level (figure 9). `None` before any commit.
+    pub fn mean_qos_level(&self) -> Option<f64> {
+        (self.committed > 0).then(|| self.qos_level_sum as f64 / self.committed as f64)
+    }
+
+    /// Renders the summary as the table printed by `qosr report`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "trace summary");
+        let _ = writeln!(out, "  establishment attempts : {}", self.plans_started);
+        let _ = writeln!(
+            out,
+            "  plans completed        : {} ({} rejected in planning)",
+            self.plans_completed, self.plans_rejected
+        );
+        let _ = writeln!(
+            out,
+            "  sessions committed     : {} ({} rejected at dispatch)",
+            self.committed, self.rejected_at_dispatch
+        );
+        let _ = writeln!(out, "  sessions released      : {}", self.released);
+        let _ = writeln!(out, "  upgrades               : {}", self.upgrades);
+        let _ = writeln!(out, "  tradeoff downgrades    : {}", self.downgrades);
+        if self.advance_conflicts > 0 {
+            let _ = writeln!(out, "  advance conflicts      : {}", self.advance_conflicts);
+        }
+        match self.success_rate() {
+            Some(rate) => {
+                let _ = writeln!(out, "  success rate           : {:.4}", rate);
+            }
+            None => {
+                let _ = writeln!(out, "  success rate           : n/a");
+            }
+        }
+        match self.mean_qos_level() {
+            Some(level) => {
+                let _ = writeln!(out, "  mean QoS level         : {:.4}", level);
+            }
+            None => {
+                let _ = writeln!(out, "  mean QoS level         : n/a");
+            }
+        }
+        if !self.bottlenecks.is_empty() {
+            let _ = writeln!(out, "  bottleneck resources   :");
+            for (name, count) in &self.bottlenecks {
+                let _ = writeln!(out, "    {name:<24} {count}");
+            }
+        }
+        let counts = self.psi_hist.counts();
+        if counts.iter().any(|&c| c > 0) {
+            let _ = writeln!(out, "  committed Ψ histogram  :");
+            let mut lower = 0.0;
+            for (i, &count) in counts.iter().enumerate() {
+                if i < PSI_BUCKETS.len() {
+                    let upper = PSI_BUCKETS[i];
+                    if count > 0 {
+                        let _ = writeln!(out, "    [{lower:.1}, {upper:.1})              {count}");
+                    }
+                    lower = upper;
+                } else if count > 0 {
+                    let _ = writeln!(out, "    [1.0, ∞)                {count}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commit(time: f64, session: u64, level: u32, psi: f64, resource: u64) -> TraceEvent {
+        TraceEvent::new(time, EventKind::ReservationCommitted)
+            .with_session(session)
+            .with_level(level)
+            .with_psi(psi)
+            .with_resource(resource)
+    }
+
+    #[test]
+    fn summary_reduces_lifecycle_counts() {
+        let events = vec![
+            TraceEvent::new(0.0, EventKind::ResourceName)
+                .with_resource(3)
+                .with_name("h0.cpu"),
+            TraceEvent::new(1.0, EventKind::PlanStarted).with_service("clip"),
+            TraceEvent::new(1.0, EventKind::PlanCompleted)
+                .with_service("clip")
+                .with_level(2),
+            commit(1.0, 1, 2, 0.35, 3),
+            TraceEvent::new(2.0, EventKind::PlanStarted).with_service("clip"),
+            TraceEvent::new(2.0, EventKind::PlanRejected).with_service("clip"),
+            TraceEvent::new(3.0, EventKind::SessionReleased).with_session(1),
+        ];
+        let summary = TraceSummary::from_events(&events);
+        assert_eq!(summary.plans_started, 2);
+        assert_eq!(summary.plans_completed, 1);
+        assert_eq!(summary.plans_rejected, 1);
+        assert_eq!(summary.committed, 1);
+        assert_eq!(summary.released, 1);
+        assert_eq!(summary.success_rate(), Some(0.5));
+        assert_eq!(summary.mean_qos_level(), Some(2.0));
+        assert_eq!(summary.bottlenecks.get("h0.cpu"), Some(&1));
+        assert_eq!(summary.psi_hist.counts()[3], 1); // 0.35 ∈ [0.3, 0.4)
+    }
+
+    #[test]
+    fn unresolved_resources_fall_back_to_display_form() {
+        let events = vec![
+            TraceEvent::new(0.0, EventKind::PlanStarted),
+            commit(0.0, 1, 1, 0.1, 42),
+        ];
+        let summary = TraceSummary::from_events(&events);
+        assert_eq!(summary.bottlenecks.get("r42"), Some(&1));
+    }
+
+    #[test]
+    fn timelines_group_by_session() {
+        let events = vec![
+            TraceEvent::new(0.0, EventKind::ResourceName)
+                .with_resource(0)
+                .with_name("x"),
+            commit(1.0, 1, 1, 0.2, 0),
+            commit(2.0, 2, 2, 0.3, 0),
+            TraceEvent::new(3.0, EventKind::SessionReleased).with_session(1),
+        ];
+        let (by_session, unscoped) = session_timelines(&events);
+        assert_eq!(by_session.len(), 2);
+        assert_eq!(by_session[&1].len(), 2);
+        assert_eq!(by_session[&2].len(), 1);
+        assert_eq!(unscoped.len(), 1);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_rates() {
+        let summary = TraceSummary::from_events(&[]);
+        assert_eq!(summary.success_rate(), None);
+        assert_eq!(summary.mean_qos_level(), None);
+        assert!(summary.render().contains("n/a"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Trace sinks: where [`TraceEvent`]s go.
+//!
+//! The contract that keeps tracing free when unused: instrumented code
+//! must check [`TraceSink::enabled`] *before* constructing events, and
+//! [`NullSink`] answers `false`. With the default sink, the entire
+//! instrumentation path is a branch on a constant the optimizer removes.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+
+/// A destination for trace events.
+///
+/// Implementations must be cheap to call and thread-safe: the
+/// coordinator emits from whatever thread runs the protocol, and the
+/// simulator shares one sink across the whole run.
+///
+/// Instrumented code follows this pattern so that a disabled sink costs
+/// one branch and zero allocations:
+///
+/// ```
+/// use qosr_obs::{EventKind, MemorySink, NullSink, TraceEvent, TraceSink};
+///
+/// fn hot_path(sink: &dyn TraceSink) {
+///     // ... real work ...
+///     if sink.enabled() {
+///         // Event construction (and any String formatting) happens
+///         // only behind the check.
+///         sink.emit(&TraceEvent::new(0.0, EventKind::PlanStarted).with_service("clip"));
+///     }
+/// }
+///
+/// let null = NullSink;
+/// hot_path(&null); // no-op
+///
+/// let mem = MemorySink::new();
+/// hot_path(&mem);
+/// assert_eq!(mem.events().len(), 1);
+/// ```
+pub trait TraceSink: Send + Sync {
+    /// Whether this sink wants events at all. Callers must gate event
+    /// construction on this; the default is `true`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event. Must not panic on I/O trouble — sinks that
+    /// write report failures through [`TraceSink::flush`] instead.
+    fn emit(&self, event: &TraceEvent);
+
+    /// Forces buffered events out, returning the first I/O error seen.
+    /// The default is a no-op for sinks with nothing to flush.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The do-nothing sink: [`enabled`](TraceSink::enabled) is `false`, so
+/// correctly gated call sites never even build an event.
+///
+/// ```
+/// use qosr_obs::{NullSink, TraceSink};
+/// assert!(!NullSink.enabled());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&self, _event: &TraceEvent) {}
+}
+
+/// A sink that streams each event as one JSON object per line (JSON
+/// Lines) to any writer — typically a file created with
+/// [`JsonlSink::create`]. The stream is append-only and flushable, so a
+/// trace survives even if the process stops mid-run.
+///
+/// ```
+/// use qosr_obs::{EventKind, JsonlSink, TraceEvent, TraceSink};
+///
+/// let mut buf = Vec::new();
+/// {
+///     let sink = JsonlSink::new(&mut buf);
+///     sink.emit(&TraceEvent::new(1.0, EventKind::PlanStarted).with_service("clip"));
+///     sink.emit(&TraceEvent::new(2.0, EventKind::PlanRejected).with_service("clip"));
+///     sink.flush().unwrap();
+/// }
+/// let text = String::from_utf8(buf).unwrap();
+/// assert_eq!(text.lines().count(), 2);
+/// assert!(text.lines().next().unwrap().contains("PlanStarted"));
+/// ```
+pub struct JsonlSink<W: Write + Send = BufWriter<File>> {
+    writer: Mutex<JsonlState<W>>,
+}
+
+struct JsonlState<W> {
+    writer: W,
+    /// First write/serialize error, surfaced by `flush()`.
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) `path` and returns a sink writing to it
+    /// through a buffer. Call [`TraceSink::flush`] before reading the
+    /// file back.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink::new(BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer. Useful for tests (`Vec<u8>`) or for
+    /// writing to stderr/sockets.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(JsonlState {
+                writer,
+                error: None,
+            }),
+        }
+    }
+
+    /// Consumes the sink and returns the inner writer, flushed.
+    pub fn into_inner(self) -> io::Result<W> {
+        let state = self
+            .writer
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner());
+        if let Some(err) = state.error {
+            return Err(err);
+        }
+        let mut writer = state.writer;
+        writer.flush()?;
+        Ok(writer)
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn emit(&self, event: &TraceEvent) {
+        let mut state = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        if state.error.is_some() {
+            return;
+        }
+        let line = match serde_json::to_string(event) {
+            Ok(line) => line,
+            Err(err) => {
+                state.error = Some(io::Error::new(io::ErrorKind::InvalidData, err.to_string()));
+                return;
+            }
+        };
+        if let Err(err) = writeln!(state.writer, "{line}") {
+            state.error = Some(err);
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        let mut state = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(err) = state.error.take() {
+            return Err(err);
+        }
+        state.writer.flush()
+    }
+}
+
+/// A sink that buffers events in memory, for tests and in-process
+/// analysis.
+///
+/// ```
+/// use qosr_obs::{EventKind, MemorySink, TraceEvent, TraceSink};
+/// let sink = MemorySink::new();
+/// sink.emit(&TraceEvent::new(0.5, EventKind::SessionReleased).with_session(3));
+/// let events = sink.take();
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events[0].session, Some(3));
+/// assert!(sink.events().is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of everything emitted so far, in order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Drains and returns the buffer.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+        NullSink.emit(&TraceEvent::new(0.0, EventKind::PlanStarted));
+        assert!(NullSink.flush().is_ok());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(&TraceEvent::new(1.0, EventKind::PlanStarted).with_service("a"));
+        sink.emit(
+            &TraceEvent::new(2.0, EventKind::ReservationCommitted)
+                .with_session(1)
+                .with_level(2),
+        );
+        let buf = sink.into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: TraceEvent = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.kind, EventKind::PlanStarted);
+        let second: TraceEvent = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(second.level, Some(2));
+    }
+
+    #[test]
+    fn memory_sink_preserves_order() {
+        let sink = MemorySink::new();
+        for i in 0..4 {
+            sink.emit(&TraceEvent::new(i as f64, EventKind::HopSelected).with_pair(i, 0, 0));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 4);
+        assert!(events.windows(2).all(|w| w[0].time < w[1].time));
+    }
+}

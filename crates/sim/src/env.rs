@@ -97,6 +97,28 @@ impl PaperEnvironment {
         broker_config: LocalBrokerConfig,
         variant: TopologyVariant,
     ) -> Self {
+        Self::build_with_topology_traced(
+            rng,
+            service_options,
+            capacity_range,
+            broker_config,
+            variant,
+            Arc::new(qosr_obs::NullSink),
+        )
+    }
+
+    /// [`PaperEnvironment::build_with_topology`] with the coordinator
+    /// emitting session-lifecycle trace events to `sink` (see the
+    /// `qosr-obs` crate). Capacity draws consume `rng` identically to the
+    /// untraced build, so a traced run reproduces the same environment.
+    pub fn build_with_topology_traced(
+        rng: &mut impl Rng,
+        service_options: &ServiceOptions,
+        capacity_range: (f64, f64),
+        broker_config: LocalBrokerConfig,
+        variant: TopologyVariant,
+        sink: Arc<dyn qosr_obs::TraceSink>,
+    ) -> Self {
         assert!(
             capacity_range.0 > 0.0 && capacity_range.1 >= capacity_range.0,
             "bad capacity range {capacity_range:?}"
@@ -188,7 +210,7 @@ impl PaperEnvironment {
             }
             proxies.push(Arc::new(QosProxy::new(format!("H{}", h + 1), reg)));
         }
-        let coordinator = Coordinator::new(proxies);
+        let coordinator = Coordinator::with_trace(proxies, sink);
 
         let services = (0..N_SERVICES)
             .map(|i| Arc::new(build_service(i, service_options).expect("paper tables are valid")))

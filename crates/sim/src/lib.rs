@@ -37,6 +37,8 @@ mod workload;
 pub use engine::{Event, EventQueue};
 pub use env::{PaperEnvironment, TopologyVariant};
 pub use metrics::{ClassStats, PathHistogram, RunMetrics, RunResult, TimeSample};
-pub use scenario::{run_scenario, PlannerKind, PsiKind, ScenarioConfig, TopologyKind};
+pub use scenario::{
+    run_scenario, run_scenario_traced, PlannerKind, PsiKind, ScenarioConfig, TopologyKind,
+};
 pub use sweep::run_many;
 pub use workload::{SessionClass, SessionRequest, WorkloadGenerator};

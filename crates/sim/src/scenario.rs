@@ -162,6 +162,19 @@ pub const DEFAULT_REQUIREMENT_SCALE: f64 = 0.5;
 
 /// Executes one simulation run.
 pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
+    run_scenario_traced(config, std::sync::Arc::new(qosr_obs::NullSink))
+}
+
+/// Executes one simulation run with the coordinator streaming
+/// session-lifecycle [`qosr_obs::TraceEvent`]s (timestamped in sim-time)
+/// to `sink`. The trace opens with one `ResourceName` event per resource
+/// so replays can name bottlenecks; metrics are identical to
+/// [`run_scenario`] under the same config — the trace's reduction via
+/// `qosr_obs::TraceSummary` reproduces this run's [`RunMetrics`] exactly.
+pub fn run_scenario_traced(
+    config: &ScenarioConfig,
+    sink: std::sync::Arc<dyn qosr_obs::TraceSink>,
+) -> RunResult {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -177,13 +190,25 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
         // The change log must cover the maximum observation age.
         log_horizon: (config.staleness * 2.0).max(64.0),
     };
-    let env = PaperEnvironment::build_with_topology(
+    let env = PaperEnvironment::build_with_topology_traced(
         &mut rng,
         &service_options,
         config.capacity_range,
         broker_config,
         config.topology.into(),
+        sink.clone(),
     );
+    if sink.enabled() {
+        // Preamble: bind every resource id to its display name so a
+        // replayed trace can label bottleneck resources.
+        for rid in env.space.ids() {
+            sink.emit(
+                &qosr_obs::TraceEvent::new(0.0, qosr_obs::EventKind::ResourceName)
+                    .with_resource(u64::from(rid.0))
+                    .with_name(env.space.name(rid)),
+            );
+        }
+    }
 
     let establish_options = EstablishOptions {
         planner: config.planner.into(),

@@ -1,8 +1,11 @@
 //! Quickstart: define a two-component service, stand up brokers and
-//! QoSProxies, and establish a QoS-guaranteed session end to end.
+//! QoSProxies, and establish a QoS-guaranteed session end to end —
+//! recording a JSONL trace of every lifecycle event along the way.
 //!
 //! ```sh
 //! cargo run --example quickstart
+//! qosr report results/quickstart-trace.jsonl   # replay the trace
+//! qosr trace  results/quickstart-trace.jsonl   # per-session timelines
 //! ```
 
 use qosr::prelude::*;
@@ -71,10 +74,28 @@ fn main() {
         Default::default(),
     )));
 
-    let coordinator = qosr::broker::Coordinator::new(vec![
-        Arc::new(QosProxy::new("server", server_brokers)),
-        Arc::new(QosProxy::new("client", client_brokers)),
-    ]);
+    // Record every lifecycle event to a JSONL trace; `qosr report` can
+    // replay it later. Swap in `Arc::new(NullSink)` (the default of
+    // `Coordinator::new`) to run with zero tracing overhead.
+    std::fs::create_dir_all("results").expect("create results/");
+    let trace_path = "results/quickstart-trace.jsonl";
+    let sink = Arc::new(JsonlSink::create(trace_path).expect("create trace file"));
+    // Preamble: name the resources so the replay can label bottlenecks.
+    for (rid, rname) in [(cpu, "server.cpu"), (net, "path:server->client")] {
+        sink.emit(
+            &TraceEvent::new(0.0, EventKind::ResourceName)
+                .with_resource(u64::from(rid.0))
+                .with_name(rname),
+        );
+    }
+
+    let coordinator = qosr::broker::Coordinator::with_trace(
+        vec![
+            Arc::new(QosProxy::new("server", server_brokers)),
+            Arc::new(QosProxy::new("client", client_brokers)),
+        ],
+        sink.clone(),
+    );
 
     // ── 3. Establish sessions ────────────────────────────────────────
     let mut rng = StdRng::seed_from_u64(7);
@@ -120,5 +141,15 @@ fn main() {
         "\nreleased {} sessions; protocol stats: {:?}",
         held.len(),
         coordinator.stats()
+    );
+
+    // ── 5. Replay the trace ──────────────────────────────────────────
+    sink.flush().expect("flush trace");
+    let events = qosr::obs::read_jsonl(trace_path).expect("read trace back");
+    let summary = TraceSummary::from_events(&events);
+    println!(
+        "\ntrace written to {trace_path} ({} events); summary:\n{}",
+        events.len(),
+        summary.render()
     );
 }

@@ -14,13 +14,20 @@
 //!   bandwidth brokering (§3).
 //! * [`sim`] — the discrete-event simulation used for the paper's
 //!   performance study (§5).
+//! * [`obs`] — zero-cost-when-disabled observability: session-lifecycle
+//!   trace events, sinks (`NullSink`, `JsonlSink`), counters, and
+//!   trace replay/summaries.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use qosr_broker as broker;
 pub use qosr_core as core;
 pub use qosr_model as model;
 pub use qosr_net as net;
+pub use qosr_obs as obs;
 pub use qosr_sim as sim;
 
 /// Commonly used items, for `use qosr::prelude::*`.
@@ -63,4 +70,7 @@ pub mod prelude {
         SlotVector, TableTranslation, Translation,
     };
     pub use qosr_net::{LinkBroker, NetNode, NetworkBroker, NetworkFabric, Topology};
+    pub use qosr_obs::{
+        Counters, EventKind, JsonlSink, MemorySink, NullSink, TraceEvent, TraceSink, TraceSummary,
+    };
 }

@@ -1,0 +1,216 @@
+//! Observability integration tests: exact event sequences for known
+//! session lifecycles, JSONL round-trips, and — the acceptance bar —
+//! `TraceSummary` reproducing the simulator's `RunMetrics` exactly.
+
+use qosr::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// One host, one CPU of capacity 100, one component offering two output
+/// levels with CPU demands `low` / `high` (ranks 1 and 2).
+fn one_hop_world(low: f64, high: f64) -> (Coordinator, SessionInstance, Arc<MemorySink>) {
+    let mut space = ResourceSpace::new();
+    let cpu = space.register("h0.cpu", ResourceKind::Compute);
+
+    let mut brokers = BrokerRegistry::new();
+    brokers.register(Arc::new(LocalBroker::new(
+        cpu,
+        100.0,
+        SimTime::ZERO,
+        Default::default(),
+    )));
+
+    let sink = Arc::new(MemorySink::default());
+    let coordinator =
+        Coordinator::with_trace(vec![Arc::new(QosProxy::new("h0", brokers))], sink.clone());
+
+    let schema = QosSchema::new("q", ["x"]);
+    let v = |x: u32| QosVector::new(schema.clone(), [x]);
+    let comp = ComponentSpec::new(
+        "c0",
+        vec![v(9)],
+        vec![v(1), v(2)],
+        vec![SlotSpec::new("cpu", ResourceKind::Compute)],
+        Arc::new(
+            TableTranslation::builder(1, 2, 1)
+                .entry(0, 0, [low])
+                .entry(0, 1, [high])
+                .build(),
+        ),
+    );
+    let service = Arc::new(ServiceSpec::chain("svc", vec![comp], vec![1, 2]).unwrap());
+    let session = SessionInstance::new(service, vec![ComponentBinding::new([cpu])], 1.0).unwrap();
+    (coordinator, session, sink)
+}
+
+fn kinds(events: &[TraceEvent]) -> Vec<EventKind> {
+    events.iter().map(|e| e.kind).collect()
+}
+
+#[test]
+fn commit_then_release_emits_exact_sequence() {
+    let (coordinator, session, sink) = one_hop_world(20.0, 60.0);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let est = coordinator
+        .establish(&session, &Default::default(), SimTime::ZERO + 1.0, &mut rng)
+        .expect("feasible world must establish");
+    coordinator.terminate(&est, SimTime::ZERO + 5.0);
+
+    let events = sink.events();
+    assert_eq!(
+        kinds(&events),
+        vec![
+            EventKind::PlanStarted,
+            EventKind::CandidateEvaluated,
+            EventKind::CandidateEvaluated,
+            EventKind::PlanCompleted,
+            EventKind::HopSelected,
+            EventKind::ReservationCommitted,
+            EventKind::SessionReleased,
+        ]
+    );
+
+    // Both candidates were feasible, with ψ = demand / 100.
+    let candidates: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::CandidateEvaluated)
+        .collect();
+    assert!(candidates.iter().all(|e| e.feasible == Some(true)));
+    let psis: Vec<f64> = candidates.iter().filter_map(|e| e.psi).collect();
+    assert!(psis.contains(&0.2) && psis.contains(&0.6));
+
+    // The commit carries the achieved rank (2: the better level fits),
+    // its Ψ, and the bottleneck resource.
+    let commit = events
+        .iter()
+        .find(|e| e.kind == EventKind::ReservationCommitted)
+        .unwrap();
+    assert_eq!(commit.session, Some(est.id.0));
+    assert_eq!(commit.service.as_deref(), Some("svc"));
+    assert_eq!(commit.level, Some(2));
+    assert_eq!(commit.psi, Some(0.6));
+    assert_eq!(commit.resource, Some(0));
+    assert_eq!(commit.time, 1.0);
+
+    let release = events.last().unwrap();
+    assert_eq!(release.session, Some(est.id.0));
+    assert_eq!(release.time, 5.0);
+    assert_eq!(release.detail.as_deref(), Some("released 60"));
+}
+
+#[test]
+fn infeasible_plan_emits_rejection_naming_the_resource() {
+    // Demands 120/150 against capacity 100: every candidate overshoots.
+    let (coordinator, session, sink) = one_hop_world(120.0, 150.0);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    coordinator
+        .establish(&session, &Default::default(), SimTime::ZERO + 2.0, &mut rng)
+        .expect_err("overcommitted world must reject");
+
+    let events = sink.events();
+    assert_eq!(
+        kinds(&events),
+        vec![
+            EventKind::PlanStarted,
+            EventKind::CandidateEvaluated,
+            EventKind::CandidateEvaluated,
+            EventKind::PlanRejected,
+        ]
+    );
+
+    // Infeasible candidates report their overshoot ratio (> 1) and the
+    // limiting resource.
+    for e in &events[1..3] {
+        assert_eq!(e.feasible, Some(false));
+        assert!(e.psi.unwrap() > 1.0, "overshoot ratio must exceed 1");
+        assert_eq!(e.resource, Some(0));
+    }
+
+    // The rejection names the nearest-miss resource: rank 1 at demand
+    // 120 (ratio 1.2) misses by less than rank 2 at 150.
+    let rejection = events.last().unwrap();
+    assert_eq!(rejection.resource, Some(0));
+    assert_eq!(rejection.psi, Some(1.2));
+    assert!(rejection.detail.is_some());
+}
+
+#[test]
+fn jsonl_sink_round_trips_the_event_stream() {
+    let dir = std::env::temp_dir().join("qosr-obs-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+
+    let (coordinator, session, memory) = one_hop_world(20.0, 60.0);
+    let jsonl = Arc::new(JsonlSink::create(&path).unwrap());
+    // Mirror the run into a JSONL file by re-emitting the memory trace.
+    let mut rng = StdRng::seed_from_u64(1);
+    let est = coordinator
+        .establish(&session, &Default::default(), SimTime::ZERO + 1.0, &mut rng)
+        .unwrap();
+    coordinator.terminate(&est, SimTime::ZERO + 5.0);
+    for event in memory.events() {
+        jsonl.emit(&event);
+    }
+    jsonl.flush().unwrap();
+
+    let back = qosr::obs::read_jsonl(&path).unwrap();
+    assert_eq!(back, memory.events());
+    std::fs::remove_file(&path).ok();
+}
+
+/// The acceptance criterion: reducing a recorded trace must reproduce
+/// the run's `RunMetrics` exactly — success rate, mean QoS level, and
+/// the per-resource bottleneck table.
+#[test]
+fn trace_summary_matches_run_metrics_exactly() {
+    let config = qosr::sim::ScenarioConfig {
+        seed: 3,
+        rate_per_60tu: 120.0,
+        horizon: 600.0,
+        ..Default::default()
+    };
+    let sink = Arc::new(MemorySink::default());
+    let result = qosr::sim::run_scenario_traced(&config, sink.clone());
+    let summary = TraceSummary::from_events(&sink.events());
+
+    let overall = &result.metrics.overall;
+    assert!(overall.attempts > 0, "run must attempt sessions");
+    assert_eq!(summary.plans_started, overall.attempts);
+    assert_eq!(summary.committed, overall.successes);
+    assert_eq!(summary.qos_level_sum, overall.qos_level_sum);
+    assert_eq!(summary.success_rate(), Some(overall.success_rate()));
+    assert_eq!(summary.mean_qos_level(), Some(overall.avg_qos_level()));
+    assert_eq!(summary.plans_rejected, result.metrics.plan_failures);
+    assert_eq!(
+        summary.rejected_at_dispatch,
+        result.metrics.reserve_failures
+    );
+    assert_eq!(summary.bottlenecks, result.metrics.bottlenecks);
+
+    // And the trace is bitwise-deterministic: the traced run's metrics
+    // equal the untraced run's.
+    let untraced = qosr::sim::run_scenario(&config);
+    assert_eq!(untraced.metrics, result.metrics);
+}
+
+#[test]
+fn trace_summary_counts_upgrades_like_run_metrics() {
+    let config = qosr::sim::ScenarioConfig {
+        seed: 21,
+        rate_per_60tu: 150.0,
+        horizon: 1800.0,
+        upgrade_period: Some(30.0),
+        ..Default::default()
+    };
+    let sink = Arc::new(MemorySink::default());
+    let result = qosr::sim::run_scenario_traced(&config, sink.clone());
+    let summary = TraceSummary::from_events(&sink.events());
+
+    assert!(result.metrics.upgrades > 0, "seed must exercise upgrades");
+    assert_eq!(summary.upgrades, result.metrics.upgrades);
+    assert_eq!(summary.plans_started, result.metrics.overall.attempts);
+    assert_eq!(summary.committed, result.metrics.overall.successes);
+}
