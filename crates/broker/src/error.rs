@@ -67,6 +67,52 @@ impl fmt::Display for ReserveError {
 
 impl std::error::Error for ReserveError {}
 
+/// An injected fault interrupted the establishment protocol. Carried by
+/// [`EstablishError::Fault`] once the retry budget is exhausted; every
+/// partially reserved hop has been rolled back by then.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// A participating host was down and did not answer.
+    HostDown {
+        /// The unreachable host.
+        host: String,
+    },
+    /// A protocol message to `host` was lost.
+    MessageLost {
+        /// The host the message was addressed to.
+        host: String,
+    },
+    /// The commit message failed at `host` after its reserve phase had
+    /// already succeeded (the classic two-phase abort case).
+    CommitFailed {
+        /// The host whose commit failed.
+        host: String,
+    },
+}
+
+impl FaultError {
+    /// The host the fault concerns.
+    pub fn host(&self) -> &str {
+        match self {
+            FaultError::HostDown { host }
+            | FaultError::MessageLost { host }
+            | FaultError::CommitFailed { host } => host,
+        }
+    }
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::HostDown { host } => write!(f, "host {host} is down"),
+            FaultError::MessageLost { host } => write!(f, "message to {host} lost"),
+            FaultError::CommitFailed { host } => write!(f, "commit failed at {host}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
 /// Failure of the end-to-end session establishment protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EstablishError {
@@ -76,6 +122,10 @@ pub enum EstablishError {
     /// A broker rejected its segment of the plan during dispatch; all
     /// previously reserved segments have been rolled back.
     Reserve(ReserveError),
+    /// An injected fault (host crash, lost message, commit failure)
+    /// interrupted the protocol and the retry budget, if any, was
+    /// exhausted; nothing is left reserved.
+    Fault(FaultError),
 }
 
 impl fmt::Display for EstablishError {
@@ -83,6 +133,7 @@ impl fmt::Display for EstablishError {
         match self {
             EstablishError::Plan(e) => write!(f, "planning failed: {e}"),
             EstablishError::Reserve(e) => write!(f, "reservation failed: {e}"),
+            EstablishError::Fault(e) => write!(f, "establishment faulted: {e}"),
         }
     }
 }
@@ -92,6 +143,7 @@ impl std::error::Error for EstablishError {
         match self {
             EstablishError::Plan(e) => Some(e),
             EstablishError::Reserve(e) => Some(e),
+            EstablishError::Fault(e) => Some(e),
         }
     }
 }
@@ -105,6 +157,12 @@ impl From<PlanError> for EstablishError {
 impl From<ReserveError> for EstablishError {
     fn from(e: ReserveError) -> Self {
         EstablishError::Reserve(e)
+    }
+}
+
+impl From<FaultError> for EstablishError {
+    fn from(e: FaultError) -> Self {
+        EstablishError::Fault(e)
     }
 }
 

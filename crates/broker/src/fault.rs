@@ -1,0 +1,327 @@
+//! Deterministic fault injection for the establishment protocol.
+//!
+//! A [`FaultInjector`] models the failure modes a multi-hop, multi-host
+//! reservation protocol meets in production: whole hosts crashing (and
+//! later recovering), protocol messages lost on the wire, and the
+//! commit phase of the two-phase dispatch failing at a broker after its
+//! reserve phase succeeded. The injector is *deterministic*: it owns
+//! its own seeded RNG, entirely separate from the scenario's workload
+//! stream, so the same seed replays the same faults and a disabled
+//! injector never perturbs a run (the no-fault path costs one relaxed
+//! atomic load per check).
+//!
+//! The [`Coordinator`](crate::Coordinator) consults its injector at
+//! every message boundary of the protocol — collect, prepare (reserve)
+//! and commit — and turns fired faults into
+//! [`FaultError`](crate::FaultError)s, which the bounded
+//! [`RetryPolicy`] then absorbs or surfaces.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Bounded-retry parameters for
+/// [`Coordinator::establish`](crate::Coordinator::establish). The
+/// default policy takes **no**
+/// retries, so establishment behaves exactly as the fault-free protocol
+/// unless a retry budget is configured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// How many times a failed establishment attempt is retried before
+    /// the error is surfaced. `0` (the default) disables retries.
+    pub max_retries: u32,
+    /// Base of the exponential backoff: retry `n` (1-based) waits
+    /// `backoff_base * 2^(n-1)` time units before re-attempting. The
+    /// delay is protocol-message-timescale bookkeeping (recorded in the
+    /// trace), far below the simulator's session timescale; it does not
+    /// advance simulated time.
+    pub backoff_base: f64,
+    /// When replanning after a failed attempt, fall back to the
+    /// α-tradeoff policy if the caller asked for the basic planner —
+    /// resources whose availability is trending down (α < 1, typical
+    /// right after a crash re-shuffles load) are then stepped around,
+    /// degrading QoS gracefully instead of failing hard.
+    pub tradeoff_fallback: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base: 0.25,
+            tradeoff_fallback: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay before retry `attempt` (1-based).
+    pub fn backoff_delay(&self, attempt: u32) -> f64 {
+        self.backoff_base * f64::from(2u32.saturating_pow(attempt.saturating_sub(1)))
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    /// Hosts currently crashed. A down host answers no collect, prepare
+    /// or commit message.
+    down: HashSet<String>,
+    /// Probability that any one protocol message is lost.
+    drop_probability: f64,
+    /// Probability that a commit message is acknowledged as failed even
+    /// though the reserve phase succeeded.
+    commit_failure_probability: f64,
+    /// Scripted commit failures: host → remaining failure count. Used by
+    /// tests to force a failure at an exact hop; decremented per fire.
+    scripted_commit_failures: HashMap<String, u32>,
+    /// The injector's own RNG stream, never shared with the workload.
+    rng: StdRng,
+}
+
+/// Injects host crashes, message drops and commit failures into the
+/// establishment protocol. Interior-mutable and cheap to consult when
+/// disabled (one relaxed atomic load when no faults are armed).
+#[derive(Debug)]
+pub struct FaultInjector {
+    /// Fast path: when `false`, every check short-circuits without
+    /// taking the state lock.
+    active: AtomicBool,
+    state: Mutex<FaultState>,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::disabled()
+    }
+}
+
+impl FaultInjector {
+    /// An injector that never fires. This is what a
+    /// [`Coordinator`](crate::Coordinator) starts with.
+    pub fn disabled() -> Self {
+        FaultInjector {
+            active: AtomicBool::new(false),
+            state: Mutex::new(FaultState {
+                down: HashSet::new(),
+                drop_probability: 0.0,
+                commit_failure_probability: 0.0,
+                scripted_commit_failures: HashMap::new(),
+                rng: StdRng::seed_from_u64(0),
+            }),
+        }
+    }
+
+    /// (Re)configures the probabilistic faults and reseeds the
+    /// injector's RNG, making subsequent draws a deterministic function
+    /// of `seed`. Scripted failures and down hosts are cleared.
+    ///
+    /// # Panics
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn configure(&self, seed: u64, drop_probability: f64, commit_failure_probability: f64) {
+        assert!(
+            (0.0..=1.0).contains(&drop_probability),
+            "drop probability {drop_probability} outside [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&commit_failure_probability),
+            "commit failure probability {commit_failure_probability} outside [0, 1]"
+        );
+        let mut state = self.state.lock();
+        state.down.clear();
+        state.scripted_commit_failures.clear();
+        state.drop_probability = drop_probability;
+        state.commit_failure_probability = commit_failure_probability;
+        state.rng = StdRng::seed_from_u64(seed);
+        self.refresh_active(&state);
+    }
+
+    fn refresh_active(&self, state: &FaultState) {
+        let active = !state.down.is_empty()
+            || state.drop_probability > 0.0
+            || state.commit_failure_probability > 0.0
+            || !state.scripted_commit_failures.is_empty();
+        self.active.store(active, Ordering::Relaxed);
+    }
+
+    /// Whether any fault source is armed. The no-fault fast path.
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Marks `host` crashed: it stops answering protocol messages.
+    pub fn crash(&self, host: &str) {
+        let mut state = self.state.lock();
+        state.down.insert(host.to_string());
+        self.refresh_active(&state);
+    }
+
+    /// Marks `host` recovered: it answers messages again and its brokers
+    /// re-admit their capacity.
+    pub fn recover(&self, host: &str) {
+        let mut state = self.state.lock();
+        state.down.remove(host);
+        self.refresh_active(&state);
+    }
+
+    /// Whether `host` is currently down.
+    pub fn is_down(&self, host: &str) -> bool {
+        self.is_active() && self.state.lock().down.contains(host)
+    }
+
+    /// The currently down hosts, sorted.
+    pub fn down_hosts(&self) -> Vec<String> {
+        let mut hosts: Vec<String> = self.state.lock().down.iter().cloned().collect();
+        hosts.sort_unstable();
+        hosts
+    }
+
+    /// Scripts the next `count` commit messages to `host` to fail
+    /// deterministically (no RNG draw). Used by rollback tests to force
+    /// a failure at an exact hop.
+    pub fn script_commit_failures(&self, host: &str, count: u32) {
+        let mut state = self.state.lock();
+        if count == 0 {
+            state.scripted_commit_failures.remove(host);
+        } else {
+            state
+                .scripted_commit_failures
+                .insert(host.to_string(), count);
+        }
+        self.refresh_active(&state);
+    }
+
+    /// Draws whether one protocol message is lost. Consumes injector
+    /// randomness only when a drop probability is configured.
+    pub fn drop_message(&self) -> bool {
+        if !self.is_active() {
+            return false;
+        }
+        let mut state = self.state.lock();
+        if state.drop_probability <= 0.0 {
+            return false;
+        }
+        let p = state.drop_probability;
+        state.rng.random::<f64>() < p
+    }
+
+    /// Draws whether the commit message to `host` fails. Scripted
+    /// failures fire first (and deterministically); otherwise consumes
+    /// injector randomness only when a commit-failure probability is
+    /// configured.
+    pub fn fail_commit(&self, host: &str) -> bool {
+        if !self.is_active() {
+            return false;
+        }
+        let mut state = self.state.lock();
+        if let Some(remaining) = state.scripted_commit_failures.get_mut(host) {
+            *remaining -= 1;
+            if *remaining == 0 {
+                state.scripted_commit_failures.remove(host);
+            }
+            self.refresh_active(&state);
+            return true;
+        }
+        if state.commit_failure_probability <= 0.0 {
+            return false;
+        }
+        let p = state.commit_failure_probability;
+        state.rng.random::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let inj = FaultInjector::disabled();
+        assert!(!inj.is_active());
+        assert!(!inj.is_down("H1"));
+        assert!(!inj.drop_message());
+        assert!(!inj.fail_commit("H1"));
+    }
+
+    #[test]
+    fn crash_and_recover_toggle_down_state() {
+        let inj = FaultInjector::disabled();
+        inj.crash("H2");
+        assert!(inj.is_active());
+        assert!(inj.is_down("H2"));
+        assert!(!inj.is_down("H1"));
+        assert_eq!(inj.down_hosts(), vec!["H2".to_string()]);
+        inj.recover("H2");
+        assert!(!inj.is_active());
+        assert!(!inj.is_down("H2"));
+    }
+
+    #[test]
+    fn scripted_commit_failures_fire_exactly_count_times() {
+        let inj = FaultInjector::disabled();
+        inj.script_commit_failures("H1", 2);
+        assert!(inj.fail_commit("H1"));
+        assert!(inj.fail_commit("H1"));
+        assert!(!inj.fail_commit("H1"));
+        assert!(!inj.is_active());
+    }
+
+    #[test]
+    fn configured_draws_are_deterministic_per_seed() {
+        let a = FaultInjector::disabled();
+        let b = FaultInjector::disabled();
+        a.configure(7, 0.5, 0.5);
+        b.configure(7, 0.5, 0.5);
+        let seq_a: Vec<bool> = (0..32)
+            .map(|i| {
+                if i % 2 == 0 {
+                    a.drop_message()
+                } else {
+                    a.fail_commit("H1")
+                }
+            })
+            .collect();
+        let seq_b: Vec<bool> = (0..32)
+            .map(|i| {
+                if i % 2 == 0 {
+                    b.drop_message()
+                } else {
+                    b.fail_commit("H1")
+                }
+            })
+            .collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|&x| x));
+        assert!(seq_a.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn zero_probabilities_never_consume_randomness() {
+        let inj = FaultInjector::disabled();
+        inj.configure(3, 0.0, 0.5);
+        // drop_message with p=0 must not advance the stream: the commit
+        // draws below must match a fresh injector that never called it.
+        for _ in 0..4 {
+            assert!(!inj.drop_message());
+        }
+        let seq: Vec<bool> = (0..16).map(|_| inj.fail_commit("H1")).collect();
+        let fresh = FaultInjector::disabled();
+        fresh.configure(3, 0.0, 0.5);
+        let fresh_seq: Vec<bool> = (0..16).map(|_| fresh.fail_commit("H1")).collect();
+        assert_eq!(seq, fresh_seq);
+        assert!(seq.iter().any(|&x| x) && seq.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            backoff_base: 0.5,
+            tradeoff_fallback: true,
+        };
+        assert_eq!(policy.backoff_delay(1), 0.5);
+        assert_eq!(policy.backoff_delay(2), 1.0);
+        assert_eq!(policy.backoff_delay(3), 2.0);
+    }
+}

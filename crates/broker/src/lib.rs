@@ -22,7 +22,11 @@
 //!   offering all-or-nothing multi-resource reservation with rollback;
 //! * [`QosProxy`] and [`Coordinator`] — the per-host proxies and the
 //!   three-phase session-establishment protocol (collect → compute →
-//!   dispatch) with message accounting (§4.2).
+//!   two-phase reserve/commit dispatch) with message accounting (§4.2);
+//! * [`FaultInjector`] and [`RetryPolicy`] — deterministic, seedable
+//!   fault injection (host crashes, dropped protocol messages, commit
+//!   failures) and the bounded-retry/backoff recovery with exactly-once
+//!   rollback and graceful QoS degradation that the dispatch runs under.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +35,7 @@ mod advance;
 mod alpha;
 mod broker;
 mod error;
+mod fault;
 mod local;
 mod proxy;
 mod registry;
@@ -39,7 +44,8 @@ mod time;
 pub use advance::{AdvanceRegistry, Booking, Timeline, TimelineBroker};
 pub use alpha::AlphaWindow;
 pub use broker::{Broker, BrokerReport};
-pub use error::{EstablishError, ReserveError};
+pub use error::{EstablishError, FaultError, ReserveError};
+pub use fault::{FaultInjector, RetryPolicy};
 pub use local::{LocalBroker, LocalBrokerConfig};
 pub use proxy::{
     Coordinator, EstablishOptions, EstablishedSession, MessageStats, ObservationPolicy, QosProxy,

@@ -11,11 +11,22 @@
 //! 2. **Compute**: the main QoSProxy builds the QRG and computes the
 //!    end-to-end reservation plan locally;
 //! 3. **Dispatch**: the plan's segments are dispatched to the owning
-//!    proxies, which reserve through their local brokers. The dispatch is
-//!    all-or-nothing across the whole session: any rejection rolls back
-//!    every segment.
+//!    proxies as a **two-phase reserve/commit**: every segment is first
+//!    reserved (prepare), then every prepared segment is confirmed
+//!    (commit). Any failure in either phase — a broker rejection, a
+//!    crashed host, a lost message, or an injected commit failure —
+//!    rolls back *all* prepared segments exactly once.
+//!
+//! Failures injected by the coordinator's [`FaultInjector`] are
+//! absorbed by a bounded [`RetryPolicy`]: each retry re-collects
+//! availability (down hosts report nothing, so planning routes around
+//! them), optionally falling back to the α-tradeoff planner so the
+//! session degrades to a lower QoS level instead of failing hard.
 
-use crate::{BrokerRegistry, EstablishError, ReserveError, SessionId, SimTime};
+use crate::{
+    BrokerRegistry, EstablishError, FaultError, FaultInjector, ReserveError, RetryPolicy,
+    SessionId, SimTime,
+};
 use parking_lot::Mutex;
 use qosr_core::{AvailabilityView, PlanCtx, Planner, QrgOptions, ReservationPlan};
 use qosr_model::{ResourceId, ResourceVector, SessionInstance};
@@ -50,6 +61,10 @@ pub struct EstablishOptions {
     pub observation: ObservationPolicy,
     /// QRG construction options (ψ definition, tie-break ablation).
     pub qrg: QrgOptions,
+    /// Bounded retry + backoff applied when an attempt fails. The
+    /// default takes no retries, leaving the fault-free protocol
+    /// byte-identical to the pre-fault behavior.
+    pub retry: RetryPolicy,
 }
 
 impl Default for EstablishOptions {
@@ -58,6 +73,7 @@ impl Default for EstablishOptions {
             planner: Planner::Basic,
             observation: ObservationPolicy::Accurate,
             qrg: QrgOptions::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -80,8 +96,10 @@ pub struct EstablishedSession {
 pub struct MessageStats {
     /// Availability-collection round trips (phase 1).
     pub collect_roundtrips: u64,
-    /// Plan-segment dispatch messages (phase 3).
+    /// Plan-segment reserve (prepare) messages (phase 3a).
     pub dispatches: u64,
+    /// Plan-segment commit confirmations (phase 3b).
+    pub commit_roundtrips: u64,
     /// Establishment attempts.
     pub attempts: u64,
     /// Successful establishments.
@@ -170,6 +188,9 @@ pub struct Coordinator {
     sink: Arc<dyn TraceSink>,
     /// This coordinator's monotonic counters (always on).
     counters: Arc<Counters>,
+    /// Fault injection (disabled by default: one relaxed atomic load per
+    /// protocol message boundary).
+    faults: Arc<FaultInjector>,
 }
 
 impl Coordinator {
@@ -207,6 +228,7 @@ impl Coordinator {
             plan_ctx: Mutex::new(PlanCtx::new()),
             sink,
             counters: Arc::new(Counters::new()),
+            faults: Arc::new(FaultInjector::disabled()),
         }
     }
 
@@ -225,6 +247,39 @@ impl Coordinator {
         &self.counters
     }
 
+    /// The coordinator's fault injector. Disabled unless configured;
+    /// use [`FaultInjector::configure`], [`Coordinator::crash_host`] and
+    /// [`Coordinator::recover_host`] to arm it.
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
+    }
+
+    /// Marks `host` crashed: its brokers stop answering collect,
+    /// prepare and commit messages until [`Coordinator::recover_host`].
+    /// Records the fault and emits [`EventKind::FaultInjected`].
+    pub fn crash_host(&self, host: &str, now: SimTime) {
+        self.faults.crash(host);
+        self.counters.record_fault_injected();
+        if self.sink.enabled() {
+            self.sink.emit(
+                &TraceEvent::new(now.value(), EventKind::FaultInjected)
+                    .with_name(host)
+                    .with_detail("host crashed"),
+            );
+        }
+    }
+
+    /// Marks `host` recovered: its brokers answer again, re-admitting
+    /// their capacity to planning (the upgrade scan then reclaims it).
+    /// Emits [`EventKind::HostRecovered`].
+    pub fn recover_host(&self, host: &str, now: SimTime) {
+        self.faults.recover(host);
+        if self.sink.enabled() {
+            self.sink
+                .emit(&TraceEvent::new(now.value(), EventKind::HostRecovered).with_name(host));
+        }
+    }
+
     /// The proxy owning `resource`, if any.
     pub fn owner_of(&self, resource: ResourceId) -> Option<&Arc<QosProxy>> {
         self.owner.get(&resource).map(|&i| &self.proxies[i])
@@ -235,11 +290,17 @@ impl Coordinator {
         *self.stats.lock()
     }
 
-    /// Runs the three-phase establishment protocol for `session`.
+    /// Runs the three-phase establishment protocol for `session`, under
+    /// the bounded [`RetryPolicy`] of `options`.
     ///
     /// On success the session's resources are reserved at the brokers and
     /// an [`EstablishedSession`] handle is returned; on failure nothing
-    /// is left reserved.
+    /// is left reserved — every attempt rolls its prepared hops back
+    /// before the next attempt (or the error) is taken. Retries
+    /// re-collect availability, so planning routes around hosts that
+    /// crashed mid-flight; with [`RetryPolicy::tradeoff_fallback`] the
+    /// α-tradeoff policy then degrades the session to a lower QoS level
+    /// rather than failing it outright.
     pub fn establish(
         &self,
         session: &SessionInstance,
@@ -257,21 +318,111 @@ impl Coordinator {
                 .emit(&TraceEvent::new(t, EventKind::PlanStarted).with_service(service_name));
         }
 
-        // Phase 1: collect availability (one round trip per proxy).
-        let mut view = AvailabilityView::new();
-        for proxy in &self.proxies {
-            proxy.collect_into(&mut view, now, options.observation, rng);
+        let mut first_planned_rank: Option<u32> = None;
+        let mut attempt = 0u32;
+        loop {
+            match self.establish_attempt(
+                session,
+                options,
+                now,
+                rng,
+                attempt,
+                &mut first_planned_rank,
+                traced,
+            ) {
+                Ok(est) => {
+                    if let Some(first) = first_planned_rank {
+                        if est.plan.rank < first {
+                            self.counters.record_degraded_commit();
+                            if traced {
+                                self.sink.emit(
+                                    &TraceEvent::new(t, EventKind::DegradedEstablish)
+                                        .with_session(est.id.0)
+                                        .with_service(service_name)
+                                        .with_level(est.plan.rank)
+                                        .with_detail(format!("first attempt planned rank {first}")),
+                                );
+                            }
+                        }
+                    }
+                    return Ok(est);
+                }
+                Err((err, terminal_event)) => {
+                    if attempt < options.retry.max_retries {
+                        attempt += 1;
+                        self.counters.record_retry();
+                        if traced {
+                            self.sink.emit(
+                                &TraceEvent::new(t, EventKind::EstablishRetry)
+                                    .with_service(service_name)
+                                    .with_detail(format!(
+                                        "{err}; retry {attempt}/{} after backoff {}",
+                                        options.retry.max_retries,
+                                        options.retry.backoff_delay(attempt)
+                                    )),
+                            );
+                        }
+                        continue;
+                    }
+                    match &err {
+                        EstablishError::Plan(_) => self.counters.record_plan_rejected(),
+                        EstablishError::Reserve(_) => self.counters.record_reservation_rejected(),
+                        EstablishError::Fault(_) => self.counters.record_fault_failure(),
+                    }
+                    if let Some(ev) = terminal_event {
+                        self.sink.emit(&ev);
+                    }
+                    return Err(err);
+                }
+            }
         }
-        self.stats.lock().collect_roundtrips += self.proxies.len() as u64;
+    }
+
+    /// One attempt of the three-phase protocol. On failure, returns the
+    /// error plus the terminal trace event to emit *if* this attempt
+    /// turns out to be the last one (intermediate attempts emit
+    /// [`EventKind::EstablishRetry`] instead, keeping the replayed
+    /// rejection counts equal to the run metrics').
+    #[allow(clippy::too_many_arguments)]
+    fn establish_attempt(
+        &self,
+        session: &SessionInstance,
+        options: &EstablishOptions,
+        now: SimTime,
+        rng: &mut impl Rng,
+        attempt: u32,
+        first_planned_rank: &mut Option<u32>,
+        traced: bool,
+    ) -> Result<EstablishedSession, (EstablishError, Option<Box<TraceEvent>>)> {
+        let t = now.value();
+        let service_name = session.service().name();
+
+        // Phase 1: collect availability (one round trip per reachable
+        // proxy; down hosts report nothing, so the planner never places
+        // demand on them).
+        let view = self.collect(now, options.observation, rng, traced);
+
+        // Graceful degradation: from the first retry on, plan with the
+        // α-tradeoff policy so resources trending down (α < 1 — typical
+        // right after a crash re-shuffles load) are stepped around.
+        let planner = if attempt > 0
+            && options.retry.tradeoff_fallback
+            && matches!(options.planner, Planner::Basic)
+        {
+            Planner::Tradeoff
+        } else {
+            options.planner
+        };
 
         // Phase 2: local computation at the main QoSProxy, on the
         // amortized planning context (cached skeleton + scratch). Events
         // are gathered while the context is locked and emitted after.
         let mut events: Vec<TraceEvent> = Vec::new();
         let mut hops: Vec<TraceEvent> = Vec::new();
+        let mut reject_event: Option<Box<TraceEvent>> = None;
         let (result, downgrade) = {
             let mut ctx = self.plan_ctx.lock();
-            let result = ctx.plan_session(session, &view, &options.qrg, options.planner, rng);
+            let result = ctx.plan_session(session, &view, &options.qrg, planner, rng);
             if traced {
                 for c in ctx.candidates() {
                     let mut ev = TraceEvent::new(t, EventKind::CandidateEvaluated)
@@ -287,21 +438,13 @@ impl Coordinator {
                     events.push(ev);
                 }
                 if result.is_err() {
+                    let mut ev = TraceEvent::new(t, EventKind::PlanRejected)
+                        .with_service(service_name)
+                        .with_detail("no feasible end-to-end plan");
                     if let Some((rid, ratio)) = ctx.nearest_miss() {
-                        events.push(
-                            TraceEvent::new(t, EventKind::PlanRejected)
-                                .with_service(service_name)
-                                .with_resource(u64::from(rid.0))
-                                .with_psi(ratio)
-                                .with_detail("no feasible end-to-end plan"),
-                        );
-                    } else {
-                        events.push(
-                            TraceEvent::new(t, EventKind::PlanRejected)
-                                .with_service(service_name)
-                                .with_detail("no feasible end-to-end plan"),
-                        );
+                        ev = ev.with_resource(u64::from(rid.0)).with_psi(ratio);
                     }
+                    reject_event = Some(Box::new(ev));
                 }
                 if let Ok(plan) = &result {
                     for a in &plan.assignments {
@@ -338,11 +481,11 @@ impl Coordinator {
         }
         let plan = match result {
             Ok(plan) => plan,
-            Err(e) => {
-                self.counters.record_plan_rejected();
-                return Err(e.into());
-            }
+            Err(e) => return Err((e.into(), reject_event)),
         };
+        if first_planned_rank.is_none() {
+            *first_planned_rank = Some(plan.rank);
+        }
         self.counters.record_plan_completed();
         if traced {
             let mut ev = TraceEvent::new(t, EventKind::PlanCompleted)
@@ -360,21 +503,32 @@ impl Coordinator {
             }
         }
 
-        // Phase 3: dispatch plan segments to the owning proxies,
-        // all-or-nothing with global rollback.
+        // Phase 3: two-phase reserve/commit across the owning proxies,
+        // all-or-nothing with exactly-once rollback.
         let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
-        if let Err(e) = self.dispatch(id, &plan.total_demand(), now) {
-            self.counters.record_reservation_rejected();
-            if traced {
-                self.sink.emit(
-                    &TraceEvent::new(t, EventKind::ReservationRejected)
-                        .with_session(id.0)
-                        .with_service(service_name)
-                        .with_resource(u64::from(e.resource().0))
-                        .with_detail(e.to_string()),
-                );
-            }
-            return Err(e.into());
+        if let Err(e) = self.dispatch(id, &plan.total_demand(), now, traced, true) {
+            let terminal = if !traced {
+                None
+            } else {
+                match &e {
+                    EstablishError::Reserve(re) => Some(Box::new(
+                        TraceEvent::new(t, EventKind::ReservationRejected)
+                            .with_session(id.0)
+                            .with_service(service_name)
+                            .with_resource(u64::from(re.resource().0))
+                            .with_detail(re.to_string()),
+                    )),
+                    EstablishError::Fault(fe) => Some(Box::new(
+                        TraceEvent::new(t, EventKind::EstablishFaulted)
+                            .with_session(id.0)
+                            .with_service(service_name)
+                            .with_name(fe.host())
+                            .with_detail(fe.to_string()),
+                    )),
+                    EstablishError::Plan(_) => None,
+                }
+            };
+            return Err((e, terminal));
         }
 
         self.stats.lock().established += 1;
@@ -393,6 +547,68 @@ impl Coordinator {
             self.sink.emit(&ev);
         }
         Ok(EstablishedSession { id, plan })
+    }
+
+    /// Phase 1 helper: collect availability from every reachable proxy.
+    /// Down hosts are skipped (their resources stay unobserved, which the
+    /// planner treats as zero availability); a dropped report message
+    /// leaves that host's resources unobserved the same way.
+    fn collect(
+        &self,
+        now: SimTime,
+        observation: ObservationPolicy,
+        rng: &mut impl Rng,
+        traced: bool,
+    ) -> AvailabilityView {
+        let mut view = AvailabilityView::new();
+        let faults_active = self.faults.is_active();
+        let mut contacted = 0u64;
+        for proxy in &self.proxies {
+            if faults_active {
+                if self.faults.is_down(proxy.host()) {
+                    continue;
+                }
+                contacted += 1;
+                if self.faults.drop_message() {
+                    self.counters.record_fault_injected();
+                    if traced {
+                        self.sink.emit(
+                            &TraceEvent::new(now.value(), EventKind::FaultInjected)
+                                .with_name(proxy.host())
+                                .with_detail("availability report lost"),
+                        );
+                    }
+                    continue;
+                }
+            } else {
+                contacted += 1;
+            }
+            proxy.collect_into(&mut view, now, observation, rng);
+        }
+        self.stats.lock().collect_roundtrips += contacted;
+        view
+    }
+
+    /// Terminates an established session *after a host crash*: all its
+    /// reservations (on up and down hosts alike — a recovering broker
+    /// reclaims crashed-session state before re-admitting capacity) are
+    /// released and the loss is recorded. Returns the total amount
+    /// released.
+    pub fn abort(&self, session: &EstablishedSession, now: SimTime) -> f64 {
+        let released: f64 = self
+            .proxies
+            .iter()
+            .map(|p| p.release_session(session.id, now))
+            .sum();
+        self.counters.record_session_lost();
+        if self.sink.enabled() {
+            self.sink.emit(
+                &TraceEvent::new(now.value(), EventKind::SessionLost)
+                    .with_session(session.id.0)
+                    .with_detail(format!("released {released}")),
+            );
+        }
+        released
     }
 
     /// Terminates an established session, releasing all its reservations.
@@ -427,11 +643,7 @@ impl Coordinator {
         now: SimTime,
         rng: &mut impl Rng,
     ) -> Result<ReservationPlan, EstablishError> {
-        let mut view = AvailabilityView::new();
-        for proxy in &self.proxies {
-            proxy.collect_into(&mut view, now, options.observation, rng);
-        }
-        self.stats.lock().collect_roundtrips += self.proxies.len() as u64;
+        let mut view = self.collect(now, options.observation, rng, self.sink.enabled());
         // Add the session's own holdings back into the view.
         for proxy in &self.proxies {
             for broker in proxy.brokers.iter() {
@@ -482,14 +694,15 @@ impl Coordinator {
 
         // Atomic swap: free the old holdings, then reserve the new plan
         // under the same session id; restore the old plan on failure.
+        let traced = self.sink.enabled();
         let old_demand = current.plan.total_demand();
         for proxy in &self.proxies {
             proxy.release_session(current.id, now);
         }
-        match self.dispatch(current.id, &candidate.total_demand(), now) {
+        match self.dispatch(current.id, &candidate.total_demand(), now, traced, true) {
             Ok(()) => {
                 self.counters.record_upgrade();
-                if self.sink.enabled() {
+                if traced {
                     self.sink.emit(
                         &TraceEvent::new(now.value(), EventKind::SessionUpgraded)
                             .with_session(current.id.0)
@@ -506,44 +719,154 @@ impl Coordinator {
                 ))
             }
             Err(e) => {
-                self.dispatch(current.id, &old_demand, now)
+                // The restore never consults the injector: the capacity
+                // was freed an instant ago on hosts the session already
+                // held, so re-reserving it cannot fail.
+                self.dispatch(current.id, &old_demand, now, traced, false)
                     .expect("restoring freshly freed reservations cannot fail");
-                Err(e.into())
+                if matches!(e, EstablishError::Fault(_)) {
+                    // A faulted upgrade aborts cleanly: the session keeps
+                    // its (restored) plan.
+                    return Ok((current, false));
+                }
+                Err(e)
             }
         }
     }
 
-    /// Phase 3 helper: reserve a demand vector across the owning
-    /// proxies, all-or-nothing with rollback.
+    /// Phase 3 helper: the two-phase reserve/commit of a demand vector
+    /// across the owning proxies. Phase 3a (prepare) reserves every
+    /// segment; phase 3b (commit) confirms each prepared segment. Any
+    /// failure — broker rejection, down host, dropped message, injected
+    /// commit failure — rolls back *all* prepared segments exactly once.
+    /// `use_faults: false` bypasses the injector (the renegotiation
+    /// restore path, which must not fail spuriously).
     fn dispatch(
         &self,
         id: SessionId,
         total: &ResourceVector,
         now: SimTime,
-    ) -> Result<(), ReserveError> {
+        traced: bool,
+        use_faults: bool,
+    ) -> Result<(), EstablishError> {
         let mut segments: HashMap<usize, Vec<(ResourceId, f64)>> = HashMap::new();
         for (rid, amount) in total.iter() {
             let Some(&p) = self.owner.get(&rid) else {
-                return Err(ReserveError::UnknownResource { resource: rid });
+                return Err(ReserveError::UnknownResource { resource: rid }.into());
             };
             segments.entry(p).or_default().push((rid, amount));
         }
         let mut order: Vec<usize> = segments.keys().copied().collect();
         order.sort_unstable();
-        let mut reserved: Vec<usize> = Vec::with_capacity(order.len());
+        let faults_active = use_faults && self.faults.is_active();
+
+        // Phase 3a (prepare): reserve each segment at its proxy.
+        let mut prepared: Vec<usize> = Vec::with_capacity(order.len());
         for &p in &order {
+            let host = self.proxies[p].host();
+            if faults_active {
+                if self.faults.is_down(host) {
+                    self.rollback(id, &prepared, now, traced);
+                    return Err(FaultError::HostDown {
+                        host: host.to_string(),
+                    }
+                    .into());
+                }
+                if self.faults.drop_message() {
+                    self.counters.record_fault_injected();
+                    if traced {
+                        self.sink.emit(
+                            &TraceEvent::new(now.value(), EventKind::FaultInjected)
+                                .with_session(id.0)
+                                .with_name(host)
+                                .with_detail("reserve request lost"),
+                        );
+                    }
+                    self.rollback(id, &prepared, now, traced);
+                    return Err(FaultError::MessageLost {
+                        host: host.to_string(),
+                    }
+                    .into());
+                }
+            }
             let demand = ResourceVector::from_pairs(segments[&p].iter().copied())
                 .expect("plan demands are valid");
             self.stats.lock().dispatches += 1;
             if let Err(e) = self.proxies[p].reserve_segment(id, &demand, now) {
-                for &q in &reserved {
-                    self.proxies[q].release_session(id, now);
-                }
-                return Err(e);
+                self.rollback(id, &prepared, now, traced);
+                return Err(e.into());
             }
-            reserved.push(p);
+            prepared.push(p);
+        }
+
+        // Phase 3b (commit): confirm each prepared segment. A crash,
+        // drop or injected failure here aborts the whole transaction —
+        // the classic partial-commit case the rollback must cover.
+        for &p in &order {
+            let host = self.proxies[p].host();
+            if faults_active {
+                if self.faults.is_down(host) {
+                    self.rollback(id, &prepared, now, traced);
+                    return Err(FaultError::HostDown {
+                        host: host.to_string(),
+                    }
+                    .into());
+                }
+                if self.faults.drop_message() {
+                    self.counters.record_fault_injected();
+                    if traced {
+                        self.sink.emit(
+                            &TraceEvent::new(now.value(), EventKind::FaultInjected)
+                                .with_session(id.0)
+                                .with_name(host)
+                                .with_detail("commit request lost"),
+                        );
+                    }
+                    self.rollback(id, &prepared, now, traced);
+                    return Err(FaultError::MessageLost {
+                        host: host.to_string(),
+                    }
+                    .into());
+                }
+                if self.faults.fail_commit(host) {
+                    self.counters.record_fault_injected();
+                    if traced {
+                        self.sink.emit(
+                            &TraceEvent::new(now.value(), EventKind::FaultInjected)
+                                .with_session(id.0)
+                                .with_name(host)
+                                .with_detail("commit failure injected"),
+                        );
+                    }
+                    self.rollback(id, &prepared, now, traced);
+                    return Err(FaultError::CommitFailed {
+                        host: host.to_string(),
+                    }
+                    .into());
+                }
+            }
+            self.stats.lock().commit_roundtrips += 1;
         }
         Ok(())
+    }
+
+    /// Releases every prepared segment of a failed two-phase dispatch,
+    /// exactly once, and records the rollback (when any hop was held).
+    fn rollback(&self, id: SessionId, prepared: &[usize], now: SimTime, traced: bool) {
+        if prepared.is_empty() {
+            return;
+        }
+        for &q in prepared {
+            self.proxies[q].release_session(id, now);
+        }
+        self.counters.record_rollback();
+        if traced {
+            self.sink.emit(
+                &TraceEvent::new(now.value(), EventKind::EstablishRollback)
+                    .with_session(id.0)
+                    .with_detail(format!("released {} prepared segment(s)", prepared.len())),
+            );
+        }
     }
 }
 
@@ -754,6 +1077,9 @@ mod tests {
                     break;
                 }
                 Err(EstablishError::Plan(_)) => {}
+                Err(EstablishError::Fault(_)) => {
+                    unreachable!("no fault injector configured")
+                }
             }
         }
         assert!(

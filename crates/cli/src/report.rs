@@ -137,6 +137,47 @@ mod tests {
         assert!(out.contains("success rate           : 1.0000"));
         assert!(out.contains("mean QoS level         : 2.0000"));
         assert!(out.contains("h0.cpu"));
+        // No faults in the trace: the fault block is omitted entirely.
+        assert!(!out.contains("faults injected"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_renders_fault_block_for_faulted_trace() {
+        let dir = std::env::temp_dir().join("qosr-cli-fault-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faulted-trace.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        for event in [
+            TraceEvent::new(1.0, EventKind::PlanStarted).with_service("clip"),
+            TraceEvent::new(1.0, EventKind::EstablishRetry)
+                .with_service("clip")
+                .with_detail("commit failed on H2; retry 1/2 after backoff 0.25"),
+            TraceEvent::new(1.0, EventKind::EstablishRollback)
+                .with_session(7)
+                .with_detail("released 2 prepared segment(s)"),
+            TraceEvent::new(5.0, EventKind::FaultInjected)
+                .with_name("H2")
+                .with_detail("host crashed"),
+            TraceEvent::new(6.0, EventKind::SessionLost)
+                .with_session(7)
+                .with_detail("released 120"),
+            TraceEvent::new(9.0, EventKind::HostRecovered).with_name("H2"),
+        ] {
+            sink.emit(&event);
+        }
+        sink.into_inner().unwrap();
+
+        let out = report(&path).unwrap();
+        assert!(out.contains("faults injected        : 1"));
+        assert!(out.contains("host recoveries        : 1"));
+        assert!(out.contains("establish retries      : 1"));
+        assert!(out.contains("rollbacks              : 1"));
+        assert!(out.contains("sessions lost          : 1"));
+
+        let timeline = trace(&path).unwrap();
+        assert!(timeline.contains("SessionLost"));
+        assert!(timeline.contains("(host crashed)"));
         std::fs::remove_file(&path).ok();
     }
 

@@ -66,6 +66,12 @@ pub struct Counters {
     tradeoff_downgrades: AtomicU64,
     skeleton_hits: AtomicU64,
     skeleton_misses: AtomicU64,
+    faults_injected: AtomicU64,
+    rollbacks: AtomicU64,
+    retries: AtomicU64,
+    degraded_commits: AtomicU64,
+    sessions_lost: AtomicU64,
+    fault_failures: AtomicU64,
     psi: PsiHistogram,
 }
 
@@ -137,6 +143,39 @@ impl Counters {
         self.skeleton_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// An injected fault fired: a host crash, a dropped protocol
+    /// message, or a forced commit failure.
+    pub fn record_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Partially reserved hops were rolled back after a later hop of the
+    /// same plan failed.
+    pub fn record_rollback(&self) {
+        self.rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A failed establishment attempt was retried (bounded backoff).
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An establishment committed at a lower rank than its first attempt
+    /// planned — graceful degradation after capacity was lost mid-flight.
+    pub fn record_degraded_commit(&self) {
+        self.degraded_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A live session was killed by a host crash and fully released.
+    pub fn record_session_lost(&self) {
+        self.sessions_lost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An establishment exhausted its retry budget on injected faults.
+    pub fn record_fault_failure(&self) {
+        self.fault_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The committed-Ψ histogram.
     pub fn psi_histogram(&self) -> &PsiHistogram {
         &self.psi
@@ -155,6 +194,12 @@ impl Counters {
             tradeoff_downgrades: self.tradeoff_downgrades.load(Ordering::Relaxed),
             skeleton_hits: self.skeleton_hits.load(Ordering::Relaxed),
             skeleton_misses: self.skeleton_misses.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            degraded_commits: self.degraded_commits.load(Ordering::Relaxed),
+            sessions_lost: self.sessions_lost.load(Ordering::Relaxed),
+            fault_failures: self.fault_failures.load(Ordering::Relaxed),
             psi_buckets: self.psi.counts().to_vec(),
         }
     }
@@ -183,6 +228,18 @@ pub struct CountersSnapshot {
     pub skeleton_hits: u64,
     /// `QrgSkeleton` memo misses (fresh builds).
     pub skeleton_misses: u64,
+    /// Injected faults that fired (crashes, drops, commit failures).
+    pub faults_injected: u64,
+    /// Partial-plan rollbacks (two-phase aborts).
+    pub rollbacks: u64,
+    /// Establishment retries taken.
+    pub retries: u64,
+    /// Commits at a lower rank than first planned (graceful degradation).
+    pub degraded_commits: u64,
+    /// Live sessions killed by host crashes.
+    pub sessions_lost: u64,
+    /// Establishments that failed after exhausting fault retries.
+    pub fault_failures: u64,
     /// Committed-Ψ histogram counts ([`PSI_BUCKETS`] edges + overflow).
     pub psi_buckets: Vec<u64>,
 }

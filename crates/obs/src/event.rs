@@ -58,6 +58,33 @@ pub enum EventKind {
     /// An advance-booking window could not be reserved atomically and
     /// was rolled back. Payload: `session`, `resource`, `detail`.
     AdvanceConflict,
+    /// A fault fired: a host crashed, a protocol message was dropped, or
+    /// a commit was made to fail. Payload: `name` (the affected host),
+    /// `detail` (what kind of fault).
+    FaultInjected,
+    /// A crashed host came back up and re-admitted its capacity.
+    /// Payload: `name` (the host).
+    HostRecovered,
+    /// An establishment attempt failed transiently and a retry was
+    /// scheduled (bounded, with exponential backoff). Payload: `service`,
+    /// `detail` (cause, attempt number, backoff delay).
+    EstablishRetry,
+    /// Partially reserved hops of a plan were rolled back after a later
+    /// hop failed (two-phase reserve/commit abort). Payload: `session`,
+    /// `detail`.
+    EstablishRollback,
+    /// An establishment committed, but at a lower end-to-end rank than
+    /// the first attempt planned — the graceful-degradation path.
+    /// Payload: `session`, `level` (the committed rank), `detail` (the
+    /// rank first planned).
+    DegradedEstablish,
+    /// A live session was killed because a host holding part of its
+    /// reservation crashed; all its reservations were released. Payload:
+    /// `session`, `detail` (total amount released).
+    SessionLost,
+    /// An establishment exhausted its retry budget on injected faults
+    /// and failed. Payload: `service`, `detail`.
+    EstablishFaulted,
 }
 
 /// One timestamped trace record. Construct with [`TraceEvent::new`] and

@@ -80,6 +80,20 @@ pub struct TraceSummary {
     pub downgrades: u64,
     /// Advance-booking conflicts.
     pub advance_conflicts: u64,
+    /// Injected faults that fired (crashes, drops, commit failures).
+    pub faults_injected: u64,
+    /// Crashed hosts that came back up.
+    pub host_recoveries: u64,
+    /// Establishment retries taken after transient failures.
+    pub retries: u64,
+    /// Partial-plan rollbacks (two-phase aborts).
+    pub rollbacks: u64,
+    /// Commits at a lower rank than first planned (graceful degradation).
+    pub degraded: u64,
+    /// Live sessions killed by host crashes.
+    pub sessions_lost: u64,
+    /// Establishments that failed after exhausting fault retries.
+    pub fault_failures: u64,
     /// Sum of committed QoS ranks (for [`TraceSummary::mean_qos_level`]).
     pub qos_level_sum: u64,
     /// Commits per bottleneck resource, keyed by resolved name.
@@ -126,6 +140,13 @@ impl TraceSummary {
                 EventKind::SessionUpgraded => summary.upgrades += 1,
                 EventKind::SessionReleased => summary.released += 1,
                 EventKind::AdvanceConflict => summary.advance_conflicts += 1,
+                EventKind::FaultInjected => summary.faults_injected += 1,
+                EventKind::HostRecovered => summary.host_recoveries += 1,
+                EventKind::EstablishRetry => summary.retries += 1,
+                EventKind::EstablishRollback => summary.rollbacks += 1,
+                EventKind::DegradedEstablish => summary.degraded += 1,
+                EventKind::SessionLost => summary.sessions_lost += 1,
+                EventKind::EstablishFaulted => summary.fault_failures += 1,
             }
         }
         summary
@@ -173,6 +194,22 @@ impl TraceSummary {
         let _ = writeln!(out, "  tradeoff downgrades    : {}", self.downgrades);
         if self.advance_conflicts > 0 {
             let _ = writeln!(out, "  advance conflicts      : {}", self.advance_conflicts);
+        }
+        if self.faults_injected > 0
+            || self.host_recoveries > 0
+            || self.retries > 0
+            || self.rollbacks > 0
+            || self.degraded > 0
+            || self.sessions_lost > 0
+            || self.fault_failures > 0
+        {
+            let _ = writeln!(out, "  faults injected        : {}", self.faults_injected);
+            let _ = writeln!(out, "  host recoveries        : {}", self.host_recoveries);
+            let _ = writeln!(out, "  establish retries      : {}", self.retries);
+            let _ = writeln!(out, "  rollbacks              : {}", self.rollbacks);
+            let _ = writeln!(out, "  degraded establishes   : {}", self.degraded);
+            let _ = writeln!(out, "  sessions lost          : {}", self.sessions_lost);
+            let _ = writeln!(out, "  fault-exhausted fails  : {}", self.fault_failures);
         }
         match self.success_rate() {
             Some(rate) => {

@@ -20,6 +20,13 @@ pub enum Event {
     UpgradeScan,
     /// Periodic metrics sample (utilization time series).
     Sample,
+    /// A scheduled host crash fires (0-based host index): the host's
+    /// brokers stop answering and live sessions holding reservations
+    /// there are lost.
+    HostDown(usize),
+    /// A crashed host recovers: its capacity is re-admitted to planning
+    /// and the upgrade scan can reclaim it.
+    HostUp(usize),
 }
 
 /// Time-ordered event queue with FIFO tie-breaking at equal timestamps.

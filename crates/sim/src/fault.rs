@@ -1,0 +1,149 @@
+//! Deterministic, seedable fault schedules for simulation runs.
+//!
+//! A [`FaultPlan`] describes *what goes wrong* during a run: scheduled
+//! host crashes (with optional recovery), a per-protocol-message drop
+//! probability, and a commit-phase failure probability — plus the retry
+//! budget the coordinator may spend absorbing them. The plan drives its
+//! own seeded RNG inside the coordinator's
+//! [`FaultInjector`](qosr_broker::FaultInjector), entirely separate from
+//! the workload stream: an empty plan leaves a run bit-identical to one
+//! that never heard of faults, and the same `(scenario seed, fault
+//! plan)` pair replays the same run byte for byte.
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduled host crash (and optional recovery) in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostCrash {
+    /// Index of the host to crash (0-based; host `h` is the sim's
+    /// `H{h+1}`).
+    pub host: usize,
+    /// Crash time (TU).
+    pub at: f64,
+    /// Recovery time (TU), if the host comes back within the run.
+    pub recover_at: Option<f64>,
+}
+
+/// A deterministic fault schedule for one simulation run. The default
+/// plan is empty: no crashes, zero probabilities, no retries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault injector's own RNG stream (never mixed with the
+    /// scenario seed).
+    pub seed: u64,
+    /// Scheduled host crashes/recoveries.
+    pub crashes: Vec<HostCrash>,
+    /// Probability that any one protocol message (collect report,
+    /// reserve request, commit confirmation) is lost.
+    pub drop_probability: f64,
+    /// Probability that a commit confirmation fails after its reserve
+    /// phase succeeded.
+    pub commit_failure_probability: f64,
+    /// Establishment retry budget (see
+    /// [`RetryPolicy`](qosr_broker::RetryPolicy)).
+    pub max_retries: u32,
+    /// Exponential-backoff base for retries, in TU.
+    pub backoff_base: f64,
+    /// Fall back to the α-tradeoff planner on retries (graceful QoS
+    /// degradation instead of hard failure).
+    pub tradeoff_fallback: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            crashes: Vec::new(),
+            drop_probability: 0.0,
+            commit_failure_probability: 0.0,
+            max_retries: 0,
+            backoff_base: 0.25,
+            tradeoff_fallback: true,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Whether the plan injects no faults at all. (A nonzero retry
+    /// budget alone does not count as a fault source: retries also
+    /// absorb genuine stale-observation dispatch failures.)
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.drop_probability == 0.0
+            && self.commit_failure_probability == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert_eq!(plan.max_retries, 0);
+    }
+
+    #[test]
+    fn any_fault_source_makes_it_non_empty() {
+        let crash = FaultPlan {
+            crashes: vec![HostCrash {
+                host: 0,
+                at: 10.0,
+                recover_at: Some(20.0),
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(!crash.is_empty());
+        let drops = FaultPlan {
+            drop_probability: 0.1,
+            ..FaultPlan::default()
+        };
+        assert!(!drops.is_empty());
+        let commits = FaultPlan {
+            commit_failure_probability: 0.1,
+            ..FaultPlan::default()
+        };
+        assert!(!commits.is_empty());
+        let retries_only = FaultPlan {
+            max_retries: 2,
+            ..FaultPlan::default()
+        };
+        assert!(retries_only.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let plan = FaultPlan {
+            seed: 9,
+            crashes: vec![HostCrash {
+                host: 2,
+                at: 100.0,
+                recover_at: None,
+            }],
+            drop_probability: 0.05,
+            commit_failure_probability: 0.02,
+            max_retries: 3,
+            backoff_base: 0.5,
+            tradeoff_fallback: false,
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn missing_field_deserializes_to_default() {
+        // Older configs without a `faults` field must keep loading; the
+        // plan itself also tolerates partial JSON via ScenarioConfig's
+        // `#[serde(default)]`.
+        let back: FaultPlan = serde_json::from_str(
+            r#"{"seed":0,"crashes":[],"drop_probability":0.0,
+                "commit_failure_probability":0.0,"max_retries":0,
+                "backoff_base":0.25,"tradeoff_fallback":true}"#,
+        )
+        .unwrap();
+        assert_eq!(back, FaultPlan::default());
+    }
+}

@@ -17,6 +17,8 @@
 //! Entry points:
 //!
 //! * [`ScenarioConfig`] — one simulation run's parameters;
+//! * [`FaultPlan`] — the run's deterministic fault schedule (host
+//!   crashes, message drops, commit failures) and retry budget;
 //! * [`run_scenario`] — execute one run, producing a [`RunResult`];
 //! * [`run_many`] — execute a batch of runs across CPU cores;
 //! * [`services`] — the figure-10 QoS/resource tables (and the
@@ -28,6 +30,7 @@
 
 mod engine;
 mod env;
+mod fault;
 mod metrics;
 mod scenario;
 pub mod services;
@@ -36,6 +39,7 @@ mod workload;
 
 pub use engine::{Event, EventQueue};
 pub use env::{PaperEnvironment, TopologyVariant};
+pub use fault::{FaultPlan, HostCrash};
 pub use metrics::{ClassStats, PathHistogram, RunMetrics, RunResult, TimeSample};
 pub use scenario::{
     run_scenario, run_scenario_traced, PlannerKind, PsiKind, ScenarioConfig, TopologyKind,

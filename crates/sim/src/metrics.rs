@@ -125,6 +125,29 @@ pub struct RunMetrics {
     /// End-to-end QoS levels at session *end* (after any upgrades);
     /// equals the establishment-time levels when upgrades are off.
     pub final_qos: ClassStats,
+    /// Establishments that failed on injected faults after exhausting
+    /// the retry budget (0 unless a fault plan is active).
+    #[serde(default)]
+    pub fault_failures: u64,
+    /// Injected faults that fired: host crashes, dropped protocol
+    /// messages, commit failures.
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// Live sessions killed by host crashes (their reservations released
+    /// everywhere; they do not contribute to `final_qos`).
+    #[serde(default)]
+    pub sessions_lost: u64,
+    /// Two-phase dispatch aborts that rolled back at least one prepared
+    /// hop.
+    #[serde(default)]
+    pub rollbacks: u64,
+    /// Establishment retries taken under the fault plan's retry budget.
+    #[serde(default)]
+    pub retries: u64,
+    /// Establishments that committed at a lower rank than their first
+    /// attempt planned (graceful degradation across retries).
+    #[serde(default)]
+    pub degraded_establishes: u64,
 }
 
 impl RunMetrics {
@@ -154,6 +177,12 @@ impl RunMetrics {
         self.reserve_failures += other.reserve_failures;
         self.upgrades += other.upgrades;
         self.final_qos.merge(&other.final_qos);
+        self.fault_failures += other.fault_failures;
+        self.faults_injected += other.faults_injected;
+        self.sessions_lost += other.sessions_lost;
+        self.rollbacks += other.rollbacks;
+        self.retries += other.retries;
+        self.degraded_establishes += other.degraded_establishes;
     }
 }
 
@@ -162,8 +191,11 @@ impl RunMetrics {
 pub struct MessageStatsRecord {
     /// Availability-collection round trips.
     pub collect_roundtrips: u64,
-    /// Plan-segment dispatch messages.
+    /// Plan-segment reserve (prepare) messages.
     pub dispatches: u64,
+    /// Plan-segment commit confirmations.
+    #[serde(default)]
+    pub commit_roundtrips: u64,
     /// Establishment attempts.
     pub attempts: u64,
     /// Successful establishments.
@@ -175,6 +207,7 @@ impl From<qosr_broker::MessageStats> for MessageStatsRecord {
         MessageStatsRecord {
             collect_roundtrips: s.collect_roundtrips,
             dispatches: s.dispatches,
+            commit_roundtrips: s.commit_roundtrips,
             attempts: s.attempts,
             established: s.established,
         }

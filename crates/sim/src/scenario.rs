@@ -2,12 +2,13 @@
 
 use crate::engine::{Event, EventQueue};
 use crate::env::{PaperEnvironment, TopologyVariant};
+use crate::fault::FaultPlan;
 use crate::metrics::{MessageStatsRecord, RunMetrics, RunResult};
 use crate::services::{path_label, ServiceOptions, ServiceType};
 use crate::workload::WorkloadGenerator;
 use qosr_broker::{
     EstablishError, EstablishOptions, EstablishedSession, LocalBrokerConfig, ObservationPolicy,
-    SessionId, SimTime,
+    RetryPolicy, SessionId, SimTime,
 };
 use qosr_core::{Planner, PsiDef, QrgOptions};
 use serde::{Deserialize, Serialize};
@@ -131,6 +132,12 @@ pub struct ScenarioConfig {
     /// When set, sample per-resource utilization and the live-session
     /// count every `period` TU into [`crate::TimeSample`]s.
     pub sample_period: Option<f64>,
+    /// The deterministic fault schedule (host crashes, message drops,
+    /// commit failures) plus the retry budget absorbing it. The default
+    /// is the empty plan: no faults, and a run bit-identical to one
+    /// without fault support.
+    #[serde(default)]
+    pub faults: FaultPlan,
 }
 
 impl Default for ScenarioConfig {
@@ -151,6 +158,7 @@ impl Default for ScenarioConfig {
             topology: TopologyKind::FullMesh,
             upgrade_period: None,
             sample_period: None,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -210,6 +218,31 @@ pub fn run_scenario_traced(
         }
     }
 
+    // Arm the fault injector (a no-op with the default empty plan: its
+    // RNG stream is separate from the scenario's and a never-firing
+    // injector draws nothing from it).
+    let faults = &config.faults;
+    env.coordinator.faults().configure(
+        faults.seed,
+        faults.drop_probability,
+        faults.commit_failure_probability,
+    );
+    for crash in &faults.crashes {
+        assert!(
+            crash.host < crate::env::N_HOSTS,
+            "fault plan crashes unknown host {}",
+            crash.host
+        );
+        if let Some(recover_at) = crash.recover_at {
+            assert!(
+                recover_at > crash.at,
+                "host {} recovery at {recover_at} not after crash at {}",
+                crash.host,
+                crash.at
+            );
+        }
+    }
+
     let establish_options = EstablishOptions {
         planner: config.planner.into(),
         observation: if config.staleness > 0.0 {
@@ -222,6 +255,11 @@ pub fn run_scenario_traced(
         qrg: QrgOptions {
             psi: config.psi.into(),
             disable_tie_break: config.disable_tie_break,
+        },
+        retry: RetryPolicy {
+            max_retries: faults.max_retries,
+            backoff_base: faults.backoff_base,
+            tradeoff_fallback: faults.tradeoff_fallback,
         },
     };
 
@@ -254,6 +292,12 @@ pub fn run_scenario_traced(
     if let Some(period) = config.sample_period {
         assert!(period > 0.0, "sample period must be positive");
         queue.schedule(SimTime::ZERO + period, Event::Sample);
+    }
+    for crash in &faults.crashes {
+        queue.schedule(SimTime::ZERO + crash.at, Event::HostDown(crash.host));
+        if let Some(recover_at) = crash.recover_at {
+            queue.schedule(SimTime::ZERO + recover_at, Event::HostUp(crash.host));
+        }
     }
 
     while let Some((now, event)) = queue.pop() {
@@ -297,6 +341,7 @@ pub fn run_scenario_traced(
                         match err {
                             EstablishError::Plan(_) => metrics.plan_failures += 1,
                             EstablishError::Reserve(_) => metrics.reserve_failures += 1,
+                            EstablishError::Fault(_) => metrics.fault_failures += 1,
                         }
                     }
                 }
@@ -380,6 +425,30 @@ pub fn run_scenario_traced(
                 });
                 queue.schedule(now + period, Event::Sample);
             }
+            Event::HostDown(h) => {
+                let host = format!("H{}", h + 1);
+                env.coordinator.crash_host(&host, now);
+                // Sessions holding reservations on the crashed host are
+                // lost: release them everywhere (the recovering broker
+                // reclaims crashed-session state, so capacity conserves).
+                // Their stale Departure events become harmless no-ops.
+                let host_brokers = env.coordinator.proxies()[h].brokers();
+                let mut victims: Vec<SessionId> = active
+                    .keys()
+                    .copied()
+                    .filter(|&id| host_brokers.iter().any(|b| b.reserved_for(id) > 0.0))
+                    .collect();
+                victims.sort_unstable();
+                for id in victims {
+                    let entry = active.remove(&id).expect("victim is live");
+                    env.coordinator.abort(&entry.established, now);
+                    metrics.sessions_lost += 1;
+                }
+            }
+            Event::HostUp(h) => {
+                let host = format!("H{}", h + 1);
+                env.coordinator.recover_host(&host, now);
+            }
         }
     }
 
@@ -387,6 +456,15 @@ pub fn run_scenario_traced(
     for entry in active.values() {
         metrics.final_qos.record(Some(entry.established.plan.rank));
     }
+
+    // Protocol-level fault accounting lives in the coordinator's
+    // counters (this run's coordinator is fresh, so the snapshot is
+    // exactly this run's): copy it into the metrics record.
+    let snap = env.coordinator.counters().snapshot();
+    metrics.faults_injected = snap.faults_injected;
+    metrics.rollbacks = snap.rollbacks;
+    metrics.retries = snap.retries;
+    metrics.degraded_establishes = snap.degraded_commits;
 
     RunResult {
         config: config.clone(),

@@ -1,0 +1,77 @@
+//! Sweep success rate vs. fault rate, with and without the α-tradeoff
+//! fallback (EXPERIMENTS.md "fault tolerance" section).
+
+use qosr::sim::{run_scenario, FaultPlan, HostCrash, ScenarioConfig};
+
+fn main() {
+    let seeds = [1u64, 2, 3];
+    let crashes = vec![
+        HostCrash {
+            host: 0,
+            at: 600.0,
+            recover_at: Some(900.0),
+        },
+        HostCrash {
+            host: 2,
+            at: 1800.0,
+            recover_at: Some(2100.0),
+        },
+        HostCrash {
+            host: 1,
+            at: 2700.0,
+            recover_at: Some(3000.0),
+        },
+    ];
+    println!("p_fault | policy | success | lost | retries | rollbacks | degraded | fault_fail | mean_qos");
+    for p in [0.0, 0.05, 0.10, 0.20, 0.30] {
+        for (label, max_retries, fallback) in [
+            ("none", 0u32, false),
+            ("retry", 2, false),
+            ("retry+tradeoff", 2, true),
+        ] {
+            let mut succ = 0.0;
+            let (mut lost, mut retries, mut rollbacks, mut degraded, mut ffail) =
+                (0u64, 0u64, 0u64, 0u64, 0u64);
+            let mut qos = 0.0;
+            for seed in seeds {
+                let cfg = ScenarioConfig {
+                    seed,
+                    rate_per_60tu: 120.0,
+                    horizon: 3600.0,
+                    faults: FaultPlan {
+                        seed: seed.wrapping_mul(97),
+                        crashes: crashes.clone(),
+                        drop_probability: p / 4.0,
+                        commit_failure_probability: p,
+                        max_retries,
+                        backoff_base: 0.25,
+                        tradeoff_fallback: fallback,
+                    },
+                    ..Default::default()
+                };
+                let r = run_scenario(&cfg);
+                let m = &r.metrics;
+                succ += m.overall.success_rate();
+                qos += m.overall.avg_qos_level();
+                lost += m.sessions_lost;
+                retries += m.retries;
+                rollbacks += m.rollbacks;
+                degraded += m.degraded_establishes;
+                ffail += m.fault_failures;
+            }
+            let n = seeds.len() as f64;
+            println!(
+                "{:5.2} | {:14} | {:.4} | {:4.0} | {:6.0} | {:6.0} | {:5.0} | {:6.0} | {:.4}",
+                p,
+                label,
+                succ / n,
+                lost as f64 / n,
+                retries as f64 / n,
+                rollbacks as f64 / n,
+                degraded as f64 / n,
+                ffail as f64 / n,
+                qos / n,
+            );
+        }
+    }
+}

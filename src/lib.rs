@@ -9,7 +9,8 @@
 //!   algorithms: *basic*, *tradeoff*, *random*, and the two-pass DAG
 //!   heuristic (§4).
 //! * [`broker`] — resource brokers, availability histories, QoSProxies
-//!   and the coordinated session-establishment protocol (§3).
+//!   and the coordinated session-establishment protocol (§3), including
+//!   deterministic fault injection and two-phase commit recovery.
 //! * [`net`] — network topologies, routing, and two-level end-to-end
 //!   bandwidth brokering (§3).
 //! * [`sim`] — the discrete-event simulation used for the paper's
@@ -57,8 +58,8 @@ pub use qosr_sim as sim;
 /// ```
 pub mod prelude {
     pub use qosr_broker::{
-        AdvanceRegistry, Broker, BrokerRegistry, Coordinator, EstablishOptions, LocalBroker,
-        QosProxy, SessionId, SimTime, TimelineBroker,
+        AdvanceRegistry, Broker, BrokerRegistry, Coordinator, EstablishOptions, FaultInjector,
+        LocalBroker, QosProxy, RetryPolicy, SessionId, SimTime, TimelineBroker,
     };
     pub use qosr_core::{
         plan_basic, plan_dag, plan_random, plan_tradeoff, AvailabilityView, Planner, Qrg,

@@ -1,0 +1,344 @@
+//! Chaos/property harness for the fault-injection & recovery subsystem.
+//!
+//! Three layers of evidence that the two-phase establish protocol and the
+//! crash/recovery machinery are safe:
+//!
+//! 1. **Conservation** — arbitrary interleavings of establishes,
+//!    terminations, host crashes and recoveries leave every broker back
+//!    at its initial availability once all sessions end and all hosts
+//!    recover, and at no point does a *live* session hold a reservation
+//!    on a down host.
+//! 2. **Transparency** — an empty [`FaultPlan`] (any injector seed)
+//!    leaves a scenario run byte-for-byte identical to the default
+//!    configuration: fault support costs nothing when unused.
+//! 3. **Determinism** — the same `(scenario seed, fault plan)` pair
+//!    replays byte-identically, however chaotic the schedule.
+//!
+//! Case count honours `PROPTEST_CASES` (the CI chaos step runs 256); the
+//! local default keeps `cargo test` fast.
+
+use proptest::prelude::*;
+use qosr::broker::LocalBrokerConfig;
+use qosr::prelude::*;
+use qosr::sim::services::ServiceOptions;
+use qosr::sim::{run_scenario, FaultPlan, HostCrash, PaperEnvironment, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Arbitrary fault schedules: up to three crash/recover pairs inside a
+/// 240 TU horizon, modest message-loss and commit-failure probabilities,
+/// and a bounded retry budget.
+fn fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        prop::collection::vec((0usize..4, 20.0f64..180.0, 10.0f64..120.0), 0..3),
+        0.0f64..0.10,
+        0.0f64..0.10,
+        0u32..=3,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(
+                seed,
+                crashes,
+                drop_probability,
+                commit_failure_probability,
+                max_retries,
+                fallback,
+            )| {
+                FaultPlan {
+                    seed,
+                    crashes: crashes
+                        .into_iter()
+                        .map(|(host, at, outage)| HostCrash {
+                            host,
+                            at,
+                            recover_at: Some(at + outage),
+                        })
+                        .collect(),
+                    drop_probability,
+                    commit_failure_probability,
+                    max_retries,
+                    backoff_base: 0.25,
+                    tradeoff_fallback: fallback,
+                }
+            },
+        )
+}
+
+fn chaos_config(seed: u64, faults: FaultPlan) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        rate_per_60tu: 90.0,
+        horizon: 240.0,
+        faults,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_from_env(24))]
+
+    /// Whatever the fault schedule does, the scenario's books balance:
+    /// every arrival is accounted for exactly once, class totals add up,
+    /// fault counters stay within their budgets — and replaying the same
+    /// `(seed, plan)` pair reproduces the run byte for byte.
+    #[test]
+    fn chaos_accounting_balances_and_replays_byte_identically(
+        seed in 0u64..1_000_000,
+        plan in fault_plan(),
+    ) {
+        let config = chaos_config(seed, plan);
+        let first = run_scenario(&config);
+        let m = &first.metrics;
+
+        // Every arrival ends in exactly one bucket.
+        prop_assert_eq!(
+            m.overall.attempts,
+            m.overall.successes + m.plan_failures + m.reserve_failures + m.fault_failures
+        );
+        let class_attempts: u64 = m.per_class.iter().map(|c| c.attempts).sum();
+        let class_successes: u64 = m.per_class.iter().map(|c| c.successes).sum();
+        prop_assert_eq!(class_attempts, m.overall.attempts);
+        prop_assert_eq!(class_successes, m.overall.successes);
+
+        // Fault bookkeeping stays within its budgets.
+        prop_assert!(m.sessions_lost <= m.overall.successes);
+        prop_assert!(m.degraded_establishes <= m.overall.successes);
+        prop_assert!(
+            m.retries <= m.overall.attempts * u64::from(config.faults.max_retries),
+            "retries {} exceed budget of {} per attempt",
+            m.retries,
+            config.faults.max_retries
+        );
+        if config.faults.is_empty() {
+            prop_assert_eq!(m.faults_injected, 0);
+            prop_assert_eq!(m.fault_failures, 0);
+            prop_assert_eq!(m.sessions_lost, 0);
+        }
+
+        // Determinism regression: byte-identical metrics and message
+        // stats on replay.
+        let second = run_scenario(&config);
+        prop_assert_eq!(
+            serde_json::to_string(&first.metrics).unwrap(),
+            serde_json::to_string(&second.metrics).unwrap()
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&first.messages).unwrap(),
+            serde_json::to_string(&second.messages).unwrap()
+        );
+    }
+
+    /// Fault support is invisible until armed: a plan with no fault
+    /// sources — whatever its injector seed and backoff settings — yields
+    /// runs byte-identical to the default configuration.
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_no_faults(
+        seed in 0u64..1_000_000,
+        injector_seed in any::<u64>(),
+    ) {
+        let baseline = chaos_config(seed, FaultPlan::default());
+        let armed_but_empty = chaos_config(
+            seed,
+            FaultPlan {
+                seed: injector_seed,
+                ..FaultPlan::default()
+            },
+        );
+        let a = run_scenario(&baseline);
+        let b = run_scenario(&armed_but_empty);
+        prop_assert_eq!(
+            serde_json::to_string(&a.metrics).unwrap(),
+            serde_json::to_string(&b.metrics).unwrap()
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&a.messages).unwrap(),
+            serde_json::to_string(&b.messages).unwrap()
+        );
+        prop_assert_eq!(a.metrics.faults_injected, 0);
+        prop_assert_eq!(a.metrics.sessions_lost, 0);
+    }
+
+    /// The tentpole invariant, driven directly against the figure-9
+    /// environment: arbitrary interleavings of establish / terminate /
+    /// crash / recover conserve capacity. After every crash the lost
+    /// sessions are aborted, and from then on **no live session holds a
+    /// reservation on a down host**; once all hosts recover and all
+    /// sessions end, every broker is back at its initial availability.
+    #[test]
+    fn crash_recovery_schedules_conserve_capacity(
+        seed in 0u64..1_000_000,
+        injector_seed in any::<u64>(),
+        drop_probability in 0.0f64..0.15,
+        commit_failure_probability in 0.0f64..0.25,
+        max_retries in 0u32..=3,
+        steps in prop::collection::vec((0u32..10, any::<u64>()), 20..60),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let env = PaperEnvironment::build(
+            &mut rng,
+            &ServiceOptions::default(),
+            (1000.0, 4000.0),
+            LocalBrokerConfig::default(),
+        );
+        env.coordinator
+            .faults()
+            .configure(injector_seed, drop_probability, commit_failure_probability);
+        let options = EstablishOptions {
+            retry: RetryPolicy {
+                max_retries,
+                backoff_base: 0.25,
+                tradeoff_fallback: true,
+            },
+            ..Default::default()
+        };
+
+        // Snapshot the untouched world (brokers in proxy order).
+        let brokers: Vec<_> = env
+            .coordinator
+            .proxies()
+            .iter()
+            .flat_map(|p| p.brokers().iter().cloned())
+            .collect();
+        let initial: Vec<f64> = brokers.iter().map(|b| b.available()).collect();
+
+        let mut live: Vec<qosr::broker::EstablishedSession> = Vec::new();
+        let mut down: Vec<usize> = Vec::new();
+        let mut t = 0.0;
+
+        for (action, pick) in steps {
+            t += 1.0;
+            let now = SimTime::new(t);
+            match action {
+                // Establish (may legitimately fail: down hosts, faults).
+                0..=5 => {
+                    let domain = (pick % 8) as usize;
+                    // Skip the domain's excluded service (its own proxy
+                    // host) per the paper's rule.
+                    let mut service = (pick / 8 % 4) as usize;
+                    if service == domain / 2 {
+                        service = (service + 1) % 4;
+                    }
+                    let session = env
+                        .session(service, domain, 1.0)
+                        .expect("valid pair is instantiable");
+                    if let Ok(est) =
+                        env.coordinator.establish(&session, &options, now, &mut rng)
+                    {
+                        live.push(est);
+                    }
+                }
+                // Terminate one live session.
+                6 | 7 => {
+                    if !live.is_empty() {
+                        let est = live.remove(pick as usize % live.len());
+                        env.coordinator.terminate(&est, now);
+                    }
+                }
+                // Crash a host; abort the sessions it was carrying.
+                8 => {
+                    let h = (pick % 4) as usize;
+                    if !down.contains(&h) {
+                        env.coordinator.crash_host(&format!("H{}", h + 1), now);
+                        down.push(h);
+                        let host_brokers = env.coordinator.proxies()[h].brokers();
+                        let mut i = 0;
+                        while i < live.len() {
+                            if host_brokers.iter().any(|b| b.reserved_for(live[i].id) > 0.0) {
+                                let est = live.remove(i);
+                                env.coordinator.abort(&est, now);
+                            } else {
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+                // Recover the most recently crashed host.
+                9 => {
+                    if let Some(h) = down.pop() {
+                        env.coordinator.recover_host(&format!("H{}", h + 1), now);
+                    }
+                }
+                _ => unreachable!("action is drawn from 0..10"),
+            }
+
+            // Invariant: live sessions never hold capacity on down hosts.
+            for &h in &down {
+                for broker in env.coordinator.proxies()[h].brokers().iter() {
+                    for est in &live {
+                        let held = broker.reserved_for(est.id);
+                        prop_assert!(
+                            held == 0.0,
+                            "live session {} holds {held} on down host H{}",
+                            est.id.0,
+                            h + 1
+                        );
+                    }
+                }
+            }
+        }
+
+        // Drain: everyone recovers, every session ends.
+        t += 1.0;
+        for h in down {
+            env.coordinator.recover_host(&format!("H{}", h + 1), SimTime::new(t));
+        }
+        for est in live {
+            env.coordinator.terminate(&est, SimTime::new(t));
+        }
+        for (broker, &before) in brokers.iter().zip(&initial) {
+            let after = broker.available();
+            prop_assert!(
+                (after - before).abs() < 1e-6,
+                "broker for resource {:?} ended at {after}, started at {before}",
+                broker.resource()
+            );
+        }
+    }
+}
+
+/// A fixed chaotic scenario actually exercises the machinery end to end:
+/// hosts crash and recover mid-run, sessions are lost, commits fail and
+/// are retried. (Guards against the chaos properties passing vacuously.)
+#[test]
+fn chaotic_scenario_exercises_every_fault_path() {
+    let config = chaos_config(
+        7,
+        FaultPlan {
+            seed: 11,
+            crashes: vec![
+                HostCrash {
+                    host: 1,
+                    at: 60.0,
+                    recover_at: Some(120.0),
+                },
+                HostCrash {
+                    host: 3,
+                    at: 150.0,
+                    recover_at: Some(200.0),
+                },
+            ],
+            drop_probability: 0.05,
+            commit_failure_probability: 0.15,
+            max_retries: 2,
+            backoff_base: 0.25,
+            tradeoff_fallback: true,
+        },
+    );
+    let result = run_scenario(&config);
+    let m = &result.metrics;
+    assert!(m.overall.attempts > 100, "run must see real load");
+    assert!(
+        m.overall.successes > 0,
+        "faults must not kill every session"
+    );
+    assert!(m.faults_injected > 0, "crashes and commit failures count");
+    assert!(m.sessions_lost > 0, "crashed hosts lose their sessions");
+    assert!(m.rollbacks > 0, "failed commits roll prepared hops back");
+    assert!(m.retries > 0, "the retry budget absorbs transient faults");
+    assert_eq!(
+        m.overall.attempts,
+        m.overall.successes + m.plan_failures + m.reserve_failures + m.fault_failures
+    );
+}

@@ -196,6 +196,73 @@ fn trace_summary_matches_run_metrics_exactly() {
     assert_eq!(untraced.metrics, result.metrics);
 }
 
+/// Replay equivalence under fire: a faulted run's trace must reduce to
+/// the exact fault counters the simulator reports — crashes, recoveries,
+/// retries, rollbacks, degraded commits, lost sessions and
+/// retry-exhausted failures — while the classic fields keep matching.
+#[test]
+fn faulted_trace_summary_matches_run_metrics_exactly() {
+    let config = qosr::sim::ScenarioConfig {
+        seed: 7,
+        rate_per_60tu: 120.0,
+        horizon: 300.0,
+        faults: qosr::sim::FaultPlan {
+            seed: 11,
+            crashes: vec![
+                qosr::sim::HostCrash {
+                    host: 1,
+                    at: 60.0,
+                    recover_at: Some(150.0),
+                },
+                qosr::sim::HostCrash {
+                    host: 2,
+                    at: 200.0,
+                    recover_at: Some(260.0),
+                },
+            ],
+            drop_probability: 0.05,
+            commit_failure_probability: 0.15,
+            max_retries: 2,
+            backoff_base: 0.25,
+            tradeoff_fallback: true,
+        },
+        ..Default::default()
+    };
+    let sink = Arc::new(MemorySink::default());
+    let result = qosr::sim::run_scenario_traced(&config, sink.clone());
+    let summary = TraceSummary::from_events(&sink.events());
+    let metrics = &result.metrics;
+
+    // The run must actually exercise the fault paths, or this test
+    // passes vacuously.
+    assert!(metrics.faults_injected > 0, "faults must fire");
+    assert!(metrics.sessions_lost > 0, "crashes must lose sessions");
+    assert!(metrics.retries > 0, "retries must trigger");
+    assert!(metrics.rollbacks > 0, "rollbacks must trigger");
+
+    // Classic fields still line up under fire.
+    assert_eq!(summary.plans_started, metrics.overall.attempts);
+    assert_eq!(summary.committed, metrics.overall.successes);
+    assert_eq!(summary.plans_rejected, metrics.plan_failures);
+    assert_eq!(summary.rejected_at_dispatch, metrics.reserve_failures);
+    assert_eq!(summary.bottlenecks, metrics.bottlenecks);
+
+    // And so does every fault counter, event-for-counter.
+    assert_eq!(summary.faults_injected, metrics.faults_injected);
+    assert_eq!(summary.retries, metrics.retries);
+    assert_eq!(summary.rollbacks, metrics.rollbacks);
+    assert_eq!(summary.degraded, metrics.degraded_establishes);
+    assert_eq!(summary.sessions_lost, metrics.sessions_lost);
+    assert_eq!(summary.fault_failures, metrics.fault_failures);
+    // Both scheduled recoveries fall inside the horizon.
+    assert_eq!(summary.host_recoveries, 2);
+
+    // Tracing never perturbs a faulted run: the untraced metrics are
+    // identical.
+    let untraced = qosr::sim::run_scenario(&config);
+    assert_eq!(untraced.metrics, result.metrics);
+}
+
 #[test]
 fn trace_summary_counts_upgrades_like_run_metrics() {
     let config = qosr::sim::ScenarioConfig {

@@ -89,11 +89,25 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// A config running `fallback` cases unless the `PROPTEST_CASES`
+    /// environment variable overrides the count (mirroring upstream
+    /// proptest). CI uses this to crank chaos suites up without
+    /// recompiling.
+    pub fn with_cases_from_env(fallback: u32) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(fallback);
+        ProptestConfig { cases }
+    }
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable via the `PROPTEST_CASES` environment
+    /// variable (as in upstream proptest).
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig::with_cases_from_env(256)
     }
 }
 
