@@ -1,0 +1,286 @@
+//! Batched admission throughput: the pre-redesign establishment path —
+//! every request taking its own availability-collection round and the
+//! whole fleet funnelling through one global mutex — against the
+//! [`AdmissionQueue`] pipeline, which plans a whole batch against one
+//! epoch-stamped snapshot on a pool of plan contexts and commits
+//! sequentially.
+//!
+//! The world is deliberately broker-heavy (4 hosts, `EXTRA_PER_HOST`
+//! background resources each, as a deployed QoSProxy tracks every host
+//! CPU and link, not just the ones one session touches), so phase-1
+//! collection costs what it costs in the paper's environment. The
+//! measured ns/session for the mutex baseline (1 and 4 driver threads)
+//! and the pipeline (1/2/4/8 workers) land in `BENCH_admission.json`
+//! at the workspace root in `--bench` mode; `--quick` shortens the
+//! measurement window (CI smoke).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qosr_bench::synth::synthetic_chain;
+use qosr_broker::{
+    AdmissionConfig, AdmissionQueue, BrokerRegistry, Coordinator, EstablishedSession, LocalBroker,
+    LocalBrokerConfig, QosProxy, SessionRequest, SimTime,
+};
+use qosr_model::{ResourceKind, SessionInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Chain shape: components × levels per component.
+const CHAIN: (usize, usize) = (4, 4);
+/// Requests per admission round.
+const BATCH: usize = 128;
+/// Hosts (QoSProxies) the chain's resources are spread across.
+const HOSTS: usize = 4;
+/// Background resources per host (host CPUs, links, devices the proxy
+/// tracks but this service does not touch).
+const EXTRA_PER_HOST: usize = 30;
+/// Worker counts measured for the pipeline.
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+struct World {
+    coordinator: Coordinator,
+    session: SessionInstance,
+    resources: usize,
+}
+
+/// 4 proxies, chain resources spread round-robin, plus the background
+/// fleet; capacities are effectively unbounded so the measurement is
+/// pure admission cost, never conflict handling.
+fn build_world() -> World {
+    let (session, mut space) = synthetic_chain(CHAIN.0, CHAIN.1);
+    let chain_rids: Vec<_> = space.ids().collect();
+    let mut registries: Vec<BrokerRegistry> = (0..HOSTS).map(|_| BrokerRegistry::new()).collect();
+    for (c, rid) in chain_rids.iter().enumerate() {
+        registries[c % HOSTS].register(Arc::new(LocalBroker::new(
+            *rid,
+            1.0e12,
+            SimTime::ZERO,
+            LocalBrokerConfig::default(),
+        )));
+    }
+    for (h, registry) in registries.iter_mut().enumerate() {
+        for i in 0..EXTRA_PER_HOST {
+            let rid = space.register(format!("bg{h}_{i}"), ResourceKind::Compute);
+            registry.register(Arc::new(LocalBroker::new(
+                rid,
+                1.0e12,
+                SimTime::ZERO,
+                LocalBrokerConfig::default(),
+            )));
+        }
+    }
+    let resources = space.ids().count();
+    let proxies: Vec<_> = registries
+        .into_iter()
+        .enumerate()
+        .map(|(h, reg)| Arc::new(QosProxy::new(format!("H{h}"), reg)))
+        .collect();
+    World {
+        coordinator: Coordinator::new(proxies),
+        session,
+        resources,
+    }
+}
+
+fn requests(world: &World) -> Vec<SessionRequest> {
+    (0..BATCH)
+        .map(|_| SessionRequest::new(world.session.clone()))
+        .collect()
+}
+
+fn terminate_all(world: &World, held: &mut Vec<EstablishedSession>, now: SimTime) {
+    for est in held.drain(..) {
+        world.coordinator.terminate(&est, now);
+    }
+}
+
+/// One round of the pre-redesign design: `threads` drivers share a
+/// single global mutex around establishment (the old coordinator held
+/// one `Mutex<PlanCtx>` and one `Mutex<MessageStats>`, serialising the
+/// whole path), and every request runs its own phase-1 collect.
+fn mutex_round(world: &World, reqs: &[SessionRequest], threads: usize, now: SimTime) {
+    let gate = Mutex::new(());
+    let cursor = AtomicUsize::new(0);
+    let mut held = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let gate = &gate;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(t as u64);
+                    let mut established = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= reqs.len() {
+                            break established;
+                        }
+                        let guard = gate.lock().unwrap();
+                        let outcome = world.coordinator.establish_request(&reqs[i], now, &mut rng);
+                        drop(guard);
+                        if let Some(est) = outcome.into_session() {
+                            established.push(est);
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("driver thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(held.len(), reqs.len(), "unbounded capacity must admit all");
+    terminate_all(world, &mut held, now);
+}
+
+/// One round through the admission pipeline at `workers` planners.
+fn pipeline_round(queue: &AdmissionQueue<'_>, reqs: &[SessionRequest], now: SimTime) {
+    let world = queue.coordinator();
+    let mut held: Vec<_> = queue
+        .admit(reqs, now)
+        .into_iter()
+        .filter_map(|o| o.into_session())
+        .collect();
+    assert_eq!(held.len(), reqs.len(), "unbounded capacity must admit all");
+    for est in held.drain(..) {
+        world.terminate(&est, now);
+    }
+}
+
+/// Measures `f` with doubling calibration up to `target`, returning
+/// mean ns per call.
+fn time_ns(mut f: impl FnMut(), target: Duration) -> f64 {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= target || iters >= u64::MAX / 4 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        let per_iter = (elapsed.as_nanos() / u128::from(iters)).max(1);
+        iters = ((target.as_nanos() / per_iter) as u64).max(iters * 2);
+    }
+}
+
+#[derive(Serialize)]
+struct WorkerResult {
+    workers: usize,
+    ns_per_session: f64,
+    /// Throughput multiple over the 4-thread single-mutex baseline.
+    speedup_vs_mutex_4thread: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    unit: &'static str,
+    chain: String,
+    batch: usize,
+    hosts: usize,
+    world_resources: usize,
+    mutex_1thread_ns_per_session: f64,
+    mutex_4thread_ns_per_session: f64,
+    pipeline: Vec<WorkerResult>,
+    /// `mutex_4thread / pipeline[workers=4]` — the acceptance figure.
+    speedup_at_4_workers: f64,
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let bench_mode = std::env::args().any(|a| a == "--bench");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let target = if quick {
+        Duration::from_millis(60)
+    } else {
+        Duration::from_millis(400)
+    };
+
+    let world = build_world();
+    let reqs = requests(&world);
+    let mut t = 0.0f64;
+    let mut tick = || {
+        t += 1.0;
+        SimTime::new(t)
+    };
+
+    // Criterion display: per-round cost of each path.
+    let mut group = c.benchmark_group("batched_admission");
+    group.bench_function(BenchmarkId::new("mutex", "4thread"), |b| {
+        b.iter(|| mutex_round(&world, &reqs, 4, black_box(tick())))
+    });
+    for &w in &WORKERS {
+        let queue = AdmissionQueue::new(
+            &world.coordinator,
+            AdmissionConfig {
+                workers: w,
+                seed: 0x5eed,
+                ..AdmissionConfig::default()
+            },
+        );
+        group.bench_function(BenchmarkId::new("pipeline", format!("{w}workers")), |b| {
+            b.iter(|| pipeline_round(&queue, &reqs, black_box(tick())))
+        });
+    }
+    group.finish();
+
+    if !bench_mode {
+        return; // smoke run (cargo test / CI): no JSON
+    }
+
+    // Manual measurement for the committed report.
+    let per_session = |round_ns: f64| round_ns / BATCH as f64;
+    let mutex_1 = per_session(time_ns(|| mutex_round(&world, &reqs, 1, tick()), target));
+    let mutex_4 = per_session(time_ns(|| mutex_round(&world, &reqs, 4, tick()), target));
+    println!("mutex baseline: 1 thread {mutex_1:.0} ns/session, 4 threads {mutex_4:.0} ns/session");
+
+    let mut pipeline = Vec::new();
+    for &w in &WORKERS {
+        let queue = AdmissionQueue::new(
+            &world.coordinator,
+            AdmissionConfig {
+                workers: w,
+                seed: 0x5eed,
+                ..AdmissionConfig::default()
+            },
+        );
+        let ns = per_session(time_ns(|| pipeline_round(&queue, &reqs, tick()), target));
+        let speedup = mutex_4 / ns;
+        println!("pipeline {w} workers: {ns:.0} ns/session, {speedup:.2}x vs mutex@4");
+        pipeline.push(WorkerResult {
+            workers: w,
+            ns_per_session: ns,
+            speedup_vs_mutex_4thread: speedup,
+        });
+    }
+    let speedup_at_4_workers = pipeline
+        .iter()
+        .find(|r| r.workers == 4)
+        .map(|r| r.speedup_vs_mutex_4thread)
+        .unwrap_or(f64::NAN);
+    let report = BenchReport {
+        bench: "batched_admission",
+        unit: "ns/session",
+        chain: format!("{}x{}", CHAIN.0, CHAIN.1),
+        batch: BATCH,
+        hosts: HOSTS,
+        world_resources: world.resources,
+        mutex_1thread_ns_per_session: mutex_1,
+        mutex_4thread_ns_per_session: mutex_4,
+        pipeline,
+        speedup_at_4_workers,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_admission.json");
+    let file = std::fs::File::create(path).expect("create BENCH_admission.json");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), &report)
+        .expect("serialize bench report");
+    println!("speedup at 4 workers {speedup_at_4_workers:.2}x -> {path}");
+}
+
+criterion_group!(benches, bench_admission);
+criterion_main!(benches);

@@ -1,0 +1,845 @@
+//! Batched, concurrent session admission — the admission pipeline.
+//!
+//! Arrivals often come in bursts. Admitting a burst one session at a
+//! time repeats phase 1 (availability collection, one message round
+//! trip per host) once per session and serializes phase 2 (plan
+//! computation) even though the plans are independent. The
+//! [`AdmissionQueue`] amortizes both: each call to
+//! [`AdmissionQueue::admit`] runs one *round* —
+//!
+//! 1. **Snapshot**: one epoch-stamped phase-1 collect
+//!    ([`qosr_core::EpochSnapshot`]) shared by the whole batch;
+//! 2. **Parallel plan**: every request in the batch is planned against
+//!    the snapshot on a pool of worker threads, each checking its own
+//!    [`qosr_core::PlanCtx`] out of the coordinator's
+//!    [`qosr_core::PlanCtxPool`] (no shared planning lock);
+//! 3. **Sequential commit**: plans are committed in arrival order
+//!    through the ordinary two-phase reserve/commit dispatch. Before
+//!    each dispatch the round's *working view* (snapshot minus what
+//!    earlier commits in the round consumed) is checked: a plan whose
+//!    Ψ-critical resource was consumed by an earlier commit is detected
+//!    as a **commit conflict** and *replanned* against the working view
+//!    (bounded by [`AdmissionConfig::max_replans`]) rather than failed —
+//!    the batched analogue of the single-session retry-with-degradation
+//!    path.
+//!
+//! The pipeline is deterministic regardless of worker count: each
+//! request plans with an RNG derived from `(seed, epoch, index,
+//! attempt)`, trace events are buffered per request and emitted in
+//! arrival order after the workers join, and commits are strictly
+//! sequential. Running the same batch with 1 or 8 workers yields
+//! byte-identical outcomes, counters and traces.
+
+use crate::request::{EstablishOutcome, NearestMiss, SessionRequest};
+use crate::{
+    Coordinator, EstablishError, EstablishedSession, ObservationPolicy, ReserveError, SimTime,
+};
+use qosr_core::{AvailabilityView, EpochSnapshot, Planner};
+use qosr_obs::{EventKind, TraceEvent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Tuning knobs for a batched admission round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Worker threads planning a round in parallel (clamped to the
+    /// batch size; `1` degenerates to sequential planning).
+    pub workers: usize,
+    /// How many times one request may be replanned after a commit
+    /// conflict before it is rejected.
+    pub max_replans: u32,
+    /// Base seed for the per-request derived RNGs; two queues with the
+    /// same seed admit identical batches identically.
+    pub seed: u64,
+    /// Observation accuracy for the round's single phase-1 snapshot
+    /// (per-request observation options are not consulted — sharing one
+    /// snapshot is the point of batching).
+    pub observation: ObservationPolicy,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            workers: 4,
+            max_replans: 2,
+            seed: 0,
+            observation: ObservationPolicy::Accurate,
+        }
+    }
+}
+
+/// The batched admission pipeline over a [`Coordinator`].
+///
+/// Stateless between rounds apart from a monotonically increasing epoch
+/// counter; cheap to construct and to keep around. See the
+/// module docs above for the round structure.
+pub struct AdmissionQueue<'a> {
+    coordinator: &'a Coordinator,
+    config: AdmissionConfig,
+    epoch: AtomicU64,
+}
+
+/// What one worker produced for one request: the plan (or the terminal
+/// error), plus the buffered trace events to emit in arrival order.
+struct Planned {
+    result: Result<qosr_core::ReservationPlan, EstablishError>,
+    nearest: Option<NearestMiss>,
+    downgraded: bool,
+    events: Vec<TraceEvent>,
+}
+
+/// Mixes `(base, epoch, index, attempt)` into an independent RNG seed
+/// (splitmix64 finalizer), so replans and parallel workers never share
+/// or reorder random streams.
+fn derive_seed(base: u64, epoch: u64, index: u64, attempt: u64) -> u64 {
+    let mut z = base
+        ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ index.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ attempt.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<'a> AdmissionQueue<'a> {
+    /// A queue admitting batches through `coordinator` under `config`.
+    pub fn new(coordinator: &'a Coordinator, config: AdmissionConfig) -> Self {
+        AdmissionQueue {
+            coordinator,
+            config,
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The coordinator this queue admits through.
+    pub fn coordinator(&self) -> &Coordinator {
+        self.coordinator
+    }
+
+    /// The queue's configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// How many admission rounds have run (the next round's epoch).
+    pub fn rounds(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Admits one batch: snapshot, parallel plan, sequential commit with
+    /// conflict-triggered replans. Returns one [`EstablishOutcome`] per
+    /// request, in arrival order. Admitted outcomes hold live
+    /// reservations (terminate them via [`Coordinator::terminate`]);
+    /// rejected ones hold nothing.
+    pub fn admit(&self, requests: &[SessionRequest], now: SimTime) -> Vec<EstablishOutcome> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let coordinator = self.coordinator;
+        let traced = coordinator.sink().enabled();
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
+
+        // Phase 1, once per round: the epoch-stamped snapshot every
+        // request in the batch plans against.
+        let mut snap_rng = StdRng::seed_from_u64(derive_seed(self.config.seed, epoch, u64::MAX, 0));
+        let snapshot =
+            coordinator.epoch_snapshot(epoch, now, self.config.observation, &mut snap_rng);
+
+        // Phase 2, in parallel: plan each request against the shared
+        // snapshot. Workers pull indices from an atomic cursor and send
+        // results home over a channel; events stay buffered per request
+        // so emission order (below) is arrival order, not worker order.
+        let workers = self.config.workers.clamp(1, n);
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Planned>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel();
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let snapshot = &snapshot;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let planned = self.plan_one(&requests[i], snapshot, epoch, i, now, traced);
+                    if tx.send((i, planned)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, planned) in rx {
+                slots[i] = Some(planned);
+            }
+        });
+
+        coordinator.counters().record_batch_planned();
+        if traced {
+            coordinator.sink().emit(
+                &TraceEvent::new(now.value(), EventKind::BatchPlanned)
+                    .with_level(n as u32)
+                    .with_detail(format!("epoch {epoch}, {workers} workers")),
+            );
+        }
+
+        // Phase 3, sequential in arrival order: commit against live
+        // broker state, detecting conflicts against the round's working
+        // view (snapshot minus earlier commits).
+        let mut working = snapshot.working();
+        let mut outcomes = Vec::with_capacity(n);
+        for (i, request) in requests.iter().enumerate() {
+            let planned = slots[i].take().expect("every request was planned");
+            outcomes.push(self.commit_one(request, planned, &mut working, epoch, i, now, traced));
+        }
+        outcomes
+    }
+
+    /// Phase 2 for one request: plan it against the round snapshot on a
+    /// pooled context, buffering the trace events the single-session
+    /// path would have emitted.
+    fn plan_one(
+        &self,
+        request: &SessionRequest,
+        snapshot: &EpochSnapshot,
+        epoch: u64,
+        index: usize,
+        now: SimTime,
+        traced: bool,
+    ) -> Planned {
+        let t = now.value();
+        let session = &request.session;
+        let service_name = session.service().name();
+        let mut events: Vec<TraceEvent> = Vec::new();
+        if traced {
+            events.push(TraceEvent::new(t, EventKind::PlanStarted).with_service(service_name));
+        }
+
+        if let Some(due) = request.deadline {
+            if t > due.value() {
+                let err = EstablishError::DeadlineExpired {
+                    deadline: due.value(),
+                    now: t,
+                };
+                if traced {
+                    events.push(
+                        TraceEvent::new(t, EventKind::PlanRejected)
+                            .with_service(service_name)
+                            .with_detail(err.to_string()),
+                    );
+                }
+                return Planned {
+                    result: Err(err),
+                    nearest: None,
+                    downgraded: false,
+                    events,
+                };
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.config.seed, epoch, index as u64, 0));
+        let mut ctx = self.coordinator.plan_pool().checkout();
+        let result = ctx.plan_session(
+            session,
+            snapshot.view(),
+            &request.options.qrg,
+            request.options.planner,
+            &mut rng,
+        );
+        let mut nearest: Option<NearestMiss> = None;
+        if result.is_err() {
+            nearest = ctx
+                .nearest_miss()
+                .map(|(resource, ratio)| NearestMiss { resource, ratio });
+        }
+        if traced {
+            for c in ctx.candidates() {
+                let mut ev = TraceEvent::new(t, EventKind::CandidateEvaluated)
+                    .with_pair(c.component, c.qin, c.qout)
+                    .with_feasible(c.feasible)
+                    .with_psi(c.psi);
+                if let Some(rid) = c.resource {
+                    ev = ev.with_resource(u64::from(rid.0));
+                }
+                if let Some(alpha) = c.alpha {
+                    ev = ev.with_alpha(alpha);
+                }
+                events.push(ev);
+            }
+        }
+        let downgrade = ctx.last_downgrade();
+        if let Some((from, to)) = downgrade {
+            if traced {
+                events.push(
+                    TraceEvent::new(t, EventKind::TradeoffDowngrade)
+                        .with_service(service_name)
+                        .with_level(to)
+                        .with_detail(format!("stepped down from rank {from}")),
+                );
+            }
+        }
+
+        let result = match result {
+            Err(e) => {
+                if traced {
+                    let mut ev = TraceEvent::new(t, EventKind::PlanRejected)
+                        .with_service(service_name)
+                        .with_detail("no feasible end-to-end plan");
+                    if let Some(miss) = nearest {
+                        ev = ev
+                            .with_resource(u64::from(miss.resource.0))
+                            .with_psi(miss.ratio);
+                    }
+                    events.push(ev);
+                }
+                Err(e.into())
+            }
+            Ok(plan) => match request.qos_min {
+                Some(min) if plan.rank < min => {
+                    let err = EstablishError::QosBelowMin {
+                        achieved: plan.rank,
+                        min,
+                    };
+                    if traced {
+                        events.push(
+                            TraceEvent::new(t, EventKind::PlanRejected)
+                                .with_service(service_name)
+                                .with_level(plan.rank)
+                                .with_detail(err.to_string()),
+                        );
+                    }
+                    Err(err)
+                }
+                _ => {
+                    if traced {
+                        let mut ev = TraceEvent::new(t, EventKind::PlanCompleted)
+                            .with_service(service_name)
+                            .with_level(plan.rank)
+                            .with_psi(plan.psi);
+                        if let Some(b) = &plan.bottleneck {
+                            ev = ev
+                                .with_resource(u64::from(b.resource.0))
+                                .with_alpha(b.alpha);
+                        }
+                        events.push(ev);
+                        for a in &plan.assignments {
+                            let mut ev = TraceEvent::new(t, EventKind::HopSelected).with_pair(
+                                a.component as u32,
+                                a.qin as u32,
+                                a.qout as u32,
+                            );
+                            if let Some(c) = ctx.candidate(a.component, a.qin, a.qout) {
+                                ev = ev.with_psi(c.psi);
+                                if let Some(rid) = c.resource {
+                                    ev = ev.with_resource(u64::from(rid.0));
+                                }
+                            }
+                            events.push(ev);
+                        }
+                    }
+                    Ok(plan)
+                }
+            },
+        };
+        Planned {
+            result,
+            nearest,
+            downgraded: downgrade.is_some(),
+            events,
+        }
+    }
+
+    /// Phase 3 for one request: emit its buffered plan events, then
+    /// commit its plan — replanning on conflict (bounded), rejecting
+    /// when the budget is spent.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_one(
+        &self,
+        request: &SessionRequest,
+        planned: Planned,
+        working: &mut AvailabilityView,
+        epoch: u64,
+        index: usize,
+        now: SimTime,
+        traced: bool,
+    ) -> EstablishOutcome {
+        let coordinator = self.coordinator;
+        let counters = coordinator.counters();
+        let sink = coordinator.sink();
+        let t = now.value();
+        let session = &request.session;
+        let service_name = session.service().name();
+
+        for ev in &planned.events {
+            sink.emit(ev);
+        }
+        counters.record_establish_attempt();
+        counters.record_plan_started();
+        if planned.downgraded {
+            counters.record_tradeoff_downgrade();
+        }
+
+        let mut plan = match planned.result {
+            Ok(plan) => {
+                counters.record_plan_completed();
+                plan
+            }
+            Err(error) => {
+                counters.record_plan_rejected();
+                return EstablishOutcome::Rejected {
+                    error,
+                    nearest_miss: planned.nearest,
+                };
+            }
+        };
+
+        let first_rank = plan.rank;
+        let mut replans = 0u32;
+        loop {
+            let demand = plan.total_demand();
+            // Conflict detection: does the round's working view still
+            // cover this plan, or did an earlier commit consume its
+            // Ψ-critical capacity?
+            let conflict = match working.first_deficit(demand.iter()) {
+                Some(deficit) => Some(deficit),
+                None => {
+                    let id = coordinator.alloc_session_id();
+                    match coordinator.dispatch(id, &demand, now, traced, true) {
+                        Ok(()) => {
+                            for (rid, amount) in demand.iter() {
+                                working.debit(rid, amount);
+                            }
+                            counters.record_establishment();
+                            counters.record_commit(plan.psi);
+                            if traced {
+                                let mut ev = TraceEvent::new(t, EventKind::ReservationCommitted)
+                                    .with_session(id.0)
+                                    .with_service(service_name)
+                                    .with_level(plan.rank)
+                                    .with_psi(plan.psi);
+                                if let Some(b) = &plan.bottleneck {
+                                    ev = ev
+                                        .with_resource(u64::from(b.resource.0))
+                                        .with_alpha(b.alpha);
+                                }
+                                sink.emit(&ev);
+                            }
+                            let est = EstablishedSession { id, plan };
+                            if est.plan.rank < first_rank {
+                                counters.record_degraded_commit();
+                                if traced {
+                                    sink.emit(
+                                        &TraceEvent::new(t, EventKind::DegradedEstablish)
+                                            .with_session(est.id.0)
+                                            .with_service(service_name)
+                                            .with_level(est.plan.rank)
+                                            .with_detail(format!(
+                                                "first plan of epoch {epoch} had rank {first_rank}"
+                                            )),
+                                    );
+                                }
+                                return EstablishOutcome::Degraded {
+                                    from: first_rank,
+                                    to: est.plan.rank,
+                                    session: est,
+                                };
+                            }
+                            return EstablishOutcome::Committed(est);
+                        }
+                        Err(EstablishError::Reserve(ReserveError::Insufficient {
+                            resource,
+                            requested,
+                            available,
+                        })) => {
+                            // Live broker state diverged from the round
+                            // snapshot (outside traffic, stale
+                            // observation). Clamp the working view to
+                            // the truth the broker just reported, so the
+                            // replan routes around it.
+                            let seen = working.avail(resource);
+                            if seen > available {
+                                working.debit(resource, seen - available);
+                            }
+                            Some((resource, requested, available))
+                        }
+                        Err(error) => {
+                            match &error {
+                                EstablishError::Fault(fe) => {
+                                    counters.record_fault_failure();
+                                    if traced {
+                                        sink.emit(
+                                            &TraceEvent::new(t, EventKind::EstablishFaulted)
+                                                .with_session(id.0)
+                                                .with_service(service_name)
+                                                .with_name(fe.host())
+                                                .with_detail(fe.to_string()),
+                                        );
+                                    }
+                                }
+                                other => {
+                                    counters.record_reservation_rejected();
+                                    if traced {
+                                        sink.emit(
+                                            &TraceEvent::new(t, EventKind::ReservationRejected)
+                                                .with_session(id.0)
+                                                .with_service(service_name)
+                                                .with_detail(other.to_string()),
+                                        );
+                                    }
+                                }
+                            }
+                            return EstablishOutcome::Rejected {
+                                error,
+                                nearest_miss: None,
+                            };
+                        }
+                    }
+                }
+            };
+            let Some((resource, requested, available)) = conflict else {
+                unreachable!("non-conflict paths return above");
+            };
+            let ratio = requested / available.max(1e-9);
+            counters.record_commit_conflict();
+            if traced {
+                sink.emit(
+                    &TraceEvent::new(t, EventKind::CommitConflict)
+                        .with_service(service_name)
+                        .with_resource(u64::from(resource.0))
+                        .with_psi(ratio)
+                        .with_detail(format!(
+                            "requested {requested}, {available} left in epoch {epoch}"
+                        )),
+                );
+            }
+            if replans >= self.config.max_replans {
+                counters.record_reservation_rejected();
+                let error = EstablishError::Reserve(ReserveError::Insufficient {
+                    resource,
+                    requested,
+                    available,
+                });
+                if traced {
+                    sink.emit(
+                        &TraceEvent::new(t, EventKind::ReservationRejected)
+                            .with_service(service_name)
+                            .with_resource(u64::from(resource.0))
+                            .with_detail(format!(
+                                "{error}; replan budget ({}) spent",
+                                self.config.max_replans
+                            )),
+                    );
+                }
+                return EstablishOutcome::Rejected {
+                    error,
+                    nearest_miss: Some(NearestMiss { resource, ratio }),
+                };
+            }
+            replans += 1;
+            counters.record_replan();
+            if traced {
+                sink.emit(
+                    &TraceEvent::new(t, EventKind::Replanned)
+                        .with_service(service_name)
+                        .with_detail(format!(
+                            "replan {replans}/{} in epoch {epoch}",
+                            self.config.max_replans
+                        )),
+                );
+            }
+            // Replan against the working view. Like the single-session
+            // retry path, fall back to the α-tradeoff planner so the
+            // request degrades to a feasible level instead of repeating
+            // the conflicted plan.
+            let planner = if request.options.retry.tradeoff_fallback
+                && matches!(request.options.planner, Planner::Basic)
+            {
+                Planner::Tradeoff
+            } else {
+                request.options.planner
+            };
+            let mut rng = StdRng::seed_from_u64(derive_seed(
+                self.config.seed,
+                epoch,
+                index as u64,
+                u64::from(replans),
+            ));
+            let replanned = {
+                let mut ctx = coordinator.plan_pool().checkout();
+                match ctx.plan_session(session, working, &request.options.qrg, planner, &mut rng) {
+                    Ok(p) => Ok(p),
+                    Err(e) => Err((
+                        EstablishError::from(e),
+                        ctx.nearest_miss()
+                            .map(|(resource, ratio)| NearestMiss { resource, ratio }),
+                    )),
+                }
+            };
+            match replanned {
+                Ok(p) => {
+                    if let Some(min) = request.qos_min {
+                        if p.rank < min {
+                            counters.record_plan_rejected();
+                            let error = EstablishError::QosBelowMin {
+                                achieved: p.rank,
+                                min,
+                            };
+                            if traced {
+                                sink.emit(
+                                    &TraceEvent::new(t, EventKind::PlanRejected)
+                                        .with_service(service_name)
+                                        .with_level(p.rank)
+                                        .with_detail(error.to_string()),
+                                );
+                            }
+                            return EstablishOutcome::Rejected {
+                                error,
+                                nearest_miss: None,
+                            };
+                        }
+                    }
+                    plan = p;
+                }
+                Err((error, nearest_miss)) => {
+                    counters.record_plan_rejected();
+                    if traced {
+                        let mut ev = TraceEvent::new(t, EventKind::PlanRejected)
+                            .with_service(service_name)
+                            .with_detail(format!("replan found no feasible plan: {error}"));
+                        if let Some(miss) = nearest_miss {
+                            ev = ev
+                                .with_resource(u64::from(miss.resource.0))
+                                .with_psi(miss.ratio);
+                        }
+                        sink.emit(&ev);
+                    }
+                    return EstablishOutcome::Rejected {
+                        error,
+                        nearest_miss,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BrokerRegistry, LocalBroker, LocalBrokerConfig, QosProxy};
+    use qosr_model::*;
+    use std::sync::Arc;
+
+    /// Single host, single CPU, a one-component service whose levels
+    /// demand 20 (rank 1) and 60 (rank 2).
+    struct World {
+        coordinator: Coordinator,
+        session: SessionInstance,
+        cpu: ResourceId,
+    }
+
+    fn world(capacity: f64) -> World {
+        let mut space = ResourceSpace::new();
+        let cpu = space.register("cpu", ResourceKind::Compute);
+        let mut reg = BrokerRegistry::new();
+        reg.register(Arc::new(LocalBroker::new(
+            cpu,
+            capacity,
+            SimTime::ZERO,
+            LocalBrokerConfig::default(),
+        )));
+        let coordinator = Coordinator::new(vec![Arc::new(QosProxy::new("H", reg))]);
+
+        let schema = QosSchema::new("q", ["x"]);
+        let v = |x: u32| QosVector::new(schema.clone(), [x]);
+        let comp = ComponentSpec::new(
+            "c",
+            vec![v(0)],
+            vec![v(1), v(2)],
+            vec![SlotSpec::new("cpu", ResourceKind::Compute)],
+            Arc::new(
+                TableTranslation::builder(1, 2, 1)
+                    .entry(0, 0, [20.0])
+                    .entry(0, 1, [60.0])
+                    .build(),
+            ),
+        );
+        let service = Arc::new(ServiceSpec::chain("svc", vec![comp], vec![1, 2]).unwrap());
+        let session =
+            SessionInstance::new(service, vec![ComponentBinding::new([cpu])], 1.0).unwrap();
+        World {
+            coordinator,
+            session,
+            cpu,
+        }
+    }
+
+    fn available(w: &World) -> f64 {
+        w.coordinator.proxies()[0]
+            .brokers()
+            .get(w.cpu)
+            .unwrap()
+            .available()
+    }
+
+    #[test]
+    fn batch_replans_conflicts_into_degraded_commits() {
+        let w = world(100.0);
+        let queue = AdmissionQueue::new(
+            &w.coordinator,
+            AdmissionConfig {
+                workers: 4,
+                seed: 7,
+                ..AdmissionConfig::default()
+            },
+        );
+        let requests: Vec<_> = (0..3)
+            .map(|_| SessionRequest::new(w.session.clone()))
+            .collect();
+        let outcomes = queue.admit(&requests, SimTime::new(1.0));
+        assert_eq!(queue.rounds(), 1);
+
+        // All three planned rank 2 (60) against the 100-unit snapshot;
+        // the first commits, the other two conflict and replan to rank 1.
+        assert!(matches!(&outcomes[0], EstablishOutcome::Committed(est) if est.plan.rank == 2));
+        for outcome in &outcomes[1..] {
+            assert!(
+                matches!(outcome, EstablishOutcome::Degraded { from: 2, to: 1, .. }),
+                "expected a 2→1 degraded commit, got admitted={}",
+                outcome.is_admitted()
+            );
+        }
+        assert_eq!(available(&w), 0.0); // 60 + 20 + 20
+
+        let snap = w.coordinator.counters().snapshot();
+        assert_eq!(snap.batches_planned, 1);
+        assert_eq!(snap.commit_conflicts, 2);
+        assert_eq!(snap.replans, 2);
+        assert_eq!(snap.establishments, 3);
+        assert_eq!(snap.establish_attempts, 3);
+        // One collect round trip for the whole batch.
+        assert_eq!(w.coordinator.stats().collect_roundtrips, 1);
+    }
+
+    #[test]
+    fn exhausted_replan_budget_rejects_without_over_commit() {
+        let w = world(100.0);
+        let queue = AdmissionQueue::new(
+            &w.coordinator,
+            AdmissionConfig {
+                workers: 2,
+                max_replans: 0,
+                seed: 7,
+                ..AdmissionConfig::default()
+            },
+        );
+        let requests: Vec<_> = (0..3)
+            .map(|_| SessionRequest::new(w.session.clone()))
+            .collect();
+        let outcomes = queue.admit(&requests, SimTime::new(1.0));
+
+        assert!(matches!(&outcomes[0], EstablishOutcome::Committed(est) if est.plan.rank == 2));
+        for outcome in &outcomes[1..] {
+            let EstablishOutcome::Rejected {
+                error,
+                nearest_miss,
+            } = outcome
+            else {
+                panic!("replan budget 0 must reject conflicting requests");
+            };
+            assert!(matches!(
+                error,
+                EstablishError::Reserve(ReserveError::Insufficient { .. })
+            ));
+            let miss = nearest_miss.expect("conflicts name the contended resource");
+            assert_eq!(miss.resource, w.cpu);
+            assert!((miss.ratio - 1.5).abs() < 1e-9, "60 requested / 40 left");
+        }
+        // Only the first commit holds capacity: no over-commit.
+        assert_eq!(available(&w), 40.0);
+        let snap = w.coordinator.counters().snapshot();
+        assert_eq!(snap.commit_conflicts, 2);
+        assert_eq!(snap.replans, 0);
+    }
+
+    #[test]
+    fn outcomes_are_deterministic_across_worker_counts() {
+        let run = |workers: usize| {
+            let w = world(100.0);
+            let queue = AdmissionQueue::new(
+                &w.coordinator,
+                AdmissionConfig {
+                    workers,
+                    seed: 42,
+                    ..AdmissionConfig::default()
+                },
+            );
+            let requests: Vec<_> = (0..5)
+                .map(|_| SessionRequest::new(w.session.clone()))
+                .collect();
+            let outcomes = queue.admit(&requests, SimTime::new(1.0));
+            let shape: Vec<_> = outcomes
+                .iter()
+                .map(|o| (o.is_admitted(), o.session().map(|e| (e.id.0, e.plan.rank))))
+                .collect();
+            (shape, available(&w), w.coordinator.counters().snapshot())
+        };
+        let (shape1, avail1, snap1) = run(1);
+        let (shape8, avail8, snap8) = run(8);
+        assert_eq!(shape1, shape8);
+        assert_eq!(avail1, avail8);
+        assert_eq!(snap1.commit_conflicts, snap8.commit_conflicts);
+        assert_eq!(snap1.replans, snap8.replans);
+        assert_eq!(snap1.establishments, snap8.establishments);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let w = world(100.0);
+        let queue = AdmissionQueue::new(&w.coordinator, AdmissionConfig::default());
+        assert!(queue.admit(&[], SimTime::new(1.0)).is_empty());
+        assert_eq!(queue.rounds(), 0);
+        assert_eq!(w.coordinator.counters().snapshot().batches_planned, 0);
+    }
+
+    #[test]
+    fn qos_floor_and_deadline_apply_in_batches() {
+        let w = world(100.0);
+        let queue = AdmissionQueue::new(
+            &w.coordinator,
+            AdmissionConfig {
+                workers: 3,
+                seed: 1,
+                ..AdmissionConfig::default()
+            },
+        );
+        let requests = vec![
+            SessionRequest::new(w.session.clone()),
+            // Floor of 2, but request 0 consumes the 60: a replan could
+            // only reach rank 1, so the floor rejects it.
+            SessionRequest::new(w.session.clone()).qos_min(2),
+            // Already past its deadline: dropped without planning.
+            SessionRequest::new(w.session.clone()).deadline(SimTime::new(0.5)),
+        ];
+        let outcomes = queue.admit(&requests, SimTime::new(1.0));
+        assert!(outcomes[0].is_admitted());
+        assert!(matches!(
+            outcomes[1].error(),
+            Some(EstablishError::QosBelowMin {
+                achieved: 1,
+                min: 2
+            })
+        ));
+        assert!(matches!(
+            outcomes[2].error(),
+            Some(EstablishError::DeadlineExpired { .. })
+        ));
+        assert_eq!(available(&w), 40.0);
+    }
+}

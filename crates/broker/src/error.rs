@@ -126,6 +126,24 @@ pub enum EstablishError {
     /// interrupted the protocol and the retry budget, if any, was
     /// exhausted; nothing is left reserved.
     Fault(FaultError),
+    /// The best feasible plan's end-to-end rank fell below the request's
+    /// [`qos_min`](crate::SessionRequest::qos_min) floor. Nothing was
+    /// reserved: the floor is checked between planning and dispatch.
+    QosBelowMin {
+        /// The best rank planning could achieve.
+        achieved: u32,
+        /// The floor the request demanded.
+        min: u32,
+    },
+    /// The request's [`deadline`](crate::SessionRequest::deadline) had
+    /// already passed when admission was attempted; the request was
+    /// dropped without planning.
+    DeadlineExpired {
+        /// The deadline the request carried, in time units.
+        deadline: f64,
+        /// The time admission was attempted at.
+        now: f64,
+    },
 }
 
 impl fmt::Display for EstablishError {
@@ -134,6 +152,12 @@ impl fmt::Display for EstablishError {
             EstablishError::Plan(e) => write!(f, "planning failed: {e}"),
             EstablishError::Reserve(e) => write!(f, "reservation failed: {e}"),
             EstablishError::Fault(e) => write!(f, "establishment faulted: {e}"),
+            EstablishError::QosBelowMin { achieved, min } => {
+                write!(f, "best plan rank {achieved} below requested minimum {min}")
+            }
+            EstablishError::DeadlineExpired { deadline, now } => {
+                write!(f, "deadline {deadline} already passed at {now}")
+            }
         }
     }
 }
@@ -144,6 +168,7 @@ impl std::error::Error for EstablishError {
             EstablishError::Plan(e) => Some(e),
             EstablishError::Reserve(e) => Some(e),
             EstablishError::Fault(e) => Some(e),
+            EstablishError::QosBelowMin { .. } | EstablishError::DeadlineExpired { .. } => None,
         }
     }
 }

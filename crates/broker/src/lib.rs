@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod advance;
 mod alpha;
 mod broker;
@@ -39,8 +40,10 @@ mod fault;
 mod local;
 mod proxy;
 mod registry;
+mod request;
 mod time;
 
+pub use admission::{AdmissionConfig, AdmissionQueue};
 pub use advance::{AdvanceRegistry, Booking, Timeline, TimelineBroker};
 pub use alpha::AlphaWindow;
 pub use broker::{Broker, BrokerReport};
@@ -48,7 +51,9 @@ pub use error::{EstablishError, FaultError, ReserveError};
 pub use fault::{FaultInjector, RetryPolicy};
 pub use local::{LocalBroker, LocalBrokerConfig};
 pub use proxy::{
-    Coordinator, EstablishOptions, EstablishedSession, MessageStats, ObservationPolicy, QosProxy,
+    Coordinator, EstablishOptions, EstablishedSession, HostMessageStats, MessageStats,
+    ObservationPolicy, QosProxy,
 };
 pub use registry::BrokerRegistry;
+pub use request::{AlphaPolicy, EstablishOutcome, NearestMiss, SessionRequest};
 pub use time::{SessionId, SimTime};

@@ -23,12 +23,14 @@
 //! them), optionally falling back to the α-tradeoff planner so the
 //! session degrades to a lower QoS level instead of failing hard.
 
+use crate::request::{EstablishOutcome, NearestMiss, SessionRequest};
 use crate::{
     BrokerRegistry, EstablishError, FaultError, FaultInjector, ReserveError, RetryPolicy,
     SessionId, SimTime,
 };
-use parking_lot::Mutex;
-use qosr_core::{AvailabilityView, PlanCtx, Planner, QrgOptions, ReservationPlan};
+use qosr_core::{
+    AvailabilityView, EpochSnapshot, PlanCtxPool, Planner, QrgOptions, ReservationPlan,
+};
 use qosr_model::{ResourceId, ResourceVector, SessionInstance};
 use qosr_obs::{Counters, EventKind, NullSink, TraceEvent, TraceSink};
 use rand::Rng;
@@ -92,6 +94,10 @@ pub struct EstablishedSession {
 /// Message-passing accounting for the three-phase protocol (§4.2 derives
 /// the overhead as one round trip per participating QoSProxy plus local
 /// execution).
+///
+/// Assembled on demand by [`Coordinator::stats`] from per-host shard
+/// counters plus the coordinator's [`Counters`] — there is no lock on
+/// the establish path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MessageStats {
     /// Availability-collection round trips (phase 1).
@@ -104,6 +110,30 @@ pub struct MessageStats {
     pub attempts: u64,
     /// Successful establishments.
     pub established: u64,
+}
+
+/// Per-host relaxed-atomic message counters. One shard per proxy, in
+/// proxy order, so protocol traffic on disjoint hosts never contends on
+/// a shared lock (or even a shared cache line of counters).
+#[derive(Debug, Default)]
+struct ShardCounters {
+    collect_roundtrips: AtomicU64,
+    dispatches: AtomicU64,
+    commit_roundtrips: AtomicU64,
+}
+
+/// Protocol message statistics for one host, as reported by
+/// [`Coordinator::host_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostMessageStats {
+    /// The host the shard counts traffic for.
+    pub host: String,
+    /// Availability-collection round trips to this host (phase 1).
+    pub collect_roundtrips: u64,
+    /// Reserve (prepare) messages to this host (phase 3a).
+    pub dispatches: u64,
+    /// Commit confirmations to this host (phase 3b).
+    pub commit_roundtrips: u64,
 }
 
 /// The per-host reservation front end: a QoSProxy and its local Resource
@@ -179,10 +209,13 @@ pub struct Coordinator {
     /// Which proxy owns each resource.
     owner: HashMap<ResourceId, usize>,
     next_session: AtomicU64,
-    stats: Mutex<MessageStats>,
-    /// Reusable planning context (phase 2): caches the service's QRG
-    /// skeleton and all planning scratch across establishment attempts.
-    plan_ctx: Mutex<PlanCtx>,
+    /// Per-host message counters, parallel to `proxies`.
+    shards: Vec<ShardCounters>,
+    /// Pool of reusable planning contexts (phase 2): each caches a QRG
+    /// skeleton and planning scratch, and concurrent planners (the
+    /// batched [`AdmissionQueue`](crate::AdmissionQueue)) check out
+    /// their own instead of serializing on one shared context.
+    plan_pool: PlanCtxPool,
     /// Session-lifecycle event destination ([`NullSink`] by default, so
     /// instrumented paths cost one branch).
     sink: Arc<dyn TraceSink>,
@@ -192,6 +225,11 @@ pub struct Coordinator {
     /// protocol message boundary).
     faults: Arc<FaultInjector>,
 }
+
+/// Failure of one establishment attempt: the error, the terminal trace
+/// event to emit if the attempt turns out to be the last, and the
+/// planner's nearest miss (for [`EstablishOutcome::Rejected`]).
+type AttemptFailure = (EstablishError, Option<Box<TraceEvent>>, Option<NearestMiss>);
 
 impl Coordinator {
     /// Builds a coordinator over the given per-host proxies, with tracing
@@ -220,12 +258,13 @@ impl Coordinator {
                 );
             }
         }
+        let shards = proxies.iter().map(|_| ShardCounters::default()).collect();
         Coordinator {
             proxies,
             owner,
             next_session: AtomicU64::new(1),
-            stats: Mutex::new(MessageStats::default()),
-            plan_ctx: Mutex::new(PlanCtx::new()),
+            shards,
+            plan_pool: PlanCtxPool::new(),
             sink,
             counters: Arc::new(Counters::new()),
             faults: Arc::new(FaultInjector::disabled()),
@@ -285,22 +324,121 @@ impl Coordinator {
         self.owner.get(&resource).map(|&i| &self.proxies[i])
     }
 
-    /// Cumulative protocol message statistics.
+    /// Cumulative protocol message statistics, assembled from the
+    /// per-host shard counters and the coordinator's [`Counters`].
     pub fn stats(&self) -> MessageStats {
-        *self.stats.lock()
+        let mut stats = MessageStats::default();
+        for shard in &self.shards {
+            stats.collect_roundtrips += shard.collect_roundtrips.load(Ordering::Relaxed);
+            stats.dispatches += shard.dispatches.load(Ordering::Relaxed);
+            stats.commit_roundtrips += shard.commit_roundtrips.load(Ordering::Relaxed);
+        }
+        let snap = self.counters.snapshot();
+        stats.attempts = snap.establish_attempts;
+        stats.established = snap.establishments;
+        stats
     }
 
-    /// Runs the three-phase establishment protocol for `session`, under
-    /// the bounded [`RetryPolicy`] of `options`.
+    /// Per-host protocol message statistics, in proxy order. Shows how
+    /// protocol traffic spreads across the host shards.
+    pub fn host_stats(&self) -> Vec<HostMessageStats> {
+        self.proxies
+            .iter()
+            .zip(&self.shards)
+            .map(|(proxy, shard)| HostMessageStats {
+                host: proxy.host().to_string(),
+                collect_roundtrips: shard.collect_roundtrips.load(Ordering::Relaxed),
+                dispatches: shard.dispatches.load(Ordering::Relaxed),
+                commit_roundtrips: shard.commit_roundtrips.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// The coordinator's pool of planning contexts. Exposed so batched
+    /// admission (and tests) can observe pool growth; most callers never
+    /// touch it.
+    pub fn plan_pool(&self) -> &PlanCtxPool {
+        &self.plan_pool
+    }
+
+    /// Allocates the next session id.
+    pub(crate) fn alloc_session_id(&self) -> SessionId {
+        SessionId(self.next_session.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Runs one phase-1 collect and stamps the resulting view with
+    /// `epoch` — the shared snapshot a batched admission round plans
+    /// against.
+    pub fn epoch_snapshot(
+        &self,
+        epoch: u64,
+        now: SimTime,
+        observation: ObservationPolicy,
+        rng: &mut impl Rng,
+    ) -> EpochSnapshot {
+        let view = self.collect(now, observation, rng, self.sink.enabled());
+        EpochSnapshot::new(epoch, now.value(), view)
+    }
+
+    /// Admits one [`SessionRequest`] through the three-phase
+    /// establishment protocol and classifies the result as a structured
+    /// [`EstablishOutcome`].
     ///
-    /// On success the session's resources are reserved at the brokers and
-    /// an [`EstablishedSession`] handle is returned; on failure nothing
-    /// is left reserved — every attempt rolls its prepared hops back
-    /// before the next attempt (or the error) is taken. Retries
-    /// re-collect availability, so planning routes around hosts that
-    /// crashed mid-flight; with [`RetryPolicy::tradeoff_fallback`] the
+    /// On [`EstablishOutcome::Committed`] (or
+    /// [`EstablishOutcome::Degraded`], when retries settled for a lower
+    /// rank than first planned) the session's resources are reserved at
+    /// the brokers; on [`EstablishOutcome::Rejected`] nothing is left
+    /// reserved — every attempt rolls its prepared hops back before the
+    /// next attempt (or the rejection) is taken. Retries re-collect
+    /// availability, so planning routes around hosts that crashed
+    /// mid-flight; with [`RetryPolicy::tradeoff_fallback`] the
     /// α-tradeoff policy then degrades the session to a lower QoS level
-    /// rather than failing it outright.
+    /// rather than failing it outright. The request's
+    /// [`qos_min`](SessionRequest::qos_min) floor and
+    /// [`deadline`](SessionRequest::deadline) are enforced before
+    /// anything is reserved.
+    pub fn establish_request(
+        &self,
+        request: &SessionRequest,
+        now: SimTime,
+        rng: &mut impl Rng,
+    ) -> EstablishOutcome {
+        let (result, first_planned, nearest_miss) = self.establish_core(
+            &request.session,
+            &request.options,
+            request.qos_min,
+            request.deadline,
+            now,
+            rng,
+        );
+        match result {
+            Ok(est) => match first_planned {
+                Some(from) if est.plan.rank < from => EstablishOutcome::Degraded {
+                    from,
+                    to: est.plan.rank,
+                    session: est,
+                },
+                _ => EstablishOutcome::Committed(est),
+            },
+            Err(error) => EstablishOutcome::Rejected {
+                error,
+                nearest_miss,
+            },
+        }
+    }
+
+    /// Runs the three-phase establishment protocol for `session`.
+    ///
+    /// This is the positional pre-[`SessionRequest`] shim, kept for one
+    /// release so downstream callers can migrate; it behaves exactly
+    /// like `SessionRequest::new(session.clone()).options(options.clone())`
+    /// passed to [`Coordinator::establish_request`], with the outcome
+    /// collapsed to a `Result` (degraded commits are `Ok`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `SessionRequest` and call `establish_request`; \
+                this positional shim will be removed next release"
+    )]
     pub fn establish(
         &self,
         session: &SessionInstance,
@@ -308,7 +446,29 @@ impl Coordinator {
         now: SimTime,
         rng: &mut impl Rng,
     ) -> Result<EstablishedSession, EstablishError> {
-        self.stats.lock().attempts += 1;
+        self.establish_core(session, options, None, None, now, rng)
+            .0
+    }
+
+    /// The establishment engine behind both [`Coordinator::establish_request`]
+    /// and the batched admission queue's single-session fallbacks.
+    /// Returns the result plus the rank the *first* attempt planned (for
+    /// degraded-commit classification) and, on planning failure, the
+    /// nearest-miss blocking resource.
+    fn establish_core(
+        &self,
+        session: &SessionInstance,
+        options: &EstablishOptions,
+        qos_min: Option<u32>,
+        deadline: Option<SimTime>,
+        now: SimTime,
+        rng: &mut impl Rng,
+    ) -> (
+        Result<EstablishedSession, EstablishError>,
+        Option<u32>,
+        Option<NearestMiss>,
+    ) {
+        self.counters.record_establish_attempt();
         self.counters.record_plan_started();
         let traced = self.sink.enabled();
         let t = now.value();
@@ -318,12 +478,31 @@ impl Coordinator {
                 .emit(&TraceEvent::new(t, EventKind::PlanStarted).with_service(service_name));
         }
 
+        if let Some(due) = deadline {
+            if t > due.value() {
+                let err = EstablishError::DeadlineExpired {
+                    deadline: due.value(),
+                    now: t,
+                };
+                self.counters.record_plan_rejected();
+                if traced {
+                    self.sink.emit(
+                        &TraceEvent::new(t, EventKind::PlanRejected)
+                            .with_service(service_name)
+                            .with_detail(err.to_string()),
+                    );
+                }
+                return (Err(err), None, None);
+            }
+        }
+
         let mut first_planned_rank: Option<u32> = None;
         let mut attempt = 0u32;
         loop {
             match self.establish_attempt(
                 session,
                 options,
+                qos_min,
                 now,
                 rng,
                 attempt,
@@ -345,10 +524,14 @@ impl Coordinator {
                             }
                         }
                     }
-                    return Ok(est);
+                    return (Ok(est), first_planned_rank, None);
                 }
-                Err((err, terminal_event)) => {
-                    if attempt < options.retry.max_retries {
+                Err((err, terminal_event, nearest_miss)) => {
+                    // A QoS floor violated by the *best* feasible plan
+                    // cannot be fixed by retrying (retries only keep or
+                    // lower the rank), so it is terminal immediately.
+                    let retryable = !matches!(err, EstablishError::QosBelowMin { .. });
+                    if retryable && attempt < options.retry.max_retries {
                         attempt += 1;
                         self.counters.record_retry();
                         if traced {
@@ -365,14 +548,18 @@ impl Coordinator {
                         continue;
                     }
                     match &err {
-                        EstablishError::Plan(_) => self.counters.record_plan_rejected(),
+                        EstablishError::Plan(_)
+                        | EstablishError::QosBelowMin { .. }
+                        | EstablishError::DeadlineExpired { .. } => {
+                            self.counters.record_plan_rejected()
+                        }
                         EstablishError::Reserve(_) => self.counters.record_reservation_rejected(),
                         EstablishError::Fault(_) => self.counters.record_fault_failure(),
                     }
                     if let Some(ev) = terminal_event {
                         self.sink.emit(&ev);
                     }
-                    return Err(err);
+                    return (Err(err), first_planned_rank, nearest_miss);
                 }
             }
         }
@@ -388,12 +575,13 @@ impl Coordinator {
         &self,
         session: &SessionInstance,
         options: &EstablishOptions,
+        qos_min: Option<u32>,
         now: SimTime,
         rng: &mut impl Rng,
         attempt: u32,
         first_planned_rank: &mut Option<u32>,
         traced: bool,
-    ) -> Result<EstablishedSession, (EstablishError, Option<Box<TraceEvent>>)> {
+    ) -> Result<EstablishedSession, AttemptFailure> {
         let t = now.value();
         let service_name = session.service().name();
 
@@ -414,15 +602,22 @@ impl Coordinator {
             options.planner
         };
 
-        // Phase 2: local computation at the main QoSProxy, on the
-        // amortized planning context (cached skeleton + scratch). Events
-        // are gathered while the context is locked and emitted after.
+        // Phase 2: local computation at the main QoSProxy, on a planning
+        // context checked out of the pool (cached skeleton + scratch).
+        // Events are gathered while the context is held and emitted
+        // after.
         let mut events: Vec<TraceEvent> = Vec::new();
         let mut hops: Vec<TraceEvent> = Vec::new();
         let mut reject_event: Option<Box<TraceEvent>> = None;
+        let mut nearest: Option<NearestMiss> = None;
         let (result, downgrade) = {
-            let mut ctx = self.plan_ctx.lock();
+            let mut ctx = self.plan_pool.checkout();
             let result = ctx.plan_session(session, &view, &options.qrg, planner, rng);
+            if result.is_err() {
+                nearest = ctx
+                    .nearest_miss()
+                    .map(|(resource, ratio)| NearestMiss { resource, ratio });
+            }
             if traced {
                 for c in ctx.candidates() {
                     let mut ev = TraceEvent::new(t, EventKind::CandidateEvaluated)
@@ -441,8 +636,10 @@ impl Coordinator {
                     let mut ev = TraceEvent::new(t, EventKind::PlanRejected)
                         .with_service(service_name)
                         .with_detail("no feasible end-to-end plan");
-                    if let Some((rid, ratio)) = ctx.nearest_miss() {
-                        ev = ev.with_resource(u64::from(rid.0)).with_psi(ratio);
+                    if let Some(miss) = nearest {
+                        ev = ev
+                            .with_resource(u64::from(miss.resource.0))
+                            .with_psi(miss.ratio);
                     }
                     reject_event = Some(Box::new(ev));
                 }
@@ -481,8 +678,28 @@ impl Coordinator {
         }
         let plan = match result {
             Ok(plan) => plan,
-            Err(e) => return Err((e.into(), reject_event)),
+            Err(e) => return Err((e.into(), reject_event, nearest)),
         };
+        // Enforce the request's QoS floor between planning and dispatch:
+        // the best feasible plan either clears the floor or the request
+        // is rejected with nothing reserved.
+        if let Some(min) = qos_min {
+            if plan.rank < min {
+                let err = EstablishError::QosBelowMin {
+                    achieved: plan.rank,
+                    min,
+                };
+                let terminal = traced.then(|| {
+                    Box::new(
+                        TraceEvent::new(t, EventKind::PlanRejected)
+                            .with_service(service_name)
+                            .with_level(plan.rank)
+                            .with_detail(err.to_string()),
+                    )
+                });
+                return Err((err, terminal, None));
+            }
+        }
         if first_planned_rank.is_none() {
             *first_planned_rank = Some(plan.rank);
         }
@@ -505,7 +722,7 @@ impl Coordinator {
 
         // Phase 3: two-phase reserve/commit across the owning proxies,
         // all-or-nothing with exactly-once rollback.
-        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        let id = self.alloc_session_id();
         if let Err(e) = self.dispatch(id, &plan.total_demand(), now, traced, true) {
             let terminal = if !traced {
                 None
@@ -525,13 +742,13 @@ impl Coordinator {
                             .with_name(fe.host())
                             .with_detail(fe.to_string()),
                     )),
-                    EstablishError::Plan(_) => None,
+                    _ => None,
                 }
             };
-            return Err((e, terminal));
+            return Err((e, terminal, None));
         }
 
-        self.stats.lock().established += 1;
+        self.counters.record_establishment();
         self.counters.record_commit(plan.psi);
         if traced {
             let mut ev = TraceEvent::new(t, EventKind::ReservationCommitted)
@@ -553,7 +770,7 @@ impl Coordinator {
     /// Down hosts are skipped (their resources stay unobserved, which the
     /// planner treats as zero availability); a dropped report message
     /// leaves that host's resources unobserved the same way.
-    fn collect(
+    pub(crate) fn collect(
         &self,
         now: SimTime,
         observation: ObservationPolicy,
@@ -562,13 +779,14 @@ impl Coordinator {
     ) -> AvailabilityView {
         let mut view = AvailabilityView::new();
         let faults_active = self.faults.is_active();
-        let mut contacted = 0u64;
-        for proxy in &self.proxies {
+        for (i, proxy) in self.proxies.iter().enumerate() {
             if faults_active {
                 if self.faults.is_down(proxy.host()) {
                     continue;
                 }
-                contacted += 1;
+                self.shards[i]
+                    .collect_roundtrips
+                    .fetch_add(1, Ordering::Relaxed);
                 if self.faults.drop_message() {
                     self.counters.record_fault_injected();
                     if traced {
@@ -581,11 +799,12 @@ impl Coordinator {
                     continue;
                 }
             } else {
-                contacted += 1;
+                self.shards[i]
+                    .collect_roundtrips
+                    .fetch_add(1, Ordering::Relaxed);
             }
             proxy.collect_into(&mut view, now, observation, rng);
         }
-        self.stats.lock().collect_roundtrips += contacted;
         view
     }
 
@@ -654,10 +873,8 @@ impl Coordinator {
                 }
             }
         }
-        Ok(self
-            .plan_ctx
-            .lock()
-            .plan_session(session, &view, &options.qrg, options.planner, rng)?)
+        let mut ctx = self.plan_pool.checkout();
+        Ok(ctx.plan_session(session, &view, &options.qrg, options.planner, rng)?)
     }
 
     /// Upgrades (or re-shapes) a live session: re-plans with the
@@ -741,7 +958,7 @@ impl Coordinator {
     /// commit failure — rolls back *all* prepared segments exactly once.
     /// `use_faults: false` bypasses the injector (the renegotiation
     /// restore path, which must not fail spuriously).
-    fn dispatch(
+    pub(crate) fn dispatch(
         &self,
         id: SessionId,
         total: &ResourceVector,
@@ -791,7 +1008,7 @@ impl Coordinator {
             }
             let demand = ResourceVector::from_pairs(segments[&p].iter().copied())
                 .expect("plan demands are valid");
-            self.stats.lock().dispatches += 1;
+            self.shards[p].dispatches.fetch_add(1, Ordering::Relaxed);
             if let Err(e) = self.proxies[p].reserve_segment(id, &demand, now) {
                 self.rollback(id, &prepared, now, traced);
                 return Err(e.into());
@@ -845,7 +1062,9 @@ impl Coordinator {
                     .into());
                 }
             }
-            self.stats.lock().commit_roundtrips += 1;
+            self.shards[p]
+                .commit_roundtrips
+                .fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
     }
@@ -960,15 +1179,12 @@ mod tests {
     fn establish_reserves_and_terminate_releases() {
         let s = setup(100.0, 100.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let est = s
+        let request = SessionRequest::new(s.session.clone());
+        let outcome = s
             .coordinator
-            .establish(
-                &s.session,
-                &EstablishOptions::default(),
-                SimTime::new(1.0),
-                &mut rng,
-            )
-            .unwrap();
+            .establish_request(&request, SimTime::new(1.0), &mut rng);
+        assert!(matches!(outcome, EstablishOutcome::Committed(_)));
+        let est = outcome.into_session().unwrap();
         assert_eq!(est.plan.sink_level, 1); // top level fits
         let broker_a = s
             .coordinator
@@ -1004,14 +1220,11 @@ mod tests {
     fn establish_degrades_qos_under_scarcity() {
         let s = setup(100.0, 20.0); // host B can't host level 2 (needs 40)
         let mut rng = StdRng::seed_from_u64(1);
+        let request = SessionRequest::new(s.session.clone());
         let est = s
             .coordinator
-            .establish(
-                &s.session,
-                &EstablishOptions::default(),
-                SimTime::new(1.0),
-                &mut rng,
-            )
+            .establish_request(&request, SimTime::new(1.0), &mut rng)
+            .into_result()
             .unwrap();
         assert_eq!(est.plan.sink_level, 0);
     }
@@ -1020,19 +1233,130 @@ mod tests {
     fn establish_fails_cleanly_when_nothing_fits() {
         let s = setup(5.0, 5.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let err = s
+        let request = SessionRequest::new(s.session.clone());
+        let outcome = s
             .coordinator
-            .establish(
-                &s.session,
-                &EstablishOptions::default(),
-                SimTime::new(1.0),
-                &mut rng,
-            )
-            .unwrap_err();
-        assert!(matches!(err, EstablishError::Plan(_)));
+            .establish_request(&request, SimTime::new(1.0), &mut rng);
+        let EstablishOutcome::Rejected {
+            error,
+            nearest_miss,
+        } = outcome
+        else {
+            panic!("nothing fits, the request must be rejected");
+        };
+        assert!(matches!(error, EstablishError::Plan(_)));
+        // The rejection names the blocking resource: level-1 demand (10)
+        // overshoots the 5 available.
+        let miss = nearest_miss.expect("a blocking resource is identifiable");
+        assert!((miss.ratio - 2.0).abs() < 1e-9, "ratio {}", miss.ratio);
         let stats = s.coordinator.stats();
         assert_eq!(stats.attempts, 1);
         assert_eq!(stats.established, 0);
+    }
+
+    #[test]
+    fn qos_floor_rejects_below_min_without_reserving() {
+        let s = setup(100.0, 20.0); // best achievable rank is 1
+        let mut rng = StdRng::seed_from_u64(1);
+        let request = SessionRequest::new(s.session.clone()).qos_min(2);
+        let outcome = s
+            .coordinator
+            .establish_request(&request, SimTime::new(1.0), &mut rng);
+        assert!(matches!(
+            outcome.error(),
+            Some(EstablishError::QosBelowMin {
+                achieved: 1,
+                min: 2
+            })
+        ));
+        // Nothing was reserved.
+        let broker_a = s.coordinator.proxies()[0].brokers().get(s.cpu_a).unwrap();
+        assert_eq!(broker_a.available(), 100.0);
+        // And the floor is satisfiable when capacity allows it.
+        let s2 = setup(100.0, 100.0);
+        let request = SessionRequest::new(s2.session.clone()).qos_min(2);
+        let est = s2
+            .coordinator
+            .establish_request(&request, SimTime::new(1.0), &mut rng)
+            .into_result()
+            .unwrap();
+        assert_eq!(est.plan.rank, 2);
+    }
+
+    #[test]
+    fn expired_deadline_rejects_before_planning() {
+        let s = setup(100.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let request = SessionRequest::new(s.session.clone()).deadline(SimTime::new(5.0));
+        let outcome = s
+            .coordinator
+            .establish_request(&request, SimTime::new(6.0), &mut rng);
+        assert!(matches!(
+            outcome.error(),
+            Some(EstablishError::DeadlineExpired { .. })
+        ));
+        // At or before the deadline the request admits normally.
+        let outcome = s
+            .coordinator
+            .establish_request(&request, SimTime::new(5.0), &mut rng);
+        assert!(outcome.is_admitted());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_establish_shim_matches_request_api() {
+        let a = setup(100.0, 100.0);
+        let b = setup(100.0, 100.0);
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let est_a = a
+            .coordinator
+            .establish(
+                &a.session,
+                &EstablishOptions::default(),
+                SimTime::new(1.0),
+                &mut rng_a,
+            )
+            .unwrap();
+        let est_b = b
+            .coordinator
+            .establish_request(
+                &SessionRequest::new(b.session.clone()),
+                SimTime::new(1.0),
+                &mut rng_b,
+            )
+            .into_result()
+            .unwrap();
+        assert_eq!(est_a.id, est_b.id);
+        assert_eq!(est_a.plan.rank, est_b.plan.rank);
+        assert_eq!(est_a.plan.signature(), est_b.plan.signature());
+        assert_eq!(a.coordinator.stats(), b.coordinator.stats());
+    }
+
+    #[test]
+    fn host_stats_shard_traffic_by_proxy() {
+        let s = setup(100.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let request = SessionRequest::new(s.session.clone());
+        s.coordinator
+            .establish_request(&request, SimTime::new(1.0), &mut rng)
+            .into_result()
+            .unwrap();
+        let shards = s.coordinator.host_stats();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].host, "A");
+        assert_eq!(shards[1].host, "B");
+        // One collect + one reserve + one commit per host: the plan
+        // places one component on each.
+        for shard in &shards {
+            assert_eq!(shard.collect_roundtrips, 1);
+            assert_eq!(shard.dispatches, 1);
+            assert_eq!(shard.commit_roundtrips, 1);
+        }
+        let totals = s.coordinator.stats();
+        assert_eq!(totals.collect_roundtrips, 2);
+        assert_eq!(totals.dispatches, 2);
+        assert_eq!(totals.commit_roundtrips, 2);
     }
 
     #[test]
@@ -1062,10 +1386,15 @@ mod tests {
             .get(s.cpu_a)
             .unwrap()
             .clone();
+        let request = SessionRequest::new(s.session.clone()).options(opts);
         let mut saw_dispatch_failure = false;
         for i in 0..200 {
             let now = SimTime::new(10.5 + i as f64 * 0.01);
-            match s.coordinator.establish(&s.session, &opts, now, &mut rng) {
+            match s
+                .coordinator
+                .establish_request(&request, now, &mut rng)
+                .into_result()
+            {
                 Ok(est) => {
                     s.coordinator.terminate(&est, now);
                 }
@@ -1077,9 +1406,7 @@ mod tests {
                     break;
                 }
                 Err(EstablishError::Plan(_)) => {}
-                Err(EstablishError::Fault(_)) => {
-                    unreachable!("no fault injector configured")
-                }
+                Err(e) => unreachable!("unexpected establishment error: {e}"),
             }
         }
         assert!(
@@ -1146,15 +1473,18 @@ mod renegotiation_tests {
         let w = world(100.0);
         let mut rng = StdRng::seed_from_u64(1);
         let opts = EstablishOptions::default();
+        let request = SessionRequest::new(w.session.clone());
         // A background session grabs 60 units; ours only fits level 1.
         let blocker = w
             .coordinator
-            .establish(&w.session, &opts, SimTime::new(1.0), &mut rng)
+            .establish_request(&request, SimTime::new(1.0), &mut rng)
+            .into_result()
             .unwrap();
         assert_eq!(blocker.plan.rank, 2);
         let ours = w
             .coordinator
-            .establish(&w.session, &opts, SimTime::new(2.0), &mut rng)
+            .establish_request(&request, SimTime::new(2.0), &mut rng)
+            .into_result()
             .unwrap();
         assert_eq!(ours.plan.rank, 1);
 
@@ -1200,7 +1530,12 @@ mod renegotiation_tests {
         let opts = EstablishOptions::default();
         let est = w
             .coordinator
-            .establish(&w.session, &opts, SimTime::new(1.0), &mut rng)
+            .establish_request(
+                &SessionRequest::new(w.session.clone()),
+                SimTime::new(1.0),
+                &mut rng,
+            )
+            .into_result()
             .unwrap();
         assert_eq!(est.plan.rank, 2); // takes all 60
                                       // Raw availability is 0, yet replanning the same session still
@@ -1226,7 +1561,12 @@ mod renegotiation_tests {
         let opts = EstablishOptions::default();
         let est = w
             .coordinator
-            .establish(&w.session, &opts, SimTime::new(1.0), &mut rng)
+            .establish_request(
+                &SessionRequest::new(w.session.clone()),
+                SimTime::new(1.0),
+                &mut rng,
+            )
+            .into_result()
             .unwrap();
         // An outside reservation grabs everything that's left directly at
         // the broker (not via the coordinator).

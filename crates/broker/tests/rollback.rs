@@ -10,7 +10,7 @@
 use qosr_broker::{
     Broker, BrokerRegistry, BrokerReport, Coordinator, EstablishError, EstablishOptions,
     FaultError, LocalBroker, LocalBrokerConfig, QosProxy, ReserveError, RetryPolicy, SessionId,
-    SimTime,
+    SessionRequest, SimTime,
 };
 use qosr_model::{
     ComponentBinding, ComponentSpec, QosSchema, QosVector, ResourceId, ResourceKind, ResourceSpace,
@@ -203,12 +203,12 @@ fn commit_failure_rolls_back_every_prepared_hop_exactly_once() {
         w.coordinator.faults().script_commit_failures(victim, 1);
         let err = w
             .coordinator
-            .establish(
-                &w.session,
-                &EstablishOptions::default(),
+            .establish_request(
+                &SessionRequest::new(w.session.clone()),
                 SimTime::new(1.0),
                 &mut rng,
             )
+            .into_result()
             .unwrap_err();
         match err {
             EstablishError::Fault(FaultError::CommitFailed { host }) => assert_eq!(host, victim),
@@ -287,12 +287,12 @@ fn prepare_failure_releases_only_the_prepared_prefix() {
 
     let mut rng = StdRng::seed_from_u64(2);
     let err = coordinator
-        .establish(
-            &session,
-            &EstablishOptions::default(),
+        .establish_request(
+            &SessionRequest::new(session.clone()),
             SimTime::new(1.0),
             &mut rng,
         )
+        .into_result()
         .unwrap_err();
     match err {
         EstablishError::Reserve(e) => assert_eq!(e.resource(), cpu_b),
@@ -323,7 +323,12 @@ fn retry_absorbs_a_transient_commit_failure() {
     };
     let est = w
         .coordinator
-        .establish(&w.session, &options, SimTime::new(1.0), &mut rng)
+        .establish_request(
+            &SessionRequest::new(w.session.clone()).options(options.clone()),
+            SimTime::new(1.0),
+            &mut rng,
+        )
+        .into_result()
         .unwrap();
     for cpu in &w.cpus {
         assert_eq!(cpu.reserved_for(est.id), 10.0);
@@ -408,7 +413,12 @@ fn retry_after_prepare_failure_degrades_gracefully() {
         ..EstablishOptions::default()
     };
     let est = coordinator
-        .establish(&session, &options, SimTime::new(1.0), &mut rng)
+        .establish_request(
+            &SessionRequest::new(session.clone()).options(options.clone()),
+            SimTime::new(1.0),
+            &mut rng,
+        )
+        .into_result()
         .unwrap();
     assert_eq!(est.plan.rank, 1, "should have degraded to rank 1");
     let snap = coordinator.counters().snapshot();
@@ -429,12 +439,12 @@ fn down_host_is_unplannable_until_recovery() {
     // not a reservation leak.
     let err = w
         .coordinator
-        .establish(
-            &w.session,
-            &EstablishOptions::default(),
+        .establish_request(
+            &SessionRequest::new(w.session.clone()),
             SimTime::new(2.0),
             &mut rng,
         )
+        .into_result()
         .unwrap_err();
     assert!(matches!(err, EstablishError::Plan(_)));
     for cpu in &w.cpus {
@@ -445,12 +455,12 @@ fn down_host_is_unplannable_until_recovery() {
     w.coordinator.recover_host("B", SimTime::new(3.0));
     let est = w
         .coordinator
-        .establish(
-            &w.session,
-            &EstablishOptions::default(),
+        .establish_request(
+            &SessionRequest::new(w.session.clone()),
             SimTime::new(4.0),
             &mut rng,
         )
+        .into_result()
         .unwrap();
     assert_eq!(est.plan.rank, 1);
 }

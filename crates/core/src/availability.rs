@@ -69,6 +69,43 @@ impl AvailabilityView {
         self.entries.iter().map(|(&id, &(a, al))| (id, a, al))
     }
 
+    /// Subtracts `amount` from the recorded availability of `id`,
+    /// clamping at zero. Unobserved resources stay unobserved: a debit
+    /// cannot create an observation out of thin air.
+    ///
+    /// Used by the batched admission pipeline to keep a *working copy*
+    /// of an epoch snapshot current as plans from the same round commit
+    /// ahead of later arrivals.
+    pub fn debit(&mut self, id: ResourceId, amount: f64) {
+        if let Some((avail, _)) = self.entries.get_mut(&id) {
+            *avail = (*avail - amount).max(0.0);
+        }
+    }
+
+    /// Checks a demand vector against the view and returns the *worst*
+    /// shortfall, if any: the `(resource, requested, available)` triple
+    /// maximizing `requested − available` over all entries that do not
+    /// fit. Returns `None` when every entry fits (within a small epsilon
+    /// absorbing float drift from repeated debits).
+    ///
+    /// Duplicate resources in `demand` are **not** summed; callers pass
+    /// per-resource totals (as produced by
+    /// [`ReservationPlan::total_demand`](crate::ReservationPlan::total_demand)).
+    pub fn first_deficit(
+        &self,
+        demand: impl IntoIterator<Item = (ResourceId, f64)>,
+    ) -> Option<(ResourceId, f64, f64)> {
+        let mut worst: Option<(ResourceId, f64, f64)> = None;
+        for (id, requested) in demand {
+            let available = self.avail(id);
+            let short = requested - available;
+            if short > 1e-9 && worst.is_none_or(|(_, r, a)| short > r - a) {
+                worst = Some((id, requested, available));
+            }
+        }
+        worst
+    }
+
     /// Builds a view by probing `avail` (with neutral α) for each id.
     pub fn from_fn(
         ids: impl IntoIterator<Item = ResourceId>,
@@ -115,6 +152,33 @@ mod tests {
         assert_eq!(view.avail(rid(1)), 70.0);
         assert_eq!(view.alpha(rid(1)), 1.2);
         assert_eq!(view.len(), 2);
+    }
+
+    #[test]
+    fn debit_clamps_and_ignores_unobserved() {
+        let mut view = AvailabilityView::new();
+        view.set_with_alpha(rid(1), 100.0, 0.9);
+        view.debit(rid(1), 30.0);
+        assert_eq!(view.avail(rid(1)), 70.0);
+        assert_eq!(view.alpha(rid(1)), 0.9, "debit preserves the trend");
+        view.debit(rid(1), 1000.0);
+        assert_eq!(view.avail(rid(1)), 0.0, "clamped at zero");
+        view.debit(rid(2), 10.0);
+        assert!(!view.contains(rid(2)), "debit never creates observations");
+    }
+
+    #[test]
+    fn first_deficit_reports_worst_shortfall() {
+        let mut view = AvailabilityView::new();
+        view.set(rid(1), 100.0);
+        view.set(rid(2), 10.0);
+        assert_eq!(view.first_deficit([(rid(1), 50.0), (rid(2), 10.0)]), None);
+        // rid(3) is unobserved (zero availability) and overshoots by 20;
+        // rid(2) overshoots by 5. The worst shortfall wins.
+        let hit = view
+            .first_deficit([(rid(2), 15.0), (rid(3), 20.0)])
+            .expect("deficit");
+        assert_eq!(hit, (rid(3), 20.0, 0.0));
     }
 
     #[test]

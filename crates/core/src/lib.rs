@@ -68,10 +68,12 @@ mod ctx;
 mod error;
 mod plan;
 mod planner;
+mod pool;
 mod psi;
 mod qrg;
 mod relax;
 mod skeleton;
+mod snapshot;
 #[cfg(test)]
 pub(crate) mod test_fixtures;
 mod view;
@@ -81,7 +83,9 @@ pub use ctx::{CandidateEval, PlanCtx};
 pub use error::PlanError;
 pub use plan::{Bottleneck, PlanAssignment, ReservationPlan};
 pub use planner::{plan_basic, plan_dag, plan_random, plan_tradeoff, plan_with, Planner};
+pub use pool::{PlanCtxPool, PooledCtx};
 pub use psi::PsiDef;
 pub use qrg::{EdgeKind, NodeRef, Qrg, QrgEdge, QrgOptions};
 pub use relax::{relax, Relaxation};
 pub use skeleton::QrgSkeleton;
+pub use snapshot::EpochSnapshot;

@@ -1,0 +1,83 @@
+//! Epoch-stamped availability snapshots for batched admission.
+
+use crate::availability::AvailabilityView;
+
+/// One epoch-stamped availability snapshot, shared by every request in a
+/// batched admission round.
+///
+/// The batched pipeline collects availability from all brokers **once**
+/// per round instead of once per request, stamps the result with a
+/// monotonically increasing epoch, and lets every worker thread plan
+/// against the same immutable view. The epoch identifies the round in
+/// trace events and makes the staleness of any plan explicit: a plan
+/// carries the epoch it was computed against, and the sequential commit
+/// phase revalidates it against a *working copy* of the same snapshot
+/// that is debited as earlier arrivals commit.
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    taken_at: f64,
+    view: AvailabilityView,
+}
+
+impl EpochSnapshot {
+    /// Wraps a collected availability view with its epoch stamp and
+    /// collection time.
+    pub fn new(epoch: u64, taken_at: f64, view: AvailabilityView) -> Self {
+        EpochSnapshot {
+            epoch,
+            taken_at,
+            view,
+        }
+    }
+
+    /// The admission round this snapshot was taken for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Simulation/wall time the snapshot was collected at.
+    pub fn taken_at(&self) -> f64 {
+        self.taken_at
+    }
+
+    /// The immutable availability view all requests in the round plan
+    /// against.
+    pub fn view(&self) -> &AvailabilityView {
+        &self.view
+    }
+
+    /// A mutable *working copy* of the view for the commit phase to
+    /// debit as plans from this round commit.
+    pub fn working(&self) -> AvailabilityView {
+        self.view.clone()
+    }
+
+    /// Consumes the snapshot, yielding the underlying view.
+    pub fn into_view(self) -> AvailabilityView {
+        self.view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosr_model::ResourceId;
+
+    #[test]
+    fn snapshot_wraps_view_and_working_copy_is_independent() {
+        let mut view = AvailabilityView::new();
+        view.set(ResourceId(0), 100.0);
+        let snap = EpochSnapshot::new(7, 3.5, view);
+        assert_eq!(snap.epoch(), 7);
+        assert_eq!(snap.taken_at(), 3.5);
+        let mut working = snap.working();
+        working.debit(ResourceId(0), 40.0);
+        assert_eq!(working.avail(ResourceId(0)), 60.0);
+        assert_eq!(
+            snap.view().avail(ResourceId(0)),
+            100.0,
+            "the snapshot itself is immutable"
+        );
+    }
+}

@@ -72,6 +72,11 @@ pub struct Counters {
     degraded_commits: AtomicU64,
     sessions_lost: AtomicU64,
     fault_failures: AtomicU64,
+    establish_attempts: AtomicU64,
+    establishments: AtomicU64,
+    batches_planned: AtomicU64,
+    commit_conflicts: AtomicU64,
+    replans: AtomicU64,
     psi: PsiHistogram,
 }
 
@@ -176,6 +181,37 @@ impl Counters {
         self.fault_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// An establishment request entered the coordinator (counted once
+    /// per request, before any retries). Replaces the old
+    /// `Mutex<MessageStats>.attempts` bookkeeping on the establish path.
+    pub fn record_establish_attempt(&self) {
+        self.establish_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An establishment request ultimately committed. Replaces the old
+    /// `Mutex<MessageStats>.established` bookkeeping.
+    pub fn record_establishment(&self) {
+        self.establishments.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A batched admission round planned its requests in parallel
+    /// against one epoch snapshot.
+    pub fn record_batch_planned(&self) {
+        self.batches_planned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The sequential commit phase found a plan whose resource was
+    /// consumed by an earlier commit in the same round.
+    pub fn record_commit_conflict(&self) {
+        self.commit_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A conflicted request was replanned against the round's working
+    /// view instead of being failed.
+    pub fn record_replan(&self) {
+        self.replans.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The committed-Ψ histogram.
     pub fn psi_histogram(&self) -> &PsiHistogram {
         &self.psi
@@ -200,6 +236,11 @@ impl Counters {
             degraded_commits: self.degraded_commits.load(Ordering::Relaxed),
             sessions_lost: self.sessions_lost.load(Ordering::Relaxed),
             fault_failures: self.fault_failures.load(Ordering::Relaxed),
+            establish_attempts: self.establish_attempts.load(Ordering::Relaxed),
+            establishments: self.establishments.load(Ordering::Relaxed),
+            batches_planned: self.batches_planned.load(Ordering::Relaxed),
+            commit_conflicts: self.commit_conflicts.load(Ordering::Relaxed),
+            replans: self.replans.load(Ordering::Relaxed),
             psi_buckets: self.psi.counts().to_vec(),
         }
     }
@@ -240,6 +281,18 @@ pub struct CountersSnapshot {
     pub sessions_lost: u64,
     /// Establishments that failed after exhausting fault retries.
     pub fault_failures: u64,
+    /// Establishment requests received (once per request, before
+    /// retries).
+    pub establish_attempts: u64,
+    /// Establishment requests that ultimately committed.
+    pub establishments: u64,
+    /// Batched admission rounds planned.
+    pub batches_planned: u64,
+    /// Same-round commit conflicts detected by the sequential commit
+    /// phase.
+    pub commit_conflicts: u64,
+    /// Conflicted requests replanned against the round's working view.
+    pub replans: u64,
     /// Committed-Ψ histogram counts ([`PSI_BUCKETS`] edges + overflow).
     pub psi_buckets: Vec<u64>,
 }

@@ -85,6 +85,20 @@ pub enum EventKind {
     /// An establishment exhausted its retry budget on injected faults
     /// and failed. Payload: `service`, `detail`.
     EstablishFaulted,
+    /// A batched admission round planned all its requests in parallel
+    /// against one epoch-stamped availability snapshot. Payload: `level`
+    /// (batch size), `detail` (epoch and worker count).
+    BatchPlanned,
+    /// The sequential commit phase of a batched round found that an
+    /// earlier commit in the same round consumed a plan's Ψ-critical
+    /// resource — the plan no longer fits the round's working view.
+    /// Payload: `service`, `resource` (the contended resource), `psi`
+    /// (the `req/avail` overshoot ratio), `detail`.
+    CommitConflict,
+    /// A conflicted request was replanned against the round's working
+    /// view (bounded retries) instead of being failed. Payload:
+    /// `service`, `detail` (replan attempt number and epoch).
+    Replanned,
 }
 
 /// One timestamped trace record. Construct with [`TraceEvent::new`] and

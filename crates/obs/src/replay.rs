@@ -94,6 +94,12 @@ pub struct TraceSummary {
     pub sessions_lost: u64,
     /// Establishments that failed after exhausting fault retries.
     pub fault_failures: u64,
+    /// Batched admission rounds planned against one epoch snapshot.
+    pub batches_planned: u64,
+    /// Same-round commit conflicts caught by the sequential commit phase.
+    pub commit_conflicts: u64,
+    /// Conflicted requests replanned against the round's working view.
+    pub replans: u64,
     /// Sum of committed QoS ranks (for [`TraceSummary::mean_qos_level`]).
     pub qos_level_sum: u64,
     /// Commits per bottleneck resource, keyed by resolved name.
@@ -147,6 +153,9 @@ impl TraceSummary {
                 EventKind::DegradedEstablish => summary.degraded += 1,
                 EventKind::SessionLost => summary.sessions_lost += 1,
                 EventKind::EstablishFaulted => summary.fault_failures += 1,
+                EventKind::BatchPlanned => summary.batches_planned += 1,
+                EventKind::CommitConflict => summary.commit_conflicts += 1,
+                EventKind::Replanned => summary.replans += 1,
             }
         }
         summary
@@ -210,6 +219,11 @@ impl TraceSummary {
             let _ = writeln!(out, "  degraded establishes   : {}", self.degraded);
             let _ = writeln!(out, "  sessions lost          : {}", self.sessions_lost);
             let _ = writeln!(out, "  fault-exhausted fails  : {}", self.fault_failures);
+        }
+        if self.batches_planned > 0 || self.commit_conflicts > 0 || self.replans > 0 {
+            let _ = writeln!(out, "  batch rounds planned   : {}", self.batches_planned);
+            let _ = writeln!(out, "  commit conflicts       : {}", self.commit_conflicts);
+            let _ = writeln!(out, "  replans                : {}", self.replans);
         }
         match self.success_rate() {
             Some(rate) => {
@@ -317,6 +331,37 @@ mod tests {
         assert_eq!(by_session[&1].len(), 2);
         assert_eq!(by_session[&2].len(), 1);
         assert_eq!(unscoped.len(), 1);
+    }
+
+    #[test]
+    fn batch_admission_events_reduce_and_render() {
+        let events = vec![
+            TraceEvent::new(0.0, EventKind::PlanStarted),
+            TraceEvent::new(0.0, EventKind::BatchPlanned)
+                .with_level(8)
+                .with_detail("epoch 0, 4 workers"),
+            TraceEvent::new(0.0, EventKind::CommitConflict)
+                .with_service("clip")
+                .with_resource(2)
+                .with_psi(1.4),
+            TraceEvent::new(0.0, EventKind::Replanned)
+                .with_service("clip")
+                .with_detail("replan 1, epoch 0"),
+        ];
+        let summary = TraceSummary::from_events(&events);
+        assert_eq!(summary.batches_planned, 1);
+        assert_eq!(summary.commit_conflicts, 1);
+        assert_eq!(summary.replans, 1);
+        let rendered = summary.render();
+        assert!(rendered.contains("batch rounds planned   : 1"));
+        assert!(rendered.contains("commit conflicts       : 1"));
+        assert!(rendered.contains("replans                : 1"));
+    }
+
+    #[test]
+    fn batch_block_is_hidden_for_non_batched_traces() {
+        let summary = TraceSummary::from_events(&[]);
+        assert!(!summary.render().contains("batch rounds planned"));
     }
 
     #[test]

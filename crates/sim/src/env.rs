@@ -481,12 +481,12 @@ mod ring_tests {
         let session = e.session(0, 4, 1.0).unwrap();
         let est = e
             .coordinator
-            .establish(
-                &session,
-                &qosr_broker::EstablishOptions::default(),
+            .establish_request(
+                &qosr_broker::SessionRequest::new(session.clone()),
                 SimTime::new(1.0),
                 &mut rng,
             )
+            .into_result()
             .unwrap();
         assert!(est.plan.rank >= 1);
         // Both ring links on the H1->H3 route hold the bandwidth.

@@ -148,6 +148,18 @@ pub struct RunMetrics {
     /// attempt planned (graceful degradation across retries).
     #[serde(default)]
     pub degraded_establishes: u64,
+    /// Batched admission rounds planned (0 unless `batch_arrivals` is
+    /// set).
+    #[serde(default)]
+    pub batches_planned: u64,
+    /// Same-round commit conflicts detected by batched admission: a
+    /// plan's capacity was consumed by an earlier commit in its round.
+    #[serde(default)]
+    pub commit_conflicts: u64,
+    /// Conflicted batch requests replanned against the round's working
+    /// view instead of being failed.
+    #[serde(default)]
+    pub replans: u64,
 }
 
 impl RunMetrics {
@@ -183,6 +195,9 @@ impl RunMetrics {
         self.rollbacks += other.rollbacks;
         self.retries += other.retries;
         self.degraded_establishes += other.degraded_establishes;
+        self.batches_planned += other.batches_planned;
+        self.commit_conflicts += other.commit_conflicts;
+        self.replans += other.replans;
     }
 }
 

@@ -110,8 +110,12 @@ fn main() {
     let mut held = Vec::new();
     for i in 1.. {
         let now = t0 + i as f64;
-        match coordinator.establish(&session, &Default::default(), now, &mut rng) {
-            Ok(est) => {
+        // Build a session request: the builder carries per-request policy
+        // (QoS floor, deadline, planner choice) so `establish_request`
+        // needs no positional option arguments.
+        let request = SessionRequest::new(session.clone());
+        match coordinator.establish_request(&request, now, &mut rng) {
+            EstablishOutcome::Committed(est) => {
                 println!(
                     "session {}: end-to-end QoS {} (rank {}), bottleneck Ψ = {:.2} on {}",
                     est.id,
@@ -125,8 +129,29 @@ fn main() {
                 );
                 held.push(est);
             }
-            Err(err) => {
-                println!("session rejected: {err}");
+            EstablishOutcome::Degraded {
+                session: est,
+                from,
+                to,
+            } => {
+                println!(
+                    "session {}: committed degraded (rank {from} → {to}) at QoS {}",
+                    est.id, est.plan.end_to_end,
+                );
+                held.push(est);
+            }
+            EstablishOutcome::Rejected {
+                error,
+                nearest_miss,
+            } => {
+                match nearest_miss {
+                    Some(miss) => println!(
+                        "session rejected: {error} (worst shortfall {:.1}x on {})",
+                        miss.ratio,
+                        space.name(miss.resource),
+                    ),
+                    None => println!("session rejected: {error}"),
+                }
                 break;
             }
         }

@@ -1,0 +1,152 @@
+//! The unified workspace error type.
+//!
+//! Library code keeps its layer-local errors ([`qosr_core::PlanError`],
+//! [`qosr_broker::ReserveError`], [`qosr_broker::FaultError`],
+//! [`qosr_broker::EstablishError`]), but applications sitting on the
+//! facade — the CLI, the simulator binaries, downstream users — want one
+//! type to match on. [`QosrError`] is that type: every layer error
+//! converts into it via `From`, so `?` works across layer boundaries,
+//! and it is `#[non_exhaustive]` so new failure classes can be added
+//! without a breaking release.
+
+use qosr_broker::{EstablishError, FaultError, ReserveError};
+use qosr_core::PlanError;
+use std::fmt;
+
+/// Any failure the `qosr` workspace can report, unified for facade
+/// users. Convert layer errors with `From`/`?`; match non-exhaustively.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QosrError {
+    /// Planning found no feasible end-to-end reservation plan (or the
+    /// DAG heuristic failed). See [`qosr_core::PlanError`].
+    Plan(PlanError),
+    /// A broker rejected a reservation. See
+    /// [`qosr_broker::ReserveError`].
+    Reserve(ReserveError),
+    /// An injected fault (crash, lost message, failed commit)
+    /// interrupted a protocol run. See [`qosr_broker::FaultError`].
+    Fault(FaultError),
+    /// The best feasible plan fell below the request's
+    /// [`qos_min`](qosr_broker::SessionRequest::qos_min) floor.
+    QosBelowMin {
+        /// The best rank planning could achieve.
+        achieved: u32,
+        /// The floor the request demanded.
+        min: u32,
+    },
+    /// The request's [`deadline`](qosr_broker::SessionRequest::deadline)
+    /// had already passed when admission was attempted.
+    DeadlineExpired {
+        /// The deadline the request carried, in time units.
+        deadline: f64,
+        /// The time admission was attempted at.
+        now: f64,
+    },
+}
+
+impl fmt::Display for QosrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QosrError::Plan(e) => write!(f, "planning failed: {e}"),
+            QosrError::Reserve(e) => write!(f, "reservation failed: {e}"),
+            QosrError::Fault(e) => write!(f, "establishment faulted: {e}"),
+            QosrError::QosBelowMin { achieved, min } => {
+                write!(f, "best plan rank {achieved} below requested minimum {min}")
+            }
+            QosrError::DeadlineExpired { deadline, now } => {
+                write!(f, "deadline {deadline} already passed at {now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QosrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QosrError::Plan(e) => Some(e),
+            QosrError::Reserve(e) => Some(e),
+            QosrError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for QosrError {
+    fn from(e: PlanError) -> Self {
+        QosrError::Plan(e)
+    }
+}
+
+impl From<ReserveError> for QosrError {
+    fn from(e: ReserveError) -> Self {
+        QosrError::Reserve(e)
+    }
+}
+
+impl From<FaultError> for QosrError {
+    fn from(e: FaultError) -> Self {
+        QosrError::Fault(e)
+    }
+}
+
+impl From<EstablishError> for QosrError {
+    fn from(e: EstablishError) -> Self {
+        match e {
+            EstablishError::Plan(e) => QosrError::Plan(e),
+            EstablishError::Reserve(e) => QosrError::Reserve(e),
+            EstablishError::Fault(e) => QosrError::Fault(e),
+            EstablishError::QosBelowMin { achieved, min } => {
+                QosrError::QosBelowMin { achieved, min }
+            }
+            EstablishError::DeadlineExpired { deadline, now } => {
+                QosrError::DeadlineExpired { deadline, now }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosr_model::ResourceId;
+
+    #[test]
+    fn every_layer_error_converts_and_displays() {
+        let e: QosrError = PlanError::NoFeasiblePlan.into();
+        assert!(matches!(e, QosrError::Plan(_)));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: QosrError = ReserveError::Insufficient {
+            resource: ResourceId(1),
+            requested: 9.0,
+            available: 3.0,
+        }
+        .into();
+        assert!(e.to_string().contains("reservation failed"));
+
+        let e: QosrError = FaultError::HostDown { host: "H".into() }.into();
+        assert!(e.to_string().contains("host H is down"));
+
+        let e: QosrError = EstablishError::QosBelowMin {
+            achieved: 1,
+            min: 3,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            QosrError::QosBelowMin {
+                achieved: 1,
+                min: 3
+            }
+        ));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e: QosrError = EstablishError::DeadlineExpired {
+            deadline: 4.0,
+            now: 6.0,
+        }
+        .into();
+        assert!(e.to_string().contains("already passed"));
+    }
+}

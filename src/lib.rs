@@ -24,6 +24,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
+
+pub use error::QosrError;
+
 pub use qosr_broker as broker;
 pub use qosr_core as core;
 pub use qosr_model as model;
@@ -57,13 +61,16 @@ pub use qosr_sim as sim;
 /// assert_eq!(plan.psi, 0.25);
 /// ```
 pub mod prelude {
+    pub use crate::QosrError;
     pub use qosr_broker::{
-        AdvanceRegistry, Broker, BrokerRegistry, Coordinator, EstablishOptions, FaultInjector,
-        LocalBroker, QosProxy, RetryPolicy, SessionId, SimTime, TimelineBroker,
+        AdmissionConfig, AdmissionQueue, AdvanceRegistry, AlphaPolicy, Broker, BrokerRegistry,
+        Coordinator, EstablishOptions, EstablishOutcome, FaultInjector, HostMessageStats,
+        LocalBroker, NearestMiss, QosProxy, RetryPolicy, SessionId, SessionRequest, SimTime,
+        TimelineBroker,
     };
     pub use qosr_core::{
-        plan_basic, plan_dag, plan_random, plan_tradeoff, AvailabilityView, Planner, Qrg,
-        QrgOptions, ReservationPlan,
+        plan_basic, plan_dag, plan_random, plan_tradeoff, AvailabilityView, EpochSnapshot,
+        PlanCtxPool, Planner, Qrg, QrgOptions, ReservationPlan,
     };
     pub use qosr_model::{
         ComponentBinding, ComponentSpec, DependencyGraph, QosSchema, QosVector, ResourceId,

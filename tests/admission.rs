@@ -1,0 +1,257 @@
+//! Integration coverage for the batched admission pipeline behind the
+//! redesigned session API, driven through the `qosr` facade against the
+//! paper's figure-9 environment:
+//!
+//! * the [`SessionRequest`] builder's per-request policy (QoS floor,
+//!   deadline) classifies outcomes before anything is reserved;
+//! * batch outcomes are deterministic in the worker count;
+//! * scarcity provokes same-round conflicts that replan into degraded
+//!   commits instead of rejections, with the per-host message shards
+//!   accounting for the traffic;
+//! * concurrent `admit` rounds from many OS threads never over-commit
+//!   a broker (`ADMISSION_STRESS=1` scales the schedule up — the CI
+//!   threaded-stress step runs it under a pinned `RUST_TEST_THREADS`).
+
+use qosr::broker::LocalBrokerConfig;
+use qosr::prelude::*;
+use qosr::sim::services::ServiceOptions;
+use qosr::sim::PaperEnvironment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn paper_env(seed: u64, capacity_range: (f64, f64)) -> PaperEnvironment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    PaperEnvironment::build(
+        &mut rng,
+        &ServiceOptions::default(),
+        capacity_range,
+        LocalBrokerConfig::default(),
+    )
+}
+
+/// `(service, domain)` pairs honouring the excluded-service rule.
+fn valid_pairs() -> impl Iterator<Item = (usize, usize)> {
+    (0..8).flat_map(|domain| {
+        (0..4)
+            .filter(move |&service| service != domain / 2)
+            .map(move |service| (service, domain))
+    })
+}
+
+#[test]
+fn builder_policy_gates_admission_before_reserving() {
+    let env = paper_env(11, (1000.0, 4000.0));
+    let session = env.session(1, 0, 1.0).unwrap();
+    let queue = AdmissionQueue::new(&env.coordinator, AdmissionConfig::default());
+    let now = SimTime::new(10.0);
+
+    let batch = vec![
+        SessionRequest::new(session.clone()),
+        SessionRequest::new(session.clone()).qos_min(u32::MAX),
+        SessionRequest::new(session.clone()).deadline(SimTime::new(5.0)),
+    ];
+    let before: Vec<f64> = env
+        .coordinator
+        .proxies()
+        .iter()
+        .flat_map(|p| p.brokers().iter().map(|b| b.available()))
+        .collect();
+    let outcomes = queue.admit(&batch, now);
+
+    assert!(matches!(outcomes[0], EstablishOutcome::Committed(_)));
+    assert!(matches!(
+        &outcomes[1],
+        EstablishOutcome::Rejected {
+            error: qosr::broker::EstablishError::QosBelowMin { .. },
+            ..
+        }
+    ));
+    assert!(matches!(
+        &outcomes[2],
+        EstablishOutcome::Rejected {
+            error: qosr::broker::EstablishError::DeadlineExpired { .. },
+            ..
+        }
+    ));
+
+    // The rejected requests reserved nothing: terminating the one
+    // committed session restores the untouched world.
+    env.coordinator
+        .terminate(outcomes[0].session().unwrap(), SimTime::new(11.0));
+    let after: Vec<f64> = env
+        .coordinator
+        .proxies()
+        .iter()
+        .flat_map(|p| p.brokers().iter().map(|b| b.available()))
+        .collect();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn batch_outcomes_do_not_depend_on_worker_count() {
+    let run = |workers: usize| {
+        let env = paper_env(23, (300.0, 1200.0));
+        let requests: Vec<SessionRequest> = valid_pairs()
+            .map(|(service, domain)| {
+                SessionRequest::new(env.session(service, domain, 4.0).unwrap())
+            })
+            .collect();
+        let queue = AdmissionQueue::new(
+            &env.coordinator,
+            AdmissionConfig {
+                workers,
+                seed: 99,
+                ..AdmissionConfig::default()
+            },
+        );
+        queue
+            .admit(&requests, SimTime::new(1.0))
+            .iter()
+            .map(|o| (o.is_admitted(), o.session().map(|est| est.plan.rank)))
+            .collect::<Vec<_>>()
+    };
+    let single = run(1);
+    assert_eq!(single, run(5));
+    assert_eq!(single, run(8));
+    assert!(single.iter().any(|(admitted, _)| *admitted));
+}
+
+#[test]
+fn scarcity_replans_conflicts_and_shards_account_for_traffic() {
+    let env = paper_env(7, (250.0, 1000.0));
+    // Many fat requests for the same service pile demand on one host.
+    let requests: Vec<SessionRequest> = (0..12)
+        .map(|i| SessionRequest::new(env.session(1, 4 + (i % 2), 6.0).unwrap()))
+        .collect();
+    let queue = AdmissionQueue::new(
+        &env.coordinator,
+        AdmissionConfig {
+            workers: 4,
+            seed: 3,
+            ..AdmissionConfig::default()
+        },
+    );
+    let outcomes = queue.admit(&requests, SimTime::new(1.0));
+
+    let snap = env.coordinator.counters().snapshot();
+    assert_eq!(snap.batches_planned, 1);
+    assert!(
+        snap.commit_conflicts > 0,
+        "12 fat same-host sessions against ~250 capacity must conflict"
+    );
+    assert!(snap.replans > 0, "conflicts must be replanned, not dropped");
+    assert!(
+        outcomes.iter().any(|o| o.is_admitted()),
+        "replanning must salvage part of the batch"
+    );
+
+    // One collect round for the whole batch, fanned to every host; the
+    // per-host shards add up to the coordinator totals.
+    let host_stats = env.coordinator.host_stats();
+    assert_eq!(host_stats.len(), 4);
+    for h in &host_stats {
+        assert_eq!(h.collect_roundtrips, 1, "host {} collected once", h.host);
+    }
+    let stats = env.coordinator.stats();
+    assert_eq!(stats.collect_roundtrips, 4);
+    assert_eq!(
+        stats.dispatches,
+        host_stats.iter().map(|h| h.dispatches).sum::<u64>()
+    );
+    assert!(
+        host_stats.iter().filter(|h| h.dispatches > 0).count() > 1,
+        "commits must spread across host shards"
+    );
+}
+
+#[test]
+fn concurrent_admission_rounds_never_over_commit() {
+    let stress = std::env::var("ADMISSION_STRESS").is_ok_and(|v| v == "1");
+    let (threads, rounds, batch) = if stress { (8, 20, 16) } else { (4, 3, 8) };
+
+    let env = paper_env(42, (400.0, 1600.0));
+    let initial: Vec<f64> = env
+        .coordinator
+        .proxies()
+        .iter()
+        .flat_map(|p| p.brokers().iter().map(|b| b.available()))
+        .collect();
+    let queue = AdmissionQueue::new(
+        &env.coordinator,
+        AdmissionConfig {
+            workers: 2,
+            seed: 17,
+            ..AdmissionConfig::default()
+        },
+    );
+    let pairs: Vec<_> = valid_pairs().collect();
+
+    // Concurrent rounds race each other's commits: conflict detection
+    // against a round's working view can miss the other round's
+    // reservations, but the brokers are the commit authority — a late
+    // loser is replanned or rejected, never over-committed.
+    let established = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let queue = &queue;
+                let env = &env;
+                let pairs = &pairs;
+                scope.spawn(move || {
+                    let mut held = Vec::new();
+                    for round in 0..rounds {
+                        let requests: Vec<SessionRequest> = (0..batch)
+                            .map(|i| {
+                                let (service, domain) =
+                                    pairs[(t * 31 + round * 7 + i) % pairs.len()];
+                                SessionRequest::new(env.session(service, domain, 3.0).unwrap())
+                            })
+                            .collect();
+                        let now = SimTime::new((round + 1) as f64);
+                        held.extend(
+                            queue
+                                .admit(&requests, now)
+                                .into_iter()
+                                .filter_map(|o| o.into_session()),
+                        );
+                    }
+                    held
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("admission thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(queue.rounds(), (threads * rounds) as u64);
+
+    for proxy in env.coordinator.proxies() {
+        for broker in proxy.brokers().iter() {
+            let available = broker.available();
+            assert!(
+                available >= -1e-9 && available <= broker.capacity() + 1e-9,
+                "resource {:?} over-committed under concurrent rounds: {} of {}",
+                broker.resource(),
+                available,
+                broker.capacity()
+            );
+        }
+    }
+
+    // Full teardown restores the untouched world.
+    for est in &established {
+        env.coordinator.terminate(est, SimTime::new(1000.0));
+    }
+    let after: Vec<f64> = env
+        .coordinator
+        .proxies()
+        .iter()
+        .flat_map(|p| p.brokers().iter().map(|b| b.available()))
+        .collect();
+    for (before, after) in initial.iter().zip(&after) {
+        assert!(
+            (before - after).abs() < 1e-6,
+            "teardown must conserve capacity: {before} vs {after}"
+        );
+    }
+}

@@ -3,7 +3,8 @@
 //! network reservation over a multi-link route.
 
 use qosr::broker::{
-    Broker, BrokerRegistry, Coordinator, EstablishOptions, LocalBroker, QosProxy, SimTime,
+    Broker, BrokerRegistry, Coordinator, EstablishOptions, LocalBroker, QosProxy, SessionRequest,
+    SimTime,
 };
 use qosr::model::*;
 use qosr::net::{NetNode, NetworkFabric, Topology};
@@ -127,12 +128,12 @@ fn establishment_reserves_across_the_whole_stack() {
     let mut rng = StdRng::seed_from_u64(1);
     let est = w
         .coordinator
-        .establish(
-            &w.session,
-            &EstablishOptions::default(),
+        .establish_request(
+            &SessionRequest::new(w.session.clone()),
             SimTime::new(1.0),
             &mut rng,
         )
+        .into_result()
         .unwrap();
     // Top level: encoder 18 cpu + 45 bw(sp), player 35 bw(pc).
     assert_eq!(est.plan.rank, 2);
@@ -167,12 +168,12 @@ fn bottleneck_link_inside_route_degrades_qos() {
     let mut rng = StdRng::seed_from_u64(1);
     let est = w
         .coordinator
-        .establish(
-            &w.session,
-            &EstablishOptions::default(),
+        .establish_request(
+            &SessionRequest::new(w.session.clone()),
             SimTime::new(1.0),
             &mut rng,
         )
+        .into_result()
         .unwrap();
     assert_eq!(
         est.plan.rank, 1,
@@ -191,20 +192,35 @@ fn contention_between_sessions_shifts_plans() {
     // First session takes the top level (45 bw on the sp path).
     let first = w
         .coordinator
-        .establish(&w.session, &opts, SimTime::new(1.0), &mut rng)
+        .establish_request(
+            &SessionRequest::new(w.session.clone()).options(opts.clone()),
+            SimTime::new(1.0),
+            &mut rng,
+        )
+        .into_result()
         .unwrap();
     assert_eq!(first.plan.rank, 2);
     // Second session: 55 bw left on sp, 65 on pc -> top level (45) still
     // fits on sp but not... 45 <= 55, 35 <= 65: it fits. Third won't.
     let second = w
         .coordinator
-        .establish(&w.session, &opts, SimTime::new(2.0), &mut rng)
+        .establish_request(
+            &SessionRequest::new(w.session.clone()).options(opts.clone()),
+            SimTime::new(2.0),
+            &mut rng,
+        )
+        .into_result()
         .unwrap();
     assert_eq!(second.plan.rank, 2);
     // Third: the sp path has 10 units left — even level 1 (20) is out.
     let third = w
         .coordinator
-        .establish(&w.session, &opts, SimTime::new(3.0), &mut rng);
+        .establish_request(
+            &SessionRequest::new(w.session.clone()).options(opts.clone()),
+            SimTime::new(3.0),
+            &mut rng,
+        )
+        .into_result();
     assert!(
         matches!(third, Err(qosr::broker::EstablishError::Plan(_))),
         "got {third:?}"
@@ -213,7 +229,12 @@ fn contention_between_sessions_shifts_plans() {
     w.coordinator.terminate(&first, SimTime::new(4.0));
     let fourth = w
         .coordinator
-        .establish(&w.session, &opts, SimTime::new(5.0), &mut rng)
+        .establish_request(
+            &SessionRequest::new(w.session.clone()).options(opts.clone()),
+            SimTime::new(5.0),
+            &mut rng,
+        )
+        .into_result()
         .unwrap();
     assert_eq!(fourth.plan.rank, 2);
     assert_eq!(w.space.name(w.path_pc), "path:H3->D1");

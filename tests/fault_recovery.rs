@@ -223,8 +223,11 @@ proptest! {
                     let session = env
                         .session(service, domain, 1.0)
                         .expect("valid pair is instantiable");
-                    if let Ok(est) =
-                        env.coordinator.establish(&session, &options, now, &mut rng)
+                    let request = SessionRequest::new(session).options(options.clone());
+                    if let Ok(est) = env
+                        .coordinator
+                        .establish_request(&request, now, &mut rng)
+                        .into_result()
                     {
                         live.push(est);
                     }
@@ -293,6 +296,258 @@ proptest! {
                 (after - before).abs() < 1e-6,
                 "broker for resource {:?} ended at {after}, started at {before}",
                 broker.resource()
+            );
+        }
+    }
+}
+
+/// Maps a raw draw to a valid `(service, domain)` pair, skipping the
+/// domain's excluded service (its own proxy host) per the paper's rule.
+fn pick_pair(pick: u64) -> (usize, usize) {
+    let domain = (pick % 8) as usize;
+    let mut service = (pick / 8 % 4) as usize;
+    if service == domain / 2 {
+        service = (service + 1) % 4;
+    }
+    (service, domain)
+}
+
+fn fresh_env(seed: u64, capacity_range: (f64, f64)) -> PaperEnvironment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    PaperEnvironment::build(
+        &mut rng,
+        &ServiceOptions::default(),
+        capacity_range,
+        LocalBrokerConfig::default(),
+    )
+}
+
+/// Four hosts with one CPU each; sessions are one-component chains
+/// bound to a single host CPU, demanding 20 (rank 1) or 60 (rank 2)
+/// times their scale. With exactly one binding and one translation row
+/// per rank, a plan's committed demand is a pure function of its rank.
+struct DisjointWorld {
+    coordinator: qosr::broker::Coordinator,
+    service: std::sync::Arc<ServiceSpec>,
+    cpus: Vec<ResourceId>,
+}
+
+impl DisjointWorld {
+    fn session(&self, host: usize, scale: f64) -> SessionInstance {
+        SessionInstance::new(
+            self.service.clone(),
+            vec![ComponentBinding::new([self.cpus[host]])],
+            scale,
+        )
+        .expect("single-binding session is instantiable")
+    }
+
+    fn brokers(&self) -> Vec<std::sync::Arc<dyn qosr::broker::Broker>> {
+        self.coordinator
+            .proxies()
+            .iter()
+            .flat_map(|p| p.brokers().iter().cloned())
+            .collect()
+    }
+}
+
+fn disjoint_world(capacity: f64) -> DisjointWorld {
+    use std::sync::Arc;
+    let mut space = ResourceSpace::new();
+    let mut proxies = Vec::new();
+    let mut cpus = Vec::new();
+    for h in 0..4 {
+        let cpu = space.register(format!("H{h}.cpu"), ResourceKind::Compute);
+        let mut reg = qosr::broker::BrokerRegistry::new();
+        reg.register(Arc::new(qosr::broker::LocalBroker::new(
+            cpu,
+            capacity,
+            SimTime::ZERO,
+            LocalBrokerConfig::default(),
+        )));
+        proxies.push(Arc::new(qosr::broker::QosProxy::new(format!("H{h}"), reg)));
+        cpus.push(cpu);
+    }
+    let schema = QosSchema::new("q", ["x"]);
+    let v = |x: u32| QosVector::new(schema.clone(), [x]);
+    let comp = ComponentSpec::new(
+        "c",
+        vec![v(0)],
+        vec![v(1), v(2)],
+        vec![SlotSpec::new("cpu", ResourceKind::Compute)],
+        Arc::new(
+            TableTranslation::builder(1, 2, 1)
+                .entry(0, 0, [20.0])
+                .entry(0, 1, [60.0])
+                .build(),
+        ),
+    );
+    let service = Arc::new(ServiceSpec::chain("svc", vec![comp], vec![1, 2]).unwrap());
+    DisjointWorld {
+        coordinator: qosr::broker::Coordinator::new(proxies),
+        service,
+        cpus,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_from_env(24))]
+
+    /// With no same-round conflicts, a concurrently planned batch
+    /// commits exactly what sequential admission in arrival order
+    /// commits: the same requests admitted at the same ranks, leaving
+    /// every broker at the same availability. The world's sessions are
+    /// single-component with one binding each, so plans have no
+    /// Ψ-driven path freedom — any divergence is a pipeline bug, not
+    /// the planner re-ranking hops against drifted availability.
+    #[test]
+    fn conflict_free_batches_match_sequential_admission(
+        queue_seed in any::<u64>(),
+        workers in 1usize..=6,
+        picks in prop::collection::vec((0usize..4, 1.0f64..4.0), 1..12),
+    ) {
+        let batch_world = disjoint_world(100_000.0);
+        let seq_world = disjoint_world(100_000.0);
+        let now = SimTime::new(1.0);
+
+        let requests = |w: &DisjointWorld| -> Vec<SessionRequest> {
+            picks
+                .iter()
+                .map(|&(host, scale)| SessionRequest::new(w.session(host, scale)))
+                .collect()
+        };
+        let queue = AdmissionQueue::new(
+            &batch_world.coordinator,
+            AdmissionConfig {
+                workers,
+                seed: queue_seed,
+                ..AdmissionConfig::default()
+            },
+        );
+        let batch_outcomes = queue.admit(&requests(&batch_world), now);
+
+        let mut rng = StdRng::seed_from_u64(queue_seed);
+        let seq_outcomes: Vec<EstablishOutcome> = requests(&seq_world)
+            .iter()
+            .map(|request| seq_world.coordinator.establish_request(request, now, &mut rng))
+            .collect();
+
+        // Ample capacity means the batch never conflicted, so both
+        // paths must agree request by request.
+        let snap = batch_world.coordinator.counters().snapshot();
+        prop_assert_eq!(snap.commit_conflicts, 0);
+        prop_assert_eq!(snap.replans, 0);
+        for (i, (b, s)) in batch_outcomes.iter().zip(&seq_outcomes).enumerate() {
+            prop_assert_eq!(b.is_admitted(), s.is_admitted(), "request {} diverged", i);
+            if let (Some(be), Some(se)) = (b.session(), s.session()) {
+                prop_assert_eq!(be.plan.rank, se.plan.rank, "request {} rank diverged", i);
+            }
+        }
+
+        // Identical committed capacity totals, broker by broker.
+        for (b, s) in batch_world.brokers().iter().zip(&seq_world.brokers()) {
+            prop_assert!(
+                (b.available() - s.available()).abs() < 1e-6,
+                "resource {:?}: batch left {}, sequential left {}",
+                b.resource(),
+                b.available(),
+                s.available()
+            );
+        }
+    }
+
+    /// Under scarcity — fat sessions against tight capacity — batched
+    /// admission conflicts and replans, but never over-commits a
+    /// broker, whatever the worker count or replan budget; outcomes are
+    /// identical across worker counts, and terminating everything that
+    /// was admitted restores the untouched world.
+    #[test]
+    fn contended_batches_never_over_commit(
+        env_seed in 0u64..1_000_000,
+        queue_seed in any::<u64>(),
+        workers in 1usize..=8,
+        max_replans in 0u32..=3,
+        picks in prop::collection::vec((any::<u64>(), 1.0f64..10.0), 4..16),
+    ) {
+        let env = fresh_env(env_seed, (150.0, 600.0));
+        let twin = fresh_env(env_seed, (150.0, 600.0));
+        let now = SimTime::new(1.0);
+
+        let build = |e: &PaperEnvironment| -> Vec<SessionRequest> {
+            picks
+                .iter()
+                .map(|&(p, scale)| {
+                    let (service, domain) = pick_pair(p);
+                    SessionRequest::new(e.session(service, domain, scale).unwrap())
+                })
+                .collect()
+        };
+        let brokers: Vec<_> = env
+            .coordinator
+            .proxies()
+            .iter()
+            .flat_map(|p| p.brokers().iter().cloned())
+            .collect();
+        let initial: Vec<f64> = brokers.iter().map(|b| b.available()).collect();
+
+        let queue = AdmissionQueue::new(
+            &env.coordinator,
+            AdmissionConfig {
+                workers,
+                max_replans,
+                seed: queue_seed,
+                ..AdmissionConfig::default()
+            },
+        );
+        let outcomes = queue.admit(&build(&env), now);
+
+        // Worker count is a performance knob, not a semantic one.
+        let twin_queue = AdmissionQueue::new(
+            &twin.coordinator,
+            AdmissionConfig {
+                workers: workers % 8 + 1,
+                max_replans,
+                seed: queue_seed,
+                ..AdmissionConfig::default()
+            },
+        );
+        let twin_outcomes = twin_queue.admit(&build(&twin), now);
+        prop_assert_eq!(outcomes.len(), twin_outcomes.len());
+        for (a, b) in outcomes.iter().zip(&twin_outcomes) {
+            prop_assert_eq!(a.is_admitted(), b.is_admitted());
+            if let (Some(ae), Some(be)) = (a.session(), b.session()) {
+                prop_assert_eq!(ae.plan.rank, be.plan.rank);
+            }
+        }
+
+        // No broker over-commits: availability never goes negative (a
+        // reservation beyond capacity) and never exceeds capacity (a
+        // double release). Path brokers report the min over their
+        // shared links, so the bound — not a per-session sum — is the
+        // invariant that holds for every broker kind.
+        let admitted: Vec<_> = outcomes.into_iter().filter_map(|o| o.into_session()).collect();
+        for broker in &brokers {
+            let after = broker.available();
+            prop_assert!(
+                after >= -1e-9 && after <= broker.capacity() + 1e-9,
+                "resource {:?} over-committed: available {} of capacity {}",
+                broker.resource(),
+                after,
+                broker.capacity()
+            );
+        }
+
+        // Terminating every admitted session restores the world.
+        for est in &admitted {
+            env.coordinator.terminate(est, SimTime::new(2.0));
+        }
+        for (broker, &before) in brokers.iter().zip(&initial) {
+            prop_assert!(
+                (broker.available() - before).abs() < 1e-6,
+                "resource {:?} ended at {}, started at {}",
+                broker.resource(),
+                broker.available(),
+                before
             );
         }
     }

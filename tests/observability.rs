@@ -54,7 +54,12 @@ fn commit_then_release_emits_exact_sequence() {
     let mut rng = StdRng::seed_from_u64(1);
 
     let est = coordinator
-        .establish(&session, &Default::default(), SimTime::ZERO + 1.0, &mut rng)
+        .establish_request(
+            &SessionRequest::new(session.clone()),
+            SimTime::ZERO + 1.0,
+            &mut rng,
+        )
+        .into_result()
         .expect("feasible world must establish");
     coordinator.terminate(&est, SimTime::ZERO + 5.0);
 
@@ -107,7 +112,12 @@ fn infeasible_plan_emits_rejection_naming_the_resource() {
     let mut rng = StdRng::seed_from_u64(1);
 
     coordinator
-        .establish(&session, &Default::default(), SimTime::ZERO + 2.0, &mut rng)
+        .establish_request(
+            &SessionRequest::new(session.clone()),
+            SimTime::ZERO + 2.0,
+            &mut rng,
+        )
+        .into_result()
         .expect_err("overcommitted world must reject");
 
     let events = sink.events();
@@ -148,7 +158,12 @@ fn jsonl_sink_round_trips_the_event_stream() {
     // Mirror the run into a JSONL file by re-emitting the memory trace.
     let mut rng = StdRng::seed_from_u64(1);
     let est = coordinator
-        .establish(&session, &Default::default(), SimTime::ZERO + 1.0, &mut rng)
+        .establish_request(
+            &SessionRequest::new(session.clone()),
+            SimTime::ZERO + 1.0,
+            &mut rng,
+        )
+        .into_result()
         .unwrap();
     coordinator.terminate(&est, SimTime::ZERO + 5.0);
     for event in memory.events() {

@@ -3,7 +3,9 @@
 //! `Coordinator` API (bypassing `run_scenario` so every reservation is
 //! visible to the test).
 
-use qosr::broker::{Broker, EstablishOptions, EstablishedSession, LocalBrokerConfig, SimTime};
+use qosr::broker::{
+    Broker, EstablishOptions, EstablishedSession, LocalBrokerConfig, SessionRequest, SimTime,
+};
 use qosr::sim::{services::ServiceOptions, PaperEnvironment, TopologyVariant, WorkloadGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -75,7 +77,12 @@ fn drain_restores_every_resource() {
             now += 0.5;
             let req = workload.sample(&mut rng);
             let session = env.session(req.service, req.domain, req.scale).unwrap();
-            if let Ok(est) = env.coordinator.establish(&session, &opts, now, &mut rng) {
+            let request = SessionRequest::new(session).options(opts.clone());
+            if let Ok(est) = env
+                .coordinator
+                .establish_request(&request, now, &mut rng)
+                .into_result()
+            {
                 held.push(est);
             }
         }
@@ -137,7 +144,12 @@ fn availability_never_negative_under_churn() {
         now += 0.25;
         let req = workload.sample(&mut rng);
         let session = env.session(req.service, req.domain, req.scale).unwrap();
-        if let Ok(est) = env.coordinator.establish(&session, &opts, now, &mut rng) {
+        let request = SessionRequest::new(session).options(opts.clone());
+        if let Ok(est) = env
+            .coordinator
+            .establish_request(&request, now, &mut rng)
+            .into_result()
+        {
             held.push(est);
         }
         // Random churn: terminate an old session every few steps.
@@ -181,7 +193,8 @@ fn message_accounting_matches_protocol() {
         now += 1.0;
         let req = workload.sample(&mut rng);
         let session = env.session(req.service, req.domain, req.scale).unwrap();
-        let _ = env.coordinator.establish(&session, &opts, now, &mut rng);
+        let request = SessionRequest::new(session).options(opts.clone());
+        let _ = env.coordinator.establish_request(&request, now, &mut rng);
     }
     let stats = env.coordinator.stats();
     assert_eq!(stats.attempts, 50);
