@@ -35,7 +35,7 @@ use crate::{
     Coordinator, EstablishError, EstablishedSession, ObservationPolicy, ReserveError, SimTime,
 };
 use qosr_core::{AvailabilityView, EpochSnapshot, Planner};
-use qosr_obs::{EventKind, TraceEvent};
+use qosr_obs::{EventKind, Phase, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -79,6 +79,11 @@ pub struct AdmissionQueue<'a> {
     coordinator: &'a Coordinator,
     config: AdmissionConfig,
     epoch: AtomicU64,
+    /// Requests in the round currently being admitted (0 between
+    /// rounds) — the live queue-depth gauge.
+    in_flight: AtomicUsize,
+    /// Size of the most recently admitted batch.
+    last_batch: AtomicUsize,
 }
 
 /// What one worker produced for one request: the plan (or the terminal
@@ -111,6 +116,8 @@ impl<'a> AdmissionQueue<'a> {
             coordinator,
             config,
             epoch: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            last_batch: AtomicUsize::new(0),
         }
     }
 
@@ -129,6 +136,18 @@ impl<'a> AdmissionQueue<'a> {
         self.epoch.load(Ordering::Relaxed)
     }
 
+    /// Requests in the round currently being admitted (0 between
+    /// rounds). Sampled by the simulator's telemetry tick as the
+    /// queue-depth gauge.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Size of the most recently admitted batch (0 before any round).
+    pub fn last_batch_size(&self) -> usize {
+        self.last_batch.load(Ordering::Relaxed)
+    }
+
     /// Admits one batch: snapshot, parallel plan, sequential commit with
     /// conflict-triggered replans. Returns one [`EstablishOutcome`] per
     /// request, in arrival order. Admitted outcomes hold live
@@ -142,6 +161,8 @@ impl<'a> AdmissionQueue<'a> {
         let coordinator = self.coordinator;
         let traced = coordinator.sink().enabled();
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.store(n, Ordering::Relaxed);
+        self.last_batch.store(n, Ordering::Relaxed);
 
         // Phase 1, once per round: the epoch-stamped snapshot every
         // request in the batch plans against.
@@ -197,6 +218,7 @@ impl<'a> AdmissionQueue<'a> {
         for (i, request) in requests.iter().enumerate() {
             let planned = slots[i].take().expect("every request was planned");
             outcomes.push(self.commit_one(request, planned, &mut working, epoch, i, now, traced));
+            self.in_flight.store(n - i - 1, Ordering::Relaxed);
         }
         outcomes
     }
@@ -244,6 +266,10 @@ impl<'a> AdmissionQueue<'a> {
         }
 
         let mut rng = StdRng::seed_from_u64(derive_seed(self.config.seed, epoch, index as u64, 0));
+        // Time the plan with a plain (un-traced) span and buffer the
+        // timing event with the rest: workers must not emit directly,
+        // or trace order would depend on worker interleaving.
+        let plan_span = self.coordinator.phase_timers().span(Phase::Plan);
         let mut ctx = self.coordinator.plan_pool().checkout();
         let result = ctx.plan_session(
             session,
@@ -252,6 +278,15 @@ impl<'a> AdmissionQueue<'a> {
             request.options.planner,
             &mut rng,
         );
+        if let Some(ns) = plan_span.end() {
+            if traced {
+                events.push(
+                    TraceEvent::new(t, EventKind::PhaseTiming)
+                        .with_name(Phase::Plan.name())
+                        .with_duration_ns(ns),
+                );
+            }
+        }
         let mut nearest: Option<NearestMiss> = None;
         if result.is_err() {
             nearest = ctx
@@ -571,6 +606,9 @@ impl<'a> AdmissionQueue<'a> {
                 u64::from(replans),
             ));
             let replanned = {
+                let _span = coordinator
+                    .phase_timers()
+                    .span_traced(Phase::Replan, sink.as_ref(), t);
                 let mut ctx = coordinator.plan_pool().checkout();
                 match ctx.plan_session(session, working, &request.options.qrg, planner, &mut rng) {
                     Ok(p) => Ok(p),

@@ -23,8 +23,8 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Bounded-retry parameters for
-/// [`Coordinator::establish`](crate::Coordinator::establish). The
-/// default policy takes **no**
+/// [`Coordinator::establish_request`](crate::Coordinator::establish_request).
+/// The default policy takes **no**
 /// retries, so establishment behaves exactly as the fault-free protocol
 /// unless a retry budget is configured.
 #[derive(Debug, Clone, Copy, PartialEq)]

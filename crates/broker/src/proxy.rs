@@ -32,7 +32,7 @@ use qosr_core::{
     AvailabilityView, EpochSnapshot, PlanCtxPool, Planner, QrgOptions, ReservationPlan,
 };
 use qosr_model::{ResourceId, ResourceVector, SessionInstance};
-use qosr_obs::{Counters, EventKind, NullSink, TraceEvent, TraceSink};
+use qosr_obs::{Counters, EventKind, NullSink, Phase, PhaseTimers, TraceEvent, TraceSink};
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -221,6 +221,9 @@ pub struct Coordinator {
     sink: Arc<dyn TraceSink>,
     /// This coordinator's monotonic counters (always on).
     counters: Arc<Counters>,
+    /// Per-phase wall-clock histograms (disabled by default: spans cost
+    /// one relaxed atomic load until a metrics registry attaches).
+    timers: Arc<PhaseTimers>,
     /// Fault injection (disabled by default: one relaxed atomic load per
     /// protocol message boundary).
     faults: Arc<FaultInjector>,
@@ -267,6 +270,7 @@ impl Coordinator {
             plan_pool: PlanCtxPool::new(),
             sink,
             counters: Arc::new(Counters::new()),
+            timers: Arc::new(PhaseTimers::new()),
             faults: Arc::new(FaultInjector::disabled()),
         }
     }
@@ -284,6 +288,19 @@ impl Coordinator {
     /// The coordinator's monotonic counters.
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// A shareable handle to the coordinator's counters (for attaching
+    /// to a `MetricsRegistry`).
+    pub fn counters_arc(&self) -> Arc<Counters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// The coordinator's per-phase wall-clock timers. Disabled by
+    /// default — enable them (directly, or by attaching a
+    /// `MetricsRegistry`) to measure where admissions spend their time.
+    pub fn phase_timers(&self) -> &Arc<PhaseTimers> {
+        &self.timers
     }
 
     /// The coordinator's fault injector. Disabled unless configured;
@@ -425,29 +442,6 @@ impl Coordinator {
                 nearest_miss,
             },
         }
-    }
-
-    /// Runs the three-phase establishment protocol for `session`.
-    ///
-    /// This is the positional pre-[`SessionRequest`] shim, kept for one
-    /// release so downstream callers can migrate; it behaves exactly
-    /// like `SessionRequest::new(session.clone()).options(options.clone())`
-    /// passed to [`Coordinator::establish_request`], with the outcome
-    /// collapsed to a `Result` (degraded commits are `Ok`).
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a `SessionRequest` and call `establish_request`; \
-                this positional shim will be removed next release"
-    )]
-    pub fn establish(
-        &self,
-        session: &SessionInstance,
-        options: &EstablishOptions,
-        now: SimTime,
-        rng: &mut impl Rng,
-    ) -> Result<EstablishedSession, EstablishError> {
-        self.establish_core(session, options, None, None, now, rng)
-            .0
     }
 
     /// The establishment engine behind both [`Coordinator::establish_request`]
@@ -610,6 +604,7 @@ impl Coordinator {
         let mut hops: Vec<TraceEvent> = Vec::new();
         let mut reject_event: Option<Box<TraceEvent>> = None;
         let mut nearest: Option<NearestMiss> = None;
+        let plan_span = self.timers.span_traced(Phase::Plan, self.sink.as_ref(), t);
         let (result, downgrade) = {
             let mut ctx = self.plan_pool.checkout();
             let result = ctx.plan_session(session, &view, &options.qrg, planner, rng);
@@ -662,6 +657,7 @@ impl Coordinator {
             }
             (result, ctx.last_downgrade())
         };
+        drop(plan_span);
         if let Some((from, to)) = downgrade {
             self.counters.record_tradeoff_downgrade();
             if traced {
@@ -777,6 +773,9 @@ impl Coordinator {
         rng: &mut impl Rng,
         traced: bool,
     ) -> AvailabilityView {
+        let _span = self
+            .timers
+            .span_traced(Phase::Collect, self.sink.as_ref(), now.value());
         let mut view = AvailabilityView::new();
         let faults_active = self.faults.is_active();
         for (i, proxy) in self.proxies.iter().enumerate() {
@@ -873,6 +872,9 @@ impl Coordinator {
                 }
             }
         }
+        let _span = self
+            .timers
+            .span_traced(Phase::Replan, self.sink.as_ref(), now.value());
         let mut ctx = self.plan_pool.checkout();
         Ok(ctx.plan_session(session, &view, &options.qrg, options.planner, rng)?)
     }
@@ -966,6 +968,9 @@ impl Coordinator {
         traced: bool,
         use_faults: bool,
     ) -> Result<(), EstablishError> {
+        let _span = self
+            .timers
+            .span_traced(Phase::Commit, self.sink.as_ref(), now.value());
         let mut segments: HashMap<usize, Vec<(ResourceId, f64)>> = HashMap::new();
         for (rid, amount) in total.iter() {
             let Some(&p) = self.owner.get(&rid) else {
@@ -1075,6 +1080,9 @@ impl Coordinator {
         if prepared.is_empty() {
             return;
         }
+        let _span = self
+            .timers
+            .span_traced(Phase::Rollback, self.sink.as_ref(), now.value());
         for &q in prepared {
             self.proxies[q].release_session(id, now);
         }
@@ -1303,34 +1311,42 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_establish_shim_matches_request_api() {
-        let a = setup(100.0, 100.0);
-        let b = setup(100.0, 100.0);
-        let mut rng_a = StdRng::seed_from_u64(9);
-        let mut rng_b = StdRng::seed_from_u64(9);
-        let est_a = a
-            .coordinator
-            .establish(
-                &a.session,
-                &EstablishOptions::default(),
-                SimTime::new(1.0),
-                &mut rng_a,
-            )
-            .unwrap();
-        let est_b = b
+    fn phase_timers_record_collect_plan_and_commit() {
+        let s = setup(100.0, 100.0);
+        let timers = Arc::clone(s.coordinator.phase_timers());
+        timers.set_enabled(true);
+        let mut rng = StdRng::seed_from_u64(9);
+        let est = s
             .coordinator
             .establish_request(
-                &SessionRequest::new(b.session.clone()),
+                &SessionRequest::new(s.session.clone()),
                 SimTime::new(1.0),
-                &mut rng_b,
+                &mut rng,
             )
             .into_result()
             .unwrap();
-        assert_eq!(est_a.id, est_b.id);
-        assert_eq!(est_a.plan.rank, est_b.plan.rank);
-        assert_eq!(est_a.plan.signature(), est_b.plan.signature());
-        assert_eq!(a.coordinator.stats(), b.coordinator.stats());
+        assert_eq!(timers.histogram(Phase::Collect).count(), 1);
+        assert_eq!(timers.histogram(Phase::Plan).count(), 1);
+        assert_eq!(timers.histogram(Phase::Commit).count(), 1);
+        assert_eq!(timers.histogram(Phase::Rollback).count(), 0);
+        s.coordinator.terminate(&est, SimTime::new(2.0));
+    }
+
+    #[test]
+    fn disabled_phase_timers_record_nothing() {
+        let s = setup(100.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        s.coordinator
+            .establish_request(
+                &SessionRequest::new(s.session.clone()),
+                SimTime::new(1.0),
+                &mut rng,
+            )
+            .into_result()
+            .unwrap();
+        for phase in Phase::ALL {
+            assert_eq!(s.coordinator.phase_timers().histogram(phase).count(), 0);
+        }
     }
 
     #[test]

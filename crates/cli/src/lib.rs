@@ -11,17 +11,23 @@
 //! qosr dot scenario.json > qrg.dot  # Graphviz rendering of the QRG
 //! qosr trace run.jsonl              # per-session timelines of a trace
 //! qosr report run.jsonl             # run-level summary of a trace
+//! qosr metrics --rate 180           # Prometheus dump of a sim run
+//! qosr top --rates 60,120,180,240   # live rate-sweep table
 //! ```
 //!
 //! See [`dto`] for the file format and `examples/data/*.json` for
 //! complete scenarios. The `trace` / `report` subcommands (module
-//! [`report`]) replay JSONL traces recorded by `qosr_obs::JsonlSink`.
+//! [`report`]) replay JSONL traces recorded by `qosr_obs::JsonlSink`;
+//! `metrics` / `top` (module [`live`]) run instrumented simulations
+//! against the live telemetry layer and can serve the exposition over
+//! HTTP with `--metrics-addr HOST:PORT`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commands;
 pub mod dto;
+pub mod live;
 pub mod report;
 
 pub use dto::{Scenario, ScenarioError};

@@ -1,5 +1,5 @@
 //! `qosr` — plan end-to-end multi-resource reservations from JSON
-//! scenario files.
+//! scenario files, replay traces, and run live-telemetry simulations.
 //!
 //! ```text
 //! qosr validate <scenario.json>
@@ -7,10 +7,14 @@
 //! qosr dot <scenario.json>
 //! qosr trace <trace.jsonl>
 //! qosr report <trace.jsonl>
+//! qosr metrics [--rate R] [--horizon H] [--metrics-addr HOST:PORT]
+//! qosr top [--rates A,B,C] [--horizon H] [--metrics-addr HOST:PORT]
 //! ```
 
 use qosr_cli::commands::{dot, explain, plan_with_overrides, validate, PlannerChoice};
+use qosr_cli::live::{self, LiveOptions};
 use qosr_cli::report::{report, trace};
+use qosr_sim::PlannerKind;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,7 +24,11 @@ const USAGE: &str = "usage:
   qosr explain <scenario.json> [--avail name=value]...
   qosr dot <scenario.json>
   qosr trace <trace.jsonl>
-  qosr report <trace.jsonl>";
+  qosr report <trace.jsonl>
+  qosr metrics [--planner basic|tradeoff|random] [--seed N] [--rate R] [--horizon H]
+               [--batch N] [--sample P] [--metrics-addr HOST:PORT]
+  qosr top     [--planner basic|tradeoff|random] [--seed N] [--rates A,B,C] [--horizon H]
+               [--batch N] [--sample P] [--metrics-addr HOST:PORT]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,43 +37,82 @@ fn main() -> ExitCode {
     let mut planner = PlannerChoice::Basic;
     let mut seed = 0u64;
     let mut overrides: Vec<(String, f64)> = Vec::new();
+    let mut live = LiveOptions::default();
+
+    macro_rules! flag_value {
+        ($args:expr, $i:expr, $parse:expr, $what:expr) => {{
+            $i += 1;
+            match $args.get($i).and_then($parse) {
+                Some(v) => v,
+                None => {
+                    eprintln!("invalid {} value\n{USAGE}", $what);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }};
+    }
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--planner" => {
-                i += 1;
-                match args.get(i).and_then(|s| PlannerChoice::parse(s)) {
-                    Some(p) => planner = p,
-                    None => {
-                        eprintln!("invalid --planner value\n{USAGE}");
-                        return ExitCode::FAILURE;
-                    }
-                }
+                let choice = flag_value!(args, i, |s| PlannerChoice::parse(s), "--planner");
+                planner = choice;
+                live.planner = match choice {
+                    PlannerChoice::Basic => PlannerKind::Basic,
+                    PlannerChoice::Tradeoff => PlannerKind::Tradeoff,
+                    PlannerChoice::Random => PlannerKind::Random,
+                    // The sim environment has no DAG services; closest fit.
+                    PlannerChoice::Dag => PlannerKind::Tradeoff,
+                };
             }
             "--avail" => {
-                i += 1;
-                let parsed = args.get(i).and_then(|s| {
-                    let (name, value) = s.split_once('=')?;
-                    Some((name.to_owned(), value.parse().ok()?))
-                });
-                match parsed {
-                    Some(kv) => overrides.push(kv),
-                    None => {
-                        eprintln!("invalid --avail (expected name=value)\n{USAGE}");
-                        return ExitCode::FAILURE;
-                    }
-                }
+                let kv = flag_value!(
+                    args,
+                    i,
+                    |s: &String| {
+                        let (name, value) = s.split_once('=')?;
+                        Some((name.to_owned(), value.parse().ok()?))
+                    },
+                    "--avail (expected name=value)"
+                );
+                overrides.push(kv);
             }
             "--seed" => {
-                i += 1;
-                match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(s) => seed = s,
-                    None => {
-                        eprintln!("invalid --seed value\n{USAGE}");
-                        return ExitCode::FAILURE;
-                    }
-                }
+                seed = flag_value!(args, i, |s: &String| s.parse().ok(), "--seed");
+                live.seed = seed;
+            }
+            "--rate" => {
+                live.rate = flag_value!(args, i, |s: &String| s.parse().ok(), "--rate");
+            }
+            "--rates" => {
+                live.rates = flag_value!(
+                    args,
+                    i,
+                    |s: &String| s
+                        .split(',')
+                        .map(|r| r.trim().parse().ok())
+                        .collect::<Option<Vec<f64>>>()
+                        .filter(|v| !v.is_empty()),
+                    "--rates (expected A,B,C)"
+                );
+            }
+            "--horizon" => {
+                live.horizon = flag_value!(args, i, |s: &String| s.parse().ok(), "--horizon");
+            }
+            "--batch" => {
+                live.batch = Some(flag_value!(args, i, |s: &String| s.parse().ok(), "--batch"));
+            }
+            "--sample" => {
+                live.sample = flag_value!(args, i, |s: &String| s.parse().ok(), "--sample");
+            }
+            "--metrics-addr" => {
+                live.metrics_addr = Some(flag_value!(
+                    args,
+                    i,
+                    |s: &String| Some(s.clone()),
+                    "--metrics-addr"
+                ));
             }
             word if !word.starts_with('-') => {
                 if command.is_none() {
@@ -85,22 +132,36 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let (Some(command), Some(file)) = (command, file) else {
+    let Some(command) = command else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
 
-    let result = match command.as_str() {
-        "validate" => validate(&file),
-        "plan" => plan_with_overrides(&file, planner, seed, &overrides),
-        "explain" => explain(&file, &overrides),
-        "dot" => dot(&file),
-        "trace" => trace(&file),
-        "report" => report(&file),
-        other => {
-            eprintln!("unknown command {other:?}\n{USAGE}");
+    // The live-telemetry subcommands run the built-in paper environment
+    // and take no scenario file.
+    let result = match (command.as_str(), &file) {
+        ("metrics", None) => live::metrics(&live),
+        ("top", None) => live::top(&live, |line| println!("{line}")),
+        ("metrics" | "top", Some(_)) => {
+            eprintln!("{command} takes no file argument\n{USAGE}");
             return ExitCode::FAILURE;
         }
+        (_, None) => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        (cmd, Some(file)) => match cmd {
+            "validate" => validate(file),
+            "plan" => plan_with_overrides(file, planner, seed, &overrides),
+            "explain" => explain(file, &overrides),
+            "dot" => dot(file),
+            "trace" => trace(file),
+            "report" => report(file),
+            other => {
+                eprintln!("unknown command {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     match result {
         Ok(text) => {

@@ -12,44 +12,7 @@ use std::sync::OnceLock;
 
 use serde::Serialize;
 
-/// Upper edges of the [`PsiHistogram`] buckets below the overflow
-/// bucket. A committed bottleneck Ψ of `p` lands in the first bucket
-/// whose edge satisfies `p < edge`; `p >= 1.0` (a plan committed into
-/// contention, possible under the α-tradeoff policy) lands in the
-/// overflow bucket.
-pub const PSI_BUCKETS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
-
-/// A fixed-bucket distribution of bottleneck contention indices ψ.
-#[derive(Debug, Default)]
-pub struct PsiHistogram {
-    buckets: [AtomicU64; PSI_BUCKETS.len() + 1],
-}
-
-impl PsiHistogram {
-    /// Records one ψ observation.
-    pub fn record(&self, psi: f64) {
-        let idx = PSI_BUCKETS
-            .iter()
-            .position(|&edge| psi < edge)
-            .unwrap_or(PSI_BUCKETS.len());
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Per-bucket counts: one entry per edge in [`PSI_BUCKETS`], plus a
-    /// final overflow bucket for `psi >= 1.0`.
-    pub fn counts(&self) -> [u64; PSI_BUCKETS.len() + 1] {
-        let mut out = [0u64; PSI_BUCKETS.len() + 1];
-        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
-            *slot = bucket.load(Ordering::Relaxed);
-        }
-        out
-    }
-
-    /// Total observations across all buckets.
-    pub fn total(&self) -> u64 {
-        self.counts().iter().sum()
-    }
-}
+use crate::hist::{HistogramSnapshot, PsiHistogram};
 
 /// Monotonic event counters for one coordinator (or for the process,
 /// via [`Counters::global`]). All increments are relaxed atomics; reads
@@ -242,6 +205,7 @@ impl Counters {
             commit_conflicts: self.commit_conflicts.load(Ordering::Relaxed),
             replans: self.replans.load(Ordering::Relaxed),
             psi_buckets: self.psi.counts().to_vec(),
+            psi_milli: self.psi.milli().snapshot(),
         }
     }
 }
@@ -293,8 +257,12 @@ pub struct CountersSnapshot {
     pub commit_conflicts: u64,
     /// Conflicted requests replanned against the round's working view.
     pub replans: u64,
-    /// Committed-Ψ histogram counts ([`PSI_BUCKETS`] edges + overflow).
+    /// Committed-Ψ histogram counts
+    /// ([`PSI_BUCKETS`](crate::PSI_BUCKETS) edges + overflow).
     pub psi_buckets: Vec<u64>,
+    /// Quantile snapshot of committed Ψ in milli-Ψ fixed point
+    /// (`round(Ψ × 1000)`): count/min/max/p50/p90/p99.
+    pub psi_milli: HistogramSnapshot,
 }
 
 impl CountersSnapshot {
@@ -309,22 +277,6 @@ impl CountersSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_buckets_by_edge() {
-        let h = PsiHistogram::default();
-        h.record(0.05); // bucket 0: < 0.1
-        h.record(0.1); // bucket 1: [0.1, 0.2)
-        h.record(0.95); // bucket 9: [0.9, 1.0)
-        h.record(1.0); // overflow
-        h.record(7.5); // overflow
-        let counts = h.counts();
-        assert_eq!(counts[0], 1);
-        assert_eq!(counts[1], 1);
-        assert_eq!(counts[9], 1);
-        assert_eq!(counts[10], 2);
-        assert_eq!(h.total(), 5);
-    }
 
     #[test]
     fn snapshot_reflects_records() {
@@ -351,6 +303,8 @@ mod tests {
         assert_eq!(snap.skeleton_hits, 2);
         assert_eq!(snap.skeleton_misses, 1);
         assert_eq!(snap.psi_buckets[4], 1); // 0.4 falls in [0.4, 0.5)
+        assert_eq!(snap.psi_milli.count, 1);
+        assert_eq!(snap.psi_milli.max, 400); // milli-Ψ fixed point
         assert_eq!(snap.skeleton_hit_rate(), Some(2.0 / 3.0));
     }
 

@@ -99,6 +99,14 @@ pub enum EventKind {
     /// view (bounded retries) instead of being failed. Payload:
     /// `service`, `detail` (replan attempt number and epoch).
     Replanned,
+    /// One timed pipeline phase finished (span drop). Payload: `name`
+    /// (the phase: `collect`, `plan`, `commit`, `replan`, `rollback`),
+    /// `duration_ns` (measured wall-clock nanoseconds).
+    PhaseTiming,
+    /// One sampled utilization observation from the simulator's
+    /// sampling tick. Payload: `name` (the resource or broker label),
+    /// `value` (utilization in `[0, 1]`, i.e. `1 - available/capacity`).
+    UtilizationSample,
 }
 
 /// One timestamped trace record. Construct with [`TraceEvent::new`] and
@@ -162,6 +170,13 @@ pub struct TraceEvent {
     /// Free-form context (error text, amounts, ranks given up).
     #[serde(default)]
     pub detail: Option<String>,
+    /// A measured wall-clock duration in nanoseconds
+    /// ([`EventKind::PhaseTiming`]).
+    #[serde(default)]
+    pub duration_ns: Option<u64>,
+    /// A sampled measurement ([`EventKind::UtilizationSample`]).
+    #[serde(default)]
+    pub value: Option<f64>,
 }
 
 impl TraceEvent {
@@ -182,6 +197,8 @@ impl TraceEvent {
             resource: None,
             name: None,
             detail: None,
+            duration_ns: None,
+            value: None,
         }
     }
 
@@ -246,6 +263,18 @@ impl TraceEvent {
         self.detail = Some(detail.into());
         self
     }
+
+    /// Sets the measured duration in nanoseconds.
+    pub fn with_duration_ns(mut self, duration_ns: u64) -> Self {
+        self.duration_ns = Some(duration_ns);
+        self
+    }
+
+    /// Sets the sampled measurement value.
+    pub fn with_value(mut self, value: f64) -> Self {
+        self.value = Some(value);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +311,20 @@ mod tests {
         let json = serde_json::to_string(&ev).unwrap();
         let back: TraceEvent = serde_json::from_str(&json).unwrap();
         assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn telemetry_fields_round_trip() {
+        let ev = TraceEvent::new(2.0, EventKind::PhaseTiming)
+            .with_name("plan")
+            .with_duration_ns(12_345);
+        let back: TraceEvent = serde_json::from_str(&serde_json::to_string(&ev).unwrap()).unwrap();
+        assert_eq!(back.duration_ns, Some(12_345));
+        let ev = TraceEvent::new(3.0, EventKind::UtilizationSample)
+            .with_name("h0.cpu")
+            .with_value(0.75);
+        let back: TraceEvent = serde_json::from_str(&serde_json::to_string(&ev).unwrap()).unwrap();
+        assert_eq!(back.value, Some(0.75));
     }
 
     #[test]

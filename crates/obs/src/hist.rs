@@ -1,0 +1,442 @@
+//! Log-bucketed latency histograms and the committed-Ψ distribution.
+//!
+//! [`Histogram`] is a self-contained HDR-style histogram over `u64`
+//! values (nanoseconds, microseconds — any non-negative integer scale):
+//! a fixed array of atomic buckets whose widths grow geometrically, so
+//! the full `u64` range is covered at a bounded relative error of
+//! `1 / 2^SUB_BUCKET_BITS` (≈3%) with a lock-free, allocation-free
+//! `record`. Shard-local histograms [`merge`](Histogram::merge) into one
+//! another bucket-by-bucket, and because every reported quantile is a
+//! pure function of the bucket counts (clamped to the tracked true
+//! min/max), a merged histogram reports *exactly* the same percentiles
+//! as a single histogram fed the same samples — the property the
+//! `hist_properties` proptests pin down.
+//!
+//! [`PsiHistogram`] keeps the paper-facing fixed decile buckets over the
+//! contention index Ψ and layers a milli-Ψ [`Histogram`] underneath for
+//! p50/p90/p99. All Ψ bucket math lives here — [`psi_bucket_index`] and
+//! [`psi_bucket_bounds`] are the single source of truth used by both
+//! recording and rendering, so the bucket-boundary convention
+//! (`p` lands in the first bucket with `p < edge`) cannot drift between
+//! the counters and the replay report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BUCKET_BITS` linear sub-buckets, bounding relative error at
+/// `2^-SUB_BUCKET_BITS` (≈3.1%).
+const SUB_BUCKET_BITS: u32 = 5;
+/// Linear sub-buckets per octave.
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+/// Total bucket count covering the full `u64` range: one unit-width
+/// octave (values `0..SUB_BUCKETS`) plus one octave per remaining
+/// leading-bit position.
+const BUCKETS: usize = (64 - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS;
+
+/// Maps a value to its bucket index. Values below `SUB_BUCKETS` map
+/// exactly (width-1 buckets); above, the top `SUB_BUCKET_BITS + 1` bits
+/// select the bucket, log-linear style.
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros();
+        let octave = (msb - SUB_BUCKET_BITS + 1) as usize;
+        let sub = ((value >> (msb - SUB_BUCKET_BITS)) as usize) & (SUB_BUCKETS - 1);
+        octave * SUB_BUCKETS + sub
+    }
+}
+
+/// The half-open value range `[lo, hi)` covered by bucket `index`. The
+/// last bucket's upper bound saturates to `u64::MAX` (its true bound is
+/// `2^64`, which `u64` cannot hold).
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index {index} out of range");
+    if index < SUB_BUCKETS {
+        return (index as u64, index as u64 + 1);
+    }
+    let octave = index / SUB_BUCKETS;
+    let sub = index % SUB_BUCKETS;
+    let shift = (octave - 1) as u32;
+    let lo = ((SUB_BUCKETS + sub) as u128) << shift;
+    let hi = lo + (1u128 << shift);
+    (lo as u64, u64::try_from(hi).unwrap_or(u64::MAX))
+}
+
+/// A lock-free, mergeable, log-bucketed histogram of `u64` samples.
+///
+/// ```
+/// use qosr_obs::hist::Histogram;
+/// let h = Histogram::new();
+/// for v in [10, 20, 30, 40, 1_000_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.min(), Some(10));
+/// assert_eq!(h.max(), Some(1_000_000));
+/// assert_eq!(h.percentile(0.5), Some(30));
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram. The bucket array is heap-allocated (~15 KiB)
+    /// so owners stay cheap to move.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .expect("bucket vec has BUCKETS elements");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free: four relaxed atomic RMWs.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Folds another histogram's samples into this one (shard merge).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping on overflow, like the counters).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.min.load(Ordering::Relaxed))
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    /// Mean sample, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() as f64 / n as f64)
+    }
+
+    /// The value at quantile `q` (`0.0..=1.0`), or `None` when empty.
+    ///
+    /// Reported as the upper edge of the bucket holding the q-th sample,
+    /// clamped into the true `[min, max]` — a deterministic function of
+    /// the bucket counts and the tracked extrema, so merged shards and a
+    /// single histogram over the same samples agree exactly.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                let (lo, hi) = bucket_bounds(idx);
+                // Buckets are half-open except the saturated top one,
+                // which is inclusive at `u64::MAX`.
+                let rep = if hi == u64::MAX { hi } else { (hi - 1).max(lo) };
+                return Some(rep.clamp(
+                    self.min.load(Ordering::Relaxed),
+                    self.max.load(Ordering::Relaxed),
+                ));
+            }
+        }
+        self.max() // unreachable unless counts race mid-walk
+    }
+
+    /// A point-in-time, serializable copy: count, extrema, and the
+    /// standard p50/p90/p99 quantiles (zero when empty).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            p50: self.percentile(0.50).unwrap_or(0),
+            p90: self.percentile(0.90).unwrap_or(0),
+            p99: self.percentile(0.99).unwrap_or(0),
+        }
+    }
+}
+
+/// A serializable point-in-time copy of a [`Histogram`]. All fields are
+/// integers so containing snapshots stay `Eq`-comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// Upper edges of the [`PsiHistogram`] decile buckets below the
+/// overflow bucket. A committed bottleneck Ψ of `p` lands in the first
+/// bucket whose edge satisfies `p < edge`; `p >= 1.0` (a plan committed
+/// into contention, possible under the α-tradeoff policy) lands in the
+/// overflow bucket.
+pub const PSI_BUCKETS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// The decile bucket a Ψ observation lands in: the first bucket whose
+/// [`PSI_BUCKETS`] edge exceeds it, or the overflow bucket
+/// (`PSI_BUCKETS.len()`) for `psi >= 1.0`. The single source of truth
+/// for Ψ bucketing — recording and report rendering both call this.
+pub fn psi_bucket_index(psi: f64) -> usize {
+    PSI_BUCKETS
+        .iter()
+        .position(|&edge| psi < edge)
+        .unwrap_or(PSI_BUCKETS.len())
+}
+
+/// The `[lo, hi)` Ψ range of decile bucket `index`; the overflow
+/// bucket's upper bound is `None` (unbounded).
+pub fn psi_bucket_bounds(index: usize) -> (f64, Option<f64>) {
+    assert!(index <= PSI_BUCKETS.len(), "Ψ bucket {index} out of range");
+    let lo = if index == 0 {
+        0.0
+    } else {
+        PSI_BUCKETS[index - 1]
+    };
+    (lo, PSI_BUCKETS.get(index).copied())
+}
+
+/// Fixed-point scale for the milli-Ψ quantile histogram underneath
+/// [`PsiHistogram`].
+const PSI_MILLI: f64 = 1000.0;
+
+/// A distribution of bottleneck contention indices Ψ: the paper-facing
+/// fixed decile buckets, plus a milli-Ψ [`Histogram`] for percentiles.
+#[derive(Debug, Default)]
+pub struct PsiHistogram {
+    buckets: [AtomicU64; PSI_BUCKETS.len() + 1],
+    milli: Histogram,
+}
+
+impl PsiHistogram {
+    /// Records one Ψ observation.
+    pub fn record(&self, psi: f64) {
+        self.buckets[psi_bucket_index(psi)].fetch_add(1, Ordering::Relaxed);
+        self.milli.record((psi.max(0.0) * PSI_MILLI).round() as u64);
+    }
+
+    /// Per-bucket counts: one entry per edge in [`PSI_BUCKETS`], plus a
+    /// final overflow bucket for `psi >= 1.0`.
+    pub fn counts(&self) -> [u64; PSI_BUCKETS.len() + 1] {
+        let mut out = [0u64; PSI_BUCKETS.len() + 1];
+        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Total observations across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts().iter().sum()
+    }
+
+    /// Sum of all recorded Ψ values (from the milli-Ψ fixed point).
+    pub fn sum(&self) -> f64 {
+        self.milli.sum() as f64 / PSI_MILLI
+    }
+
+    /// The Ψ value at quantile `q`, or `None` when empty. Resolution is
+    /// the milli-Ψ fixed point (±0.001 plus ~3% bucket error).
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        self.milli.percentile(q).map(|m| m as f64 / PSI_MILLI)
+    }
+
+    /// The underlying milli-Ψ histogram (values are `round(Ψ × 1000)`).
+    pub fn milli(&self) -> &Histogram {
+        &self.milli
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_bucket_exactly() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v + 1));
+        }
+    }
+
+    #[test]
+    fn bounds_contain_their_values() {
+        for v in [
+            0,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            65,
+            1000,
+            123_456,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v, "bucket {idx} lower {lo} > value {v}");
+            assert!(
+                v < hi || hi == u64::MAX,
+                "value {v} >= bucket {idx} upper {hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn last_bucket_upper_saturates() {
+        let idx = bucket_index(u64::MAX);
+        assert_eq!(idx, BUCKETS - 1);
+        assert_eq!(bucket_bounds(idx).1, u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_track_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        // Width-1 buckets up to 31, then ≤3% bucket error.
+        let p50 = h.percentile(0.5).unwrap();
+        assert!((48..=52).contains(&p50), "p50 {p50}");
+        let p99 = h.percentile(0.99).unwrap();
+        assert!((97..=100).contains(&p99), "p99 {p99}");
+        assert_eq!(h.percentile(1.0), Some(100));
+        assert_eq!(h.percentile(0.0), Some(1));
+    }
+
+    #[test]
+    fn merged_shards_match_single_histogram() {
+        let single = Histogram::new();
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for (i, v) in [3u64, 17, 902, 44_000, 17, 5, 1_000_000, 63, 64]
+            .iter()
+            .enumerate()
+        {
+            single.record(*v);
+            if i % 2 == 0 { &a } else { &b }.record(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), single.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn psi_buckets_by_edge() {
+        let h = PsiHistogram::default();
+        h.record(0.05); // bucket 0: < 0.1
+        h.record(0.1); // bucket 1: [0.1, 0.2)
+        h.record(0.95); // bucket 9: [0.9, 1.0)
+        h.record(1.0); // overflow
+        h.record(7.5); // overflow
+        let counts = h.counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[9], 1);
+        assert_eq!(counts[10], 2);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn psi_bucket_bounds_are_contiguous_deciles() {
+        assert_eq!(psi_bucket_bounds(0), (0.0, Some(0.1)));
+        assert_eq!(psi_bucket_bounds(4), (0.4, Some(0.5)));
+        assert_eq!(psi_bucket_bounds(10), (1.0, None));
+        for i in 0..=PSI_BUCKETS.len() {
+            let (lo, hi) = psi_bucket_bounds(i);
+            assert_eq!(psi_bucket_index(lo), i);
+            if let Some(hi) = hi {
+                assert_eq!(psi_bucket_index(hi - 1e-9), i);
+            }
+        }
+    }
+
+    #[test]
+    fn psi_percentiles_come_from_the_milli_histogram() {
+        let h = PsiHistogram::default();
+        for i in 0..100 {
+            h.record(i as f64 / 100.0);
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        assert!((0.45..=0.55).contains(&p50), "p50 {p50}");
+        assert!((h.sum() - 49.5).abs() < 1e-9);
+    }
+}

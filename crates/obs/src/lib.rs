@@ -22,11 +22,24 @@
 //! * [`Counters`] / [`PsiHistogram`] — always-on monotonic counters
 //!   (plans, reservations, skeleton-cache hits vs misses, downgrades)
 //!   and a fixed-bucket distribution of committed bottleneck ψ values.
+//! * [`hist`] — a self-contained HDR-style log-bucketed [`Histogram`]:
+//!   fixed atomic buckets, lock-free record, shard merging, and
+//!   p50/p90/p99 that agree exactly between merged shards and a single
+//!   instance. All Ψ bucket math lives here too.
+//! * [`span`] — RAII [`Phase`] timing guards over the admission
+//!   pipeline (collect/plan/commit/replan/rollback), recording into
+//!   per-phase histograms behind one [`PhaseTimers`] enable flag;
+//!   zero-cost (one relaxed load) when disabled.
+//! * [`metrics`] — the live [`MetricsRegistry`]: attached counters and
+//!   timers plus ring-buffered utilization/queue gauges, rendered in
+//!   Prometheus text format and optionally served over a minimal
+//!   blocking HTTP responder ([`serve`]) for `--metrics-addr`.
 //! * [`replay`] — load a JSONL trace back and reduce it to a
 //!   [`TraceSummary`] whose success rate and mean QoS level reproduce
-//!   the run's `RunMetrics` exactly, or to per-session timelines. The
-//!   `qosr trace` / `qosr report` CLI subcommands are thin wrappers over
-//!   this module.
+//!   the run's `RunMetrics` exactly, or to per-session timelines — now
+//!   including the same phase-timing and utilization blocks the live
+//!   registry reports. The `qosr trace` / `qosr report` CLI subcommands
+//!   are thin wrappers over this module.
 //!
 //! The crate deliberately depends on nothing but the serialization
 //! stand-ins: resource ids travel as raw `u64`s (see
@@ -39,10 +52,16 @@
 
 mod counters;
 mod event;
+pub mod hist;
+pub mod metrics;
 pub mod replay;
 mod sink;
+pub mod span;
 
-pub use counters::{Counters, CountersSnapshot, PsiHistogram, PSI_BUCKETS};
+pub use counters::{Counters, CountersSnapshot};
 pub use event::{EventKind, TraceEvent};
-pub use replay::{read_jsonl, session_timelines, TraceSummary};
+pub use hist::{Histogram, HistogramSnapshot, PsiHistogram, PSI_BUCKETS};
+pub use metrics::{serve, GaugeSample, MetricsRegistry, MetricsServer};
+pub use replay::{read_jsonl, session_timelines, TraceSummary, UtilStat};
 pub use sink::{JsonlSink, MemorySink, NullSink, TraceSink};
+pub use span::{Phase, PhaseTimers, Span};

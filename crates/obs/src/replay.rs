@@ -15,8 +15,8 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader};
 use std::path::Path;
 
-use crate::counters::{PsiHistogram, PSI_BUCKETS};
 use crate::event::{EventKind, TraceEvent};
+use crate::hist::{psi_bucket_bounds, Histogram, PsiHistogram};
 
 /// Reads a JSON Lines trace file, skipping blank lines. A malformed
 /// line aborts with [`io::ErrorKind::InvalidData`] naming the line
@@ -106,8 +106,35 @@ pub struct TraceSummary {
     pub bottlenecks: BTreeMap<String, u64>,
     /// Histogram of committed bottleneck Ψ values.
     pub psi_hist: PsiHistogram,
+    /// Per-phase wall-clock nanosecond distributions rebuilt from
+    /// [`EventKind::PhaseTiming`] events, keyed by phase name — the
+    /// offline twin of the live
+    /// [`PhaseTimers`](crate::PhaseTimers) histograms, sharing the same
+    /// bucketing so counts and quantiles agree with the registry.
+    pub phase_timings: BTreeMap<String, Histogram>,
+    /// Utilization aggregates per sampled resource/broker label, from
+    /// [`EventKind::UtilizationSample`] events.
+    pub utilization: BTreeMap<String, UtilStat>,
     /// Resource id → name bindings from the trace preamble.
     pub names: BTreeMap<u64, String>,
+}
+
+/// Aggregate of one label's sampled utilization time series.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UtilStat {
+    /// Samples seen.
+    pub samples: u64,
+    /// Sum of sampled values (for the mean).
+    pub sum: f64,
+    /// Largest sampled value.
+    pub peak: f64,
+}
+
+impl UtilStat {
+    /// Mean sampled utilization, or `None` before any sample.
+    pub fn mean(&self) -> Option<f64> {
+        (self.samples > 0).then(|| self.sum / self.samples as f64)
+    }
 }
 
 impl TraceSummary {
@@ -156,6 +183,23 @@ impl TraceSummary {
                 EventKind::BatchPlanned => summary.batches_planned += 1,
                 EventKind::CommitConflict => summary.commit_conflicts += 1,
                 EventKind::Replanned => summary.replans += 1,
+                EventKind::PhaseTiming => {
+                    if let (Some(name), Some(ns)) = (event.name.as_ref(), event.duration_ns) {
+                        summary
+                            .phase_timings
+                            .entry(name.clone())
+                            .or_default()
+                            .record(ns);
+                    }
+                }
+                EventKind::UtilizationSample => {
+                    if let (Some(name), Some(value)) = (event.name.as_ref(), event.value) {
+                        let stat = summary.utilization.entry(name.clone()).or_default();
+                        stat.samples += 1;
+                        stat.sum += value;
+                        stat.peak = stat.peak.max(value);
+                    }
+                }
             }
         }
         summary
@@ -250,17 +294,43 @@ impl TraceSummary {
         let counts = self.psi_hist.counts();
         if counts.iter().any(|&c| c > 0) {
             let _ = writeln!(out, "  committed Ψ histogram  :");
-            let mut lower = 0.0;
             for (i, &count) in counts.iter().enumerate() {
-                if i < PSI_BUCKETS.len() {
-                    let upper = PSI_BUCKETS[i];
-                    if count > 0 {
+                if count == 0 {
+                    continue;
+                }
+                match psi_bucket_bounds(i) {
+                    (lower, Some(upper)) => {
                         let _ = writeln!(out, "    [{lower:.1}, {upper:.1})              {count}");
                     }
-                    lower = upper;
-                } else if count > 0 {
-                    let _ = writeln!(out, "    [1.0, ∞)                {count}");
+                    (lower, None) => {
+                        let _ = writeln!(out, "    [{lower:.1}, ∞)                {count}");
+                    }
                 }
+            }
+        }
+        if !self.phase_timings.is_empty() {
+            let _ = writeln!(out, "  phase timings (µs)     :");
+            for (name, hist) in &self.phase_timings {
+                let us = |q| hist.percentile(q).unwrap_or(0) as f64 / 1e3;
+                let _ = writeln!(
+                    out,
+                    "    {name:<10} n={:<7} p50={:<9.1} p99={:<9.1} max={:.1}",
+                    hist.count(),
+                    us(0.50),
+                    us(0.99),
+                    hist.max().unwrap_or(0) as f64 / 1e3,
+                );
+            }
+        }
+        if !self.utilization.is_empty() {
+            let _ = writeln!(out, "  utilization (mean/peak):");
+            for (name, stat) in &self.utilization {
+                let _ = writeln!(
+                    out,
+                    "    {name:<24} {:.3} / {:.3}",
+                    stat.mean().unwrap_or(0.0),
+                    stat.peak
+                );
             }
         }
         out
@@ -362,6 +432,38 @@ mod tests {
     fn batch_block_is_hidden_for_non_batched_traces() {
         let summary = TraceSummary::from_events(&[]);
         assert!(!summary.render().contains("batch rounds planned"));
+    }
+
+    #[test]
+    fn telemetry_events_reduce_into_phase_and_utilization_blocks() {
+        let events = vec![
+            TraceEvent::new(1.0, EventKind::PhaseTiming)
+                .with_name("plan")
+                .with_duration_ns(1_500),
+            TraceEvent::new(1.0, EventKind::PhaseTiming)
+                .with_name("plan")
+                .with_duration_ns(2_500),
+            TraceEvent::new(1.0, EventKind::PhaseTiming)
+                .with_name("commit")
+                .with_duration_ns(900),
+            TraceEvent::new(2.0, EventKind::UtilizationSample)
+                .with_name("h0.cpu")
+                .with_value(0.25),
+            TraceEvent::new(3.0, EventKind::UtilizationSample)
+                .with_name("h0.cpu")
+                .with_value(0.75),
+        ];
+        let summary = TraceSummary::from_events(&events);
+        assert_eq!(summary.phase_timings["plan"].count(), 2);
+        assert_eq!(summary.phase_timings["commit"].count(), 1);
+        let util = &summary.utilization["h0.cpu"];
+        assert_eq!(util.samples, 2);
+        assert_eq!(util.mean(), Some(0.5));
+        assert_eq!(util.peak, 0.75);
+        let rendered = summary.render();
+        assert!(rendered.contains("phase timings (µs)"));
+        assert!(rendered.contains("utilization (mean/peak)"));
+        assert!(rendered.contains("h0.cpu"));
     }
 
     #[test]

@@ -215,6 +215,32 @@ pub fn run_scenario_traced(
     config: &ScenarioConfig,
     sink: std::sync::Arc<dyn qosr_obs::TraceSink>,
 ) -> RunResult {
+    run_scenario_instrumented(config, sink, None)
+}
+
+/// Executes one simulation run with full live telemetry: trace events
+/// stream to `sink` (as in [`run_scenario_traced`]) and, when a
+/// [`qosr_obs::MetricsRegistry`] is given, the run additionally
+///
+/// * attaches the coordinator's counters and **enables its phase
+///   timers**, so collect/plan/commit/replan/rollback wall-clock
+///   distributions accumulate live;
+/// * feeds the registry's gauges from every sampling tick
+///   ([`ScenarioConfig::sample_period`]): per-resource utilization
+///   (`utilization{resource=...}`), per-host broker utilization
+///   (`host_utilization{host=...}`), live session count
+///   (`active_sessions`), buffered arrivals (`pending_requests`), and —
+///   for batched runs — the admission queue's in-flight round size and
+///   last batch size.
+///
+/// The registry outlives the run, so `qosr metrics` can render a
+/// one-shot exposition afterwards and `--metrics-addr` can serve it
+/// live while the run is still going.
+pub fn run_scenario_instrumented(
+    config: &ScenarioConfig,
+    sink: std::sync::Arc<dyn qosr_obs::TraceSink>,
+    registry: Option<&qosr_obs::MetricsRegistry>,
+) -> RunResult {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -238,6 +264,10 @@ pub fn run_scenario_traced(
         config.topology.into(),
         sink.clone(),
     );
+    if let Some(registry) = registry {
+        registry.attach_counters(env.coordinator.counters_arc());
+        registry.attach_timers(std::sync::Arc::clone(env.coordinator.phase_timers()));
+    }
     if sink.enabled() {
         // Preamble: bind every resource id to its display name so a
         // replayed trace can label bottleneck resources.
@@ -543,6 +573,56 @@ pub fn run_scenario_traced(
                         env.space.name(l.resource()).to_owned(),
                         1.0 - l.available() / l.capacity(),
                     );
+                }
+                if sink.enabled() {
+                    for (name, util) in &utilization {
+                        sink.emit(
+                            &qosr_obs::TraceEvent::new(
+                                now.value(),
+                                qosr_obs::EventKind::UtilizationSample,
+                            )
+                            .with_name(name.clone())
+                            .with_value(*util),
+                        );
+                    }
+                }
+                if let Some(registry) = registry {
+                    let t = now.value();
+                    for (name, util) in &utilization {
+                        registry.set_gauge("utilization", Some(("resource", name)), t, *util);
+                    }
+                    // Per-host broker utilization: everything each
+                    // host's proxy brokers, reserved over capacity.
+                    for proxy in env.coordinator.proxies() {
+                        let (mut avail, mut cap) = (0.0, 0.0);
+                        for b in proxy.brokers().iter() {
+                            avail += b.available();
+                            cap += b.capacity();
+                        }
+                        let util = if cap > 0.0 { 1.0 - avail / cap } else { 0.0 };
+                        registry.set_gauge(
+                            "host_utilization",
+                            Some(("host", proxy.host())),
+                            t,
+                            util,
+                        );
+                    }
+                    registry.set_gauge("active_sessions", None, t, active.len() as f64);
+                    registry.set_gauge("pending_requests", None, t, pending.len() as f64);
+                    if let Some(admission) = &admission {
+                        registry.set_gauge(
+                            "admission_in_flight",
+                            None,
+                            t,
+                            admission.in_flight() as f64,
+                        );
+                        registry.set_gauge(
+                            "admission_last_batch",
+                            None,
+                            t,
+                            admission.last_batch_size() as f64,
+                        );
+                    }
                 }
                 timeseries.push(crate::TimeSample {
                     time: now.value(),

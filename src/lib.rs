@@ -16,8 +16,10 @@
 //! * [`sim`] — the discrete-event simulation used for the paper's
 //!   performance study (§5).
 //! * [`obs`] — zero-cost-when-disabled observability: session-lifecycle
-//!   trace events, sinks (`NullSink`, `JsonlSink`), counters, and
-//!   trace replay/summaries.
+//!   trace events, sinks (`NullSink`, `JsonlSink`), counters, trace
+//!   replay/summaries, and the live telemetry layer — phase-timing
+//!   spans, HDR-style latency/Ψ histograms, utilization gauges, and a
+//!   Prometheus-text metrics exposition (`MetricsRegistry`).
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -79,6 +81,7 @@ pub mod prelude {
     };
     pub use qosr_net::{LinkBroker, NetNode, NetworkBroker, NetworkFabric, Topology};
     pub use qosr_obs::{
-        Counters, EventKind, JsonlSink, MemorySink, NullSink, TraceEvent, TraceSink, TraceSummary,
+        Counters, EventKind, Histogram, JsonlSink, MemorySink, MetricsRegistry, NullSink, Phase,
+        PhaseTimers, PsiHistogram, TraceEvent, TraceSink, TraceSummary,
     };
 }

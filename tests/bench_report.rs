@@ -1,0 +1,103 @@
+//! Guards the committed benchmark artifacts: `BENCH_obs.json` must
+//! exist at the workspace root, carry every field the telemetry
+//! overhead report promises, and show disabled-mode telemetry within
+//! the noise envelope of the non-telemetry admission reference. Runs
+//! under plain `cargo test`, so CI fails if the artifact goes missing
+//! or a bench regenerates it with the zero-cost claim broken.
+
+use serde::{find_field, Value};
+
+fn load(name: &str) -> Vec<(String, Value)> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{name} must be committed at the workspace root: {e}"));
+    let value: ReportValue =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name} must parse as JSON: {e:?}"));
+    value.0
+}
+
+/// Thin wrapper so the vendored `serde_json::from_str` (which needs a
+/// `Deserialize` target) hands back the raw object fields.
+struct ReportValue(Vec<(String, Value)>);
+
+impl serde::Deserialize for ReportValue {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        match v.as_object() {
+            Some(fields) => Ok(ReportValue(fields.to_vec())),
+            None => Err(serde::DeError::custom("expected a JSON object")),
+        }
+    }
+}
+
+fn number(fields: &[(String, Value)], name: &str) -> f64 {
+    match find_field(fields, name) {
+        Some(Value::Float(f)) => *f,
+        Some(Value::Int(n)) => *n as f64,
+        Some(Value::UInt(n)) => *n as f64,
+        other => panic!("field {name:?} must be a number, got {other:?}"),
+    }
+}
+
+#[test]
+fn bench_obs_json_has_the_required_fields() {
+    let fields = load("BENCH_obs.json");
+    assert_eq!(
+        find_field(&fields, "bench").and_then(Value::as_str),
+        Some("obs_overhead")
+    );
+    assert_eq!(
+        find_field(&fields, "unit").and_then(Value::as_str),
+        Some("ns/session")
+    );
+    for required in [
+        "disabled_ns_per_session",
+        "enabled_ns_per_session",
+        "traced_ns_per_session",
+        "enabled_overhead_ratio",
+        "traced_overhead_ratio",
+    ] {
+        let v = number(&fields, required);
+        assert!(v.is_finite() && v > 0.0, "{required} = {v}");
+    }
+}
+
+#[test]
+fn bench_obs_disabled_mode_is_within_noise() {
+    let fields = load("BENCH_obs.json");
+    match find_field(&fields, "disabled_within_noise") {
+        Some(Value::Bool(true)) => {}
+        other => panic!("disabled_within_noise must be true, got {other:?}"),
+    }
+    // The committed run carried a reference measurement; keep the ratio
+    // honest too (the bench asserts <= 1.25 before writing).
+    let ratio = number(&fields, "disabled_vs_reference_ratio");
+    assert!(
+        ratio > 0.0 && ratio <= 1.25,
+        "disabled/reference ratio {ratio} outside the noise envelope"
+    );
+}
+
+#[test]
+fn bench_obs_agrees_with_the_admission_reference() {
+    let obs = load("BENCH_obs.json");
+    let admission = load("BENCH_admission.json");
+    let reference = number(&obs, "reference_admission_ns_per_session");
+    let pipeline = find_field(&admission, "pipeline")
+        .and_then(Value::as_array)
+        .expect("BENCH_admission.json pipeline array");
+    let four_workers = pipeline
+        .iter()
+        .filter_map(Value::as_object)
+        .find(|r| {
+            matches!(
+                find_field(r, "workers"),
+                Some(Value::Int(4) | Value::UInt(4))
+            )
+        })
+        .expect("4-worker pipeline entry");
+    let committed = number(four_workers, "ns_per_session");
+    assert_eq!(
+        reference, committed,
+        "BENCH_obs.json must have been generated against the committed admission reference"
+    );
+}

@@ -296,3 +296,104 @@ fn trace_summary_counts_upgrades_like_run_metrics() {
     assert_eq!(summary.plans_started, result.metrics.overall.attempts);
     assert_eq!(summary.committed, result.metrics.overall.successes);
 }
+
+#[test]
+fn live_registry_and_trace_replay_agree_on_phase_timings() {
+    let config = qosr::sim::ScenarioConfig {
+        seed: 9,
+        rate_per_60tu: 150.0,
+        horizon: 600.0,
+        sample_period: Some(30.0),
+        ..Default::default()
+    };
+    let sink = Arc::new(MemorySink::default());
+    let registry = MetricsRegistry::new();
+    qosr::sim::run_scenario_instrumented(&config, sink.clone(), Some(&registry));
+
+    let summary = TraceSummary::from_events(&sink.events());
+    let timers = registry.timers().expect("timers attached");
+
+    // Every phase the live timers measured appears in the replayed
+    // trace with the exact same event count — one PhaseTiming event was
+    // emitted per measured span, nothing more, nothing less.
+    let mut measured = 0u64;
+    for phase in Phase::ALL {
+        let live = timers.histogram(phase).count();
+        let replayed = summary
+            .phase_timings
+            .get(phase.name())
+            .map_or(0, |h| h.count());
+        assert_eq!(live, replayed, "phase {}", phase.name());
+        measured += live;
+    }
+    assert!(measured > 0, "the run must measure at least one span");
+    for phase in [Phase::Collect, Phase::Plan, Phase::Commit] {
+        assert!(
+            timers.histogram(phase).count() > 0,
+            "{} must fire in a committed run",
+            phase.name()
+        );
+    }
+
+    // The replayed distributions carry real durations (nonzero sums)
+    // and the exposition renders the same counts.
+    let plan = summary.phase_timings.get("plan").expect("plan timings");
+    assert!(plan.sum() > 0);
+    let rendered = registry.render();
+    assert!(rendered.contains(&format!(
+        "qosr_phase_duration_seconds_count{{phase=\"plan\"}} {}",
+        timers.histogram(Phase::Plan).count()
+    )));
+
+    // Utilization samples flow into the replay too.
+    assert!(!summary.utilization.is_empty(), "utilization block");
+    for stat in summary.utilization.values() {
+        assert!(stat.samples > 0);
+        assert!(stat.peak >= 0.0);
+    }
+
+    // Telemetry never perturbs the run: metrics match the plain run.
+    let untraced = qosr::sim::run_scenario(&config);
+    let instrumented = {
+        let registry = MetricsRegistry::new();
+        qosr::sim::run_scenario_instrumented(&config, Arc::new(NullSink), Some(&registry))
+    };
+    assert_eq!(untraced.metrics, instrumented.metrics);
+}
+
+#[test]
+fn batched_admission_phase_timings_replay_exactly() {
+    let config = qosr::sim::ScenarioConfig {
+        seed: 5,
+        rate_per_60tu: 180.0,
+        horizon: 600.0,
+        sample_period: Some(30.0),
+        batch_arrivals: Some(qosr::sim::BatchArrivals {
+            size: 8,
+            workers: 4,
+            max_replans: 2,
+        }),
+        ..Default::default()
+    };
+    let sink = Arc::new(MemorySink::default());
+    let registry = MetricsRegistry::new();
+    let result = qosr::sim::run_scenario_instrumented(&config, sink.clone(), Some(&registry));
+    assert!(result.metrics.overall.successes > 0);
+
+    let summary = TraceSummary::from_events(&sink.events());
+    let timers = registry.timers().expect("timers attached");
+    for phase in Phase::ALL {
+        let live = timers.histogram(phase).count();
+        let replayed = summary
+            .phase_timings
+            .get(phase.name())
+            .map_or(0, |h| h.count());
+        assert_eq!(live, replayed, "phase {}", phase.name());
+    }
+    // Worker-parallel planning must still time every planned request.
+    assert!(timers.histogram(Phase::Plan).count() > 0);
+
+    // The queue-depth gauges were sampled during the run.
+    assert!(registry.gauge("admission_in_flight", None).is_some());
+    assert!(registry.gauge("admission_last_batch", None).is_some());
+}
