@@ -21,6 +21,7 @@ use qosr_broker::{
     LocalBrokerConfig, QosProxy, SessionRequest, SimTime,
 };
 use qosr_model::{ResourceKind, SessionInstance};
+use qosr_obs::Phase;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -177,6 +178,18 @@ struct WorkerResult {
     speedup_vs_mutex_4thread: f64,
 }
 
+/// One pipeline phase's wall-clock profile over the instrumented pass.
+#[derive(Serialize)]
+struct PhaseBreakdown {
+    phase: &'static str,
+    spans: u64,
+    mean_ns: f64,
+    p99_ns: u64,
+    /// Phase time attributed to each admitted session
+    /// (`sum / (rounds × batch)`).
+    ns_per_session: f64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     bench: &'static str,
@@ -190,6 +203,10 @@ struct BenchReport {
     pipeline: Vec<WorkerResult>,
     /// `mutex_4thread / pipeline[workers=4]` — the acceptance figure.
     speedup_at_4_workers: f64,
+    /// Collect/plan/commit/replan split of the pipeline at 4 workers,
+    /// measured on a separate pass with the phase timers enabled (the
+    /// headline numbers above stay instrumentation-free).
+    phase_breakdown: Vec<PhaseBreakdown>,
 }
 
 fn bench_admission(c: &mut Criterion) {
@@ -263,6 +280,47 @@ fn bench_admission(c: &mut Criterion) {
         .find(|r| r.workers == 4)
         .map(|r| r.speedup_vs_mutex_4thread)
         .unwrap_or(f64::NAN);
+
+    // Per-phase breakdown on a separate instrumented pass (the live
+    // span timers are disabled during the headline measurements, so
+    // those stay free of measurement overhead).
+    let timers = world.coordinator.phase_timers();
+    timers.set_enabled(true);
+    let queue = AdmissionQueue::new(
+        &world.coordinator,
+        AdmissionConfig {
+            workers: 4,
+            seed: 0x5eed,
+            ..AdmissionConfig::default()
+        },
+    );
+    let rounds: usize = if quick { 20 } else { 200 };
+    for _ in 0..rounds {
+        pipeline_round(&queue, &reqs, tick());
+    }
+    timers.set_enabled(false);
+    let sessions = (rounds * BATCH) as f64;
+    let phase_breakdown: Vec<PhaseBreakdown> =
+        [Phase::Collect, Phase::Plan, Phase::Commit, Phase::Replan]
+            .into_iter()
+            .map(|phase| {
+                let hist = timers.histogram(phase);
+                PhaseBreakdown {
+                    phase: phase.name(),
+                    spans: hist.count(),
+                    mean_ns: hist.mean().unwrap_or(0.0),
+                    p99_ns: hist.percentile(0.99).unwrap_or(0),
+                    ns_per_session: hist.sum() as f64 / sessions,
+                }
+            })
+            .collect();
+    for p in &phase_breakdown {
+        println!(
+            "phase {:<8} {} spans, mean {:.0} ns, {:.0} ns/session",
+            p.phase, p.spans, p.mean_ns, p.ns_per_session
+        );
+    }
+
     let report = BenchReport {
         bench: "batched_admission",
         unit: "ns/session",
@@ -274,6 +332,7 @@ fn bench_admission(c: &mut Criterion) {
         mutex_4thread_ns_per_session: mutex_4,
         pipeline,
         speedup_at_4_workers,
+        phase_breakdown,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_admission.json");
     let file = std::fs::File::create(path).expect("create BENCH_admission.json");

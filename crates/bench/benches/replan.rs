@@ -1,0 +1,252 @@
+//! Steady-state replanning: a full prepare (re-evaluate every
+//! candidate, re-run Pass I from scratch) per plan against the
+//! delta-aware repair path ([`PlanCtx::prepare_delta`]), which diffs
+//! the availability view, re-evaluates only the candidates demanding a
+//! changed resource, and repairs the cached relaxation downstream of
+//! them.
+//!
+//! The workload is the admission bench's 4×4 chain walking a ping-pong
+//! schedule of availability states where consecutive states differ in
+//! exactly **one** resource — the steady state the batched admission
+//! pipeline sees between epochs. Both paths produce identical plans
+//! (asserted step by step before timing); the timed comparison is the
+//! relaxation work itself (prepare vs. repair), which is what the
+//! pipeline amortizes across a plan group. `--bench` mode writes
+//! `BENCH_replan.json` at the workspace root and fails if the repaired
+//! path is not ≥ 3× faster; `--quick` shortens the measurement window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qosr_bench::synth::synthetic_chain_multi;
+use qosr_core::{AvailabilityView, PlanCtx, Planner, QrgOptions, RepairOutcome};
+use qosr_model::SessionInstance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Chain shape: components × levels per component.
+const CHAIN: (usize, usize) = (4, 4);
+/// Resource slots per component (cpu/mem/io — the paper's
+/// multi-resource setting), each bound to its own resource.
+const SLOTS: usize = 3;
+/// Availability states in the walk. Consecutive states (including the
+/// ping-pong turnarounds) differ in exactly one resource.
+const STATES: usize = 64;
+
+/// The availability walk: a deterministic multiplicative jitter on one
+/// resource per step, staying far from infeasibility so every state
+/// plans at the top rank.
+fn availability_walk(rids: &[qosr_model::ResourceId]) -> Vec<AvailabilityView> {
+    let mut avail: Vec<f64> = (0..rids.len()).map(|i| 90.0 + 7.0 * i as f64).collect();
+    let factors = [0.93, 1.06, 0.97, 1.04];
+    let mut views = Vec::with_capacity(STATES);
+    for s in 0..STATES {
+        if s > 0 {
+            let r = s % rids.len();
+            avail[r] *= factors[s % factors.len()];
+        }
+        let mut view = AvailabilityView::new();
+        for (i, &rid) in rids.iter().enumerate() {
+            view.set_with_alpha(rid, avail[i], 1.0);
+        }
+        views.push(view);
+    }
+    views
+}
+
+/// Ping-pong index schedule over the walk: …, 62, 63, 62, …, 1, 0, 1, …
+/// so every step — wrap included — is a one-resource delta.
+struct PingPong {
+    pos: usize,
+    dir: isize,
+}
+
+impl PingPong {
+    fn new() -> Self {
+        PingPong { pos: 0, dir: 1 }
+    }
+    fn next(&mut self) -> usize {
+        if self.pos == STATES - 1 {
+            self.dir = -1;
+        } else if self.pos == 0 {
+            self.dir = 1;
+        }
+        self.pos = (self.pos as isize + self.dir) as usize;
+        self.pos
+    }
+}
+
+/// Measures `f` with doubling calibration up to `target`, returning
+/// mean ns per call.
+fn time_ns(mut f: impl FnMut(), target: Duration) -> f64 {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= target || iters >= u64::MAX / 4 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        let per_iter = (elapsed.as_nanos() / u128::from(iters)).max(1);
+        iters = ((target.as_nanos() / per_iter) as u64).max(iters * 2);
+    }
+}
+
+/// Walks both contexts through one full ping-pong lap, asserting the
+/// repaired plans are identical to the full-prepare plans, and returns
+/// the accumulated repair statistics.
+fn verify_equivalence(
+    session: &SessionInstance,
+    views: &[AvailabilityView],
+    options: &QrgOptions,
+) -> (u64, u64, u64, u64) {
+    let mut full = PlanCtx::new();
+    let mut delta = PlanCtx::new();
+    let (mut repairs, mut fallbacks, mut nodes, mut reevals) = (0u64, 0u64, 0u64, 0u64);
+    let mut schedule = PingPong::new();
+    for step in 0..(2 * STATES) {
+        let i = if step == 0 { 0 } else { schedule.next() };
+        let view = &views[i];
+        full.prepare(session, view, options);
+        let a = full
+            .plan(Planner::Basic, &mut StdRng::seed_from_u64(step as u64))
+            .expect("walk stays feasible");
+        match delta.prepare_delta(session, view, options) {
+            RepairOutcome::Repaired(stats) => {
+                repairs += 1;
+                nodes += stats.nodes_recomputed as u64;
+                reevals += stats.candidates_reevaluated as u64;
+            }
+            RepairOutcome::Full(_) => fallbacks += 1,
+        }
+        let b = delta
+            .plan(Planner::Basic, &mut StdRng::seed_from_u64(step as u64))
+            .expect("walk stays feasible");
+        assert_eq!(
+            a, b,
+            "repaired plan must equal the full plan at step {step}"
+        );
+    }
+    assert_eq!(fallbacks, 1, "only the cold start should rebuild fully");
+    (repairs, fallbacks, nodes, reevals)
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    unit: &'static str,
+    chain: String,
+    slots_per_component: usize,
+    resources: usize,
+    states: usize,
+    psi_threshold: f64,
+    full_ns_per_prepare: f64,
+    repaired_ns_per_prepare: f64,
+    /// `full / repaired` — the acceptance figure (must be ≥ 3).
+    speedup: f64,
+    repairs: u64,
+    cold_fallbacks: u64,
+    mean_candidates_reevaluated: f64,
+    mean_nodes_recomputed: f64,
+}
+
+fn bench_replan(c: &mut Criterion) {
+    let bench_mode = std::env::args().any(|a| a == "--bench");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let target = if quick {
+        Duration::from_millis(60)
+    } else {
+        Duration::from_millis(400)
+    };
+
+    let (session, space) = synthetic_chain_multi(CHAIN.0, CHAIN.1, SLOTS);
+    let rids: Vec<_> = space.ids().collect();
+    let views = availability_walk(&rids);
+    let options = QrgOptions::default();
+
+    let (repairs, fallbacks, nodes, reevals) = verify_equivalence(&session, &views, &options);
+
+    // Both measured paths walk the same schedule; the delta context is
+    // warm from the equivalence lap, so the measurement is pure steady
+    // state. The timed unit is the relaxation step (the part the delta
+    // path changes); Pass II is identical for both and verified above.
+    let mut full = PlanCtx::new();
+    let mut delta = PlanCtx::new();
+    full.prepare(&session, &views[0], &options);
+    delta.prepare_delta(&session, &views[0], &options);
+    let mut full_schedule = PingPong::new();
+    let mut delta_schedule = PingPong::new();
+
+    let mut group = c.benchmark_group("replan");
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            let view = &views[full_schedule.next()];
+            full.prepare(&session, view, &options);
+            black_box(&full);
+        })
+    });
+    group.bench_function("repaired", |b| {
+        b.iter(|| {
+            let view = &views[delta_schedule.next()];
+            black_box(delta.prepare_delta(&session, view, &options));
+        })
+    });
+    group.finish();
+
+    if !bench_mode {
+        return; // smoke run (cargo test / CI): no JSON
+    }
+
+    let full_ns = time_ns(
+        || {
+            let view = &views[full_schedule.next()];
+            full.prepare(&session, view, &options);
+            black_box(&full);
+        },
+        target,
+    );
+    let repaired_ns = time_ns(
+        || {
+            let view = &views[delta_schedule.next()];
+            black_box(delta.prepare_delta(&session, view, &options));
+        },
+        target,
+    );
+    let speedup = full_ns / repaired_ns;
+    println!(
+        "full {full_ns:.0} ns/prepare, repaired {repaired_ns:.0} ns/prepare, speedup {speedup:.2}x"
+    );
+    assert!(
+        speedup >= 3.0,
+        "delta repair must be ≥ 3x faster than a full relaxation in steady state \
+         (got {speedup:.2}x)"
+    );
+
+    let report = BenchReport {
+        bench: "replan",
+        unit: "ns/prepare",
+        chain: format!("{}x{}", CHAIN.0, CHAIN.1),
+        slots_per_component: SLOTS,
+        resources: rids.len(),
+        states: STATES,
+        psi_threshold: 0.0,
+        full_ns_per_prepare: full_ns,
+        repaired_ns_per_prepare: repaired_ns,
+        speedup,
+        repairs,
+        cold_fallbacks: fallbacks,
+        mean_candidates_reevaluated: reevals as f64 / repairs.max(1) as f64,
+        mean_nodes_recomputed: nodes as f64 / repairs.max(1) as f64,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replan.json");
+    let file = std::fs::File::create(path).expect("create BENCH_replan.json");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), &report)
+        .expect("serialize bench report");
+    println!("-> {path}");
+}
+
+criterion_group!(benches, bench_replan);
+criterion_main!(benches);

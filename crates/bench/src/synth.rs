@@ -11,7 +11,25 @@ use std::sync::Arc;
 /// different paths have different bottlenecks. Used by the `scaling`
 /// bench to exercise the O(K·Q²) complexity claim of §4.2.
 pub fn synthetic_chain(k: usize, q: usize) -> (SessionInstance, ResourceSpace) {
-    assert!(k >= 1 && q >= 1);
+    synthetic_chain_multi(k, q, 1)
+}
+
+/// [`synthetic_chain`] generalized to `slots` resource slots per
+/// component (CPU, memory, disk I/O — cycling through the kinds), each
+/// bound to its own resource: the paper's *multi-resource* reservation
+/// setting, where every translation entry demands an amount of every
+/// slot and the per-candidate bottleneck is the max over them.
+///
+/// Per-slot demands are skewed by deterministic factors so different
+/// slots bottleneck different `(i, o)` pairs. With `slots = 1` this is
+/// exactly the classic single-resource chain.
+pub fn synthetic_chain_multi(k: usize, q: usize, slots: usize) -> (SessionInstance, ResourceSpace) {
+    assert!(k >= 1 && q >= 1 && slots >= 1);
+    const KINDS: [(&str, ResourceKind); 3] = [
+        ("cpu", ResourceKind::Compute),
+        ("mem", ResourceKind::Memory),
+        ("io", ResourceKind::DiskIo),
+    ];
     let mut space = ResourceSpace::new();
     let mut components = Vec::with_capacity(k);
     let mut bindings = Vec::with_capacity(k);
@@ -27,7 +45,7 @@ pub fn synthetic_chain(k: usize, q: usize) -> (SessionInstance, ResourceSpace) {
 
     for c in 0..k {
         let n_in = if c == 0 { 1 } else { q };
-        let mut b = TableTranslation::builder(n_in, q, 1);
+        let mut b = TableTranslation::builder(n_in, q, slots);
         for i in 0..n_in {
             for o in 0..q {
                 // Demand grows with output grade and with the distance
@@ -35,18 +53,33 @@ pub fn synthetic_chain(k: usize, q: usize) -> (SessionInstance, ResourceSpace) {
                 let base = 2.0 + o as f64;
                 let warp = 0.5 * (i as f64 - o as f64).abs();
                 let jitter = ((c * 31 + i * 7 + o * 3) % 5) as f64 * 0.25;
-                b = b.entry(i, o, [base + warp + jitter]);
+                let amounts: Vec<f64> = (0..slots)
+                    .map(|s| {
+                        // Slot skew: each slot scales the common shape
+                        // differently so the bottleneck slot varies
+                        // across (i, o) pairs and components.
+                        let skew = 1.0 + 0.35 * s as f64 + 0.1 * ((c + i + o + s) % 3) as f64;
+                        (base + warp + jitter) * skew
+                    })
+                    .collect();
+                b = b.entry(i, o, amounts);
             }
         }
-        let rid = space.register(format!("r{c}"), ResourceKind::Compute);
+        let mut specs = Vec::with_capacity(slots);
+        let mut rids = Vec::with_capacity(slots);
+        for s in 0..slots {
+            let (name, kind) = KINDS[s % KINDS.len()];
+            specs.push(SlotSpec::new(format!("{name}{}", s / KINDS.len()), kind));
+            rids.push(space.register(format!("r{c}_{name}{}", s / KINDS.len()), kind));
+        }
         components.push(ComponentSpec::new(
             format!("c{c}"),
             levels(&schemas[c], n_in),
             levels(&schemas[c + 1], q),
-            vec![SlotSpec::new("cpu", ResourceKind::Compute)],
+            specs,
             Arc::new(b.build()),
         ));
-        bindings.push(ComponentBinding::new([rid]));
+        bindings.push(ComponentBinding::new(rids));
     }
 
     let service = Arc::new(

@@ -9,10 +9,17 @@
 //!
 //! 1. **Snapshot**: one epoch-stamped phase-1 collect
 //!    ([`qosr_core::EpochSnapshot`]) shared by the whole batch;
-//! 2. **Parallel plan**: every request in the batch is planned against
-//!    the snapshot on a pool of worker threads, each checking its own
-//!    [`qosr_core::PlanCtx`] out of the coordinator's
-//!    [`qosr_core::PlanCtxPool`] (no shared planning lock);
+//! 2. **Group + parallel plan**: requests with the same *shape* (same
+//!    service spec, scale and bindings, same [`qosr_core::QrgOptions`])
+//!    are grouped, and each group shares **one** [`qosr_core::PlanCtx`]
+//!    prepared once against the snapshot via
+//!    [`qosr_core::PlanCtx::prepare_epoch`] — a delta-aware prepare
+//!    that *repairs* the context's previous relaxation instead of
+//!    recomputing it when the availability delta since the last epoch
+//!    is small. Worker threads then run Pass II concurrently and
+//!    read-only over the shared relaxation
+//!    ([`qosr_core::PlanCtx::plan_shared`]), each with its own private
+//!    [`qosr_core::PlanWorkspace`];
 //! 3. **Sequential commit**: plans are committed in arrival order
 //!    through the ordinary two-phase reserve/commit dispatch. Before
 //!    each dispatch the round's *working view* (snapshot minus what
@@ -21,21 +28,26 @@
 //!    as a **commit conflict** and *replanned* against the working view
 //!    (bounded by [`AdmissionConfig::max_replans`]) rather than failed —
 //!    the batched analogue of the single-session retry-with-degradation
-//!    path.
+//!    path. Replans reuse the request's group context through
+//!    [`qosr_core::PlanCtx::prepare_delta`], so the debited working
+//!    view feeds back as a delta and post-conflict replans are
+//!    incremental too.
 //!
 //! The pipeline is deterministic regardless of worker count: each
 //! request plans with an RNG derived from `(seed, epoch, index,
-//! attempt)`, trace events are buffered per request and emitted in
-//! arrival order after the workers join, and commits are strictly
-//! sequential. Running the same batch with 1 or 8 workers yields
-//! byte-identical outcomes, counters and traces.
+//! attempt)`, group contexts are prepared sequentially in discovery
+//! order (so delta repair/fallback counters and events never depend on
+//! worker interleaving), trace events are buffered per request and
+//! emitted in arrival order after the workers join, and commits are
+//! strictly sequential. Running the same batch with 1 or 8 workers
+//! yields byte-identical outcomes, counters and traces.
 
 use crate::request::{EstablishOutcome, NearestMiss, SessionRequest};
 use crate::{
     Coordinator, EstablishError, EstablishedSession, ObservationPolicy, ReserveError, SimTime,
 };
-use qosr_core::{AvailabilityView, EpochSnapshot, Planner};
-use qosr_obs::{EventKind, Phase, TraceEvent};
+use qosr_core::{AvailabilityView, FullReason, PlanCtx, PlanWorkspace, Planner, RepairOutcome};
+use qosr_obs::{Counters, EventKind, Phase, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -109,6 +121,60 @@ fn derive_seed(base: u64, epoch: u64, index: u64, attempt: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Whether two requests can share one prepared planning context: same
+/// service spec, same scale, same per-component bindings, same QRG
+/// construction options. Per-request knobs that only affect Pass II or
+/// commit (planner choice, QoS floor, deadline) do not split groups.
+fn same_shape(a: &SessionRequest, b: &SessionRequest) -> bool {
+    a.session.service().uid() == b.session.service().uid()
+        && a.session.scale().to_bits() == b.session.scale().to_bits()
+        && a.options.qrg == b.options.qrg
+        && a.session.bindings().len() == b.session.bindings().len()
+        && a.session
+            .bindings()
+            .iter()
+            .zip(b.session.bindings())
+            .all(|(x, y)| x.resources() == y.resources())
+}
+
+/// Records a delta-aware prepare's outcome into the coordinator's
+/// counters. Called only from sequential sections of the round, so the
+/// counts are identical for every worker count.
+fn record_delta_outcome(counters: &Counters, outcome: &RepairOutcome) {
+    match outcome {
+        RepairOutcome::Repaired(stats) => {
+            counters.record_delta_repair();
+            counters.record_relax_nodes_repaired(stats.nodes_recomputed as u64);
+        }
+        RepairOutcome::Full(_) => counters.record_delta_fallback(),
+    }
+}
+
+/// A human label for why a delta prepare fell back to a full rebuild.
+fn fallback_label(reason: FullReason) -> &'static str {
+    match reason {
+        FullReason::ColdCache => "cold cache",
+        FullReason::SessionChanged => "session changed",
+        FullReason::OptionsChanged => "options changed",
+        FullReason::DeltaTooLarge => "delta too large",
+    }
+}
+
+/// Builds the [`EventKind::DeltaRepair`] trace record for one prepare.
+fn delta_repair_event(t: f64, service: &str, outcome: &RepairOutcome, when: String) -> TraceEvent {
+    let ev = TraceEvent::new(t, EventKind::DeltaRepair).with_service(service);
+    match outcome {
+        RepairOutcome::Repaired(stats) => ev
+            .with_feasible(true)
+            .with_level(stats.resources_changed as u32)
+            .with_value(stats.nodes_recomputed as f64)
+            .with_detail(when),
+        RepairOutcome::Full(reason) => ev
+            .with_feasible(false)
+            .with_detail(format!("{when}, full rebuild: {}", fallback_label(*reason))),
+    }
+}
+
 impl<'a> AdmissionQueue<'a> {
     /// A queue admitting batches through `coordinator` under `config`.
     pub fn new(coordinator: &'a Coordinator, config: AdmissionConfig) -> Self {
@@ -170,43 +236,111 @@ impl<'a> AdmissionQueue<'a> {
         let snapshot =
             coordinator.epoch_snapshot(epoch, now, self.config.observation, &mut snap_rng);
 
-        // Phase 2, in parallel: plan each request against the shared
-        // snapshot. Workers pull indices from an atomic cursor and send
-        // results home over a channel; events stay buffered per request
-        // so emission order (below) is arrival order, not worker order.
+        // Phase 2a, sequential: group same-shaped requests and prepare
+        // one shared planning context per group against the snapshot.
+        // prepare_epoch repairs the context's previous relaxation from
+        // the availability delta when it can (falling back to a full
+        // rebuild otherwise); doing this here, in discovery order,
+        // keeps the repair/fallback counters and events independent of
+        // worker interleaving.
+        let t = now.value();
+        let mut group_of: Vec<usize> = Vec::with_capacity(n);
+        let mut reps: Vec<usize> = Vec::new();
+        let mut group_ctxs = Vec::new();
+        let mut group_events: Vec<TraceEvent> = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            let found = reps.iter().position(|&r| same_shape(&requests[r], request));
+            let g = match found {
+                Some(g) => g,
+                None => {
+                    let span = coordinator.phase_timers().span(Phase::Plan);
+                    let mut ctx = coordinator.plan_pool().checkout();
+                    let outcome =
+                        ctx.prepare_epoch(&request.session, &snapshot, &request.options.qrg);
+                    let ns = span.end();
+                    record_delta_outcome(coordinator.counters(), &outcome);
+                    if traced {
+                        if let Some(ns) = ns {
+                            group_events.push(
+                                TraceEvent::new(t, EventKind::PhaseTiming)
+                                    .with_name(Phase::Plan.name())
+                                    .with_duration_ns(ns),
+                            );
+                        }
+                        group_events.push(delta_repair_event(
+                            t,
+                            request.session.service().name(),
+                            &outcome,
+                            format!("epoch {epoch}"),
+                        ));
+                    }
+                    reps.push(i);
+                    group_ctxs.push(ctx);
+                    group_ctxs.len() - 1
+                }
+            };
+            group_of.push(g);
+        }
+
+        // Phase 2b, in parallel: Pass II for each request, read-only
+        // over its group's shared relaxation. Workers pull indices from
+        // an atomic cursor and send results home over a channel; events
+        // stay buffered per request so emission order (below) is
+        // arrival order, not worker order.
         let workers = self.config.workers.clamp(1, n);
         let cursor = AtomicUsize::new(0);
         let mut slots: Vec<Option<Planned>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
-        std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel();
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let cursor = &cursor;
-                let snapshot = &snapshot;
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let planned = self.plan_one(&requests[i], snapshot, epoch, i, now, traced);
-                    if tx.send((i, planned)).is_err() {
-                        break;
-                    }
-                });
+        if workers == 1 {
+            // Sequential planning needs neither threads nor a channel.
+            let mut work = PlanWorkspace::new();
+            for (i, request) in requests.iter().enumerate() {
+                let ctx: &PlanCtx = &group_ctxs[group_of[i]];
+                slots[i] = Some(self.plan_one(request, ctx, &mut work, epoch, i, now, traced));
             }
-            drop(tx);
-            for (i, planned) in rx {
-                slots[i] = Some(planned);
-            }
-        });
+        } else {
+            std::thread::scope(|scope| {
+                let (tx, rx) = mpsc::channel();
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let cursor = &cursor;
+                    let group_of = &group_of;
+                    let group_ctxs = &group_ctxs;
+                    scope.spawn(move || {
+                        let mut work = PlanWorkspace::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let ctx: &PlanCtx = &group_ctxs[group_of[i]];
+                            let planned =
+                                self.plan_one(&requests[i], ctx, &mut work, epoch, i, now, traced);
+                            if tx.send((i, planned)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                for (i, planned) in rx {
+                    slots[i] = Some(planned);
+                }
+            });
+        }
 
         coordinator.counters().record_batch_planned();
         if traced {
+            for ev in &group_events {
+                coordinator.sink().emit(ev);
+            }
             coordinator.sink().emit(
-                &TraceEvent::new(now.value(), EventKind::BatchPlanned)
+                &TraceEvent::new(t, EventKind::BatchPlanned)
                     .with_level(n as u32)
-                    .with_detail(format!("epoch {epoch}, {workers} workers")),
+                    .with_detail(format!(
+                        "epoch {epoch}, {workers} workers, {} plan groups",
+                        reps.len()
+                    )),
             );
         }
 
@@ -217,19 +351,32 @@ impl<'a> AdmissionQueue<'a> {
         let mut outcomes = Vec::with_capacity(n);
         for (i, request) in requests.iter().enumerate() {
             let planned = slots[i].take().expect("every request was planned");
-            outcomes.push(self.commit_one(request, planned, &mut working, epoch, i, now, traced));
+            let gctx: &mut PlanCtx = &mut group_ctxs[group_of[i]];
+            outcomes.push(self.commit_one(
+                request,
+                planned,
+                gctx,
+                &mut working,
+                epoch,
+                i,
+                now,
+                traced,
+            ));
             self.in_flight.store(n - i - 1, Ordering::Relaxed);
         }
         outcomes
     }
 
-    /// Phase 2 for one request: plan it against the round snapshot on a
-    /// pooled context, buffering the trace events the single-session
-    /// path would have emitted.
+    /// Phase 2b for one request: Pass II against its group's shared,
+    /// delta-prepared context, assembling in the worker's private
+    /// workspace and buffering the trace events the single-session path
+    /// would have emitted.
+    #[allow(clippy::too_many_arguments)]
     fn plan_one(
         &self,
         request: &SessionRequest,
-        snapshot: &EpochSnapshot,
+        ctx: &PlanCtx,
+        work: &mut PlanWorkspace,
         epoch: u64,
         index: usize,
         now: SimTime,
@@ -270,14 +417,7 @@ impl<'a> AdmissionQueue<'a> {
         // timing event with the rest: workers must not emit directly,
         // or trace order would depend on worker interleaving.
         let plan_span = self.coordinator.phase_timers().span(Phase::Plan);
-        let mut ctx = self.coordinator.plan_pool().checkout();
-        let result = ctx.plan_session(
-            session,
-            snapshot.view(),
-            &request.options.qrg,
-            request.options.planner,
-            &mut rng,
-        );
+        let result = ctx.plan_shared(request.options.planner, &mut rng, work);
         if let Some(ns) = plan_span.end() {
             if traced {
                 events.push(
@@ -308,7 +448,7 @@ impl<'a> AdmissionQueue<'a> {
                 events.push(ev);
             }
         }
-        let downgrade = ctx.last_downgrade();
+        let downgrade = work.last_downgrade();
         if let Some((from, to)) = downgrade {
             if traced {
                 events.push(
@@ -392,12 +532,16 @@ impl<'a> AdmissionQueue<'a> {
 
     /// Phase 3 for one request: emit its buffered plan events, then
     /// commit its plan — replanning on conflict (bounded), rejecting
-    /// when the budget is spent.
+    /// when the budget is spent. Replans go through the request's group
+    /// context: the debited working view arrives as a delta, so a
+    /// post-conflict replan repairs the group's relaxation instead of
+    /// rebuilding it.
     #[allow(clippy::too_many_arguments)]
     fn commit_one(
         &self,
         request: &SessionRequest,
         planned: Planned,
+        gctx: &mut PlanCtx,
         working: &mut AvailabilityView,
         epoch: u64,
         index: usize,
@@ -609,12 +753,24 @@ impl<'a> AdmissionQueue<'a> {
                 let _span = coordinator
                     .phase_timers()
                     .span_traced(Phase::Replan, sink.as_ref(), t);
-                let mut ctx = coordinator.plan_pool().checkout();
-                match ctx.plan_session(session, working, &request.options.qrg, planner, &mut rng) {
+                // The working view diverged from whatever the group
+                // context last planned against only by what this round
+                // debited — exactly the delta the repair path wants.
+                let outcome = gctx.prepare_delta(session, working, &request.options.qrg);
+                record_delta_outcome(counters, &outcome);
+                if traced {
+                    sink.emit(&delta_repair_event(
+                        t,
+                        service_name,
+                        &outcome,
+                        format!("replan {replans} in epoch {epoch}"),
+                    ));
+                }
+                match gctx.plan(planner, &mut rng) {
                     Ok(p) => Ok(p),
                     Err(e) => Err((
                         EstablishError::from(e),
-                        ctx.nearest_miss()
+                        gctx.nearest_miss()
                             .map(|(resource, ratio)| NearestMiss { resource, ratio }),
                     )),
                 }
@@ -763,6 +919,11 @@ mod tests {
         assert_eq!(snap.establish_attempts, 3);
         // One collect round trip for the whole batch.
         assert_eq!(w.coordinator.stats().collect_roundtrips, 1);
+        // One shared prepare for the whole (same-shaped) batch plus one
+        // per replan. This tiny world has a single resource, so any
+        // commit dirties every candidate and the replans rebuild fully
+        // (delta too large) — still counted on the delta path.
+        assert_eq!(snap.delta_fallbacks + snap.delta_repairs, 3);
     }
 
     #[test]
@@ -835,6 +996,40 @@ mod tests {
         assert_eq!(snap1.commit_conflicts, snap8.commit_conflicts);
         assert_eq!(snap1.replans, snap8.replans);
         assert_eq!(snap1.establishments, snap8.establishments);
+        // Delta accounting happens in sequential sections only, so it
+        // must not depend on worker count either.
+        assert_eq!(snap1.delta_repairs, snap8.delta_repairs);
+        assert_eq!(snap1.delta_fallbacks, snap8.delta_fallbacks);
+        assert_eq!(snap1.relax_nodes_repaired, snap8.relax_nodes_repaired);
+    }
+
+    #[test]
+    fn steady_state_rounds_reuse_the_repaired_relaxation() {
+        let w = world(100.0);
+        let queue = AdmissionQueue::new(
+            &w.coordinator,
+            AdmissionConfig {
+                seed: 3,
+                ..AdmissionConfig::default()
+            },
+        );
+        // A floor above the best reachable rank: every round plans,
+        // nothing commits, availability never moves.
+        let requests: Vec<_> = (0..4)
+            .map(|_| SessionRequest::new(w.session.clone()).qos_min(3))
+            .collect();
+        for round in 0..3 {
+            let outcomes = queue.admit(&requests, SimTime::new(1.0 + round as f64));
+            assert!(outcomes.iter().all(|o| !o.is_admitted()));
+        }
+        let snap = w.coordinator.counters().snapshot();
+        // Round 1 pays the one full build (cold pooled context); rounds
+        // 2 and 3 find an unchanged view and repair for free — one
+        // prepare per round despite four same-shaped requests each.
+        assert_eq!(snap.delta_fallbacks, 1);
+        assert_eq!(snap.delta_repairs, 2);
+        assert_eq!(snap.relax_nodes_repaired, 0, "empty deltas repair no nodes");
+        assert_eq!(available(&w), 100.0);
     }
 
     #[test]

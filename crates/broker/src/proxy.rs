@@ -829,14 +829,27 @@ impl Coordinator {
         released
     }
 
+    /// Releases `id`'s holdings at exactly the brokers `demand` names —
+    /// O(session resources) rather than O(environment resources). Valid
+    /// whenever the session's reservations are known to sit where its
+    /// plan put them (the normal terminate and renegotiate-swap paths);
+    /// the fault paths ([`Coordinator::abort`], rollback) keep their
+    /// full scans because crashes can leave holdings the plan no longer
+    /// describes.
+    fn release_planned(&self, id: SessionId, demand: &ResourceVector, now: SimTime) -> f64 {
+        let mut released = 0.0;
+        for (rid, _) in demand.iter() {
+            if let Some(broker) = self.owner_of(rid).and_then(|p| p.brokers.get(rid)) {
+                released += broker.release(id, now);
+            }
+        }
+        released
+    }
+
     /// Terminates an established session, releasing all its reservations.
     /// Returns the total amount released.
     pub fn terminate(&self, session: &EstablishedSession, now: SimTime) -> f64 {
-        let released: f64 = self
-            .proxies
-            .iter()
-            .map(|p| p.release_session(session.id, now))
-            .sum();
+        let released = self.release_planned(session.id, &session.plan.total_demand(), now);
         self.counters.record_release();
         if self.sink.enabled() {
             self.sink.emit(
@@ -862,12 +875,13 @@ impl Coordinator {
         rng: &mut impl Rng,
     ) -> Result<ReservationPlan, EstablishError> {
         let mut view = self.collect(now, options.observation, rng, self.sink.enabled());
-        // Add the session's own holdings back into the view.
-        for proxy in &self.proxies {
-            for broker in proxy.brokers.iter() {
+        // Add the session's own holdings back into the view. The plan's
+        // demand vector names every broker the session reserved at, so
+        // only those are asked.
+        for (rid, _) in current.plan.total_demand().iter() {
+            if let Some(broker) = self.owner_of(rid).and_then(|p| p.brokers.get(rid)) {
                 let held = broker.reserved_for(current.id);
                 if held > 0.0 {
-                    let rid = broker.resource();
                     view.set_with_alpha(rid, view.avail(rid) + held, view.alpha(rid));
                 }
             }
@@ -915,9 +929,7 @@ impl Coordinator {
         // under the same session id; restore the old plan on failure.
         let traced = self.sink.enabled();
         let old_demand = current.plan.total_demand();
-        for proxy in &self.proxies {
-            proxy.release_session(current.id, now);
-        }
+        self.release_planned(current.id, &old_demand, now);
         match self.dispatch(current.id, &candidate.total_demand(), now, traced, true) {
             Ok(()) => {
                 self.counters.record_upgrade();

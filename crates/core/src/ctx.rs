@@ -58,10 +58,13 @@
 //! }
 //! ```
 
-use crate::planner::{plan_basic_view, plan_minimax, plan_random_view, plan_tradeoff_view};
+use crate::delta::{diff_views, DeltaConfig, FullReason, RelaxCache, RepairOutcome, RepairStats};
+use crate::planner::{ensure_chain, finish_minimax, finish_random, finish_tradeoff};
 use crate::qrg::EdgeBottleneck;
+use crate::relax::{relax_into, relax_repair};
 use crate::skeleton::QrgSkeleton;
-use crate::view::{PlanScratch, PlanView};
+use crate::snapshot::EpochSnapshot;
+use crate::view::{PlanScratch, PlanView, PlanWorkspace};
 use crate::{AvailabilityView, NodeRef, PlanError, Planner, QrgOptions, ReservationPlan};
 use qosr_model::{ResourceId, ResourceVector, ServiceSpec, SessionInstance};
 use rand::Rng;
@@ -71,6 +74,13 @@ use std::sync::Arc;
 /// flat per-call buffers. Call [`PlanCtx::prepare`] with a session and an
 /// availability snapshot, then [`PlanCtx::plan`] (any number of times).
 /// After warm-up, neither step allocates.
+///
+/// For snapshot sequences, [`PlanCtx::prepare_delta`] /
+/// [`PlanCtx::prepare_epoch`] are the incremental alternative to
+/// [`PlanCtx::prepare`]: they diff the new view against the previous one
+/// and *repair* the prepared weights and relaxation in place (see the
+/// `delta` module docs), which is what the batched admission pipeline
+/// rides in steady state.
 #[derive(Debug, Default)]
 pub struct PlanCtx {
     skeleton: Option<Arc<QrgSkeleton>>,
@@ -85,9 +95,66 @@ pub struct PlanCtx {
     /// candidate (feasible ψ values are clamped to [`crate::PsiDef::CLAMP`]).
     weight: Vec<f64>,
     bottleneck: Vec<Option<EdgeBottleneck>>,
+    /// Pass-I buffers (`scratch.dist`/`scratch.pred`) and the exclusive
+    /// Pass-II workspace. When `relaxed` is set, the Pass-I buffers hold
+    /// the relaxation of the current `weight` buffer and planners reuse
+    /// it instead of resweeping.
     scratch: PlanScratch,
+    relaxed: bool,
+    /// Delta-repair state: the effective view the buffers were computed
+    /// against, fingerprint, inverted index, and repair scratch.
+    cache: RelaxCache,
     /// Per-candidate staging buffer for demand canonicalization.
     stage: Vec<(ResourceId, f64)>,
+}
+
+/// One candidate's feasibility, weight, and bottleneck under `view` —
+/// the per-candidate computation shared by the full prepare and the
+/// delta repair, so both fill the buffers bit-identically.
+fn eval_candidate(
+    seg: &[(ResourceId, f64)],
+    view: &AvailabilityView,
+    options: &QrgOptions,
+) -> (f64, Option<EdgeBottleneck>) {
+    if !seg.iter().all(|&(rid, req)| req <= view.avail(rid)) {
+        // Diagnostic only: remember which resource overshoots the most
+        // (raw req/avail ratio, > 1 by construction) so rejections can
+        // name their blocking resource. Planners never read bottlenecks
+        // of infeasible candidates, so plans are unaffected.
+        let mut worst = 0.0f64;
+        let mut bottleneck = None;
+        for &(rid, req) in seg {
+            let avail = view.avail(rid);
+            let ratio = if avail > 0.0 {
+                (req / avail).min(crate::PsiDef::CLAMP)
+            } else {
+                crate::PsiDef::CLAMP
+            };
+            if bottleneck.is_none() || ratio > worst {
+                worst = ratio;
+                bottleneck = Some(EdgeBottleneck {
+                    resource: rid,
+                    psi: ratio,
+                    alpha: view.alpha(rid),
+                });
+            }
+        }
+        return (f64::INFINITY, bottleneck);
+    }
+    let mut weight = 0.0f64;
+    let mut bottleneck = None;
+    for &(rid, req) in seg {
+        let psi = options.psi.psi(req, view.avail(rid));
+        if bottleneck.is_none() || psi > weight {
+            weight = psi;
+            bottleneck = Some(EdgeBottleneck {
+                resource: rid,
+                psi,
+                alpha: view.alpha(rid),
+            });
+        }
+    }
+    (weight, bottleneck)
 }
 
 impl PlanCtx {
@@ -101,7 +168,23 @@ impl PlanCtx {
     /// The session's service skeleton is fetched from the process-wide
     /// memo (computed on first encounter); demands, feasibility, weights
     /// and bottlenecks are recomputed into reusable buffers.
+    ///
+    /// This is the *full* path: it always rebuilds every candidate and
+    /// defers Pass I to the next [`PlanCtx::plan`] call. Use
+    /// [`PlanCtx::prepare_delta`] / [`PlanCtx::prepare_epoch`] to repair
+    /// the previous state incrementally instead.
     pub fn prepare(
+        &mut self,
+        session: &SessionInstance,
+        view: &AvailabilityView,
+        options: &QrgOptions,
+    ) {
+        self.cache.invalidate();
+        self.relaxed = false;
+        self.prepare_full(session, view, options);
+    }
+
+    fn prepare_full(
         &mut self,
         session: &SessionInstance,
         view: &AvailabilityView,
@@ -173,55 +256,217 @@ impl PlanCtx {
             }
             let seg =
                 &self.demand_buf[self.demand_off[e] as usize..self.demand_off[e + 1] as usize];
-            if !seg.iter().all(|&(rid, req)| req <= view.avail(rid)) {
-                self.weight[e] = f64::INFINITY;
-                // Diagnostic only: remember which resource overshoots the
-                // most (raw req/avail ratio, > 1 by construction) so
-                // rejections can name their blocking resource. Planners
-                // never read bottlenecks of infeasible candidates, so
-                // plans are unaffected.
-                let mut worst = 0.0f64;
-                let mut bottleneck = None;
-                for &(rid, req) in seg {
-                    let avail = view.avail(rid);
-                    let ratio = if avail > 0.0 {
-                        (req / avail).min(crate::PsiDef::CLAMP)
-                    } else {
-                        crate::PsiDef::CLAMP
-                    };
-                    if bottleneck.is_none() || ratio > worst {
-                        worst = ratio;
-                        bottleneck = Some(EdgeBottleneck {
-                            resource: rid,
-                            psi: ratio,
-                            alpha: view.alpha(rid),
-                        });
+            let (w, b) = eval_candidate(seg, view, options);
+            self.weight[e] = w;
+            self.bottleneck[e] = b;
+        }
+    }
+
+    /// Incremental prepare against an arbitrary availability view (e.g.
+    /// the commit phase's debited *working* view): diffs `view` against
+    /// the effective view the buffers were last computed against and
+    /// repairs only the candidates (and relaxation nodes) downstream of
+    /// resources that moved past the quantization threshold. Falls back
+    /// to a full [`PlanCtx::prepare`]-equivalent rebuild when the cache
+    /// is cold, the session or options changed, or the delta is too
+    /// large (see [`DeltaConfig`]).
+    ///
+    /// With the default zero threshold, the resulting state — weights,
+    /// bottlenecks, and Pass-I distances — is **bit-identical** to a
+    /// full prepare, so subsequent plans are byte-identical too.
+    pub fn prepare_delta(
+        &mut self,
+        session: &SessionInstance,
+        view: &AvailabilityView,
+        options: &QrgOptions,
+    ) -> RepairOutcome {
+        self.prepare_delta_inner(session, view, options, None)
+    }
+
+    /// [`PlanCtx::prepare_delta`] for an [`EpochSnapshot`]: additionally
+    /// keys on the snapshot's generation token, so re-preparing against
+    /// the *same* snapshot (every same-shaped request of a batch round)
+    /// is a token-compare no-op with no view diff at all.
+    pub fn prepare_epoch(
+        &mut self,
+        session: &SessionInstance,
+        snapshot: &EpochSnapshot,
+        options: &QrgOptions,
+    ) -> RepairOutcome {
+        self.prepare_delta_inner(
+            session,
+            snapshot.view(),
+            options,
+            Some(snapshot.generation()),
+        )
+    }
+
+    fn prepare_delta_inner(
+        &mut self,
+        session: &SessionInstance,
+        view: &AvailabilityView,
+        options: &QrgOptions,
+        token: Option<u64>,
+    ) -> RepairOutcome {
+        let full_reason = if !self.cache.valid {
+            Some(FullReason::ColdCache)
+        } else if !self.cache.matches_session(session) {
+            Some(FullReason::SessionChanged)
+        } else if self.options != *options {
+            Some(FullReason::OptionsChanged)
+        } else {
+            None
+        };
+        if let Some(reason) = full_reason {
+            self.install_full(session, view, options, token);
+            return RepairOutcome::Full(reason);
+        }
+
+        // Same snapshot as the buffers were prepared against: nothing
+        // can have moved (tokens are process-unique per snapshot).
+        if token.is_some() && token == self.cache.token {
+            return RepairOutcome::Repaired(RepairStats::default());
+        }
+
+        // Diff the incoming view against the cache's *effective* view
+        // under the ψ-quantization threshold.
+        diff_views(
+            &self.cache.view,
+            view,
+            self.cache.config.psi_threshold,
+            &mut self.cache.pending,
+        );
+        self.cache.token = token;
+        if self.cache.pending.is_empty() {
+            return RepairOutcome::Repaired(RepairStats::default());
+        }
+
+        let sk = self
+            .skeleton
+            .clone()
+            .expect("a valid RelaxCache implies a prepared skeleton");
+        let n_cands = sk.n_candidates();
+
+        // Seed: every candidate demanding a changed resource, deduped
+        // into a compact worklist so the re-evaluation below touches
+        // only dirty candidates instead of scanning the flag array.
+        self.cache.cand_seen.clear();
+        self.cache.cand_seen.resize(n_cands, false);
+        self.cache.dirty_cands.clear();
+        for i in 0..self.cache.pending.len() {
+            let rid = self.cache.pending[i].0;
+            if let Ok(p) = self.cache.idx_rids.binary_search(&rid) {
+                let lo = self.cache.idx_start[p] as usize;
+                let hi = self.cache.idx_start[p + 1] as usize;
+                for k in lo..hi {
+                    let e = self.cache.idx_cands[k];
+                    if !self.cache.cand_seen[e as usize] {
+                        self.cache.cand_seen[e as usize] = true;
+                        self.cache.dirty_cands.push(e);
                     }
                 }
-                self.bottleneck[e] = bottleneck;
-                continue;
             }
-            let mut weight = 0.0f64;
-            let mut bottleneck = None;
-            for &(rid, req) in seg {
-                let psi = options.psi.psi(req, view.avail(rid));
-                if bottleneck.is_none() || psi > weight {
-                    weight = psi;
-                    bottleneck = Some(EdgeBottleneck {
-                        resource: rid,
-                        psi,
-                        alpha: view.alpha(rid),
-                    });
-                }
-            }
-            self.weight[e] = weight;
-            self.bottleneck[e] = bottleneck;
         }
+        let dirty = self.cache.dirty_cands.len();
+        if dirty as f64 > self.cache.config.max_dirty_fraction * n_cands as f64 {
+            self.install_full(session, view, options, token);
+            return RepairOutcome::Full(FullReason::DeltaTooLarge);
+        }
+
+        // Apply the delta to the effective view, then re-evaluate the
+        // dirty candidates against it — the same per-candidate function
+        // the full prepare runs, so repaired buffers match it bitwise.
+        let resources_changed = self.cache.pending.len();
+        for i in 0..resources_changed {
+            let (rid, avail, alpha) = self.cache.pending[i];
+            self.cache.view.set_with_alpha(rid, avail, alpha);
+        }
+        self.cache.dirty_nodes.clear();
+        self.cache.dirty_nodes.resize(sk.n_nodes(), false);
+        for k in 0..dirty {
+            let e = self.cache.dirty_cands[k] as usize;
+            let seg =
+                &self.demand_buf[self.demand_off[e] as usize..self.demand_off[e + 1] as usize];
+            let (w, b) = eval_candidate(seg, &self.cache.view, &self.options);
+            // Only an actual weight move can shift the relaxation;
+            // bottleneck-only changes (e.g. α drift) don't propagate.
+            if w.to_bits() != self.weight[e].to_bits() {
+                self.cache.dirty_nodes[sk.candidates[e].to as usize] = true;
+            }
+            self.weight[e] = w;
+            self.bottleneck[e] = b;
+        }
+        let reevaluated = dirty;
+
+        // Repair Pass I downstream of the re-weighted nodes.
+        let nodes_recomputed = if self.relaxed {
+            let view = CtxView {
+                sk: &sk,
+                options: &self.options,
+                demand_off: &self.demand_off,
+                demand_buf: &self.demand_buf,
+                weight: &self.weight,
+                bottleneck: &self.bottleneck,
+            };
+            relax_repair(
+                &view,
+                &mut self.scratch.dist,
+                &mut self.scratch.pred,
+                &self.cache.dirty_nodes,
+                &mut self.cache.moved_nodes,
+            )
+        } else {
+            // A valid cache is always installed with an eager
+            // relaxation; stay correct if that invariant ever bends.
+            self.relax_now();
+            sk.n_nodes()
+        };
+
+        RepairOutcome::Repaired(RepairStats {
+            resources_changed,
+            candidates_reevaluated: reevaluated,
+            nodes_recomputed,
+        })
+    }
+
+    /// Full rebuild + eager relaxation + cache (re)install — the
+    /// fallback body of the delta path.
+    fn install_full(
+        &mut self,
+        session: &SessionInstance,
+        view: &AvailabilityView,
+        options: &QrgOptions,
+        token: Option<u64>,
+    ) {
+        self.prepare_full(session, view, options);
+        self.relax_now();
+        self.cache.install(session, view, token);
+        RelaxCache::rebuild_index(&mut self.cache, &self.demand_off, &self.demand_buf);
+    }
+
+    /// Runs Pass I over the current buffers into the context's own
+    /// relax buffers and marks them valid.
+    fn relax_now(&mut self) {
+        let sk = self
+            .skeleton
+            .clone()
+            .expect("relax_now called before prepare");
+        let view = CtxView {
+            sk: &sk,
+            options: &self.options,
+            demand_off: &self.demand_off,
+            demand_buf: &self.demand_buf,
+            weight: &self.weight,
+            bottleneck: &self.bottleneck,
+        };
+        relax_into(&view, &mut self.scratch.dist, &mut self.scratch.pred);
+        self.relaxed = true;
     }
 
     /// Runs `planner` against the prepared snapshot. `rng` is only
     /// consulted by [`Planner::Random`]. May be called repeatedly between
-    /// `prepare` calls.
+    /// `prepare` calls; Pass I runs at most once per prepared state (the
+    /// delta path usually has it repaired already).
     ///
     /// # Panics
     /// Panics if [`PlanCtx::prepare`] has never been called.
@@ -242,12 +487,72 @@ impl PlanCtx {
             weight: &self.weight,
             bottleneck: &self.bottleneck,
         };
-        let scratch = &mut self.scratch;
+        // Same order as the legacy planners: the chain check precedes
+        // any Pass-I work.
+        if matches!(planner, Planner::Basic | Planner::Random) {
+            ensure_chain(&view)?;
+        }
+        if !self.relaxed {
+            relax_into(&view, &mut self.scratch.dist, &mut self.scratch.pred);
+            self.relaxed = true;
+        }
+        let work = &mut self.scratch.work;
         match planner {
-            Planner::Basic => plan_basic_view(&view, scratch),
-            Planner::Tradeoff => plan_tradeoff_view(&view, scratch),
-            Planner::Random => plan_random_view(&view, scratch, rng),
-            Planner::Dag => plan_minimax(&view, scratch),
+            Planner::Basic | Planner::Dag => {
+                finish_minimax(&view, &self.scratch.dist, &self.scratch.pred, work)
+            }
+            Planner::Tradeoff => {
+                finish_tradeoff(&view, &self.scratch.dist, &self.scratch.pred, work)
+            }
+            Planner::Random => finish_random(&view, &self.scratch.dist, work, rng),
+        }
+    }
+
+    /// Like [`PlanCtx::plan`], but read-only over the context: the
+    /// shared, already-relaxed state is consumed while Pass II and
+    /// assembly run in the caller's private `work` buffer. This is what
+    /// lets every worker of a batch round plan concurrently against
+    /// **one** repaired relaxation. The tradeoff downgrade (if any) is
+    /// reported via [`PlanWorkspace::last_downgrade`] on `work`.
+    ///
+    /// # Panics
+    /// Panics unless the context was prepared through
+    /// [`PlanCtx::prepare_delta`] / [`PlanCtx::prepare_epoch`] (which
+    /// relax eagerly) or has planned at least once since `prepare`.
+    pub fn plan_shared(
+        &self,
+        planner: Planner,
+        rng: &mut impl Rng,
+        work: &mut PlanWorkspace,
+    ) -> Result<ReservationPlan, PlanError> {
+        let sk = self
+            .skeleton
+            .as_ref()
+            .expect("PlanCtx::plan_shared called before PlanCtx::prepare");
+        assert!(
+            self.relaxed,
+            "PlanCtx::plan_shared needs an eager relaxation — prepare with \
+             prepare_delta/prepare_epoch first"
+        );
+        let view = CtxView {
+            sk,
+            options: &self.options,
+            demand_off: &self.demand_off,
+            demand_buf: &self.demand_buf,
+            weight: &self.weight,
+            bottleneck: &self.bottleneck,
+        };
+        if matches!(planner, Planner::Basic | Planner::Random) {
+            ensure_chain(&view)?;
+        }
+        match planner {
+            Planner::Basic | Planner::Dag => {
+                finish_minimax(&view, &self.scratch.dist, &self.scratch.pred, work)
+            }
+            Planner::Tradeoff => {
+                finish_tradeoff(&view, &self.scratch.dist, &self.scratch.pred, work)
+            }
+            Planner::Random => finish_random(&view, &self.scratch.dist, work, rng),
         }
     }
 
@@ -302,9 +607,38 @@ impl PlanCtx {
     }
 
     /// `(from_rank, to_rank)` when the last [`PlanCtx::plan`] run took an
-    /// α-tradeoff step down (§4.3.1), `None` otherwise.
+    /// α-tradeoff step down (§4.3.1), `None` otherwise. Plans run
+    /// through [`PlanCtx::plan_shared`] report on their own workspace
+    /// instead.
     pub fn last_downgrade(&self) -> Option<(u32, u32)> {
-        self.scratch.downgrade
+        self.scratch.work.downgrade
+    }
+
+    /// The current Pass-I result `(dist, pred)`, when one is held (after
+    /// a delta-path prepare or the first [`PlanCtx::plan`]). Exposed for
+    /// the repaired-≡-full equivalence tests.
+    pub fn relaxation(&self) -> Option<(&[f64], &[Option<u32>])> {
+        self.relaxed
+            .then(|| (&self.scratch.dist[..], &self.scratch.pred[..]))
+    }
+
+    /// The *effective* availability view the prepared buffers were
+    /// computed against, when the delta cache is live. With a zero
+    /// ψ-threshold this equals the last prepared view; with a positive
+    /// threshold it lags by at most the quantized-away moves.
+    pub fn effective_view(&self) -> Option<&AvailabilityView> {
+        self.cache.valid.then_some(&self.cache.view)
+    }
+
+    /// Sets the delta-repair tuning knobs (threshold, fallback
+    /// fraction). Takes effect from the next delta-path prepare.
+    pub fn set_delta_config(&mut self, config: DeltaConfig) {
+        self.cache.config = config;
+    }
+
+    /// The current delta-repair tuning knobs.
+    pub fn delta_config(&self) -> DeltaConfig {
+        self.cache.config
     }
 
     /// The infeasible candidate closest to fitting under the last
@@ -563,5 +897,246 @@ mod tests {
     fn plan_before_prepare_panics() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = PlanCtx::new().plan(Planner::Basic, &mut rng);
+    }
+
+    /// Asserts `ctx`'s prepared buffers and relaxation are bit-identical
+    /// to a freshly fully-prepared context over the same view.
+    fn assert_state_matches_full(
+        ctx: &mut PlanCtx,
+        session: &SessionInstance,
+        view: &AvailabilityView,
+    ) {
+        let options = QrgOptions::default();
+        let mut full = PlanCtx::new();
+        full.prepare(session, view, &options);
+        full.relax_now();
+        ctx_relaxed(ctx);
+        assert_eq!(
+            ctx.weight.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            full.weight.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            "weights diverged from full prepare"
+        );
+        assert_eq!(ctx.bottleneck, full.bottleneck, "bottlenecks diverged");
+        let (dist_a, pred_a) = ctx.relaxation().expect("delta path relaxes eagerly");
+        let (dist_b, pred_b) = full.relaxation().unwrap();
+        assert_eq!(
+            dist_a.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+            dist_b.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+            "relaxation distances diverged"
+        );
+        assert_eq!(pred_a, pred_b, "relaxation predecessors diverged");
+    }
+
+    fn ctx_relaxed(ctx: &mut PlanCtx) {
+        if !ctx.relaxed {
+            ctx.relax_now();
+        }
+    }
+
+    #[test]
+    fn delta_repair_is_bit_identical_to_full_prepare() {
+        let fx = ChainFixture::paper_like();
+        let options = QrgOptions::default();
+        let mut ctx = PlanCtx::new();
+
+        let mut view = AvailabilityView::from_fn(fx.space.ids(), |_| 100.0);
+        let cold = ctx.prepare_delta(&fx.session, &view, &options);
+        assert_eq!(cold, RepairOutcome::Full(FullReason::ColdCache));
+        assert_state_matches_full(&mut ctx, &fx.session, &view);
+
+        // Nudge one resource: must repair, not rebuild, and still match.
+        view.set(fx.space.id("bw12").unwrap(), 60.0);
+        let outcome = ctx.prepare_delta(&fx.session, &view, &options);
+        let stats = outcome.stats().expect("warm cache repairs");
+        assert_eq!(stats.resources_changed, 1);
+        assert!(stats.candidates_reevaluated >= 1);
+        assert_state_matches_full(&mut ctx, &fx.session, &view);
+
+        // Identical view again: pure reuse.
+        let outcome = ctx.prepare_delta(&fx.session, &view, &options);
+        assert_eq!(outcome, RepairOutcome::Repaired(RepairStats::default()));
+        assert_state_matches_full(&mut ctx, &fx.session, &view);
+    }
+
+    #[test]
+    fn delta_plans_match_full_plans_across_a_snapshot_sequence() {
+        let fx = ChainFixture::paper_like();
+        let options = QrgOptions::default();
+        let mut delta_ctx = PlanCtx::new();
+        let mut full_ctx = PlanCtx::new();
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        for avail in [100.0, 99.0, 40.0, 11.0, 3.0, 1000.0] {
+            let view = AvailabilityView::from_fn(fx.space.ids(), |_| avail);
+            delta_ctx.prepare_delta(&fx.session, &view, &options);
+            for planner in [
+                Planner::Basic,
+                Planner::Tradeoff,
+                Planner::Random,
+                Planner::Dag,
+            ] {
+                let a = delta_ctx.plan(planner, &mut rng_a);
+                let b = full_ctx.plan_session(&fx.session, &view, &options, planner, &mut rng_b);
+                assert_eq!(a, b, "avail {avail}, planner {planner:?}");
+                assert_eq!(rng_a, rng_b);
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_token_short_circuits_and_generation_guards_reuse() {
+        let fx = ChainFixture::paper_like();
+        let options = QrgOptions::default();
+        let mut ctx = PlanCtx::new();
+        let view = AvailabilityView::from_fn(fx.space.ids(), |_| 100.0);
+        let snap = EpochSnapshot::new(3, 0.0, view.clone());
+        assert!(ctx.prepare_epoch(&fx.session, &snap, &options).is_full());
+        // Same snapshot: token fast path, zero work.
+        assert_eq!(
+            ctx.prepare_epoch(&fx.session, &snap, &options),
+            RepairOutcome::Repaired(RepairStats::default())
+        );
+        // A *different* snapshot with the same epoch number and a
+        // changed view must not be mistaken for the cached one.
+        let mut view2 = view.clone();
+        view2.set(fx.space.id("bw12").unwrap(), 20.0);
+        let snap2 = EpochSnapshot::new(3, 0.0, view2.clone());
+        let outcome = ctx.prepare_epoch(&fx.session, &snap2, &options);
+        let stats = outcome.stats().expect("repairs, not reuses");
+        assert_eq!(stats.resources_changed, 1);
+        assert_state_matches_full(&mut ctx, &fx.session, &view2);
+    }
+
+    #[test]
+    fn session_and_options_changes_fall_back_to_full() {
+        let fx = ChainFixture::paper_like();
+        let fat = ChainFixture::paper_like_scaled(10.0);
+        let options = QrgOptions::default();
+        let mut ctx = PlanCtx::new();
+        let view = AvailabilityView::from_fn(fx.space.ids(), |_| 100.0);
+        ctx.prepare_delta(&fx.session, &view, &options);
+        assert_eq!(
+            ctx.prepare_delta(&fat.session, &view, &options),
+            RepairOutcome::Full(FullReason::SessionChanged)
+        );
+        let other = QrgOptions {
+            disable_tie_break: true,
+            ..QrgOptions::default()
+        };
+        assert_eq!(
+            ctx.prepare_delta(&fat.session, &view, &other),
+            RepairOutcome::Full(FullReason::OptionsChanged)
+        );
+        assert_state_matches_full_with(&mut ctx, &fat.session, &view, &other);
+    }
+
+    /// Like `assert_state_matches_full` but under explicit options.
+    fn assert_state_matches_full_with(
+        ctx: &mut PlanCtx,
+        session: &SessionInstance,
+        view: &AvailabilityView,
+        options: &QrgOptions,
+    ) {
+        let mut full = PlanCtx::new();
+        full.prepare(session, view, options);
+        full.relax_now();
+        ctx_relaxed(ctx);
+        assert_eq!(
+            ctx.weight.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            full.weight.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+        );
+        let (dist_a, pred_a) = ctx.relaxation().unwrap();
+        let (dist_b, pred_b) = full.relaxation().unwrap();
+        assert_eq!(
+            dist_a.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+            dist_b.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+        );
+        assert_eq!(pred_a, pred_b);
+    }
+
+    #[test]
+    fn oversized_delta_falls_back_to_full_rebuild() {
+        let fx = ChainFixture::paper_like();
+        let options = QrgOptions::default();
+        let mut ctx = PlanCtx::new();
+        ctx.set_delta_config(DeltaConfig {
+            psi_threshold: 0.0,
+            max_dirty_fraction: 0.0, // any dirty candidate is "too many"
+        });
+        let mut view = AvailabilityView::from_fn(fx.space.ids(), |_| 100.0);
+        ctx.prepare_delta(&fx.session, &view, &options);
+        view.set(fx.space.id("cpu0").unwrap(), 50.0);
+        assert_eq!(
+            ctx.prepare_delta(&fx.session, &view, &options),
+            RepairOutcome::Full(FullReason::DeltaTooLarge)
+        );
+        assert_state_matches_full(&mut ctx, &fx.session, &view);
+    }
+
+    #[test]
+    fn quantized_threshold_keeps_subthreshold_moves_invisible() {
+        let fx = ChainFixture::paper_like();
+        let options = QrgOptions::default();
+        let mut ctx = PlanCtx::new();
+        ctx.set_delta_config(DeltaConfig {
+            psi_threshold: 0.1,
+            max_dirty_fraction: 1.0,
+        });
+        let base = AvailabilityView::from_fn(fx.space.ids(), |_| 100.0);
+        ctx.prepare_delta(&fx.session, &base, &options);
+
+        // A move landing exactly on the threshold is quantized away...
+        let mut nudged = base.clone();
+        nudged.set(fx.space.id("cpu0").unwrap(), 110.0);
+        let outcome = ctx.prepare_delta(&fx.session, &nudged, &options);
+        assert_eq!(outcome, RepairOutcome::Repaired(RepairStats::default()));
+        // ...so the effective view still carries the old value.
+        let eff = ctx.effective_view().unwrap();
+        assert_eq!(eff.avail(fx.space.id("cpu0").unwrap()), 100.0);
+
+        // Crossing it applies the *new* value exactly.
+        let mut crossed = base.clone();
+        crossed.set(fx.space.id("cpu0").unwrap(), 111.0);
+        let outcome = ctx.prepare_delta(&fx.session, &crossed, &options);
+        assert_eq!(outcome.stats().unwrap().resources_changed, 1);
+        let eff = ctx.effective_view().unwrap();
+        assert_eq!(eff.avail(fx.space.id("cpu0").unwrap()), 111.0);
+        // And the buffers match a full prepare over the effective view.
+        assert_state_matches_full(&mut ctx, &fx.session, &crossed);
+    }
+
+    #[test]
+    fn plan_shared_matches_exclusive_plans() {
+        let fx = ChainFixture::paper_like();
+        let options = QrgOptions::default();
+        let view = AvailabilityView::from_fn(fx.space.ids(), |_| 100.0);
+        let mut ctx = PlanCtx::new();
+        ctx.prepare_delta(&fx.session, &view, &options);
+        let mut work = PlanWorkspace::new();
+        for planner in [
+            Planner::Basic,
+            Planner::Tradeoff,
+            Planner::Random,
+            Planner::Dag,
+        ] {
+            let mut rng_a = StdRng::seed_from_u64(23);
+            let mut rng_b = StdRng::seed_from_u64(23);
+            let shared = ctx.plan_shared(planner, &mut rng_a, &mut work);
+            let mut fresh = PlanCtx::new();
+            let exclusive = fresh.plan_session(&fx.session, &view, &options, planner, &mut rng_b);
+            assert_eq!(shared, exclusive, "planner {planner:?}");
+            assert_eq!(rng_a, rng_b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plan_shared needs an eager relaxation")]
+    fn plan_shared_requires_delta_prepare() {
+        let fx = ChainFixture::paper_like();
+        let view = AvailabilityView::from_fn(fx.space.ids(), |_| 100.0);
+        let mut ctx = PlanCtx::new();
+        ctx.prepare(&fx.session, &view, &QrgOptions::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = ctx.plan_shared(Planner::Basic, &mut rng, &mut PlanWorkspace::new());
     }
 }

@@ -65,6 +65,7 @@
 mod availability;
 mod backtrack;
 mod ctx;
+mod delta;
 mod error;
 mod plan;
 mod planner;
@@ -80,6 +81,9 @@ mod view;
 
 pub use availability::AvailabilityView;
 pub use ctx::{CandidateEval, PlanCtx};
+pub use delta::{
+    AvailabilityDelta, DeltaConfig, FullReason, RelaxCache, RepairOutcome, RepairStats,
+};
 pub use error::PlanError;
 pub use plan::{Bottleneck, PlanAssignment, ReservationPlan};
 pub use planner::{plan_basic, plan_dag, plan_random, plan_tradeoff, plan_with, Planner};
@@ -89,3 +93,4 @@ pub use qrg::{EdgeKind, NodeRef, Qrg, QrgEdge, QrgOptions};
 pub use relax::{relax, Relaxation};
 pub use skeleton::QrgSkeleton;
 pub use snapshot::EpochSnapshot;
+pub use view::PlanWorkspace;

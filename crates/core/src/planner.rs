@@ -2,7 +2,7 @@
 
 use crate::backtrack::backtrack_into;
 use crate::relax::relax_into;
-use crate::view::{PlanScratch, PlanView, QrgView};
+use crate::view::{PlanScratch, PlanView, PlanWorkspace, QrgView};
 use crate::{PlanError, Qrg, ReservationPlan};
 use rand::{Rng, RngExt};
 
@@ -44,7 +44,7 @@ fn best_reachable_sink<V: PlanView>(view: &V, dist: &[f64]) -> Option<usize> {
         .find(|&level| dist[view.sink_node(level)].is_finite())
 }
 
-fn ensure_chain<V: PlanView>(view: &V) -> Result<(), PlanError> {
+pub(crate) fn ensure_chain<V: PlanView>(view: &V) -> Result<(), PlanError> {
     if view.service().graph().is_chain() {
         Ok(())
     } else {
@@ -85,18 +85,24 @@ pub(crate) fn plan_minimax<V: PlanView>(
     view: &V,
     scratch: &mut PlanScratch,
 ) -> Result<ReservationPlan, PlanError> {
-    scratch.downgrade = None;
     relax_into(view, &mut scratch.dist, &mut scratch.pred);
-    let target = best_reachable_sink(view, &scratch.dist).ok_or(PlanError::NoFeasiblePlan)?;
-    backtrack_into(
-        view,
-        &scratch.dist,
-        &scratch.pred,
-        target,
-        &mut scratch.bt,
-        &mut scratch.asg,
-    )?;
-    Ok(ReservationPlan::assemble(view, &scratch.asg))
+    finish_minimax(view, &scratch.dist, &scratch.pred, &mut scratch.work)
+}
+
+/// Pass II + assembly of the minimax planner over an already-relaxed
+/// Pass-I result. Split out so a repaired relaxation (delta path) can be
+/// consumed without resweeping, and so concurrent callers can share one
+/// relaxation while backtracking into private workspaces.
+pub(crate) fn finish_minimax<V: PlanView>(
+    view: &V,
+    dist: &[f64],
+    pred: &[Option<u32>],
+    work: &mut PlanWorkspace,
+) -> Result<ReservationPlan, PlanError> {
+    work.downgrade = None;
+    let target = best_reachable_sink(view, dist).ok_or(PlanError::NoFeasiblePlan)?;
+    backtrack_into(view, dist, pred, target, &mut work.bt, &mut work.asg)?;
+    Ok(ReservationPlan::assemble(view, &work.asg))
 }
 
 /// The **tradeoff** policy (§4.3.1): run the basic algorithm; if the
@@ -116,24 +122,28 @@ pub(crate) fn plan_tradeoff_view<V: PlanView>(
     view: &V,
     scratch: &mut PlanScratch,
 ) -> Result<ReservationPlan, PlanError> {
-    scratch.downgrade = None;
     relax_into(view, &mut scratch.dist, &mut scratch.pred);
-    let target = best_reachable_sink(view, &scratch.dist).ok_or(PlanError::NoFeasiblePlan)?;
-    backtrack_into(
-        view,
-        &scratch.dist,
-        &scratch.pred,
-        target,
-        &mut scratch.bt,
-        &mut scratch.asg,
-    )?;
+    finish_tradeoff(view, &scratch.dist, &scratch.pred, &mut scratch.work)
+}
+
+/// Pass II + assembly of the tradeoff planner over an already-relaxed
+/// Pass-I result (see [`finish_minimax`]).
+pub(crate) fn finish_tradeoff<V: PlanView>(
+    view: &V,
+    dist: &[f64],
+    pred: &[Option<u32>],
+    work: &mut PlanWorkspace,
+) -> Result<ReservationPlan, PlanError> {
+    work.downgrade = None;
+    let target = best_reachable_sink(view, dist).ok_or(PlanError::NoFeasiblePlan)?;
+    backtrack_into(view, dist, pred, target, &mut work.bt, &mut work.asg)?;
 
     // The basic plan's bottleneck (same max-ψ rule as plan assembly),
     // read straight off the assignments so the basic plan is only
     // materialized when it is the final answer.
     let mut psi0 = 0.0f64;
     let mut alpha = None;
-    for a in &scratch.asg {
+    for a in &work.asg {
         if let Some(b) = view.edge_bottleneck(a.edge) {
             if alpha.is_none() || b.psi > psi0 {
                 psi0 = b.psi;
@@ -143,38 +153,31 @@ pub(crate) fn plan_tradeoff_view<V: PlanView>(
     }
     let Some(alpha) = alpha else {
         // No demand at all — nothing to trade.
-        return Ok(ReservationPlan::assemble(view, &scratch.asg));
+        return Ok(ReservationPlan::assemble(view, &work.asg));
     };
     if alpha >= 1.0 {
-        return Ok(ReservationPlan::assemble(view, &scratch.asg));
+        return Ok(ReservationPlan::assemble(view, &work.asg));
     }
     let bound = alpha * psi0;
     for &level in view.sink_order() {
         let node = view.sink_node(level);
-        if scratch.dist[node].is_finite() && scratch.dist[node] <= bound {
+        if dist[node].is_finite() && dist[node] <= bound {
             // A lower-pressure level exists; re-backtrack for it (reusing
             // the Pass-I result). If the DAG heuristic fails for this
             // level, keep scanning.
-            match backtrack_into(
-                view,
-                &scratch.dist,
-                &scratch.pred,
-                level,
-                &mut scratch.bt,
-                &mut scratch.asg_alt,
-            ) {
+            match backtrack_into(view, dist, pred, level, &mut work.bt, &mut work.asg_alt) {
                 Ok(()) => {
                     if level != target {
                         let ranking = view.service().sink_ranking();
-                        scratch.downgrade = Some((ranking[target], ranking[level]));
+                        work.downgrade = Some((ranking[target], ranking[level]));
                     }
-                    return Ok(ReservationPlan::assemble(view, &scratch.asg_alt));
+                    return Ok(ReservationPlan::assemble(view, &work.asg_alt));
                 }
                 Err(_) => continue,
             }
         }
     }
-    Ok(ReservationPlan::assemble(view, &scratch.asg))
+    Ok(ReservationPlan::assemble(view, &work.asg))
 }
 
 /// The **contention-unaware baseline** of the paper's evaluation (§5):
@@ -193,13 +196,25 @@ pub(crate) fn plan_random_view<V: PlanView>(
     rng: &mut impl Rng,
 ) -> Result<ReservationPlan, PlanError> {
     ensure_chain(view)?;
-    scratch.downgrade = None;
     relax_into(view, &mut scratch.dist, &mut scratch.pred);
-    let target = best_reachable_sink(view, &scratch.dist).ok_or(PlanError::NoFeasiblePlan)?;
+    finish_random(view, &scratch.dist, &mut scratch.work, rng)
+}
+
+/// Path walk + assembly of the random baseline over an already-relaxed
+/// Pass-I result (see [`finish_minimax`]). The caller has already
+/// checked [`ensure_chain`].
+pub(crate) fn finish_random<V: PlanView>(
+    view: &V,
+    dist: &[f64],
+    work: &mut PlanWorkspace,
+    rng: &mut impl Rng,
+) -> Result<ReservationPlan, PlanError> {
+    work.downgrade = None;
+    let target = best_reachable_sink(view, dist).ok_or(PlanError::NoFeasiblePlan)?;
     let target_node = view.sink_node(target);
 
     // Backward reachability to the target over feasible QRG edges.
-    let reach = &mut scratch.reach;
+    let reach = &mut work.reach;
     reach.clear();
     reach.resize(view.n_nodes(), false);
     reach[target_node] = true;
@@ -215,27 +230,27 @@ pub(crate) fn plan_random_view<V: PlanView>(
 
     let mut node = view.source_node();
     debug_assert!(reach[node], "target reachable implies source can reach it");
-    scratch.asg.clear();
+    work.asg.clear();
     loop {
         if node == target_node {
             break;
         }
         // Reused candidates buffer: one uniform pick per step, no
         // per-step allocation.
-        scratch.candidates.clear();
-        scratch.candidates.extend(
+        work.candidates.clear();
+        work.candidates.extend(
             view.out_edges(node)
                 .iter()
                 .copied()
                 .filter(|&e| view.edge_weight(e).is_some() && reach[view.edge_endpoints(e).1]),
         );
         debug_assert!(
-            !scratch.candidates.is_empty(),
+            !work.candidates.is_empty(),
             "walk cannot dead-end inside reach set"
         );
-        let e = scratch.candidates[rng.random_range(0..scratch.candidates.len())];
+        let e = work.candidates[rng.random_range(0..work.candidates.len())];
         if let Some((component, qin, qout)) = view.edge_pair(e) {
-            scratch.asg.push(crate::backtrack::Assignment {
+            work.asg.push(crate::backtrack::Assignment {
                 component,
                 qin,
                 qout,
@@ -244,7 +259,7 @@ pub(crate) fn plan_random_view<V: PlanView>(
         }
         node = view.edge_endpoints(e).1;
     }
-    Ok(ReservationPlan::assemble(view, &scratch.asg))
+    Ok(ReservationPlan::assemble(view, &work.asg))
 }
 
 /// Dispatch helper mirroring [`Planner::plan`], for call sites that have

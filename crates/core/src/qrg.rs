@@ -22,7 +22,7 @@ use crate::{AvailabilityView, PsiDef};
 use qosr_model::{ResourceId, ResourceVector, SessionInstance};
 
 /// Options controlling QRG construction and plan selection.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QrgOptions {
     /// Per-resource contention-index definition (default: the paper's
     /// `req/avail`).

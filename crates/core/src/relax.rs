@@ -65,58 +65,130 @@ pub(crate) fn relax_into<V: PlanView>(view: &V, dist: &mut Vec<f64>, pred: &mut 
     let tie_break = !view.disable_tie_break();
 
     for &node in view.relax_order() {
-        match view.node_ref(node) {
-            NodeRef::In { .. } => {
-                if node == source {
-                    dist[node] = 0.0;
-                    continue;
-                }
-                let ins = view.in_edges(node);
-                if ins.is_empty() {
-                    // Only the source component has no predecessors, and
-                    // its single input node is handled above.
-                    continue;
-                }
-                // AND-node: usable only when every upstream Q^out it is
-                // equivalent to is reachable; value = max over them.
-                // (Equivalence edges are feasible under any availability.)
-                let mut value = 0.0f64;
-                for &e in ins {
-                    value = value.max(dist[view.edge_endpoints(e).0]);
-                }
-                dist[node] = value;
+        let (d, p) = relax_node(view, node, source, tie_break, dist);
+        dist[node] = d;
+        pred[node] = p;
+    }
+}
+
+/// One node's relaxation value `(dist, pred)` from its in-edge weights
+/// and its predecessors' current distances — the per-node step shared by
+/// the full sweep ([`relax_into`]) and the incremental repair
+/// ([`relax_repair`]), so their fixpoints agree bit-for-bit by
+/// construction.
+#[inline]
+fn relax_node<V: PlanView>(
+    view: &V,
+    node: usize,
+    source: usize,
+    tie_break: bool,
+    dist: &[f64],
+) -> (f64, Option<u32>) {
+    match view.node_ref(node) {
+        NodeRef::In { .. } => {
+            if node == source {
+                return (0.0, None);
             }
-            NodeRef::Out { .. } => {
-                let mut best: Option<(f64, f64, u32)> = None;
-                for &e in view.in_edges(node) {
-                    let Some(weight) = view.edge_weight(e) else {
-                        continue; // infeasible candidate edge
-                    };
-                    let upstream = dist[view.edge_endpoints(e).0];
-                    if !upstream.is_finite() {
-                        continue;
-                    }
-                    let value = upstream.max(weight);
-                    let better = match best {
-                        None => true,
-                        Some((bv, bw, be)) => {
-                            value < bv
-                                || (value == bv
-                                    && tie_break
-                                    && (weight < bw || (weight == bw && e < be)))
-                        }
-                    };
-                    if better {
-                        best = Some((value, weight, e));
-                    }
+            let ins = view.in_edges(node);
+            if ins.is_empty() {
+                // Only the source component has no predecessors, and
+                // its single input node is handled above.
+                return (f64::INFINITY, None);
+            }
+            // AND-node: usable only when every upstream Q^out it is
+            // equivalent to is reachable; value = max over them.
+            // (Equivalence edges are feasible under any availability.)
+            let mut value = 0.0f64;
+            for &e in ins {
+                value = value.max(dist[view.edge_endpoints(e).0]);
+            }
+            (value, None)
+        }
+        NodeRef::Out { .. } => {
+            let mut best: Option<(f64, f64, u32)> = None;
+            for &e in view.in_edges(node) {
+                let Some(weight) = view.edge_weight(e) else {
+                    continue; // infeasible candidate edge
+                };
+                let upstream = dist[view.edge_endpoints(e).0];
+                if !upstream.is_finite() {
+                    continue;
                 }
-                if let Some((value, _, e)) = best {
-                    dist[node] = value;
-                    pred[node] = Some(e);
+                let value = upstream.max(weight);
+                let better = match best {
+                    None => true,
+                    Some((bv, bw, be)) => {
+                        value < bv
+                            || (value == bv
+                                && tie_break
+                                && (weight < bw || (weight == bw && e < be)))
+                    }
+                };
+                if better {
+                    best = Some((value, weight, e));
                 }
+            }
+            match best {
+                Some((value, _, e)) => (value, Some(e)),
+                None => (f64::INFINITY, None),
             }
         }
     }
+}
+
+/// Repairs an existing Pass-I result in place after a subset of
+/// candidate weights changed, instead of resweeping every node.
+///
+/// `seed[n]` marks the nodes with at least one re-weighted in-edge. The
+/// sweep walks the same precomputed topological order as [`relax_into`]
+/// but recomputes a node only when it is seed-dirty or marked `affected`
+/// — a push: whenever a recomputed node's distance bits move, its
+/// out-neighbors are marked, so clean nodes cost two flag reads instead
+/// of an in-edge scan. (`affected` is a caller-owned scratch buffer
+/// resized here.) Returns the number of nodes recomputed.
+///
+/// Correctness: [`relax_node`] is a pure function of the node's in-edge
+/// weights and its predecessors' distances. A node is recomputed exactly
+/// when one of those inputs changed — re-weighted in-edges via `seed`,
+/// predecessor distances via the push (a predecessor precedes the node
+/// in the topological order, so the mark lands before the node is
+/// visited) — so by induction every node ends at the value a full sweep
+/// would assign, bitwise. Predecessor-edge changes without a distance
+/// change do not propagate: downstream nodes read only `dist`. The
+/// propagation test compares bits so INFINITY == INFINITY counts as
+/// unmoved and no float-equality subtlety can stop (or force)
+/// propagation differently from a full sweep.
+pub(crate) fn relax_repair<V: PlanView>(
+    view: &V,
+    dist: &mut [f64],
+    pred: &mut [Option<u32>],
+    seed: &[bool],
+    affected: &mut Vec<bool>,
+) -> usize {
+    let n = view.n_nodes();
+    debug_assert_eq!(dist.len(), n);
+    debug_assert_eq!(seed.len(), n);
+    affected.clear();
+    affected.resize(n, false);
+    let source = view.source_node();
+    let tie_break = !view.disable_tie_break();
+    let mut recomputed = 0usize;
+
+    for &node in view.relax_order() {
+        if !seed[node] && !affected[node] {
+            continue;
+        }
+        recomputed += 1;
+        let (d, p) = relax_node(view, node, source, tie_break, dist);
+        if d.to_bits() != dist[node].to_bits() {
+            for &e in view.out_edges(node) {
+                affected[view.edge_endpoints(e).1] = true;
+            }
+        }
+        dist[node] = d;
+        pred[node] = p;
+    }
+    recomputed
 }
 
 #[cfg(test)]

@@ -1,6 +1,15 @@
 //! Epoch-stamped availability snapshots for batched admission.
 
 use crate::availability::AvailabilityView;
+use crate::delta::AvailabilityDelta;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global snapshot generation counter. Epoch numbers restart at
+/// zero per queue (and may wrap), so the delta-repair cache keys its
+/// same-snapshot fast path on this token instead: two distinct
+/// snapshots never share a generation, even across queues or after an
+/// epoch wrap. Starts at 1 so 0 can never collide with a real token.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
 
 /// One epoch-stamped availability snapshot, shared by every request in a
 /// batched admission round.
@@ -16,16 +25,19 @@ use crate::availability::AvailabilityView;
 #[derive(Debug, Clone)]
 pub struct EpochSnapshot {
     epoch: u64,
+    generation: u64,
     taken_at: f64,
     view: AvailabilityView,
 }
 
 impl EpochSnapshot {
     /// Wraps a collected availability view with its epoch stamp and
-    /// collection time.
+    /// collection time. A process-unique generation token is minted
+    /// here (see [`EpochSnapshot::generation`]).
     pub fn new(epoch: u64, taken_at: f64, view: AvailabilityView) -> Self {
         EpochSnapshot {
             epoch,
+            generation: GENERATION.fetch_add(1, Ordering::Relaxed),
             taken_at,
             view,
         }
@@ -34,6 +46,21 @@ impl EpochSnapshot {
     /// The admission round this snapshot was taken for.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// A process-unique token identifying this exact snapshot. Unlike
+    /// [`EpochSnapshot::epoch`] it never repeats (not across queues,
+    /// not after an epoch wrap), which is what lets
+    /// [`crate::PlanCtx::prepare_epoch`] treat a matching token as
+    /// "same snapshot, nothing changed" without comparing views.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The quantized [`AvailabilityDelta`] from `prev`'s view to this
+    /// snapshot's view (see [`crate::DeltaConfig::psi_threshold`]).
+    pub fn delta_from(&self, prev: &EpochSnapshot, threshold: f64) -> AvailabilityDelta {
+        AvailabilityDelta::between(&prev.view, &self.view, threshold)
     }
 
     /// Simulation/wall time the snapshot was collected at.
@@ -79,5 +106,16 @@ mod tests {
             100.0,
             "the snapshot itself is immutable"
         );
+    }
+
+    #[test]
+    fn generations_are_unique_even_when_epochs_repeat() {
+        let view = AvailabilityView::new();
+        let a = EpochSnapshot::new(u64::MAX, 0.0, view.clone());
+        let b = EpochSnapshot::new(0, 0.0, view.clone()); // wrapped epoch
+        let c = EpochSnapshot::new(0, 0.0, view); // repeated epoch
+        assert_ne!(a.generation(), b.generation());
+        assert_ne!(b.generation(), c.generation());
+        assert_ne!(a.generation(), c.generation());
     }
 }

@@ -180,19 +180,46 @@ pub(crate) struct PlanScratch {
     pub dist: Vec<f64>,
     /// Pass I chosen incoming translation edge per `Q^out` node.
     pub pred: Vec<Option<u32>>,
+    /// Pass II + assembly buffers.
+    pub work: PlanWorkspace,
+}
+
+/// Reusable Pass II + assembly buffers for one planning run.
+///
+/// A [`crate::PlanCtx`] owns one for its exclusive
+/// [`crate::PlanCtx::plan`] path. Concurrent callers sharing a single
+/// *prepared* context (one relaxation repaired once per batch round —
+/// [`crate::PlanCtx::plan_shared`]) each bring their own workspace, so
+/// Pass I is computed once while every worker backtracks privately.
+#[derive(Debug, Default)]
+pub struct PlanWorkspace {
     /// Pass II scratch.
-    pub bt: BtScratch,
+    pub(crate) bt: BtScratch,
     /// Primary backtracked assignments.
-    pub asg: Vec<Assignment>,
+    pub(crate) asg: Vec<Assignment>,
     /// Secondary assignment buffer (tradeoff candidate levels).
-    pub asg_alt: Vec<Assignment>,
+    pub(crate) asg_alt: Vec<Assignment>,
     /// Backward-reachability marks (random planner).
-    pub reach: Vec<bool>,
+    pub(crate) reach: Vec<bool>,
     /// Feasible outgoing-edge candidates of one node (random planner).
-    pub candidates: Vec<u32>,
+    pub(crate) candidates: Vec<u32>,
     /// `(from_rank, to_rank)` when the last tradeoff run stepped down
     /// from the best reachable level (§4.3.1); `None` otherwise. Cleared
     /// by every planner, read back through
-    /// [`crate::PlanCtx::last_downgrade`].
-    pub downgrade: Option<(u32, u32)>,
+    /// [`crate::PlanCtx::last_downgrade`] /
+    /// [`PlanWorkspace::last_downgrade`].
+    pub(crate) downgrade: Option<(u32, u32)>,
+}
+
+impl PlanWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused.
+    pub fn new() -> Self {
+        PlanWorkspace::default()
+    }
+
+    /// `(from_rank, to_rank)` when the last plan run through this
+    /// workspace took an α-tradeoff step down (§4.3.1), `None` otherwise.
+    pub fn last_downgrade(&self) -> Option<(u32, u32)> {
+        self.downgrade
+    }
 }

@@ -40,6 +40,9 @@ pub struct Counters {
     batches_planned: AtomicU64,
     commit_conflicts: AtomicU64,
     replans: AtomicU64,
+    delta_repairs: AtomicU64,
+    delta_fallbacks: AtomicU64,
+    relax_nodes_repaired: AtomicU64,
     psi: PsiHistogram,
 }
 
@@ -175,6 +178,24 @@ impl Counters {
         self.replans.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A delta-aware prepare repaired the cached relaxation in place
+    /// instead of recomputing it from scratch.
+    pub fn record_delta_repair(&self) {
+        self.delta_repairs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A delta-aware prepare fell back to a full rebuild (cold cache,
+    /// session/options change, or an oversized delta).
+    pub fn record_delta_fallback(&self) {
+        self.delta_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` QRG nodes were recomputed by incremental relaxation repairs
+    /// (the full-sweep path does not count here).
+    pub fn record_relax_nodes_repaired(&self, n: u64) {
+        self.relax_nodes_repaired.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// The committed-Ψ histogram.
     pub fn psi_histogram(&self) -> &PsiHistogram {
         &self.psi
@@ -204,6 +225,9 @@ impl Counters {
             batches_planned: self.batches_planned.load(Ordering::Relaxed),
             commit_conflicts: self.commit_conflicts.load(Ordering::Relaxed),
             replans: self.replans.load(Ordering::Relaxed),
+            delta_repairs: self.delta_repairs.load(Ordering::Relaxed),
+            delta_fallbacks: self.delta_fallbacks.load(Ordering::Relaxed),
+            relax_nodes_repaired: self.relax_nodes_repaired.load(Ordering::Relaxed),
             psi_buckets: self.psi.counts().to_vec(),
             psi_milli: self.psi.milli().snapshot(),
         }
@@ -257,6 +281,13 @@ pub struct CountersSnapshot {
     pub commit_conflicts: u64,
     /// Conflicted requests replanned against the round's working view.
     pub replans: u64,
+    /// Delta-aware prepares that repaired the cached relaxation in
+    /// place.
+    pub delta_repairs: u64,
+    /// Delta-aware prepares that fell back to a full rebuild.
+    pub delta_fallbacks: u64,
+    /// QRG nodes recomputed by incremental relaxation repairs.
+    pub relax_nodes_repaired: u64,
     /// Committed-Ψ histogram counts
     /// ([`PSI_BUCKETS`](crate::PSI_BUCKETS) edges + overflow).
     pub psi_buckets: Vec<u64>,
@@ -292,6 +323,10 @@ mod tests {
         c.record_skeleton_hit();
         c.record_skeleton_hit();
         c.record_skeleton_miss();
+        c.record_delta_repair();
+        c.record_delta_fallback();
+        c.record_relax_nodes_repaired(12);
+        c.record_relax_nodes_repaired(3);
         let snap = c.snapshot();
         assert_eq!(snap.plans_started, 2);
         assert_eq!(snap.plans_completed, 1);
@@ -302,6 +337,9 @@ mod tests {
         assert_eq!(snap.tradeoff_downgrades, 1);
         assert_eq!(snap.skeleton_hits, 2);
         assert_eq!(snap.skeleton_misses, 1);
+        assert_eq!(snap.delta_repairs, 1);
+        assert_eq!(snap.delta_fallbacks, 1);
+        assert_eq!(snap.relax_nodes_repaired, 15);
         assert_eq!(snap.psi_buckets[4], 1); // 0.4 falls in [0.4, 0.5)
         assert_eq!(snap.psi_milli.count, 1);
         assert_eq!(snap.psi_milli.max, 400); // milli-Ψ fixed point

@@ -99,6 +99,13 @@ pub enum EventKind {
     /// view (bounded retries) instead of being failed. Payload:
     /// `service`, `detail` (replan attempt number and epoch).
     Replanned,
+    /// A delta-aware prepare either repaired the cached relaxation in
+    /// place or fell back to a full rebuild. Payload: `service`,
+    /// `feasible` (`true` = repaired, `false` = full rebuild), `level`
+    /// (resources whose availability moved past the ψ-quantization
+    /// threshold), `value` (QRG nodes recomputed by the repair),
+    /// `detail` (epoch/attempt context, or the fallback reason).
+    DeltaRepair,
     /// One timed pipeline phase finished (span drop). Payload: `name`
     /// (the phase: `collect`, `plan`, `commit`, `replan`, `rollback`),
     /// `duration_ns` (measured wall-clock nanoseconds).

@@ -158,7 +158,7 @@ impl MetricsRegistry {
 
         if let Some(counters) = self.counters() {
             let snap = counters.snapshot();
-            let families: [(&str, &str, u64); 21] = [
+            let families: [(&str, &str, u64); 24] = [
                 (
                     "plans_started",
                     "Planning attempts begun",
@@ -248,6 +248,21 @@ impl MetricsRegistry {
                     snap.commit_conflicts,
                 ),
                 ("replans", "Conflicted requests replanned", snap.replans),
+                (
+                    "delta_repairs",
+                    "Delta-aware prepares repaired in place",
+                    snap.delta_repairs,
+                ),
+                (
+                    "delta_fallbacks",
+                    "Delta-aware prepares that fell back to a full rebuild",
+                    snap.delta_fallbacks,
+                ),
+                (
+                    "relax_nodes_repaired",
+                    "QRG nodes recomputed by incremental relaxation repairs",
+                    snap.relax_nodes_repaired,
+                ),
             ];
             for (name, help, value) in families {
                 let _ = writeln!(out, "# HELP qosr_{name}_total {help}.");
@@ -461,6 +476,9 @@ mod tests {
         let text = registry.render();
         assert!(text.contains("# TYPE qosr_plans_started_total counter"));
         assert!(text.contains("qosr_plans_started_total 1"));
+        assert!(text.contains("# TYPE qosr_delta_repairs_total counter"));
+        assert!(text.contains("qosr_delta_fallbacks_total 0"));
+        assert!(text.contains("qosr_relax_nodes_repaired_total 0"));
         assert!(text.contains("# TYPE qosr_committed_psi histogram"));
         assert!(text.contains("qosr_committed_psi_bucket{le=\"0.5\"} 1"));
         assert!(text.contains("qosr_committed_psi_bucket{le=\"+Inf\"} 1"));

@@ -100,6 +100,15 @@ pub struct TraceSummary {
     pub commit_conflicts: u64,
     /// Conflicted requests replanned against the round's working view.
     pub replans: u64,
+    /// Delta-aware prepares that repaired the cached relaxation in
+    /// place ([`EventKind::DeltaRepair`] with `feasible = true`).
+    pub delta_repairs: u64,
+    /// Delta-aware prepares that fell back to a full rebuild
+    /// ([`EventKind::DeltaRepair`] with `feasible = false`).
+    pub delta_fallbacks: u64,
+    /// QRG nodes recomputed by incremental relaxation repairs (summed
+    /// from [`EventKind::DeltaRepair`] `value` payloads).
+    pub relax_nodes_repaired: u64,
     /// Sum of committed QoS ranks (for [`TraceSummary::mean_qos_level`]).
     pub qos_level_sum: u64,
     /// Commits per bottleneck resource, keyed by resolved name.
@@ -183,6 +192,14 @@ impl TraceSummary {
                 EventKind::BatchPlanned => summary.batches_planned += 1,
                 EventKind::CommitConflict => summary.commit_conflicts += 1,
                 EventKind::Replanned => summary.replans += 1,
+                EventKind::DeltaRepair => {
+                    if event.feasible == Some(true) {
+                        summary.delta_repairs += 1;
+                        summary.relax_nodes_repaired += event.value.unwrap_or(0.0) as u64;
+                    } else {
+                        summary.delta_fallbacks += 1;
+                    }
+                }
                 EventKind::PhaseTiming => {
                     if let (Some(name), Some(ns)) = (event.name.as_ref(), event.duration_ns) {
                         summary
@@ -268,6 +285,15 @@ impl TraceSummary {
             let _ = writeln!(out, "  batch rounds planned   : {}", self.batches_planned);
             let _ = writeln!(out, "  commit conflicts       : {}", self.commit_conflicts);
             let _ = writeln!(out, "  replans                : {}", self.replans);
+        }
+        if self.delta_repairs > 0 || self.delta_fallbacks > 0 {
+            let _ = writeln!(out, "  delta repairs          : {}", self.delta_repairs);
+            let _ = writeln!(out, "  delta fallbacks        : {}", self.delta_fallbacks);
+            let _ = writeln!(
+                out,
+                "  relax nodes repaired   : {}",
+                self.relax_nodes_repaired
+            );
         }
         match self.success_rate() {
             Some(rate) => {
@@ -417,15 +443,31 @@ mod tests {
             TraceEvent::new(0.0, EventKind::Replanned)
                 .with_service("clip")
                 .with_detail("replan 1, epoch 0"),
+            TraceEvent::new(0.0, EventKind::DeltaRepair)
+                .with_service("clip")
+                .with_feasible(true)
+                .with_level(2)
+                .with_value(7.0)
+                .with_detail("epoch 0"),
+            TraceEvent::new(0.0, EventKind::DeltaRepair)
+                .with_service("clip")
+                .with_feasible(false)
+                .with_detail("epoch 0, full: delta too large"),
         ];
         let summary = TraceSummary::from_events(&events);
         assert_eq!(summary.batches_planned, 1);
         assert_eq!(summary.commit_conflicts, 1);
         assert_eq!(summary.replans, 1);
+        assert_eq!(summary.delta_repairs, 1);
+        assert_eq!(summary.delta_fallbacks, 1);
+        assert_eq!(summary.relax_nodes_repaired, 7);
         let rendered = summary.render();
         assert!(rendered.contains("batch rounds planned   : 1"));
         assert!(rendered.contains("commit conflicts       : 1"));
         assert!(rendered.contains("replans                : 1"));
+        assert!(rendered.contains("delta repairs          : 1"));
+        assert!(rendered.contains("delta fallbacks        : 1"));
+        assert!(rendered.contains("relax nodes repaired   : 7"));
     }
 
     #[test]

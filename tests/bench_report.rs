@@ -1,9 +1,11 @@
 //! Guards the committed benchmark artifacts: `BENCH_obs.json` must
 //! exist at the workspace root, carry every field the telemetry
 //! overhead report promises, and show disabled-mode telemetry within
-//! the noise envelope of the non-telemetry admission reference. Runs
-//! under plain `cargo test`, so CI fails if the artifact goes missing
-//! or a bench regenerates it with the zero-cost claim broken.
+//! the noise envelope of the non-telemetry admission reference; and
+//! `BENCH_replan.json` must carry the delta-repair figures with the
+//! steady-state ≥ 3× repaired-vs-full relaxation claim intact. Runs
+//! under plain `cargo test`, so CI fails if an artifact goes missing
+//! or a bench regenerates one with its headline claim broken.
 
 use serde::{find_field, Value};
 
@@ -75,6 +77,80 @@ fn bench_obs_disabled_mode_is_within_noise() {
         ratio > 0.0 && ratio <= 1.25,
         "disabled/reference ratio {ratio} outside the noise envelope"
     );
+}
+
+#[test]
+fn bench_replan_json_has_the_required_fields() {
+    let fields = load("BENCH_replan.json");
+    assert_eq!(
+        find_field(&fields, "bench").and_then(Value::as_str),
+        Some("replan")
+    );
+    assert_eq!(
+        find_field(&fields, "unit").and_then(Value::as_str),
+        Some("ns/prepare")
+    );
+    assert_eq!(
+        find_field(&fields, "chain").and_then(Value::as_str),
+        Some("4x4")
+    );
+    for required in [
+        "full_ns_per_prepare",
+        "repaired_ns_per_prepare",
+        "speedup",
+        "repairs",
+        "mean_candidates_reevaluated",
+        "mean_nodes_recomputed",
+    ] {
+        let v = number(&fields, required);
+        assert!(v.is_finite() && v > 0.0, "{required} = {v}");
+    }
+    // The committed run used the exact (bit-identical) threshold.
+    assert_eq!(number(&fields, "psi_threshold"), 0.0);
+}
+
+#[test]
+fn bench_replan_repair_is_at_least_three_times_faster() {
+    let fields = load("BENCH_replan.json");
+    let speedup = number(&fields, "speedup");
+    assert!(
+        speedup >= 3.0,
+        "committed steady-state repair speedup {speedup} dropped below 3x"
+    );
+    // Only the cold start may rebuild fully in steady state.
+    assert_eq!(number(&fields, "cold_fallbacks"), 1.0);
+    let full = number(&fields, "full_ns_per_prepare");
+    let repaired = number(&fields, "repaired_ns_per_prepare");
+    let ratio = full / repaired;
+    assert!(
+        (ratio - speedup).abs() < 1e-6,
+        "speedup field {speedup} inconsistent with {full}/{repaired}"
+    );
+}
+
+#[test]
+fn bench_admission_carries_the_phase_breakdown() {
+    let fields = load("BENCH_admission.json");
+    let breakdown = find_field(&fields, "phase_breakdown")
+        .and_then(Value::as_array)
+        .expect("BENCH_admission.json phase_breakdown array");
+    let mut phases: Vec<&str> = Vec::new();
+    for row in breakdown.iter().filter_map(Value::as_object) {
+        let phase = find_field(row, "phase")
+            .and_then(Value::as_str)
+            .expect("phase name");
+        phases.push(phase);
+        for required in ["spans", "mean_ns", "ns_per_session"] {
+            let v = number(row, required);
+            assert!(v.is_finite() && v >= 0.0, "{phase}.{required} = {v}");
+        }
+    }
+    for expected in ["collect", "plan", "commit"] {
+        assert!(
+            phases.contains(&expected),
+            "phase breakdown must include {expected:?}, got {phases:?}"
+        );
+    }
 }
 
 #[test]

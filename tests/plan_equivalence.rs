@@ -14,11 +14,26 @@
 //! four planners. One `PlanCtx` is reused across every planner and
 //! scenario a test case touches, so skeleton memoization and buffer
 //! re-preparation are exercised too.
+//!
+//! The second half locks the **delta-repair** path the same way: a
+//! context driven exclusively through [`PlanCtx::prepare_delta`] /
+//! [`PlanCtx::prepare_epoch`] over arbitrary availability walks must
+//! hold exactly the state a from-scratch full prepare would build
+//! against its *effective* view — Pass-I distances bit-for-bit, chosen
+//! predecessor edges, every planner's plan, and the RNG stream. With
+//! the default zero ψ-threshold the effective view is pinned to the
+//! actual view, so repaired planning is byte-identical to full
+//! planning; with a positive threshold the tests pin the quantization
+//! semantics (threshold-exact moves quantized away, oscillation around
+//! the effective value never drifts, crossings rebase it).
 
 use proptest::prelude::*;
-use qosr::core::{AvailabilityView, PlanCtx, Planner, Qrg, QrgOptions};
+use qosr::core::{
+    AvailabilityView, DeltaConfig, EpochSnapshot, PlanCtx, Planner, Qrg, QrgOptions, RepairOutcome,
+    RepairStats,
+};
 use qosr::model::ResourceSpace;
-use qosr_bench::synth::{random_dag_scenario, synthetic_chain};
+use qosr_bench::synth::{random_dag_scenario, synthetic_chain, synthetic_chain_multi};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -124,6 +139,257 @@ proptest! {
             assert_paths_agree(&mut ctx, &chain, &view, seed)?;
             let view = random_view(&dag_space, &mut avail_rng);
             assert_paths_agree(&mut ctx, &dag, &view, seed)?;
+        }
+    }
+}
+
+/// Asserts a delta-driven context holds exactly the state a fresh full
+/// prepare builds against the delta context's *effective* view: every
+/// planner's plan (or error) and RNG stream, plus the Pass-I result
+/// bit-for-bit.
+fn assert_delta_state_matches_full(
+    delta: &mut PlanCtx,
+    session: &qosr::model::SessionInstance,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let options = QrgOptions::default();
+    let view = delta
+        .effective_view()
+        .expect("delta cache is live after a delta-path prepare")
+        .clone();
+    let mut full = PlanCtx::new();
+    full.prepare(session, &view, &options);
+    for planner in ALL_PLANNERS {
+        let mut rng_full = StdRng::seed_from_u64(seed ^ 0x5bd1e995);
+        let mut rng_delta = rng_full.clone();
+        let a = full.plan(planner, &mut rng_full);
+        let b = delta.plan(planner, &mut rng_delta);
+        match (a, b) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "repaired plan mismatch under {:?}", planner),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "error mismatch under {:?}", planner),
+            (a, b) => prop_assert!(false, "{:?}: full {:?} vs repaired {:?}", planner, a, b),
+        }
+        prop_assert_eq!(
+            rng_full,
+            rng_delta,
+            "RNG streams diverged under {:?}",
+            planner
+        );
+    }
+    let (full_dist, full_pred) = full.relaxation().expect("full context planned");
+    let (delta_dist, delta_pred) = delta.relaxation().expect("delta context planned");
+    prop_assert_eq!(full_dist.len(), delta_dist.len());
+    for n in 0..full_dist.len() {
+        prop_assert_eq!(
+            full_dist[n].to_bits(),
+            delta_dist[n].to_bits(),
+            "Pass-I distance bits differ at node {}",
+            n
+        );
+    }
+    prop_assert_eq!(full_pred, delta_pred, "Pass-I predecessors differ");
+    Ok(())
+}
+
+/// `view`'s observations as exact-comparable triples.
+fn observations(view: &AvailabilityView) -> Vec<(qosr::model::ResourceId, u64, u64)> {
+    view.iter()
+        .map(|(rid, a, al)| (rid, a.to_bits(), al.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn delta_walk_matches_full_at_zero_threshold(
+        seed in any::<u64>(),
+        k in 1usize..=4,
+        q in 1usize..=4,
+        slots in 1usize..=3,
+    ) {
+        // Arbitrary delta sequences: each step re-randomizes a subset of
+        // the resources (sometimes none — a pure reuse; sometimes all —
+        // forcing the DeltaTooLarge fallback), with the default exact
+        // threshold. The repaired state must match a full prepare on
+        // the current view at every step.
+        let (session, space) = synthetic_chain_multi(k, q, slots);
+        let rids: Vec<_> = space.ids().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let options = QrgOptions::default();
+        let mut delta = PlanCtx::new();
+        let mut view = random_view(&space, &mut rng);
+        let cold = delta.prepare_delta(&session, &view, &options);
+        prop_assert!(cold.is_full(), "first prepare has nothing to repair");
+        assert_delta_state_matches_full(&mut delta, &session, seed)?;
+        for step in 0..5u64 {
+            let p = [0.0, 0.2, 0.6, 1.0][rng.random_range(0..4usize)];
+            for &rid in &rids {
+                if rng.random::<f64>() < p {
+                    let avail = if rng.random::<f64>() < 0.2 {
+                        rng.random_range(0.5..=4.0)
+                    } else {
+                        rng.random_range(5.0..=150.0)
+                    };
+                    view.set_with_alpha(rid, avail, rng.random_range(0.3..=1.4));
+                }
+            }
+            delta.prepare_delta(&session, &view, &options);
+            // Exact threshold: the effective view tracks the actual one.
+            let effective = delta.effective_view().expect("cache live");
+            prop_assert_eq!(observations(effective), observations(&view));
+            assert_delta_state_matches_full(&mut delta, &session, seed ^ step)?;
+        }
+    }
+
+    #[test]
+    fn threshold_exact_deltas_are_quantized_away(seed in any::<u64>(), k in 1usize..=3, q in 1usize..=3) {
+        // τ = 0.25 against a base of 64.0: every bound below is exact in
+        // binary floating point, so "exactly at the threshold" really is
+        // exact. A move of 16.0 (== 0.25 · 64) must be quantized away; a
+        // move of 17.0 must land.
+        let (session, space) = synthetic_chain_multi(k, q, 2);
+        let rids: Vec<_> = space.ids().collect();
+        let options = QrgOptions::default();
+        let mut delta = PlanCtx::new();
+        delta.set_delta_config(DeltaConfig { psi_threshold: 0.25, max_dirty_fraction: 1.0 });
+        let mut view = AvailabilityView::new();
+        for &rid in &rids {
+            view.set(rid, 64.0);
+        }
+        delta.prepare_delta(&session, &view, &options);
+        let target = rids[(seed % rids.len() as u64) as usize];
+
+        view.set(target, 80.0); // |80 − 64| == 0.25 · 64 — not a change
+        let out = delta.prepare_delta(&session, &view, &options);
+        prop_assert_eq!(out, RepairOutcome::Repaired(RepairStats::default()));
+        prop_assert_eq!(delta.effective_view().expect("live").avail(target), 64.0);
+        assert_delta_state_matches_full(&mut delta, &session, seed)?;
+
+        view.set(target, 81.0); // 17 > 16 — past the threshold
+        let out = delta.prepare_delta(&session, &view, &options);
+        prop_assert!(
+            out.stats().is_some_and(|s| s.resources_changed == 1),
+            "a move past the threshold must repair exactly one resource, got {:?}",
+            out
+        );
+        prop_assert_eq!(delta.effective_view().expect("live").avail(target), 81.0);
+        assert_delta_state_matches_full(&mut delta, &session, seed)?;
+
+        // α quantizes independently: 1.0 → 1.25 is exactly at the
+        // threshold (no change), 1.0 → 1.5 crosses it.
+        view.set_with_alpha(target, 81.0, 1.25);
+        let out = delta.prepare_delta(&session, &view, &options);
+        prop_assert_eq!(out, RepairOutcome::Repaired(RepairStats::default()));
+        prop_assert_eq!(delta.effective_view().expect("live").alpha(target), 1.0);
+        view.set_with_alpha(target, 81.0, 1.5);
+        let out = delta.prepare_delta(&session, &view, &options);
+        prop_assert!(out.stats().is_some_and(|s| s.resources_changed == 1));
+        prop_assert_eq!(delta.effective_view().expect("live").alpha(target), 1.5);
+        assert_delta_state_matches_full(&mut delta, &session, seed)?;
+    }
+
+    #[test]
+    fn oscillation_crosses_the_threshold_both_ways(seed in any::<u64>(), k in 1usize..=3, q in 2usize..=4) {
+        // Quantization is relative to the *effective* (last applied)
+        // value, so sub-threshold oscillation never drifts the effective
+        // view — and a crossing rebases it, changing which later moves
+        // count.
+        let (session, space) = synthetic_chain_multi(k, q, 2);
+        let rids: Vec<_> = space.ids().collect();
+        let options = QrgOptions::default();
+        let mut delta = PlanCtx::new();
+        delta.set_delta_config(DeltaConfig { psi_threshold: 0.25, max_dirty_fraction: 1.0 });
+        let mut view = AvailabilityView::new();
+        for &rid in &rids {
+            view.set(rid, 64.0);
+        }
+        delta.prepare_delta(&session, &view, &options);
+        let target = rids[(seed % rids.len() as u64) as usize];
+
+        // Oscillate within the threshold band around 64 (±16): pinned.
+        for &osc in &[78.0, 50.0, 78.0, 50.0] {
+            view.set(target, osc);
+            let out = delta.prepare_delta(&session, &view, &options);
+            prop_assert_eq!(out, RepairOutcome::Repaired(RepairStats::default()));
+            prop_assert_eq!(delta.effective_view().expect("live").avail(target), 64.0);
+        }
+        assert_delta_state_matches_full(&mut delta, &session, seed)?;
+
+        // Cross upward: 82 − 64 = 18 > 16 — applied, and the band
+        // rebases around 82 (±20.5).
+        view.set(target, 82.0);
+        prop_assert!(delta.prepare_delta(&session, &view, &options).stats().is_some_and(|s| s.resources_changed == 1));
+        prop_assert_eq!(delta.effective_view().expect("live").avail(target), 82.0);
+        // 64 is now *inside* the rebased band (|64 − 82| = 18 < 20.5).
+        view.set(target, 64.0);
+        prop_assert_eq!(delta.prepare_delta(&session, &view, &options), RepairOutcome::Repaired(RepairStats::default()));
+        prop_assert_eq!(delta.effective_view().expect("live").avail(target), 82.0);
+        // Cross downward: |50 − 82| = 32 > 20.5 — applied.
+        view.set(target, 50.0);
+        prop_assert!(delta.prepare_delta(&session, &view, &options).stats().is_some_and(|s| s.resources_changed == 1));
+        prop_assert_eq!(delta.effective_view().expect("live").avail(target), 50.0);
+        assert_delta_state_matches_full(&mut delta, &session, seed)?;
+    }
+
+    #[test]
+    fn epoch_wrap_keeps_tokens_and_repairs_correct(seed in any::<u64>(), k in 1usize..=3, q in 1usize..=4) {
+        // Epoch numbers wrap; generation tokens must not. Across the
+        // wrap, re-preparing the same snapshot stays a token-compare
+        // no-op and fresh snapshots keep repairing correctly.
+        let (session, space) = synthetic_chain_multi(k, q, 2);
+        let rids: Vec<_> = space.ids().collect();
+        let options = QrgOptions::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut delta = PlanCtx::new();
+        let mut view = random_view(&space, &mut rng);
+        let mut epoch = u64::MAX - 1;
+        for step in 0..4u64 {
+            let snapshot = EpochSnapshot::new(epoch, step as f64, view.clone());
+            delta.prepare_epoch(&session, &snapshot, &options);
+            let again = delta.prepare_epoch(&session, &snapshot, &options);
+            prop_assert_eq!(
+                again,
+                RepairOutcome::Repaired(RepairStats::default()),
+                "same-snapshot re-prepare must be a token no-op (epoch {})",
+                epoch
+            );
+            assert_delta_state_matches_full(&mut delta, &session, seed ^ step)?;
+            epoch = epoch.wrapping_add(1);
+            let rid = rids[rng.random_range(0..rids.len())];
+            view.set_with_alpha(rid, rng.random_range(5.0..=150.0), rng.random_range(0.3..=1.4));
+        }
+    }
+
+    #[test]
+    fn post_conflict_working_view_replans_match_full(seed in any::<u64>(), k in 2usize..=4, q in 2usize..=4) {
+        // The admission commit phase debits a working copy of the epoch
+        // snapshot as earlier arrivals commit, then replans conflicted
+        // requests against it through the delta path. Those replans must
+        // match a full prepare on the working view, debit after debit.
+        let (session, space) = synthetic_chain_multi(k, q, 2);
+        let rids: Vec<_> = space.ids().collect();
+        let options = QrgOptions::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut view = AvailabilityView::new();
+        for &rid in &rids {
+            view.set_with_alpha(rid, rng.random_range(80.0..=200.0), rng.random_range(0.5..=1.2));
+        }
+        let snapshot = EpochSnapshot::new(0, 0.0, view);
+        let mut delta = PlanCtx::new();
+        delta.prepare_epoch(&session, &snapshot, &options);
+        assert_delta_state_matches_full(&mut delta, &session, seed)?;
+        let mut working = snapshot.working();
+        for conflict in 0..3u64 {
+            for &rid in &rids {
+                if rng.random::<f64>() < 0.4 {
+                    working.debit(rid, rng.random_range(1.0..=60.0));
+                }
+            }
+            delta.prepare_delta(&session, &working, &options);
+            let effective = delta.effective_view().expect("cache live");
+            prop_assert_eq!(observations(effective), observations(&working));
+            assert_delta_state_matches_full(&mut delta, &session, seed ^ conflict)?;
         }
     }
 }
