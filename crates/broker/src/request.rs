@@ -55,8 +55,9 @@ pub enum AlphaPolicy {
 ///
 /// Build with [`SessionRequest::new`] and the chained setters; defaults
 /// match [`EstablishOptions::default`] with no QoS floor and no
-/// deadline, so `SessionRequest::new(session)` admits exactly like the
-/// classic positional `establish` call did.
+/// deadline, so a bare `SessionRequest::new(session)` passed to
+/// `Coordinator::establish_request` admits under the basic planner with
+/// accurate observations and no retries.
 #[derive(Debug, Clone)]
 pub struct SessionRequest {
     pub(crate) session: SessionInstance,

@@ -13,6 +13,8 @@
 //! qosr report run.jsonl             # run-level summary of a trace
 //! qosr metrics --rate 180           # Prometheus dump of a sim run
 //! qosr top --rates 60,120,180,240   # live rate-sweep table
+//! qosr run scenarios/flash-crowd.scenario.json   # run a scenario-DSL file
+//! qosr run --list scenarios         # tabulate the scenario library
 //! ```
 //!
 //! See [`dto`] for the file format and `examples/data/*.json` for
@@ -20,7 +22,9 @@
 //! [`report`]) replay JSONL traces recorded by `qosr_obs::JsonlSink`;
 //! `metrics` / `top` (module [`live`]) run instrumented simulations
 //! against the live telemetry layer and can serve the exposition over
-//! HTTP with `--metrics-addr HOST:PORT`.
+//! HTTP with `--metrics-addr HOST:PORT`; `run` (module [`run`])
+//! executes declarative `*.scenario.json` simulation scenarios — see
+//! SCENARIOS.md for the DSL reference.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,5 +33,6 @@ pub mod commands;
 pub mod dto;
 pub mod live;
 pub mod report;
+pub mod run;
 
 pub use dto::{Scenario, ScenarioError};

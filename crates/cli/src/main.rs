@@ -14,6 +14,7 @@
 use qosr_cli::commands::{dot, explain, plan_with_overrides, validate, PlannerChoice};
 use qosr_cli::live::{self, LiveOptions};
 use qosr_cli::report::{report, trace};
+use qosr_cli::run::{self, RunOptions};
 use qosr_sim::PlannerKind;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,7 +29,10 @@ const USAGE: &str = "usage:
   qosr metrics [--planner basic|tradeoff|random] [--seed N] [--rate R] [--horizon H]
                [--batch N] [--sample P] [--metrics-addr HOST:PORT]
   qosr top     [--planner basic|tradeoff|random] [--seed N] [--rates A,B,C] [--horizon H]
-               [--batch N] [--sample P] [--metrics-addr HOST:PORT]";
+               [--batch N] [--sample P] [--metrics-addr HOST:PORT]
+  qosr run <file.scenario.json> [--trace out.jsonl] [--json]
+  qosr run --validate <file.scenario.json>
+  qosr run --list [dir]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +42,9 @@ fn main() -> ExitCode {
     let mut seed = 0u64;
     let mut overrides: Vec<(String, f64)> = Vec::new();
     let mut live = LiveOptions::default();
+    let mut run_opts = RunOptions::default();
+    let mut run_validate = false;
+    let mut run_list = false;
 
     macro_rules! flag_value {
         ($args:expr, $i:expr, $parse:expr, $what:expr) => {{
@@ -106,6 +113,17 @@ fn main() -> ExitCode {
             "--sample" => {
                 live.sample = flag_value!(args, i, |s: &String| s.parse().ok(), "--sample");
             }
+            "--validate" => run_validate = true,
+            "--list" => run_list = true,
+            "--json" => run_opts.json = true,
+            "--trace" => {
+                run_opts.trace = Some(PathBuf::from(flag_value!(
+                    args,
+                    i,
+                    |s: &String| Some(s.clone()),
+                    "--trace"
+                )));
+            }
             "--metrics-addr" => {
                 live.metrics_addr = Some(flag_value!(
                     args,
@@ -140,6 +158,23 @@ fn main() -> ExitCode {
     // The live-telemetry subcommands run the built-in paper environment
     // and take no scenario file.
     let result = match (command.as_str(), &file) {
+        // `run` handles its own file-vs-no-file cases: `--list` defaults
+        // to the shipped `scenarios/` directory.
+        ("run", maybe_file) => {
+            if run_list {
+                let dir = maybe_file.clone().unwrap_or_else(|| "scenarios".into());
+                run::list(&dir)
+            } else if let Some(file) = maybe_file {
+                if run_validate {
+                    run::validate_only(file)
+                } else {
+                    run::run(file, &run_opts)
+                }
+            } else {
+                eprintln!("run needs a scenario file\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
         ("metrics", None) => live::metrics(&live),
         ("top", None) => live::top(&live, |line| println!("{line}")),
         ("metrics" | "top", Some(_)) => {

@@ -1,0 +1,263 @@
+//! The `qosr run` subcommand: execute, validate, or list scenario-DSL
+//! files (`*.scenario.json`, see SCENARIOS.md and [`qosr_sim::dsl`]).
+//!
+//! `run <file>` loads the scenario, validates it, executes the
+//! simulation, and prints a run report; `--trace PATH` additionally
+//! streams the run's trace as JSONL (replayable with `qosr report`),
+//! `--json` prints the raw [`qosr_sim::RunResult`] instead of the
+//! report. `run --validate <file>` stops after validation; `run --list
+//! [dir]` tabulates every scenario in a directory (default
+//! `scenarios/`).
+
+use crate::dto::ScenarioError;
+use qosr_obs::TraceSink as _;
+use qosr_sim::{run_scenario, run_scenario_traced, DslError, RunResult, ScenarioFile, Trigger};
+use std::fmt::Write;
+use std::path::Path;
+
+/// Options for `qosr run <file>`.
+#[derive(Debug, Default)]
+pub struct RunOptions {
+    /// Also stream the run's trace to this JSONL file.
+    pub trace: Option<std::path::PathBuf>,
+    /// Print the raw `RunResult` as JSON instead of the report.
+    pub json: bool,
+}
+
+fn convert(e: DslError) -> ScenarioError {
+    match e {
+        DslError::Io(e) => ScenarioError::Io(e),
+        DslError::Parse(msg) => ScenarioError::Invalid(msg),
+        DslError::Invalid(msgs) => ScenarioError::Invalid(msgs.join("; ")),
+    }
+}
+
+fn load(path: &Path) -> Result<ScenarioFile, ScenarioError> {
+    let file = ScenarioFile::load(path).map_err(convert)?;
+    file.validate().map_err(convert)?;
+    Ok(file)
+}
+
+/// `run <file>`: execute one scenario file and report the run.
+pub fn run(path: &Path, opts: &RunOptions) -> Result<String, ScenarioError> {
+    let file = load(path)?;
+    let config = file.to_config();
+    let result = match &opts.trace {
+        Some(trace_path) => {
+            let sink = std::sync::Arc::new(
+                qosr_obs::JsonlSink::create(trace_path).map_err(ScenarioError::Io)?,
+            );
+            let result = run_scenario_traced(&config, sink.clone());
+            sink.flush().map_err(ScenarioError::Io)?;
+            result
+        }
+        None => run_scenario(&config),
+    };
+    if opts.json {
+        let mut out = serde_json::to_string_pretty(&result)?;
+        out.push('\n');
+        return Ok(out);
+    }
+    Ok(render(&file, &result))
+}
+
+/// `run --validate <file>`: parse + validate only.
+pub fn validate_only(path: &Path) -> Result<String, ScenarioError> {
+    let file = load(path)?;
+    Ok(format!(
+        "ok: {} ({} rule{}, horizon {} TU)\n",
+        file.name,
+        file.rules.len(),
+        if file.rules.len() == 1 { "" } else { "s" },
+        file.to_config().horizon,
+    ))
+}
+
+/// `run --list [dir]`: tabulate every `*.scenario.json` under `dir`.
+pub fn list(dir: &Path) -> Result<String, ScenarioError> {
+    let scenarios = ScenarioFile::load_dir(dir).map_err(convert)?;
+    if scenarios.is_empty() {
+        return Ok(format!("no *.scenario.json files in {}\n", dir.display()));
+    }
+    let mut out = String::new();
+    for (path, file) in &scenarios {
+        let stem = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{stem:<34} {:<2} rules  {}",
+            file.rules.len(),
+            file.description
+        );
+    }
+    Ok(out)
+}
+
+/// The human-readable run report.
+fn render(file: &ScenarioFile, result: &RunResult) -> String {
+    let m = &result.metrics;
+    let mut out = String::new();
+    let _ = writeln!(out, "scenario {} — {}", file.name, file.description);
+    let _ = writeln!(
+        out,
+        "  seed {}  planner {}  rate {}/60TU  horizon {} TU",
+        result.config.seed,
+        result.config.planner.label(),
+        result.config.rate_per_60tu,
+        result.config.horizon,
+    );
+    for (i, rule) in file.rules.iter().enumerate() {
+        let events: Vec<&str> = rule.events.iter().map(|e| e.kind()).collect();
+        let when = match &rule.trigger {
+            Trigger::At(t) => format!("at {t}"),
+            Trigger::Every { period, .. } => format!("every {period}"),
+            Trigger::UtilizationAbove { threshold, .. } => format!("util > {threshold}"),
+            Trigger::SessionsAbove { count, .. } => format!("sessions > {count}"),
+        };
+        let _ = writeln!(
+            out,
+            "  rule {:<24} {when:<16} -> {}",
+            rule.label(i),
+            events.join("+")
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  sessions attempted     : {}", m.overall.attempts);
+    let _ = writeln!(
+        out,
+        "  success rate           : {:.4} ({} committed)",
+        m.overall.success_rate(),
+        m.overall.successes
+    );
+    let _ = writeln!(
+        out,
+        "  avg end-to-end QoS     : {:.4}",
+        m.overall.avg_qos_level()
+    );
+    let _ = writeln!(out, "  plan failures          : {}", m.plan_failures);
+    if m.reserve_failures > 0 {
+        let _ = writeln!(out, "  reserve failures       : {}", m.reserve_failures);
+    }
+    if m.fault_failures > 0 || m.faults_injected > 0 {
+        let _ = writeln!(
+            out,
+            "  faults injected        : {} ({} fatal)",
+            m.faults_injected, m.fault_failures
+        );
+    }
+    if m.sessions_lost > 0 {
+        let _ = writeln!(out, "  sessions lost          : {}", m.sessions_lost);
+    }
+    if m.scenario_triggers > 0 {
+        let _ = writeln!(out, "  scenario triggers      : {}", m.scenario_triggers);
+    }
+    if m.burst_arrivals > 0 {
+        let _ = writeln!(out, "  burst arrivals         : {}", m.burst_arrivals);
+    }
+    let classes = ["normal/short", "normal/long", "fat/short", "fat/long"];
+    for (label, stats) in classes.iter().zip(&m.per_class) {
+        let _ = writeln!(
+            out,
+            "    {label:<12} {:>6} attempts  {:.4} success",
+            stats.attempts,
+            stats.success_rate()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_scenario(name: &str, body: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qosr-cli-run-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    const MINI: &str = r#"{
+        "name": "mini",
+        "description": "tiny smoke scenario",
+        "config": { "horizon": 240.0, "rate_per_60tu": 60.0 },
+        "rules": [
+            { "name": "burst",
+              "trigger": { "at": 60.0 },
+              "events": [ { "flash_crowd": { "sessions": 10, "over": 5.0 } } ] }
+        ]
+    }"#;
+
+    #[test]
+    fn run_reports_the_scenario() {
+        let path = write_scenario("mini.scenario.json", MINI);
+        let out = run(&path, &RunOptions::default()).unwrap();
+        assert!(out.contains("scenario mini"), "{out}");
+        assert!(out.contains("burst"), "{out}");
+        assert!(out.contains("scenario triggers      : 1"), "{out}");
+        assert!(out.contains("burst arrivals         : 10"), "{out}");
+    }
+
+    #[test]
+    fn run_json_emits_the_raw_result() {
+        let path = write_scenario("mini-json.scenario.json", MINI);
+        let out = run(
+            &path,
+            &RunOptions {
+                json: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(out.contains("\"burst_arrivals\""), "{out}");
+    }
+
+    #[test]
+    fn run_trace_writes_a_replayable_jsonl() {
+        let path = write_scenario("mini-trace.scenario.json", MINI);
+        let trace = std::env::temp_dir().join("qosr-cli-run-tests/mini.jsonl");
+        run(
+            &path,
+            &RunOptions {
+                trace: Some(trace.clone()),
+                json: false,
+            },
+        )
+        .unwrap();
+        let report = crate::report::report(&trace).unwrap();
+        assert!(report.contains("scenario triggers      : 1"), "{report}");
+        std::fs::remove_file(trace).ok();
+    }
+
+    #[test]
+    fn validate_only_catches_bad_rules() {
+        let path = write_scenario(
+            "bad.scenario.json",
+            r#"{"name": "bad",
+                "rules": [{"trigger": {"at": -1.0},
+                           "events": [{"crash_host": {"host": 99}}]}]}"#,
+        );
+        let err = validate_only(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("host 99"), "{msg}");
+        assert!(msg.contains(">= 0"), "{msg}");
+
+        let good = write_scenario("good.scenario.json", MINI);
+        let out = validate_only(&good).unwrap();
+        assert!(out.starts_with("ok: mini (1 rule"), "{out}");
+    }
+
+    #[test]
+    fn list_tabulates_a_directory() {
+        let dir = std::env::temp_dir().join("qosr-cli-run-list");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("one.scenario.json"), MINI).unwrap();
+        let out = list(&dir).unwrap();
+        assert!(out.contains("one.scenario.json"), "{out}");
+        assert!(out.contains("tiny smoke scenario"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

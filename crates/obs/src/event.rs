@@ -114,6 +114,13 @@ pub enum EventKind {
     /// sampling tick. Payload: `name` (the resource or broker label),
     /// `value` (utilization in `[0, 1]`, i.e. `1 - available/capacity`).
     UtilizationSample,
+    /// A scenario-DSL rule fired: a timed trigger reached its instant or
+    /// a condition trigger crossed its threshold, and the rule's events
+    /// were applied to the run. Payload: `name` (the rule's label),
+    /// `detail` (the trigger kind and a summary of the applied events),
+    /// `value` (the measured quantity for condition triggers — the
+    /// utilization or session count that crossed).
+    ScenarioTrigger,
 }
 
 /// One timestamped trace record. Construct with [`TraceEvent::new`] and

@@ -109,6 +109,10 @@ pub struct TraceSummary {
     /// QRG nodes recomputed by incremental relaxation repairs (summed
     /// from [`EventKind::DeltaRepair`] `value` payloads).
     pub relax_nodes_repaired: u64,
+    /// Scenario-DSL rule firings ([`EventKind::ScenarioTrigger`]).
+    pub scenario_triggers: u64,
+    /// Firing counts per scenario rule label.
+    pub triggers_by_rule: BTreeMap<String, u64>,
     /// Sum of committed QoS ranks (for [`TraceSummary::mean_qos_level`]).
     pub qos_level_sum: u64,
     /// Commits per bottleneck resource, keyed by resolved name.
@@ -217,6 +221,11 @@ impl TraceSummary {
                         stat.peak = stat.peak.max(value);
                     }
                 }
+                EventKind::ScenarioTrigger => {
+                    summary.scenario_triggers += 1;
+                    let label = event.name.clone().unwrap_or_else(|| "rule".to_owned());
+                    *summary.triggers_by_rule.entry(label).or_insert(0) += 1;
+                }
             }
         }
         summary
@@ -285,6 +294,12 @@ impl TraceSummary {
             let _ = writeln!(out, "  batch rounds planned   : {}", self.batches_planned);
             let _ = writeln!(out, "  commit conflicts       : {}", self.commit_conflicts);
             let _ = writeln!(out, "  replans                : {}", self.replans);
+        }
+        if self.scenario_triggers > 0 {
+            let _ = writeln!(out, "  scenario triggers      : {}", self.scenario_triggers);
+            for (rule, count) in &self.triggers_by_rule {
+                let _ = writeln!(out, "    {rule:<24} {count}");
+            }
         }
         if self.delta_repairs > 0 || self.delta_fallbacks > 0 {
             let _ = writeln!(out, "  delta repairs          : {}", self.delta_repairs);
@@ -506,6 +521,32 @@ mod tests {
         assert!(rendered.contains("phase timings (µs)"));
         assert!(rendered.contains("utilization (mean/peak)"));
         assert!(rendered.contains("h0.cpu"));
+    }
+
+    #[test]
+    fn scenario_triggers_reduce_and_render_per_rule() {
+        let events = vec![
+            TraceEvent::new(600.0, EventKind::ScenarioTrigger)
+                .with_name("flash")
+                .with_detail("at 600: 1 event(s)"),
+            TraceEvent::new(700.0, EventKind::ScenarioTrigger)
+                .with_name("flash")
+                .with_detail("at 700: 1 event(s)"),
+            TraceEvent::new(800.0, EventKind::ScenarioTrigger)
+                .with_name("storm")
+                .with_value(0.82),
+        ];
+        let summary = TraceSummary::from_events(&events);
+        assert_eq!(summary.scenario_triggers, 3);
+        assert_eq!(summary.triggers_by_rule["flash"], 2);
+        assert_eq!(summary.triggers_by_rule["storm"], 1);
+        let rendered = summary.render();
+        assert!(rendered.contains("scenario triggers      : 3"));
+        assert!(rendered.contains("flash"));
+        // Untriggered traces omit the block entirely.
+        assert!(!TraceSummary::from_events(&[])
+            .render()
+            .contains("scenario triggers"));
     }
 
     #[test]

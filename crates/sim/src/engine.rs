@@ -1,4 +1,13 @@
 //! A minimal discrete-event engine: a time-ordered event queue.
+//!
+//! The simulation is a single loop popping [`Event`]s off an
+//! [`EventQueue`] (a binary heap keyed by `(time, insertion sequence)`,
+//! so events at equal timestamps run FIFO). Everything that happens in a
+//! run — Poisson arrivals, departures, popularity shifts, upgrade and
+//! sampling sweeps, fault-plan host crashes, and the scenario DSL's
+//! rule firings and condition polls — is one of these variants;
+//! determinism under a seed follows from the queue's total order plus
+//! the single RNG stream consumed in event order.
 
 use qosr_broker::{SessionId, SimTime};
 use std::cmp::Reverse;
@@ -27,6 +36,19 @@ pub enum Event {
     /// A crashed host recovers: its capacity is re-admitted to planning
     /// and the upgrade scan can reclaim it.
     HostUp(usize),
+    /// One extra arrival injected by a scenario-DSL flash crowd. Unlike
+    /// [`Event::Arrival`] it does **not** reschedule itself, so a burst
+    /// adds exactly its configured session count on top of the Poisson
+    /// process instead of multiplying it.
+    BurstArrival,
+    /// A timed scenario-DSL rule fires (index into
+    /// [`crate::ScenarioConfig::rules`]): its events are applied and, for
+    /// periodic triggers, the next firing is scheduled.
+    ScenarioRule(usize),
+    /// A condition-triggered scenario-DSL rule polls its predicate
+    /// (utilization or session-count threshold). Fires the rule on an
+    /// upward crossing, then re-arms once the condition goes false.
+    ScenarioPoll(usize),
 }
 
 /// Time-ordered event queue with FIFO tie-breaking at equal timestamps.

@@ -17,6 +17,9 @@
 //! Entry points:
 //!
 //! * [`ScenarioConfig`] — one simulation run's parameters;
+//! * [`ScenarioFile`] — the scenario DSL: a `*.scenario.json` file of
+//!   declarative triggers and events compiled into the event stream
+//!   (see the [`dsl`] module and SCENARIOS.md);
 //! * [`FaultPlan`] — the run's deterministic fault schedule (host
 //!   crashes, message drops, commit failures) and retry budget;
 //! * [`run_scenario`] — execute one run, producing a [`RunResult`];
@@ -28,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dsl;
 mod engine;
 mod env;
 mod fault;
@@ -37,6 +41,7 @@ pub mod services;
 mod sweep;
 mod workload;
 
+pub use dsl::{ConfigPatch, DslError, EventSpec, FaultPatch, Rule, ScenarioFile, Trigger};
 pub use engine::{Event, EventQueue};
 pub use env::{PaperEnvironment, TopologyVariant};
 pub use fault::{FaultPlan, HostCrash};
@@ -46,4 +51,4 @@ pub use scenario::{
     PsiKind, ScenarioConfig, TopologyKind,
 };
 pub use sweep::run_many;
-pub use workload::{SessionClass, SessionRequest, WorkloadGenerator};
+pub use workload::{DurationModel, SessionClass, SessionRequest, WorkloadGenerator};

@@ -160,6 +160,15 @@ pub struct RunMetrics {
     /// view instead of being failed.
     #[serde(default)]
     pub replans: u64,
+    /// Scenario-DSL rule firings (timed triggers reaching their instant,
+    /// condition triggers crossing their threshold). 0 unless
+    /// [`crate::ScenarioConfig::rules`] is non-empty.
+    #[serde(default)]
+    pub scenario_triggers: u64,
+    /// Extra arrivals injected by scenario-DSL flash crowds (each also
+    /// counts as a normal attempt in `overall`).
+    #[serde(default)]
+    pub burst_arrivals: u64,
 }
 
 impl RunMetrics {
@@ -198,6 +207,8 @@ impl RunMetrics {
         self.batches_planned += other.batches_planned;
         self.commit_conflicts += other.commit_conflicts;
         self.replans += other.replans;
+        self.scenario_triggers += other.scenario_triggers;
+        self.burst_arrivals += other.burst_arrivals;
     }
 }
 

@@ -1,5 +1,6 @@
 //! Scenario configuration and the main simulation loop.
 
+use crate::dsl::{EventSpec, Rule, Trigger, DEFAULT_POLL};
 use crate::engine::{Event, EventQueue};
 use crate::env::{PaperEnvironment, TopologyVariant};
 use crate::fault::FaultPlan;
@@ -146,6 +147,12 @@ pub struct ScenarioConfig {
     /// arrival individually, identical to earlier releases.
     #[serde(default)]
     pub batch_arrivals: Option<BatchArrivals>,
+    /// Scenario-DSL rules (trigger → events) compiled into the event
+    /// stream, usually populated from a `*.scenario.json` file via
+    /// [`crate::ScenarioFile::to_config`]. Empty — the default — leaves
+    /// the run bit-identical to earlier releases.
+    #[serde(default)]
+    pub rules: Vec<Rule>,
 }
 
 /// Batched-admission knob: buffer arrivals and flush them through the
@@ -191,6 +198,7 @@ impl Default for ScenarioConfig {
             sample_period: None,
             faults: FaultPlan::default(),
             batch_arrivals: None,
+            rules: Vec::new(),
         }
     }
 }
@@ -199,6 +207,107 @@ impl Default for ScenarioConfig {
 /// calibration procedure: chosen so *basic*'s success-rate curve passes
 /// through the bands the paper reports in Tables 3–4).
 pub const DEFAULT_REQUIREMENT_SCALE: f64 = 0.5;
+
+/// The administrative session the scenario DSL's `resize_capacity`
+/// event reserves under. Real session ids count up from zero, so the
+/// sentinel never collides; reading `reserved_for(DRAIN_SESSION)` back
+/// from each broker gives the current drain as ground truth (and
+/// self-heals when a host crash wipes the broker's book).
+const DRAIN_SESSION: SessionId = SessionId(u64::MAX);
+
+/// Current utilization (reserved / capacity) of one named physical
+/// resource, or the mean over every host CPU and link when `resource`
+/// is `None`. Drives [`Trigger::UtilizationAbove`].
+fn measured_utilization(env: &PaperEnvironment, resource: Option<&str>) -> f64 {
+    use qosr_broker::Broker as _;
+    let mut total = 0.0;
+    let mut count = 0u32;
+    let mut matched = None;
+    {
+        let mut visit = |name: &str, util: f64| {
+            if let Some(target) = resource {
+                if name == target {
+                    matched = Some(util);
+                }
+            } else {
+                total += util;
+                count += 1;
+            }
+        };
+        for h in 0..crate::env::N_HOSTS {
+            let rid = env.host_cpu(h);
+            let b = env
+                .coordinator
+                .owner_of(rid)
+                .expect("host CPUs are brokered")
+                .brokers()
+                .get(rid)
+                .expect("registered");
+            visit(env.space.name(rid), 1.0 - b.available() / b.capacity());
+        }
+        for l in env.fabric.link_brokers() {
+            visit(
+                env.space.name(l.resource()),
+                1.0 - l.available() / l.capacity(),
+            );
+        }
+    }
+    match resource {
+        Some(name) => {
+            matched.unwrap_or_else(|| panic!("utilization trigger names unknown resource `{name}`"))
+        }
+        None => total / f64::from(count),
+    }
+}
+
+/// Moves one broker's administrative drain so its usable capacity is
+/// `factor` × nominal. Draining reserves at most what is currently
+/// available (live sessions are never evicted); restoring releases the
+/// drain back.
+fn drain_to(broker: &dyn qosr_broker::Broker, factor: f64, now: SimTime) {
+    let target = broker.capacity() * (1.0 - factor);
+    let current = broker.reserved_for(DRAIN_SESSION);
+    if target > current {
+        let take = (target - current).min(broker.available());
+        if take > 0.0 {
+            let _ = broker.reserve(DRAIN_SESSION, take, now);
+        }
+    } else if current > target {
+        broker.release_amount(DRAIN_SESSION, current - target, now);
+    }
+}
+
+/// Applies [`EventSpec::ResizeCapacity`] to one named physical resource,
+/// or to every host CPU and link when `resource` is `None`.
+fn resize_capacity(env: &PaperEnvironment, factor: f64, resource: Option<&str>, now: SimTime) {
+    use qosr_broker::Broker as _;
+    let mut matched = false;
+    for h in 0..crate::env::N_HOSTS {
+        let rid = env.host_cpu(h);
+        if resource.is_none_or(|r| r == env.space.name(rid)) {
+            let b = env
+                .coordinator
+                .owner_of(rid)
+                .expect("host CPUs are brokered")
+                .brokers()
+                .get(rid)
+                .expect("registered");
+            drain_to(b.as_ref(), factor, now);
+            matched = true;
+        }
+    }
+    for l in env.fabric.link_brokers() {
+        if resource.is_none_or(|r| r == env.space.name(l.resource())) {
+            drain_to(l.as_ref(), factor, now);
+            matched = true;
+        }
+    }
+    assert!(
+        matched,
+        "resize_capacity names unknown resource `{}`",
+        resource.unwrap_or_default()
+    );
+}
 
 /// Executes one simulation run.
 pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
@@ -436,33 +545,89 @@ pub fn run_scenario_instrumented(
         }
     }
 
-    while let Some((now, event)) = queue.pop() {
-        if now > horizon {
-            break;
-        }
-        match event {
-            Event::Arrival => {
-                queue.schedule(now + workload.next_interarrival(&mut rng), Event::Arrival);
-                let request = workload.sample(&mut rng);
-                let session = env
-                    .session(request.service, request.domain, request.scale)
-                    .expect("generated requests are always instantiable");
-                if let Some(batch) = &config.batch_arrivals {
-                    pending.push((request, session));
-                    if pending.len() >= batch.size.max(1) {
-                        flush_batch(
-                            admission.as_ref().expect("queue exists when batching"),
-                            &env,
-                            &establish_options,
-                            &mut pending,
-                            now,
-                            &mut queue,
-                            &mut active,
-                            &mut metrics,
-                        );
-                    }
-                    continue;
+    // Arm the scenario-DSL rules. File-loaded configs were validated by
+    // `ScenarioFile::validate`; re-checking here makes a hand-built
+    // config fail fast too.
+    let rule_problems = crate::dsl::validate_rules(&config.rules);
+    assert!(
+        rule_problems.is_empty(),
+        "invalid scenario rules: {}",
+        rule_problems.join("; ")
+    );
+    /// Per-rule firing state. Condition triggers fire on the upward
+    /// crossing and re-arm once the predicate is false again (crossing
+    /// hysteresis); timed triggers never disarm.
+    struct RuleState {
+        armed: bool,
+        fired: bool,
+    }
+    let mut rule_states: Vec<RuleState> = config
+        .rules
+        .iter()
+        .map(|_| RuleState {
+            armed: true,
+            fired: false,
+        })
+        .collect();
+    // Mutable workload knobs the DSL events steer. `base_rate` is the
+    // rate the diurnal curve oscillates around; `demand_scale`
+    // multiplies every subsequent request's resource demand. Both stay
+    // at their neutral values (and the RNG draw order stays untouched)
+    // when no rule fires, keeping rule-free runs bit-identical to
+    // earlier releases.
+    let mut demand_scale = 1.0_f64;
+    let mut base_rate = config.rate_per_60tu;
+    let mut diurnal: Option<(f64, f64)> = None;
+    for (i, rule) in config.rules.iter().enumerate() {
+        match &rule.trigger {
+            Trigger::At(t) => queue.schedule(SimTime::ZERO + *t, Event::ScenarioRule(i)),
+            Trigger::Every {
+                period,
+                start,
+                until,
+            } => {
+                let first = start.unwrap_or(*period);
+                if until.is_none_or(|u| first <= u) {
+                    queue.schedule(SimTime::ZERO + first, Event::ScenarioRule(i));
                 }
+            }
+            Trigger::UtilizationAbove { poll, .. } | Trigger::SessionsAbove { poll, .. } => queue
+                .schedule(
+                    SimTime::ZERO + poll.unwrap_or(DEFAULT_POLL),
+                    Event::ScenarioPoll(i),
+                ),
+        }
+    }
+
+    /// Samples one request from the workload and admits it through the
+    /// configured path (per-arrival or batched), recording the outcome.
+    /// Shared by [`Event::Arrival`] and [`Event::BurstArrival`] so
+    /// scenario bursts take exactly the organic admission path.
+    macro_rules! admit_one {
+        ($now:expr) => {{
+            let now = $now;
+            let mut request = workload.sample(&mut rng);
+            if demand_scale != 1.0 {
+                request.scale *= demand_scale;
+            }
+            let session = env
+                .session(request.service, request.domain, request.scale)
+                .expect("generated requests are always instantiable");
+            if let Some(batch) = &config.batch_arrivals {
+                pending.push((request, session));
+                if pending.len() >= batch.size.max(1) {
+                    flush_batch(
+                        admission.as_ref().expect("queue exists when batching"),
+                        &env,
+                        &establish_options,
+                        &mut pending,
+                        now,
+                        &mut queue,
+                        &mut active,
+                        &mut metrics,
+                    );
+                }
+            } else {
                 let admit = AdmitRequest::new(session).options(establish_options.clone());
                 match env
                     .coordinator
@@ -501,6 +666,105 @@ pub fn run_scenario_instrumented(
                         }
                     }
                 }
+            }
+        }};
+    }
+
+    /// Fires rule `$i` now: bumps the counter, emits the trace event
+    /// (`$value` carries the measured quantity for condition triggers),
+    /// and applies the rule's events in order.
+    macro_rules! fire_rule {
+        ($now:expr, $i:expr, $value:expr) => {{
+            let now = $now;
+            let i: usize = $i;
+            let value: Option<f64> = $value;
+            let rule = &config.rules[i];
+            rule_states[i].fired = true;
+            metrics.scenario_triggers += 1;
+            if sink.enabled() {
+                let events: Vec<&str> = rule.events.iter().map(|e| e.kind()).collect();
+                let mut ev =
+                    qosr_obs::TraceEvent::new(now.value(), qosr_obs::EventKind::ScenarioTrigger)
+                        .with_name(rule.label(i))
+                        .with_detail(format!("{} -> {}", rule.trigger.kind(), events.join("+")));
+                if let Some(v) = value {
+                    ev = ev.with_value(v);
+                }
+                sink.emit(&ev);
+            }
+            for spec in &rule.events {
+                match spec {
+                    EventSpec::FlashCrowd { sessions, over } => {
+                        let n = *sessions;
+                        for k in 0..n {
+                            // Spread the burst evenly over the window,
+                            // first arrival immediately.
+                            let offset = if n > 1 {
+                                *over * f64::from(k) / f64::from(n - 1)
+                            } else {
+                                0.0
+                            };
+                            queue.schedule(now + offset, Event::BurstArrival);
+                        }
+                    }
+                    EventSpec::CrashHost { host, down_for } => {
+                        queue.schedule(now, Event::HostDown(*host));
+                        if let Some(d) = down_for {
+                            queue.schedule(now + *d, Event::HostUp(*host));
+                        }
+                    }
+                    EventSpec::RecoverHost { host } => {
+                        queue.schedule(now, Event::HostUp(*host));
+                    }
+                    EventSpec::ResizeCapacity { factor, resource } => {
+                        resize_capacity(&env, *factor, resource.as_deref(), now);
+                    }
+                    EventSpec::QosShift {
+                        demand_scale: scale,
+                    } => demand_scale = *scale,
+                    EventSpec::SetRate { per_60tu } => {
+                        base_rate = *per_60tu;
+                        workload.set_rate(base_rate);
+                    }
+                    EventSpec::ScaleRate { factor } => {
+                        base_rate *= factor;
+                        workload.set_rate(base_rate);
+                    }
+                    EventSpec::Diurnal { period, amplitude } => {
+                        diurnal = Some((*period, *amplitude));
+                    }
+                    EventSpec::HeavyTail { alpha, min, cap } => {
+                        workload.set_duration_model(crate::workload::DurationModel::BoundedPareto {
+                            alpha: *alpha,
+                            min: min.unwrap_or(crate::workload::MIN_DURATION),
+                            cap: cap.unwrap_or(crate::workload::MAX_DURATION),
+                        })
+                    }
+                    EventSpec::ShiftWeights => workload.shift_weights(&mut rng),
+                }
+            }
+        }};
+    }
+
+    while let Some((now, event)) = queue.pop() {
+        if now > horizon {
+            break;
+        }
+        match event {
+            Event::Arrival => {
+                // Under a diurnal curve the rate tracks the time of day;
+                // `set_rate` draws nothing, so rule-free runs are
+                // untouched.
+                if let Some((period, amplitude)) = diurnal {
+                    let phase = std::f64::consts::TAU * now.value() / period;
+                    workload.set_rate(base_rate * (1.0 + amplitude * phase.sin()));
+                }
+                queue.schedule(now + workload.next_interarrival(&mut rng), Event::Arrival);
+                admit_one!(now);
+            }
+            Event::BurstArrival => {
+                metrics.burst_arrivals += 1;
+                admit_one!(now);
             }
             Event::Departure(id) => {
                 if let Some(entry) = active.remove(&id) {
@@ -654,6 +918,43 @@ pub fn run_scenario_instrumented(
             Event::HostUp(h) => {
                 let host = format!("H{}", h + 1);
                 env.coordinator.recover_host(&host, now);
+            }
+            Event::ScenarioRule(i) => {
+                let rule = &config.rules[i];
+                if let Trigger::Every { period, until, .. } = &rule.trigger {
+                    let next = now + *period;
+                    if !rule.once && next.value() <= until.unwrap_or(config.horizon) {
+                        queue.schedule(next, Event::ScenarioRule(i));
+                    }
+                }
+                fire_rule!(now, i, None);
+            }
+            Event::ScenarioPoll(i) => {
+                let (met, value, poll) = match &config.rules[i].trigger {
+                    Trigger::UtilizationAbove {
+                        threshold,
+                        resource,
+                        poll,
+                    } => {
+                        let u = measured_utilization(&env, resource.as_deref());
+                        (u > *threshold, u, poll.unwrap_or(DEFAULT_POLL))
+                    }
+                    Trigger::SessionsAbove { count, poll } => {
+                        let n = active.len() as u64;
+                        (n > *count, n as f64, poll.unwrap_or(DEFAULT_POLL))
+                    }
+                    _ => unreachable!("polls are only scheduled for condition triggers"),
+                };
+                // Crossing hysteresis: fire on the upward edge only,
+                // re-arm once the predicate is false again.
+                let fire = met && rule_states[i].armed;
+                rule_states[i].armed = !met;
+                if fire {
+                    fire_rule!(now, i, Some(value));
+                }
+                if !(config.rules[i].once && rule_states[i].fired) {
+                    queue.schedule(now + poll, Event::ScenarioPoll(i));
+                }
             }
         }
     }
@@ -1012,5 +1313,226 @@ mod sampling_tests {
             ..ScenarioConfig::default()
         });
         assert!(r.timeseries.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod dsl_tests {
+    use super::*;
+
+    fn quick(planner: PlannerKind, rate: f64, seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            rate_per_60tu: rate,
+            horizon: 1200.0,
+            planner,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    fn rule(trigger: Trigger, events: Vec<EventSpec>) -> Rule {
+        Rule {
+            name: String::new(),
+            trigger,
+            events,
+            once: false,
+        }
+    }
+
+    #[test]
+    fn flash_crowd_injects_the_exact_burst() {
+        let mut cfg = quick(PlannerKind::Basic, 60.0, 11);
+        cfg.rules = vec![rule(
+            Trigger::At(300.0),
+            vec![EventSpec::FlashCrowd {
+                sessions: 40,
+                over: 20.0,
+            }],
+        )];
+        let r = run_scenario(&cfg);
+        assert_eq!(r.metrics.scenario_triggers, 1);
+        assert_eq!(r.metrics.burst_arrivals, 40);
+        // Bursts ride on top of the organic Poisson arrivals. The extra
+        // sample() draws shift later interarrival variates, so the
+        // organic count itself may drift by a hair.
+        let baseline = run_scenario(&quick(PlannerKind::Basic, 60.0, 11));
+        let delta =
+            r.metrics.overall.attempts as i64 - baseline.metrics.overall.attempts as i64 - 40;
+        assert!(delta.abs() <= 5, "organic drift {delta}");
+    }
+
+    #[test]
+    fn inert_rules_leave_the_run_bit_identical() {
+        // A rule that never fires must not perturb the RNG draw order.
+        let mut cfg = quick(PlannerKind::Tradeoff, 120.0, 12);
+        cfg.rules = vec![rule(
+            Trigger::At(cfg.horizon * 10.0),
+            vec![EventSpec::ShiftWeights],
+        )];
+        let baseline = run_scenario(&quick(PlannerKind::Tradeoff, 120.0, 12));
+        let r = run_scenario(&cfg);
+        assert_eq!(r.metrics, baseline.metrics);
+        assert_eq!(r.messages, baseline.messages);
+    }
+
+    #[test]
+    fn deterministic_with_rules_under_seed() {
+        let mut cfg = quick(PlannerKind::Tradeoff, 120.0, 13);
+        cfg.rules = vec![
+            rule(
+                Trigger::At(200.0),
+                vec![
+                    EventSpec::FlashCrowd {
+                        sessions: 30,
+                        over: 15.0,
+                    },
+                    EventSpec::QosShift { demand_scale: 1.3 },
+                ],
+            ),
+            rule(
+                Trigger::Every {
+                    period: 300.0,
+                    start: None,
+                    until: None,
+                },
+                vec![EventSpec::ShiftWeights],
+            ),
+            rule(
+                Trigger::SessionsAbove {
+                    count: 20,
+                    poll: None,
+                },
+                vec![EventSpec::Diurnal {
+                    period: 600.0,
+                    amplitude: 0.4,
+                }],
+            ),
+        ];
+        let a = run_scenario(&cfg);
+        let b = run_scenario(&cfg);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.messages, b.messages);
+        assert!(
+            a.metrics.scenario_triggers >= 4,
+            "{}",
+            a.metrics.scenario_triggers
+        );
+    }
+
+    #[test]
+    fn resize_capacity_drains_and_restores() {
+        // Shrink every resource to 40% up front: success must suffer
+        // against the untouched baseline, and restoring at mid-run must
+        // leave the drain empty again by the horizon.
+        let mut cfg = quick(PlannerKind::Basic, 120.0, 14);
+        cfg.rules = vec![
+            rule(
+                Trigger::At(0.0),
+                vec![EventSpec::ResizeCapacity {
+                    factor: 0.4,
+                    resource: None,
+                }],
+            ),
+            rule(
+                Trigger::At(600.0),
+                vec![EventSpec::ResizeCapacity {
+                    factor: 1.0,
+                    resource: None,
+                }],
+            ),
+        ];
+        let r = run_scenario(&cfg);
+        let baseline = run_scenario(&quick(PlannerKind::Basic, 120.0, 14));
+        assert_eq!(r.metrics.scenario_triggers, 2);
+        assert!(
+            r.metrics.overall.successes < baseline.metrics.overall.successes,
+            "drained run {} vs baseline {}",
+            r.metrics.overall.successes,
+            baseline.metrics.overall.successes
+        );
+    }
+
+    #[test]
+    fn once_rules_fire_once() {
+        let mut cfg = quick(PlannerKind::Basic, 60.0, 15);
+        cfg.rules = vec![Rule {
+            name: "single".into(),
+            trigger: Trigger::Every {
+                period: 100.0,
+                start: None,
+                until: None,
+            },
+            events: vec![EventSpec::ShiftWeights],
+            once: true,
+        }];
+        let r = run_scenario(&cfg);
+        assert_eq!(r.metrics.scenario_triggers, 1);
+    }
+
+    #[test]
+    fn condition_triggers_use_crossing_hysteresis() {
+        // Session count stays above 1 nearly the whole run; without
+        // hysteresis this would fire on every poll.
+        let mut cfg = quick(PlannerKind::Basic, 120.0, 16);
+        cfg.rules = vec![rule(
+            Trigger::SessionsAbove {
+                count: 1,
+                poll: Some(5.0),
+            },
+            vec![EventSpec::QosShift { demand_scale: 1.0 }],
+        )];
+        let r = run_scenario(&cfg);
+        assert!(
+            r.metrics.scenario_triggers >= 1 && r.metrics.scenario_triggers < 20,
+            "{} firings",
+            r.metrics.scenario_triggers
+        );
+    }
+
+    #[test]
+    fn scenario_crash_events_lose_sessions() {
+        let mut cfg = quick(PlannerKind::Basic, 120.0, 17);
+        cfg.rules = vec![rule(
+            Trigger::At(400.0),
+            vec![EventSpec::CrashHost {
+                host: 0,
+                down_for: Some(200.0),
+            }],
+        )];
+        let r = run_scenario(&cfg);
+        assert!(r.metrics.sessions_lost > 0);
+    }
+
+    #[test]
+    fn trace_replay_counts_rule_firings() {
+        let mut cfg = quick(PlannerKind::Basic, 90.0, 18);
+        cfg.rules = vec![Rule {
+            name: "pulse".into(),
+            trigger: Trigger::Every {
+                period: 250.0,
+                start: None,
+                until: None,
+            },
+            events: vec![EventSpec::ScaleRate { factor: 1.1 }],
+            once: false,
+        }];
+        let sink = std::sync::Arc::new(qosr_obs::MemorySink::new());
+        let r = run_scenario_traced(&cfg, sink.clone());
+        let summary = qosr_obs::TraceSummary::from_events(&sink.events());
+        assert_eq!(summary.scenario_triggers, r.metrics.scenario_triggers);
+        assert_eq!(
+            summary.triggers_by_rule.get("pulse").copied().unwrap_or(0),
+            r.metrics.scenario_triggers
+        );
+        assert_eq!(summary.committed, r.metrics.overall.successes);
+        assert_eq!(summary.qos_level_sum, r.metrics.overall.qos_level_sum);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario rules")]
+    fn invalid_rules_fail_fast() {
+        let mut cfg = quick(PlannerKind::Basic, 60.0, 19);
+        cfg.rules = vec![rule(Trigger::At(-5.0), vec![EventSpec::ShiftWeights])];
+        run_scenario(&cfg);
     }
 }

@@ -12,6 +12,12 @@
 //! * The client's **domain** is uniform over `D1–D8`; the **service** is
 //!   drawn from dynamically shifting per-service weights, excluding
 //!   `S_⌈d/2⌉` for a client of domain `D_d`.
+//!
+//! The generator is mutable mid-run: the scenario DSL (`crate::dsl`) can
+//! change the arrival rate ([`WorkloadGenerator::set_rate`]), reshuffle
+//! the service popularity ([`WorkloadGenerator::shift_weights`]), or
+//! swap the duration law to a heavy-tailed bounded Pareto
+//! ([`WorkloadGenerator::set_duration_model`]) while a run is going.
 
 use crate::env::{excluded_service, N_DOMAINS, N_SERVICES};
 use rand::{Rng, RngExt};
@@ -87,11 +93,39 @@ pub struct SessionRequest {
     pub class: SessionClass,
 }
 
+/// How session durations are drawn.
+///
+/// The paper's model ([`DurationModel::ClassUniform`]) first flips the
+/// long/short class coin and then draws uniformly inside the class band.
+/// The scenario DSL's `heavy_tail` event switches a live run to
+/// [`DurationModel::BoundedPareto`], where the duration itself is drawn
+/// from a bounded Pareto tail and the class is whatever side of the
+/// long/short threshold (60 TU) the draw lands on — the classic way to
+/// model the few marathon sessions that dominate held capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DurationModel {
+    /// The paper's two-band model: long with probability 1/3, then
+    /// uniform within `[20, 60)` (short) or `[60, 600]` (long).
+    ClassUniform,
+    /// Bounded Pareto: `d = min · (1 − u)^(−1/α)` capped at `cap`.
+    /// Smaller `α` means a heavier tail (α ≤ 1 has an unbounded mean
+    /// before capping).
+    BoundedPareto {
+        /// Tail index α (must be positive; 1.1–1.8 is a realistic band).
+        alpha: f64,
+        /// Smallest possible duration (TU).
+        min: f64,
+        /// Durations are clamped to this ceiling (TU).
+        cap: f64,
+    },
+}
+
 /// Samples arrivals and request attributes.
 #[derive(Debug, Clone)]
 pub struct WorkloadGenerator {
     rate_per_tu: f64,
     weights: [f64; N_SERVICES],
+    durations: DurationModel,
 }
 
 impl WorkloadGenerator {
@@ -105,12 +139,45 @@ impl WorkloadGenerator {
         WorkloadGenerator {
             rate_per_tu: rate_per_60tu / 60.0,
             weights: [1.0; N_SERVICES],
+            durations: DurationModel::ClassUniform,
         }
     }
 
     /// The current per-service selection weights.
     pub fn weights(&self) -> &[f64; N_SERVICES] {
         &self.weights
+    }
+
+    /// The current arrival rate, in sessions per 60 TU.
+    pub fn rate_per_60tu(&self) -> f64 {
+        self.rate_per_tu * 60.0
+    }
+
+    /// Changes the arrival rate mid-run (scenario-DSL `set_rate`,
+    /// `scale_rate`, and diurnal curves). Takes effect from the next
+    /// inter-arrival draw.
+    pub fn set_rate(&mut self, rate_per_60tu: f64) {
+        assert!(
+            rate_per_60tu.is_finite() && rate_per_60tu > 0.0,
+            "rate must be positive, got {rate_per_60tu}"
+        );
+        self.rate_per_tu = rate_per_60tu / 60.0;
+    }
+
+    /// The duration model in force.
+    pub fn duration_model(&self) -> DurationModel {
+        self.durations
+    }
+
+    /// Switches the duration model (scenario-DSL `heavy_tail`). Sessions
+    /// sampled after the switch use the new model; live sessions keep
+    /// their already-drawn departure times.
+    pub fn set_duration_model(&mut self, model: DurationModel) {
+        if let DurationModel::BoundedPareto { alpha, min, cap } = model {
+            assert!(alpha > 0.0, "Pareto tail index must be positive");
+            assert!(min > 0.0 && cap > min, "need 0 < min < cap");
+        }
+        self.durations = model;
     }
 
     /// Exponential inter-arrival time (TU) of the Poisson process.
@@ -162,11 +229,22 @@ impl WorkloadGenerator {
         } else {
             1.0
         };
-        let long = rng.random::<f64>() < LONG_PROBABILITY;
-        let duration = if long {
-            rng.random_range(LONG_THRESHOLD..=MAX_DURATION)
-        } else {
-            rng.random_range(MIN_DURATION..LONG_THRESHOLD)
+        let (long, duration) = match self.durations {
+            DurationModel::ClassUniform => {
+                let long = rng.random::<f64>() < LONG_PROBABILITY;
+                let duration = if long {
+                    rng.random_range(LONG_THRESHOLD..=MAX_DURATION)
+                } else {
+                    rng.random_range(MIN_DURATION..LONG_THRESHOLD)
+                };
+                (long, duration)
+            }
+            DurationModel::BoundedPareto { alpha, min, cap } => {
+                // Inverse-CDF draw; 1 - U in (0, 1] avoids a zero base.
+                let u: f64 = 1.0 - rng.random::<f64>();
+                let duration = (min * u.powf(-1.0 / alpha)).min(cap);
+                (duration >= LONG_THRESHOLD, duration)
+            }
         };
         let class = match (fat, long) {
             (false, false) => SessionClass::NormalShort,
@@ -304,6 +382,68 @@ mod boundary_tests {
     #[should_panic(expected = "rate must be positive")]
     fn rejects_zero_rate() {
         WorkloadGenerator::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate_change() {
+        WorkloadGenerator::new(60.0).set_rate(0.0);
+    }
+
+    #[test]
+    fn set_rate_changes_the_interarrival_mean() {
+        let mut g = WorkloadGenerator::new(60.0);
+        assert_eq!(g.rate_per_60tu(), 60.0);
+        g.set_rate(240.0);
+        assert_eq!(g.rate_per_60tu(), 240.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| g.next_interarrival(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean interarrival {mean}");
+    }
+
+    #[test]
+    fn bounded_pareto_durations_are_heavier_tailed() {
+        let uniform = WorkloadGenerator::new(60.0);
+        let mut pareto = WorkloadGenerator::new(60.0);
+        pareto.set_duration_model(DurationModel::BoundedPareto {
+            alpha: 1.2,
+            min: MIN_DURATION,
+            cap: MAX_DURATION,
+        });
+        assert_ne!(pareto.duration_model(), uniform.duration_model());
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mut short = 0usize;
+        let mut capped = 0usize;
+        for _ in 0..n {
+            let r = pareto.sample(&mut rng);
+            assert!((MIN_DURATION..=MAX_DURATION).contains(&r.duration));
+            // Class follows the drawn duration under the Pareto model.
+            let long = r.duration >= LONG_THRESHOLD;
+            assert_eq!(r.class.index() % 2, long as usize);
+            if !long {
+                short += 1;
+            }
+            if r.duration == MAX_DURATION {
+                capped += 1;
+            }
+        }
+        // Most mass near the minimum, but a real tail pinned at the cap —
+        // the signature of a bounded Pareto (a uniform draw would cap
+        // with probability 0).
+        assert!(short > n / 2, "short {short}/{n}");
+        assert!(capped > 0, "no draw reached the cap");
+    }
+
+    #[test]
+    #[should_panic(expected = "Pareto tail index must be positive")]
+    fn rejects_non_positive_pareto_alpha() {
+        WorkloadGenerator::new(60.0).set_duration_model(DurationModel::BoundedPareto {
+            alpha: 0.0,
+            min: 20.0,
+            cap: 600.0,
+        });
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Regression suite for the curated scenario library (`scenarios/`).
+//!
+//! Every `*.scenario.json` must (1) parse and validate, (2) reproduce
+//! the committed golden `RunMetrics` under its pinned seed
+//! (`scenarios/goldens/<name>.json`), (3) replay deterministically —
+//! the trace's `TraceSummary` must agree with the live counters and a
+//! second untraced run must be bit-identical — and (4) be documented in
+//! SCENARIOS.md.
+//!
+//! Goldens are integer-only counters, so they are stable across
+//! debug/release and platforms. After an intentional behaviour change,
+//! regenerate them with:
+//!
+//! ```sh
+//! QOSR_UPDATE_GOLDENS=1 cargo test --test scenario_regression
+//! ```
+
+use qosr::obs::{MemorySink, TraceSummary};
+use qosr::sim::{run_scenario, run_scenario_traced, RunMetrics, ScenarioFile};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn load_library() -> Vec<(PathBuf, ScenarioFile)> {
+    let scenarios =
+        ScenarioFile::load_dir(repo_root().join("scenarios")).expect("scenario library loads");
+    assert!(
+        scenarios.len() >= 8,
+        "the curated library holds 8+ scenarios, found {}",
+        scenarios.len()
+    );
+    scenarios
+}
+
+fn golden_path(file: &Path) -> PathBuf {
+    let stem = file
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap()
+        .trim_end_matches(".scenario.json")
+        .to_owned();
+    repo_root().join("scenarios/goldens").join(stem + ".json")
+}
+
+#[test]
+fn every_scenario_parses_and_validates() {
+    for (path, scenario) in load_library() {
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            !scenario.description.is_empty(),
+            "{}: scenarios must carry a description",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn every_scenario_matches_its_golden_and_replays_deterministically() {
+    let update = std::env::var_os("QOSR_UPDATE_GOLDENS").is_some();
+    for (path, scenario) in load_library() {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap();
+        let config = scenario.to_config();
+
+        // Traced run: live counters and the trace must tell one story.
+        let sink = Arc::new(MemorySink::new());
+        let result = run_scenario_traced(&config, sink.clone());
+        let summary = TraceSummary::from_events(&sink.events());
+        assert_eq!(
+            summary.committed, result.metrics.overall.successes,
+            "{name}: trace commits != live successes"
+        );
+        assert_eq!(
+            summary.qos_level_sum, result.metrics.overall.qos_level_sum,
+            "{name}: trace QoS sum != live QoS sum"
+        );
+        assert_eq!(
+            summary.scenario_triggers, result.metrics.scenario_triggers,
+            "{name}: trace rule firings != live rule firings"
+        );
+        assert_eq!(
+            summary.sessions_lost, result.metrics.sessions_lost,
+            "{name}: trace lost sessions != live lost sessions"
+        );
+        assert_eq!(
+            summary.faults_injected, result.metrics.faults_injected,
+            "{name}: trace faults != live faults"
+        );
+
+        // Tracing must never perturb the run.
+        let untraced = run_scenario(&config);
+        assert_eq!(
+            untraced.metrics, result.metrics,
+            "{name}: tracing changed the run"
+        );
+
+        let golden = golden_path(&path);
+        if update {
+            let json = serde_json::to_string_pretty(&result.metrics).unwrap();
+            std::fs::write(&golden, json + "\n").unwrap();
+            continue;
+        }
+        let text = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+            panic!(
+                "{name}: missing golden {} ({e}); regenerate with \
+                 QOSR_UPDATE_GOLDENS=1 cargo test --test scenario_regression",
+                golden.display()
+            )
+        });
+        let pinned: RunMetrics = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            result.metrics, pinned,
+            "{name}: metrics diverge from the committed golden; if the \
+             change is intentional, regenerate with QOSR_UPDATE_GOLDENS=1"
+        );
+    }
+}
+
+#[test]
+fn every_scenario_is_documented_in_scenarios_md() {
+    let doc = std::fs::read_to_string(repo_root().join("SCENARIOS.md"))
+        .expect("SCENARIOS.md exists at the repo root");
+    for (path, _) in load_library() {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap();
+        assert!(
+            doc.contains(name),
+            "{name} is not documented in SCENARIOS.md"
+        );
+    }
+}
