@@ -220,9 +220,27 @@ impl<'a> AdmissionQueue<'a> {
     /// reservations (terminate them via [`Coordinator::terminate`]);
     /// rejected ones hold nothing.
     pub fn admit(&self, requests: &[SessionRequest], now: SimTime) -> Vec<EstablishOutcome> {
+        let mut outcomes = Vec::with_capacity(requests.len());
+        self.admit_with(requests, now, |_, outcome| outcomes.push(outcome));
+        outcomes
+    }
+
+    /// [`AdmissionQueue::admit`], streaming: runs the same round but
+    /// hands each `(arrival index, outcome)` to `on_outcome` the moment
+    /// its sequential commit lands, instead of collecting the whole
+    /// round into a `Vec` first. Servers use this to push results onto
+    /// the wire while later requests in the round are still committing;
+    /// the callback is invoked exactly once per request, in arrival
+    /// order, from the calling thread.
+    pub fn admit_with(
+        &self,
+        requests: &[SessionRequest],
+        now: SimTime,
+        mut on_outcome: impl FnMut(usize, EstablishOutcome),
+    ) {
         let n = requests.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let coordinator = self.coordinator;
         let traced = coordinator.sink().enabled();
@@ -348,23 +366,14 @@ impl<'a> AdmissionQueue<'a> {
         // broker state, detecting conflicts against the round's working
         // view (snapshot minus earlier commits).
         let mut working = snapshot.working();
-        let mut outcomes = Vec::with_capacity(n);
         for (i, request) in requests.iter().enumerate() {
             let planned = slots[i].take().expect("every request was planned");
             let gctx: &mut PlanCtx = &mut group_ctxs[group_of[i]];
-            outcomes.push(self.commit_one(
-                request,
-                planned,
-                gctx,
-                &mut working,
-                epoch,
-                i,
-                now,
-                traced,
-            ));
+            let outcome =
+                self.commit_one(request, planned, gctx, &mut working, epoch, i, now, traced);
             self.in_flight.store(n - i - 1, Ordering::Relaxed);
+            on_outcome(i, outcome);
         }
-        outcomes
     }
 
     /// Phase 2b for one request: Pass II against its group's shared,
@@ -1030,6 +1039,47 @@ mod tests {
         assert_eq!(snap.delta_repairs, 2);
         assert_eq!(snap.relax_nodes_repaired, 0, "empty deltas repair no nodes");
         assert_eq!(available(&w), 100.0);
+    }
+
+    #[test]
+    fn admit_with_streams_in_arrival_order_and_matches_admit() {
+        let shape = |outcomes: &[(usize, EstablishOutcome)]| -> Vec<_> {
+            outcomes
+                .iter()
+                .map(|(i, o)| {
+                    (
+                        *i,
+                        o.is_admitted(),
+                        o.session().map(|e| (e.id.0, e.plan.rank)),
+                    )
+                })
+                .collect()
+        };
+        let config = AdmissionConfig {
+            workers: 3,
+            seed: 9,
+            ..AdmissionConfig::default()
+        };
+
+        let w = world(100.0);
+        let queue = AdmissionQueue::new(&w.coordinator, config);
+        let requests: Vec<_> = (0..4)
+            .map(|_| SessionRequest::new(w.session.clone()))
+            .collect();
+        let mut streamed = Vec::new();
+        queue.admit_with(&requests, SimTime::new(1.0), |i, o| streamed.push((i, o)));
+        let indices: Vec<_> = streamed.iter().map(|(i, _)| *i).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3], "callback fires in arrival order");
+
+        let w2 = world(100.0);
+        let queue2 = AdmissionQueue::new(&w2.coordinator, config);
+        let collected: Vec<_> = queue2
+            .admit(&requests, SimTime::new(1.0))
+            .into_iter()
+            .enumerate()
+            .collect();
+        assert_eq!(shape(&streamed), shape(&collected));
+        assert_eq!(available(&w), available(&w2));
     }
 
     #[test]

@@ -163,6 +163,13 @@ impl SessionRequest {
     pub fn into_session(self) -> SessionInstance {
         self.session
     }
+
+    /// Consumes the request, yielding the session instance and the
+    /// options — for callers (e.g. the serve front-end's lease table)
+    /// that need to keep both without cloning them.
+    pub fn into_parts(self) -> (SessionInstance, EstablishOptions) {
+        (self.session, self.options)
+    }
 }
 
 /// The blocking resource of a failed plan: the infeasible candidate

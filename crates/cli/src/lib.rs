@@ -25,6 +25,18 @@
 //! HTTP with `--metrics-addr HOST:PORT`; `run` (module [`run`])
 //! executes declarative `*.scenario.json` simulation scenarios — see
 //! SCENARIOS.md for the DSL reference.
+//!
+//! The repo's admission pipeline is also reachable over the network:
+//! `qosr serve` (module [`serve`]) exposes it as a TCP service speaking
+//! the length-prefixed JSON frame protocol of module [`wire`], and
+//! `qosr load` (module [`load`]) is the matching open-loop load
+//! generator that measures request latency and throughput against a
+//! running server:
+//!
+//! ```sh
+//! qosr serve --addr 127.0.0.1:7464 --world bench
+//! qosr load --addr 127.0.0.1:7464 --rate 50000 --duration 10
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,7 +44,10 @@
 pub mod commands;
 pub mod dto;
 pub mod live;
+pub mod load;
 pub mod report;
 pub mod run;
+pub mod serve;
+pub mod wire;
 
 pub use dto::{Scenario, ScenarioError};

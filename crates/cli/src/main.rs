@@ -9,12 +9,16 @@
 //! qosr report <trace.jsonl>
 //! qosr metrics [--rate R] [--horizon H] [--metrics-addr HOST:PORT]
 //! qosr top [--rates A,B,C] [--horizon H] [--metrics-addr HOST:PORT]
+//! qosr serve [--addr HOST:PORT] [--world bench|paper]
+//! qosr load [--addr HOST:PORT] [--rate R] [--duration S]
 //! ```
 
 use qosr_cli::commands::{dot, explain, plan_with_overrides, validate, PlannerChoice};
 use qosr_cli::live::{self, LiveOptions};
+use qosr_cli::load::{self, LoadOptions};
 use qosr_cli::report::{report, trace};
 use qosr_cli::run::{self, RunOptions};
+use qosr_cli::serve::{self, ServeOptions, WorldKind};
 use qosr_sim::PlannerKind;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,7 +36,12 @@ const USAGE: &str = "usage:
                [--batch N] [--sample P] [--metrics-addr HOST:PORT]
   qosr run <file.scenario.json> [--trace out.jsonl] [--json]
   qosr run --validate <file.scenario.json>
-  qosr run --list [dir]";
+  qosr run --list [dir]
+  qosr serve [--addr HOST:PORT] [--world bench|paper] [--world-seed N] [--capacity LO,HI]
+             [--workers N] [--max-batch N] [--max-replans N] [--seed N]
+             [--addr-file FILE] [--metrics-addr HOST:PORT]
+  qosr load  [--addr HOST:PORT] [--rate R] [--duration S] [--connections N] [--seed N]
+             [--service I] [--domain I] [--scale X] [--out FILE] [--json] [--shutdown]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +54,8 @@ fn main() -> ExitCode {
     let mut run_opts = RunOptions::default();
     let mut run_validate = false;
     let mut run_list = false;
+    let mut serve_opts = ServeOptions::default();
+    let mut load_opts = LoadOptions::default();
 
     macro_rules! flag_value {
         ($args:expr, $i:expr, $parse:expr, $what:expr) => {{
@@ -88,9 +99,12 @@ fn main() -> ExitCode {
             "--seed" => {
                 seed = flag_value!(args, i, |s: &String| s.parse().ok(), "--seed");
                 live.seed = seed;
+                serve_opts.seed = seed;
+                load_opts.seed = seed;
             }
             "--rate" => {
                 live.rate = flag_value!(args, i, |s: &String| s.parse().ok(), "--rate");
+                load_opts.rate = live.rate;
             }
             "--rates" => {
                 live.rates = flag_value!(
@@ -115,7 +129,79 @@ fn main() -> ExitCode {
             }
             "--validate" => run_validate = true,
             "--list" => run_list = true,
-            "--json" => run_opts.json = true,
+            "--json" => {
+                run_opts.json = true;
+                load_opts.json = true;
+            }
+            "--addr" => {
+                let addr: String = flag_value!(args, i, |s: &String| Some(s.clone()), "--addr");
+                serve_opts.addr = addr.clone();
+                load_opts.addr = addr;
+            }
+            "--world" => {
+                serve_opts.world =
+                    flag_value!(args, i, |s: &String| WorldKind::parse(s), "--world");
+            }
+            "--world-seed" => {
+                serve_opts.world_seed =
+                    flag_value!(args, i, |s: &String| s.parse().ok(), "--world-seed");
+            }
+            "--capacity" => {
+                serve_opts.capacity = flag_value!(
+                    args,
+                    i,
+                    |s: &String| {
+                        let (lo, hi) = s.split_once(',')?;
+                        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+                    },
+                    "--capacity (expected LO,HI)"
+                );
+            }
+            "--workers" => {
+                serve_opts.workers = flag_value!(args, i, |s: &String| s.parse().ok(), "--workers");
+            }
+            "--max-batch" => {
+                serve_opts.max_batch =
+                    flag_value!(args, i, |s: &String| s.parse().ok(), "--max-batch");
+            }
+            "--max-replans" => {
+                serve_opts.max_replans =
+                    flag_value!(args, i, |s: &String| s.parse().ok(), "--max-replans");
+            }
+            "--addr-file" => {
+                serve_opts.addr_file = Some(PathBuf::from(flag_value!(
+                    args,
+                    i,
+                    |s: &String| Some(s.clone()),
+                    "--addr-file"
+                )));
+            }
+            "--duration" => {
+                load_opts.duration =
+                    flag_value!(args, i, |s: &String| s.parse().ok(), "--duration");
+            }
+            "--connections" => {
+                load_opts.connections =
+                    flag_value!(args, i, |s: &String| s.parse().ok(), "--connections");
+            }
+            "--service" => {
+                load_opts.service = flag_value!(args, i, |s: &String| s.parse().ok(), "--service");
+            }
+            "--domain" => {
+                load_opts.domain = flag_value!(args, i, |s: &String| s.parse().ok(), "--domain");
+            }
+            "--scale" => {
+                load_opts.scale = flag_value!(args, i, |s: &String| s.parse().ok(), "--scale");
+            }
+            "--out" => {
+                load_opts.out = Some(PathBuf::from(flag_value!(
+                    args,
+                    i,
+                    |s: &String| Some(s.clone()),
+                    "--out"
+                )));
+            }
+            "--shutdown" => load_opts.shutdown = true,
             "--trace" => {
                 run_opts.trace = Some(PathBuf::from(flag_value!(
                     args,
@@ -125,12 +211,10 @@ fn main() -> ExitCode {
                 )));
             }
             "--metrics-addr" => {
-                live.metrics_addr = Some(flag_value!(
-                    args,
-                    i,
-                    |s: &String| Some(s.clone()),
-                    "--metrics-addr"
-                ));
+                let addr: String =
+                    flag_value!(args, i, |s: &String| Some(s.clone()), "--metrics-addr");
+                live.metrics_addr = Some(addr.clone());
+                serve_opts.metrics_addr = Some(addr);
             }
             word if !word.starts_with('-') => {
                 if command.is_none() {
@@ -177,7 +261,19 @@ fn main() -> ExitCode {
         }
         ("metrics", None) => live::metrics(&live),
         ("top", None) => live::top(&live, |line| println!("{line}")),
-        ("metrics" | "top", Some(_)) => {
+        ("serve", None) => serve::serve(&serve_opts),
+        ("load", None) => load::run_load(&load_opts).and_then(|report| {
+            if let Some(path) = &load_opts.out {
+                let file = std::fs::File::create(path)?;
+                serde_json::to_writer_pretty(std::io::BufWriter::new(file), &report)?;
+            }
+            if load_opts.json {
+                Ok(serde_json::to_string_pretty(&report)? + "\n")
+            } else {
+                Ok(load::render_report(&report))
+            }
+        }),
+        ("metrics" | "top" | "serve" | "load", Some(_)) => {
             eprintln!("{command} takes no file argument\n{USAGE}");
             return ExitCode::FAILURE;
         }

@@ -1,0 +1,1078 @@
+//! The `qosr serve` wire protocol: length-prefixed JSON frames.
+//!
+//! Every message on a connection — in either direction — is one
+//! *frame*: a 4-byte big-endian payload length followed by that many
+//! bytes of compact JSON. The JSON value is an externally-tagged
+//! single-key object naming the frame kind (the same convention the
+//! scenario DSL uses), e.g.
+//!
+//! ```text
+//! {"establish":{"id":1,"service":0,"domain":3,"scale":1.0}}
+//! {"outcome":{"id":1,"status":"committed","session":17,"rank":4,"psi":0.31}}
+//! ```
+//!
+//! Clients send [`RequestFrame`]s, the server answers with
+//! [`ResponseFrame`]s. Responses carry the request's client-chosen
+//! `id`, so a pipelined client can match them up; the server answers
+//! every request, in per-connection FIFO order.
+//!
+//! [`read_frame`] never panics on hostile input: an oversized length
+//! prefix is rejected *before* allocating, a short read mid-frame is a
+//! clean [`WireError::Truncated`], undecodable payload bytes are a
+//! clean [`WireError::Json`], and an EOF on a frame boundary is
+//! `Ok(None)` (the peer hung up politely).
+
+use qosr_broker::EstablishOutcome;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's JSON payload, enforced on both encode
+/// and decode (decode rejects the length prefix before allocating).
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// A codec failure: transport, framing, or payload.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The peer hung up (or stopped) in the middle of a frame.
+    Truncated {
+        /// Bytes the frame header (or prefix) promised.
+        expected: usize,
+        /// Bytes actually received before EOF.
+        got: usize,
+    },
+    /// A length prefix beyond [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The claimed payload length.
+        len: usize,
+    },
+    /// The payload was not valid JSON, or not a known frame.
+    Json(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "I/O error: {e}"),
+            WireError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            WireError::Oversized { len } => {
+                write!(f, "oversized frame: {len} bytes (limit {MAX_FRAME_LEN})")
+            }
+            WireError::Json(msg) => write!(f, "bad frame payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Encodes `frame` as one length-prefixed compact-JSON frame onto `w`.
+/// Does not flush — callers batching frames flush once per burst.
+pub fn write_frame<W: Write + ?Sized, T: Serialize>(w: &mut W, frame: &T) -> Result<(), WireError> {
+    let body = serde_json::to_string(frame).map_err(|e| WireError::Json(e.to_string()))?;
+    write_raw(w, body.as_bytes())
+}
+
+/// Length-prefixes and writes an already-encoded payload.
+fn write_raw<W: Write + ?Sized>(w: &mut W, bytes: &[u8]) -> Result<(), WireError> {
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(WireError::Oversized { len: bytes.len() });
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    Ok(())
+}
+
+/// [`write_frame`] specialised to [`RequestFrame`], formatting the
+/// plain establish shape (no QoS floor, deadline, or planner override)
+/// directly instead of via a value tree. Output is byte-identical to
+/// the generic path — a property test holds the two together.
+pub fn write_request_frame<W: Write + ?Sized>(
+    w: &mut W,
+    frame: &RequestFrame,
+) -> Result<(), WireError> {
+    use std::fmt::Write as _;
+    if let RequestFrame::Establish(def) = frame {
+        if def.qos_min.is_none()
+            && def.deadline.is_none()
+            && def.planner.is_none()
+            && def.scale.is_finite()
+        {
+            let mut body = String::with_capacity(64);
+            let _ = write!(body, "{{\"establish\":{{\"id\":{}", def.id);
+            if def.service != 0 {
+                let _ = write!(body, ",\"service\":{}", def.service);
+            }
+            if def.domain != 0 {
+                let _ = write!(body, ",\"domain\":{}", def.domain);
+            }
+            if def.scale != 1.0 {
+                body.push_str(",\"scale\":");
+                push_float(&mut body, def.scale);
+            }
+            body.push_str("}}");
+            return write_raw(w, body.as_bytes());
+        }
+    }
+    write_frame(w, frame)
+}
+
+/// [`write_frame`] specialised to [`ResponseFrame`], formatting the
+/// committed/degraded outcome shapes directly (see
+/// [`write_request_frame`] for the contract).
+pub fn write_response_frame<W: Write + ?Sized>(
+    w: &mut W,
+    frame: &ResponseFrame,
+) -> Result<(), WireError> {
+    use std::fmt::Write as _;
+    if let ResponseFrame::Outcome(o) = frame {
+        if (o.status == "committed" || o.status == "degraded")
+            && o.error.is_none()
+            && o.miss_resource.is_none()
+            && o.miss_ratio.is_none()
+            && o.from.is_some() == o.to.is_some()
+        {
+            if let (Some(session), Some(rank), Some(psi)) = (o.session, o.rank, o.psi) {
+                if psi.is_finite() {
+                    let mut body = String::with_capacity(96);
+                    let _ = write!(
+                        body,
+                        "{{\"outcome\":{{\"id\":{},\"status\":\"{}\",\"session\":{},\
+                         \"rank\":{},\"psi\":",
+                        o.id, o.status, session, rank
+                    );
+                    push_float(&mut body, psi);
+                    if let (Some(from), Some(to)) = (o.from, o.to) {
+                        let _ = write!(body, ",\"from\":{from},\"to\":{to}");
+                    }
+                    body.push_str("}}");
+                    return write_raw(w, body.as_bytes());
+                }
+            }
+        }
+    }
+    write_frame(w, frame)
+}
+
+/// Appends a finite float exactly as the generic serializer would
+/// (integral values keep a trailing `.0`), so the fast encoders stay
+/// byte-identical to the value-tree path.
+fn push_float(body: &mut String, f: f64) {
+    use std::fmt::Write as _;
+    let start = body.len();
+    let _ = write!(body, "{f}");
+    if !body[start..].contains(['.', 'e', 'E']) {
+        body.push_str(".0");
+    }
+}
+
+/// A strict cursor over the compact JSON our own encoders emit: no
+/// whitespace, fixed field order, JSON number grammar. Any deviation
+/// makes the fast parsers return `None` and the caller falls back to
+/// the generic (value-tree) parser, so hostile or merely unusual input
+/// behaves exactly as before.
+struct Scan<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Scan<'a> {
+    fn new(text: &'a str) -> Self {
+        Scan {
+            s: text.as_bytes(),
+            i: 0,
+        }
+    }
+
+    /// Consumes `lit` if it is next, reporting whether it was.
+    fn eat(&mut self, lit: &str) -> bool {
+        if self.s[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn digits(&mut self) -> &'a [u8] {
+        let start = self.i;
+        while self.i < self.s.len() && self.s[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        &self.s[start..self.i]
+    }
+
+    /// Scans a JSON unsigned integer (no sign, no leading zeros).
+    fn u64(&mut self) -> Option<u64> {
+        let digits = self.digits();
+        if digits.is_empty() || (digits.len() > 1 && digits[0] == b'0') {
+            return None;
+        }
+        std::str::from_utf8(digits).ok()?.parse().ok()
+    }
+
+    /// Scans a JSON number into an `f64`, enforcing JSON's grammar so
+    /// the fast path accepts exactly what the generic parser would.
+    fn f64(&mut self) -> Option<f64> {
+        let start = self.i;
+        if self.i < self.s.len() && self.s[self.i] == b'-' {
+            self.i += 1;
+        }
+        let int = self.digits();
+        if int.is_empty() || (int.len() > 1 && int[0] == b'0') {
+            return None;
+        }
+        if self.eat(".") && self.digits().is_empty() {
+            return None;
+        }
+        if self.i < self.s.len() && matches!(self.s[self.i], b'e' | b'E') {
+            self.i += 1;
+            if self.i < self.s.len() && matches!(self.s[self.i], b'+' | b'-') {
+                self.i += 1;
+            }
+            if self.digits().is_empty() {
+                return None;
+            }
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn done(&self) -> bool {
+        self.i == self.s.len()
+    }
+}
+
+/// Parses the establish shape [`write_request_frame`] emits; `None`
+/// (anything else, or any syntax deviation) falls back to the generic
+/// parser.
+fn fast_parse_establish(text: &str) -> Option<RequestFrame> {
+    let mut s = Scan::new(text);
+    if !s.eat("{\"establish\":{\"id\":") {
+        return None;
+    }
+    let mut def = EstablishDef::new(s.u64()?);
+    if s.eat(",\"service\":") {
+        def.service = usize::try_from(s.u64()?).ok()?;
+    }
+    if s.eat(",\"domain\":") {
+        def.domain = usize::try_from(s.u64()?).ok()?;
+    }
+    if s.eat(",\"scale\":") {
+        def.scale = s.f64()?;
+    }
+    if s.eat("}}") && s.done() {
+        Some(RequestFrame::Establish(def))
+    } else {
+        None
+    }
+}
+
+/// Parses the committed/degraded outcome shapes
+/// [`write_response_frame`] emits; `None` falls back to the generic
+/// parser (rejections carry arbitrary error strings, so they always
+/// take the generic path).
+fn fast_parse_outcome(text: &str) -> Option<ResponseFrame> {
+    let mut s = Scan::new(text);
+    if !s.eat("{\"outcome\":{\"id\":") {
+        return None;
+    }
+    let id = s.u64()?;
+    let status = if s.eat(",\"status\":\"committed\"") {
+        "committed"
+    } else if s.eat(",\"status\":\"degraded\"") {
+        "degraded"
+    } else {
+        return None;
+    };
+    if !s.eat(",\"session\":") {
+        return None;
+    }
+    let session = s.u64()?;
+    if !s.eat(",\"rank\":") {
+        return None;
+    }
+    let rank = u32::try_from(s.u64()?).ok()?;
+    if !s.eat(",\"psi\":") {
+        return None;
+    }
+    let psi = s.f64()?;
+    let (mut from, mut to) = (None, None);
+    if s.eat(",\"from\":") {
+        from = Some(u32::try_from(s.u64()?).ok()?);
+        if !s.eat(",\"to\":") {
+            return None;
+        }
+        to = Some(u32::try_from(s.u64()?).ok()?);
+    }
+    if !(s.eat("}}") && s.done()) {
+        return None;
+    }
+    Some(ResponseFrame::Outcome(OutcomeFrame {
+        id,
+        status: status.to_owned(),
+        session: Some(session),
+        rank: Some(rank),
+        psi: Some(psi),
+        from,
+        to,
+        error: None,
+        miss_resource: None,
+        miss_ratio: None,
+    }))
+}
+
+/// Reads exactly `buf.len()` bytes, distinguishing a clean EOF before
+/// the first byte (`Ok(false)`) from one mid-buffer (`Truncated`).
+fn read_exact_or_eof<R: Read + ?Sized>(
+    r: &mut R,
+    buf: &mut [u8],
+    frame_len: Option<usize>,
+) -> Result<bool, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && frame_len.is_none() {
+                    return Ok(false);
+                }
+                return Err(WireError::Truncated {
+                    expected: frame_len.unwrap_or(buf.len()),
+                    got: frame_len.map_or(filled, |_| filled),
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame's payload text. `Ok(None)` is a clean EOF on a
+/// frame boundary; all framing and UTF-8 trouble maps to an error.
+fn read_payload<R: Read + ?Sized>(r: &mut R) -> Result<Option<String>, WireError> {
+    let mut prefix = [0u8; 4];
+    if !read_exact_or_eof(r, &mut prefix, None)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized { len });
+    }
+    let mut body = vec![0u8; len];
+    read_exact_or_eof(r, &mut body, Some(len))?;
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|e| WireError::Json(format!("invalid UTF-8: {e}")))
+}
+
+/// Decodes the next frame from `r`. `Ok(None)` means the peer closed
+/// the stream cleanly on a frame boundary; every malformed input maps
+/// to an error, never a panic or an unbounded allocation.
+pub fn read_frame<R: Read + ?Sized, T: Deserialize>(r: &mut R) -> Result<Option<T>, WireError> {
+    match read_payload(r)? {
+        None => Ok(None),
+        Some(text) => serde_json::from_str(&text)
+            .map(Some)
+            .map_err(|e| WireError::Json(e.to_string())),
+    }
+}
+
+/// [`read_frame`] specialised to [`RequestFrame`], with a fast-path
+/// scanner for the establish shape the load generator emits. Identical
+/// observable behaviour to the generic path (a property test holds the
+/// two to byte-for-byte agreement); the scanner just skips the
+/// intermediate value tree on the ~100k-frames/s hot path.
+pub fn read_request_frame<R: Read + ?Sized>(r: &mut R) -> Result<Option<RequestFrame>, WireError> {
+    match read_payload(r)? {
+        None => Ok(None),
+        Some(text) => match fast_parse_establish(&text) {
+            Some(frame) => Ok(Some(frame)),
+            None => serde_json::from_str(&text)
+                .map(Some)
+                .map_err(|e| WireError::Json(e.to_string())),
+        },
+    }
+}
+
+/// [`read_frame`] specialised to [`ResponseFrame`], with a fast-path
+/// scanner for the committed/degraded outcome shapes the server emits
+/// (see [`read_request_frame`] for the contract).
+pub fn read_response_frame<R: Read + ?Sized>(
+    r: &mut R,
+) -> Result<Option<ResponseFrame>, WireError> {
+    match read_payload(r)? {
+        None => Ok(None),
+        Some(text) => match fast_parse_outcome(&text) {
+            Some(frame) => Ok(Some(frame)),
+            None => serde_json::from_str(&text)
+                .map(Some)
+                .map_err(|e| WireError::Json(e.to_string())),
+        },
+    }
+}
+
+/// One templated establish request: the server instantiates the session
+/// from its own world (`service`/`domain` indices into the serve
+/// world's roster), so clients never ship a full `SessionInstance`.
+///
+/// `Serialize` is manual: fields at their default (`service`/`domain`
+/// 0, `scale` 1, absent options) are omitted from the wire form — the
+/// decode side fills them back in, and the hot path (one establish
+/// per load-generator request) shrinks to a ~20-byte payload.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
+pub struct EstablishDef {
+    /// Client-chosen correlation id, echoed on the outcome frame.
+    pub id: u64,
+    /// Service index in the server's world (0 on the bench world).
+    #[serde(default)]
+    pub service: usize,
+    /// Client domain index (0 on the bench world).
+    #[serde(default)]
+    pub domain: usize,
+    /// Demand scale ("fat" factor), default 1.
+    #[serde(default = "default_scale")]
+    pub scale: f64,
+    /// Optional QoS floor (1-based rank).
+    #[serde(default)]
+    pub qos_min: Option<u32>,
+    /// Optional admission deadline in server sim-time.
+    #[serde(default)]
+    pub deadline: Option<f64>,
+    /// Planner override: `basic`, `tradeoff`, `random`, or `dag`
+    /// (default `basic`).
+    #[serde(default)]
+    pub planner: Option<String>,
+}
+
+fn default_scale() -> f64 {
+    1.0
+}
+
+impl Serialize for EstablishDef {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![("id".to_owned(), self.id.to_value())];
+        if self.service != 0 {
+            fields.push(("service".to_owned(), self.service.to_value()));
+        }
+        if self.domain != 0 {
+            fields.push(("domain".to_owned(), self.domain.to_value()));
+        }
+        if self.scale != 1.0 {
+            fields.push(("scale".to_owned(), self.scale.to_value()));
+        }
+        if let Some(q) = self.qos_min {
+            fields.push(("qos_min".to_owned(), q.to_value()));
+        }
+        if let Some(d) = self.deadline {
+            fields.push(("deadline".to_owned(), d.to_value()));
+        }
+        if let Some(p) = &self.planner {
+            fields.push(("planner".to_owned(), p.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl EstablishDef {
+    /// A minimal establish for `id` on the bench world's one template.
+    pub fn new(id: u64) -> Self {
+        EstablishDef {
+            id,
+            service: 0,
+            domain: 0,
+            scale: 1.0,
+            qos_min: None,
+            deadline: None,
+            planner: None,
+        }
+    }
+}
+
+/// A client→server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestFrame {
+    /// Admit one session; the server may coalesce consecutive
+    /// establishes from any connection into one admission round.
+    Establish(EstablishDef),
+    /// Admit this exact request list as **one** admission round, at an
+    /// explicit sim-time if given — the deterministic-round verb the
+    /// equivalence tests drive.
+    Batch {
+        /// Explicit round sim-time (defaults to the server's round
+        /// counter).
+        now: Option<f64>,
+        /// The round's requests, in arrival order.
+        requests: Vec<EstablishDef>,
+    },
+    /// Release an admitted session's reservations.
+    Terminate {
+        /// Correlation id.
+        id: u64,
+        /// The session id a prior outcome frame reported.
+        session: u64,
+    },
+    /// Try to upgrade an admitted session to a better plan (rank up, or
+    /// equal rank at lower Ψ); a no-op answer if nothing better exists.
+    Renegotiate {
+        /// Correlation id.
+        id: u64,
+        /// The session id a prior outcome frame reported.
+        session: u64,
+    },
+    /// Ask for a server snapshot: rounds, live sessions, capacity.
+    Stats {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Liveness probe, answered directly by the connection's reader.
+    Ping {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Drain everything queued, answer [`ResponseFrame::Bye`], and stop
+    /// the server.
+    Shutdown,
+}
+
+/// A server→client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseFrame {
+    /// The structured result of one establish.
+    Outcome(OutcomeFrame),
+    /// A terminate completed, releasing `released` capacity units.
+    Terminated {
+        /// Correlation id of the terminate request.
+        id: u64,
+        /// The released session id.
+        session: u64,
+        /// Total capacity units released across all resources.
+        released: f64,
+    },
+    /// A renegotiate completed (upgraded or kept as-is).
+    Renegotiated {
+        /// Correlation id of the renegotiate request.
+        id: u64,
+        /// The session id (unchanged by renegotiation).
+        session: u64,
+        /// The session's current end-to-end rank.
+        rank: u32,
+        /// The session's current bottleneck Ψ.
+        psi: f64,
+        /// Whether the session was swapped to a better plan.
+        upgraded: bool,
+    },
+    /// The server snapshot a [`RequestFrame::Stats`] asked for.
+    Stats(StatsFrame),
+    /// Answer to a ping.
+    Pong {
+        /// Correlation id of the ping.
+        id: u64,
+    },
+    /// The request could not be honoured (unknown session, invalid
+    /// indices, malformed frame, …). The connection stays usable unless
+    /// the error was a framing error.
+    Error {
+        /// Correlation id of the offending request, when decodable.
+        id: Option<u64>,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// The server acknowledged a shutdown after draining its queue.
+    Bye {
+        /// Request frames the server answered before stopping — proof
+        /// to a shutting-down client that nothing it pipelined ahead
+        /// of the shutdown was dropped.
+        drained: u64,
+    },
+}
+
+/// The wire form of one [`EstablishOutcome`], flattened to scalars.
+///
+/// `Serialize` is manual: `None` fields are omitted rather than sent
+/// as `null` — a committed outcome (the overwhelmingly common frame
+/// under load) carries five fields instead of ten.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
+pub struct OutcomeFrame {
+    /// Correlation id of the establish request.
+    pub id: u64,
+    /// `committed`, `degraded`, or `rejected`.
+    pub status: String,
+    /// The admitted session id (absent when rejected).
+    #[serde(default)]
+    pub session: Option<u64>,
+    /// Committed end-to-end rank (absent when rejected).
+    #[serde(default)]
+    pub rank: Option<u32>,
+    /// Committed bottleneck Ψ (absent when rejected).
+    #[serde(default)]
+    pub psi: Option<f64>,
+    /// First-planned rank (degraded outcomes only).
+    #[serde(default)]
+    pub from: Option<u32>,
+    /// Committed rank after degradation (degraded outcomes only).
+    #[serde(default)]
+    pub to: Option<u32>,
+    /// The rejection error, rendered (rejected outcomes only).
+    #[serde(default)]
+    pub error: Option<String>,
+    /// The nearest-miss blocking resource id (some rejections).
+    #[serde(default)]
+    pub miss_resource: Option<u64>,
+    /// The nearest-miss `req/avail` overshoot ratio (some rejections).
+    #[serde(default)]
+    pub miss_ratio: Option<f64>,
+}
+
+impl Serialize for OutcomeFrame {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_owned(), self.id.to_value()),
+            ("status".to_owned(), self.status.to_value()),
+        ];
+        if let Some(s) = self.session {
+            fields.push(("session".to_owned(), s.to_value()));
+        }
+        if let Some(r) = self.rank {
+            fields.push(("rank".to_owned(), r.to_value()));
+        }
+        if let Some(p) = self.psi {
+            fields.push(("psi".to_owned(), p.to_value()));
+        }
+        if let Some(f) = self.from {
+            fields.push(("from".to_owned(), f.to_value()));
+        }
+        if let Some(t) = self.to {
+            fields.push(("to".to_owned(), t.to_value()));
+        }
+        if let Some(e) = &self.error {
+            fields.push(("error".to_owned(), e.to_value()));
+        }
+        if let Some(m) = self.miss_resource {
+            fields.push(("miss_resource".to_owned(), m.to_value()));
+        }
+        if let Some(m) = self.miss_ratio {
+            fields.push(("miss_ratio".to_owned(), m.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl OutcomeFrame {
+    /// Flattens an in-process [`EstablishOutcome`] to its wire form —
+    /// the one conversion both the server and the over-the-wire
+    /// equivalence tests use, so frame equality *is* outcome equality.
+    pub fn from_outcome(id: u64, outcome: &EstablishOutcome) -> Self {
+        let mut frame = OutcomeFrame {
+            id,
+            status: String::new(),
+            session: None,
+            rank: None,
+            psi: None,
+            from: None,
+            to: None,
+            error: None,
+            miss_resource: None,
+            miss_ratio: None,
+        };
+        match outcome {
+            EstablishOutcome::Committed(est) => {
+                frame.status = "committed".into();
+                frame.session = Some(est.id.0);
+                frame.rank = Some(est.plan.rank);
+                frame.psi = Some(est.plan.psi);
+            }
+            EstablishOutcome::Degraded { session, from, to } => {
+                frame.status = "degraded".into();
+                frame.session = Some(session.id.0);
+                frame.rank = Some(session.plan.rank);
+                frame.psi = Some(session.plan.psi);
+                frame.from = Some(*from);
+                frame.to = Some(*to);
+            }
+            EstablishOutcome::Rejected {
+                error,
+                nearest_miss,
+            } => {
+                frame.status = "rejected".into();
+                frame.error = Some(error.to_string());
+                if let Some(miss) = nearest_miss {
+                    frame.miss_resource = Some(u64::from(miss.resource.0));
+                    frame.miss_ratio = Some(miss.ratio);
+                }
+            }
+        }
+        frame
+    }
+
+    /// `true` for `committed` and `degraded` outcomes.
+    pub fn is_admitted(&self) -> bool {
+        self.status != "rejected"
+    }
+}
+
+/// One server snapshot: admission progress and capacity accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsFrame {
+    /// Correlation id of the stats request.
+    pub id: u64,
+    /// Admission rounds run so far.
+    pub rounds: u64,
+    /// Request frames decoded so far (all verbs).
+    pub requests: u64,
+    /// Establish requests that committed (possibly degraded).
+    pub establishments: u64,
+    /// Sessions terminated so far.
+    pub releases: u64,
+    /// Sessions currently holding reservations.
+    pub live_sessions: u64,
+    /// Connections currently open.
+    pub connections: u64,
+    /// Sum of available capacity across every broker.
+    pub total_available: f64,
+    /// Sum of configured capacity across every broker.
+    pub total_capacity: f64,
+    /// `true` if any broker's available capacity is negative — must
+    /// never happen; the concurrent-client oracle asserts on it.
+    pub over_committed: bool,
+}
+
+/// Wraps `body` in the externally-tagged single-key object form.
+fn tagged(key: &str, body: Value) -> Value {
+    Value::Object(vec![(key.to_owned(), body)])
+}
+
+/// Splits a tagged value back into `(kind, body)`.
+fn untag<'a>(v: &'a Value, what: &str, known: &str) -> Result<(&'a str, &'a Value), DeError> {
+    let fields = v
+        .as_object()
+        .ok_or_else(|| DeError::custom(format!("expected a {what} object, got {}", v.kind())))?;
+    if fields.len() != 1 {
+        return Err(DeError::custom(format!(
+            "a {what} must be a single-key object naming its kind (one of {known}), got {} keys",
+            fields.len()
+        )));
+    }
+    let (key, body) = &fields[0];
+    Ok((key.as_str(), body))
+}
+
+const REQUEST_KINDS: &str = "establish, batch, terminate, renegotiate, stats, ping, shutdown";
+const RESPONSE_KINDS: &str = "outcome, terminated, renegotiated, stats, pong, error, bye";
+
+#[derive(Serialize, Deserialize)]
+struct BatchDef {
+    #[serde(default)]
+    now: Option<f64>,
+    requests: Vec<EstablishDef>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SessionRef {
+    id: u64,
+    session: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct IdRef {
+    id: u64,
+}
+
+impl Serialize for RequestFrame {
+    fn to_value(&self) -> Value {
+        match self {
+            RequestFrame::Establish(def) => tagged("establish", def.to_value()),
+            RequestFrame::Batch { now, requests } => tagged(
+                "batch",
+                BatchDef {
+                    now: *now,
+                    requests: requests.clone(),
+                }
+                .to_value(),
+            ),
+            RequestFrame::Terminate { id, session } => tagged(
+                "terminate",
+                SessionRef {
+                    id: *id,
+                    session: *session,
+                }
+                .to_value(),
+            ),
+            RequestFrame::Renegotiate { id, session } => tagged(
+                "renegotiate",
+                SessionRef {
+                    id: *id,
+                    session: *session,
+                }
+                .to_value(),
+            ),
+            RequestFrame::Stats { id } => tagged("stats", IdRef { id: *id }.to_value()),
+            RequestFrame::Ping { id } => tagged("ping", IdRef { id: *id }.to_value()),
+            RequestFrame::Shutdown => tagged("shutdown", Value::Object(Vec::new())),
+        }
+    }
+}
+
+impl Deserialize for RequestFrame {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let (key, body) = untag(v, "request frame", REQUEST_KINDS)?;
+        let in_key = |e: DeError| e.in_field(key);
+        match key {
+            "establish" => Ok(RequestFrame::Establish(
+                EstablishDef::from_value(body).map_err(in_key)?,
+            )),
+            "batch" => {
+                let d = BatchDef::from_value(body).map_err(in_key)?;
+                Ok(RequestFrame::Batch {
+                    now: d.now,
+                    requests: d.requests,
+                })
+            }
+            "terminate" => {
+                let d = SessionRef::from_value(body).map_err(in_key)?;
+                Ok(RequestFrame::Terminate {
+                    id: d.id,
+                    session: d.session,
+                })
+            }
+            "renegotiate" => {
+                let d = SessionRef::from_value(body).map_err(in_key)?;
+                Ok(RequestFrame::Renegotiate {
+                    id: d.id,
+                    session: d.session,
+                })
+            }
+            "stats" => {
+                let d = IdRef::from_value(body).map_err(in_key)?;
+                Ok(RequestFrame::Stats { id: d.id })
+            }
+            "ping" => {
+                let d = IdRef::from_value(body).map_err(in_key)?;
+                Ok(RequestFrame::Ping { id: d.id })
+            }
+            "shutdown" => Ok(RequestFrame::Shutdown),
+            other => Err(DeError::custom(format!(
+                "unknown request frame `{other}` (expected one of {REQUEST_KINDS})"
+            ))),
+        }
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct TerminatedDef {
+    id: u64,
+    session: u64,
+    released: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct RenegotiatedDef {
+    id: u64,
+    session: u64,
+    rank: u32,
+    psi: f64,
+    upgraded: bool,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ErrorDef {
+    #[serde(default)]
+    id: Option<u64>,
+    message: String,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ByeDef {
+    drained: u64,
+}
+
+impl Serialize for ResponseFrame {
+    fn to_value(&self) -> Value {
+        match self {
+            ResponseFrame::Outcome(frame) => tagged("outcome", frame.to_value()),
+            ResponseFrame::Terminated {
+                id,
+                session,
+                released,
+            } => tagged(
+                "terminated",
+                TerminatedDef {
+                    id: *id,
+                    session: *session,
+                    released: *released,
+                }
+                .to_value(),
+            ),
+            ResponseFrame::Renegotiated {
+                id,
+                session,
+                rank,
+                psi,
+                upgraded,
+            } => tagged(
+                "renegotiated",
+                RenegotiatedDef {
+                    id: *id,
+                    session: *session,
+                    rank: *rank,
+                    psi: *psi,
+                    upgraded: *upgraded,
+                }
+                .to_value(),
+            ),
+            ResponseFrame::Stats(frame) => tagged("stats", frame.to_value()),
+            ResponseFrame::Pong { id } => tagged("pong", IdRef { id: *id }.to_value()),
+            ResponseFrame::Error { id, message } => tagged(
+                "error",
+                ErrorDef {
+                    id: *id,
+                    message: message.clone(),
+                }
+                .to_value(),
+            ),
+            ResponseFrame::Bye { drained } => {
+                tagged("bye", ByeDef { drained: *drained }.to_value())
+            }
+        }
+    }
+}
+
+impl Deserialize for ResponseFrame {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let (key, body) = untag(v, "response frame", RESPONSE_KINDS)?;
+        let in_key = |e: DeError| e.in_field(key);
+        match key {
+            "outcome" => Ok(ResponseFrame::Outcome(
+                OutcomeFrame::from_value(body).map_err(in_key)?,
+            )),
+            "terminated" => {
+                let d = TerminatedDef::from_value(body).map_err(in_key)?;
+                Ok(ResponseFrame::Terminated {
+                    id: d.id,
+                    session: d.session,
+                    released: d.released,
+                })
+            }
+            "renegotiated" => {
+                let d = RenegotiatedDef::from_value(body).map_err(in_key)?;
+                Ok(ResponseFrame::Renegotiated {
+                    id: d.id,
+                    session: d.session,
+                    rank: d.rank,
+                    psi: d.psi,
+                    upgraded: d.upgraded,
+                })
+            }
+            "stats" => Ok(ResponseFrame::Stats(
+                StatsFrame::from_value(body).map_err(in_key)?,
+            )),
+            "pong" => {
+                let d = IdRef::from_value(body).map_err(in_key)?;
+                Ok(ResponseFrame::Pong { id: d.id })
+            }
+            "error" => {
+                let d = ErrorDef::from_value(body).map_err(in_key)?;
+                Ok(ResponseFrame::Error {
+                    id: d.id,
+                    message: d.message,
+                })
+            }
+            "bye" => {
+                let d = ByeDef::from_value(body).map_err(in_key)?;
+                Ok(ResponseFrame::Bye { drained: d.drained })
+            }
+            other => Err(DeError::custom(format!(
+                "unknown response frame `{other}` (expected one of {RESPONSE_KINDS})"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip_request(frame: RequestFrame) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let mut cursor = Cursor::new(buf);
+        let back: RequestFrame = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, frame);
+        assert!(
+            read_frame::<_, RequestFrame>(&mut cursor)
+                .unwrap()
+                .is_none(),
+            "clean EOF after the frame"
+        );
+    }
+
+    #[test]
+    fn request_frames_roundtrip() {
+        roundtrip_request(RequestFrame::Establish(EstablishDef {
+            id: 7,
+            service: 2,
+            domain: 5,
+            scale: 1.5,
+            qos_min: Some(3),
+            deadline: Some(12.5),
+            planner: Some("tradeoff".into()),
+        }));
+        roundtrip_request(RequestFrame::Batch {
+            now: Some(4.0),
+            requests: vec![EstablishDef::new(1), EstablishDef::new(2)],
+        });
+        roundtrip_request(RequestFrame::Terminate { id: 3, session: 9 });
+        roundtrip_request(RequestFrame::Renegotiate { id: 4, session: 9 });
+        roundtrip_request(RequestFrame::Stats { id: 5 });
+        roundtrip_request(RequestFrame::Ping { id: 6 });
+        roundtrip_request(RequestFrame::Shutdown);
+    }
+
+    #[test]
+    fn establish_defaults_fill_in() {
+        let text = r#"{"establish":{"id":1}}"#;
+        let mut buf = (text.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(text.as_bytes());
+        let frame: RequestFrame = read_frame(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(frame, RequestFrame::Establish(EstablishDef::new(1)));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocating() {
+        let mut buf = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"x");
+        let err = read_frame::<_, RequestFrame>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, WireError::Oversized { len } if len == MAX_FRAME_LEN + 1));
+    }
+
+    #[test]
+    fn truncated_payload_is_a_clean_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &RequestFrame::Ping { id: 1 }).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_frame::<_, RequestFrame>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { .. }));
+    }
+
+    #[test]
+    fn garbage_payload_is_a_clean_error() {
+        let text = b"not json at all";
+        let mut buf = (text.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(text);
+        let err = read_frame::<_, RequestFrame>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, WireError::Json(_)));
+    }
+}

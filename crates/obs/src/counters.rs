@@ -43,6 +43,10 @@ pub struct Counters {
     delta_repairs: AtomicU64,
     delta_fallbacks: AtomicU64,
     relax_nodes_repaired: AtomicU64,
+    serve_requests: AtomicU64,
+    serve_batches: AtomicU64,
+    serve_protocol_errors: AtomicU64,
+    serve_disconnects: AtomicU64,
     psi: PsiHistogram,
 }
 
@@ -196,6 +200,30 @@ impl Counters {
         self.relax_nodes_repaired.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// A wire-protocol request frame was decoded by the admission
+    /// server (establish, terminate, stats, …).
+    pub fn record_serve_request(&self) {
+        self.serve_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The admission server flushed one coalesced batch into the
+    /// [`AdmissionQueue`](../../qosr_broker/struct.AdmissionQueue.html).
+    pub fn record_serve_batch(&self) {
+        self.serve_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A client sent a malformed frame (bad length prefix, truncated
+    /// payload, or undecodable JSON).
+    pub fn record_serve_protocol_error(&self) {
+        self.serve_protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A client connection closed (cleanly or not) and its leased
+    /// sessions were released.
+    pub fn record_serve_disconnect(&self) {
+        self.serve_disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The committed-Ψ histogram.
     pub fn psi_histogram(&self) -> &PsiHistogram {
         &self.psi
@@ -228,6 +256,10 @@ impl Counters {
             delta_repairs: self.delta_repairs.load(Ordering::Relaxed),
             delta_fallbacks: self.delta_fallbacks.load(Ordering::Relaxed),
             relax_nodes_repaired: self.relax_nodes_repaired.load(Ordering::Relaxed),
+            serve_requests: self.serve_requests.load(Ordering::Relaxed),
+            serve_batches: self.serve_batches.load(Ordering::Relaxed),
+            serve_protocol_errors: self.serve_protocol_errors.load(Ordering::Relaxed),
+            serve_disconnects: self.serve_disconnects.load(Ordering::Relaxed),
             psi_buckets: self.psi.counts().to_vec(),
             psi_milli: self.psi.milli().snapshot(),
         }
@@ -288,6 +320,14 @@ pub struct CountersSnapshot {
     pub delta_fallbacks: u64,
     /// QRG nodes recomputed by incremental relaxation repairs.
     pub relax_nodes_repaired: u64,
+    /// Wire-protocol request frames decoded by the admission server.
+    pub serve_requests: u64,
+    /// Coalesced batches the admission server flushed into its queue.
+    pub serve_batches: u64,
+    /// Malformed frames received by the admission server.
+    pub serve_protocol_errors: u64,
+    /// Client connections closed (sessions leased to them released).
+    pub serve_disconnects: u64,
     /// Committed-Ψ histogram counts
     /// ([`PSI_BUCKETS`](crate::PSI_BUCKETS) edges + overflow).
     pub psi_buckets: Vec<u64>,
@@ -327,6 +367,11 @@ mod tests {
         c.record_delta_fallback();
         c.record_relax_nodes_repaired(12);
         c.record_relax_nodes_repaired(3);
+        c.record_serve_request();
+        c.record_serve_request();
+        c.record_serve_batch();
+        c.record_serve_protocol_error();
+        c.record_serve_disconnect();
         let snap = c.snapshot();
         assert_eq!(snap.plans_started, 2);
         assert_eq!(snap.plans_completed, 1);
@@ -340,6 +385,10 @@ mod tests {
         assert_eq!(snap.delta_repairs, 1);
         assert_eq!(snap.delta_fallbacks, 1);
         assert_eq!(snap.relax_nodes_repaired, 15);
+        assert_eq!(snap.serve_requests, 2);
+        assert_eq!(snap.serve_batches, 1);
+        assert_eq!(snap.serve_protocol_errors, 1);
+        assert_eq!(snap.serve_disconnects, 1);
         assert_eq!(snap.psi_buckets[4], 1); // 0.4 falls in [0.4, 0.5)
         assert_eq!(snap.psi_milli.count, 1);
         assert_eq!(snap.psi_milli.max, 400); // milli-Ψ fixed point

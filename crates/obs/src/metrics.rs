@@ -158,7 +158,7 @@ impl MetricsRegistry {
 
         if let Some(counters) = self.counters() {
             let snap = counters.snapshot();
-            let families: [(&str, &str, u64); 24] = [
+            let families: [(&str, &str, u64); 28] = [
                 (
                     "plans_started",
                     "Planning attempts begun",
@@ -262,6 +262,26 @@ impl MetricsRegistry {
                     "relax_nodes_repaired",
                     "QRG nodes recomputed by incremental relaxation repairs",
                     snap.relax_nodes_repaired,
+                ),
+                (
+                    "serve_requests",
+                    "Wire-protocol request frames decoded by the admission server",
+                    snap.serve_requests,
+                ),
+                (
+                    "serve_batches",
+                    "Coalesced batches the admission server flushed",
+                    snap.serve_batches,
+                ),
+                (
+                    "serve_protocol_errors",
+                    "Malformed frames received by the admission server",
+                    snap.serve_protocol_errors,
+                ),
+                (
+                    "serve_disconnects",
+                    "Client connections closed with leased sessions released",
+                    snap.serve_disconnects,
                 ),
             ];
             for (name, help, value) in families {
@@ -479,6 +499,8 @@ mod tests {
         assert!(text.contains("# TYPE qosr_delta_repairs_total counter"));
         assert!(text.contains("qosr_delta_fallbacks_total 0"));
         assert!(text.contains("qosr_relax_nodes_repaired_total 0"));
+        assert!(text.contains("# TYPE qosr_serve_requests_total counter"));
+        assert!(text.contains("qosr_serve_protocol_errors_total 0"));
         assert!(text.contains("# TYPE qosr_committed_psi histogram"));
         assert!(text.contains("qosr_committed_psi_bucket{le=\"0.5\"} 1"));
         assert!(text.contains("qosr_committed_psi_bucket{le=\"+Inf\"} 1"));

@@ -3,7 +3,9 @@
 //! overhead report promises, and show disabled-mode telemetry within
 //! the noise envelope of the non-telemetry admission reference; and
 //! `BENCH_replan.json` must carry the delta-repair figures with the
-//! steady-state ≥ 3× repaired-vs-full relaxation claim intact. Runs
+//! steady-state ≥ 3× repaired-vs-full relaxation claim intact; and
+//! `BENCH_serve.json` must show the network front-end sustaining the
+//! ≥ 100k requests/s claim with every request answered. Runs
 //! under plain `cargo test`, so CI fails if an artifact goes missing
 //! or a bench regenerates one with its headline claim broken.
 
@@ -151,6 +153,70 @@ fn bench_admission_carries_the_phase_breakdown() {
             "phase breakdown must include {expected:?}, got {phases:?}"
         );
     }
+}
+
+#[test]
+fn bench_serve_json_has_the_required_fields() {
+    let fields = load("BENCH_serve.json");
+    assert_eq!(
+        find_field(&fields, "bench").and_then(Value::as_str),
+        Some("serve")
+    );
+    assert_eq!(
+        find_field(&fields, "unit").and_then(Value::as_str),
+        Some("requests/s")
+    );
+    assert_eq!(
+        find_field(&fields, "world").and_then(Value::as_str),
+        Some("bench")
+    );
+    let load_report = find_field(&fields, "load")
+        .and_then(Value::as_object)
+        .expect("BENCH_serve.json load object");
+    for required in [
+        "rate_target",
+        "connections",
+        "duration_s",
+        "requests",
+        "responses",
+        "elapsed_s",
+        "requests_per_sec",
+        "p50_ns",
+        "p99_ns",
+        "p999_ns",
+        "mean_ns",
+        "max_ns",
+    ] {
+        let v = number(load_report, required);
+        assert!(v.is_finite() && v > 0.0, "load.{required} = {v}");
+    }
+    // Percentiles must be ordered and every request answered.
+    assert!(number(load_report, "p50_ns") <= number(load_report, "p99_ns"));
+    assert!(number(load_report, "p99_ns") <= number(load_report, "p999_ns"));
+    assert!(number(load_report, "p999_ns") <= number(load_report, "max_ns"));
+    assert_eq!(
+        number(load_report, "requests"),
+        number(load_report, "responses"),
+        "the committed run must have drained every request"
+    );
+}
+
+#[test]
+fn bench_serve_sustains_the_throughput_claim() {
+    let fields = load("BENCH_serve.json");
+    let load_report = find_field(&fields, "load")
+        .and_then(Value::as_object)
+        .expect("BENCH_serve.json load object");
+    let rps = number(load_report, "requests_per_sec");
+    assert!(
+        rps >= 100_000.0,
+        "committed serve throughput {rps:.0} req/s dropped below the 100k claim"
+    );
+    let committed = number(load_report, "committed");
+    assert!(
+        committed > 0.0,
+        "the committed run must have admitted sessions"
+    );
 }
 
 #[test]

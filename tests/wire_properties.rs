@@ -1,0 +1,372 @@
+//! Property-based tests of the `qosr serve` wire codec
+//! ([`qosr_cli::wire`]): every frame the protocol can express must
+//! survive an encode/decode round trip bit-for-bit, and no byte stream
+//! — truncated, oversized, or outright garbage — may ever panic, hang,
+//! or come back as anything but a clean protocol error. The codec is
+//! the server's trust boundary; these properties are what let the
+//! per-connection readers treat any decode error as "close and move
+//! on". Case count honours `PROPTEST_CASES` (CI runs the default).
+
+use proptest::prelude::*;
+use proptest::ProptestConfig;
+use qosr_cli::wire::{
+    read_frame, read_request_frame, read_response_frame, write_frame, write_request_frame,
+    write_response_frame, EstablishDef, OutcomeFrame, RequestFrame, ResponseFrame, StatsFrame,
+    WireError, MAX_FRAME_LEN,
+};
+use std::io::Cursor;
+
+/// Finite, JSON-round-trippable floats (the vendored serializer prints
+/// shortest-round-trip forms, so any finite `f64` survives; NaN and the
+/// infinities serialize to `null` by design and are excluded).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-0.0),
+        Just(1.5e308),
+        Just(-4.9e-324),
+        -1.0e12..1.0e12f64,
+        0.0..1.0f64,
+    ]
+}
+
+/// Strings exercising JSON escaping: quotes, backslashes, control
+/// characters, multi-byte UTF-8.
+fn wire_string() -> impl Strategy<Value = String> {
+    const ALPHABET: &[&str] = &[
+        "a", "Z", "0", " ", "\"", "\\", "\n", "\t", "\u{1}", "é", "λ", "🦀", "{", "}", ":", ",",
+    ];
+    proptest::collection::vec(0usize..ALPHABET.len(), 0..24)
+        .prop_map(|picks| picks.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+fn option_of<S: Strategy + 'static>(inner: S) -> BoxedStrategy<Option<S::Value>>
+where
+    S::Value: std::fmt::Debug + Clone,
+{
+    prop_oneof![Just(None), inner.prop_map(Some)].boxed()
+}
+
+fn establish_def() -> impl Strategy<Value = EstablishDef> {
+    (
+        (any::<u64>(), 0usize..16, 0usize..16, finite_f64()),
+        (
+            option_of(any::<u32>().boxed()),
+            option_of(finite_f64().boxed()),
+            option_of(
+                prop_oneof![
+                    Just("basic".to_string()),
+                    Just("tradeoff".to_string()),
+                    Just("random".to_string()),
+                    Just("dag".to_string()),
+                    wire_string().boxed(),
+                ]
+                .boxed(),
+            ),
+        ),
+    )
+        .prop_map(
+            |((id, service, domain, scale), (qos_min, deadline, planner))| {
+                let mut def = EstablishDef::new(id);
+                def.service = service;
+                def.domain = domain;
+                def.scale = scale;
+                def.qos_min = qos_min;
+                def.deadline = deadline;
+                def.planner = planner;
+                def
+            },
+        )
+}
+
+fn request_frame() -> impl Strategy<Value = RequestFrame> {
+    prop_oneof![
+        establish_def().prop_map(RequestFrame::Establish).boxed(),
+        (
+            option_of(finite_f64().boxed()),
+            proptest::collection::vec(establish_def(), 0..8),
+        )
+            .prop_map(|(now, requests)| RequestFrame::Batch { now, requests })
+            .boxed(),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(id, session)| RequestFrame::Terminate { id, session })
+            .boxed(),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(id, session)| RequestFrame::Renegotiate { id, session })
+            .boxed(),
+        any::<u64>()
+            .prop_map(|id| RequestFrame::Stats { id })
+            .boxed(),
+        any::<u64>()
+            .prop_map(|id| RequestFrame::Ping { id })
+            .boxed(),
+        Just(RequestFrame::Shutdown).boxed(),
+    ]
+}
+
+fn outcome_frame() -> impl Strategy<Value = OutcomeFrame> {
+    (
+        any::<u64>(),
+        prop_oneof![
+            Just("committed".to_string()),
+            Just("degraded".to_string()),
+            Just("rejected".to_string()),
+        ],
+        option_of(any::<u64>().boxed()),
+        (
+            option_of(any::<u32>().boxed()),
+            option_of(finite_f64().boxed()),
+            option_of(any::<u32>().boxed()),
+            option_of(any::<u32>().boxed()),
+        ),
+        (
+            option_of(wire_string().boxed()),
+            option_of(any::<u64>().boxed()),
+            option_of(finite_f64().boxed()),
+        ),
+    )
+        .prop_map(
+            |(id, status, session, (rank, psi, from, to), (error, miss_resource, miss_ratio))| {
+                OutcomeFrame {
+                    id,
+                    status,
+                    session,
+                    rank,
+                    psi,
+                    from,
+                    to,
+                    error,
+                    miss_resource,
+                    miss_ratio,
+                }
+            },
+        )
+}
+
+fn stats_frame() -> impl Strategy<Value = StatsFrame> {
+    (
+        any::<u64>(),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>()),
+        (finite_f64(), finite_f64(), any::<bool>()),
+    )
+        .prop_map(
+            |(
+                id,
+                (rounds, requests, establishments, releases),
+                (live_sessions, connections),
+                (total_available, total_capacity, over_committed),
+            )| StatsFrame {
+                id,
+                rounds,
+                requests,
+                establishments,
+                releases,
+                live_sessions,
+                connections,
+                total_available,
+                total_capacity,
+                over_committed,
+            },
+        )
+}
+
+fn response_frame() -> impl Strategy<Value = ResponseFrame> {
+    prop_oneof![
+        outcome_frame().prop_map(ResponseFrame::Outcome).boxed(),
+        (any::<u64>(), any::<u64>(), finite_f64())
+            .prop_map(|(id, session, released)| ResponseFrame::Terminated {
+                id,
+                session,
+                released,
+            })
+            .boxed(),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            finite_f64(),
+            any::<bool>()
+        )
+            .prop_map(
+                |(id, session, rank, psi, upgraded)| ResponseFrame::Renegotiated {
+                    id,
+                    session,
+                    rank,
+                    psi,
+                    upgraded,
+                }
+            )
+            .boxed(),
+        stats_frame().prop_map(ResponseFrame::Stats).boxed(),
+        any::<u64>()
+            .prop_map(|id| ResponseFrame::Pong { id })
+            .boxed(),
+        (option_of(any::<u64>().boxed()), wire_string())
+            .prop_map(|(id, message)| ResponseFrame::Error { id, message })
+            .boxed(),
+        any::<u64>()
+            .prop_map(|drained| ResponseFrame::Bye { drained })
+            .boxed(),
+    ]
+}
+
+/// Encodes `frame`, decodes it back, and checks the round trip plus the
+/// clean-EOF contract (one frame in the buffer, nothing after it).
+fn roundtrip<T>(frame: &T)
+where
+    T: PartialEq + std::fmt::Debug + serde::Serialize + serde::Deserialize,
+{
+    let mut buf = Vec::new();
+    write_frame(&mut buf, frame).expect("encode");
+    let mut cursor = Cursor::new(buf);
+    let back: T = read_frame(&mut cursor).expect("decode").expect("one frame");
+    assert_eq!(&back, frame);
+    let eof: Option<T> = read_frame(&mut cursor).expect("clean EOF");
+    assert!(eof.is_none(), "nothing may follow the frame");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_from_env(64))]
+
+    /// Every request verb round-trips bit-for-bit, including maximal
+    /// ids, empty batches, escaped strings, and denormal floats.
+    #[test]
+    fn request_frames_roundtrip(frame in request_frame()) {
+        roundtrip(&frame);
+    }
+
+    /// Every response verb round-trips bit-for-bit.
+    #[test]
+    fn response_frames_roundtrip(frame in response_frame()) {
+        roundtrip(&frame);
+    }
+
+    /// Chopping an encoded frame anywhere — inside the length prefix or
+    /// inside the payload — yields a clean error (or clean EOF at the
+    /// exact boundary 0), never a panic, a hang, or a bogus frame.
+    #[test]
+    fn truncation_anywhere_is_clean(frame in request_frame(), cut in 0usize..4096) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).expect("encode");
+        let cut = cut % buf.len(); // 0 <= cut < len: always strictly truncated
+        buf.truncate(cut);
+        let mut cursor = Cursor::new(buf);
+        match read_frame::<_, RequestFrame>(&mut cursor) {
+            Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only at the frame boundary"),
+            Ok(Some(_)) => prop_assert!(false, "decoded a frame from a truncated stream"),
+            Err(WireError::Truncated { .. }) | Err(WireError::Io(_)) | Err(WireError::Json(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+    }
+
+    /// Arbitrary garbage bytes never panic the decoder: any outcome is
+    /// a clean EOF, a clean error, or (if the bytes happen to spell a
+    /// valid frame) something that re-encodes losslessly.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut cursor = Cursor::new(bytes);
+        // An accidental valid frame must still be lawful; any other
+        // outcome (clean EOF or clean error) is fine.
+        if let Ok(Some(frame)) = read_frame::<_, RequestFrame>(&mut cursor) {
+            roundtrip(&frame);
+        }
+    }
+
+    /// A length prefix beyond `MAX_FRAME_LEN` is rejected as oversized
+    /// before any payload is read or allocated, whatever follows it.
+    #[test]
+    fn oversized_prefixes_are_rejected(extra in 1u32..1024, tail in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let len = MAX_FRAME_LEN as u32 + extra;
+        let mut buf = len.to_be_bytes().to_vec();
+        buf.extend_from_slice(&tail);
+        let mut cursor = Cursor::new(buf);
+        match read_frame::<_, RequestFrame>(&mut cursor) {
+            Err(WireError::Oversized { len: l }) => prop_assert_eq!(l, len as usize),
+            other => prop_assert!(false, "expected Oversized, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    /// An empty payload (`len == 0`) is not valid JSON, so it errors
+    /// cleanly rather than producing a frame.
+    #[test]
+    fn empty_payload_is_a_clean_error(tail in proptest::collection::vec(any::<u8>(), 0..8)) {
+        let mut buf = 0u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(&tail);
+        let mut cursor = Cursor::new(buf);
+        prop_assert!(matches!(
+            read_frame::<_, RequestFrame>(&mut cursor),
+            Err(WireError::Json(_))
+        ));
+    }
+
+    /// The hot-path request encoder is byte-identical to the generic
+    /// one for every frame — the fast path is an optimization, never a
+    /// dialect. (Frames outside the fast shape fall through to the
+    /// generic encoder inside `write_request_frame`, so the equality
+    /// holds unconditionally.)
+    #[test]
+    fn fast_request_encoder_is_byte_identical(frame in request_frame()) {
+        let mut generic = Vec::new();
+        write_frame(&mut generic, &frame).expect("generic encode");
+        let mut fast = Vec::new();
+        write_request_frame(&mut fast, &frame).expect("fast encode");
+        prop_assert_eq!(fast, generic);
+    }
+
+    /// The hot-path response encoder is byte-identical to the generic
+    /// one for every frame.
+    #[test]
+    fn fast_response_encoder_is_byte_identical(frame in response_frame()) {
+        let mut generic = Vec::new();
+        write_frame(&mut generic, &frame).expect("generic encode");
+        let mut fast = Vec::new();
+        write_response_frame(&mut fast, &frame).expect("fast encode");
+        prop_assert_eq!(fast, generic);
+    }
+
+    /// The hot-path request reader decodes every generically-encoded
+    /// frame to the same value the generic reader does (the fast
+    /// scanner either matches exactly or falls back — it never decodes
+    /// to something different).
+    #[test]
+    fn fast_request_reader_agrees_with_generic(frame in request_frame()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).expect("encode");
+        let back = read_request_frame(&mut Cursor::new(buf))
+            .expect("fast decode")
+            .expect("one frame");
+        prop_assert_eq!(back, frame);
+    }
+
+    /// The hot-path response reader decodes every generically-encoded
+    /// frame to the same value the generic reader does.
+    #[test]
+    fn fast_response_reader_agrees_with_generic(frame in response_frame()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).expect("encode");
+        let back = read_response_frame(&mut Cursor::new(buf))
+            .expect("fast decode")
+            .expect("one frame");
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Garbage bytes never panic the fast readers either, and anything
+    /// they do accept must agree with the generic decoder (the strict
+    /// scanner can only ever accept a subset of what serde accepts).
+    #[test]
+    fn garbage_never_panics_the_fast_readers(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(Some(frame)) = read_request_frame(&mut Cursor::new(bytes.clone())) {
+            let generic = read_frame::<_, RequestFrame>(&mut Cursor::new(bytes.clone()))
+                .expect("generic decode")
+                .expect("one frame");
+            prop_assert_eq!(frame, generic);
+        }
+        if let Ok(Some(frame)) = read_response_frame(&mut Cursor::new(bytes.clone())) {
+            let generic = read_frame::<_, ResponseFrame>(&mut Cursor::new(bytes))
+                .expect("generic decode")
+                .expect("one frame");
+            prop_assert_eq!(frame, generic);
+        }
+    }
+}
