@@ -1,0 +1,320 @@
+//! Advance-reservation benchmarks: the O(log n) reservation index
+//! against the linear-scan timeline oracle, plus the admitted-volume
+//! uplift of malleable (deadline-driven) bulk-transfer planning over
+//! naive rigid peak-rate booking.
+//!
+//! Two figures back the malleable-reservation design:
+//!
+//! 1. **Window queries.** `TimelineIndex::max_reserved` (treap with
+//!    subtree prefix-max aggregates) against `Timeline::max_reserved`
+//!    (ordered scan) at one million bookings. The two are held to
+//!    bit-identical answers on sample windows before anything is timed
+//!    — the index is the oracle's drop-in replacement, just sublinear.
+//! 2. **Admitted volume.** The same bulk-transfer workload offered to
+//!    a registry twice: once as rigid peak-rate windows (the only
+//!    encoding the old API had) and once as malleable requests that
+//!    let the planner pick start, duration, and rate under a deadline.
+//!    Malleable planning books around the rigid obstacle pattern the
+//!    rigid encoding collides with, so it admits strictly more volume.
+//!
+//! `--bench` mode writes `BENCH_advance.json` at the workspace root
+//! and fails unless the index is ≥ 10× faster and the uplift is > 1;
+//! `--quick` shortens the measurement window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qosr_broker::{
+    AdvanceRegistry, AdvanceRequest, SessionId, SimTime, Timeline, TimelineBroker, TimelineIndex,
+};
+use qosr_model::{ResourceId, ResourceVector};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::Serialize;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Bookings loaded into both structures before querying (`--bench`
+/// mode; the smoke run scales down — the acceptance figure is claimed
+/// at this size).
+const BOOKINGS: usize = 1_000_000;
+/// Horizon the bookings scatter over, in TU.
+const HORIZON: u64 = 1_000_000;
+/// Query windows cycled during measurement.
+const QUERIES: usize = 256;
+/// Differential-oracle checks before timing.
+const CHECKS: usize = 200;
+
+/// Uplift workload: one resource of this capacity…
+const CAPACITY: f64 = 100.0;
+/// …pre-loaded with rigid obstacle sessions of this demand…
+const OBSTACLE_AMOUNT: f64 = 70.0;
+/// …occupying the first half of every period of this length.
+const OBSTACLE_PERIOD: f64 = 20.0;
+const OBSTACLE_BUSY: f64 = 10.0;
+const OBSTACLES: usize = 52;
+/// Transfers offered on top of the obstacles: `TRANSFER_VOLUME` units
+/// each, arriving every `TRANSFER_SPACING` TU with `TRANSFER_SLACK` TU
+/// until the deadline, rate-capped at `TRANSFER_RATE`.
+const TRANSFERS: usize = 60;
+const TRANSFER_VOLUME: f64 = 400.0;
+const TRANSFER_RATE: f64 = 50.0;
+const TRANSFER_SPACING: f64 = 16.0;
+const TRANSFER_SLACK: f64 = 24.0;
+
+/// Builds the oracle and the index holding the same `count` bookings.
+/// Integer amounts keep every level sum exact, so the two must agree
+/// bitwise on any window.
+fn build_structures(count: usize) -> (Timeline, TimelineIndex) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut oracle = Timeline::new();
+    let mut index = TimelineIndex::new();
+    for _ in 0..count {
+        let from = rng.random_range(0..HORIZON) as f64;
+        let len = rng.random_range(1..1000u64) as f64;
+        let amount = rng.random_range(1..100u64) as f64;
+        let (from, to) = (SimTime::new(from), SimTime::new(from + len));
+        oracle.add(from, to, amount);
+        index.add(from, to, amount);
+    }
+    (oracle, index)
+}
+
+/// Random query windows spanning short probes to quarter-horizon scans.
+fn query_windows(count: usize) -> Vec<(SimTime, SimTime)> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..count)
+        .map(|_| {
+            let from = rng.random_range(0..HORIZON) as f64;
+            let len = rng.random_range(1..HORIZON / 4) as f64;
+            (SimTime::new(from), SimTime::new(from + len))
+        })
+        .collect()
+}
+
+/// Measures `f` with doubling calibration up to `target`, returning
+/// mean ns per call.
+fn time_ns(mut f: impl FnMut(), target: Duration) -> f64 {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= target || iters >= u64::MAX / 4 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        let per_iter = (elapsed.as_nanos() / u128::from(iters)).max(1);
+        iters = ((target.as_nanos() / per_iter) as u64).max(iters * 2);
+    }
+}
+
+/// One fresh registry with the periodic rigid obstacle pattern booked.
+fn registry_with_obstacles(rid: ResourceId) -> AdvanceRegistry {
+    let mut registry = AdvanceRegistry::new();
+    registry.register(Arc::new(TimelineBroker::new(rid, CAPACITY)));
+    for k in 0..OBSTACLES {
+        let from = k as f64 * OBSTACLE_PERIOD;
+        let demand = ResourceVector::from_pairs([(rid, OBSTACLE_AMOUNT)]).expect("demand");
+        let request = AdvanceRequest::rigid(
+            SessionId(k as u64 + 1),
+            demand,
+            SimTime::new(from),
+            SimTime::new(from + OBSTACLE_BUSY),
+        );
+        assert!(
+            registry.book(&request, SimTime::ZERO).is_booked(),
+            "obstacles fit an empty timeline"
+        );
+    }
+    registry
+}
+
+/// Offers the transfer workload twice — rigid peak-rate windows vs
+/// malleable deadline requests — returning
+/// `(rigid_volume, rigid_count, malleable_volume, malleable_count)`.
+fn admitted_volumes(rid: ResourceId) -> (f64, usize, f64, usize) {
+    let rigid_reg = registry_with_obstacles(rid);
+    let malleable_reg = registry_with_obstacles(rid);
+    let (mut rigid_volume, mut rigid_count) = (0.0, 0);
+    let (mut malleable_volume, mut malleable_count) = (0.0, 0);
+    for i in 0..TRANSFERS {
+        let session = SessionId(1000 + i as u64);
+        let arrival = i as f64 * TRANSFER_SPACING;
+        // Rigid encoding: the transfer as a fixed window at peak rate
+        // starting now — all the old positional API could express.
+        let duration = TRANSFER_VOLUME / TRANSFER_RATE;
+        let demand = ResourceVector::from_pairs([(rid, TRANSFER_RATE)]).expect("demand");
+        let request = AdvanceRequest::rigid(
+            session,
+            demand,
+            SimTime::new(arrival),
+            SimTime::new(arrival + duration),
+        );
+        if rigid_reg.book(&request, SimTime::new(arrival)).is_booked() {
+            rigid_volume += TRANSFER_VOLUME;
+            rigid_count += 1;
+        }
+        // Malleable encoding: same volume, same resource, a deadline —
+        // start, duration, and rate are the planner's to choose.
+        let request = AdvanceRequest::malleable(
+            session,
+            rid,
+            TRANSFER_VOLUME,
+            SimTime::new(arrival + TRANSFER_SLACK),
+        )
+        .earliest(SimTime::new(arrival))
+        .max_rate(TRANSFER_RATE);
+        if let Some(profile) = malleable_reg
+            .book(&request, SimTime::new(arrival))
+            .profile()
+        {
+            malleable_volume += profile.volume;
+            malleable_count += 1;
+        }
+    }
+    (rigid_volume, rigid_count, malleable_volume, malleable_count)
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    unit: &'static str,
+    bookings: usize,
+    horizon_tu: u64,
+    breakpoints: usize,
+    oracle_ns_per_query: f64,
+    index_ns_per_query: f64,
+    /// `oracle / index` — the acceptance figure (must be ≥ 10).
+    query_speedup: f64,
+    transfers_offered: usize,
+    transfer_volume: f64,
+    rigid_admitted_transfers: usize,
+    rigid_admitted_volume: f64,
+    malleable_admitted_transfers: usize,
+    malleable_admitted_volume: f64,
+    /// `malleable / rigid` admitted volume (must be > 1).
+    admitted_volume_uplift: f64,
+}
+
+fn bench_advance(c: &mut Criterion) {
+    let bench_mode = std::env::args().any(|a| a == "--bench");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let target = if quick {
+        Duration::from_millis(60)
+    } else {
+        Duration::from_millis(400)
+    };
+    // The headline claim is made at a million bookings; the smoke run
+    // (no `--bench`, no JSON) only exercises the paths.
+    let bookings = if bench_mode { BOOKINGS } else { 20_000 };
+
+    let (oracle, index) = build_structures(bookings);
+    assert_eq!(
+        oracle.breakpoints(),
+        index.breakpoints(),
+        "oracle and index must hold the same breakpoint set"
+    );
+    let windows = query_windows(QUERIES);
+    for &(from, to) in windows.iter().cycle().take(CHECKS) {
+        let want = oracle.max_reserved(from, to);
+        let got = index.max_reserved(from, to);
+        assert_eq!(
+            want.to_bits(),
+            got.to_bits(),
+            "index must answer bit-identically to the oracle on [{from}, {to})"
+        );
+    }
+
+    let mut group = c.benchmark_group("advance");
+    let mut i = 0usize;
+    group.bench_function("oracle_window_query", |b| {
+        b.iter(|| {
+            let (from, to) = windows[i % windows.len()];
+            i += 1;
+            black_box(oracle.max_reserved(from, to));
+        })
+    });
+    let mut j = 0usize;
+    group.bench_function("index_window_query", |b| {
+        b.iter(|| {
+            let (from, to) = windows[j % windows.len()];
+            j += 1;
+            black_box(index.max_reserved(from, to));
+        })
+    });
+    group.finish();
+
+    let rid = ResourceId(0);
+    let (rigid_volume, rigid_count, malleable_volume, malleable_count) = admitted_volumes(rid);
+    assert!(
+        rigid_volume > 0.0,
+        "the rigid baseline must admit something for the uplift to be a ratio"
+    );
+    let uplift = malleable_volume / rigid_volume;
+
+    if !bench_mode {
+        return; // smoke run (cargo test / CI): no JSON
+    }
+
+    let mut i = 0usize;
+    let oracle_ns = time_ns(
+        || {
+            let (from, to) = windows[i % windows.len()];
+            i += 1;
+            black_box(oracle.max_reserved(from, to));
+        },
+        target,
+    );
+    let mut j = 0usize;
+    let index_ns = time_ns(
+        || {
+            let (from, to) = windows[j % windows.len()];
+            j += 1;
+            black_box(index.max_reserved(from, to));
+        },
+        target,
+    );
+    let speedup = oracle_ns / index_ns;
+    println!(
+        "oracle {oracle_ns:.0} ns/query, index {index_ns:.0} ns/query, speedup {speedup:.1}x; \
+         admitted volume rigid {rigid_volume:.0} ({rigid_count} transfers) vs malleable \
+         {malleable_volume:.0} ({malleable_count} transfers), uplift {uplift:.2}x"
+    );
+    assert!(
+        speedup >= 10.0,
+        "the reservation index must answer window queries ≥ 10x faster than the \
+         linear-scan oracle at {bookings} bookings (got {speedup:.1}x)"
+    );
+    assert!(
+        uplift > 1.0,
+        "malleable planning must admit more volume than rigid peak-rate booking \
+         (got {uplift:.2}x)"
+    );
+
+    let report = BenchReport {
+        bench: "advance",
+        unit: "ns/query",
+        bookings,
+        horizon_tu: HORIZON,
+        breakpoints: index.breakpoints(),
+        oracle_ns_per_query: oracle_ns,
+        index_ns_per_query: index_ns,
+        query_speedup: speedup,
+        transfers_offered: TRANSFERS,
+        transfer_volume: TRANSFER_VOLUME,
+        rigid_admitted_transfers: rigid_count,
+        rigid_admitted_volume: rigid_volume,
+        malleable_admitted_transfers: malleable_count,
+        malleable_admitted_volume: malleable_volume,
+        admitted_volume_uplift: uplift,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_advance.json");
+    let file = std::fs::File::create(path).expect("create BENCH_advance.json");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), &report)
+        .expect("serialize bench report");
+    println!("-> {path}");
+}
+
+criterion_group!(benches, bench_advance);
+criterion_main!(benches);

@@ -11,21 +11,55 @@
 //! machinery: [`AdvanceRegistry::snapshot_window`] produces an
 //! [`AvailabilityView`] of per-resource window minima, and any planner
 //! from `qosr-core` runs on it unchanged.
+//!
+//! Two timeline representations coexist:
+//!
+//! * [`Timeline`] — the original linear delta map. Window queries scan
+//!   every breakpoint; kept as the **differential-testing oracle** (see
+//!   `tests/advance_properties.rs`) and for small registries.
+//! * [`TimelineIndex`] — a balanced search tree (treap) over the same
+//!   delta profile, augmented with subtree delta sums and maximum
+//!   prefix sums, making point levels, window maxima, and range
+//!   adds all O(log n) in the number of breakpoints. This is what
+//!   [`TimelineBroker`] runs on; `benches/advance.rs` pins the speedup
+//!   at a million bookings.
+//!
+//! Booking goes through the request/outcome API in
+//! [`malleable`](crate::malleable): build an
+//! [`AdvanceRequest`](crate::AdvanceRequest) (rigid window or malleable
+//! bulk transfer) and hand it to [`AdvanceRegistry::book`], which
+//! returns a structured [`AdvanceOutcome`](crate::AdvanceOutcome). The
+//! positional `reserve_over`/`reserve_all_over` entry points remain as
+//! deprecated one-release shims.
 
+use crate::malleable::{
+    book_malleable, AdvanceOutcome, AdvanceProfile, AdvanceRequest, AdvanceShape, MalleableSpec,
+};
 use crate::{ReserveError, SessionId, SimTime};
 use parking_lot::Mutex;
 use qosr_core::AvailabilityView;
 use qosr_model::{ResourceId, ResourceVector};
-use qosr_obs::{EventKind, NullSink, TraceEvent, TraceSink};
+use qosr_obs::{Counters, EventKind, NullSink, TraceEvent, TraceSink};
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+
+/// Deltas at or below this magnitude are dropped: they separate two
+/// segments at (numerically) the same level, so pruning them *is* the
+/// merge of adjacent equal-valued segments. [`Timeline`] and
+/// [`TimelineIndex`] share the threshold so their breakpoint sets stay
+/// in lockstep under identical operation sequences.
+const DELTA_EPS: f64 = 1e-12;
 
 /// A piecewise-constant "reserved amount" profile over time.
 ///
 /// Stored as a delta map: at each breakpoint time the reserved total
 /// changes by the stored delta. The reserved amount before the first
 /// breakpoint is zero (plus whatever [`Timeline::compact`] folded into
-/// the base).
+/// the base). Queries scan breakpoints linearly — O(n) per window —
+/// which is why [`TimelineBroker`] runs on the logarithmic
+/// [`TimelineIndex`] instead and keeps this type as its
+/// differential-testing oracle.
 #[derive(Debug, Clone, Default)]
 pub struct Timeline {
     /// Reserved amount before the first remaining breakpoint.
@@ -62,23 +96,30 @@ impl Timeline {
         max
     }
 
-    /// Adds `amount` over `[from, to)`.
+    /// Adds `amount` over `[from, to)`. Deltas that cancel to (near)
+    /// zero are pruned immediately, so abutting equal-rate windows do
+    /// not accumulate breakpoints between them.
     pub fn add(&mut self, from: SimTime, to: SimTime, amount: f64) {
         assert!(from < to, "window must be non-empty");
-        *self.deltas.entry(from).or_insert(0.0) += amount;
-        *self.deltas.entry(to).or_insert(0.0) -= amount;
+        for (key, signed) in [(from, amount), (to, -amount)] {
+            let entry = self.deltas.entry(key).or_insert(0.0);
+            *entry += signed;
+            if entry.abs() <= DELTA_EPS {
+                self.deltas.remove(&key);
+            }
+        }
     }
 
     /// Removes a previously added window (exact inverse of
     /// [`Timeline::add`]).
     pub fn remove(&mut self, from: SimTime, to: SimTime, amount: f64) {
         self.add(from, to, -amount);
-        // Drop zero deltas to keep the map tight.
-        self.deltas.retain(|_, d| d.abs() > 1e-12);
     }
 
-    /// Folds all breakpoints at or before `now` into the base level,
-    /// bounding memory for long-running brokers.
+    /// Folds all breakpoints strictly before `now` into the base level
+    /// and merges adjacent equal-valued segments (near-zero deltas left
+    /// over from float cancellation), bounding memory for long-running
+    /// brokers.
     pub fn compact(&mut self, now: SimTime) {
         let keep = self.deltas.split_off(&now);
         // `split_off(&now)` keeps keys >= now in `keep`; fold the rest.
@@ -86,11 +127,307 @@ impl Timeline {
             self.base += d;
         }
         self.deltas = keep;
+        // A (near-)zero delta separates two segments at the same level:
+        // dropping it merges them.
+        self.deltas.retain(|_, d| d.abs() > DELTA_EPS);
     }
 
     /// Number of breakpoints currently stored.
     pub fn breakpoints(&self) -> usize {
         self.deltas.len()
+    }
+}
+
+/// One node of the [`TimelineIndex`] treap: a breakpoint (`key`,
+/// `delta`) plus cached subtree aggregates.
+#[derive(Debug, Clone)]
+struct IndexNode {
+    key: SimTime,
+    delta: f64,
+    /// Heap priority — a deterministic hash of the key bits, so tree
+    /// shape (and thus float association) is a pure function of the
+    /// breakpoint set, independent of insertion order.
+    priority: u64,
+    /// Sum of deltas in this subtree.
+    sum: f64,
+    /// Maximum over the subtree's in-order delta prefix sums
+    /// (`NEG_INFINITY` never appears on a live node).
+    maxp: f64,
+    /// Node count of this subtree.
+    cnt: usize,
+    left: Option<Box<IndexNode>>,
+    right: Option<Box<IndexNode>>,
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `(sum, max-prefix-sum)` of a possibly-empty subtree. The empty
+/// aggregate is `(0, -∞)`: it contributes nothing to sums and never
+/// wins a max.
+fn node_agg(node: &Option<Box<IndexNode>>) -> (f64, f64) {
+    match node {
+        None => (0.0, f64::NEG_INFINITY),
+        Some(n) => (n.sum, n.maxp),
+    }
+}
+
+fn node_cnt(node: &Option<Box<IndexNode>>) -> usize {
+    node.as_ref().map_or(0, |n| n.cnt)
+}
+
+impl IndexNode {
+    fn new(key: SimTime, delta: f64) -> Self {
+        IndexNode {
+            key,
+            delta,
+            priority: splitmix64(key.value().to_bits()),
+            sum: delta,
+            maxp: delta,
+            cnt: 1,
+            left: None,
+            right: None,
+        }
+    }
+
+    /// Recomputes this node's aggregates from its children.
+    fn pull(&mut self) {
+        let (ls, lm) = node_agg(&self.left);
+        let (rs, rm) = node_agg(&self.right);
+        let here = ls + self.delta;
+        self.sum = here + rs;
+        self.maxp = lm.max(here).max(here + rm);
+        self.cnt = 1 + node_cnt(&self.left) + node_cnt(&self.right);
+    }
+}
+
+/// An O(log n) reservation timeline: the same piecewise-constant delta
+/// profile as [`Timeline`], held in a treap keyed by breakpoint time
+/// and augmented with subtree delta sums and maximum prefix sums.
+///
+/// * [`TimelineIndex::add`]/[`TimelineIndex::remove`] — two point
+///   upserts, O(log n) each.
+/// * [`TimelineIndex::max_reserved`] — a prefix-sum query at the window
+///   start plus one max-prefix aggregate over the open interval,
+///   O(log n) total (the linear [`Timeline`] walks every breakpoint).
+/// * [`TimelineIndex::compact`] — folds expired breakpoints into the
+///   base using cached subtree sums.
+///
+/// Tree shape is deterministic in the breakpoint *set* (priorities are
+/// hashed from key bits), so query results do not depend on the order
+/// in which bookings arrived.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineIndex {
+    /// Reserved amount before the first remaining breakpoint.
+    base: f64,
+    root: Option<Box<IndexNode>>,
+}
+
+impl TimelineIndex {
+    /// An empty index (nothing reserved, ever).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` over `[from, to)` — two O(log n) point-delta
+    /// upserts. Deltas cancelling to (near) zero are pruned, mirroring
+    /// [`Timeline::add`].
+    pub fn add(&mut self, from: SimTime, to: SimTime, amount: f64) {
+        assert!(from < to, "window must be non-empty");
+        Self::upsert(&mut self.root, from, amount);
+        Self::upsert(&mut self.root, to, -amount);
+    }
+
+    /// Removes a previously added window (exact inverse of
+    /// [`TimelineIndex::add`]).
+    pub fn remove(&mut self, from: SimTime, to: SimTime, amount: f64) {
+        self.add(from, to, -amount);
+    }
+
+    /// The reserved level at time `at` (base plus all deltas with key
+    /// `<= at`), in O(log n).
+    pub fn level_at(&self, at: SimTime) -> f64 {
+        self.base + Self::sum_upto(&self.root, at)
+    }
+
+    /// The maximum reserved amount over `[from, to)`, in O(log n) —
+    /// same window semantics as [`Timeline::max_reserved`].
+    pub fn max_reserved(&self, from: SimTime, to: SimTime) -> f64 {
+        assert!(from <= to, "window must be ordered");
+        let level = self.level_at(from);
+        if from < to {
+            let (_, maxp) = Self::agg_open(&self.root, Some(from), Some(to));
+            // Empty interval → maxp = -∞ → `level` wins.
+            level.max(level + maxp)
+        } else {
+            level
+        }
+    }
+
+    /// Folds all breakpoints strictly before `now` into the base level.
+    /// Each fully-expired subtree is folded in O(1) via its cached sum.
+    pub fn compact(&mut self, now: SimTime) {
+        let mut folded = 0.0;
+        self.root = Self::compact_rec(self.root.take(), now, &mut folded);
+        self.base += folded;
+    }
+
+    /// Number of breakpoints currently stored.
+    pub fn breakpoints(&self) -> usize {
+        node_cnt(&self.root)
+    }
+
+    /// Breakpoint times strictly after `from`, ascending — the instants
+    /// where availability changes, used by the malleable planner to
+    /// enumerate candidate start times.
+    pub fn breakpoints_after(&self, from: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        Self::collect_after(&self.root, from, &mut out);
+        out
+    }
+
+    fn upsert(slot: &mut Option<Box<IndexNode>>, key: SimTime, amount: f64) {
+        let Some(mut node) = slot.take() else {
+            if amount.abs() > DELTA_EPS {
+                *slot = Some(Box::new(IndexNode::new(key, amount)));
+            }
+            return;
+        };
+        match key.cmp(&node.key) {
+            Ordering::Equal => {
+                node.delta += amount;
+                if node.delta.abs() <= DELTA_EPS {
+                    *slot = Self::merge(node.left.take(), node.right.take());
+                } else {
+                    node.pull();
+                    *slot = Some(node);
+                }
+            }
+            Ordering::Less => {
+                Self::upsert(&mut node.left, key, amount);
+                if node
+                    .left
+                    .as_ref()
+                    .is_some_and(|l| l.priority > node.priority)
+                {
+                    let mut l = node.left.take().expect("left checked above");
+                    node.left = l.right.take();
+                    node.pull();
+                    l.right = Some(node);
+                    l.pull();
+                    *slot = Some(l);
+                } else {
+                    node.pull();
+                    *slot = Some(node);
+                }
+            }
+            Ordering::Greater => {
+                Self::upsert(&mut node.right, key, amount);
+                if node
+                    .right
+                    .as_ref()
+                    .is_some_and(|r| r.priority > node.priority)
+                {
+                    let mut r = node.right.take().expect("right checked above");
+                    node.right = r.left.take();
+                    node.pull();
+                    r.left = Some(node);
+                    r.pull();
+                    *slot = Some(r);
+                } else {
+                    node.pull();
+                    *slot = Some(node);
+                }
+            }
+        }
+    }
+
+    fn merge(a: Option<Box<IndexNode>>, b: Option<Box<IndexNode>>) -> Option<Box<IndexNode>> {
+        match (a, b) {
+            (None, x) | (x, None) => x,
+            (Some(mut a), Some(b)) if a.priority > b.priority => {
+                a.right = Self::merge(a.right.take(), Some(b));
+                a.pull();
+                Some(a)
+            }
+            (Some(a), Some(mut b)) => {
+                b.left = Self::merge(Some(a), b.left.take());
+                b.pull();
+                Some(b)
+            }
+        }
+    }
+
+    /// Sum of deltas with key `<= key`.
+    fn sum_upto(node: &Option<Box<IndexNode>>, key: SimTime) -> f64 {
+        match node {
+            None => 0.0,
+            Some(n) if n.key <= key => {
+                node_agg(&n.left).0 + n.delta + Self::sum_upto(&n.right, key)
+            }
+            Some(n) => Self::sum_upto(&n.left, key),
+        }
+    }
+
+    /// `(sum, max-prefix-sum)` over keys strictly inside `(lo, hi)`
+    /// (`None` = unbounded). Once a side is unbounded the cached
+    /// aggregates answer whole subtrees, keeping the walk O(log n).
+    fn agg_open(
+        node: &Option<Box<IndexNode>>,
+        lo: Option<SimTime>,
+        hi: Option<SimTime>,
+    ) -> (f64, f64) {
+        let Some(n) = node else {
+            return (0.0, f64::NEG_INFINITY);
+        };
+        if lo.is_none() && hi.is_none() {
+            return (n.sum, n.maxp);
+        }
+        if lo.is_some_and(|l| n.key <= l) {
+            return Self::agg_open(&n.right, lo, hi);
+        }
+        if hi.is_some_and(|h| n.key >= h) {
+            return Self::agg_open(&n.left, lo, hi);
+        }
+        let (ls, lm) = Self::agg_open(&n.left, lo, None);
+        let (rs, rm) = Self::agg_open(&n.right, None, hi);
+        let here = ls + n.delta;
+        (here + rs, lm.max(here).max(here + rm))
+    }
+
+    fn compact_rec(
+        node: Option<Box<IndexNode>>,
+        now: SimTime,
+        folded: &mut f64,
+    ) -> Option<Box<IndexNode>> {
+        let mut n = node?;
+        if n.key < now {
+            // This node and its whole left subtree expire: fold their
+            // delta sum in one cached-aggregate read.
+            *folded += node_agg(&n.left).0 + n.delta;
+            Self::compact_rec(n.right.take(), now, folded)
+        } else {
+            n.left = Self::compact_rec(n.left.take(), now, folded);
+            n.pull();
+            Some(n)
+        }
+    }
+
+    fn collect_after(node: &Option<Box<IndexNode>>, from: SimTime, out: &mut Vec<SimTime>) {
+        let Some(n) = node else {
+            return;
+        };
+        if n.key > from {
+            Self::collect_after(&n.left, from, out);
+            out.push(n.key);
+            Self::collect_after(&n.right, from, out);
+        } else {
+            Self::collect_after(&n.right, from, out);
+        }
     }
 }
 
@@ -105,17 +442,57 @@ pub struct Booking {
     pub amount: f64,
 }
 
+impl Booking {
+    /// The booking's volume: `amount × (to − from)`.
+    pub fn volume(&self) -> f64 {
+        self.amount * self.to.since(self.from)
+    }
+}
+
+/// What a cancellation released: the structured result of
+/// [`TimelineBroker::cancel`] and [`AdvanceRegistry::cancel_all`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CancelOutcome {
+    /// Total volume released — Σ `amount × (to − from)` over the
+    /// removed bookings.
+    pub released_volume: f64,
+    /// How many bookings were removed.
+    pub bookings_removed: usize,
+}
+
+impl CancelOutcome {
+    /// `true` when the session held no bookings.
+    pub fn is_empty(&self) -> bool {
+        self.bookings_removed == 0
+    }
+
+    /// Folds another outcome into this one (for aggregating across
+    /// brokers).
+    pub fn absorb(&mut self, other: CancelOutcome) {
+        self.released_volume += other.released_volume;
+        self.bookings_removed += other.bookings_removed;
+    }
+}
+
 /// An advance-reservation broker for one resource: a capacity plus a
-/// reservation [`Timeline`] and a per-session booking ledger.
+/// reservation [`TimelineIndex`] and a per-session booking ledger.
+///
+/// Booking goes through [`AdvanceRegistry::book`] with an
+/// [`AdvanceRequest`](crate::AdvanceRequest):
 ///
 /// ```
-/// use qosr_broker::{SessionId, SimTime, TimelineBroker};
-/// use qosr_model::ResourceId;
-/// let b = TimelineBroker::new(ResourceId(0), 100.0);
+/// use qosr_broker::{AdvanceRegistry, AdvanceRequest, SessionId, SimTime, TimelineBroker};
+/// use qosr_model::{ResourceId, ResourceVector};
+/// use std::sync::Arc;
+/// let mut reg = AdvanceRegistry::new();
+/// reg.register(Arc::new(TimelineBroker::new(ResourceId(0), 100.0)));
 /// let (t9, t12) = (SimTime::new(9.0), SimTime::new(12.0));
-/// b.reserve_over(SessionId(1), 60.0, t9, t12).unwrap();
-/// assert_eq!(b.available_over(t9, t12), 40.0);
-/// assert_eq!(b.available_over(t12, SimTime::new(20.0)), 100.0);
+/// let demand = ResourceVector::from_pairs([(ResourceId(0), 60.0)]).unwrap();
+/// let request = AdvanceRequest::rigid(SessionId(1), demand, t9, t12);
+/// assert!(reg.book(&request, SimTime::ZERO).is_booked());
+/// let broker = reg.get(ResourceId(0)).unwrap();
+/// assert_eq!(broker.available_over(t9, t12), 40.0);
+/// assert_eq!(broker.available_over(t12, SimTime::new(20.0)), 100.0);
 /// ```
 pub struct TimelineBroker {
     resource: ResourceId,
@@ -125,7 +502,7 @@ pub struct TimelineBroker {
 
 #[derive(Debug, Default)]
 struct TimelineInner {
-    timeline: Timeline,
+    index: TimelineIndex,
     ledger: HashMap<SessionId, Vec<Booking>>,
 }
 
@@ -158,12 +535,27 @@ impl TimelineBroker {
 
     /// The guaranteed (minimum) availability over `[from, to)`.
     pub fn available_over(&self, from: SimTime, to: SimTime) -> f64 {
-        self.capacity - self.inner.lock().timeline.max_reserved(from, to)
+        self.capacity - self.inner.lock().index.max_reserved(from, to)
+    }
+
+    /// The availability profile from `from` onward: one `(time,
+    /// available)` entry per level change, starting at `from` itself,
+    /// ascending. The final entry's availability extends indefinitely.
+    /// This is the piecewise-constant input the malleable planner
+    /// sweeps.
+    pub fn availability_after(&self, from: SimTime) -> Vec<(SimTime, f64)> {
+        let inner = self.inner.lock();
+        let mut out = vec![(from, self.capacity - inner.index.level_at(from))];
+        for key in inner.index.breakpoints_after(from) {
+            out.push((key, self.capacity - inner.index.level_at(key)));
+        }
+        out
     }
 
     /// Books `amount` over `[from, to)` for `session`; rejected if the
-    /// window's minimum availability cannot cover it.
-    pub fn reserve_over(
+    /// window's minimum availability cannot cover it. The checked core
+    /// behind both rigid and malleable booking.
+    pub(crate) fn reserve_window(
         &self,
         session: SessionId,
         amount: f64,
@@ -177,7 +569,7 @@ impl TimelineBroker {
             });
         }
         let mut inner = self.inner.lock();
-        let available = self.capacity - inner.timeline.max_reserved(from, to);
+        let available = self.capacity - inner.index.max_reserved(from, to);
         if amount > available {
             return Err(ReserveError::Insufficient {
                 resource: self.resource,
@@ -185,7 +577,7 @@ impl TimelineBroker {
                 available,
             });
         }
-        inner.timeline.add(from, to, amount);
+        inner.index.add(from, to, amount);
         inner
             .ledger
             .entry(session)
@@ -194,19 +586,55 @@ impl TimelineBroker {
         Ok(())
     }
 
-    /// Cancels every booking of `session`, returning the total amount ×
-    /// windows released (0 when none).
-    pub fn cancel(&self, session: SessionId) -> f64 {
+    /// Books `amount` over `[from, to)` for `session`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `AdvanceRequest::rigid` and book it through `AdvanceRegistry::book`"
+    )]
+    pub fn reserve_over(
+        &self,
+        session: SessionId,
+        amount: f64,
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<(), ReserveError> {
+        self.reserve_window(session, amount, from, to)
+    }
+
+    /// Adds bookings without an admission check. Two callers rely on
+    /// this: preempt-and-repack rollback (restoring state that was
+    /// provably admitted before) and the water-fill planner (which
+    /// validates every segment against one pre-booking snapshot, then
+    /// commits the whole profile).
+    pub(crate) fn restore(&self, session: SessionId, bookings: &[Booking]) {
+        if bookings.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        for b in bookings {
+            inner.index.add(b.from, b.to, b.amount);
+        }
+        inner
+            .ledger
+            .entry(session)
+            .or_default()
+            .extend_from_slice(bookings);
+    }
+
+    /// Cancels every booking of `session`, reporting the released
+    /// volume and booking count (zeroes when none).
+    pub fn cancel(&self, session: SessionId) -> CancelOutcome {
         let mut inner = self.inner.lock();
         let Some(bookings) = inner.ledger.remove(&session) else {
-            return 0.0;
+            return CancelOutcome::default();
         };
-        let mut total = 0.0;
+        let mut outcome = CancelOutcome::default();
         for b in bookings {
-            inner.timeline.remove(b.from, b.to, b.amount);
-            total += b.amount;
+            inner.index.remove(b.from, b.to, b.amount);
+            outcome.released_volume += b.volume();
+            outcome.bookings_removed += 1;
         }
-        total
+        outcome
     }
 
     /// The bookings `session` currently holds.
@@ -219,12 +647,17 @@ impl TimelineBroker {
             .unwrap_or_default()
     }
 
+    /// Number of breakpoints in the reservation index.
+    pub fn breakpoints(&self) -> usize {
+        self.inner.lock().index.breakpoints()
+    }
+
     /// Folds expired breakpoints into the timeline base (call
     /// periodically with the current time). Past bookings stop being
     /// cancellable after compaction.
     pub fn compact(&self, now: SimTime) {
         let mut inner = self.inner.lock();
-        inner.timeline.compact(now);
+        inner.index.compact(now);
         for bookings in inner.ledger.values_mut() {
             bookings.retain(|b| b.to > now);
         }
@@ -232,19 +665,34 @@ impl TimelineBroker {
     }
 }
 
+/// One evicted session's bookings, grouped per resource, kept so a
+/// failed repack can restore them exactly.
+type SavedSession = (SessionId, Vec<(ResourceId, Vec<Booking>)>);
+
 /// Directory of [`TimelineBroker`]s with window snapshots and atomic
-/// multi-resource advance booking.
+/// multi-resource advance booking. [`AdvanceRegistry::book`] is the
+/// entry point: rigid windows commit all-or-nothing across brokers
+/// (optionally preempting and repacking malleable sessions), malleable
+/// bulk transfers get a rate profile from the deadline-window planner.
 pub struct AdvanceRegistry {
     brokers: HashMap<ResourceId, Arc<TimelineBroker>>,
-    /// Where booking conflicts are reported ([`NullSink`] by default).
+    /// Specs of admitted malleable sessions — what preempt-and-repack
+    /// replans when a rigid request needs their window.
+    malleable: Mutex<HashMap<SessionId, MalleableSpec>>,
+    /// Where booking outcomes are reported ([`NullSink`] by default).
     sink: Arc<dyn TraceSink>,
+    /// Advance booking/repack/reject counters (private instance by
+    /// default; share one via [`AdvanceRegistry::set_counters`]).
+    counters: Arc<Counters>,
 }
 
 impl Default for AdvanceRegistry {
     fn default() -> Self {
         AdvanceRegistry {
             brokers: HashMap::new(),
+            malleable: Mutex::new(HashMap::new()),
             sink: Arc::new(NullSink),
+            counters: Arc::new(Counters::new()),
         }
     }
 }
@@ -255,10 +703,16 @@ impl AdvanceRegistry {
         Self::default()
     }
 
-    /// Routes `AdvanceConflict` trace events (rolled-back window
-    /// bookings) to `sink`.
+    /// Routes advance trace events (bookings, repacks, rejections,
+    /// rolled-back conflicts) to `sink`.
     pub fn set_sink(&mut self, sink: Arc<dyn TraceSink>) {
         self.sink = sink;
+    }
+
+    /// Shares a counter set (e.g. a coordinator's) so advance outcomes
+    /// land in the same snapshot as admission counters.
+    pub fn set_counters(&mut self, counters: Arc<Counters>) {
+        self.counters = counters;
     }
 
     /// Registers a broker under its resource id.
@@ -266,7 +720,7 @@ impl AdvanceRegistry {
         self.brokers.insert(broker.resource(), broker);
     }
 
-    /// The broker for `id`, if registered.
+    /// The broker for `id`, if registered — an O(1) hash lookup.
     pub fn get(&self, id: ResourceId) -> Option<&Arc<TimelineBroker>> {
         self.brokers.get(&id)
     }
@@ -292,9 +746,103 @@ impl AdvanceRegistry {
         view
     }
 
+    /// Books an [`AdvanceRequest`], returning the structured
+    /// [`AdvanceOutcome`].
+    ///
+    /// * Rigid requests commit their demand vector all-or-nothing over
+    ///   the window. When the window is full and the request allows
+    ///   preemption, malleable sessions overlapping it are evicted, the
+    ///   rigid window is booked, and every victim is replanned around
+    ///   it ([`AdvanceOutcome::Repacked`]); if any victim cannot be
+    ///   replanned the whole repack rolls back.
+    /// * Malleable requests get a `(start, duration, rate)` profile
+    ///   from the deadline-window planner
+    ///   ([`crate::malleable`]); infeasible ones report the nearest
+    ///   deadline that *would* have fit.
+    ///
+    /// `now` stamps trace events and floors malleable start times.
+    pub fn book(&self, request: &AdvanceRequest, now: SimTime) -> AdvanceOutcome {
+        let session = request.session();
+        match request.shape() {
+            AdvanceShape::Rigid { demand, from, to } => {
+                let (from, to) = (*from, *to);
+                let psi = self.rigid_psi(demand, from, to);
+                match self.try_reserve_all(session, demand, from, to) {
+                    Ok(()) => {
+                        let profile = Self::rigid_profile(demand, from, to, psi);
+                        self.emit_booked(now, session, &profile);
+                        AdvanceOutcome::Booked { profile }
+                    }
+                    Err(error) if request.preempts() => {
+                        self.repack(session, demand, from, to, now, error)
+                    }
+                    Err(error) => {
+                        self.emit_rejected(now, session, &error, None);
+                        AdvanceOutcome::Rejected {
+                            error,
+                            nearest_feasible_deadline: None,
+                        }
+                    }
+                }
+            }
+            AdvanceShape::Malleable { resource, .. } => {
+                let Some(broker) = self.brokers.get(resource) else {
+                    let error = ReserveError::UnknownResource {
+                        resource: *resource,
+                    };
+                    self.emit_rejected(now, session, &error, None);
+                    return AdvanceOutcome::Rejected {
+                        error,
+                        nearest_feasible_deadline: None,
+                    };
+                };
+                let spec = request.malleable_spec().expect("shape checked above");
+                match book_malleable(broker, session, &spec, now) {
+                    Ok(profile) => {
+                        self.malleable.lock().insert(session, spec);
+                        self.emit_booked(now, session, &profile);
+                        AdvanceOutcome::Booked { profile }
+                    }
+                    Err((error, nearest)) => {
+                        self.emit_rejected(now, session, &error, nearest);
+                        AdvanceOutcome::Rejected {
+                            error,
+                            nearest_feasible_deadline: nearest,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Books the whole `demand` vector over `[from, to)` for `session`,
     /// all-or-nothing with rollback.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `AdvanceRequest::rigid` and book it through `AdvanceRegistry::book`"
+    )]
     pub fn reserve_all_over(
+        &self,
+        session: SessionId,
+        demand: &ResourceVector,
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<(), ReserveError> {
+        self.try_reserve_all(session, demand, from, to)
+    }
+
+    /// Cancels all of `session`'s bookings across all brokers (and
+    /// drops its malleable spec, if it had one).
+    pub fn cancel_all(&self, session: SessionId) -> CancelOutcome {
+        self.malleable.lock().remove(&session);
+        let mut outcome = CancelOutcome::default();
+        for b in self.brokers.values() {
+            outcome.absorb(b.cancel(session));
+        }
+        outcome
+    }
+
+    fn try_reserve_all(
         &self,
         session: SessionId,
         demand: &ResourceVector,
@@ -311,7 +859,7 @@ impl AdvanceRegistry {
                 self.emit_conflict(session, id, from, &e);
                 return Err(e);
             };
-            if let Err(e) = broker.reserve_over(session, amount, from, to) {
+            if let Err(e) = broker.reserve_window(session, amount, from, to) {
                 for b in done {
                     b.cancel(session);
                 }
@@ -323,9 +871,202 @@ impl AdvanceRegistry {
         Ok(())
     }
 
-    /// Cancels all of `session`'s bookings across all brokers.
-    pub fn cancel_all(&self, session: SessionId) -> f64 {
-        self.brokers.values().map(|b| b.cancel(session)).sum()
+    /// A rigid request hit a full window and allows preemption: evict
+    /// every malleable session overlapping the window on a demanded
+    /// resource, book the rigid window, then replan each victim around
+    /// it — all-or-nothing, restoring every original booking on any
+    /// failure.
+    fn repack(
+        &self,
+        session: SessionId,
+        demand: &ResourceVector,
+        from: SimTime,
+        to: SimTime,
+        now: SimTime,
+        error: ReserveError,
+    ) -> AdvanceOutcome {
+        let victims: Vec<(SessionId, MalleableSpec)> = {
+            let specs = self.malleable.lock();
+            let mut v: Vec<(SessionId, MalleableSpec)> = specs
+                .iter()
+                .filter(|(sid, _)| {
+                    demand.iter().any(|(id, _)| {
+                        self.brokers.get(&id).is_some_and(|b| {
+                            b.bookings_of(**sid)
+                                .iter()
+                                .any(|bk| bk.from < to && bk.to > from)
+                        })
+                    })
+                })
+                .map(|(sid, spec)| (*sid, spec.clone()))
+                .collect();
+            v.sort_by_key(|(sid, _)| *sid);
+            v
+        };
+        if victims.is_empty() {
+            self.emit_rejected(now, session, &error, None);
+            return AdvanceOutcome::Rejected {
+                error,
+                nearest_feasible_deadline: None,
+            };
+        }
+        // Evict: remember every victim's bookings, then cancel them.
+        let mut saved: Vec<SavedSession> = Vec::new();
+        for (sid, _) in &victims {
+            let per: Vec<(ResourceId, Vec<Booking>)> = self
+                .brokers
+                .iter()
+                .filter_map(|(rid, b)| {
+                    let bs = b.bookings_of(*sid);
+                    (!bs.is_empty()).then_some((*rid, bs))
+                })
+                .collect();
+            for b in self.brokers.values() {
+                b.cancel(*sid);
+            }
+            saved.push((*sid, per));
+        }
+        let psi = self.rigid_psi(demand, from, to);
+        if self.try_reserve_all(session, demand, from, to).is_err() {
+            self.restore_saved(&saved);
+            self.emit_rejected(now, session, &error, None);
+            return AdvanceOutcome::Rejected {
+                error,
+                nearest_feasible_deadline: None,
+            };
+        }
+        let mut replanned: Vec<SessionId> = Vec::new();
+        for (sid, spec) in &victims {
+            let ok = self
+                .brokers
+                .get(&spec.resource)
+                .is_some_and(|b| book_malleable(b, *sid, spec, now).is_ok());
+            if ok {
+                replanned.push(*sid);
+            } else {
+                // A victim no longer fits anywhere before its deadline:
+                // unwind the whole repack.
+                for done in &replanned {
+                    for b in self.brokers.values() {
+                        b.cancel(*done);
+                    }
+                }
+                for b in self.brokers.values() {
+                    b.cancel(session);
+                }
+                self.restore_saved(&saved);
+                self.emit_rejected(now, session, &error, None);
+                return AdvanceOutcome::Rejected {
+                    error,
+                    nearest_feasible_deadline: None,
+                };
+            }
+        }
+        let profile = Self::rigid_profile(demand, from, to, psi);
+        self.emit_repacked(now, session, &profile, replanned.len());
+        AdvanceOutcome::Repacked {
+            profile,
+            moved: replanned,
+        }
+    }
+
+    fn restore_saved(&self, saved: &[SavedSession]) {
+        for (sid, per) in saved {
+            for (rid, bs) in per {
+                if let Some(b) = self.brokers.get(rid) {
+                    b.restore(*sid, bs);
+                }
+            }
+        }
+    }
+
+    /// The most-stressed demanded resource's `demand/avail` over the
+    /// window, *before* booking — ≤ 1 whenever the booking succeeds.
+    fn rigid_psi(&self, demand: &ResourceVector, from: SimTime, to: SimTime) -> f64 {
+        let mut psi = 0.0f64;
+        for (id, amount) in demand.iter() {
+            let Some(b) = self.brokers.get(&id) else {
+                continue;
+            };
+            let avail = b.available_over(from, to);
+            psi = if avail > 0.0 {
+                psi.max(amount / avail)
+            } else {
+                f64::INFINITY
+            };
+        }
+        psi
+    }
+
+    fn rigid_profile(
+        demand: &ResourceVector,
+        from: SimTime,
+        to: SimTime,
+        psi: f64,
+    ) -> AdvanceProfile {
+        let volume = demand.iter().map(|(_, a)| a * to.since(from)).sum();
+        AdvanceProfile {
+            resource: None,
+            start: from,
+            end: to,
+            volume,
+            psi,
+            segments: Vec::new(),
+        }
+    }
+
+    fn emit_booked(&self, now: SimTime, session: SessionId, profile: &AdvanceProfile) {
+        self.counters.record_advance_booked();
+        if !self.sink.enabled() {
+            return;
+        }
+        let mut ev = TraceEvent::new(now.value(), EventKind::AdvanceBooked)
+            .with_session(session.0)
+            .with_value(profile.volume)
+            .with_psi(profile.psi)
+            .with_detail(format!(
+                "[{}, {})",
+                profile.start.value(),
+                profile.end.value()
+            ));
+        if let Some(rid) = profile.resource {
+            ev = ev.with_resource(u64::from(rid.0));
+        }
+        self.sink.emit(&ev);
+    }
+
+    fn emit_repacked(&self, now: SimTime, session: SessionId, profile: &AdvanceProfile, n: usize) {
+        self.counters.record_advance_repacked();
+        if !self.sink.enabled() {
+            return;
+        }
+        self.sink.emit(
+            &TraceEvent::new(now.value(), EventKind::AdvanceRepacked)
+                .with_session(session.0)
+                .with_value(profile.volume)
+                .with_psi(profile.psi)
+                .with_detail(format!("moved {n} malleable session(s)")),
+        );
+    }
+
+    fn emit_rejected(
+        &self,
+        now: SimTime,
+        session: SessionId,
+        error: &ReserveError,
+        nearest: Option<SimTime>,
+    ) {
+        self.counters.record_advance_rejected();
+        if !self.sink.enabled() {
+            return;
+        }
+        let mut ev = TraceEvent::new(now.value(), EventKind::AdvanceRejected)
+            .with_session(session.0)
+            .with_detail(error.to_string());
+        if let Some(d) = nearest {
+            ev = ev.with_value(d.value());
+        }
+        self.sink.emit(&ev);
     }
 
     fn emit_conflict(&self, session: SessionId, id: ResourceId, from: SimTime, e: &ReserveError) {
@@ -382,25 +1123,101 @@ mod tests {
     }
 
     #[test]
+    fn breakpoints_stay_bounded_under_add_remove_cycles() {
+        let mut tl = Timeline::new();
+        let mut ix = TimelineIndex::new();
+        // Abutting equal-rate windows: interior deltas cancel, so the
+        // profile stays two breakpoints no matter how many windows.
+        for i in 0..1000 {
+            let s = t(f64::from(i));
+            tl.add(s, s + 1.0, 2.0);
+            ix.add(s, s + 1.0, 2.0);
+        }
+        assert_eq!(tl.breakpoints(), 2);
+        assert_eq!(ix.breakpoints(), 2);
+        assert_eq!(tl.max_reserved(t(0.0), t(1000.0)), 2.0);
+        assert_eq!(ix.max_reserved(t(0.0), t(1000.0)), 2.0);
+        for i in 0..1000 {
+            let s = t(f64::from(i));
+            tl.remove(s, s + 1.0, 2.0);
+            ix.remove(s, s + 1.0, 2.0);
+        }
+        assert_eq!(tl.breakpoints(), 0);
+        assert_eq!(ix.breakpoints(), 0);
+        // Churn at one window never accumulates breakpoints either.
+        for _ in 0..100 {
+            tl.add(t(5.0), t(6.0), 1.5);
+            tl.remove(t(5.0), t(6.0), 1.5);
+            ix.add(t(5.0), t(6.0), 1.5);
+            ix.remove(t(5.0), t(6.0), 1.5);
+        }
+        assert_eq!(tl.breakpoints(), 0);
+        assert_eq!(ix.breakpoints(), 0);
+    }
+
+    #[test]
+    fn index_matches_timeline_oracle() {
+        // Deterministic differential run with integer amounts (exact
+        // f64 arithmetic, so tree association cannot diverge from the
+        // linear scan): every query must be bit-identical.
+        let mut tl = Timeline::new();
+        let mut ix = TimelineIndex::new();
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut live: Vec<(SimTime, SimTime, f64)> = Vec::new();
+        for step in 0..400 {
+            if !live.is_empty() && next() % 4 == 0 {
+                let (a, b, amt) = live.swap_remove((next() as usize) % live.len());
+                tl.remove(a, b, amt);
+                ix.remove(a, b, amt);
+            } else {
+                let from = t((next() % 200) as f64);
+                let to = from + (1 + next() % 40) as f64;
+                let amount = (1 + next() % 50) as f64;
+                tl.add(from, to, amount);
+                ix.add(from, to, amount);
+                live.push((from, to, amount));
+            }
+            let a = t((next() % 220) as f64);
+            let b = a + (next() % 60) as f64;
+            assert_eq!(ix.max_reserved(a, b), tl.max_reserved(a, b), "step {step}");
+            assert_eq!(ix.breakpoints(), tl.breakpoints(), "step {step}");
+            if step % 97 == 0 {
+                let now = t((next() % 100) as f64);
+                tl.compact(now);
+                ix.compact(now);
+                live.retain(|(_, to, _)| *to >= now);
+            }
+        }
+    }
+
+    #[test]
     fn broker_admission_over_windows() {
         let b = TimelineBroker::new(ResourceId(0), 100.0);
         let s1 = SessionId(1);
         // Book 60 for [10, 20).
-        b.reserve_over(s1, 60.0, t(10.0), t(20.0)).unwrap();
+        b.reserve_window(s1, 60.0, t(10.0), t(20.0)).unwrap();
         assert_eq!(b.available_over(t(10.0), t(20.0)), 40.0);
         assert_eq!(b.available_over(t(20.0), t(30.0)), 100.0);
         // A 50-unit booking overlapping the window is rejected…
         let err = b
-            .reserve_over(SessionId(2), 50.0, t(15.0), t(25.0))
+            .reserve_window(SessionId(2), 50.0, t(15.0), t(25.0))
             .unwrap_err();
         assert!(matches!(err, ReserveError::Insufficient { available, .. } if available == 40.0));
         // …but fits right after.
-        b.reserve_over(SessionId(2), 50.0, t(20.0), t(25.0))
+        b.reserve_window(SessionId(2), 50.0, t(20.0), t(25.0))
             .unwrap();
-        // Cancel frees the window.
-        assert_eq!(b.cancel(s1), 60.0);
+        // Cancel frees the window, reporting released volume.
+        let out = b.cancel(s1);
+        assert_eq!(out.released_volume, 600.0); // 60 × 10 TU
+        assert_eq!(out.bookings_removed, 1);
         assert_eq!(b.available_over(t(10.0), t(20.0)), 100.0);
-        assert_eq!(b.cancel(s1), 0.0);
+        assert!(b.cancel(s1).is_empty());
     }
 
     #[test]
@@ -408,16 +1225,34 @@ mod tests {
         let b = TimelineBroker::new(ResourceId(0), 10.0);
         for bad in [0.0, -1.0, f64::NAN] {
             assert!(matches!(
-                b.reserve_over(SessionId(1), bad, t(0.0), t(1.0)),
+                b.reserve_window(SessionId(1), bad, t(0.0), t(1.0)),
                 Err(ReserveError::InvalidAmount { .. })
             ));
         }
-        b.reserve_over(SessionId(1), 4.0, t(5.0), t(9.0)).unwrap();
+        b.reserve_window(SessionId(1), 4.0, t(5.0), t(9.0)).unwrap();
         let bookings = b.bookings_of(SessionId(1));
         assert_eq!(bookings.len(), 1);
         assert_eq!(bookings[0].amount, 4.0);
+        assert_eq!(bookings[0].volume(), 16.0);
         b.compact(t(20.0));
         assert!(b.bookings_of(SessionId(1)).is_empty());
+    }
+
+    #[test]
+    fn availability_after_lists_breakpoint_levels() {
+        let b = TimelineBroker::new(ResourceId(0), 100.0);
+        b.reserve_window(SessionId(1), 60.0, t(10.0), t(20.0))
+            .unwrap();
+        assert_eq!(
+            b.availability_after(t(0.0)),
+            vec![(t(0.0), 100.0), (t(10.0), 40.0), (t(20.0), 100.0)]
+        );
+        // A query origin inside a segment sees that segment's level.
+        assert_eq!(
+            b.availability_after(t(15.0)),
+            vec![(t(15.0), 40.0), (t(20.0), 100.0)]
+        );
+        assert_eq!(b.breakpoints(), 2);
     }
 
     #[test]
@@ -428,10 +1263,12 @@ mod tests {
         let demand =
             ResourceVector::from_pairs([(ResourceId(0), 50.0), (ResourceId(1), 40.0)]).unwrap();
         // Resource 1 can never cover 40: all-or-nothing must roll back.
-        let err = reg
-            .reserve_all_over(SessionId(1), &demand, t(0.0), t(10.0))
-            .unwrap_err();
-        assert_eq!(err.resource(), ResourceId(1));
+        let outcome = reg.book(
+            &AdvanceRequest::rigid(SessionId(1), demand, t(0.0), t(10.0)),
+            t(0.0),
+        );
+        assert!(!outcome.is_booked());
+        assert_eq!(outcome.error().unwrap().resource(), ResourceId(1));
         assert_eq!(
             reg.get(ResourceId(0))
                 .unwrap()
@@ -441,15 +1278,39 @@ mod tests {
 
         let demand =
             ResourceVector::from_pairs([(ResourceId(0), 50.0), (ResourceId(1), 20.0)]).unwrap();
-        reg.reserve_all_over(SessionId(1), &demand, t(0.0), t(10.0))
-            .unwrap();
+        let outcome = reg.book(
+            &AdvanceRequest::rigid(SessionId(1), demand, t(0.0), t(10.0)),
+            t(0.0),
+        );
+        assert!(outcome.is_booked());
+        let profile = outcome.profile().unwrap();
+        assert_eq!(profile.volume, 700.0); // (50 + 20) × 10 TU
+        assert!(profile.psi <= 1.0);
         let view = reg.snapshot_window(t(0.0), t(10.0));
         assert_eq!(view.avail(ResourceId(0)), 50.0);
         assert_eq!(view.avail(ResourceId(1)), 10.0);
         // Outside the window everything is free.
         let view = reg.snapshot_window(t(10.0), t(20.0));
         assert_eq!(view.avail(ResourceId(0)), 100.0);
-        assert_eq!(reg.cancel_all(SessionId(1)), 70.0);
+        let released = reg.cancel_all(SessionId(1));
+        assert_eq!(released.released_volume, 700.0);
+        assert_eq!(released.bookings_removed, 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_shims_still_book() {
+        let b = TimelineBroker::new(ResourceId(0), 100.0);
+        b.reserve_over(SessionId(1), 60.0, t(10.0), t(20.0))
+            .unwrap();
+        assert_eq!(b.available_over(t(10.0), t(20.0)), 40.0);
+
+        let mut reg = AdvanceRegistry::new();
+        reg.register(Arc::new(TimelineBroker::new(ResourceId(1), 50.0)));
+        let demand = ResourceVector::from_pairs([(ResourceId(1), 20.0)]).unwrap();
+        reg.reserve_all_over(SessionId(2), &demand, t(0.0), t(5.0))
+            .unwrap();
+        assert_eq!(reg.cancel_all(SessionId(2)).released_volume, 100.0);
     }
 
     #[test]
@@ -486,7 +1347,7 @@ mod tests {
         // Pre-book 70 units over [10, 20).
         reg.get(rid)
             .unwrap()
-            .reserve_over(SessionId(99), 70.0, t(10.0), t(20.0))
+            .reserve_window(SessionId(99), 70.0, t(10.0), t(20.0))
             .unwrap();
 
         // Planning for [12, 18): only level 1 fits (60 > 30).
@@ -498,9 +1359,12 @@ mod tests {
         let qrg = Qrg::build(&session, &view, &QrgOptions::default());
         let plan = plan_basic(&qrg).unwrap();
         assert_eq!(plan.rank, 2);
-        // Book it.
-        reg.reserve_all_over(SessionId(1), &plan.total_demand(), t(20.0), t(30.0))
-            .unwrap();
+        // Book it through the request API.
+        let outcome = reg.book(
+            &AdvanceRequest::rigid(SessionId(1), plan.total_demand(), t(20.0), t(30.0)),
+            t(0.0),
+        );
+        assert!(outcome.is_booked());
         assert_eq!(reg.get(rid).unwrap().available_over(t(20.0), t(30.0)), 40.0);
     }
 }

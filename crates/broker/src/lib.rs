@@ -38,18 +38,22 @@ mod broker;
 mod error;
 mod fault;
 mod local;
+mod malleable;
 mod proxy;
 mod registry;
 mod request;
 mod time;
 
 pub use admission::{AdmissionConfig, AdmissionQueue};
-pub use advance::{AdvanceRegistry, Booking, Timeline, TimelineBroker};
+pub use advance::{
+    AdvanceRegistry, Booking, CancelOutcome, Timeline, TimelineBroker, TimelineIndex,
+};
 pub use alpha::AlphaWindow;
 pub use broker::{Broker, BrokerReport};
 pub use error::{EstablishError, FaultError, ReserveError};
 pub use fault::{FaultInjector, RetryPolicy};
 pub use local::{LocalBroker, LocalBrokerConfig};
+pub use malleable::{AdvanceOutcome, AdvanceProfile, AdvanceRequest, AdvanceShape, RateSegment};
 pub use proxy::{
     Coordinator, EstablishOptions, EstablishedSession, HostMessageStats, MessageStats,
     ObservationPolicy, QosProxy,

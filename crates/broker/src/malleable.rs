@@ -1,0 +1,874 @@
+//! Malleable advance requests and the deadline-driven planner.
+//!
+//! The paper's reservation model books *rigid* windows: a fixed demand
+//! over a fixed `[from, to)` interval. Bulk data transfers want the
+//! dual formulation — "move `volume` units before `deadline`", leaving
+//! the broker free to pick start time, duration, and rate profile (the
+//! *malleable* reservations of the flexible-bandwidth-framework line of
+//! work referenced in PAPERS.md).
+//!
+//! This module defines the request/outcome surface shared by both
+//! shapes and the planning algorithm for the malleable one:
+//!
+//! * [`AdvanceRequest`] — a builder covering rigid windows and
+//!   malleable `{volume, deadline, min_rate, max_rate}` transfers, with
+//!   an [`AlphaPolicy`] knob that trades start-time slack against the
+//!   contention share ψ and an opt-in preempt-and-repack flag;
+//! * [`AdvanceOutcome`] — `Booked`, `Repacked { moved }`, or
+//!   `Rejected { nearest_feasible_deadline }`;
+//! * [`AdvanceProfile`] / [`RateSegment`] — the concrete plan: when the
+//!   transfer runs and at what rate in each availability step.
+//!
+//! The planner first sweeps *constant-rate* candidate profiles anchored
+//! at the request's earliest start and at every availability breakpoint
+//! before the deadline (a fixed-point iteration per candidate: guess a
+//! rate, measure availability over the implied window, clamp, repeat).
+//! If no single rate fits, it falls back to *water-filling*: run at the
+//! usable availability of each step, pausing through steps below
+//! `min_rate`, until the volume is moved or the deadline passes. When
+//! even that fails, the same water-fill without a deadline yields the
+//! `nearest_feasible_deadline` hint carried by the rejection.
+
+use crate::advance::{Booking, TimelineBroker};
+use crate::error::ReserveError;
+use crate::request::AlphaPolicy;
+use crate::time::{SessionId, SimTime};
+use qosr_model::{ResourceId, ResourceVector};
+
+/// One constant-rate piece of a malleable transfer plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSegment {
+    /// Segment start (inclusive).
+    pub from: SimTime,
+    /// Segment end (exclusive).
+    pub to: SimTime,
+    /// Reserved rate over `[from, to)`.
+    pub rate: f64,
+}
+
+impl RateSegment {
+    /// Volume moved by this segment: `rate × (to − from)`.
+    pub fn volume(&self) -> f64 {
+        self.rate * self.to.since(self.from)
+    }
+}
+
+/// The concrete plan an admitted advance request was booked under.
+///
+/// Rigid requests get a degenerate profile: `resource` is `None` (the
+/// demand may span several resources), `segments` is empty, and
+/// `volume` sums demand × duration across the demand vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvanceProfile {
+    /// Resource the plan runs on (`None` for rigid multi-resource
+    /// bookings).
+    pub resource: Option<ResourceId>,
+    /// When the plan starts.
+    pub start: SimTime,
+    /// When the plan completes.
+    pub end: SimTime,
+    /// Total volume booked (rate × duration, summed over segments).
+    pub volume: f64,
+    /// Contention share ψ of the plan: booked rate over availability,
+    /// maximised across segments. ψ ≤ 1 for any admitted plan.
+    pub psi: f64,
+    /// Constant-rate pieces of the plan, in time order. A single entry
+    /// for constant-rate plans; several when the planner water-filled
+    /// around existing bookings.
+    pub segments: Vec<RateSegment>,
+}
+
+/// The shape of an advance request: a fixed window or a malleable
+/// deadline-driven transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdvanceShape {
+    /// Book exactly `demand` over `[from, to)` on every resource in the
+    /// vector — the paper's original model.
+    Rigid {
+        /// Per-resource demand to hold over the window.
+        demand: ResourceVector,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        to: SimTime,
+    },
+    /// Move `volume` units on one resource before `deadline`; the
+    /// broker picks start, duration, and rate profile.
+    Malleable {
+        /// Resource the transfer runs on.
+        resource: ResourceId,
+        /// Total volume to move (rate × time units).
+        volume: f64,
+        /// Earliest permitted start (defaults to [`SimTime::ZERO`]).
+        earliest: SimTime,
+        /// Completion deadline (exclusive upper bound on the plan).
+        deadline: SimTime,
+        /// Minimum usable rate: steps offering less are paused through
+        /// rather than trickled (defaults to `0.0`).
+        min_rate: f64,
+        /// Rate ceiling, e.g. a NIC line rate (defaults to
+        /// `f64::INFINITY`).
+        max_rate: f64,
+    },
+}
+
+/// A builder-style advance-reservation request.
+///
+/// Mirrors the [`crate::SessionRequest`] redesign: construct with
+/// [`AdvanceRequest::rigid`] or [`AdvanceRequest::malleable`], refine
+/// with chained setters, then book through
+/// [`crate::AdvanceRegistry::book`].
+///
+/// ```
+/// use qosr_broker::{AdvanceRequest, AlphaPolicy, SessionId, SimTime};
+/// use qosr_model::ResourceId;
+///
+/// let request = AdvanceRequest::malleable(
+///     SessionId(7),
+///     ResourceId(0),
+///     600.0,
+///     SimTime::new(120.0),
+/// )
+/// .earliest(SimTime::new(10.0))
+/// .min_rate(1.0)
+/// .max_rate(40.0)
+/// .alpha_policy(AlphaPolicy::Tradeoff)
+/// .allow_preempt(false);
+/// assert_eq!(request.session(), SessionId(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdvanceRequest {
+    session: SessionId,
+    shape: AdvanceShape,
+    policy: AlphaPolicy,
+    preempt: bool,
+}
+
+impl AdvanceRequest {
+    /// A rigid request: hold `demand` over `[from, to)`.
+    pub fn rigid(session: SessionId, demand: ResourceVector, from: SimTime, to: SimTime) -> Self {
+        Self {
+            session,
+            shape: AdvanceShape::Rigid { demand, from, to },
+            policy: AlphaPolicy::Ignore,
+            preempt: false,
+        }
+    }
+
+    /// A malleable request: move `volume` units on `resource` before
+    /// `deadline`. Starts as early as [`SimTime::ZERO`] with no rate
+    /// floor or ceiling; refine with [`earliest`](Self::earliest),
+    /// [`min_rate`](Self::min_rate), and [`max_rate`](Self::max_rate).
+    pub fn malleable(
+        session: SessionId,
+        resource: ResourceId,
+        volume: f64,
+        deadline: SimTime,
+    ) -> Self {
+        Self {
+            session,
+            shape: AdvanceShape::Malleable {
+                resource,
+                volume,
+                earliest: SimTime::ZERO,
+                deadline,
+                min_rate: 0.0,
+                max_rate: f64::INFINITY,
+            },
+            policy: AlphaPolicy::Ignore,
+            preempt: false,
+        }
+    }
+
+    /// Earliest permitted start for a malleable transfer. No-op on
+    /// rigid requests (their window is the shape).
+    pub fn earliest(mut self, at: SimTime) -> Self {
+        if let AdvanceShape::Malleable { earliest, .. } = &mut self.shape {
+            *earliest = at;
+        }
+        self
+    }
+
+    /// Minimum usable rate for a malleable transfer; availability steps
+    /// below it are paused through. No-op on rigid requests.
+    pub fn min_rate(mut self, rate: f64) -> Self {
+        if let AdvanceShape::Malleable { min_rate, .. } = &mut self.shape {
+            *min_rate = rate;
+        }
+        self
+    }
+
+    /// Rate ceiling for a malleable transfer. No-op on rigid requests.
+    pub fn max_rate(mut self, rate: f64) -> Self {
+        if let AdvanceShape::Malleable { max_rate, .. } = &mut self.shape {
+            *max_rate = rate;
+        }
+        self
+    }
+
+    /// How to weigh start-time slack against contention share ψ:
+    /// [`AlphaPolicy::Ignore`] books the earliest feasible profile,
+    /// [`AlphaPolicy::Tradeoff`] the lowest-ψ one (earliest on ties).
+    pub fn alpha_policy(mut self, policy: AlphaPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Allow this request to preempt malleable bookings and replan them
+    /// (all-or-nothing, rolled back on failure) when it cannot be
+    /// admitted as-is.
+    pub fn allow_preempt(mut self, preempt: bool) -> Self {
+        self.preempt = preempt;
+        self
+    }
+
+    /// The requesting session.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// The request's shape.
+    pub fn shape(&self) -> &AdvanceShape {
+        &self.shape
+    }
+
+    /// The configured slack-vs-ψ policy.
+    pub fn policy(&self) -> AlphaPolicy {
+        self.policy
+    }
+
+    /// Whether this request may preempt-and-repack malleable bookings.
+    pub fn preempts(&self) -> bool {
+        self.preempt
+    }
+
+    /// Planner-ready view of a malleable shape; `None` for rigid.
+    pub(crate) fn malleable_spec(&self) -> Option<MalleableSpec> {
+        match &self.shape {
+            AdvanceShape::Malleable {
+                resource,
+                volume,
+                earliest,
+                deadline,
+                min_rate,
+                max_rate,
+            } => Some(MalleableSpec {
+                resource: *resource,
+                volume: *volume,
+                earliest: *earliest,
+                deadline: *deadline,
+                min_rate: *min_rate,
+                max_rate: *max_rate,
+                policy: self.policy,
+            }),
+            AdvanceShape::Rigid { .. } => None,
+        }
+    }
+}
+
+/// Outcome of booking an [`AdvanceRequest`].
+#[derive(Debug, Clone)]
+pub enum AdvanceOutcome {
+    /// Admitted as requested.
+    Booked {
+        /// The plan the request was booked under.
+        profile: AdvanceProfile,
+    },
+    /// Admitted after preempting and replanning malleable bookings.
+    Repacked {
+        /// The plan the request was booked under.
+        profile: AdvanceProfile,
+        /// Malleable sessions that were moved to make room.
+        moved: Vec<SessionId>,
+    },
+    /// Not admitted; state is unchanged.
+    Rejected {
+        /// Why admission failed.
+        error: ReserveError,
+        /// For malleable requests: the earliest deadline under which
+        /// the same transfer *would* fit today, when one exists.
+        nearest_feasible_deadline: Option<SimTime>,
+    },
+}
+
+impl AdvanceOutcome {
+    /// `true` for [`Booked`](Self::Booked) and
+    /// [`Repacked`](Self::Repacked).
+    pub fn is_booked(&self) -> bool {
+        matches!(self, Self::Booked { .. } | Self::Repacked { .. })
+    }
+
+    /// The booked plan, when admitted.
+    pub fn profile(&self) -> Option<&AdvanceProfile> {
+        match self {
+            Self::Booked { profile } | Self::Repacked { profile, .. } => Some(profile),
+            Self::Rejected { .. } => None,
+        }
+    }
+
+    /// Sessions moved by a repack (empty otherwise).
+    pub fn moved(&self) -> &[SessionId] {
+        match self {
+            Self::Repacked { moved, .. } => moved,
+            _ => &[],
+        }
+    }
+
+    /// The rejection error, when not admitted.
+    pub fn error(&self) -> Option<&ReserveError> {
+        match self {
+            Self::Rejected { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+
+    /// Collapse into a `Result`, dropping repack/nearest-deadline
+    /// detail.
+    pub fn into_result(self) -> Result<AdvanceProfile, ReserveError> {
+        match self {
+            Self::Booked { profile } | Self::Repacked { profile, .. } => Ok(profile),
+            Self::Rejected { error, .. } => Err(error),
+        }
+    }
+}
+
+/// Planner-ready malleable request: the `Malleable` shape flattened,
+/// with the request's policy attached. Kept by [`crate::AdvanceRegistry`]
+/// so preempted transfers can be replanned from their original terms.
+#[derive(Debug, Clone)]
+pub(crate) struct MalleableSpec {
+    pub resource: ResourceId,
+    pub volume: f64,
+    pub earliest: SimTime,
+    pub deadline: SimTime,
+    pub min_rate: f64,
+    pub max_rate: f64,
+    pub policy: AlphaPolicy,
+}
+
+/// Plan and book a malleable transfer on `broker`.
+///
+/// On success the bookings are installed and the chosen profile
+/// returned. On failure nothing is booked and the error carries the
+/// nearest feasible deadline when the transfer would fit with more
+/// slack.
+pub(crate) fn book_malleable(
+    broker: &TimelineBroker,
+    session: SessionId,
+    spec: &MalleableSpec,
+    now: SimTime,
+) -> Result<AdvanceProfile, (ReserveError, Option<SimTime>)> {
+    if !spec.volume.is_finite() || spec.volume <= 0.0 {
+        return Err((
+            ReserveError::InvalidAmount {
+                resource: spec.resource,
+                amount: spec.volume,
+            },
+            None,
+        ));
+    }
+    if spec.max_rate.is_nan() || spec.max_rate <= 0.0 {
+        return Err((
+            ReserveError::InvalidAmount {
+                resource: spec.resource,
+                amount: spec.max_rate,
+            },
+            None,
+        ));
+    }
+    if !spec.min_rate.is_finite() || spec.min_rate < 0.0 {
+        return Err((
+            ReserveError::InvalidAmount {
+                resource: spec.resource,
+                amount: spec.min_rate,
+            },
+            None,
+        ));
+    }
+
+    let start = spec.earliest.max(now);
+    let avail = broker.availability_after(start);
+    if start >= spec.deadline {
+        let (_, _, _, nearest) = water_fill(&avail, start, None, spec);
+        return Err((
+            ReserveError::Insufficient {
+                resource: spec.resource,
+                requested: spec.volume,
+                available: 0.0,
+            },
+            nearest,
+        ));
+    }
+
+    // Constant-rate sweep: one candidate anchored at `start`, one at
+    // every availability breakpoint before the deadline.
+    let mut best: Option<(SimTime, f64, SimTime, f64)> = None;
+    'candidates: for &(s, _) in avail.iter().filter(|&&(s, _)| s < spec.deadline) {
+        let Some((rate, end, psi)) = constant_rate_at(broker, spec, s) else {
+            continue;
+        };
+        match spec.policy {
+            AlphaPolicy::Ignore => {
+                best = Some((s, rate, end, psi));
+                break 'candidates;
+            }
+            AlphaPolicy::Tradeoff => {
+                if best.is_none_or(|(_, _, _, best_psi)| psi < best_psi) {
+                    best = Some((s, rate, end, psi));
+                }
+            }
+        }
+    }
+    if let Some((s, rate, end, psi)) = best {
+        broker
+            .reserve_window(session, rate, s, end)
+            .map_err(|e| (e, None))?;
+        return Ok(AdvanceProfile {
+            resource: Some(spec.resource),
+            start: s,
+            end,
+            volume: rate * end.since(s),
+            psi,
+            segments: vec![RateSegment {
+                from: s,
+                to: end,
+                rate,
+            }],
+        });
+    }
+
+    // Variable-rate fallback: water-fill each availability step up to
+    // the deadline.
+    let (segments, achieved, max_psi, completion) =
+        water_fill(&avail, start, Some(spec.deadline), spec);
+    if let Some(end) = completion {
+        // Validate every segment against the same pre-booking snapshot,
+        // then install unchecked: the segments are time-disjoint, so
+        // one-snapshot validation is exact, whereas booking them
+        // sequentially through the checked path could trip over
+        // ulp-level drift in the running level at shared breakpoints.
+        for seg in &segments {
+            let seg_avail = broker.available_over(seg.from, seg.to);
+            if seg.rate > seg_avail {
+                return Err((
+                    ReserveError::Insufficient {
+                        resource: spec.resource,
+                        requested: seg.rate,
+                        available: seg_avail,
+                    },
+                    None,
+                ));
+            }
+        }
+        let bookings: Vec<Booking> = segments
+            .iter()
+            .map(|seg| Booking {
+                from: seg.from,
+                to: seg.to,
+                amount: seg.rate,
+            })
+            .collect();
+        broker.restore(session, &bookings);
+        let plan_start = segments.first().map_or(start, |seg| seg.from);
+        return Ok(AdvanceProfile {
+            resource: Some(spec.resource),
+            start: plan_start,
+            end,
+            volume: segments.iter().map(RateSegment::volume).sum(),
+            psi: max_psi,
+            segments,
+        });
+    }
+
+    // Infeasible by the deadline: rerun the water-fill unbounded to
+    // report when the transfer *would* complete.
+    let (_, _, _, nearest) = water_fill(&avail, start, None, spec);
+    Err((
+        ReserveError::Insufficient {
+            resource: spec.resource,
+            requested: spec.volume,
+            available: achieved,
+        },
+        nearest,
+    ))
+}
+
+/// Fixed-point search for a constant-rate profile starting at `s`:
+/// guess a rate, measure availability over the implied window, clamp,
+/// repeat until the rate is self-consistent. Returns
+/// `(rate, end, psi)` or `None` when no constant rate from `s` can
+/// finish by the deadline.
+fn constant_rate_at(
+    broker: &TimelineBroker,
+    spec: &MalleableSpec,
+    s: SimTime,
+) -> Option<(f64, SimTime, f64)> {
+    let horizon = spec.deadline.since(s);
+    if horizon <= 0.0 {
+        return None;
+    }
+    // Any feasible rate must reach `volume` by the deadline and respect
+    // the request's floor.
+    let floor = spec.min_rate.max(spec.volume / horizon);
+    let mut rate = spec.max_rate.min(broker.capacity());
+    for _ in 0..64 {
+        if rate <= 0.0 || rate < floor {
+            return None;
+        }
+        let duration = spec.volume / rate;
+        if !duration.is_finite() {
+            return None;
+        }
+        let end = SimTime::new(s.value() + duration);
+        if end > spec.deadline {
+            return None;
+        }
+        let avail = broker.available_over(s, end);
+        let usable = avail.min(spec.max_rate);
+        if rate <= usable {
+            // Self-consistent: the window the rate implies really does
+            // offer that rate. `rate <= avail` bitwise, so the checked
+            // booking path accepts it without any epsilon slack.
+            let psi = if avail > 0.0 {
+                rate / avail
+            } else {
+                f64::INFINITY
+            };
+            return Some((rate, end, psi));
+        }
+        rate = usable;
+    }
+    None
+}
+
+/// Greedy water-fill over the availability steps from `start`: run each
+/// step at `min(availability, max_rate)`, pause through steps below
+/// `min_rate`, stop at `deadline` (or never, when `None` — used for the
+/// nearest-feasible-deadline probe). Returns
+/// `(segments, achieved_volume, max_psi, completion_time)`;
+/// `completion_time` is `None` when the volume cannot be moved.
+fn water_fill(
+    avail: &[(SimTime, f64)],
+    start: SimTime,
+    deadline: Option<SimTime>,
+    spec: &MalleableSpec,
+) -> (Vec<RateSegment>, f64, f64, Option<SimTime>) {
+    let mut segments: Vec<RateSegment> = Vec::new();
+    let mut achieved = 0.0_f64;
+    let mut max_psi = 0.0_f64;
+    let mut remaining = spec.volume;
+    for (i, &(step_start, step_avail)) in avail.iter().enumerate() {
+        if deadline.is_some_and(|d| step_start >= d) {
+            break;
+        }
+        let seg_start = step_start.max(start);
+        // Upper bound of this step, clipped to the deadline; `None`
+        // marks the unbounded final step.
+        let bound = match (avail.get(i + 1).map(|&(next, _)| next), deadline) {
+            (Some(next), Some(d)) => Some(next.min(d)),
+            (Some(next), None) => Some(next),
+            (None, d) => d,
+        };
+        if bound.is_some_and(|e| e <= seg_start) {
+            continue;
+        }
+        let rate = step_avail.min(spec.max_rate);
+        if rate <= 0.0 || rate < spec.min_rate {
+            continue; // pause through this step
+        }
+        let step_volume = bound.map(|e| rate * e.since(seg_start));
+        match step_volume {
+            Some(v) if v < remaining => {
+                let e = bound.expect("bounded step");
+                segments.push(RateSegment {
+                    from: seg_start,
+                    to: e,
+                    rate,
+                });
+                achieved += v;
+                remaining -= v;
+                max_psi = max_psi.max(rate / step_avail);
+            }
+            _ => {
+                // This step can finish the transfer. Clamp to the step
+                // bound: `remaining / rate` can overshoot it by an ulp,
+                // which would spill the segment into the next
+                // availability step (or past the deadline).
+                let duration = remaining / rate;
+                let e = SimTime::new(seg_start.value() + duration);
+                let e = bound.map_or(e, |b| e.min(b));
+                segments.push(RateSegment {
+                    from: seg_start,
+                    to: e,
+                    rate,
+                });
+                achieved += remaining;
+                max_psi = max_psi.max(rate / step_avail);
+                return (segments, achieved, max_psi, Some(e));
+            }
+        }
+    }
+    (segments, achieved, max_psi, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advance::AdvanceRegistry;
+
+    fn t(v: f64) -> SimTime {
+        SimTime::new(v)
+    }
+
+    fn spec(volume: f64, deadline: f64) -> MalleableSpec {
+        MalleableSpec {
+            resource: ResourceId(0),
+            volume,
+            earliest: SimTime::ZERO,
+            deadline: t(deadline),
+            min_rate: 0.0,
+            max_rate: f64::INFINITY,
+            policy: AlphaPolicy::Ignore,
+        }
+    }
+
+    #[test]
+    fn builder_chains_and_accessors() {
+        let req = AdvanceRequest::malleable(SessionId(7), ResourceId(2), 600.0, t(120.0))
+            .earliest(t(10.0))
+            .min_rate(1.0)
+            .max_rate(40.0)
+            .alpha_policy(AlphaPolicy::Tradeoff)
+            .allow_preempt(true);
+        assert_eq!(req.session(), SessionId(7));
+        assert!(req.preempts());
+        assert_eq!(req.policy(), AlphaPolicy::Tradeoff);
+        let spec = req.malleable_spec().expect("malleable shape");
+        assert_eq!(spec.resource, ResourceId(2));
+        assert_eq!(spec.volume, 600.0);
+        assert_eq!(spec.earliest, t(10.0));
+        assert_eq!(spec.deadline, t(120.0));
+        assert_eq!(spec.min_rate, 1.0);
+        assert_eq!(spec.max_rate, 40.0);
+
+        let rigid = AdvanceRequest::rigid(
+            SessionId(1),
+            ResourceVector::from_pairs([(ResourceId(0), 5.0)]).expect("demand"),
+            t(0.0),
+            t(10.0),
+        )
+        .earliest(t(99.0)) // no-op on rigid shapes
+        .min_rate(3.0);
+        assert!(rigid.malleable_spec().is_none());
+        assert!(matches!(rigid.shape(), AdvanceShape::Rigid { .. }));
+    }
+
+    #[test]
+    fn outcome_helpers_classify_variants() {
+        let profile = AdvanceProfile {
+            resource: Some(ResourceId(0)),
+            start: t(0.0),
+            end: t(10.0),
+            volume: 50.0,
+            psi: 0.5,
+            segments: vec![RateSegment {
+                from: t(0.0),
+                to: t(10.0),
+                rate: 5.0,
+            }],
+        };
+        let booked = AdvanceOutcome::Booked {
+            profile: profile.clone(),
+        };
+        assert!(booked.is_booked());
+        assert!(booked.error().is_none());
+        assert!(booked.moved().is_empty());
+        assert_eq!(booked.profile().map(|p| p.volume), Some(50.0));
+
+        let repacked = AdvanceOutcome::Repacked {
+            profile: profile.clone(),
+            moved: vec![SessionId(3)],
+        };
+        assert!(repacked.is_booked());
+        assert_eq!(repacked.moved(), &[SessionId(3)]);
+        assert!(repacked.clone().into_result().is_ok());
+
+        let rejected = AdvanceOutcome::Rejected {
+            error: ReserveError::InvalidAmount {
+                resource: ResourceId(0),
+                amount: -1.0,
+            },
+            nearest_feasible_deadline: Some(t(42.0)),
+        };
+        assert!(!rejected.is_booked());
+        assert!(rejected.profile().is_none());
+        assert!(rejected.error().is_some());
+        assert!(rejected.into_result().is_err());
+    }
+
+    #[test]
+    fn constant_rate_policy_picks_earliest_or_lowest_psi() {
+        // Capacity 10 with an 8-unit obstacle over [0, 10): availability
+        // is 2 until t=10, then 10.
+        let setup = || {
+            let broker = TimelineBroker::new(ResourceId(0), 10.0);
+            broker
+                .reserve_window(SessionId(99), 8.0, t(0.0), t(10.0))
+                .expect("obstacle");
+            broker
+        };
+
+        // Ignore: earliest feasible start wins — rate 2 over [0, 20).
+        let broker = setup();
+        let mut s = spec(40.0, 30.0);
+        s.max_rate = 4.0;
+        let profile = book_malleable(&broker, SessionId(1), &s, t(0.0)).expect("feasible");
+        assert_eq!(profile.start, t(0.0));
+        assert_eq!(profile.end, t(20.0));
+        assert_eq!(profile.volume, 40.0);
+        assert_eq!(profile.segments.len(), 1);
+        assert_eq!(profile.segments[0].rate, 2.0);
+        assert_eq!(profile.psi, 1.0);
+
+        // Tradeoff: waiting for the obstacle to clear gives ψ = 4/10.
+        let broker = setup();
+        let mut s = spec(40.0, 30.0);
+        s.max_rate = 4.0;
+        s.policy = AlphaPolicy::Tradeoff;
+        let profile = book_malleable(&broker, SessionId(1), &s, t(0.0)).expect("feasible");
+        assert_eq!(profile.start, t(10.0));
+        assert_eq!(profile.end, t(20.0));
+        assert_eq!(profile.segments[0].rate, 4.0);
+        assert!((profile.psi - 0.4).abs() < 1e-12);
+        // The booking really landed: [10, 20) now offers 10 − 4 = 6.
+        assert_eq!(broker.available_over(t(10.0), t(20.0)), 6.0);
+    }
+
+    #[test]
+    fn water_fill_spans_availability_steps() {
+        // Availability staircase 2 → 5 → 10; no constant rate moves 70
+        // units by t=20, but water-filling the first two steps does.
+        let broker = TimelineBroker::new(ResourceId(0), 10.0);
+        broker
+            .reserve_window(SessionId(98), 8.0, t(0.0), t(10.0))
+            .expect("obstacle");
+        broker
+            .reserve_window(SessionId(99), 5.0, t(10.0), t(20.0))
+            .expect("obstacle");
+        let profile =
+            book_malleable(&broker, SessionId(1), &spec(70.0, 20.0), t(0.0)).expect("water-fill");
+        assert_eq!(profile.segments.len(), 2);
+        assert_eq!(
+            profile.segments[0],
+            RateSegment {
+                from: t(0.0),
+                to: t(10.0),
+                rate: 2.0
+            }
+        );
+        assert_eq!(
+            profile.segments[1],
+            RateSegment {
+                from: t(10.0),
+                to: t(20.0),
+                rate: 5.0
+            }
+        );
+        assert_eq!(profile.volume, 70.0);
+        assert_eq!(profile.end, t(20.0));
+        assert_eq!(profile.psi, 1.0);
+        // Both steps are now saturated.
+        assert_eq!(broker.available_over(t(0.0), t(20.0)), 0.0);
+    }
+
+    #[test]
+    fn min_rate_pauses_through_thin_steps() {
+        // Step [0, 10) offers only 2 — below the 3-unit floor — so the
+        // transfer pauses and runs at full rate afterwards.
+        let broker = TimelineBroker::new(ResourceId(0), 10.0);
+        broker
+            .reserve_window(SessionId(99), 8.0, t(0.0), t(10.0))
+            .expect("obstacle");
+        let mut s = spec(50.0, 30.0);
+        s.min_rate = 3.0;
+        s.max_rate = 5.0;
+        let profile = book_malleable(&broker, SessionId(1), &s, t(0.0)).expect("feasible");
+        assert_eq!(profile.start, t(10.0));
+        assert_eq!(profile.end, t(20.0));
+        assert_eq!(
+            profile.segments,
+            vec![RateSegment {
+                from: t(10.0),
+                to: t(20.0),
+                rate: 5.0
+            }]
+        );
+    }
+
+    #[test]
+    fn infeasible_reports_nearest_deadline() {
+        let broker = TimelineBroker::new(ResourceId(0), 10.0);
+        broker
+            .reserve_window(SessionId(99), 8.0, t(0.0), t(10.0))
+            .expect("obstacle");
+        let (error, nearest) =
+            book_malleable(&broker, SessionId(1), &spec(100.0, 10.0), t(0.0)).expect_err("too big");
+        match error {
+            ReserveError::Insufficient {
+                requested,
+                available,
+                ..
+            } => {
+                assert_eq!(requested, 100.0);
+                assert_eq!(available, 20.0); // 2 × 10 achievable by the deadline
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        // 20 units by t=10, the remaining 80 at rate 10 → done at t=18.
+        assert_eq!(nearest, Some(t(18.0)));
+        // Nothing was booked.
+        assert!(broker.bookings_of(SessionId(1)).is_empty());
+        assert_eq!(broker.available_over(t(10.0), t(20.0)), 10.0);
+    }
+
+    #[test]
+    fn registry_repack_moves_malleable_sessions() {
+        let mut registry = AdvanceRegistry::new();
+        registry.register(std::sync::Arc::new(TimelineBroker::new(
+            ResourceId(0),
+            10.0,
+        )));
+
+        // Malleable A books rate 4 over [0, 10).
+        let a = AdvanceRequest::malleable(SessionId(1), ResourceId(0), 40.0, t(30.0)).max_rate(4.0);
+        assert!(registry.book(&a, t(0.0)).is_booked());
+
+        // Rigid B needs 8 over [0, 10): only 6 free, so it must preempt.
+        let demand = ResourceVector::from_pairs([(ResourceId(0), 8.0)]).expect("demand");
+        let b = AdvanceRequest::rigid(SessionId(2), demand.clone(), t(0.0), t(10.0))
+            .allow_preempt(true);
+        let outcome = registry.book(&b, t(0.0));
+        assert!(outcome.is_booked());
+        assert_eq!(outcome.moved(), &[SessionId(1)]);
+
+        // A was replanned to rate 2 over [0, 20) around the rigid block.
+        let broker = registry.get(ResourceId(0)).expect("registered");
+        let replanned = broker.bookings_of(SessionId(1));
+        assert_eq!(replanned.len(), 1);
+        assert_eq!(replanned[0].amount, 2.0);
+        assert_eq!(replanned[0].to, t(20.0));
+        assert_eq!(broker.available_over(t(0.0), t(10.0)), 0.0);
+
+        // Rigid C cannot fit even after evicting A: all-or-nothing
+        // rollback leaves every booking exactly as it was.
+        let c = AdvanceRequest::rigid(SessionId(3), demand, t(0.0), t(10.0)).allow_preempt(true);
+        let outcome = registry.book(&c, t(0.0));
+        assert!(!outcome.is_booked());
+        assert!(outcome.error().is_some());
+        let broker = registry.get(ResourceId(0)).expect("registered");
+        assert_eq!(broker.bookings_of(SessionId(1)).len(), 1);
+        assert_eq!(broker.bookings_of(SessionId(1))[0].amount, 2.0);
+        assert!(broker.bookings_of(SessionId(3)).is_empty());
+        assert_eq!(broker.available_over(t(0.0), t(10.0)), 0.0);
+    }
+}

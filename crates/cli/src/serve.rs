@@ -26,20 +26,25 @@
 //! it: when a client disconnects (cleanly or not), the admission thread
 //! terminates everything that connection still holds, so capacity is
 //! conserved no matter how clients die. A commit that lands for an
-//! already-dead connection is released on the spot.
+//! already-dead connection is released on the spot. Advance
+//! reservations (the `advance` frame, booked on shadow
+//! [`qosr_broker::TimelineBroker`] timelines mirroring the world's
+//! capacities) are leased the same way — a disconnect cancels the
+//! connection's remaining advance bookings.
 
 use crate::dto::ScenarioError;
 use crate::wire::{
-    read_request_frame, write_response_frame, EstablishDef, OutcomeFrame, RequestFrame,
-    ResponseFrame, StatsFrame, WireError,
+    read_request_frame, write_response_frame, AdvanceDef, AdvanceOutcomeFrame, EstablishDef,
+    OutcomeFrame, RequestFrame, ResponseFrame, StatsFrame, WireError,
 };
 use qosr_bench::synth::synthetic_chain;
 use qosr_broker::{
-    AdmissionConfig, AdmissionQueue, BrokerRegistry, Coordinator, EstablishOptions,
-    EstablishedSession, LocalBroker, LocalBrokerConfig, QosProxy, SessionRequest, SimTime,
+    AdmissionConfig, AdmissionQueue, AdvanceRegistry, AdvanceRequest, AlphaPolicy, BrokerRegistry,
+    Coordinator, EstablishOptions, EstablishedSession, LocalBroker, LocalBrokerConfig, QosProxy,
+    SessionId, SessionRequest, SimTime, TimelineBroker,
 };
 use qosr_core::Planner;
-use qosr_model::{ResourceKind, SessionInstance};
+use qosr_model::{ResourceId, ResourceKind, ResourceVector, SessionInstance};
 use qosr_obs::{Counters, MetricsRegistry, MetricsServer};
 use qosr_sim::services::ServiceOptions;
 use qosr_sim::PaperEnvironment;
@@ -289,6 +294,74 @@ fn resolve(world: &ServerWorld, def: &EstablishDef) -> Result<SessionRequest, St
         request = request.planner(parse_planner(planner)?);
     }
     Ok(request)
+}
+
+/// Builds the `AdvanceRequest` a wire advance frame resolves to (or a
+/// client-facing error string); `session` is the id the server will
+/// book it under.
+fn resolve_advance(def: &AdvanceDef, session: SessionId) -> Result<AdvanceRequest, String> {
+    let policy = match def.policy.as_deref() {
+        None | Some("ignore") => AlphaPolicy::Ignore,
+        Some("tradeoff") => AlphaPolicy::Tradeoff,
+        Some(other) => {
+            return Err(format!(
+                "unknown policy `{other}` (expected ignore or tradeoff)"
+            ))
+        }
+    };
+    let rid_of = |rid: u64| {
+        u32::try_from(rid)
+            .map(ResourceId)
+            .map_err(|_| format!("resource id {rid} out of range"))
+    };
+    let rigid = def.demand.is_some() || def.from.is_some() || def.to.is_some();
+    let malleable = def.resource.is_some() || def.volume.is_some() || def.deadline.is_some();
+    let request = match (rigid, malleable) {
+        (true, false) => {
+            let (Some(demand), Some(from), Some(to)) = (&def.demand, def.from, def.to) else {
+                return Err("a rigid advance frame needs demand, from, and to".into());
+            };
+            let mut pairs = Vec::with_capacity(demand.len());
+            for &(rid, amount) in demand {
+                pairs.push((rid_of(rid)?, amount));
+            }
+            let demand = ResourceVector::from_pairs(pairs).map_err(|e| e.to_string())?;
+            AdvanceRequest::rigid(session, demand, SimTime::new(from), SimTime::new(to))
+        }
+        (false, true) => {
+            let (Some(resource), Some(volume), Some(deadline)) =
+                (def.resource, def.volume, def.deadline)
+            else {
+                return Err(
+                    "a malleable advance frame needs resource, volume, and deadline".into(),
+                );
+            };
+            let mut request = AdvanceRequest::malleable(
+                session,
+                rid_of(resource)?,
+                volume,
+                SimTime::new(deadline),
+            );
+            if let Some(earliest) = def.earliest {
+                request = request.earliest(SimTime::new(earliest));
+            }
+            if let Some(rate) = def.min_rate {
+                request = request.min_rate(rate);
+            }
+            if let Some(rate) = def.max_rate {
+                request = request.max_rate(rate);
+            }
+            request
+        }
+        _ => {
+            return Err(
+                "an advance frame is either rigid (demand, from, to) or malleable \
+                 (resource, volume, deadline), not both or neither"
+                    .into(),
+            )
+        }
+    };
+    Ok(request.alpha_policy(policy).allow_preempt(def.preempt))
 }
 
 /// What the per-connection reader threads feed the admission thread.
@@ -595,6 +668,25 @@ fn admission_loop(
     let coordinator = world.coordinator();
     let counters = coordinator.counters_arc();
     let queue = AdmissionQueue::new(coordinator, config);
+    // Advance reservations live on shadow timelines mirroring every
+    // broker's capacity. Advance sessions are leased to the connection
+    // that booked them, exactly like admitted sessions.
+    let advance = {
+        let mut registry = AdvanceRegistry::new();
+        for proxy in coordinator.proxies() {
+            for broker in proxy.brokers().iter() {
+                registry.register(Arc::new(TimelineBroker::new(
+                    broker.resource(),
+                    broker.capacity(),
+                )));
+            }
+        }
+        registry.set_counters(Arc::clone(&counters));
+        registry
+    };
+    let mut next_advance_session = 0u64;
+    // Advance session id → owning connection.
+    let mut advance_leases: HashMap<u64, u64> = HashMap::new();
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut sessions: HashMap<u64, LiveSession> = HashMap::new();
     let mut pending: std::collections::VecDeque<Cmd> = std::collections::VecDeque::new();
@@ -643,6 +735,7 @@ fn admission_loop(
                 Cmd::Disconnect { conn } => {
                     counters.record_serve_disconnect();
                     release_leases(coordinator, &mut sessions, conn, SimTime::new(clock));
+                    release_advance_leases(&advance, &mut advance_leases, conn);
                     close_conn(&mut conns, conn);
                 }
                 Cmd::Frame { conn, frame } => {
@@ -707,6 +800,51 @@ fn admission_loop(
                         RequestFrame::Batch { now, requests } => {
                             let batch: Vec<_> = requests.into_iter().map(|d| (conn, d)).collect();
                             run_round(&world, &queue, &mut conns, &mut sessions, batch, now);
+                        }
+                        RequestFrame::Advance(def) => {
+                            let session = SessionId(next_advance_session + 1);
+                            let response = match resolve_advance(&def, session) {
+                                Ok(request) => {
+                                    let outcome = advance.book(&request, SimTime::new(clock));
+                                    if outcome.is_booked() {
+                                        next_advance_session += 1;
+                                        advance_leases.insert(session.0, conn);
+                                    }
+                                    ResponseFrame::Advance(AdvanceOutcomeFrame::from_outcome(
+                                        def.id, session, &outcome,
+                                    ))
+                                }
+                                Err(message) => ResponseFrame::Error {
+                                    id: Some(def.id),
+                                    message,
+                                },
+                            };
+                            send_to(&conns, conn, response);
+                        }
+                        RequestFrame::AdvanceCancel { id, session } => {
+                            let response = match advance_leases.get(&session) {
+                                Some(&owner) if owner == conn => {
+                                    advance_leases.remove(&session);
+                                    let cancelled = advance.cancel_all(SessionId(session));
+                                    ResponseFrame::AdvanceCancelled {
+                                        id,
+                                        session,
+                                        released_volume: cancelled.released_volume,
+                                        bookings_removed: cancelled.bookings_removed as u64,
+                                    }
+                                }
+                                Some(_) => ResponseFrame::Error {
+                                    id: Some(id),
+                                    message: format!(
+                                        "advance session {session} is leased to another connection"
+                                    ),
+                                },
+                                None => ResponseFrame::Error {
+                                    id: Some(id),
+                                    message: format!("unknown advance session {session}"),
+                                },
+                            };
+                            send_to(&conns, conn, response);
                         }
                         RequestFrame::Terminate { id, session } => {
                             let response = match sessions.get(&session) {
@@ -962,6 +1100,19 @@ fn release_leases(
     }
 }
 
+/// Cancels every advance session leased to `conn` — the
+/// reservation-timeline analogue of [`release_leases`].
+fn release_advance_leases(advance: &AdvanceRegistry, leases: &mut HashMap<u64, u64>, conn: u64) {
+    leases.retain(|&session, &mut owner| {
+        if owner == conn {
+            advance.cancel_all(SessionId(session));
+            false
+        } else {
+            true
+        }
+    });
+}
+
 /// Removes `conn` from the table. Order matters: half-close the read
 /// side first so a blocked reader sees EOF and drops its clone of the
 /// response sender — only then can the writer's channel disconnect and
@@ -1125,6 +1276,138 @@ mod tests {
             panic!("expected an error frame");
         };
         assert_eq!(id, Some(8));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn advance_frames_book_cancel_and_reject_over_the_wire() {
+        let server = start(&ServeOptions::default()).expect("start");
+        let mut client = Client::connect(server.addr());
+
+        // A malleable transfer on resource 0 (bench capacities are huge).
+        let mut def = AdvanceDef::malleable(1, 0, 500.0, 100.0);
+        def.max_rate = Some(25.0);
+        def.policy = Some("tradeoff".into());
+        client.send(&RequestFrame::Advance(def));
+        let ResponseFrame::Advance(outcome) = client.recv() else {
+            panic!("expected an advance outcome frame");
+        };
+        assert_eq!(outcome.id, 1);
+        assert_eq!(outcome.status, "booked");
+        assert_eq!(outcome.volume, Some(500.0));
+        let session = outcome.session.expect("booked outcomes name a session");
+
+        // A rigid window booking alongside it.
+        client.send(&RequestFrame::Advance(AdvanceDef::rigid(
+            2,
+            vec![(0, 10.0), (1, 5.0)],
+            0.0,
+            4.0,
+        )));
+        let ResponseFrame::Advance(outcome) = client.recv() else {
+            panic!("expected an advance outcome frame");
+        };
+        assert_eq!(outcome.status, "booked");
+
+        // Cancelling the transfer reports what it released.
+        client.send(&RequestFrame::AdvanceCancel { id: 3, session });
+        let ResponseFrame::AdvanceCancelled {
+            id: 3,
+            released_volume,
+            bookings_removed,
+            ..
+        } = client.recv()
+        else {
+            panic!("expected an advance-cancelled frame");
+        };
+        assert!(released_volume >= 500.0 - 1e-6);
+        assert!(bookings_removed >= 1);
+
+        // Cancelling it again: the lease is gone.
+        client.send(&RequestFrame::AdvanceCancel { id: 4, session });
+        let ResponseFrame::Error { id, message } = client.recv() else {
+            panic!("expected an error frame");
+        };
+        assert_eq!(id, Some(4));
+        assert!(message.contains("unknown advance session"));
+
+        // A malformed def (both shapes at once) answers with an error.
+        let mut bad = AdvanceDef::rigid(5, vec![(0, 1.0)], 0.0, 1.0);
+        bad.volume = Some(10.0);
+        client.send(&RequestFrame::Advance(bad));
+        let ResponseFrame::Error { id, .. } = client.recv() else {
+            panic!("expected an error frame");
+        };
+        assert_eq!(id, Some(5));
+
+        // An unknown resource rejects cleanly, keeping the connection.
+        client.send(&RequestFrame::Advance(AdvanceDef::malleable(
+            6, 999_999, 10.0, 50.0,
+        )));
+        let ResponseFrame::Advance(outcome) = client.recv() else {
+            panic!("expected an advance outcome frame");
+        };
+        assert_eq!(outcome.status, "rejected");
+        assert!(outcome.error.is_some());
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn disconnects_release_advance_leases() {
+        let server = start(&ServeOptions::default()).expect("start");
+
+        // Client 1 books resource 0's full bench capacity over [0, 5).
+        let mut holder = Client::connect(server.addr());
+        holder.send(&RequestFrame::Advance(AdvanceDef::rigid(
+            1,
+            vec![(0, 1.0e12)],
+            0.0,
+            5.0,
+        )));
+        let ResponseFrame::Advance(outcome) = holder.recv() else {
+            panic!("expected an advance outcome frame");
+        };
+        assert_eq!(outcome.status, "booked");
+
+        // Client 2 cannot book the same window while the lease stands…
+        let mut rival = Client::connect(server.addr());
+        rival.send(&RequestFrame::Advance(AdvanceDef::rigid(
+            2,
+            vec![(0, 1.0e12)],
+            0.0,
+            5.0,
+        )));
+        let ResponseFrame::Advance(outcome) = rival.recv() else {
+            panic!("expected an advance outcome frame");
+        };
+        assert_eq!(outcome.status, "rejected");
+
+        // …but once client 1 dies, its advance bookings are cancelled.
+        drop(holder);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut id = 3;
+        loop {
+            rival.send(&RequestFrame::Advance(AdvanceDef::rigid(
+                id,
+                vec![(0, 1.0e12)],
+                0.0,
+                5.0,
+            )));
+            let ResponseFrame::Advance(outcome) = rival.recv() else {
+                panic!("expected an advance outcome frame");
+            };
+            if outcome.status == "booked" {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "the dead client's advance lease was never released"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+            id += 1;
+        }
 
         server.shutdown();
     }

@@ -22,7 +22,7 @@
 //! clean [`WireError::Json`], and an EOF on a frame boundary is
 //! `Ok(None)` (the peer hung up politely).
 
-use qosr_broker::EstablishOutcome;
+use qosr_broker::{AdvanceOutcome, EstablishOutcome, SessionId};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -501,6 +501,131 @@ impl EstablishDef {
     }
 }
 
+/// One advance-reservation request: either a *rigid* future-window
+/// booking (a fixed per-resource demand held over `[from, to)`) or a
+/// *malleable* bulk transfer (a volume to move over one resource
+/// before a deadline — the server picks start, duration, and rate).
+/// Exactly one of the two field groups must be present.
+///
+/// `Serialize` is manual: absent options and a default `preempt` are
+/// omitted from the wire form, mirroring [`EstablishDef`].
+#[derive(Debug, Clone, PartialEq, Deserialize)]
+pub struct AdvanceDef {
+    /// Client-chosen correlation id, echoed on the outcome frame.
+    pub id: u64,
+    /// Rigid: per-resource demand as `[resource, amount]` pairs.
+    #[serde(default)]
+    pub demand: Option<Vec<(u64, f64)>>,
+    /// Rigid: window start, in server sim-time.
+    #[serde(default)]
+    pub from: Option<f64>,
+    /// Rigid: window end (exclusive), in server sim-time.
+    #[serde(default)]
+    pub to: Option<f64>,
+    /// Malleable: the resource the volume moves over.
+    #[serde(default)]
+    pub resource: Option<u64>,
+    /// Malleable: total volume to move (amount × time units).
+    #[serde(default)]
+    pub volume: Option<f64>,
+    /// Malleable: completion deadline, in server sim-time.
+    #[serde(default)]
+    pub deadline: Option<f64>,
+    /// Malleable: earliest admissible start (default: now).
+    #[serde(default)]
+    pub earliest: Option<f64>,
+    /// Malleable: lowest useful transfer rate (default 0).
+    #[serde(default)]
+    pub min_rate: Option<f64>,
+    /// Malleable: transfer-rate cap (default unbounded).
+    #[serde(default)]
+    pub max_rate: Option<f64>,
+    /// Rigid: allow preempting malleable sessions to make room.
+    #[serde(default)]
+    pub preempt: bool,
+    /// Start-vs-contention policy: `ignore` (default) or `tradeoff`.
+    #[serde(default)]
+    pub policy: Option<String>,
+}
+
+impl AdvanceDef {
+    /// A rigid window booking of `demand` over `[from, to)`.
+    pub fn rigid(id: u64, demand: Vec<(u64, f64)>, from: f64, to: f64) -> Self {
+        AdvanceDef {
+            id,
+            demand: Some(demand),
+            from: Some(from),
+            to: Some(to),
+            resource: None,
+            volume: None,
+            deadline: None,
+            earliest: None,
+            min_rate: None,
+            max_rate: None,
+            preempt: false,
+            policy: None,
+        }
+    }
+
+    /// A malleable transfer of `volume` over `resource` by `deadline`.
+    pub fn malleable(id: u64, resource: u64, volume: f64, deadline: f64) -> Self {
+        AdvanceDef {
+            id,
+            demand: None,
+            from: None,
+            to: None,
+            resource: Some(resource),
+            volume: Some(volume),
+            deadline: Some(deadline),
+            earliest: None,
+            min_rate: None,
+            max_rate: None,
+            preempt: false,
+            policy: None,
+        }
+    }
+}
+
+impl Serialize for AdvanceDef {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![("id".to_owned(), self.id.to_value())];
+        if let Some(d) = &self.demand {
+            fields.push(("demand".to_owned(), d.to_value()));
+        }
+        if let Some(f) = self.from {
+            fields.push(("from".to_owned(), f.to_value()));
+        }
+        if let Some(t) = self.to {
+            fields.push(("to".to_owned(), t.to_value()));
+        }
+        if let Some(r) = self.resource {
+            fields.push(("resource".to_owned(), r.to_value()));
+        }
+        if let Some(v) = self.volume {
+            fields.push(("volume".to_owned(), v.to_value()));
+        }
+        if let Some(d) = self.deadline {
+            fields.push(("deadline".to_owned(), d.to_value()));
+        }
+        if let Some(e) = self.earliest {
+            fields.push(("earliest".to_owned(), e.to_value()));
+        }
+        if let Some(r) = self.min_rate {
+            fields.push(("min_rate".to_owned(), r.to_value()));
+        }
+        if let Some(r) = self.max_rate {
+            fields.push(("max_rate".to_owned(), r.to_value()));
+        }
+        if self.preempt {
+            fields.push(("preempt".to_owned(), true.to_value()));
+        }
+        if let Some(p) = &self.policy {
+            fields.push(("policy".to_owned(), p.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
 /// A client→server frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestFrame {
@@ -516,6 +641,16 @@ pub enum RequestFrame {
         now: Option<f64>,
         /// The round's requests, in arrival order.
         requests: Vec<EstablishDef>,
+    },
+    /// Book an advance reservation (rigid window or malleable
+    /// transfer) on the server's reservation timelines.
+    Advance(AdvanceDef),
+    /// Cancel an advance session's bookings ahead of its window.
+    AdvanceCancel {
+        /// Correlation id.
+        id: u64,
+        /// The session id a prior advance-outcome frame reported.
+        session: u64,
     },
     /// Release an admitted session's reservations.
     Terminate {
@@ -552,6 +687,20 @@ pub enum RequestFrame {
 pub enum ResponseFrame {
     /// The structured result of one establish.
     Outcome(OutcomeFrame),
+    /// The structured result of one advance request.
+    Advance(AdvanceOutcomeFrame),
+    /// An advance cancel completed (possibly releasing nothing).
+    AdvanceCancelled {
+        /// Correlation id of the cancel request.
+        id: u64,
+        /// The cancelled advance session id.
+        session: u64,
+        /// Total volume released — Σ amount × duration over the
+        /// removed bookings.
+        released_volume: f64,
+        /// How many bookings were removed.
+        bookings_removed: u64,
+    },
     /// A terminate completed, releasing `released` capacity units.
     Terminated {
         /// Correlation id of the terminate request.
@@ -723,6 +872,139 @@ impl OutcomeFrame {
     }
 }
 
+/// The wire form of one [`AdvanceOutcome`], flattened to scalars.
+///
+/// `Serialize` is manual: `None` fields are omitted rather than sent
+/// as `null`, mirroring [`OutcomeFrame`].
+#[derive(Debug, Clone, PartialEq, Deserialize)]
+pub struct AdvanceOutcomeFrame {
+    /// Correlation id of the advance request.
+    pub id: u64,
+    /// `booked`, `repacked`, or `rejected`.
+    pub status: String,
+    /// The advance session id (absent when rejected) — the handle a
+    /// later `advance_cancel` frame names.
+    #[serde(default)]
+    pub session: Option<u64>,
+    /// When the booked plan starts (absent when rejected).
+    #[serde(default)]
+    pub start: Option<f64>,
+    /// When the booked plan completes (absent when rejected).
+    #[serde(default)]
+    pub end: Option<f64>,
+    /// Total volume booked (absent when rejected).
+    #[serde(default)]
+    pub volume: Option<f64>,
+    /// The plan's contention share ψ (absent when rejected).
+    #[serde(default)]
+    pub psi: Option<f64>,
+    /// Constant-rate pieces in the plan (absent when rejected).
+    #[serde(default)]
+    pub segments: Option<u64>,
+    /// Malleable sessions moved to make room (repacked outcomes only).
+    #[serde(default)]
+    pub moved: Option<Vec<u64>>,
+    /// The rejection error, rendered (rejected outcomes only).
+    #[serde(default)]
+    pub error: Option<String>,
+    /// For rejected malleable requests: the earliest deadline under
+    /// which the same transfer would fit today, when one exists.
+    #[serde(default)]
+    pub nearest_deadline: Option<f64>,
+}
+
+impl Serialize for AdvanceOutcomeFrame {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_owned(), self.id.to_value()),
+            ("status".to_owned(), self.status.to_value()),
+        ];
+        if let Some(s) = self.session {
+            fields.push(("session".to_owned(), s.to_value()));
+        }
+        if let Some(s) = self.start {
+            fields.push(("start".to_owned(), s.to_value()));
+        }
+        if let Some(e) = self.end {
+            fields.push(("end".to_owned(), e.to_value()));
+        }
+        if let Some(v) = self.volume {
+            fields.push(("volume".to_owned(), v.to_value()));
+        }
+        if let Some(p) = self.psi {
+            fields.push(("psi".to_owned(), p.to_value()));
+        }
+        if let Some(s) = self.segments {
+            fields.push(("segments".to_owned(), s.to_value()));
+        }
+        if let Some(m) = &self.moved {
+            fields.push(("moved".to_owned(), m.to_value()));
+        }
+        if let Some(e) = &self.error {
+            fields.push(("error".to_owned(), e.to_value()));
+        }
+        if let Some(n) = self.nearest_deadline {
+            fields.push(("nearest_deadline".to_owned(), n.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl AdvanceOutcomeFrame {
+    /// Flattens an in-process [`AdvanceOutcome`] to its wire form —
+    /// the one conversion the server and its tests share, so frame
+    /// equality *is* outcome equality. `session` is the id the server
+    /// booked the request under (ignored for rejections).
+    pub fn from_outcome(id: u64, session: SessionId, outcome: &AdvanceOutcome) -> Self {
+        let mut frame = AdvanceOutcomeFrame {
+            id,
+            status: String::new(),
+            session: None,
+            start: None,
+            end: None,
+            volume: None,
+            psi: None,
+            segments: None,
+            moved: None,
+            error: None,
+            nearest_deadline: None,
+        };
+        let mut fill = |profile: &qosr_broker::AdvanceProfile| {
+            frame.session = Some(session.0);
+            frame.start = Some(profile.start.value());
+            frame.end = Some(profile.end.value());
+            frame.volume = Some(profile.volume);
+            frame.psi = Some(profile.psi);
+            frame.segments = Some(profile.segments.len() as u64);
+        };
+        match outcome {
+            AdvanceOutcome::Booked { profile } => {
+                fill(profile);
+                frame.status = "booked".into();
+            }
+            AdvanceOutcome::Repacked { profile, moved } => {
+                fill(profile);
+                frame.status = "repacked".into();
+                frame.moved = Some(moved.iter().map(|s| s.0).collect());
+            }
+            AdvanceOutcome::Rejected {
+                error,
+                nearest_feasible_deadline,
+            } => {
+                frame.status = "rejected".into();
+                frame.error = Some(error.to_string());
+                frame.nearest_deadline = nearest_feasible_deadline.map(|t| t.value());
+            }
+        }
+        frame
+    }
+
+    /// `true` for `booked` and `repacked` outcomes.
+    pub fn is_booked(&self) -> bool {
+        self.status != "rejected"
+    }
+}
+
 /// One server snapshot: admission progress and capacity accounting.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsFrame {
@@ -769,8 +1051,10 @@ fn untag<'a>(v: &'a Value, what: &str, known: &str) -> Result<(&'a str, &'a Valu
     Ok((key.as_str(), body))
 }
 
-const REQUEST_KINDS: &str = "establish, batch, terminate, renegotiate, stats, ping, shutdown";
-const RESPONSE_KINDS: &str = "outcome, terminated, renegotiated, stats, pong, error, bye";
+const REQUEST_KINDS: &str =
+    "establish, batch, advance, advance_cancel, terminate, renegotiate, stats, ping, shutdown";
+const RESPONSE_KINDS: &str =
+    "outcome, advance, advance_cancelled, terminated, renegotiated, stats, pong, error, bye";
 
 #[derive(Serialize, Deserialize)]
 struct BatchDef {
@@ -799,6 +1083,15 @@ impl Serialize for RequestFrame {
                 BatchDef {
                     now: *now,
                     requests: requests.clone(),
+                }
+                .to_value(),
+            ),
+            RequestFrame::Advance(def) => tagged("advance", def.to_value()),
+            RequestFrame::AdvanceCancel { id, session } => tagged(
+                "advance_cancel",
+                SessionRef {
+                    id: *id,
+                    session: *session,
                 }
                 .to_value(),
             ),
@@ -840,6 +1133,16 @@ impl Deserialize for RequestFrame {
                     requests: d.requests,
                 })
             }
+            "advance" => Ok(RequestFrame::Advance(
+                AdvanceDef::from_value(body).map_err(in_key)?,
+            )),
+            "advance_cancel" => {
+                let d = SessionRef::from_value(body).map_err(in_key)?;
+                Ok(RequestFrame::AdvanceCancel {
+                    id: d.id,
+                    session: d.session,
+                })
+            }
             "terminate" => {
                 let d = SessionRef::from_value(body).map_err(in_key)?;
                 Ok(RequestFrame::Terminate {
@@ -868,6 +1171,14 @@ impl Deserialize for RequestFrame {
             ))),
         }
     }
+}
+
+#[derive(Serialize, Deserialize)]
+struct AdvanceCancelledDef {
+    id: u64,
+    session: u64,
+    released_volume: f64,
+    bookings_removed: u64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -902,6 +1213,22 @@ impl Serialize for ResponseFrame {
     fn to_value(&self) -> Value {
         match self {
             ResponseFrame::Outcome(frame) => tagged("outcome", frame.to_value()),
+            ResponseFrame::Advance(frame) => tagged("advance", frame.to_value()),
+            ResponseFrame::AdvanceCancelled {
+                id,
+                session,
+                released_volume,
+                bookings_removed,
+            } => tagged(
+                "advance_cancelled",
+                AdvanceCancelledDef {
+                    id: *id,
+                    session: *session,
+                    released_volume: *released_volume,
+                    bookings_removed: *bookings_removed,
+                }
+                .to_value(),
+            ),
             ResponseFrame::Terminated {
                 id,
                 session,
@@ -957,6 +1284,18 @@ impl Deserialize for ResponseFrame {
             "outcome" => Ok(ResponseFrame::Outcome(
                 OutcomeFrame::from_value(body).map_err(in_key)?,
             )),
+            "advance" => Ok(ResponseFrame::Advance(
+                AdvanceOutcomeFrame::from_value(body).map_err(in_key)?,
+            )),
+            "advance_cancelled" => {
+                let d = AdvanceCancelledDef::from_value(body).map_err(in_key)?;
+                Ok(ResponseFrame::AdvanceCancelled {
+                    id: d.id,
+                    session: d.session,
+                    released_volume: d.released_volume,
+                    bookings_removed: d.bookings_removed,
+                })
+            }
             "terminated" => {
                 let d = TerminatedDef::from_value(body).map_err(in_key)?;
                 Ok(ResponseFrame::Terminated {
@@ -1034,11 +1373,116 @@ mod tests {
             now: Some(4.0),
             requests: vec![EstablishDef::new(1), EstablishDef::new(2)],
         });
+        roundtrip_request(RequestFrame::Advance(AdvanceDef::rigid(
+            10,
+            vec![(0, 25.0), (3, 4.5)],
+            5.0,
+            9.0,
+        )));
+        let mut malleable = AdvanceDef::malleable(11, 2, 500.0, 40.0);
+        malleable.earliest = Some(8.0);
+        malleable.min_rate = Some(1.0);
+        malleable.max_rate = Some(25.0);
+        malleable.policy = Some("tradeoff".into());
+        roundtrip_request(RequestFrame::Advance(malleable));
+        let mut preempting = AdvanceDef::rigid(12, vec![(1, 10.0)], 0.0, 2.0);
+        preempting.preempt = true;
+        roundtrip_request(RequestFrame::Advance(preempting));
+        roundtrip_request(RequestFrame::AdvanceCancel { id: 13, session: 4 });
         roundtrip_request(RequestFrame::Terminate { id: 3, session: 9 });
         roundtrip_request(RequestFrame::Renegotiate { id: 4, session: 9 });
         roundtrip_request(RequestFrame::Stats { id: 5 });
         roundtrip_request(RequestFrame::Ping { id: 6 });
         roundtrip_request(RequestFrame::Shutdown);
+    }
+
+    fn roundtrip_response(frame: ResponseFrame) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let mut cursor = Cursor::new(buf);
+        let back: ResponseFrame = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn advance_response_frames_roundtrip() {
+        roundtrip_response(ResponseFrame::Advance(AdvanceOutcomeFrame {
+            id: 1,
+            status: "repacked".into(),
+            session: Some(7),
+            start: Some(3.0),
+            end: Some(9.5),
+            volume: Some(130.0),
+            psi: Some(0.4),
+            segments: Some(2),
+            moved: Some(vec![3, 5]),
+            error: None,
+            nearest_deadline: None,
+        }));
+        roundtrip_response(ResponseFrame::Advance(AdvanceOutcomeFrame {
+            id: 2,
+            status: "rejected".into(),
+            session: None,
+            start: None,
+            end: None,
+            volume: None,
+            psi: None,
+            segments: None,
+            moved: None,
+            error: Some("insufficient capacity".into()),
+            nearest_deadline: Some(62.5),
+        }));
+        roundtrip_response(ResponseFrame::AdvanceCancelled {
+            id: 3,
+            session: 7,
+            released_volume: 130.0,
+            bookings_removed: 2,
+        });
+    }
+
+    #[test]
+    fn advance_outcome_frames_flatten_like_their_outcomes() {
+        use qosr_broker::{AdvanceRegistry, AdvanceRequest, SimTime, TimelineBroker};
+        use qosr_model::{ResourceId, ResourceVector};
+        use std::sync::Arc;
+
+        let rid = ResourceId(0);
+        let mut registry = AdvanceRegistry::new();
+        registry.register(Arc::new(TimelineBroker::new(rid, 10.0)));
+
+        let transfer = AdvanceRequest::malleable(SessionId(1), rid, 40.0, SimTime::new(8.0));
+        let frame = AdvanceOutcomeFrame::from_outcome(
+            5,
+            SessionId(1),
+            &registry.book(&transfer, SimTime::ZERO),
+        );
+        assert!(frame.is_booked());
+        assert_eq!(frame.status, "booked");
+        assert_eq!(frame.session, Some(1));
+        assert_eq!(frame.volume, Some(40.0));
+        assert_eq!(frame.segments, Some(1));
+
+        let demand = ResourceVector::from_pairs([(rid, 10.0)]).expect("demand");
+        let rigid = AdvanceRequest::rigid(SessionId(2), demand, SimTime::ZERO, SimTime::new(4.0))
+            .allow_preempt(true);
+        let frame = AdvanceOutcomeFrame::from_outcome(
+            6,
+            SessionId(2),
+            &registry.book(&rigid, SimTime::ZERO),
+        );
+        assert_eq!(frame.status, "repacked");
+        assert_eq!(frame.moved, Some(vec![1]));
+
+        let hopeless = AdvanceRequest::malleable(SessionId(3), rid, 1.0e9, SimTime::new(9.0));
+        let frame = AdvanceOutcomeFrame::from_outcome(
+            7,
+            SessionId(3),
+            &registry.book(&hopeless, SimTime::ZERO),
+        );
+        assert!(!frame.is_booked());
+        assert_eq!(frame.session, None);
+        assert!(frame.error.is_some());
+        assert!(frame.nearest_deadline.is_some());
     }
 
     #[test]

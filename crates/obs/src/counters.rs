@@ -47,6 +47,9 @@ pub struct Counters {
     serve_batches: AtomicU64,
     serve_protocol_errors: AtomicU64,
     serve_disconnects: AtomicU64,
+    advance_booked: AtomicU64,
+    advance_repacked: AtomicU64,
+    advance_rejected: AtomicU64,
     psi: PsiHistogram,
 }
 
@@ -224,6 +227,24 @@ impl Counters {
         self.serve_disconnects.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// An advance request (rigid window or malleable bulk transfer) was
+    /// booked without displacing anyone.
+    pub fn record_advance_booked(&self) {
+        self.advance_booked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A rigid advance request was admitted by preempting malleable
+    /// bookings and replanning them around it.
+    pub fn record_advance_repacked(&self) {
+        self.advance_repacked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An advance request was rejected (no feasible profile, or the
+    /// repack could not make room).
+    pub fn record_advance_rejected(&self) {
+        self.advance_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The committed-Ψ histogram.
     pub fn psi_histogram(&self) -> &PsiHistogram {
         &self.psi
@@ -260,6 +281,9 @@ impl Counters {
             serve_batches: self.serve_batches.load(Ordering::Relaxed),
             serve_protocol_errors: self.serve_protocol_errors.load(Ordering::Relaxed),
             serve_disconnects: self.serve_disconnects.load(Ordering::Relaxed),
+            advance_booked: self.advance_booked.load(Ordering::Relaxed),
+            advance_repacked: self.advance_repacked.load(Ordering::Relaxed),
+            advance_rejected: self.advance_rejected.load(Ordering::Relaxed),
             psi_buckets: self.psi.counts().to_vec(),
             psi_milli: self.psi.milli().snapshot(),
         }
@@ -328,6 +352,12 @@ pub struct CountersSnapshot {
     pub serve_protocol_errors: u64,
     /// Client connections closed (sessions leased to them released).
     pub serve_disconnects: u64,
+    /// Advance requests booked (rigid windows and malleable profiles).
+    pub advance_booked: u64,
+    /// Rigid advance requests admitted by preempt-and-repack.
+    pub advance_repacked: u64,
+    /// Advance requests rejected.
+    pub advance_rejected: u64,
     /// Committed-Ψ histogram counts
     /// ([`PSI_BUCKETS`](crate::PSI_BUCKETS) edges + overflow).
     pub psi_buckets: Vec<u64>,
@@ -372,6 +402,10 @@ mod tests {
         c.record_serve_batch();
         c.record_serve_protocol_error();
         c.record_serve_disconnect();
+        c.record_advance_booked();
+        c.record_advance_booked();
+        c.record_advance_repacked();
+        c.record_advance_rejected();
         let snap = c.snapshot();
         assert_eq!(snap.plans_started, 2);
         assert_eq!(snap.plans_completed, 1);
@@ -389,6 +423,9 @@ mod tests {
         assert_eq!(snap.serve_batches, 1);
         assert_eq!(snap.serve_protocol_errors, 1);
         assert_eq!(snap.serve_disconnects, 1);
+        assert_eq!(snap.advance_booked, 2);
+        assert_eq!(snap.advance_repacked, 1);
+        assert_eq!(snap.advance_rejected, 1);
         assert_eq!(snap.psi_buckets[4], 1); // 0.4 falls in [0.4, 0.5)
         assert_eq!(snap.psi_milli.count, 1);
         assert_eq!(snap.psi_milli.max, 400); // milli-Ψ fixed point

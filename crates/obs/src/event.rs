@@ -58,6 +58,23 @@ pub enum EventKind {
     /// An advance-booking window could not be reserved atomically and
     /// was rolled back. Payload: `session`, `resource`, `detail`.
     AdvanceConflict,
+    /// An advance request was booked: a rigid window committed across
+    /// its brokers, or a malleable bulk transfer got a rate profile.
+    /// Payload: `session`, `value` (booked volume), `psi` (the profile's
+    /// contention index), `detail` (the `[start, end)` window), and for
+    /// malleable requests `resource`.
+    AdvanceBooked,
+    /// A rigid advance request displaced malleable bookings: the
+    /// victims were cancelled, the rigid window committed, and every
+    /// victim was replanned around it (all-or-nothing). Payload:
+    /// `session` (the rigid winner), `value` (its booked volume), `psi`,
+    /// `detail` (how many malleable sessions moved).
+    AdvanceRepacked,
+    /// An advance request was rejected — no feasible window/profile, and
+    /// (if preemption was allowed) repacking could not make room.
+    /// Payload: `session`, `detail` (the error), `value` (the nearest
+    /// feasible deadline for malleable requests, when one exists).
+    AdvanceRejected,
     /// A fault fired: a host crashed, a protocol message was dropped, or
     /// a commit was made to fail. Payload: `name` (the affected host),
     /// `detail` (what kind of fault).

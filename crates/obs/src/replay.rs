@@ -80,6 +80,17 @@ pub struct TraceSummary {
     pub downgrades: u64,
     /// Advance-booking conflicts.
     pub advance_conflicts: u64,
+    /// Advance requests booked ([`EventKind::AdvanceBooked`]).
+    pub advance_booked: u64,
+    /// Rigid advance requests admitted by preempt-and-repack
+    /// ([`EventKind::AdvanceRepacked`]).
+    pub advance_repacked: u64,
+    /// Advance requests rejected ([`EventKind::AdvanceRejected`]).
+    pub advance_rejected: u64,
+    /// Total volume booked by advance requests (sum of
+    /// [`EventKind::AdvanceBooked`]/[`EventKind::AdvanceRepacked`]
+    /// `value` payloads).
+    pub advance_volume: f64,
     /// Injected faults that fired (crashes, drops, commit failures).
     pub faults_injected: u64,
     /// Crashed hosts that came back up.
@@ -186,6 +197,15 @@ impl TraceSummary {
                 EventKind::SessionUpgraded => summary.upgrades += 1,
                 EventKind::SessionReleased => summary.released += 1,
                 EventKind::AdvanceConflict => summary.advance_conflicts += 1,
+                EventKind::AdvanceBooked => {
+                    summary.advance_booked += 1;
+                    summary.advance_volume += event.value.unwrap_or(0.0);
+                }
+                EventKind::AdvanceRepacked => {
+                    summary.advance_repacked += 1;
+                    summary.advance_volume += event.value.unwrap_or(0.0);
+                }
+                EventKind::AdvanceRejected => summary.advance_rejected += 1,
                 EventKind::FaultInjected => summary.faults_injected += 1,
                 EventKind::HostRecovered => summary.host_recoveries += 1,
                 EventKind::EstablishRetry => summary.retries += 1,
@@ -273,6 +293,12 @@ impl TraceSummary {
         let _ = writeln!(out, "  tradeoff downgrades    : {}", self.downgrades);
         if self.advance_conflicts > 0 {
             let _ = writeln!(out, "  advance conflicts      : {}", self.advance_conflicts);
+        }
+        if self.advance_booked > 0 || self.advance_repacked > 0 || self.advance_rejected > 0 {
+            let _ = writeln!(out, "  advance bookings       : {}", self.advance_booked);
+            let _ = writeln!(out, "  advance repacks        : {}", self.advance_repacked);
+            let _ = writeln!(out, "  advance rejections     : {}", self.advance_rejected);
+            let _ = writeln!(out, "  advance volume booked  : {:.1}", self.advance_volume);
         }
         if self.faults_injected > 0
             || self.host_recoveries > 0
@@ -547,6 +573,35 @@ mod tests {
         assert!(!TraceSummary::from_events(&[])
             .render()
             .contains("scenario triggers"));
+    }
+
+    #[test]
+    fn advance_events_reduce_and_render() {
+        let events = vec![
+            TraceEvent::new(1.0, EventKind::AdvanceBooked)
+                .with_session(7)
+                .with_value(600.0)
+                .with_psi(0.6),
+            TraceEvent::new(2.0, EventKind::AdvanceRepacked)
+                .with_session(8)
+                .with_value(400.0)
+                .with_detail("moved 2 malleable sessions"),
+            TraceEvent::new(3.0, EventKind::AdvanceRejected)
+                .with_session(9)
+                .with_detail("insufficient"),
+        ];
+        let summary = TraceSummary::from_events(&events);
+        assert_eq!(summary.advance_booked, 1);
+        assert_eq!(summary.advance_repacked, 1);
+        assert_eq!(summary.advance_rejected, 1);
+        assert_eq!(summary.advance_volume, 1000.0);
+        let rendered = summary.render();
+        assert!(rendered.contains("advance bookings       : 1"));
+        assert!(rendered.contains("advance volume booked  : 1000.0"));
+        // Traces with no advance traffic omit the block entirely.
+        assert!(!TraceSummary::from_events(&[])
+            .render()
+            .contains("advance bookings"));
     }
 
     #[test]

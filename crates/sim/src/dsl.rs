@@ -190,6 +190,25 @@ pub enum EventSpec {
     /// Redraw the per-service popularity weights immediately (on top of
     /// the periodic `prob_shift_period` reshuffles).
     ShiftWeights,
+    /// Submit a malleable advance reservation: move `volume` units over
+    /// a network link before a deadline `within` TU after the firing
+    /// time. The advance planner picks start, duration, and rate
+    /// profile around existing bookings (see DESIGN.md, "Advance
+    /// reservations & malleable planning").
+    BulkTransfer {
+        /// Total volume to move (rate × TU).
+        volume: f64,
+        /// Relative deadline: the transfer must finish within this many
+        /// TU of the rule firing.
+        within: f64,
+        /// A physical link name (`"L3"`); unset = the first link.
+        resource: Option<String>,
+        /// Minimum usable rate; thinner availability steps are paused
+        /// through rather than trickled.
+        min_rate: Option<f64>,
+        /// Rate ceiling (e.g. a NIC line rate).
+        max_rate: Option<f64>,
+    },
 }
 
 impl EventSpec {
@@ -206,6 +225,7 @@ impl EventSpec {
             EventSpec::Diurnal { .. } => "diurnal",
             EventSpec::HeavyTail { .. } => "heavy_tail",
             EventSpec::ShiftWeights => "shift_weights",
+            EventSpec::BulkTransfer { .. } => "bulk_transfer",
         }
     }
 }
@@ -316,6 +336,18 @@ struct DiurnalDef {
 }
 
 #[derive(Serialize, Deserialize)]
+struct BulkTransferDef {
+    volume: f64,
+    within: f64,
+    #[serde(default)]
+    resource: Option<String>,
+    #[serde(default)]
+    min_rate: Option<f64>,
+    #[serde(default)]
+    max_rate: Option<f64>,
+}
+
+#[derive(Serialize, Deserialize)]
 struct HeavyTailDef {
     alpha: f64,
     #[serde(default)]
@@ -344,7 +376,8 @@ fn untag<'a>(v: &'a Value, what: &str, known: &str) -> Result<(&'a str, &'a Valu
 
 const TRIGGER_KINDS: &str = "at, every, utilization_above, sessions_above";
 const EVENT_KINDS: &str = "flash_crowd, crash_host, recover_host, resize_capacity, qos_shift, \
-                           set_rate, scale_rate, diurnal, heavy_tail, shift_weights";
+                           set_rate, scale_rate, diurnal, heavy_tail, shift_weights, \
+                           bulk_transfer";
 
 impl Serialize for Trigger {
     fn to_value(&self) -> Value {
@@ -489,6 +522,23 @@ impl Serialize for EventSpec {
                 .to_value(),
             ),
             EventSpec::ShiftWeights => Value::Str("shift_weights".to_owned()),
+            EventSpec::BulkTransfer {
+                volume,
+                within,
+                resource,
+                min_rate,
+                max_rate,
+            } => tagged(
+                "bulk_transfer",
+                BulkTransferDef {
+                    volume: *volume,
+                    within: *within,
+                    resource: resource.clone(),
+                    min_rate: *min_rate,
+                    max_rate: *max_rate,
+                }
+                .to_value(),
+            ),
         }
     }
 }
@@ -561,6 +611,16 @@ impl Deserialize for EventSpec {
                     alpha: d.alpha,
                     min: d.min,
                     cap: d.cap,
+                })
+            }
+            "bulk_transfer" => {
+                let d = BulkTransferDef::from_value(body).map_err(in_key)?;
+                Ok(EventSpec::BulkTransfer {
+                    volume: d.volume,
+                    within: d.within,
+                    resource: d.resource,
+                    min_rate: d.min_rate,
+                    max_rate: d.max_rate,
                 })
             }
             "shift_weights" => {
@@ -1010,6 +1070,40 @@ pub(crate) fn validate_rules(rules: &[Rule]) -> Vec<String> {
                     );
                 }
                 EventSpec::ShiftWeights => {}
+                EventSpec::BulkTransfer {
+                    volume,
+                    within,
+                    min_rate,
+                    max_rate,
+                    ..
+                } => {
+                    check(
+                        volume.is_finite() && *volume > 0.0,
+                        format!("bulk_transfer volume must be > 0, got {volume}"),
+                    );
+                    check(
+                        within.is_finite() && *within > 0.0,
+                        format!("bulk_transfer deadline (within) must be > 0, got {within}"),
+                    );
+                    if let Some(r) = min_rate {
+                        check(
+                            r.is_finite() && *r >= 0.0,
+                            format!("bulk_transfer min_rate must be >= 0, got {r}"),
+                        );
+                    }
+                    if let Some(r) = max_rate {
+                        check(
+                            *r > 0.0,
+                            format!("bulk_transfer max_rate must be > 0, got {r}"),
+                        );
+                    }
+                    if let (Some(lo), Some(hi)) = (min_rate, max_rate) {
+                        check(
+                            hi >= lo,
+                            format!("bulk_transfer needs min_rate <= max_rate, got {lo} > {hi}"),
+                        );
+                    }
+                }
             }
         }
     }
@@ -1104,6 +1198,18 @@ mod tests {
                     ],
                     once: false,
                 },
+                Rule {
+                    name: "nightly-sync".into(),
+                    trigger: Trigger::At(800.0),
+                    events: vec![EventSpec::BulkTransfer {
+                        volume: 5000.0,
+                        within: 300.0,
+                        resource: Some("L1".into()),
+                        min_rate: Some(2.0),
+                        max_rate: Some(60.0),
+                    }],
+                    once: false,
+                },
             ],
         }
     }
@@ -1124,6 +1230,7 @@ mod tests {
         assert!(json.contains(r#""sessions_above""#));
         assert!(json.contains(r#""flash_crowd""#));
         assert!(json.contains(r#""shift_weights""#));
+        assert!(json.contains(r#""bulk_transfer""#));
     }
 
     #[test]

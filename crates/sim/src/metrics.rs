@@ -169,6 +169,21 @@ pub struct RunMetrics {
     /// counts as a normal attempt in `overall`).
     #[serde(default)]
     pub burst_arrivals: u64,
+    /// Malleable advance reservations admitted as requested (scenario
+    /// `bulk_transfer` events).
+    #[serde(default)]
+    pub advance_booked: u64,
+    /// Advance requests admitted only after preempting and replanning
+    /// malleable bookings.
+    #[serde(default)]
+    pub advance_repacked: u64,
+    /// Advance requests rejected (no feasible profile by the deadline).
+    #[serde(default)]
+    pub advance_rejected: u64,
+    /// Total bulk-transfer volume admitted by the advance planner
+    /// (rate × TU summed over booked profiles).
+    #[serde(default)]
+    pub bulk_volume_admitted: f64,
 }
 
 impl RunMetrics {
@@ -209,6 +224,10 @@ impl RunMetrics {
         self.replans += other.replans;
         self.scenario_triggers += other.scenario_triggers;
         self.burst_arrivals += other.burst_arrivals;
+        self.advance_booked += other.advance_booked;
+        self.advance_repacked += other.advance_repacked;
+        self.advance_rejected += other.advance_rejected;
+        self.bulk_volume_admitted += other.bulk_volume_admitted;
     }
 }
 

@@ -12,7 +12,9 @@
 //! cargo run --example advance_booking
 //! ```
 
-use qosr::broker::{AdvanceRegistry, SessionId, SimTime, TimelineBroker};
+use qosr::broker::{
+    AdvanceRegistry, AdvanceRequest, AlphaPolicy, SessionId, SimTime, TimelineBroker,
+};
 use qosr::core::{plan_basic, Qrg, QrgOptions};
 use qosr::prelude::*;
 use std::sync::Arc;
@@ -76,7 +78,11 @@ fn main() {
     let qrg = Qrg::build(&session_a, &view, &QrgOptions::default());
     let plan_a = plan_basic(&qrg).unwrap();
     registry
-        .reserve_all_over(SessionId(1), &plan_a.total_demand(), window_a.0, window_a.1)
+        .book(
+            &AdvanceRequest::rigid(SessionId(1), plan_a.total_demand(), window_a.0, window_a.1),
+            t(0.0),
+        )
+        .into_result()
         .unwrap();
     println!(
         "team A books 09:00-12:00 -> {} (Ψ = {:.2})",
@@ -97,7 +103,11 @@ fn main() {
     let qrg = Qrg::build(&session_b, &view, &QrgOptions::default());
     let plan_b = plan_basic(&qrg).unwrap();
     registry
-        .reserve_all_over(SessionId(2), &plan_b.total_demand(), window_b.0, window_b.1)
+        .book(
+            &AdvanceRequest::rigid(SessionId(2), plan_b.total_demand(), window_b.0, window_b.1),
+            t(0.0),
+        )
+        .into_result()
         .unwrap();
     println!(
         "team B books 11:00-14:00 -> {} (degraded: Ψ = {:.2})",
@@ -120,7 +130,11 @@ fn main() {
     let qrg = Qrg::build(&session_c, &view, &QrgOptions::default());
     let plan_c = plan_basic(&qrg).unwrap();
     registry
-        .reserve_all_over(SessionId(3), &plan_c.total_demand(), window_c.0, window_c.1)
+        .book(
+            &AdvanceRequest::rigid(SessionId(3), plan_c.total_demand(), window_c.0, window_c.1),
+            t(0.0),
+        )
+        .into_result()
         .unwrap();
     println!(
         "team C books 14:00-16:00 -> {} at 10x (Ψ = {:.2})",
@@ -128,11 +142,55 @@ fn main() {
     );
 
     // Team A cancels; the overlap frees up for an upgrade.
-    registry.cancel_all(SessionId(1));
+    let cancelled = registry.cancel_all(SessionId(1));
     let view = registry.snapshot_window(window_b.0, window_b.1);
     println!(
-        "after A cancels, 11:00-14:00 availability: bw = {}, cpu = {}",
+        "after A cancels ({} bookings, {} volume-units released), \
+         11:00-14:00 availability: bw = {}, cpu = {}",
+        cancelled.bookings_removed,
+        cancelled.released_volume,
         view.avail(bw),
         view.avail(cpu)
     );
+
+    // A malleable bulk transfer: move 150 volume-units of results over
+    // the path before 18:00, whenever contention is lowest — the broker
+    // picks start, duration, and rate around the rigid bookings.
+    let transfer = AdvanceRequest::malleable(SessionId(4), bw, 150.0, t(18.0))
+        .earliest(t(11.0))
+        .max_rate(60.0)
+        .alpha_policy(AlphaPolicy::Tradeoff);
+    let outcome = registry.book(&transfer, t(10.0));
+    let profile = outcome.profile().expect("the evening is wide open");
+    println!(
+        "bulk transfer (150 units by 18:00) -> [{:.1}, {:.1}) over {} segment(s), psi = {:.2}",
+        profile.start.value(),
+        profile.end.value(),
+        profile.segments.len(),
+        profile.psi
+    );
+
+    // A rigid crisis session may preempt it: its fixed 80-unit path
+    // demand does not fit next to the running transfer, so the broker
+    // evicts the transfer, books the crisis window, and replans the
+    // transfer around it — all-or-nothing.
+    let crisis_demand = ResourceVector::from_pairs([(bw, 80.0), (cpu, 40.0)]).unwrap();
+    let outcome = registry.book(
+        &AdvanceRequest::rigid(SessionId(5), crisis_demand, t(11.0), t(13.0)).allow_preempt(true),
+        t(10.0),
+    );
+    println!(
+        "crisis session books 11:00-13:00, repacking {} malleable session(s)",
+        outcome.moved().len()
+    );
+    if let Some(broker) = registry.get(bw) {
+        for b in broker.bookings_of(SessionId(4)) {
+            println!(
+                "  transfer replanned: rate {:.1} over [{:.1}, {:.1})",
+                b.amount,
+                b.from.value(),
+                b.to.value()
+            );
+        }
+    }
 }

@@ -1,10 +1,16 @@
 //! Property-based tests of the advance-reservation timeline: arbitrary
 //! booking/cancel sequences are checked against a brute-force reference
-//! that samples the reserved level on a fine grid.
+//! that samples the reserved level on a fine grid, the O(log n)
+//! [`TimelineIndex`] is pinned bit-identical to the linear [`Timeline`]
+//! oracle, and preempt-and-repack is checked for conservation (no
+//! overcommit, no missed deadline).
 
 use proptest::prelude::*;
-use qosr::broker::{SessionId, SimTime, Timeline, TimelineBroker};
-use qosr::model::ResourceId;
+use qosr::broker::{
+    AdvanceRegistry, AdvanceRequest, SessionId, SimTime, Timeline, TimelineBroker, TimelineIndex,
+};
+use qosr::model::{ResourceId, ResourceVector};
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -30,6 +36,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 const CAPACITY: f64 = 100.0;
 
+fn rigid(session: u8, amount: f64, from: SimTime, to: SimTime) -> AdvanceRequest {
+    let demand = ResourceVector::from_pairs([(ResourceId(0), amount)]).expect("demand");
+    AdvanceRequest::rigid(SessionId(session as u64), demand, from, to)
+}
+
 /// Reference model: a dense per-half-unit grid of reserved amounts.
 #[derive(Default)]
 struct Grid {
@@ -53,21 +64,24 @@ impl Grid {
         }
         self.bookings.push((session, from2, to2, amount));
     }
-    fn cancel(&mut self, session: u8) -> f64 {
-        let mut total = 0.0;
+    /// Cancels a session, returning `(released_volume, bookings_removed)`.
+    fn cancel(&mut self, session: u8) -> (f64, usize) {
+        let mut volume = 0.0;
+        let mut removed = 0;
         let mut kept = Vec::new();
         for b in self.bookings.drain(..) {
             if b.0 == session {
                 for t in b.1..b.2 {
                     self.reserved[t] -= b.3;
                 }
-                total += b.3;
+                volume += b.3 * (b.2 - b.1) as f64 / 2.0;
+                removed += 1;
             } else {
                 kept.push(b);
             }
         }
         self.bookings = kept;
-        total
+        (volume, removed)
     }
 }
 
@@ -75,8 +89,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn timeline_broker_matches_grid_reference(ops in prop::collection::vec(op_strategy(), 1..40)) {
-        let broker = TimelineBroker::new(ResourceId(0), CAPACITY);
+    fn advance_registry_matches_grid_reference(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut registry = AdvanceRegistry::new();
+        registry.register(Arc::new(TimelineBroker::new(ResourceId(0), CAPACITY)));
         let mut grid = Grid::default();
         for op in &ops {
             match *op {
@@ -87,22 +102,24 @@ proptest! {
                     let t_from = SimTime::new(from as f64);
                     let t_to = SimTime::new((from as usize + len as usize) as f64);
                     let free = CAPACITY - grid.max_over(from2, to2);
-                    let result = broker.reserve_over(
-                        SessionId(session as u64), amount, t_from, t_to);
+                    let outcome = registry.book(
+                        &rigid(session, amount, t_from, t_to), SimTime::ZERO);
                     if amount <= free + 1e-9 {
-                        prop_assert!(result.is_ok(), "rejected a fitting booking");
+                        prop_assert!(outcome.is_booked(), "rejected a fitting booking");
                         grid.add(session, from2, to2, amount);
                     } else {
-                        prop_assert!(result.is_err(), "accepted an overcommit");
+                        prop_assert!(!outcome.is_booked(), "accepted an overcommit");
                     }
                 }
                 Op::Cancel { session } => {
-                    let expected = grid.cancel(session);
-                    let released = broker.cancel(SessionId(session as u64));
-                    prop_assert!((released - expected).abs() < 1e-6);
+                    let (expected_volume, expected_removed) = grid.cancel(session);
+                    let outcome = registry.cancel_all(SessionId(session as u64));
+                    prop_assert!((outcome.released_volume - expected_volume).abs() < 1e-6);
+                    prop_assert_eq!(outcome.bookings_removed, expected_removed);
                 }
             }
             // Availability agrees with the reference on a sample of windows.
+            let broker = registry.get(ResourceId(0)).expect("registered");
             for (a, b) in [(0usize, 20usize), (10, 45), (30, 60), (0, 60)] {
                 let lib = broker.available_over(SimTime::new(a as f64), SimTime::new(b as f64));
                 let reference = CAPACITY - grid.max_over(a * 2, b * 2);
@@ -148,5 +165,205 @@ proptest! {
         }
         prop_assert_eq!(tl.breakpoints(), 0);
         prop_assert_eq!(tl.max_reserved(SimTime::new(0.0), SimTime::new(100.0)), 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// TimelineIndex ≡ Timeline differential tests
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum IxOp {
+    Add { from: u8, len: u8, amount: u8 },
+    RemoveEarlier { pick: usize },
+    Compact { at: u8 },
+}
+
+fn ix_op_strategy() -> impl Strategy<Value = IxOp> {
+    prop_oneof![
+        5 => (0u8..60, 1u8..20, 1u8..64).prop_map(|(from, len, amount)| {
+            IxOp::Add { from, len, amount }
+        }),
+        2 => (0usize..64).prop_map(|pick| IxOp::RemoveEarlier { pick }),
+        1 => (0u8..40).prop_map(|at| IxOp::Compact { at }),
+    ]
+}
+
+const IX_PROBES: [(f64, f64); 6] = [
+    (0.0, 80.0),
+    (5.0, 23.0),
+    (17.0, 41.0),
+    (33.0, 34.0),
+    (0.0, 1.0),
+    (79.0, 80.0),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// With integer amounts every delta sum is exact, so the treap index
+    /// must agree with the linear oracle *bit for bit* on every window
+    /// maximum, after every operation, including compactions.
+    #[test]
+    fn index_matches_timeline_bitwise(ops in prop::collection::vec(ix_op_strategy(), 1..48)) {
+        let mut tl = Timeline::new();
+        let mut ix = TimelineIndex::new();
+        let mut live: Vec<(SimTime, SimTime, f64)> = Vec::new();
+        for op in &ops {
+            match *op {
+                IxOp::Add { from, len, amount } => {
+                    let (f, t) = (
+                        SimTime::new(from as f64),
+                        SimTime::new((from as u16 + len as u16) as f64),
+                    );
+                    tl.add(f, t, amount as f64);
+                    ix.add(f, t, amount as f64);
+                    live.push((f, t, amount as f64));
+                }
+                IxOp::RemoveEarlier { pick } => {
+                    if !live.is_empty() {
+                        let (f, t, amount) = live.swap_remove(pick % live.len());
+                        tl.remove(f, t, amount);
+                        ix.remove(f, t, amount);
+                    }
+                }
+                IxOp::Compact { at } => {
+                    let now = SimTime::new(at as f64);
+                    tl.compact(now);
+                    ix.compact(now);
+                    live.retain(|&(_, t, _)| t > now);
+                }
+            }
+            prop_assert_eq!(tl.breakpoints(), ix.breakpoints(), "breakpoint count diverged");
+            for (a, b) in IX_PROBES {
+                let want = tl.max_reserved(SimTime::new(a), SimTime::new(b));
+                let got = ix.max_reserved(SimTime::new(a), SimTime::new(b));
+                prop_assert_eq!(
+                    want.to_bits(), got.to_bits(),
+                    "window [{}, {}): oracle {} vs index {}", a, b, want, got
+                );
+            }
+        }
+    }
+
+    /// With arbitrary float amounts the two structures may associate
+    /// sums differently; they must still agree to float tolerance.
+    #[test]
+    fn index_matches_timeline_within_tolerance(
+        windows in prop::collection::vec((0u8..60, 1u8..20, 1e-3f64..1e3), 1..32),
+    ) {
+        let mut tl = Timeline::new();
+        let mut ix = TimelineIndex::new();
+        for &(from, len, amount) in &windows {
+            let (f, t) = (
+                SimTime::new(from as f64),
+                SimTime::new((from as u16 + len as u16) as f64),
+            );
+            tl.add(f, t, amount);
+            ix.add(f, t, amount);
+            for (a, b) in IX_PROBES {
+                let want = tl.max_reserved(SimTime::new(a), SimTime::new(b));
+                let got = ix.max_reserved(SimTime::new(a), SimTime::new(b));
+                prop_assert!(
+                    (want - got).abs() <= 1e-9 * want.abs().max(1.0),
+                    "window [{a}, {b}): oracle {want} vs index {got}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Preempt-and-repack conservation
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AdvOp {
+    Malleable {
+        volume: f64,
+        deadline: u8,
+        max_rate: f64,
+    },
+    Rigid {
+        amount: f64,
+        from: u8,
+        len: u8,
+    },
+}
+
+fn adv_op_strategy() -> impl Strategy<Value = AdvOp> {
+    prop_oneof![
+        2 => (1.0f64..400.0, 20u8..120, 1.0f64..50.0).prop_map(|(volume, deadline, max_rate)| {
+            AdvOp::Malleable { volume, deadline, max_rate }
+        }),
+        2 => (1.0f64..80.0, 0u8..50, 1u8..20).prop_map(|(amount, from, len)| {
+            AdvOp::Rigid { amount, from, len }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Conservation under preempt-and-repack: whatever sequence of
+    /// malleable transfers and preempting rigid requests arrives, no
+    /// booking ever exceeds capacity and every admitted malleable
+    /// transfer keeps its full volume booked before its deadline.
+    #[test]
+    fn repack_conserves_capacity_and_deadlines(
+        ops in prop::collection::vec(adv_op_strategy(), 1..24),
+    ) {
+        let mut registry = AdvanceRegistry::new();
+        registry.register(Arc::new(TimelineBroker::new(ResourceId(0), CAPACITY)));
+        let now = SimTime::ZERO;
+        let mut admitted: Vec<(SessionId, f64, SimTime)> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let session = SessionId(1 + i as u64);
+            match *op {
+                AdvOp::Malleable { volume, deadline, max_rate } => {
+                    let request = AdvanceRequest::malleable(
+                        session, ResourceId(0), volume, SimTime::new(deadline as f64),
+                    ).max_rate(max_rate);
+                    if registry.book(&request, now).is_booked() {
+                        admitted.push((session, volume, SimTime::new(deadline as f64)));
+                    }
+                }
+                AdvOp::Rigid { amount, from, len } => {
+                    let demand = ResourceVector::from_pairs([(ResourceId(0), amount)])
+                        .expect("demand");
+                    let request = AdvanceRequest::rigid(
+                        session, demand,
+                        SimTime::new(from as f64),
+                        SimTime::new((from as u16 + len as u16) as f64),
+                    ).allow_preempt(true);
+                    let _ = registry.book(&request, now);
+                }
+            }
+            let broker = registry.get(ResourceId(0)).expect("registered");
+            // No window is ever overcommitted.
+            for w in 0..13 {
+                let (a, b) = (w as f64 * 10.0, w as f64 * 10.0 + 10.0);
+                let free = broker.available_over(SimTime::new(a), SimTime::new(b));
+                prop_assert!(free >= -1e-9, "overcommit in [{a}, {b}): free = {free}");
+            }
+            // Every admitted malleable transfer still has its full
+            // volume booked, entirely before its deadline — even after
+            // arbitrary repacks.
+            for &(sid, volume, deadline) in &admitted {
+                let bookings = broker.bookings_of(sid);
+                prop_assert!(!bookings.is_empty(), "session {sid:?} lost its bookings");
+                let booked: f64 = bookings.iter().map(|b| b.volume()).sum();
+                prop_assert!(
+                    (booked - volume).abs() <= 1e-6 * volume.max(1.0),
+                    "session {sid:?}: booked {booked} of {volume}"
+                );
+                for b in &bookings {
+                    prop_assert!(
+                        b.to <= deadline,
+                        "session {sid:?}: segment ends {:?} after deadline {deadline:?}", b.to
+                    );
+                }
+            }
+        }
     }
 }

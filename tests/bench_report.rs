@@ -5,7 +5,10 @@
 //! `BENCH_replan.json` must carry the delta-repair figures with the
 //! steady-state ≥ 3× repaired-vs-full relaxation claim intact; and
 //! `BENCH_serve.json` must show the network front-end sustaining the
-//! ≥ 100k requests/s claim with every request answered. Runs
+//! ≥ 100k requests/s claim with every request answered; and
+//! `BENCH_advance.json` must hold the reservation index's ≥ 10×
+//! window-query claim and the malleable planner's > 1 admitted-volume
+//! uplift over rigid peak-rate booking. Runs
 //! under plain `cargo test`, so CI fails if an artifact goes missing
 //! or a bench regenerates one with its headline claim broken.
 
@@ -127,6 +130,63 @@ fn bench_replan_repair_is_at_least_three_times_faster() {
     assert!(
         (ratio - speedup).abs() < 1e-6,
         "speedup field {speedup} inconsistent with {full}/{repaired}"
+    );
+}
+
+#[test]
+fn bench_advance_json_has_the_required_fields() {
+    let fields = load("BENCH_advance.json");
+    assert_eq!(
+        find_field(&fields, "bench").and_then(Value::as_str),
+        Some("advance")
+    );
+    assert_eq!(
+        find_field(&fields, "unit").and_then(Value::as_str),
+        Some("ns/query")
+    );
+    for required in [
+        "bookings",
+        "breakpoints",
+        "oracle_ns_per_query",
+        "index_ns_per_query",
+        "query_speedup",
+        "transfers_offered",
+        "rigid_admitted_volume",
+        "malleable_admitted_volume",
+        "admitted_volume_uplift",
+    ] {
+        let v = number(&fields, required);
+        assert!(v.is_finite() && v > 0.0, "{required} = {v}");
+    }
+    // The headline claim is made at a million bookings.
+    assert_eq!(number(&fields, "bookings"), 1_000_000.0);
+}
+
+#[test]
+fn bench_advance_index_and_uplift_claims_hold() {
+    let fields = load("BENCH_advance.json");
+    let speedup = number(&fields, "query_speedup");
+    assert!(
+        speedup >= 10.0,
+        "committed window-query speedup {speedup} dropped below 10x"
+    );
+    let oracle = number(&fields, "oracle_ns_per_query");
+    let index = number(&fields, "index_ns_per_query");
+    let ratio = oracle / index;
+    assert!(
+        ((ratio - speedup) / speedup).abs() < 1e-9,
+        "query_speedup field {speedup} inconsistent with {oracle}/{index}"
+    );
+    let uplift = number(&fields, "admitted_volume_uplift");
+    assert!(
+        uplift > 1.0,
+        "committed malleable-vs-rigid admitted-volume uplift {uplift} is not > 1"
+    );
+    let rigid = number(&fields, "rigid_admitted_volume");
+    let malleable = number(&fields, "malleable_admitted_volume");
+    assert!(
+        ((malleable / rigid - uplift) / uplift).abs() < 1e-9,
+        "admitted_volume_uplift field {uplift} inconsistent with {malleable}/{rigid}"
     );
 }
 
