@@ -36,9 +36,10 @@ const EXTRA_PER_HOST: usize = 30;
 /// Pipeline workers: the admission bench's acceptance configuration.
 const WORKERS: usize = 4;
 /// Disabled-mode throughput must stay within this factor of the
-/// reference admission throughput (generous: both sides are subject to
-/// machine noise between runs).
-const NOISE_FACTOR: f64 = 1.25;
+/// reference admission throughput. Tightened from 1.25 once the
+/// request-tracing layer landed: the disabled path is a single relaxed
+/// atomic load per request, so only machine noise separates the runs.
+const NOISE_FACTOR: f64 = 1.10;
 
 /// Builds the admission bench's world, optionally tracing to `sink`.
 fn build_world(sink: Option<Arc<dyn TraceSink>>) -> (Coordinator, SessionInstance) {
@@ -116,13 +117,28 @@ fn time_ns(mut f: impl FnMut(), target: Duration) -> f64 {
 
 /// ns/session for one telemetry mode. `enable_timers` flips the phase
 /// timers on the fresh coordinator; `traced` streams JSONL to a
-/// discarding writer.
-fn measure_mode(enable_timers: bool, traced: bool, target: Duration) -> f64 {
+/// discarding writer; `trace_requests` enables the request tracer and
+/// marks every request with a trace id, so each admission builds and
+/// records a full causal span tree into the flight ring.
+fn measure_mode(enable_timers: bool, traced: bool, trace_requests: bool, target: Duration) -> f64 {
     let sink: Option<Arc<dyn TraceSink>> =
         traced.then(|| Arc::new(JsonlSink::new(std::io::sink())) as Arc<dyn TraceSink>);
-    let (coordinator, session) = build_world(sink);
+    let (mut coordinator, session) = build_world(sink);
     coordinator.phase_timers().set_enabled(enable_timers);
-    let reqs = requests(&session);
+    if trace_requests {
+        let tracer = Arc::new(qosr_obs::Tracer::new(256));
+        tracer.set_enabled(true);
+        coordinator.set_tracer(tracer);
+    }
+    let coordinator = coordinator;
+    let mut reqs = requests(&session);
+    if trace_requests {
+        reqs = reqs
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.traced(qosr_obs::TraceId(i as u64 + 1)))
+            .collect();
+    }
     let queue = AdmissionQueue::new(
         &coordinator,
         AdmissionConfig {
@@ -152,10 +168,14 @@ struct BenchReport {
     disabled_ns_per_session: f64,
     enabled_ns_per_session: f64,
     traced_ns_per_session: f64,
+    request_traced_ns_per_session: f64,
     /// `enabled / disabled` — the cost of live phase histograms.
     enabled_overhead_ratio: f64,
     /// `traced / disabled` — histograms plus JSONL serialization.
     traced_overhead_ratio: f64,
+    /// `request_traced / disabled` — full causal span trees recorded
+    /// into the flight ring for every request.
+    request_traced_overhead_ratio: f64,
     /// The 4-worker pipeline figure from `BENCH_admission.json`, when
     /// present (the non-telemetry reference measured on that machine).
     reference_admission_ns_per_session: Option<f64>,
@@ -233,11 +253,13 @@ fn bench_obs_overhead(c: &mut Criterion) {
         return; // smoke run (cargo test / CI): no JSON
     }
 
-    let disabled = measure_mode(false, false, target);
-    let enabled = measure_mode(true, false, target);
-    let traced = measure_mode(true, true, target);
+    let disabled = measure_mode(false, false, false, target);
+    let enabled = measure_mode(true, false, false, target);
+    let traced = measure_mode(true, true, false, target);
+    let request_traced = measure_mode(false, false, true, target);
     println!(
-        "telemetry ns/session: disabled {disabled:.0}, timers {enabled:.0}, timers+jsonl {traced:.0}"
+        "telemetry ns/session: disabled {disabled:.0}, timers {enabled:.0}, \
+         timers+jsonl {traced:.0}, request-traced {request_traced:.0}"
     );
 
     let reference = reference_throughput();
@@ -265,8 +287,10 @@ fn bench_obs_overhead(c: &mut Criterion) {
         disabled_ns_per_session: disabled,
         enabled_ns_per_session: enabled,
         traced_ns_per_session: traced,
+        request_traced_ns_per_session: request_traced,
         enabled_overhead_ratio: enabled / disabled,
         traced_overhead_ratio: traced / disabled,
+        request_traced_overhead_ratio: request_traced / disabled,
         reference_admission_ns_per_session: reference,
         disabled_vs_reference_ratio: ratio,
         disabled_within_noise: within,

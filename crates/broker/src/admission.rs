@@ -42,16 +42,18 @@
 //! strictly sequential. Running the same batch with 1 or 8 workers
 //! yields byte-identical outcomes, counters and traces.
 
-use crate::request::{EstablishOutcome, NearestMiss, SessionRequest};
+use crate::request::{planner_label, EstablishOutcome, NearestMiss, SessionRequest, SpanCollector};
 use crate::{
     Coordinator, EstablishError, EstablishedSession, ObservationPolicy, ReserveError, SimTime,
 };
 use qosr_core::{AvailabilityView, FullReason, PlanCtx, PlanWorkspace, Planner, RepairOutcome};
-use qosr_obs::{Counters, EventKind, Phase, TraceEvent};
+use qosr_obs::{Counters, EventKind, Phase, RequestTrace, SpanKind, SpanRecord, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Tuning knobs for a batched admission round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,6 +107,10 @@ struct Planned {
     nearest: Option<NearestMiss>,
     downgraded: bool,
     events: Vec<TraceEvent>,
+    /// When the request is traced: the wall-clock instant Pass II
+    /// started and how long it ran, measured on the worker so the
+    /// commit phase can attach an exact plan span without re-timing.
+    span: Option<(Instant, u64)>,
 }
 
 /// Mixes `(base, epoch, index, attempt)` into an independent RNG seed
@@ -238,21 +244,41 @@ impl<'a> AdmissionQueue<'a> {
         now: SimTime,
         mut on_outcome: impl FnMut(usize, EstablishOutcome),
     ) {
+        self.admit_traced(requests, now, |i, outcome, _| on_outcome(i, outcome));
+    }
+
+    /// [`AdmissionQueue::admit_with`], additionally handing each
+    /// callback the request's recorded span tree when the request was
+    /// traced ([`SessionRequest::traced`]) and the coordinator's
+    /// [`qosr_obs::Tracer`] is enabled — `None` otherwise. Servers use
+    /// the trace to fill per-request latency attribution into outcome
+    /// frames without re-parsing the trace log.
+    pub fn admit_traced(
+        &self,
+        requests: &[SessionRequest],
+        now: SimTime,
+        mut on_outcome: impl FnMut(usize, EstablishOutcome, Option<Arc<RequestTrace>>),
+    ) {
         let n = requests.len();
         if n == 0 {
             return;
         }
         let coordinator = self.coordinator;
         let traced = coordinator.sink().enabled();
+        let tracing = coordinator.tracer().enabled();
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
         self.in_flight.store(n, Ordering::Relaxed);
         self.last_batch.store(n, Ordering::Relaxed);
 
         // Phase 1, once per round: the epoch-stamped snapshot every
-        // request in the batch plans against.
+        // request in the batch plans against. The collect span is
+        // measured once and shared by every traced request in the round
+        // — batching means they all paid for exactly this one collect.
+        let collect_started = tracing.then(Instant::now);
         let mut snap_rng = StdRng::seed_from_u64(derive_seed(self.config.seed, epoch, u64::MAX, 0));
         let snapshot =
             coordinator.epoch_snapshot(epoch, now, self.config.observation, &mut snap_rng);
+        let collect_ns = collect_started.map(|s| s.elapsed().as_nanos() as u64);
 
         // Phase 2a, sequential: group same-shaped requests and prepare
         // one shared planning context per group against the snapshot.
@@ -369,10 +395,35 @@ impl<'a> AdmissionQueue<'a> {
         for (i, request) in requests.iter().enumerate() {
             let planned = slots[i].take().expect("every request was planned");
             let gctx: &mut PlanCtx = &mut group_ctxs[group_of[i]];
-            let outcome =
-                self.commit_one(request, planned, gctx, &mut working, epoch, i, now, traced);
+            let mut collector = match request.trace {
+                Some(ctx) if tracing => Some(SpanCollector::new(ctx)),
+                _ => None,
+            };
+            if let (Some(c), Some(started), Some(ns)) =
+                (collector.as_mut(), collect_started, collect_ns)
+            {
+                let offset = c.offset_ns(started);
+                c.push(SpanRecord::new(SpanKind::Collect, offset, ns));
+            }
+            let outcome = self.commit_one(
+                request,
+                planned,
+                gctx,
+                &mut working,
+                epoch,
+                i,
+                now,
+                traced,
+                collector.as_mut(),
+            );
             self.in_flight.store(n - i - 1, Ordering::Relaxed);
-            on_outcome(i, outcome);
+            let trace = collector.map(|c| {
+                let trace = c.finish(&outcome, request.session.service().name());
+                coordinator
+                    .tracer()
+                    .record(trace, coordinator.sink().as_ref(), t)
+            });
+            on_outcome(i, outcome, trace);
         }
     }
 
@@ -417,6 +468,7 @@ impl<'a> AdmissionQueue<'a> {
                     nearest: None,
                     downgraded: false,
                     events,
+                    span: None,
                 };
             }
         }
@@ -424,9 +476,14 @@ impl<'a> AdmissionQueue<'a> {
         let mut rng = StdRng::seed_from_u64(derive_seed(self.config.seed, epoch, index as u64, 0));
         // Time the plan with a plain (un-traced) span and buffer the
         // timing event with the rest: workers must not emit directly,
-        // or trace order would depend on worker interleaving.
+        // or trace order would depend on worker interleaving. Traced
+        // requests additionally capture the raw instants so commit_one
+        // can attach the exact plan span in arrival order.
+        let span_wanted = request.trace.is_some() && self.coordinator.tracer().enabled();
+        let plan_started = span_wanted.then(Instant::now);
         let plan_span = self.coordinator.phase_timers().span(Phase::Plan);
         let result = ctx.plan_shared(request.options.planner, &mut rng, work);
+        let span = plan_started.map(|s| (s, s.elapsed().as_nanos() as u64));
         if let Some(ns) = plan_span.end() {
             if traced {
                 events.push(
@@ -536,6 +593,7 @@ impl<'a> AdmissionQueue<'a> {
             nearest,
             downgraded: downgrade.is_some(),
             events,
+            span,
         }
     }
 
@@ -556,6 +614,7 @@ impl<'a> AdmissionQueue<'a> {
         index: usize,
         now: SimTime,
         traced: bool,
+        mut collector: Option<&mut SpanCollector>,
     ) -> EstablishOutcome {
         let coordinator = self.coordinator;
         let counters = coordinator.counters();
@@ -571,6 +630,18 @@ impl<'a> AdmissionQueue<'a> {
         counters.record_plan_started();
         if planned.downgraded {
             counters.record_tradeoff_downgrade();
+        }
+        if let (Some(c), Some((started, ns))) = (collector.as_deref_mut(), planned.span) {
+            let offset = c.offset_ns(started);
+            let mut span = SpanRecord::new(SpanKind::Plan, offset, ns)
+                .with_planner(planner_label(request.options.planner));
+            if let Ok(plan) = &planned.result {
+                span.psi = Some(plan.psi);
+            }
+            if planned.downgraded {
+                span.detail = Some("downgraded".to_string());
+            }
+            c.push(span);
         }
 
         let mut plan = match planned.result {
@@ -598,7 +669,18 @@ impl<'a> AdmissionQueue<'a> {
                 Some(deficit) => Some(deficit),
                 None => {
                     let id = coordinator.alloc_session_id();
-                    match coordinator.dispatch(id, &demand, now, traced, true) {
+                    let commit_started = collector.is_some().then(Instant::now);
+                    let dispatched = coordinator.dispatch(id, &demand, now, traced, true);
+                    if let (Some(c), Some(started)) = (collector.as_deref_mut(), commit_started) {
+                        let span = c.record(SpanKind::Commit, started);
+                        if replans > 0 {
+                            span.attempt = Some(replans);
+                        }
+                        if dispatched.is_err() {
+                            span.detail = Some("rolled back".to_string());
+                        }
+                    }
+                    match dispatched {
                         Ok(()) => {
                             for (rid, amount) in demand.iter() {
                                 working.debit(rid, amount);
@@ -695,6 +777,9 @@ impl<'a> AdmissionQueue<'a> {
             };
             let ratio = requested / available.max(1e-9);
             counters.record_commit_conflict();
+            if let Some(c) = collector.as_deref_mut() {
+                c.conflicts += 1;
+            }
             if traced {
                 sink.emit(
                     &TraceEvent::new(t, EventKind::CommitConflict)
@@ -731,6 +816,9 @@ impl<'a> AdmissionQueue<'a> {
             }
             replans += 1;
             counters.record_replan();
+            if let Some(c) = collector.as_deref_mut() {
+                c.retries += 1;
+            }
             if traced {
                 sink.emit(
                     &TraceEvent::new(t, EventKind::Replanned)
@@ -758,6 +846,8 @@ impl<'a> AdmissionQueue<'a> {
                 index as u64,
                 u64::from(replans),
             ));
+            let replan_started = collector.is_some().then(Instant::now);
+            let inner_plan: Option<(Instant, u64)>;
             let replanned = {
                 let _span = coordinator
                     .phase_timers()
@@ -775,15 +865,37 @@ impl<'a> AdmissionQueue<'a> {
                         format!("replan {replans} in epoch {epoch}"),
                     ));
                 }
-                match gctx.plan(planner, &mut rng) {
+                let plan_started = collector.is_some().then(Instant::now);
+                let result = match gctx.plan(planner, &mut rng) {
                     Ok(p) => Ok(p),
                     Err(e) => Err((
                         EstablishError::from(e),
                         gctx.nearest_miss()
                             .map(|(resource, ratio)| NearestMiss { resource, ratio }),
                     )),
-                }
+                };
+                inner_plan = plan_started.map(|s| (s, s.elapsed().as_nanos() as u64));
+                result
             };
+            if let (Some(c), Some(started)) = (collector.as_deref_mut(), replan_started) {
+                let mut span = SpanRecord::new(
+                    SpanKind::Replan,
+                    c.offset_ns(started),
+                    started.elapsed().as_nanos() as u64,
+                )
+                .with_attempt(replans)
+                .with_resource(u64::from(resource.0));
+                if let Ok(p) = &replanned {
+                    span.psi = Some(p.psi);
+                }
+                if let Some((plan_at, ns)) = inner_plan {
+                    span = span.with_child(
+                        SpanRecord::new(SpanKind::Plan, c.offset_ns(plan_at), ns)
+                            .with_planner(planner_label(planner)),
+                    );
+                }
+                c.push(span);
+            }
             match replanned {
                 Ok(p) => {
                     if let Some(min) = request.qos_min {
@@ -1080,6 +1192,96 @@ mod tests {
             .collect();
         assert_eq!(shape(&streamed), shape(&collected));
         assert_eq!(available(&w), available(&w2));
+    }
+
+    #[test]
+    fn traced_batches_assemble_exact_span_trees() {
+        let w = world(100.0);
+        w.coordinator.tracer().set_enabled(true);
+        let queue = AdmissionQueue::new(
+            &w.coordinator,
+            AdmissionConfig {
+                workers: 4,
+                seed: 7,
+                ..AdmissionConfig::default()
+            },
+        );
+        let requests: Vec<_> = (0..3)
+            .map(|i| SessionRequest::new(w.session.clone()).traced(qosr_obs::TraceId(100 + i)))
+            .collect();
+        let mut traces = Vec::new();
+        queue.admit_traced(&requests, SimTime::new(1.0), |i, outcome, trace| {
+            traces.push((i, outcome.is_admitted(), trace));
+        });
+        assert_eq!(traces.len(), 3);
+        for (i, admitted, trace) in &traces {
+            assert!(*admitted);
+            let trace = trace.as_ref().expect("traced request yields a span tree");
+            assert_eq!(trace.trace, 100 + *i as u64);
+            // Root span durations sum *exactly* to the end-to-end total
+            // (the queue residual absorbs everything unmeasured).
+            let measured: u64 = trace.spans.iter().map(|s| s.duration_ns).sum();
+            assert_eq!(measured, trace.total_ns);
+            assert_eq!(trace.spans[0].kind, SpanKind::Queue);
+            assert_eq!(trace.spans[1].kind, SpanKind::Collect);
+            assert_eq!(trace.spans[2].kind, SpanKind::Plan);
+            assert_eq!(trace.spans[2].planner.as_deref(), Some("basic"));
+            assert_eq!(trace.spans.last().unwrap().kind, SpanKind::Commit);
+        }
+
+        // The first request commits clean; the other two conflict,
+        // replan (contended resource annotated, the inner plan nested
+        // as a child span) and commit degraded.
+        let first = traces[0].2.as_ref().unwrap();
+        assert_eq!(first.outcome, "committed");
+        assert_eq!(first.conflicts, 0);
+        assert!(first.spans.iter().all(|s| s.kind != SpanKind::Replan));
+        for (_, _, trace) in &traces[1..] {
+            let trace = trace.as_ref().unwrap();
+            assert_eq!(trace.outcome, "degraded");
+            assert_eq!(trace.conflicts, 1);
+            assert_eq!(trace.retries, 1);
+            let replan = trace
+                .spans
+                .iter()
+                .find(|s| s.kind == SpanKind::Replan)
+                .expect("conflicted requests carry a replan span");
+            assert_eq!(replan.attempt, Some(1));
+            assert_eq!(replan.resource, Some(u64::from(w.cpu.0)));
+            assert_eq!(replan.children.len(), 1);
+            assert_eq!(replan.children[0].kind, SpanKind::Plan);
+        }
+
+        // The tracer aggregated all three; the flight ring holds them.
+        assert_eq!(w.coordinator.tracer().recorded(), 3);
+        assert_eq!(w.coordinator.tracer().outcome_counts(), (1, 2, 0));
+        assert_eq!(w.coordinator.tracer().flight().len(), 3);
+
+        // Untraced requests yield no span tree even while tracing is on.
+        let plain = vec![SessionRequest::new(w.session.clone())];
+        queue.admit_traced(&plain, SimTime::new(2.0), |_, _, trace| {
+            assert!(trace.is_none());
+        });
+        assert_eq!(w.coordinator.tracer().recorded(), 3);
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_admission_is_unchanged() {
+        let w = world(100.0);
+        assert!(!w.coordinator.tracer().enabled());
+        let queue = AdmissionQueue::new(&w.coordinator, AdmissionConfig::default());
+        let requests: Vec<_> = (0..2)
+            .map(|i| SessionRequest::new(w.session.clone()).traced(qosr_obs::TraceId(i)))
+            .collect();
+        let mut saw = 0;
+        queue.admit_traced(&requests, SimTime::new(1.0), |_, outcome, trace| {
+            assert!(trace.is_none(), "disabled tracer must not record");
+            assert!(outcome.is_admitted());
+            saw += 1;
+        });
+        assert_eq!(saw, 2);
+        assert_eq!(w.coordinator.tracer().recorded(), 0);
+        assert!(w.coordinator.tracer().flight().is_empty());
     }
 
     #[test]

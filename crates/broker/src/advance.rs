@@ -28,18 +28,17 @@
 //! [`malleable`](crate::malleable): build an
 //! [`AdvanceRequest`](crate::AdvanceRequest) (rigid window or malleable
 //! bulk transfer) and hand it to [`AdvanceRegistry::book`], which
-//! returns a structured [`AdvanceOutcome`](crate::AdvanceOutcome). The
-//! positional `reserve_over`/`reserve_all_over` entry points remain as
-//! deprecated one-release shims.
+//! returns a structured [`AdvanceOutcome`](crate::AdvanceOutcome).
 
 use crate::malleable::{
     book_malleable, AdvanceOutcome, AdvanceProfile, AdvanceRequest, AdvanceShape, MalleableSpec,
 };
+use crate::request::SpanCollector;
 use crate::{ReserveError, SessionId, SimTime};
 use parking_lot::Mutex;
 use qosr_core::AvailabilityView;
 use qosr_model::{ResourceId, ResourceVector};
-use qosr_obs::{Counters, EventKind, NullSink, TraceEvent, TraceSink};
+use qosr_obs::{Counters, EventKind, NullSink, SpanKind, TraceEvent, TraceSink, Tracer};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -586,21 +585,6 @@ impl TimelineBroker {
         Ok(())
     }
 
-    /// Books `amount` over `[from, to)` for `session`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build an `AdvanceRequest::rigid` and book it through `AdvanceRegistry::book`"
-    )]
-    pub fn reserve_over(
-        &self,
-        session: SessionId,
-        amount: f64,
-        from: SimTime,
-        to: SimTime,
-    ) -> Result<(), ReserveError> {
-        self.reserve_window(session, amount, from, to)
-    }
-
     /// Adds bookings without an admission check. Two callers rely on
     /// this: preempt-and-repack rollback (restoring state that was
     /// provably admitted before) and the water-fill planner (which
@@ -684,6 +668,10 @@ pub struct AdvanceRegistry {
     /// Advance booking/repack/reject counters (private instance by
     /// default; share one via [`AdvanceRegistry::set_counters`]).
     counters: Arc<Counters>,
+    /// Request tracer for span trees of traced advance requests
+    /// (disabled private instance by default; share a coordinator's via
+    /// [`AdvanceRegistry::set_tracer`]).
+    tracer: Arc<Tracer>,
 }
 
 impl Default for AdvanceRegistry {
@@ -693,6 +681,7 @@ impl Default for AdvanceRegistry {
             malleable: Mutex::new(HashMap::new()),
             sink: Arc::new(NullSink),
             counters: Arc::new(Counters::new()),
+            tracer: Arc::new(Tracer::default()),
         }
     }
 }
@@ -713,6 +702,19 @@ impl AdvanceRegistry {
     /// land in the same snapshot as admission counters.
     pub fn set_counters(&mut self, counters: Arc<Counters>) {
         self.counters = counters;
+    }
+
+    /// Shares a request tracer (e.g. a coordinator's) so traced advance
+    /// requests land in the same flight ring and span histograms as
+    /// session admissions.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// The registry's request tracer (a disabled private instance
+    /// unless one was shared via [`AdvanceRegistry::set_tracer`]).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Registers a broker under its resource id.
@@ -757,17 +759,26 @@ impl AdvanceRegistry {
     ///   replanned the whole repack rolls back.
     /// * Malleable requests get a `(start, duration, rate)` profile
     ///   from the deadline-window planner
-    ///   ([`crate::malleable`]); infeasible ones report the nearest
+    ///   (the `malleable` module); infeasible ones report the nearest
     ///   deadline that *would* have fit.
     ///
     /// `now` stamps trace events and floors malleable start times.
     pub fn book(&self, request: &AdvanceRequest, now: SimTime) -> AdvanceOutcome {
         let session = request.session();
-        match request.shape() {
+        let mut collector = match request.trace {
+            Some(ctx) if self.tracer.enabled() => Some(SpanCollector::new(ctx)),
+            _ => None,
+        };
+        let outcome = match request.shape() {
             AdvanceShape::Rigid { demand, from, to } => {
                 let (from, to) = (*from, *to);
+                let plan_started = collector.is_some().then(std::time::Instant::now);
                 let psi = self.rigid_psi(demand, from, to);
-                match self.try_reserve_all(session, demand, from, to) {
+                if let (Some(c), Some(started)) = (collector.as_mut(), plan_started) {
+                    c.record(SpanKind::Plan, started).psi = Some(psi);
+                }
+                let commit_started = collector.is_some().then(std::time::Instant::now);
+                let outcome = match self.try_reserve_all(session, demand, from, to) {
                     Ok(()) => {
                         let profile = Self::rigid_profile(demand, from, to, psi);
                         self.emit_booked(now, session, &profile);
@@ -783,21 +794,37 @@ impl AdvanceRegistry {
                             nearest_feasible_deadline: None,
                         }
                     }
+                };
+                if let (Some(c), Some(started)) = (collector.as_mut(), commit_started) {
+                    let span = c.record(SpanKind::Commit, started);
+                    match &outcome {
+                        AdvanceOutcome::Repacked { moved, .. } => {
+                            span.detail = Some(format!("repacked {} sessions", moved.len()));
+                        }
+                        AdvanceOutcome::Rejected { .. } => {
+                            span.detail = Some("rolled back".to_string());
+                        }
+                        AdvanceOutcome::Booked { .. } => {}
+                    }
                 }
+                outcome
             }
-            AdvanceShape::Malleable { resource, .. } => {
+            AdvanceShape::Malleable { resource, .. } => 'malleable: {
                 let Some(broker) = self.brokers.get(resource) else {
                     let error = ReserveError::UnknownResource {
                         resource: *resource,
                     };
                     self.emit_rejected(now, session, &error, None);
-                    return AdvanceOutcome::Rejected {
+                    break 'malleable AdvanceOutcome::Rejected {
                         error,
                         nearest_feasible_deadline: None,
                     };
                 };
                 let spec = request.malleable_spec().expect("shape checked above");
-                match book_malleable(broker, session, &spec, now) {
+                // The deadline-window planner both plans the rate
+                // profile and commits it; one plan span covers it.
+                let plan_started = collector.is_some().then(std::time::Instant::now);
+                let outcome = match book_malleable(broker, session, &spec, now) {
                     Ok(profile) => {
                         self.malleable.lock().insert(session, spec);
                         self.emit_booked(now, session, &profile);
@@ -810,25 +837,28 @@ impl AdvanceRegistry {
                             nearest_feasible_deadline: nearest,
                         }
                     }
+                };
+                if let (Some(c), Some(started)) = (collector.as_mut(), plan_started) {
+                    let span = c.record(SpanKind::Plan, started);
+                    span.resource = Some(u64::from(resource.0));
+                    if let AdvanceOutcome::Booked { profile } = &outcome {
+                        span.psi = Some(profile.psi);
+                    }
                 }
+                outcome
             }
+        };
+        if let Some(collector) = collector {
+            let (label, psi) = match &outcome {
+                AdvanceOutcome::Booked { profile } | AdvanceOutcome::Repacked { profile, .. } => {
+                    (qosr_obs::trace::OUTCOME_COMMITTED, Some(profile.psi))
+                }
+                AdvanceOutcome::Rejected { .. } => (qosr_obs::trace::OUTCOME_REJECTED, None),
+            };
+            let trace = collector.finish_with(label, Some(session.0), None, psi, "advance");
+            self.tracer.record(trace, self.sink.as_ref(), now.value());
         }
-    }
-
-    /// Books the whole `demand` vector over `[from, to)` for `session`,
-    /// all-or-nothing with rollback.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build an `AdvanceRequest::rigid` and book it through `AdvanceRegistry::book`"
-    )]
-    pub fn reserve_all_over(
-        &self,
-        session: SessionId,
-        demand: &ResourceVector,
-        from: SimTime,
-        to: SimTime,
-    ) -> Result<(), ReserveError> {
-        self.try_reserve_all(session, demand, from, to)
+        outcome
     }
 
     /// Cancels all of `session`'s bookings across all brokers (and
@@ -1298,19 +1328,77 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_positional_shims_still_book() {
+    fn rigid_windows_book_through_the_builder_api() {
         let b = TimelineBroker::new(ResourceId(0), 100.0);
-        b.reserve_over(SessionId(1), 60.0, t(10.0), t(20.0))
+        b.reserve_window(SessionId(1), 60.0, t(10.0), t(20.0))
             .unwrap();
         assert_eq!(b.available_over(t(10.0), t(20.0)), 40.0);
 
         let mut reg = AdvanceRegistry::new();
         reg.register(Arc::new(TimelineBroker::new(ResourceId(1), 50.0)));
         let demand = ResourceVector::from_pairs([(ResourceId(1), 20.0)]).unwrap();
-        reg.reserve_all_over(SessionId(2), &demand, t(0.0), t(5.0))
-            .unwrap();
+        let request = AdvanceRequest::rigid(SessionId(2), demand, t(0.0), t(5.0));
+        assert!(reg.book(&request, t(0.0)).is_booked());
         assert_eq!(reg.cancel_all(SessionId(2)).released_volume, 100.0);
+    }
+
+    #[test]
+    fn traced_bookings_record_span_trees() {
+        let mut reg = AdvanceRegistry::new();
+        reg.register(Arc::new(TimelineBroker::new(ResourceId(0), 50.0)));
+        reg.tracer().set_enabled(true);
+        let demand = ResourceVector::from_pairs([(ResourceId(0), 20.0)]).unwrap();
+
+        // A booked rigid window: plan (with ψ) + commit spans, exact
+        // root-span accounting, committed outcome.
+        let request = AdvanceRequest::rigid(SessionId(1), demand.clone(), t(0.0), t(5.0))
+            .traced(qosr_obs::TraceId(7));
+        assert_eq!(request.trace_id(), Some(qosr_obs::TraceId(7)));
+        assert!(reg.book(&request, t(0.0)).is_booked());
+        let traces = reg.tracer().flight().dump();
+        assert_eq!(traces.len(), 1);
+        let trace = &traces[0];
+        assert_eq!(trace.trace, 7);
+        assert_eq!(trace.outcome, "committed");
+        assert_eq!(trace.service.as_deref(), Some("advance"));
+        assert_eq!(trace.session, Some(1));
+        let measured: u64 = trace.spans.iter().map(|s| s.duration_ns).sum();
+        assert_eq!(measured, trace.total_ns);
+        assert_eq!(trace.spans[1].kind, SpanKind::Plan);
+        assert!(trace.spans[1].psi.is_some());
+        assert_eq!(trace.spans[2].kind, SpanKind::Commit);
+
+        // A rejected window rolls back and records the rejection.
+        let over = ResourceVector::from_pairs([(ResourceId(0), 45.0)]).unwrap();
+        let request =
+            AdvanceRequest::rigid(SessionId(2), over, t(0.0), t(5.0)).traced(qosr_obs::TraceId(8));
+        assert!(!reg.book(&request, t(0.0)).is_booked());
+        let traces = reg.tracer().flight().dump();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[1].outcome, "rejected");
+        let commit = traces[1].spans.iter().find(|s| s.kind == SpanKind::Commit);
+        assert_eq!(commit.unwrap().detail.as_deref(), Some("rolled back"));
+
+        // A traced malleable transfer records the planner span with the
+        // booked profile's ψ and resource.
+        let request = AdvanceRequest::malleable(SessionId(3), ResourceId(0), 30.0, t(100.0))
+            .traced(qosr_obs::TraceId(9));
+        assert!(reg.book(&request, t(0.0)).is_booked());
+        let traces = reg.tracer().flight().dump();
+        assert_eq!(traces[2].outcome, "committed");
+        assert!(traces[2].psi.is_some());
+        let plan = traces[2].spans.iter().find(|s| s.kind == SpanKind::Plan);
+        assert_eq!(plan.unwrap().resource, Some(0));
+
+        // Untraced bookings never touch the tracer.
+        let plain = AdvanceRequest::rigid(
+            SessionId(4),
+            ResourceVector::from_pairs([(ResourceId(0), 1.0)]).unwrap(),
+            t(50.0),
+            t(55.0),
+        );
+        assert!(reg.book(&plain, t(0.0)).is_booked());
+        assert_eq!(reg.tracer().recorded(), 3);
     }
 
     #[test]

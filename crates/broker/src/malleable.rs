@@ -31,9 +31,10 @@
 
 use crate::advance::{Booking, TimelineBroker};
 use crate::error::ReserveError;
-use crate::request::AlphaPolicy;
+use crate::request::{AlphaPolicy, TraceCtx};
 use crate::time::{SessionId, SimTime};
 use qosr_model::{ResourceId, ResourceVector};
+use qosr_obs::TraceId;
 
 /// One constant-rate piece of a malleable transfer plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,6 +143,7 @@ pub struct AdvanceRequest {
     shape: AdvanceShape,
     policy: AlphaPolicy,
     preempt: bool,
+    pub(crate) trace: Option<TraceCtx>,
 }
 
 impl AdvanceRequest {
@@ -152,6 +154,7 @@ impl AdvanceRequest {
             shape: AdvanceShape::Rigid { demand, from, to },
             policy: AlphaPolicy::Ignore,
             preempt: false,
+            trace: None,
         }
     }
 
@@ -177,7 +180,25 @@ impl AdvanceRequest {
             },
             policy: AlphaPolicy::Ignore,
             preempt: false,
+            trace: None,
         }
+    }
+
+    /// Tags the request with an ingress-minted trace id, so
+    /// [`crate::AdvanceRegistry::book`] records a span tree for it when
+    /// the registry's tracer is enabled. The ingress instant is *now* —
+    /// call this at the point the request entered the system.
+    pub fn traced(mut self, id: TraceId) -> Self {
+        self.trace = Some(TraceCtx {
+            id,
+            arrived: std::time::Instant::now(),
+        });
+        self
+    }
+
+    /// The trace id, when the request is traced.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.trace.map(|t| t.id)
     }
 
     /// Earliest permitted start for a malleable transfer. No-op on

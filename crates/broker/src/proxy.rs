@@ -23,7 +23,7 @@
 //! them), optionally falling back to the α-tradeoff planner so the
 //! session degrades to a lower QoS level instead of failing hard.
 
-use crate::request::{EstablishOutcome, NearestMiss, SessionRequest};
+use crate::request::{planner_label, EstablishOutcome, NearestMiss, SessionRequest, SpanCollector};
 use crate::{
     BrokerRegistry, EstablishError, FaultError, FaultInjector, ReserveError, RetryPolicy,
     SessionId, SimTime,
@@ -32,7 +32,9 @@ use qosr_core::{
     AvailabilityView, EpochSnapshot, PlanCtxPool, Planner, QrgOptions, ReservationPlan,
 };
 use qosr_model::{ResourceId, ResourceVector, SessionInstance};
-use qosr_obs::{Counters, EventKind, NullSink, Phase, PhaseTimers, TraceEvent, TraceSink};
+use qosr_obs::{
+    Counters, EventKind, NullSink, Phase, PhaseTimers, SpanKind, TraceEvent, TraceSink, Tracer,
+};
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -227,6 +229,9 @@ pub struct Coordinator {
     /// Fault injection (disabled by default: one relaxed atomic load per
     /// protocol message boundary).
     faults: Arc<FaultInjector>,
+    /// Request-scoped tracing (disabled by default: requests pay one
+    /// relaxed atomic load; see [`qosr_obs::Tracer`]).
+    tracer: Arc<Tracer>,
 }
 
 /// Failure of one establishment attempt: the error, the terminal trace
@@ -272,6 +277,7 @@ impl Coordinator {
             counters: Arc::new(Counters::new()),
             timers: Arc::new(PhaseTimers::new()),
             faults: Arc::new(FaultInjector::disabled()),
+            tracer: Arc::new(Tracer::default()),
         }
     }
 
@@ -301,6 +307,25 @@ impl Coordinator {
     /// `MetricsRegistry`) to measure where admissions spend their time.
     pub fn phase_timers(&self) -> &Arc<PhaseTimers> {
         &self.timers
+    }
+
+    /// The coordinator's request tracer. Disabled by default — call
+    /// [`Tracer::set_enabled`] to start assembling per-request span
+    /// trees for [`SessionRequest`]s carrying a trace id (see
+    /// [`SessionRequest::traced`]); completed trees land in the tracer's
+    /// flight ring and, when the sink is live, as
+    /// [`EventKind::RequestSpan`]/[`EventKind::RequestOutcome`] events.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Replaces the coordinator's tracer with a shared one, so a caller
+    /// (e.g. the scenario engine's observed entry point, or a server
+    /// sharing one tracer with its advance registry) can keep reading
+    /// span histograms and the flight ring after the coordinator is
+    /// gone.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = tracer;
     }
 
     /// The coordinator's fault injector. Disabled unless configured;
@@ -420,6 +445,12 @@ impl Coordinator {
         now: SimTime,
         rng: &mut impl Rng,
     ) -> EstablishOutcome {
+        // Request-scoped tracing costs one relaxed load here; only a
+        // traced request under an enabled tracer builds a collector.
+        let mut collector = match request.trace {
+            Some(ctx) if self.tracer.enabled() => Some(SpanCollector::new(ctx)),
+            _ => None,
+        };
         let (result, first_planned, nearest_miss) = self.establish_core(
             &request.session,
             &request.options,
@@ -427,8 +458,9 @@ impl Coordinator {
             request.deadline,
             now,
             rng,
+            collector.as_mut(),
         );
-        match result {
+        let outcome = match result {
             Ok(est) => match first_planned {
                 Some(from) if est.plan.rank < from => EstablishOutcome::Degraded {
                     from,
@@ -441,7 +473,12 @@ impl Coordinator {
                 error,
                 nearest_miss,
             },
+        };
+        if let Some(collector) = collector {
+            let trace = collector.finish(&outcome, request.session.service().name());
+            self.tracer.record(trace, self.sink.as_ref(), now.value());
         }
+        outcome
     }
 
     /// The establishment engine behind both [`Coordinator::establish_request`]
@@ -449,6 +486,7 @@ impl Coordinator {
     /// Returns the result plus the rank the *first* attempt planned (for
     /// degraded-commit classification) and, on planning failure, the
     /// nearest-miss blocking resource.
+    #[allow(clippy::too_many_arguments)]
     fn establish_core(
         &self,
         session: &SessionInstance,
@@ -457,6 +495,7 @@ impl Coordinator {
         deadline: Option<SimTime>,
         now: SimTime,
         rng: &mut impl Rng,
+        mut collector: Option<&mut SpanCollector>,
     ) -> (
         Result<EstablishedSession, EstablishError>,
         Option<u32>,
@@ -502,6 +541,7 @@ impl Coordinator {
                 attempt,
                 &mut first_planned_rank,
                 traced,
+                collector.as_deref_mut(),
             ) {
                 Ok(est) => {
                     if let Some(first) = first_planned_rank {
@@ -528,6 +568,9 @@ impl Coordinator {
                     if retryable && attempt < options.retry.max_retries {
                         attempt += 1;
                         self.counters.record_retry();
+                        if let Some(c) = collector.as_deref_mut() {
+                            c.retries += 1;
+                        }
                         if traced {
                             self.sink.emit(
                                 &TraceEvent::new(t, EventKind::EstablishRetry)
@@ -575,6 +618,7 @@ impl Coordinator {
         attempt: u32,
         first_planned_rank: &mut Option<u32>,
         traced: bool,
+        mut collector: Option<&mut SpanCollector>,
     ) -> Result<EstablishedSession, AttemptFailure> {
         let t = now.value();
         let service_name = session.service().name();
@@ -582,7 +626,14 @@ impl Coordinator {
         // Phase 1: collect availability (one round trip per reachable
         // proxy; down hosts report nothing, so the planner never places
         // demand on them).
+        let phase_start = collector.is_some().then(std::time::Instant::now);
         let view = self.collect(now, options.observation, rng, traced);
+        if let (Some(c), Some(started)) = (collector.as_deref_mut(), phase_start) {
+            let span = c.record(SpanKind::Collect, started);
+            if attempt > 0 {
+                span.attempt = Some(attempt);
+            }
+        }
 
         // Graceful degradation: from the first retry on, plan with the
         // α-tradeoff policy so resources trending down (α < 1 — typical
@@ -604,6 +655,7 @@ impl Coordinator {
         let mut hops: Vec<TraceEvent> = Vec::new();
         let mut reject_event: Option<Box<TraceEvent>> = None;
         let mut nearest: Option<NearestMiss> = None;
+        let phase_start = collector.is_some().then(std::time::Instant::now);
         let plan_span = self.timers.span_traced(Phase::Plan, self.sink.as_ref(), t);
         let (result, downgrade) = {
             let mut ctx = self.plan_pool.checkout();
@@ -658,6 +710,16 @@ impl Coordinator {
             (result, ctx.last_downgrade())
         };
         drop(plan_span);
+        if let (Some(c), Some(started)) = (collector.as_deref_mut(), phase_start) {
+            let span = c.record(SpanKind::Plan, started);
+            span.planner = Some(planner_label(planner).to_string());
+            if attempt > 0 {
+                span.attempt = Some(attempt);
+            }
+            if let Ok(plan) = &result {
+                span.psi = Some(plan.psi);
+            }
+        }
         if let Some((from, to)) = downgrade {
             self.counters.record_tradeoff_downgrade();
             if traced {
@@ -719,7 +781,18 @@ impl Coordinator {
         // Phase 3: two-phase reserve/commit across the owning proxies,
         // all-or-nothing with exactly-once rollback.
         let id = self.alloc_session_id();
-        if let Err(e) = self.dispatch(id, &plan.total_demand(), now, traced, true) {
+        let phase_start = collector.is_some().then(std::time::Instant::now);
+        let dispatched = self.dispatch(id, &plan.total_demand(), now, traced, true);
+        if let (Some(c), Some(started)) = (collector, phase_start) {
+            let span = c.record(SpanKind::Commit, started);
+            if attempt > 0 {
+                span.attempt = Some(attempt);
+            }
+            if dispatched.is_err() {
+                span.detail = Some("rolled back".to_string());
+            }
+        }
+        if let Err(e) = dispatched {
             let terminal = if !traced {
                 None
             } else {

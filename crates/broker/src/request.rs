@@ -36,6 +36,20 @@ use crate::SimTime;
 use crate::{EstablishError, EstablishOptions, EstablishedSession, ObservationPolicy, RetryPolicy};
 use qosr_core::{Planner, QrgOptions};
 use qosr_model::{ResourceId, SessionInstance};
+use qosr_obs::{RequestTrace, SpanKind, SpanRecord, TraceId};
+
+/// The request-scoped tracing context riding a [`SessionRequest`]: the
+/// ingress-minted id plus the ingress instant, from which every span
+/// offset and the end-to-end latency are measured.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TraceCtx {
+    /// The ingress-minted trace id.
+    pub(crate) id: TraceId,
+    /// When the request entered the system (wire read / CLI mint). The
+    /// gap between this and the first measured phase becomes the
+    /// `queue` span.
+    pub(crate) arrived: std::time::Instant,
+}
 
 /// How the request wants the availability-change index α (§4.3.1) used
 /// during planning.
@@ -64,6 +78,7 @@ pub struct SessionRequest {
     pub(crate) options: EstablishOptions,
     pub(crate) qos_min: Option<u32>,
     pub(crate) deadline: Option<SimTime>,
+    pub(crate) trace: Option<TraceCtx>,
 }
 
 impl SessionRequest {
@@ -75,7 +90,23 @@ impl SessionRequest {
             options: EstablishOptions::default(),
             qos_min: None,
             deadline: None,
+            trace: None,
         }
+    }
+
+    /// Marks the request as traced under `id`, capturing *now* as its
+    /// ingress instant: the coordinator (or batched admission queue)
+    /// will assemble a causal [`qosr_obs::RequestTrace`] attributing the
+    /// request's end-to-end latency span by span, provided the
+    /// coordinator's [`qosr_obs::Tracer`] is enabled. Call at the true
+    /// ingress (wire read, scenario arrival) so queue wait is charged
+    /// from the moment the request existed.
+    pub fn traced(mut self, id: TraceId) -> Self {
+        self.trace = Some(TraceCtx {
+            id,
+            arrived: std::time::Instant::now(),
+        });
+        self
     }
 
     /// Requires the committed end-to-end QoS rank to be at least `min`
@@ -157,6 +188,11 @@ impl SessionRequest {
         self.deadline
     }
 
+    /// The trace id, when the request is traced.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.trace.map(|t| t.id)
+    }
+
     /// Consumes the request, yielding the session instance back (useful
     /// after admission, when the caller keeps the instance for
     /// renegotiation or termination bookkeeping).
@@ -169,6 +205,123 @@ impl SessionRequest {
     /// that need to keep both without cloning them.
     pub fn into_parts(self) -> (SessionInstance, EstablishOptions) {
         (self.session, self.options)
+    }
+}
+
+/// The stable lowercase label of a planner, for span annotations.
+pub(crate) fn planner_label(planner: Planner) -> &'static str {
+    match planner {
+        Planner::Basic => "basic",
+        Planner::Tradeoff => "tradeoff",
+        Planner::Random => "random",
+        Planner::Dag => "dag",
+    }
+}
+
+/// Accumulates the measured [`SpanRecord`]s of one traced request while
+/// it moves through the pipeline, then assembles the final
+/// [`RequestTrace`]. Only constructed when the coordinator's tracer is
+/// enabled *and* the request carries a [`TraceCtx`] — untraced requests
+/// never reach this type.
+pub(crate) struct SpanCollector {
+    pub(crate) id: TraceId,
+    origin: std::time::Instant,
+    spans: Vec<SpanRecord>,
+    pub(crate) retries: u32,
+    pub(crate) conflicts: u32,
+}
+
+impl SpanCollector {
+    pub(crate) fn new(ctx: TraceCtx) -> Self {
+        SpanCollector {
+            id: ctx.id,
+            origin: ctx.arrived,
+            spans: Vec::new(),
+            retries: 0,
+            conflicts: 0,
+        }
+    }
+
+    /// Nanosecond offset of `at` from the request's ingress (saturating
+    /// to zero for instants captured before ingress).
+    pub(crate) fn offset_ns(&self, at: std::time::Instant) -> u64 {
+        at.saturating_duration_since(self.origin).as_nanos() as u64
+    }
+
+    /// Closes a span of `kind` opened at `started` (duration runs to
+    /// *now*) and returns it for annotation.
+    pub(crate) fn record(
+        &mut self,
+        kind: SpanKind,
+        started: std::time::Instant,
+    ) -> &mut SpanRecord {
+        let span = SpanRecord::new(
+            kind,
+            self.offset_ns(started),
+            started.elapsed().as_nanos() as u64,
+        );
+        self.spans.push(span);
+        self.spans.last_mut().expect("span just pushed")
+    }
+
+    /// Appends an externally assembled span (batched admission builds
+    /// replan spans with children before handing them over).
+    pub(crate) fn push(&mut self, span: SpanRecord) {
+        self.spans.push(span);
+    }
+
+    /// Assembles the final trace. The end-to-end total runs from ingress
+    /// to *now*; the unmeasured residual (socket read, gather-window
+    /// wait, scheduling) becomes a leading [`SpanKind::Queue`] span, so
+    /// the root spans' durations sum *exactly* to `total_ns`.
+    pub(crate) fn finish(self, outcome: &EstablishOutcome, service: &str) -> RequestTrace {
+        let (label, session, rank, psi) = match outcome {
+            EstablishOutcome::Committed(est) => (
+                qosr_obs::trace::OUTCOME_COMMITTED,
+                Some(est.id.0),
+                Some(est.plan.rank),
+                Some(est.plan.psi),
+            ),
+            EstablishOutcome::Degraded { session: est, .. } => (
+                qosr_obs::trace::OUTCOME_DEGRADED,
+                Some(est.id.0),
+                Some(est.plan.rank),
+                Some(est.plan.psi),
+            ),
+            EstablishOutcome::Rejected { .. } => {
+                (qosr_obs::trace::OUTCOME_REJECTED, None, None, None)
+            }
+        };
+        self.finish_with(label, session, rank, psi, service)
+    }
+
+    /// [`SpanCollector::finish`] for callers whose outcome is not an
+    /// [`EstablishOutcome`] (the advance-reservation path): same
+    /// queue-residual assembly, caller-supplied outcome fields.
+    pub(crate) fn finish_with(
+        mut self,
+        outcome: &str,
+        session: Option<u64>,
+        rank: Option<u32>,
+        psi: Option<f64>,
+        service: &str,
+    ) -> RequestTrace {
+        let measured: u64 = self.spans.iter().map(|s| s.duration_ns).sum();
+        let total_ns = (self.origin.elapsed().as_nanos() as u64).max(measured);
+        let mut spans = vec![SpanRecord::new(SpanKind::Queue, 0, total_ns - measured)];
+        spans.append(&mut self.spans);
+        RequestTrace {
+            trace: self.id.value(),
+            service: Some(service.to_string()),
+            outcome: outcome.to_string(),
+            session,
+            rank,
+            psi,
+            conflicts: self.conflicts,
+            retries: self.retries,
+            total_ns,
+            spans,
+        }
     }
 }
 

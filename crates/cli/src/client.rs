@@ -1,0 +1,168 @@
+//! Thin one-shot clients for a running `qosr serve`: the `qosr flight`
+//! and `qosr slo` subcommands.
+//!
+//! Both open a fresh connection, send a single request frame, render
+//! the answer, and hang up — the operator-facing incident loop:
+//!
+//! ```sh
+//! qosr slo --addr 127.0.0.1:7464            # are we burning budget?
+//! qosr flight --addr 127.0.0.1:7464 \
+//!     --out flight.jsonl                    # what just happened?
+//! qosr trace flight.jsonl                   # (then read the spans)
+//! ```
+
+use crate::dto::ScenarioError;
+use crate::wire::{read_frame, write_frame, RequestFrame, ResponseFrame};
+use qosr_obs::{RequestTrace, SloReport};
+use std::fmt::Write as _;
+use std::io::{BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+/// Sends one request frame and returns the first response.
+fn round_trip(addr: &str, request: &RequestFrame) -> Result<ResponseFrame, ScenarioError> {
+    let mut stream = TcpStream::connect(addr).map_err(ScenarioError::Io)?;
+    stream.set_nodelay(true).map_err(ScenarioError::Io)?;
+    write_frame(&mut stream, request)
+        .map_err(|e| ScenarioError::Invalid(format!("request failed: {e}")))?;
+    stream.flush().map_err(ScenarioError::Io)?;
+    let mut reader = BufReader::new(stream);
+    match read_frame::<_, ResponseFrame>(&mut reader) {
+        Ok(Some(frame)) => Ok(frame),
+        Ok(None) => Err(ScenarioError::Invalid(
+            "server closed the connection without answering".into(),
+        )),
+        Err(e) => Err(ScenarioError::Invalid(format!("response failed: {e}"))),
+    }
+}
+
+/// `qosr flight`: dump the server's flight ring. With `out`, the span
+/// trees are written there as canonical JSONL (one trace per line, the
+/// same bytes a breach dump produces); without it they go to stdout.
+pub fn flight(addr: &str, out: Option<&PathBuf>) -> Result<String, ScenarioError> {
+    let response = round_trip(addr, &RequestFrame::Flight { id: 1 })?;
+    let frame = match response {
+        ResponseFrame::Flight(frame) => frame,
+        ResponseFrame::Error { message, .. } => {
+            return Err(ScenarioError::Invalid(format!("server error: {message}")))
+        }
+        other => {
+            return Err(ScenarioError::Invalid(format!(
+                "unexpected response: {other:?}"
+            )))
+        }
+    };
+    let mut lines = String::new();
+    for trace in &frame.traces {
+        lines.push_str(&trace.to_jsonl());
+        lines.push('\n');
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(path, &lines).map_err(ScenarioError::Io)?;
+            Ok(format!(
+                "qosr flight: wrote {} traces to {}\n{}",
+                frame.traces.len(),
+                path.display(),
+                summarize(&frame.traces),
+            ))
+        }
+        None => Ok(lines),
+    }
+}
+
+/// A per-outcome tally over the dumped ring, so the operator sees the
+/// shape before opening the JSONL.
+fn summarize(traces: &[RequestTrace]) -> String {
+    let mut committed = 0u64;
+    let mut degraded = 0u64;
+    let mut rejected = 0u64;
+    let mut worst: Option<&RequestTrace> = None;
+    for trace in traces {
+        match trace.outcome.as_str() {
+            "committed" => committed += 1,
+            "degraded" => degraded += 1,
+            _ => rejected += 1,
+        }
+        if worst.is_none_or(|w| trace.total_ns > w.total_ns) {
+            worst = Some(trace);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  outcomes   {committed} committed, {degraded} degraded, {rejected} rejected"
+    );
+    if let Some(worst) = worst {
+        let _ = writeln!(
+            out,
+            "  slowest    trace {:016x} ({}, {} ns end-to-end)",
+            worst.trace, worst.outcome, worst.total_ns
+        );
+    }
+    out
+}
+
+/// `qosr slo`: fetch and render the server's current SLO report.
+pub fn slo(addr: &str) -> Result<String, ScenarioError> {
+    let response = round_trip(addr, &RequestFrame::Slo { id: 1 })?;
+    let frame = match response {
+        ResponseFrame::Slo(frame) => frame,
+        ResponseFrame::Error { message, .. } => {
+            return Err(ScenarioError::Invalid(format!("server error: {message}")))
+        }
+        other => {
+            return Err(ScenarioError::Invalid(format!(
+                "unexpected response: {other:?}"
+            )))
+        }
+    };
+    Ok(render_slo(&frame.report))
+}
+
+/// Renders one [`SloReport`] as the `qosr slo` table.
+pub fn render_slo(report: &SloReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "qosr slo report — {}",
+        if report.breached {
+            "BREACHED"
+        } else {
+            "healthy"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  requests    {} total ({} committed, {} degraded, {} rejected)",
+        report.total, report.committed, report.degraded, report.rejected
+    );
+    let _ = writeln!(
+        out,
+        "  p99 latency {} ns (target {} ns) — burn {:.2} long / {:.2} short",
+        report.p99_ns, report.target_p99_ns, report.latency_burn, report.short_latency_burn
+    );
+    let _ = writeln!(
+        out,
+        "  rejection   {:.4} (target {:.4}) — burn {:.2} long / {:.2} short",
+        report.rejection_rate,
+        report.target_rejection_rate,
+        report.rejection_burn,
+        report.short_rejection_burn
+    );
+    let _ = writeln!(
+        out,
+        "  degraded    {:.4} (target {:.4}) — burn {:.2} long / {:.2} short",
+        report.degraded_rate,
+        report.target_degraded_rate,
+        report.degraded_burn,
+        report.short_degraded_burn
+    );
+    let _ = writeln!(
+        out,
+        "  short win   {} requests, p99 {} ns",
+        report.short_total, report.short_p99_ns
+    );
+    let _ = writeln!(out, "  breaches    {} entered so far", report.breaches);
+    out
+}

@@ -12,7 +12,7 @@
 //! not phase-lock into synchronized bursts), while a paired reader
 //! thread timestamps every response against its send time and records
 //! the nanosecond latency in a shared lock-free
-//! [`Histogram`](qosr_obs::Histogram). The final [`LoadReport`] is the
+//! [`Histogram`]. The final [`LoadReport`] is the
 //! schema behind `BENCH_serve.json`.
 
 use crate::dto::ScenarioError;
@@ -58,6 +58,12 @@ pub struct LoadOptions {
     /// Send a `shutdown` frame when done and wait for the `bye`
     /// (`--shutdown`) — lets scripts tear the server down in one go.
     pub shutdown: bool,
+    /// Request server-side latency attribution (`--attrib`): every
+    /// establish carries a trace id, and the report splits the
+    /// client-observed latency into the server's span-tree phases
+    /// (queue/collect/plan/replan/commit) versus everything outside
+    /// them (network plus client-side queueing).
+    pub attrib: bool,
 }
 
 impl Default for LoadOptions {
@@ -74,6 +80,7 @@ impl Default for LoadOptions {
             out: None,
             json: false,
             shutdown: false,
+            attrib: false,
         }
     }
 }
@@ -114,6 +121,38 @@ pub struct LoadReport {
     pub mean_ns: f64,
     /// Worst observed request latency in nanoseconds.
     pub max_ns: u64,
+    /// Server-side latency attribution — present only under `--attrib`.
+    pub attribution: Option<AttribReport>,
+}
+
+/// Where traced requests spent their time, split between the server's
+/// span tree and everything the server cannot see. All means are over
+/// the responses that carried attribution.
+#[derive(Debug, Clone, Serialize)]
+pub struct AttribReport {
+    /// Responses whose outcome frame carried a server span tree.
+    pub matched: u64,
+    /// Responses whose phase nanoseconds did **not** sum exactly to the
+    /// server's `total_ns` — the span-tree accounting identity promises
+    /// this stays 0.
+    pub mismatches: u64,
+    /// Mean client-observed latency (send to response decode), ns.
+    pub client_mean_ns: f64,
+    /// Mean server-side end-to-end latency (span-tree total), ns.
+    pub server_mean_ns: f64,
+    /// Mean latency outside the server's span tree: network transit
+    /// plus client- and server-side socket queueing, ns.
+    pub network_queue_mean_ns: f64,
+    /// Mean server queue phase (ingress to round pickup), ns.
+    pub queue_mean_ns: f64,
+    /// Mean collect phase (phase-1 bid gathering share), ns.
+    pub collect_mean_ns: f64,
+    /// Mean plan phase (phase-2 relaxation), ns.
+    pub plan_mean_ns: f64,
+    /// Mean replan phase (conflict repair), ns.
+    pub replan_mean_ns: f64,
+    /// Mean commit phase (two-phase reserve/commit), ns.
+    pub commit_mean_ns: f64,
 }
 
 /// Tallies shared by every connection.
@@ -124,6 +163,16 @@ struct Tallies {
     degraded: AtomicU64,
     rejected: AtomicU64,
     errors: AtomicU64,
+    // Attribution sums (populated only when outcomes carry span trees).
+    attrib_matched: AtomicU64,
+    attrib_mismatches: AtomicU64,
+    attrib_client_ns: AtomicU64,
+    attrib_server_ns: AtomicU64,
+    attrib_queue_ns: AtomicU64,
+    attrib_collect_ns: AtomicU64,
+    attrib_plan_ns: AtomicU64,
+    attrib_replan_ns: AtomicU64,
+    attrib_commit_ns: AtomicU64,
 }
 
 /// How long the drain phase waits for stragglers after the offered
@@ -212,6 +261,31 @@ pub fn run_load(opts: &LoadOptions) -> Result<LoadReport, ScenarioError> {
         p999_ns: hist.percentile(0.999).unwrap_or(0),
         mean_ns: hist.mean().unwrap_or(0.0),
         max_ns: hist.max().unwrap_or(0),
+        attribution: attrib_report(&tallies),
+    })
+}
+
+/// Folds the attribution sums into per-request means, when any outcome
+/// carried a span tree.
+fn attrib_report(tallies: &Tallies) -> Option<AttribReport> {
+    let matched = tallies.attrib_matched.load(Ordering::Relaxed);
+    if matched == 0 {
+        return None;
+    }
+    let mean = |sum: &AtomicU64| sum.load(Ordering::Relaxed) as f64 / matched as f64;
+    let client_mean_ns = mean(&tallies.attrib_client_ns);
+    let server_mean_ns = mean(&tallies.attrib_server_ns);
+    Some(AttribReport {
+        matched,
+        mismatches: tallies.attrib_mismatches.load(Ordering::Relaxed),
+        client_mean_ns,
+        server_mean_ns,
+        network_queue_mean_ns: (client_mean_ns - server_mean_ns).max(0.0),
+        queue_mean_ns: mean(&tallies.attrib_queue_ns),
+        collect_mean_ns: mean(&tallies.attrib_collect_ns),
+        plan_mean_ns: mean(&tallies.attrib_plan_ns),
+        replan_mean_ns: mean(&tallies.attrib_replan_ns),
+        commit_mean_ns: mean(&tallies.attrib_commit_ns),
     })
 }
 
@@ -266,6 +340,11 @@ fn connection_worker(
             def.service = opts.service;
             def.domain = opts.domain;
             def.scale = opts.scale;
+            if opts.attrib {
+                // The request id is already globally unique — reuse it
+                // as the trace id so dumps correlate with the report.
+                def.trace = Some(id);
+            }
             in_flight.lock().unwrap().push_back((id, Instant::now()));
             if write_request_frame(&mut out, &RequestFrame::Establish(def)).is_err() {
                 io_error = Some("server closed the connection mid-run".to_string());
@@ -349,7 +428,36 @@ fn reader_worker(
         match read_response_frame(&mut reader) {
             Ok(Some(ResponseFrame::Outcome(outcome))) => {
                 if let Some(sent_at) = take_in_flight(in_flight, outcome.id) {
-                    hist.record(sent_at.elapsed().as_nanos() as u64);
+                    let client_ns = sent_at.elapsed().as_nanos() as u64;
+                    hist.record(client_ns);
+                    if let Some(total_ns) = outcome.total_ns {
+                        let queue = outcome.queue_ns.unwrap_or(0);
+                        let collect = outcome.collect_ns.unwrap_or(0);
+                        let plan = outcome.plan_ns.unwrap_or(0);
+                        let replan = outcome.replan_ns.unwrap_or(0);
+                        let commit = outcome.commit_ns.unwrap_or(0);
+                        tallies.attrib_matched.fetch_add(1, Ordering::Relaxed);
+                        if queue + collect + plan + replan + commit != total_ns {
+                            tallies.attrib_mismatches.fetch_add(1, Ordering::Relaxed);
+                        }
+                        tallies
+                            .attrib_client_ns
+                            .fetch_add(client_ns, Ordering::Relaxed);
+                        tallies
+                            .attrib_server_ns
+                            .fetch_add(total_ns, Ordering::Relaxed);
+                        tallies.attrib_queue_ns.fetch_add(queue, Ordering::Relaxed);
+                        tallies
+                            .attrib_collect_ns
+                            .fetch_add(collect, Ordering::Relaxed);
+                        tallies.attrib_plan_ns.fetch_add(plan, Ordering::Relaxed);
+                        tallies
+                            .attrib_replan_ns
+                            .fetch_add(replan, Ordering::Relaxed);
+                        tallies
+                            .attrib_commit_ns
+                            .fetch_add(commit, Ordering::Relaxed);
+                    }
                 }
                 tallies.responses.fetch_add(1, Ordering::Relaxed);
                 match outcome.status.as_str() {
@@ -416,5 +524,24 @@ pub fn render_report(report: &LoadReport) -> String {
         "  latency       p50 {} ns, p99 {} ns, p99.9 {} ns, mean {:.0} ns, max {} ns\n",
         report.p50_ns, report.p99_ns, report.p999_ns, report.mean_ns, report.max_ns
     ));
+    if let Some(attrib) = &report.attribution {
+        out.push_str(&format!(
+            "  attribution   {} traced ({} accounting mismatches)\n",
+            attrib.matched, attrib.mismatches
+        ));
+        out.push_str(&format!(
+            "    client mean   {:.0} ns = network+socket {:.0} ns + server {:.0} ns\n",
+            attrib.client_mean_ns, attrib.network_queue_mean_ns, attrib.server_mean_ns
+        ));
+        out.push_str(&format!(
+            "    server mean   queue {:.0} ns, collect {:.0} ns, plan {:.0} ns, \
+             replan {:.0} ns, commit {:.0} ns\n",
+            attrib.queue_mean_ns,
+            attrib.collect_mean_ns,
+            attrib.plan_mean_ns,
+            attrib.replan_mean_ns,
+            attrib.commit_mean_ns
+        ));
+    }
     out
 }

@@ -34,14 +34,19 @@ const USAGE: &str = "usage:
                [--batch N] [--sample P] [--metrics-addr HOST:PORT]
   qosr top     [--planner basic|tradeoff|random] [--seed N] [--rates A,B,C] [--horizon H]
                [--batch N] [--sample P] [--metrics-addr HOST:PORT]
-  qosr run <file.scenario.json> [--trace out.jsonl] [--json]
+  qosr run <file.scenario.json> [--trace out.jsonl] [--trace-requests] [--json]
   qosr run --validate <file.scenario.json>
   qosr run --list [dir]
   qosr serve [--addr HOST:PORT] [--world bench|paper] [--world-seed N] [--capacity LO,HI]
              [--workers N] [--max-batch N] [--max-replans N] [--seed N]
              [--addr-file FILE] [--metrics-addr HOST:PORT]
+             [--slo-p99-ms MS] [--slo-max-rejection R] [--slo-max-degraded R]
+             [--flight-capacity N] [--flight-dump FILE]
   qosr load  [--addr HOST:PORT] [--rate R] [--duration S] [--connections N] [--seed N]
-             [--service I] [--domain I] [--scale X] [--out FILE] [--json] [--shutdown]";
+             [--service I] [--domain I] [--scale X] [--out FILE] [--json] [--shutdown]
+             [--attrib]
+  qosr flight [--addr HOST:PORT] [--out FILE]
+  qosr slo    [--addr HOST:PORT]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -202,6 +207,37 @@ fn main() -> ExitCode {
                 )));
             }
             "--shutdown" => load_opts.shutdown = true,
+            "--attrib" => load_opts.attrib = true,
+            "--trace-requests" => run_opts.trace_requests = true,
+            "--slo-p99-ms" => {
+                let ms: f64 = flag_value!(
+                    args,
+                    i,
+                    |s: &String| s.parse::<f64>().ok().filter(|v| *v > 0.0),
+                    "--slo-p99-ms"
+                );
+                serve_opts.slo.p99_establish_ns = (ms * 1.0e6) as u64;
+            }
+            "--slo-max-rejection" => {
+                serve_opts.slo.max_rejection_rate =
+                    flag_value!(args, i, |s: &String| s.parse().ok(), "--slo-max-rejection");
+            }
+            "--slo-max-degraded" => {
+                serve_opts.slo.max_degraded_rate =
+                    flag_value!(args, i, |s: &String| s.parse().ok(), "--slo-max-degraded");
+            }
+            "--flight-capacity" => {
+                serve_opts.flight_capacity =
+                    flag_value!(args, i, |s: &String| s.parse().ok(), "--flight-capacity");
+            }
+            "--flight-dump" => {
+                serve_opts.flight_dump = Some(PathBuf::from(flag_value!(
+                    args,
+                    i,
+                    |s: &String| Some(s.clone()),
+                    "--flight-dump"
+                )));
+            }
             "--trace" => {
                 run_opts.trace = Some(PathBuf::from(flag_value!(
                     args,
@@ -273,7 +309,9 @@ fn main() -> ExitCode {
                 Ok(load::render_report(&report))
             }
         }),
-        ("metrics" | "top" | "serve" | "load", Some(_)) => {
+        ("flight", None) => qosr_cli::client::flight(&load_opts.addr, load_opts.out.as_ref()),
+        ("slo", None) => qosr_cli::client::slo(&load_opts.addr),
+        ("metrics" | "top" | "serve" | "load" | "flight" | "slo", Some(_)) => {
             eprintln!("{command} takes no file argument\n{USAGE}");
             return ExitCode::FAILURE;
         }

@@ -22,6 +22,10 @@ pub struct RunOptions {
     pub trace: Option<std::path::PathBuf>,
     /// Print the raw `RunResult` as JSON instead of the report.
     pub json: bool,
+    /// Mint a trace id per admitted arrival so the event trace carries
+    /// request span trees (`--trace-requests`). Run outcomes are
+    /// bit-identical either way; only observability output changes.
+    pub trace_requests: bool,
 }
 
 fn convert(e: DslError) -> ScenarioError {
@@ -41,7 +45,10 @@ fn load(path: &Path) -> Result<ScenarioFile, ScenarioError> {
 /// `run <file>`: execute one scenario file and report the run.
 pub fn run(path: &Path, opts: &RunOptions) -> Result<String, ScenarioError> {
     let file = load(path)?;
-    let config = file.to_config();
+    let mut config = file.to_config();
+    if opts.trace_requests {
+        config.trace_requests = true;
+    }
     let result = match &opts.trace {
         Some(trace_path) => {
             let sink = std::sync::Arc::new(
@@ -224,6 +231,7 @@ mod tests {
             &RunOptions {
                 trace: Some(trace.clone()),
                 json: false,
+                trace_requests: false,
             },
         )
         .unwrap();

@@ -2,7 +2,7 @@
 //!
 //! Accepts [`crate::wire`] frames over plain `std::net` TCP and feeds
 //! them into the batched
-//! [`AdmissionQueue`](qosr_broker::AdmissionQueue), streaming one
+//! [`AdmissionQueue`], streaming one
 //! [`crate::wire::ResponseFrame`] per request back as each sequential
 //! commit lands (via `AdmissionQueue::admit_with`). No async runtime:
 //! the same blocking accept-loop shape as the metrics exposition
@@ -35,7 +35,7 @@
 use crate::dto::ScenarioError;
 use crate::wire::{
     read_request_frame, write_response_frame, AdvanceDef, AdvanceOutcomeFrame, EstablishDef,
-    OutcomeFrame, RequestFrame, ResponseFrame, StatsFrame, WireError,
+    FlightFrame, OutcomeFrame, RequestFrame, ResponseFrame, SloFrame, StatsFrame, WireError,
 };
 use qosr_bench::synth::synthetic_chain;
 use qosr_broker::{
@@ -45,7 +45,9 @@ use qosr_broker::{
 };
 use qosr_core::Planner;
 use qosr_model::{ResourceId, ResourceKind, ResourceVector, SessionInstance};
-use qosr_obs::{Counters, MetricsRegistry, MetricsServer};
+use qosr_obs::{
+    Counters, MetricsRegistry, MetricsServer, SloEngine, SloOutcome, SloTargets, TraceId,
+};
 use qosr_sim::services::ServiceOptions;
 use qosr_sim::PaperEnvironment;
 use rand::rngs::StdRng;
@@ -58,7 +60,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long the admission thread waits for one more establish while
 /// hot (see the gather window in [`admission_loop`]): long enough to
@@ -116,6 +118,17 @@ pub struct ServeOptions {
     pub addr_file: Option<PathBuf>,
     /// Also serve Prometheus metrics (`--metrics-addr HOST:PORT`).
     pub metrics_addr: Option<String>,
+    /// Declared SLO targets, evaluated once per command sweep
+    /// (`--slo-p99-ms`, `--slo-max-rejection`, `--slo-max-degraded`).
+    pub slo: SloTargets,
+    /// Flight-recorder ring capacity: how many recent request span
+    /// trees a `flight` frame (or a breach dump) can return
+    /// (`--flight-capacity`).
+    pub flight_capacity: usize,
+    /// Dump the flight ring to this JSONL file whenever the SLO engine
+    /// *enters* breach (`--flight-dump PATH`). Each breach overwrites
+    /// the file with the freshest evidence.
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -131,6 +144,9 @@ impl Default for ServeOptions {
             max_batch: 256,
             addr_file: None,
             metrics_addr: None,
+            slo: SloTargets::default(),
+            flight_capacity: 256,
+            flight_dump: None,
         }
     }
 }
@@ -218,6 +234,13 @@ impl ServerWorld {
         }
     }
 
+    fn coordinator_mut(&mut self) -> &mut Coordinator {
+        match self {
+            ServerWorld::Bench { coordinator, .. } => coordinator,
+            ServerWorld::Paper { env } => &mut env.coordinator,
+        }
+    }
+
     /// Instantiates the session a templated establish names, or a
     /// client-facing error string.
     fn instantiate(&self, def: &EstablishDef) -> Result<SessionInstance, String> {
@@ -293,6 +316,9 @@ fn resolve(world: &ServerWorld, def: &EstablishDef) -> Result<SessionRequest, St
     if let Some(planner) = &def.planner {
         request = request.planner(parse_planner(planner)?);
     }
+    if let Some(trace) = def.trace {
+        request = request.traced(TraceId(trace));
+    }
     Ok(request)
 }
 
@@ -361,7 +387,11 @@ fn resolve_advance(def: &AdvanceDef, session: SessionId) -> Result<AdvanceReques
             )
         }
     };
-    Ok(request.alpha_policy(policy).allow_preempt(def.preempt))
+    let mut request = request.alpha_policy(policy).allow_preempt(def.preempt);
+    if let Some(trace) = def.trace {
+        request = request.traced(TraceId(trace));
+    }
+    Ok(request)
 }
 
 /// What the per-connection reader threads feed the admission thread.
@@ -471,7 +501,15 @@ pub fn start(opts: &ServeOptions) -> Result<Server, ScenarioError> {
         std::fs::write(path, format!("{addr}\n")).map_err(ScenarioError::Io)?;
     }
 
-    let world = ServerWorld::build(opts);
+    let mut world = ServerWorld::build(opts);
+    // The server always traces: flight and attribution are on-demand
+    // per request (an establish without a `trace` id pays one relaxed
+    // atomic load), so there is no flag to forget before an incident.
+    let tracer = Arc::new(qosr_obs::Tracer::new(opts.flight_capacity.max(1)));
+    tracer.set_enabled(true);
+    world.coordinator_mut().set_tracer(Arc::clone(&tracer));
+    let world = world;
+    let slo = Arc::new(SloEngine::new(opts.slo));
     let counters = world.coordinator().counters_arc();
     let registry = Arc::new(MetricsRegistry::new());
     registry.attach_counters(Arc::clone(&counters));
@@ -507,6 +545,8 @@ pub fn start(opts: &ServeOptions) -> Result<Server, ScenarioError> {
         let stop = Arc::clone(&stop);
         let registry = Arc::clone(&registry);
         let server_addr = addr;
+        let slo = Arc::clone(&slo);
+        let flight_dump = opts.flight_dump.clone();
         std::thread::Builder::new()
             .name("qosr-serve-admit".into())
             .spawn(move || {
@@ -518,6 +558,8 @@ pub fn start(opts: &ServeOptions) -> Result<Server, ScenarioError> {
                     stop,
                     registry,
                     server_addr,
+                    slo,
+                    flight_dump,
                 )
             })
             .map_err(ScenarioError::Io)?
@@ -664,6 +706,8 @@ fn admission_loop(
     stop: Arc<AtomicBool>,
     registry: Arc<MetricsRegistry>,
     server_addr: SocketAddr,
+    slo: Arc<SloEngine>,
+    flight_dump: Option<PathBuf>,
 ) {
     let coordinator = world.coordinator();
     let counters = coordinator.counters_arc();
@@ -682,6 +726,9 @@ fn admission_loop(
             }
         }
         registry.set_counters(Arc::clone(&counters));
+        // Advance bookings land in the same flight ring as establishes:
+        // one `flight` frame reconstructs the whole recent timeline.
+        registry.set_tracer(Arc::clone(coordinator.tracer()));
         registry
     };
     let mut next_advance_session = 0u64;
@@ -795,11 +842,11 @@ fn admission_loop(
                                 }
                             }
                             hot = batch.len() > 1;
-                            run_round(&world, &queue, &mut conns, &mut sessions, batch, None);
+                            run_round(&world, &queue, &mut conns, &mut sessions, batch, None, &slo);
                         }
                         RequestFrame::Batch { now, requests } => {
                             let batch: Vec<_> = requests.into_iter().map(|d| (conn, d)).collect();
-                            run_round(&world, &queue, &mut conns, &mut sessions, batch, now);
+                            run_round(&world, &queue, &mut conns, &mut sessions, batch, now, &slo);
                         }
                         RequestFrame::Advance(def) => {
                             let session = SessionId(next_advance_session + 1);
@@ -922,6 +969,24 @@ fn admission_loop(
                                 stats_frame(id, &queue, &counters, &conns, &sessions, &world);
                             send_to(&conns, conn, ResponseFrame::Stats(frame));
                         }
+                        RequestFrame::Flight { id } => {
+                            let traces = coordinator
+                                .tracer()
+                                .flight()
+                                .dump()
+                                .iter()
+                                .map(|t| (**t).clone())
+                                .collect();
+                            send_to(
+                                &conns,
+                                conn,
+                                ResponseFrame::Flight(FlightFrame { id, traces }),
+                            );
+                        }
+                        RequestFrame::Slo { id } => {
+                            let report = slo.report();
+                            send_to(&conns, conn, ResponseFrame::Slo(SloFrame { id, report }));
+                        }
                         RequestFrame::Ping { id } => {
                             // Normally answered by the reader; handle it
                             // anyway for robustness.
@@ -956,6 +1021,46 @@ fn admission_loop(
         registry.set_gauge("serve_connections", None, clock, conns.len() as f64);
         registry.set_gauge("serve_pending", None, clock, pending.len() as f64);
         registry.set_gauge("serve_live_sessions", None, clock, sessions.len() as f64);
+
+        // Evaluate the SLO targets once per sweep. An evaluation that
+        // *enters* breach dumps the flight ring: the span trees of the
+        // requests that burned the budget, captured while they are
+        // still in the ring.
+        let (report, entered_breach) = slo.evaluate();
+        registry.set_gauge("slo_latency_burn", None, clock, report.latency_burn);
+        registry.set_gauge("slo_rejection_burn", None, clock, report.rejection_burn);
+        registry.set_gauge("slo_degraded_burn", None, clock, report.degraded_burn);
+        registry.set_gauge(
+            "slo_breached",
+            None,
+            clock,
+            if report.breached { 1.0 } else { 0.0 },
+        );
+        if entered_breach {
+            eprintln!(
+                "qosr serve: SLO breach #{} (latency burn {:.2}, rejection burn {:.2}, \
+                 degraded burn {:.2})",
+                report.breaches, report.latency_burn, report.rejection_burn, report.degraded_burn
+            );
+            if let Some(path) = &flight_dump {
+                match std::fs::File::create(path) {
+                    Ok(file) => {
+                        let mut out = std::io::BufWriter::new(file);
+                        match coordinator.tracer().flight().dump_jsonl(&mut out) {
+                            Ok(n) => eprintln!(
+                                "qosr serve: dumped {n} flight traces to {}",
+                                path.display()
+                            ),
+                            Err(e) => eprintln!("qosr serve: flight dump failed: {e}"),
+                        }
+                    }
+                    Err(e) => eprintln!(
+                        "qosr serve: cannot open flight dump {}: {e}",
+                        path.display()
+                    ),
+                }
+            }
+        }
 
         if draining {
             // The backlog (and anything that raced in behind it) is
@@ -993,6 +1098,12 @@ fn admission_loop(
 /// Runs one admission round over `batch`, streaming each outcome to its
 /// connection as the commit lands. Sessions committed for a connection
 /// that died mid-round are released immediately.
+///
+/// Every outcome feeds the SLO engine. Traced requests report their
+/// span tree's exact end-to-end latency; untraced ones fall back to
+/// the round's elapsed wall-clock at commit time (queueing ahead of
+/// the round is not attributed — tracing exists for that).
+#[allow(clippy::too_many_arguments)]
 fn run_round(
     world: &ServerWorld,
     queue: &AdmissionQueue<'_>,
@@ -1000,6 +1111,7 @@ fn run_round(
     sessions: &mut HashMap<u64, LiveSession>,
     batch: Vec<(u64, EstablishDef)>,
     explicit_now: Option<f64>,
+    slo: &SloEngine,
 ) {
     let coordinator = queue.coordinator();
     let counters = coordinator.counters_arc();
@@ -1039,8 +1151,17 @@ fn run_round(
         // cloning their session instances.
         let mut leases: Vec<Option<(u64, EstablishedSession)>> =
             (0..requests.len()).map(|_| None).collect();
-        queue.admit_with(&requests, now, |i, outcome| {
-            let frame = OutcomeFrame::from_outcome(ids[i], &outcome);
+        let round_started = Instant::now();
+        queue.admit_traced(&requests, now, |i, outcome, trace| {
+            let mut frame = OutcomeFrame::from_outcome(ids[i], &outcome);
+            if let Some(trace) = &trace {
+                frame.attach_trace(trace);
+            }
+            let latency_ns = trace
+                .as_ref()
+                .map(|t| t.total_ns)
+                .unwrap_or_else(|| round_started.elapsed().as_nanos() as u64);
+            slo.observe(SloOutcome::from_label(&frame.status), latency_ns);
             let conn = owners[i];
             let alive = conns.contains_key(&conn);
             if let Some(est) = outcome.into_session() {

@@ -119,6 +119,9 @@ pub fn write_request_frame<W: Write + ?Sized>(
                 body.push_str(",\"scale\":");
                 push_float(&mut body, def.scale);
             }
+            if let Some(t) = def.trace {
+                let _ = write!(body, ",\"trace\":{t}");
+            }
             body.push_str("}}");
             return write_raw(w, body.as_bytes());
         }
@@ -139,6 +142,7 @@ pub fn write_response_frame<W: Write + ?Sized>(
             && o.error.is_none()
             && o.miss_resource.is_none()
             && o.miss_ratio.is_none()
+            && !o.has_attribution()
             && o.from.is_some() == o.to.is_some()
         {
             if let (Some(session), Some(rank), Some(psi)) = (o.session, o.rank, o.psi) {
@@ -272,6 +276,9 @@ fn fast_parse_establish(text: &str) -> Option<RequestFrame> {
     if s.eat(",\"scale\":") {
         def.scale = s.f64()?;
     }
+    if s.eat(",\"trace\":") {
+        def.trace = Some(s.u64()?);
+    }
     if s.eat("}}") && s.done() {
         Some(RequestFrame::Establish(def))
     } else {
@@ -330,6 +337,13 @@ fn fast_parse_outcome(text: &str) -> Option<ResponseFrame> {
         error: None,
         miss_resource: None,
         miss_ratio: None,
+        trace: None,
+        queue_ns: None,
+        collect_ns: None,
+        plan_ns: None,
+        replan_ns: None,
+        commit_ns: None,
+        total_ns: None,
     }))
 }
 
@@ -455,6 +469,11 @@ pub struct EstablishDef {
     /// (default `basic`).
     #[serde(default)]
     pub planner: Option<String>,
+    /// Client-minted trace id: when present (and the server traces),
+    /// the admission records a span tree under this id and the outcome
+    /// frame echoes it with per-phase latency attribution.
+    #[serde(default)]
+    pub trace: Option<u64>,
 }
 
 fn default_scale() -> f64 {
@@ -482,6 +501,9 @@ impl Serialize for EstablishDef {
         if let Some(p) = &self.planner {
             fields.push(("planner".to_owned(), p.to_value()));
         }
+        if let Some(t) = self.trace {
+            fields.push(("trace".to_owned(), t.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -497,6 +519,7 @@ impl EstablishDef {
             qos_min: None,
             deadline: None,
             planner: None,
+            trace: None,
         }
     }
 }
@@ -546,6 +569,11 @@ pub struct AdvanceDef {
     /// Start-vs-contention policy: `ignore` (default) or `tradeoff`.
     #[serde(default)]
     pub policy: Option<String>,
+    /// Client-minted trace id: asks the server to assemble this
+    /// booking's span tree into its flight ring (mirrors
+    /// [`EstablishDef::trace`]).
+    #[serde(default)]
+    pub trace: Option<u64>,
 }
 
 impl AdvanceDef {
@@ -564,6 +592,7 @@ impl AdvanceDef {
             max_rate: None,
             preempt: false,
             policy: None,
+            trace: None,
         }
     }
 
@@ -582,6 +611,7 @@ impl AdvanceDef {
             max_rate: None,
             preempt: false,
             policy: None,
+            trace: None,
         }
     }
 }
@@ -621,6 +651,9 @@ impl Serialize for AdvanceDef {
         }
         if let Some(p) = &self.policy {
             fields.push(("policy".to_owned(), p.to_value()));
+        }
+        if let Some(t) = self.trace {
+            fields.push(("trace".to_owned(), t.to_value()));
         }
         Value::Object(fields)
     }
@@ -669,6 +702,18 @@ pub enum RequestFrame {
     },
     /// Ask for a server snapshot: rounds, live sessions, capacity.
     Stats {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Dump the flight recorder: the server's ring of recently
+    /// completed request span trees, most recent last.
+    Flight {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Ask for the current SLO report: per-target compliance and
+    /// multi-window burn rates.
+    Slo {
         /// Correlation id.
         id: u64,
     },
@@ -725,6 +770,10 @@ pub enum ResponseFrame {
     },
     /// The server snapshot a [`RequestFrame::Stats`] asked for.
     Stats(StatsFrame),
+    /// The flight-recorder dump a [`RequestFrame::Flight`] asked for.
+    Flight(FlightFrame),
+    /// The SLO evaluation a [`RequestFrame::Slo`] asked for.
+    Slo(SloFrame),
     /// Answer to a ping.
     Pong {
         /// Correlation id of the ping.
@@ -783,6 +832,32 @@ pub struct OutcomeFrame {
     /// The nearest-miss `req/avail` overshoot ratio (some rejections).
     #[serde(default)]
     pub miss_ratio: Option<f64>,
+    /// Echo of the request's trace id (traced establishes only; the
+    /// remaining `*_ns` attribution fields ride along with it).
+    #[serde(default)]
+    pub trace: Option<u64>,
+    /// Server-side queue residual: socket read, gather-window wait,
+    /// scheduling — everything before the admission round touched the
+    /// request.
+    #[serde(default)]
+    pub queue_ns: Option<u64>,
+    /// Phase-1 availability collection time.
+    #[serde(default)]
+    pub collect_ns: Option<u64>,
+    /// Pass-II planning time (including replans' nested plans).
+    #[serde(default)]
+    pub plan_ns: Option<u64>,
+    /// Conflict-replan time (zero when the commit was clean).
+    #[serde(default)]
+    pub replan_ns: Option<u64>,
+    /// Two-phase reserve/commit dispatch time.
+    #[serde(default)]
+    pub commit_ns: Option<u64>,
+    /// End-to-end server-side latency, ingress to outcome. The root
+    /// span durations (`queue/collect/plan/replan/commit`) sum to
+    /// exactly this.
+    #[serde(default)]
+    pub total_ns: Option<u64>,
 }
 
 impl Serialize for OutcomeFrame {
@@ -815,6 +890,27 @@ impl Serialize for OutcomeFrame {
         if let Some(m) = self.miss_ratio {
             fields.push(("miss_ratio".to_owned(), m.to_value()));
         }
+        if let Some(t) = self.trace {
+            fields.push(("trace".to_owned(), t.to_value()));
+        }
+        if let Some(n) = self.queue_ns {
+            fields.push(("queue_ns".to_owned(), n.to_value()));
+        }
+        if let Some(n) = self.collect_ns {
+            fields.push(("collect_ns".to_owned(), n.to_value()));
+        }
+        if let Some(n) = self.plan_ns {
+            fields.push(("plan_ns".to_owned(), n.to_value()));
+        }
+        if let Some(n) = self.replan_ns {
+            fields.push(("replan_ns".to_owned(), n.to_value()));
+        }
+        if let Some(n) = self.commit_ns {
+            fields.push(("commit_ns".to_owned(), n.to_value()));
+        }
+        if let Some(n) = self.total_ns {
+            fields.push(("total_ns".to_owned(), n.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -835,6 +931,13 @@ impl OutcomeFrame {
             error: None,
             miss_resource: None,
             miss_ratio: None,
+            trace: None,
+            queue_ns: None,
+            collect_ns: None,
+            plan_ns: None,
+            replan_ns: None,
+            commit_ns: None,
+            total_ns: None,
         };
         match outcome {
             EstablishOutcome::Committed(est) => {
@@ -869,6 +972,32 @@ impl OutcomeFrame {
     /// `true` for `committed` and `degraded` outcomes.
     pub fn is_admitted(&self) -> bool {
         self.status != "rejected"
+    }
+
+    /// `true` when the frame carries any per-request latency
+    /// attribution fields — such frames take the generic encoder so
+    /// the untraced hot path stays free of the extra branches.
+    pub fn has_attribution(&self) -> bool {
+        self.trace.is_some()
+            || self.queue_ns.is_some()
+            || self.collect_ns.is_some()
+            || self.plan_ns.is_some()
+            || self.replan_ns.is_some()
+            || self.commit_ns.is_some()
+            || self.total_ns.is_some()
+    }
+
+    /// Copies the span-tree attribution of a finished [`RequestTrace`](qosr_obs::RequestTrace)
+    /// into the frame: one nanosecond bucket per phase, plus the total
+    /// they sum to exactly.
+    pub fn attach_trace(&mut self, trace: &qosr_obs::RequestTrace) {
+        self.trace = Some(trace.trace);
+        self.queue_ns = Some(trace.span_ns(qosr_obs::SpanKind::Queue));
+        self.collect_ns = Some(trace.span_ns(qosr_obs::SpanKind::Collect));
+        self.plan_ns = Some(trace.span_ns(qosr_obs::SpanKind::Plan));
+        self.replan_ns = Some(trace.span_ns(qosr_obs::SpanKind::Replan));
+        self.commit_ns = Some(trace.span_ns(qosr_obs::SpanKind::Commit));
+        self.total_ns = Some(trace.total_ns);
     }
 }
 
@@ -1031,6 +1160,26 @@ pub struct StatsFrame {
     pub over_committed: bool,
 }
 
+/// A flight-recorder dump: the span trees of the most recent requests,
+/// oldest first — the server-side answer to "what just happened".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightFrame {
+    /// Correlation id of the flight request.
+    pub id: u64,
+    /// The recorded traces, oldest first. Each re-encodes to the same
+    /// canonical JSONL line the server would write to a dump file.
+    pub traces: Vec<qosr_obs::RequestTrace>,
+}
+
+/// The server's current SLO evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloFrame {
+    /// Correlation id of the slo request.
+    pub id: u64,
+    /// Per-target observed values and burn rates over both windows.
+    pub report: qosr_obs::SloReport,
+}
+
 /// Wraps `body` in the externally-tagged single-key object form.
 fn tagged(key: &str, body: Value) -> Value {
     Value::Object(vec![(key.to_owned(), body)])
@@ -1051,10 +1200,10 @@ fn untag<'a>(v: &'a Value, what: &str, known: &str) -> Result<(&'a str, &'a Valu
     Ok((key.as_str(), body))
 }
 
-const REQUEST_KINDS: &str =
-    "establish, batch, advance, advance_cancel, terminate, renegotiate, stats, ping, shutdown";
-const RESPONSE_KINDS: &str =
-    "outcome, advance, advance_cancelled, terminated, renegotiated, stats, pong, error, bye";
+const REQUEST_KINDS: &str = "establish, batch, advance, advance_cancel, terminate, renegotiate, \
+     stats, flight, slo, ping, shutdown";
+const RESPONSE_KINDS: &str = "outcome, advance, advance_cancelled, terminated, renegotiated, \
+     stats, flight, slo, pong, error, bye";
 
 #[derive(Serialize, Deserialize)]
 struct BatchDef {
@@ -1112,6 +1261,8 @@ impl Serialize for RequestFrame {
                 .to_value(),
             ),
             RequestFrame::Stats { id } => tagged("stats", IdRef { id: *id }.to_value()),
+            RequestFrame::Flight { id } => tagged("flight", IdRef { id: *id }.to_value()),
+            RequestFrame::Slo { id } => tagged("slo", IdRef { id: *id }.to_value()),
             RequestFrame::Ping { id } => tagged("ping", IdRef { id: *id }.to_value()),
             RequestFrame::Shutdown => tagged("shutdown", Value::Object(Vec::new())),
         }
@@ -1160,6 +1311,14 @@ impl Deserialize for RequestFrame {
             "stats" => {
                 let d = IdRef::from_value(body).map_err(in_key)?;
                 Ok(RequestFrame::Stats { id: d.id })
+            }
+            "flight" => {
+                let d = IdRef::from_value(body).map_err(in_key)?;
+                Ok(RequestFrame::Flight { id: d.id })
+            }
+            "slo" => {
+                let d = IdRef::from_value(body).map_err(in_key)?;
+                Ok(RequestFrame::Slo { id: d.id })
             }
             "ping" => {
                 let d = IdRef::from_value(body).map_err(in_key)?;
@@ -1260,6 +1419,8 @@ impl Serialize for ResponseFrame {
                 .to_value(),
             ),
             ResponseFrame::Stats(frame) => tagged("stats", frame.to_value()),
+            ResponseFrame::Flight(frame) => tagged("flight", frame.to_value()),
+            ResponseFrame::Slo(frame) => tagged("slo", frame.to_value()),
             ResponseFrame::Pong { id } => tagged("pong", IdRef { id: *id }.to_value()),
             ResponseFrame::Error { id, message } => tagged(
                 "error",
@@ -1317,6 +1478,12 @@ impl Deserialize for ResponseFrame {
             "stats" => Ok(ResponseFrame::Stats(
                 StatsFrame::from_value(body).map_err(in_key)?,
             )),
+            "flight" => Ok(ResponseFrame::Flight(
+                FlightFrame::from_value(body).map_err(in_key)?,
+            )),
+            "slo" => Ok(ResponseFrame::Slo(
+                SloFrame::from_value(body).map_err(in_key)?,
+            )),
             "pong" => {
                 let d = IdRef::from_value(body).map_err(in_key)?;
                 Ok(ResponseFrame::Pong { id: d.id })
@@ -1368,6 +1535,7 @@ mod tests {
             qos_min: Some(3),
             deadline: Some(12.5),
             planner: Some("tradeoff".into()),
+            trace: Some(91),
         }));
         roundtrip_request(RequestFrame::Batch {
             now: Some(4.0),
@@ -1384,6 +1552,7 @@ mod tests {
         malleable.min_rate = Some(1.0);
         malleable.max_rate = Some(25.0);
         malleable.policy = Some("tradeoff".into());
+        malleable.trace = Some(17);
         roundtrip_request(RequestFrame::Advance(malleable));
         let mut preempting = AdvanceDef::rigid(12, vec![(1, 10.0)], 0.0, 2.0);
         preempting.preempt = true;
@@ -1392,6 +1561,8 @@ mod tests {
         roundtrip_request(RequestFrame::Terminate { id: 3, session: 9 });
         roundtrip_request(RequestFrame::Renegotiate { id: 4, session: 9 });
         roundtrip_request(RequestFrame::Stats { id: 5 });
+        roundtrip_request(RequestFrame::Flight { id: 7 });
+        roundtrip_request(RequestFrame::Slo { id: 8 });
         roundtrip_request(RequestFrame::Ping { id: 6 });
         roundtrip_request(RequestFrame::Shutdown);
     }

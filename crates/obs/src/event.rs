@@ -123,6 +123,19 @@ pub enum EventKind {
     /// threshold), `value` (QRG nodes recomputed by the repair),
     /// `detail` (epoch/attempt context, or the fallback reason).
     DeltaRepair,
+    /// One span of a traced request's causal tree (see
+    /// [`RequestTrace`](crate::RequestTrace)), emitted depth-first in
+    /// causal order when a tracer records with a live sink. Payload:
+    /// `trace`, `name` (the span kind: `queue`, `collect`, `plan`,
+    /// `replan`, `commit`), `duration_ns`, `value` (start offset from
+    /// ingress, ns), and when present `psi`, `resource` (conflict),
+    /// `level` (attempt), `detail` (planner).
+    RequestSpan,
+    /// A traced request completed, closing its span tree. Payload:
+    /// `trace`, `name` (the outcome: `committed`, `degraded`,
+    /// `rejected`), `duration_ns` (end-to-end latency), and when
+    /// admitted `session`, `level` (rank), `psi`; `service` when known.
+    RequestOutcome,
     /// One timed pipeline phase finished (span drop). Payload: `name`
     /// (the phase: `collect`, `plan`, `commit`, `replan`, `rollback`),
     /// `duration_ns` (measured wall-clock nanoseconds).
@@ -208,6 +221,10 @@ pub struct TraceEvent {
     /// A sampled measurement ([`EventKind::UtilizationSample`]).
     #[serde(default)]
     pub value: Option<f64>,
+    /// The ingress-minted request trace id ([`EventKind::RequestSpan`],
+    /// [`EventKind::RequestOutcome`]).
+    #[serde(default)]
+    pub trace: Option<u64>,
 }
 
 impl TraceEvent {
@@ -230,6 +247,7 @@ impl TraceEvent {
             detail: None,
             duration_ns: None,
             value: None,
+            trace: None,
         }
     }
 
@@ -304,6 +322,12 @@ impl TraceEvent {
     /// Sets the sampled measurement value.
     pub fn with_value(mut self, value: f64) -> Self {
         self.value = Some(value);
+        self
+    }
+
+    /// Sets the request trace id.
+    pub fn with_trace(mut self, trace: u64) -> Self {
+        self.trace = Some(trace);
         self
     }
 }

@@ -1,0 +1,192 @@
+//! Flight recorder: a fixed-size ring of recent request span trees.
+//!
+//! Modeled on an aircraft flight recorder — always on, bounded, and
+//! most useful right after something went wrong. Every completed
+//! [`RequestTrace`] is pushed into the ring; when
+//! an operator asks (`qosr flight`, the `flight` wire frame) or the
+//! server detects an SLO breach, the ring is dumped oldest-first as
+//! canonical JSONL and analysis starts from the actual recent traffic
+//! rather than from a reproduction attempt.
+//!
+//! Writers never block each other on a shared structure: the write
+//! cursor is a single atomic fetch-add and each slot is an independent
+//! `Mutex<Option<Arc<..>>>` touched only for an `Arc` pointer swap (the
+//! crate forbids `unsafe`, so the per-slot lock stands in for a raw
+//! atomic pointer — it is uncontended unless two writers lap each other
+//! on the same slot). Dumps walk the slots without stopping writers; a
+//! dump taken during concurrent recording sees each slot's latest
+//! consistent value and orders whatever it saw by sequence number.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::trace::RequestTrace;
+
+/// One ring slot: the trace plus the write sequence that placed it,
+/// used to order dumps oldest-first.
+type Slot = Mutex<Option<(u64, Arc<RequestTrace>)>>;
+
+/// A bounded ring of the most recent request span trees.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    cursor: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A ring retaining the last `capacity` traces (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "flight recorder needs at least one slot");
+        let slots = (0..capacity)
+            .map(|_| Mutex::new(None))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        FlightRecorder {
+            slots,
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum traces retained.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total traces ever recorded (monotonic; not capped at capacity).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Traces currently retained.
+    pub fn len(&self) -> usize {
+        (self.recorded() as usize).min(self.capacity())
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.recorded() == 0
+    }
+
+    /// Pushes a trace, overwriting the oldest once the ring is full.
+    pub fn record(&self, trace: Arc<RequestTrace>) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        *slot.lock().expect("flight slot lock poisoned") = Some((seq, trace));
+    }
+
+    /// Snapshots the retained traces, oldest first. Safe to call while
+    /// writers are recording.
+    pub fn dump(&self) -> Vec<Arc<RequestTrace>> {
+        let mut entries: Vec<(u64, Arc<RequestTrace>)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().expect("flight slot lock poisoned").clone())
+            .collect();
+        entries.sort_by_key(|(seq, _)| *seq);
+        entries.into_iter().map(|(_, trace)| trace).collect()
+    }
+
+    /// Writes the retained traces as canonical JSONL (one trace per
+    /// line, oldest first) and returns how many lines were written.
+    pub fn dump_jsonl(&self, out: &mut dyn Write) -> io::Result<usize> {
+        let traces = self.dump();
+        for trace in &traces {
+            out.write_all(trace.to_jsonl().as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+        Ok(traces.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanKind, SpanRecord, OUTCOME_COMMITTED};
+
+    fn trace(id: u64) -> Arc<RequestTrace> {
+        Arc::new(RequestTrace {
+            trace: id,
+            service: None,
+            outcome: OUTCOME_COMMITTED.into(),
+            session: Some(id),
+            rank: Some(2),
+            psi: None,
+            conflicts: 0,
+            retries: 0,
+            total_ns: 10 * id,
+            spans: vec![SpanRecord::new(SpanKind::Plan, 0, 10 * id)],
+        })
+    }
+
+    #[test]
+    fn retains_the_most_recent_capacity_traces_oldest_first() {
+        let ring = FlightRecorder::new(4);
+        assert!(ring.is_empty());
+        for id in 0..10 {
+            ring.record(trace(id));
+        }
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.len(), 4);
+        let ids: Vec<u64> = ring.dump().iter().map(|t| t.trace).collect();
+        assert_eq!(ids, [6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn partial_fill_dumps_in_order() {
+        let ring = FlightRecorder::new(8);
+        for id in 0..3 {
+            ring.record(trace(id));
+        }
+        let ids: Vec<u64> = ring.dump().iter().map(|t| t.trace).collect();
+        assert_eq!(ids, [0, 1, 2]);
+    }
+
+    #[test]
+    fn dump_jsonl_is_one_canonical_line_per_trace() {
+        let ring = FlightRecorder::new(2);
+        ring.record(trace(1));
+        ring.record(trace(2));
+        let mut buf = Vec::new();
+        assert_eq!(ring.dump_jsonl(&mut buf).unwrap(), 2);
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (line, id) in lines.iter().zip([1u64, 2]) {
+            let decoded = RequestTrace::from_jsonl(line).unwrap();
+            assert_eq!(decoded.trace, id);
+            assert_eq!(decoded.to_jsonl(), *line);
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_and_dumping_stays_consistent() {
+        let ring = Arc::new(FlightRecorder::new(16));
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let ring = Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        ring.record(trace(worker * 1000 + i));
+                    }
+                });
+            }
+            let ring = Arc::clone(&ring);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    let dump = ring.dump();
+                    assert!(dump.len() <= 16);
+                    // Sequence order implies strictly increasing ids per worker.
+                    for pair in dump.windows(2) {
+                        let (a, b) = (pair[0].trace, pair[1].trace);
+                        if a / 1000 == b / 1000 {
+                            assert!(a < b, "same-worker traces out of order: {a} {b}");
+                        }
+                    }
+                }
+            });
+        });
+        assert_eq!(ring.recorded(), 800);
+        assert_eq!(ring.len(), 16);
+    }
+}

@@ -40,6 +40,18 @@
 //!   including the same phase-timing and utilization blocks the live
 //!   registry reports. The `qosr trace` / `qosr report` CLI subcommands
 //!   are thin wrappers over this module.
+//! * [`trace`] — request-scoped tracing: a [`TraceId`] minted at
+//!   ingress rides each request through queue, collect, plan, replan
+//!   and commit, producing a causal [`SpanRecord`] tree
+//!   ([`RequestTrace`]) that attributes the request's end-to-end
+//!   latency span by span, recorded by a [`Tracer`] that is zero-cost
+//!   (one relaxed load) when disabled.
+//! * [`flight`] — the [`FlightRecorder`]: a fixed-size ring of recent
+//!   span trees, always on, dumped oldest-first as canonical JSONL on
+//!   demand (`qosr flight`) or automatically on SLO breaches.
+//! * [`slo`] — the [`SloEngine`]: declarative [`SloTargets`] (p99
+//!   establish latency, rejection rate, degraded rate) evaluated with
+//!   multi-window burn rates into wire-serializable [`SloReport`]s.
 //!
 //! The crate deliberately depends on nothing but the serialization
 //! stand-ins: resource ids travel as raw `u64`s (see
@@ -52,16 +64,22 @@
 
 mod counters;
 mod event;
+pub mod flight;
 pub mod hist;
 pub mod metrics;
 pub mod replay;
 mod sink;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
 pub use counters::{Counters, CountersSnapshot};
 pub use event::{EventKind, TraceEvent};
+pub use flight::FlightRecorder;
 pub use hist::{Histogram, HistogramSnapshot, PsiHistogram, PSI_BUCKETS};
 pub use metrics::{serve, GaugeSample, MetricsRegistry, MetricsServer};
 pub use replay::{read_jsonl, session_timelines, TraceSummary, UtilStat};
 pub use sink::{JsonlSink, MemorySink, NullSink, TraceSink};
+pub use slo::{SloEngine, SloOutcome, SloReport, SloTargets};
 pub use span::{Phase, PhaseTimers, Span};
+pub use trace::{RequestTrace, SpanKind, SpanRecord, TraceId, Tracer};

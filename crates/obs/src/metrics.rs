@@ -16,7 +16,7 @@
 //! the current value, so `qosr top` can show recent movement without a
 //! full trace.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,7 +43,33 @@ pub struct GaugeSample {
 #[derive(Debug, Default)]
 struct GaugeSeries {
     value: f64,
-    ring: VecDeque<GaugeSample>,
+    /// Fixed-capacity wrap-cursor ring: grows to `RING_CAPACITY`, then
+    /// `cursor` marks the next overwrite slot — which is also the oldest
+    /// retained sample.
+    ring: Vec<GaugeSample>,
+    cursor: usize,
+}
+
+impl GaugeSeries {
+    fn push(&mut self, sample: GaugeSample) {
+        self.value = sample.value;
+        if self.ring.len() < RING_CAPACITY {
+            self.ring.push(sample);
+        } else {
+            self.ring[self.cursor] = sample;
+            self.cursor = (self.cursor + 1) % RING_CAPACITY;
+        }
+    }
+
+    /// Chronological (oldest-first) view. Once the ring has wrapped,
+    /// in-memory order is rotated: the oldest sample sits at `cursor`,
+    /// so the read path must stitch `ring[cursor..]` before
+    /// `ring[..cursor]` — returning the raw slice order here would show
+    /// the newest samples *before* the oldest after every wrap.
+    fn samples(&self) -> Vec<GaugeSample> {
+        let (head, tail) = self.ring.split_at(self.cursor);
+        tail.iter().chain(head.iter()).copied().collect()
+    }
 }
 
 /// The label key/value attached to one gauge series (owned form).
@@ -99,16 +125,12 @@ impl MetricsRegistry {
             .entry((family.to_string(), series_key.clone()))
             .or_insert_with(|| label.map(|(k, v)| (k.to_string(), v.to_string())));
         let mut gauges = self.gauges.lock().expect("gauges lock");
-        let series = gauges
+        gauges
             .entry(family.to_string())
             .or_default()
             .entry(series_key)
-            .or_default();
-        series.value = value;
-        if series.ring.len() == RING_CAPACITY {
-            series.ring.pop_front();
-        }
-        series.ring.push_back(GaugeSample { time, value });
+            .or_default()
+            .push(GaugeSample { time, value });
     }
 
     /// The current value of a gauge series, if it has ever been set.
@@ -130,7 +152,7 @@ impl MetricsRegistry {
             .expect("gauges lock")
             .get(family)
             .and_then(|m| m.get(&series_key))
-            .map(|s| s.ring.iter().copied().collect())
+            .map(GaugeSeries::samples)
             .unwrap_or_default()
     }
 
@@ -145,7 +167,7 @@ impl MetricsRegistry {
             .get(family)
             .map(|m| {
                 m.iter()
-                    .map(|(key, s)| (key.clone(), s.ring.iter().copied().collect()))
+                    .map(|(key, s)| (key.clone(), s.samples()))
                     .collect()
             })
             .unwrap_or_default()
@@ -529,6 +551,38 @@ mod tests {
             Some((RING_CAPACITY + 9) as f64)
         );
         assert_eq!(registry.gauge("missing", None), None);
+    }
+
+    #[test]
+    fn gauge_ring_wraparound_keeps_oldest_first_order() {
+        let registry = MetricsRegistry::new();
+        // Fill past two full wraps so the cursor lands mid-ring, then
+        // pin that every read path stitches the rotated storage back
+        // into strictly increasing time order, oldest first.
+        let total = RING_CAPACITY * 2 + 37;
+        for i in 0..total {
+            registry.set_gauge("wrap", None, i as f64, i as f64);
+        }
+        let series = registry.series("wrap", None);
+        assert_eq!(series.len(), RING_CAPACITY);
+        assert_eq!(series.first().unwrap().time, (total - RING_CAPACITY) as f64);
+        assert_eq!(series.last().unwrap().time, (total - 1) as f64);
+        for pair in series.windows(2) {
+            assert!(
+                pair[0].time < pair[1].time,
+                "wrapped ring out of order: {} !< {}",
+                pair[0].time,
+                pair[1].time
+            );
+        }
+        let families = registry.gauge_families("wrap");
+        assert_eq!(families.len(), 1);
+        assert_eq!(families[0].1, series, "gauge_families shares the stitch");
+        // A partially filled ring is already chronological.
+        registry.set_gauge("fresh", None, 1.0, 1.0);
+        registry.set_gauge("fresh", None, 2.0, 2.0);
+        let fresh = registry.series("fresh", None);
+        assert_eq!(fresh.iter().map(|s| s.time).collect::<Vec<_>>(), [1.0, 2.0]);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::path::Path;
 
 use crate::event::{EventKind, TraceEvent};
 use crate::hist::{psi_bucket_bounds, Histogram, PsiHistogram};
+use crate::trace::Tracer;
 
 /// Reads a JSON Lines trace file, skipping blank lines. A malformed
 /// line aborts with [`io::ErrorKind::InvalidData`] naming the line
@@ -139,6 +140,21 @@ pub struct TraceSummary {
     /// Utilization aggregates per sampled resource/broker label, from
     /// [`EventKind::UtilizationSample`] events.
     pub utilization: BTreeMap<String, UtilStat>,
+    /// Traced requests seen ([`EventKind::RequestOutcome`] events).
+    pub requests_traced: u64,
+    /// Traced-request outcome counts keyed by label
+    /// (`committed`/`degraded`/`rejected`).
+    pub request_outcomes: BTreeMap<String, u64>,
+    /// Per-span-kind nanosecond distributions rebuilt from
+    /// [`EventKind::RequestSpan`] events, keyed by span name (`queue`,
+    /// `collect`, `plan`, `replan`, `commit`) — the offline twin of the
+    /// live [`Tracer`] span histograms, sharing the same bucketing so
+    /// per-request attribution from a JSONL trace agrees with the live
+    /// aggregates field-for-field.
+    pub request_spans: BTreeMap<String, Histogram>,
+    /// End-to-end traced-request latency distribution (from
+    /// [`EventKind::RequestOutcome`] `duration_ns`).
+    pub request_total: Histogram,
     /// Resource id → name bindings from the trace preamble.
     pub names: BTreeMap<u64, String>,
 }
@@ -246,9 +262,77 @@ impl TraceSummary {
                     let label = event.name.clone().unwrap_or_else(|| "rule".to_owned());
                     *summary.triggers_by_rule.entry(label).or_insert(0) += 1;
                 }
+                EventKind::RequestSpan => {
+                    if let (Some(name), Some(ns)) = (event.name.as_ref(), event.duration_ns) {
+                        summary
+                            .request_spans
+                            .entry(name.clone())
+                            .or_default()
+                            .record(ns);
+                    }
+                }
+                EventKind::RequestOutcome => {
+                    summary.requests_traced += 1;
+                    let label = event.name.clone().unwrap_or_else(|| "unknown".to_owned());
+                    *summary.request_outcomes.entry(label).or_insert(0) += 1;
+                    if let Some(ns) = event.duration_ns {
+                        summary.request_total.record(ns);
+                    }
+                }
             }
         }
         summary
+    }
+
+    /// Checks that this summary's per-request attribution agrees
+    /// field-for-field with a live [`Tracer`]'s aggregates: per-span-kind
+    /// histogram snapshots, the end-to-end latency snapshot, outcome
+    /// counts, and the traced-request total. Returns the first
+    /// disagreement as `Err(description)`. Replay equivalence tests use
+    /// this as the single source of truth for "the JSONL trace carries
+    /// the whole attribution story".
+    pub fn request_attribution_matches(&self, tracer: &Tracer) -> Result<(), String> {
+        use crate::trace::{SpanKind, OUTCOME_COMMITTED, OUTCOME_DEGRADED, OUTCOME_REJECTED};
+        for kind in SpanKind::ALL {
+            let live = tracer.span_histogram(kind).snapshot();
+            let replayed = self
+                .request_spans
+                .get(kind.name())
+                .map(|h| h.snapshot())
+                .unwrap_or_default();
+            if live != replayed {
+                return Err(format!(
+                    "span `{}` diverged: live {live:?} vs replay {replayed:?}",
+                    kind.name()
+                ));
+            }
+        }
+        let live_total = tracer.total_histogram().snapshot();
+        let replayed_total = self.request_total.snapshot();
+        if live_total != replayed_total {
+            return Err(format!(
+                "request total diverged: live {live_total:?} vs replay {replayed_total:?}"
+            ));
+        }
+        let (committed, degraded, rejected) = tracer.outcome_counts();
+        let outcome = |label: &str| self.request_outcomes.get(label).copied().unwrap_or(0);
+        if committed != outcome(OUTCOME_COMMITTED)
+            || degraded != outcome(OUTCOME_DEGRADED)
+            || rejected != outcome(OUTCOME_REJECTED)
+        {
+            return Err(format!(
+                "outcomes diverged: live ({committed}, {degraded}, {rejected}) vs replay {:?}",
+                self.request_outcomes
+            ));
+        }
+        if tracer.recorded() != self.requests_traced {
+            return Err(format!(
+                "traced count diverged: live {} vs replay {}",
+                tracer.recorded(),
+                self.requests_traced
+            ));
+        }
+        Ok(())
     }
 
     /// The resolved display name for a resource id, falling back to the
@@ -399,6 +483,34 @@ impl TraceSummary {
                     stat.peak
                 );
             }
+        }
+        if self.requests_traced > 0 {
+            let _ = writeln!(out, "  traced requests        : {}", self.requests_traced);
+            for (label, count) in &self.request_outcomes {
+                let _ = writeln!(out, "    {label:<24} {count}");
+            }
+            let _ = writeln!(out, "  request spans (µs)     :");
+            for (name, hist) in &self.request_spans {
+                let us = |q| hist.percentile(q).unwrap_or(0) as f64 / 1e3;
+                let _ = writeln!(
+                    out,
+                    "    {name:<10} n={:<7} p50={:<9.1} p99={:<9.1} max={:.1}",
+                    hist.count(),
+                    us(0.50),
+                    us(0.99),
+                    hist.max().unwrap_or(0) as f64 / 1e3,
+                );
+            }
+            let us = |q| self.request_total.percentile(q).unwrap_or(0) as f64 / 1e3;
+            let _ = writeln!(
+                out,
+                "    {:<10} n={:<7} p50={:<9.1} p99={:<9.1} max={:.1}",
+                "total",
+                self.request_total.count(),
+                us(0.50),
+                us(0.99),
+                self.request_total.max().unwrap_or(0) as f64 / 1e3,
+            );
         }
         out
     }
@@ -602,6 +714,48 @@ mod tests {
         assert!(!TraceSummary::from_events(&[])
             .render()
             .contains("advance bookings"));
+    }
+
+    #[test]
+    fn request_span_events_rebuild_the_live_attribution() {
+        use crate::sink::MemorySink;
+        use crate::trace::{RequestTrace, SpanKind, SpanRecord, Tracer, OUTCOME_COMMITTED};
+        let tracer = Tracer::new(8);
+        let sink = MemorySink::new();
+        for id in 0..3u64 {
+            tracer.record(
+                RequestTrace {
+                    trace: id,
+                    service: Some("svc".into()),
+                    outcome: OUTCOME_COMMITTED.into(),
+                    session: Some(id),
+                    rank: Some(2),
+                    psi: Some(0.2),
+                    conflicts: 0,
+                    retries: 0,
+                    total_ns: 300 + id,
+                    spans: vec![
+                        SpanRecord::new(SpanKind::Queue, 0, 100),
+                        SpanRecord::new(SpanKind::Plan, 100, 150 + id),
+                        SpanRecord::new(SpanKind::Commit, 250 + id, 50),
+                    ],
+                },
+                &sink,
+                id as f64,
+            );
+        }
+        let summary = TraceSummary::from_events(&sink.events());
+        assert_eq!(summary.requests_traced, 3);
+        assert_eq!(summary.request_outcomes["committed"], 3);
+        assert_eq!(summary.request_spans["plan"].count(), 3);
+        summary.request_attribution_matches(&tracer).unwrap();
+        let rendered = summary.render();
+        assert!(rendered.contains("traced requests        : 3"));
+        assert!(rendered.contains("request spans"));
+        // Untraced traces omit the block entirely.
+        assert!(!TraceSummary::from_events(&[])
+            .render()
+            .contains("traced requests"));
     }
 
     #[test]

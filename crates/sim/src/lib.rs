@@ -47,8 +47,8 @@ pub use env::{PaperEnvironment, TopologyVariant};
 pub use fault::{FaultPlan, HostCrash};
 pub use metrics::{ClassStats, PathHistogram, RunMetrics, RunResult, TimeSample};
 pub use scenario::{
-    run_scenario, run_scenario_instrumented, run_scenario_traced, BatchArrivals, PlannerKind,
-    PsiKind, ScenarioConfig, TopologyKind,
+    run_scenario, run_scenario_instrumented, run_scenario_observed, run_scenario_traced,
+    BatchArrivals, PlannerKind, PsiKind, ScenarioConfig, TopologyKind,
 };
 pub use sweep::run_many;
 pub use workload::{DurationModel, SessionClass, SessionRequest, WorkloadGenerator};

@@ -153,6 +153,14 @@ pub struct ScenarioConfig {
     /// the run bit-identical to earlier releases.
     #[serde(default)]
     pub rules: Vec<Rule>,
+    /// When `true`, every arrival is tagged with a sequential
+    /// [`qosr_obs::TraceId`] at ingress and the coordinator's request
+    /// tracer is enabled: each admission leaves a causal span tree in
+    /// the flight ring and per-phase latency histograms in the tracer.
+    /// `false` — the default — skips all of it; run *outcomes* are
+    /// bit-identical either way (tracing only observes).
+    #[serde(default)]
+    pub trace_requests: bool,
 }
 
 /// Batched-admission knob: buffer arrivals and flush them through the
@@ -199,6 +207,7 @@ impl Default for ScenarioConfig {
             faults: FaultPlan::default(),
             batch_arrivals: None,
             rules: Vec::new(),
+            trace_requests: false,
         }
     }
 }
@@ -350,6 +359,22 @@ pub fn run_scenario_instrumented(
     sink: std::sync::Arc<dyn qosr_obs::TraceSink>,
     registry: Option<&qosr_obs::MetricsRegistry>,
 ) -> RunResult {
+    run_scenario_observed(config, sink, registry, None)
+}
+
+/// [`run_scenario_instrumented`] with a caller-owned request tracer.
+///
+/// When `tracer` is given it replaces the coordinator's private one, so
+/// span histograms, outcome counts, and the flight ring survive the run
+/// for inspection (`tracer.set_enabled(true)` is still implied by
+/// [`ScenarioConfig::trace_requests`]). Pass `None` to keep the
+/// coordinator's internal tracer, which dies with the run.
+pub fn run_scenario_observed(
+    config: &ScenarioConfig,
+    sink: std::sync::Arc<dyn qosr_obs::TraceSink>,
+    registry: Option<&qosr_obs::MetricsRegistry>,
+    tracer: Option<std::sync::Arc<qosr_obs::Tracer>>,
+) -> RunResult {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -365,7 +390,7 @@ pub fn run_scenario_instrumented(
         // The change log must cover the maximum observation age.
         log_horizon: (config.staleness * 2.0).max(64.0),
     };
-    let env = PaperEnvironment::build_with_topology_traced(
+    let mut env = PaperEnvironment::build_with_topology_traced(
         &mut rng,
         &service_options,
         config.capacity_range,
@@ -373,6 +398,10 @@ pub fn run_scenario_instrumented(
         config.topology.into(),
         sink.clone(),
     );
+    if let Some(tracer) = tracer {
+        env.coordinator.set_tracer(tracer);
+    }
+    let env = env;
     if let Some(registry) = registry {
         registry.attach_counters(env.coordinator.counters_arc());
         registry.attach_timers(std::sync::Arc::clone(env.coordinator.phase_timers()));
@@ -452,7 +481,11 @@ pub fn run_scenario_instrumented(
         admission: &AdmissionQueue<'_>,
         env: &PaperEnvironment,
         establish_options: &EstablishOptions,
-        pending: &mut Vec<(crate::workload::SessionRequest, qosr_model::SessionInstance)>,
+        pending: &mut Vec<(
+            crate::workload::SessionRequest,
+            qosr_model::SessionInstance,
+            Option<qosr_obs::TraceId>,
+        )>,
         now: SimTime,
         queue: &mut EventQueue,
         active: &mut HashMap<SessionId, Active>,
@@ -463,12 +496,16 @@ pub fn run_scenario_instrumented(
         }
         let requests: Vec<AdmitRequest> = pending
             .iter()
-            .map(|(_, session)| {
-                AdmitRequest::new(session.clone()).options(establish_options.clone())
+            .map(|(_, session, trace)| {
+                let request = AdmitRequest::new(session.clone()).options(establish_options.clone());
+                match trace {
+                    Some(id) => request.traced(*id),
+                    None => request,
+                }
             })
             .collect();
         let outcomes = admission.admit(&requests, now);
-        for ((meta, instance), outcome) in pending.drain(..).zip(outcomes) {
+        for ((meta, instance, _), outcome) in pending.drain(..).zip(outcomes) {
             match outcome.into_result() {
                 Ok(established) => {
                     let level = established.plan.rank;
@@ -516,8 +553,18 @@ pub fn run_scenario_instrumented(
             },
         )
     });
-    let mut pending: Vec<(crate::workload::SessionRequest, qosr_model::SessionInstance)> =
-        Vec::new();
+    let mut pending: Vec<(
+        crate::workload::SessionRequest,
+        qosr_model::SessionInstance,
+        Option<qosr_obs::TraceId>,
+    )> = Vec::new();
+
+    // Request tracing: mint sequential ids at ingress so every span
+    // tree is attributable to one arrival, in arrival order.
+    if config.trace_requests {
+        env.coordinator.tracer().set_enabled(true);
+    }
+    let mut next_trace: u64 = 0;
 
     queue.schedule(
         SimTime::ZERO + workload.next_interarrival(&mut rng),
@@ -619,8 +666,13 @@ pub fn run_scenario_instrumented(
             let session = env
                 .session(request.service, request.domain, request.scale)
                 .expect("generated requests are always instantiable");
+            let trace_id = config.trace_requests.then(|| {
+                let id = qosr_obs::TraceId(next_trace);
+                next_trace += 1;
+                id
+            });
             if let Some(batch) = &config.batch_arrivals {
-                pending.push((request, session));
+                pending.push((request, session, trace_id));
                 if pending.len() >= batch.size.max(1) {
                     flush_batch(
                         admission.as_ref().expect("queue exists when batching"),
@@ -634,7 +686,10 @@ pub fn run_scenario_instrumented(
                     );
                 }
             } else {
-                let admit = AdmitRequest::new(session).options(establish_options.clone());
+                let mut admit = AdmitRequest::new(session).options(establish_options.clone());
+                if let Some(id) = trace_id {
+                    admit = admit.traced(id);
+                }
                 match env
                     .coordinator
                     .establish_request(&admit, now, &mut rng)

@@ -60,8 +60,10 @@ fn bench_obs_json_has_the_required_fields() {
         "disabled_ns_per_session",
         "enabled_ns_per_session",
         "traced_ns_per_session",
+        "request_traced_ns_per_session",
         "enabled_overhead_ratio",
         "traced_overhead_ratio",
+        "request_traced_overhead_ratio",
     ] {
         let v = number(&fields, required);
         assert!(v.is_finite() && v > 0.0, "{required} = {v}");
@@ -76,10 +78,12 @@ fn bench_obs_disabled_mode_is_within_noise() {
         other => panic!("disabled_within_noise must be true, got {other:?}"),
     }
     // The committed run carried a reference measurement; keep the ratio
-    // honest too (the bench asserts <= 1.25 before writing).
+    // honest too (the bench asserts <= 1.10 before writing — with
+    // request tracing disabled the extra cost is one relaxed atomic
+    // load per request, so only machine noise separates the runs).
     let ratio = number(&fields, "disabled_vs_reference_ratio");
     assert!(
-        ratio > 0.0 && ratio <= 1.25,
+        ratio > 0.0 && ratio <= 1.10,
         "disabled/reference ratio {ratio} outside the noise envelope"
     );
 }

@@ -361,6 +361,90 @@ fn live_registry_and_trace_replay_agree_on_phase_timings() {
     assert_eq!(untraced.metrics, instrumented.metrics);
 }
 
+/// The tentpole acceptance bar for request tracing: per-request latency
+/// attribution recomputed offline from the JSONL event trace must agree
+/// field-for-field with the live tracer's aggregates — span-kind
+/// histogram snapshots, end-to-end latency snapshot, outcome counts,
+/// and the traced-request total — and every recorded span tree must
+/// account for its request exactly (root spans sum to `total_ns`).
+#[test]
+fn request_attribution_replays_exactly() {
+    let config = qosr::sim::ScenarioConfig {
+        seed: 13,
+        rate_per_60tu: 150.0,
+        horizon: 600.0,
+        trace_requests: true,
+        ..Default::default()
+    };
+    let sink = Arc::new(MemorySink::default());
+    let tracer = Arc::new(qosr::obs::Tracer::new(64));
+    let traced =
+        qosr::sim::run_scenario_observed(&config, sink.clone(), None, Some(tracer.clone()));
+    assert!(tracer.recorded() > 0, "the run must trace requests");
+    assert!(
+        traced.metrics.overall.successes > 0,
+        "the run must commit sessions"
+    );
+
+    // Offline replay of the event stream reproduces the live
+    // aggregates exactly — the single source of truth for "the JSONL
+    // trace carries the whole attribution story".
+    let summary = TraceSummary::from_events(&sink.events());
+    summary
+        .request_attribution_matches(&tracer)
+        .expect("replayed attribution must match the live tracer");
+
+    // Exact per-request accounting: for every span tree in the flight
+    // ring, the root spans sum to the end-to-end latency — attribution
+    // has no unexplained residual.
+    let dump = tracer.flight().dump();
+    assert!(!dump.is_empty(), "flight ring must retain traces");
+    for trace in &dump {
+        let attributed: u64 = qosr::obs::SpanKind::ALL
+            .into_iter()
+            .map(|kind| trace.span_ns(kind))
+            .sum();
+        assert_eq!(
+            attributed, trace.total_ns,
+            "trace {:016x}: span tree must attribute every nanosecond",
+            trace.trace
+        );
+        // And each line survives the canonical JSONL codec bit-for-bit.
+        let line = trace.to_jsonl();
+        let back = qosr::obs::RequestTrace::from_jsonl(&line).unwrap();
+        assert_eq!(&back, &**trace);
+        assert_eq!(back.to_jsonl(), line);
+    }
+}
+
+/// Request tracing is observability, not behaviour: a traced run and an
+/// untraced run of the same scenario produce bit-identical metrics.
+#[test]
+fn request_tracing_never_perturbs_the_run() {
+    let base = qosr::sim::ScenarioConfig {
+        seed: 17,
+        rate_per_60tu: 180.0,
+        horizon: 600.0,
+        ..Default::default()
+    };
+    let untraced = qosr::sim::run_scenario(&base);
+
+    let traced_config = qosr::sim::ScenarioConfig {
+        trace_requests: true,
+        ..base.clone()
+    };
+    let sink = Arc::new(MemorySink::default());
+    let tracer = Arc::new(qosr::obs::Tracer::new(32));
+    let traced =
+        qosr::sim::run_scenario_observed(&traced_config, sink.clone(), None, Some(tracer.clone()));
+
+    assert!(tracer.recorded() > 0, "the traced run must record");
+    assert_eq!(
+        untraced.metrics, traced.metrics,
+        "tracing must not change a single counter"
+    );
+}
+
 #[test]
 fn batched_admission_phase_timings_replay_exactly() {
     let config = qosr::sim::ScenarioConfig {

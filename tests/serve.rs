@@ -242,6 +242,109 @@ fn server_outcomes_match_in_process_admission() {
     server.shutdown();
 }
 
+/// The `qosr load --attrib` acceptance bar, asserted at the protocol
+/// level: an establish carrying a trace id gets its outcome frame back
+/// with server-side latency attribution whose phases sum *exactly* to
+/// the end-to-end total (the queue span absorbs the residual, so there
+/// is no unexplained remainder and no tolerance needed), the flight
+/// ring retains the span trees for `flight` to dump, and the `slo`
+/// frame reports every observed request.
+#[test]
+fn traced_establishes_attribute_latency_exactly() {
+    let server = start(&paper_opts()).expect("start server");
+    let mut client = Client::connect(server.addr());
+
+    const TRACED: u64 = 24;
+    let pairs = valid_pairs();
+    let mut rng = StdRng::seed_from_u64(0xACC0); // attribution schedule
+    let mut admitted = 0u64;
+    for id in 0..TRACED {
+        let (service, domain) = pairs[rng.random_range(0..pairs.len())];
+        let mut def = EstablishDef::new(id);
+        def.service = service;
+        def.domain = domain;
+        def.scale = if rng.random::<f64>() < 0.2 { 4.0 } else { 1.0 };
+        def.trace = Some(0x7000 + id);
+        client.send(&RequestFrame::Establish(def));
+        match client.recv() {
+            ResponseFrame::Outcome(frame) => {
+                assert_eq!(frame.id, id);
+                assert_eq!(
+                    frame.trace,
+                    Some(0x7000 + id),
+                    "the outcome must echo the request's trace id"
+                );
+                let total = frame.total_ns.expect("traced outcome carries total_ns");
+                assert!(total > 0, "end-to-end latency must be measured");
+                let attributed = frame.queue_ns.unwrap_or(0)
+                    + frame.collect_ns.unwrap_or(0)
+                    + frame.plan_ns.unwrap_or(0)
+                    + frame.replan_ns.unwrap_or(0)
+                    + frame.commit_ns.unwrap_or(0);
+                assert_eq!(
+                    attributed, total,
+                    "request {id}: phase attribution must sum exactly to total_ns"
+                );
+                if frame.is_admitted() {
+                    admitted += 1;
+                    assert!(
+                        frame.plan_ns.unwrap_or(0) > 0,
+                        "an admitted request spends time planning"
+                    );
+                }
+            }
+            other => panic!("expected an outcome, got {other:?}"),
+        }
+    }
+    assert!(admitted > 0, "the schedule must admit sessions");
+
+    // The flight ring holds every traced request's span tree, and each
+    // tree accounts for its request exactly.
+    client.send(&RequestFrame::Flight { id: 9_000 });
+    match client.recv() {
+        ResponseFrame::Flight(frame) => {
+            assert_eq!(frame.id, 9_000);
+            assert_eq!(frame.traces.len() as u64, TRACED);
+            for trace in &frame.traces {
+                let spans: u64 = trace.spans.iter().map(|s| s.duration_ns).sum();
+                assert_eq!(spans, trace.total_ns, "root spans must sum to total");
+            }
+        }
+        other => panic!("expected a flight dump, got {other:?}"),
+    }
+
+    // The SLO engine observed every request (traced or not) and is not
+    // breached by a short healthy run under the default targets.
+    client.send(&RequestFrame::Slo { id: 9_001 });
+    match client.recv() {
+        ResponseFrame::Slo(frame) => {
+            assert_eq!(frame.id, 9_001);
+            assert_eq!(frame.report.total, TRACED);
+            assert_eq!(
+                frame.report.committed + frame.report.degraded + frame.report.rejected,
+                TRACED
+            );
+            assert!(!frame.report.breached, "healthy run must not breach");
+        }
+        other => panic!("expected an slo report, got {other:?}"),
+    }
+
+    // Untraced requests still flow through the fast path untouched: no
+    // attribution fields come back without a trace id.
+    let mut plain = EstablishDef::new(77_000);
+    plain.service = 1;
+    plain.domain = 0;
+    client.send(&RequestFrame::Establish(plain));
+    match client.recv() {
+        ResponseFrame::Outcome(frame) => {
+            assert!(frame.trace.is_none() && frame.total_ns.is_none());
+        }
+        other => panic!("expected an outcome, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
 /// A client that vanishes mid-lease releases exactly what it held —
 /// nothing more (the survivor's sessions stay reserved), nothing less.
 #[test]

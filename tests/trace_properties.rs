@@ -1,0 +1,235 @@
+//! Property-based tests of the request-trace observability layer
+//! ([`qosr_obs`]): every [`RequestTrace`] span tree must survive the
+//! canonical JSONL codec bit-for-bit (the flight recorder, breach
+//! dumps, `qosr flight --out`, and offline replay all exchange these
+//! lines), and the [`FlightRecorder`] ring must honour its contract —
+//! bounded retention, oldest-first dumps, monotonic recorded counts —
+//! for any capacity and any push sequence. Case count honours
+//! `PROPTEST_CASES` (CI runs the default).
+
+use proptest::prelude::*;
+use proptest::ProptestConfig;
+use qosr_obs::{FlightRecorder, RequestTrace, SpanKind, SpanRecord};
+use std::sync::Arc;
+
+/// Finite floats only: NaN and the infinities serialize to `null` by
+/// design and are not round-trippable (they never occur in traces —
+/// Ψ and QoS values are finite by construction).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-0.0),
+        Just(1.5e308),
+        Just(-4.9e-324),
+        -1.0e12..1.0e12f64,
+        0.0..1.0f64,
+    ]
+}
+
+/// Strings exercising JSON escaping: quotes, backslashes, control
+/// characters, multi-byte UTF-8.
+fn trace_string() -> impl Strategy<Value = String> {
+    const ALPHABET: &[&str] = &[
+        "a", "Z", "0", " ", "\"", "\\", "\n", "\t", "\u{1}", "é", "λ", "🦀", "{", "}", ":", ",",
+    ];
+    proptest::collection::vec(0usize..ALPHABET.len(), 0..16)
+        .prop_map(|picks| picks.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+fn option_of<S: Strategy + 'static>(inner: S) -> BoxedStrategy<Option<S::Value>>
+where
+    S::Value: std::fmt::Debug + Clone,
+{
+    prop_oneof![Just(None), inner.prop_map(Some)].boxed()
+}
+
+fn span_kind() -> impl Strategy<Value = SpanKind> {
+    prop_oneof![
+        Just(SpanKind::Queue),
+        Just(SpanKind::Collect),
+        Just(SpanKind::Plan),
+        Just(SpanKind::Replan),
+        Just(SpanKind::Commit),
+    ]
+}
+
+fn span_leaf() -> impl Strategy<Value = SpanRecord> {
+    // Durations bounded to ~13 days in nanoseconds: summing every span
+    // of a trace must not overflow u64, mirroring real measurements.
+    (
+        (span_kind(), any::<u64>(), 0..(1u64 << 50)),
+        (
+            option_of(finite_f64().boxed()),
+            option_of(trace_string().boxed()),
+            option_of(any::<u64>().boxed()),
+            option_of(any::<u32>().boxed()),
+            option_of(trace_string().boxed()),
+        ),
+    )
+        .prop_map(
+            |((kind, start_ns, duration_ns), (psi, planner, resource, attempt, detail))| {
+                SpanRecord {
+                    kind,
+                    start_ns,
+                    duration_ns,
+                    psi,
+                    planner,
+                    resource,
+                    attempt,
+                    detail,
+                    children: Vec::new(),
+                }
+            },
+        )
+}
+
+/// Spans with up to two levels of children — the deepest shape the
+/// pipeline emits is a replan span holding retry children.
+fn span_record() -> impl Strategy<Value = SpanRecord> {
+    (
+        span_leaf(),
+        proptest::collection::vec(
+            (span_leaf(), proptest::collection::vec(span_leaf(), 0..2)).prop_map(
+                |(mut child, grandchildren)| {
+                    child.children = grandchildren;
+                    child
+                },
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(mut span, children)| {
+            span.children = children;
+            span
+        })
+}
+
+fn request_trace() -> impl Strategy<Value = RequestTrace> {
+    (
+        (
+            any::<u64>(),
+            option_of(trace_string().boxed()),
+            prop_oneof![
+                Just("committed".to_string()),
+                Just("degraded".to_string()),
+                Just("rejected".to_string()),
+            ],
+            option_of(any::<u64>().boxed()),
+        ),
+        (
+            option_of(any::<u32>().boxed()),
+            option_of(finite_f64().boxed()),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+        ),
+        proptest::collection::vec(span_record(), 0..5),
+    )
+        .prop_map(
+            |(
+                (trace, service, outcome, session),
+                (rank, psi, conflicts, retries, total_ns),
+                spans,
+            )| RequestTrace {
+                trace,
+                service,
+                outcome,
+                session,
+                rank,
+                psi,
+                conflicts,
+                retries,
+                total_ns,
+                spans,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_from_env(64))]
+
+    /// Every trace — any annotation combination, any nesting, any
+    /// escaped string — survives the JSONL codec value-equal, and the
+    /// canonical encoding is a fixed point: re-encoding the decoded
+    /// trace yields the identical bytes. This is what lets breach
+    /// dumps, `qosr flight --out`, and replay tooling diff dumps
+    /// byte-for-byte.
+    #[test]
+    fn request_trace_jsonl_roundtrips_bit_for_bit(trace in request_trace()) {
+        let line = trace.to_jsonl();
+        prop_assert!(!line.contains('\n'), "JSONL lines must be single lines");
+        let back = RequestTrace::from_jsonl(&line).expect("canonical line decodes");
+        prop_assert_eq!(&back, &trace);
+        prop_assert_eq!(back.to_jsonl(), line);
+    }
+
+    /// `span_ns` (the basis of per-phase latency attribution, the wire
+    /// outcome attribution fields, and `qosr load --attrib`) sums
+    /// exactly the ROOT spans of a kind — children are already counted
+    /// inside their parent's measured duration and must not be
+    /// double-counted.
+    #[test]
+    fn span_ns_sums_root_spans_only(trace in request_trace()) {
+        for kind in [SpanKind::Queue, SpanKind::Collect, SpanKind::Plan,
+                     SpanKind::Replan, SpanKind::Commit] {
+            let expected: u64 = trace
+                .spans
+                .iter()
+                .filter(|s| s.kind == kind)
+                .map(|s| s.duration_ns)
+                .sum();
+            prop_assert_eq!(trace.span_ns(kind), expected);
+        }
+    }
+
+    /// The flight ring retains exactly the last `min(n, capacity)`
+    /// traces in push order, for any capacity and push count, and
+    /// `recorded` stays monotonic and uncapped.
+    #[test]
+    fn flight_ring_retains_the_newest_in_order(capacity in 1usize..32, pushes in 0u64..96) {
+        let ring = FlightRecorder::new(capacity);
+        prop_assert_eq!(ring.capacity(), capacity);
+        prop_assert!(ring.is_empty());
+        for id in 0..pushes {
+            ring.record(Arc::new(RequestTrace {
+                trace: id,
+                service: None,
+                outcome: "committed".into(),
+                session: None,
+                rank: None,
+                psi: None,
+                conflicts: 0,
+                retries: 0,
+                total_ns: id,
+                spans: Vec::new(),
+            }));
+        }
+        prop_assert_eq!(ring.recorded(), pushes);
+        prop_assert_eq!(ring.len() as u64, pushes.min(capacity as u64));
+        let ids: Vec<u64> = ring.dump().iter().map(|t| t.trace).collect();
+        let oldest_retained = pushes.saturating_sub(capacity as u64);
+        let expected: Vec<u64> = (oldest_retained..pushes).collect();
+        prop_assert_eq!(ids, expected);
+    }
+
+    /// A JSONL dump of the ring is line-for-line the canonical encoding
+    /// of `dump()`, so operators can stitch `qosr flight --out` files
+    /// and breach dumps together without normalization.
+    #[test]
+    fn flight_dump_jsonl_matches_dump(traces in proptest::collection::vec(request_trace(), 0..8)) {
+        let ring = FlightRecorder::new(4);
+        for trace in &traces {
+            ring.record(Arc::new(trace.clone()));
+        }
+        let mut buf = Vec::new();
+        let written = ring.dump_jsonl(&mut buf).expect("in-memory write");
+        prop_assert_eq!(written, ring.len());
+        let text = String::from_utf8(buf).expect("canonical JSONL is UTF-8");
+        let lines: Vec<&str> = text.lines().collect();
+        let snapshot = ring.dump();
+        prop_assert_eq!(lines.len(), snapshot.len());
+        for (line, trace) in lines.iter().zip(&snapshot) {
+            prop_assert_eq!(*line, trace.to_jsonl());
+        }
+    }
+}

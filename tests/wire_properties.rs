@@ -11,9 +11,10 @@ use proptest::prelude::*;
 use proptest::ProptestConfig;
 use qosr_cli::wire::{
     read_frame, read_request_frame, read_response_frame, write_frame, write_request_frame,
-    write_response_frame, EstablishDef, OutcomeFrame, RequestFrame, ResponseFrame, StatsFrame,
-    WireError, MAX_FRAME_LEN,
+    write_response_frame, EstablishDef, FlightFrame, OutcomeFrame, RequestFrame, ResponseFrame,
+    SloFrame, StatsFrame, WireError, MAX_FRAME_LEN,
 };
+use qosr_obs::{RequestTrace, SloReport, SpanKind, SpanRecord};
 use std::io::Cursor;
 
 /// Finite, JSON-round-trippable floats (the vendored serializer prints
@@ -63,10 +64,11 @@ fn establish_def() -> impl Strategy<Value = EstablishDef> {
                 ]
                 .boxed(),
             ),
+            option_of(any::<u64>().boxed()),
         ),
     )
         .prop_map(
-            |((id, service, domain, scale), (qos_min, deadline, planner))| {
+            |((id, service, domain, scale), (qos_min, deadline, planner, trace))| {
                 let mut def = EstablishDef::new(id);
                 def.service = service;
                 def.domain = domain;
@@ -74,7 +76,156 @@ fn establish_def() -> impl Strategy<Value = EstablishDef> {
                 def.qos_min = qos_min;
                 def.deadline = deadline;
                 def.planner = planner;
+                def.trace = trace;
                 def
+            },
+        )
+}
+
+fn outcome_label() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("committed".to_string()),
+        Just("degraded".to_string()),
+        Just("rejected".to_string()),
+    ]
+}
+
+fn span_kind() -> impl Strategy<Value = SpanKind> {
+    prop_oneof![
+        Just(SpanKind::Queue),
+        Just(SpanKind::Collect),
+        Just(SpanKind::Plan),
+        Just(SpanKind::Replan),
+        Just(SpanKind::Commit),
+    ]
+}
+
+fn span_leaf() -> impl Strategy<Value = SpanRecord> {
+    (
+        (span_kind(), any::<u64>(), any::<u64>()),
+        (
+            option_of(finite_f64().boxed()),
+            option_of(wire_string().boxed()),
+            option_of(any::<u64>().boxed()),
+            option_of(any::<u32>().boxed()),
+            option_of(wire_string().boxed()),
+        ),
+    )
+        .prop_map(
+            |((kind, start_ns, duration_ns), (psi, planner, resource, attempt, detail))| {
+                SpanRecord {
+                    kind,
+                    start_ns,
+                    duration_ns,
+                    psi,
+                    planner,
+                    resource,
+                    attempt,
+                    detail,
+                    children: Vec::new(),
+                }
+            },
+        )
+}
+
+/// A span with up to one level of children — enough to exercise the
+/// recursive `children` encoding without unbounded trees.
+fn span_record() -> impl Strategy<Value = SpanRecord> {
+    (span_leaf(), proptest::collection::vec(span_leaf(), 0..3)).prop_map(|(mut span, children)| {
+        span.children = children;
+        span
+    })
+}
+
+fn request_trace() -> impl Strategy<Value = RequestTrace> {
+    (
+        (
+            any::<u64>(),
+            option_of(wire_string().boxed()),
+            outcome_label(),
+            option_of(any::<u64>().boxed()),
+        ),
+        (
+            option_of(any::<u32>().boxed()),
+            option_of(finite_f64().boxed()),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+        ),
+        proptest::collection::vec(span_record(), 0..4),
+    )
+        .prop_map(
+            |(
+                (trace, service, outcome, session),
+                (rank, psi, conflicts, retries, total_ns),
+                spans,
+            )| RequestTrace {
+                trace,
+                service,
+                outcome,
+                session,
+                rank,
+                psi,
+                conflicts,
+                retries,
+                total_ns,
+                spans,
+            },
+        )
+}
+
+fn slo_report() -> impl Strategy<Value = SloReport> {
+    (
+        (any::<u64>(), finite_f64(), finite_f64()),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (finite_f64(), finite_f64()),
+        (any::<u64>(), any::<u64>(), finite_f64(), finite_f64()),
+        (
+            (finite_f64(), finite_f64(), finite_f64()),
+            (finite_f64(), finite_f64(), finite_f64()),
+        ),
+        (any::<bool>(), any::<u64>()),
+    )
+        .prop_map(
+            |(
+                (target_p99_ns, target_rejection_rate, target_degraded_rate),
+                (total, committed, degraded, rejected, p99_ns),
+                (rejection_rate, degraded_rate),
+                (short_total, short_p99_ns, short_rejection_rate, short_degraded_rate),
+                (
+                    (rejection_burn, degraded_burn, latency_burn),
+                    (short_rejection_burn, short_degraded_burn, short_latency_burn),
+                ),
+                (breached, breaches),
+            )| SloReport {
+                target_p99_ns,
+                target_rejection_rate,
+                target_degraded_rate,
+                total,
+                committed,
+                degraded,
+                rejected,
+                p99_ns,
+                rejection_rate,
+                degraded_rate,
+                short_total,
+                short_p99_ns,
+                short_rejection_rate,
+                short_degraded_rate,
+                rejection_burn,
+                degraded_burn,
+                latency_burn,
+                short_rejection_burn,
+                short_degraded_burn,
+                short_latency_burn,
+                breached,
+                breaches,
             },
         )
 }
@@ -98,6 +249,10 @@ fn request_frame() -> impl Strategy<Value = RequestFrame> {
             .prop_map(|id| RequestFrame::Stats { id })
             .boxed(),
         any::<u64>()
+            .prop_map(|id| RequestFrame::Flight { id })
+            .boxed(),
+        any::<u64>().prop_map(|id| RequestFrame::Slo { id }).boxed(),
+        any::<u64>()
             .prop_map(|id| RequestFrame::Ping { id })
             .boxed(),
         Just(RequestFrame::Shutdown).boxed(),
@@ -107,11 +262,7 @@ fn request_frame() -> impl Strategy<Value = RequestFrame> {
 fn outcome_frame() -> impl Strategy<Value = OutcomeFrame> {
     (
         any::<u64>(),
-        prop_oneof![
-            Just("committed".to_string()),
-            Just("degraded".to_string()),
-            Just("rejected".to_string()),
-        ],
+        outcome_label(),
         option_of(any::<u64>().boxed()),
         (
             option_of(any::<u32>().boxed()),
@@ -124,9 +275,29 @@ fn outcome_frame() -> impl Strategy<Value = OutcomeFrame> {
             option_of(any::<u64>().boxed()),
             option_of(finite_f64().boxed()),
         ),
+        (
+            (
+                option_of(any::<u64>().boxed()),
+                option_of(any::<u64>().boxed()),
+                option_of(any::<u64>().boxed()),
+                option_of(any::<u64>().boxed()),
+            ),
+            (
+                option_of(any::<u64>().boxed()),
+                option_of(any::<u64>().boxed()),
+                option_of(any::<u64>().boxed()),
+            ),
+        ),
     )
         .prop_map(
-            |(id, status, session, (rank, psi, from, to), (error, miss_resource, miss_ratio))| {
+            |(
+                id,
+                status,
+                session,
+                (rank, psi, from, to),
+                (error, miss_resource, miss_ratio),
+                ((trace, queue_ns, collect_ns, plan_ns), (replan_ns, commit_ns, total_ns)),
+            )| {
                 OutcomeFrame {
                     id,
                     status,
@@ -138,6 +309,13 @@ fn outcome_frame() -> impl Strategy<Value = OutcomeFrame> {
                     error,
                     miss_resource,
                     miss_ratio,
+                    trace,
+                    queue_ns,
+                    collect_ns,
+                    plan_ns,
+                    replan_ns,
+                    commit_ns,
+                    total_ns,
                 }
             },
         )
@@ -199,6 +377,15 @@ fn response_frame() -> impl Strategy<Value = ResponseFrame> {
             )
             .boxed(),
         stats_frame().prop_map(ResponseFrame::Stats).boxed(),
+        (
+            any::<u64>(),
+            proptest::collection::vec(request_trace(), 0..3),
+        )
+            .prop_map(|(id, traces)| ResponseFrame::Flight(FlightFrame { id, traces }))
+            .boxed(),
+        (any::<u64>(), slo_report())
+            .prop_map(|(id, report)| ResponseFrame::Slo(SloFrame { id, report }))
+            .boxed(),
         any::<u64>()
             .prop_map(|id| ResponseFrame::Pong { id })
             .boxed(),
